@@ -1,0 +1,65 @@
+//! A plain in-memory hash join.
+//!
+//! Not part of the paper's comparison table — it is the fastest insecure
+//! reference implementation available, used by the larger correctness sweeps
+//! and benchmarks to validate outputs cheaply (the nested-loop reference is
+//! quadratic and becomes the bottleneck long before the oblivious join does).
+
+use std::collections::HashMap;
+
+use obliv_join::{JoinRow, Table};
+
+/// Join two tables with a classic build/probe hash join.
+pub fn hash_join(t1: &Table, t2: &Table) -> Vec<JoinRow> {
+    // Build on the smaller side to keep the hash table small.
+    let (build, probe, build_is_left) =
+        if t1.len() <= t2.len() { (t1, t2, true) } else { (t2, t1, false) };
+
+    let mut index: HashMap<u64, Vec<u64>> = HashMap::with_capacity(build.len());
+    for row in build.iter() {
+        index.entry(row.key).or_default().push(row.value);
+    }
+
+    let mut rows = Vec::new();
+    for row in probe.iter() {
+        if let Some(matches) = index.get(&row.key) {
+            for &value in matches {
+                rows.push(if build_is_left {
+                    JoinRow::new(value, row.value)
+                } else {
+                    JoinRow::new(row.value, value)
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_join::{reference_join, sorted_rows};
+
+    #[test]
+    fn matches_reference_in_both_size_orders() {
+        let small = Table::from_pairs(vec![(1, 1), (2, 2), (2, 3)]);
+        let large: Table = (0..30u64).map(|i| (i % 4, 100 + i)).collect();
+        for (a, b) in [(&small, &large), (&large, &small)] {
+            assert_eq!(sorted_rows(hash_join(a, b)), sorted_rows(reference_join(a, b)));
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = Table::from_pairs(vec![(1, 1)]);
+        assert!(hash_join(&t, &Table::new()).is_empty());
+        assert!(hash_join(&Table::new(), &t).is_empty());
+    }
+
+    #[test]
+    fn duplicate_rows_multiply() {
+        let t1 = Table::from_pairs(vec![(7, 1), (7, 1)]);
+        let t2 = Table::from_pairs(vec![(7, 2), (7, 2), (7, 2)]);
+        assert_eq!(hash_join(&t1, &t2).len(), 6);
+    }
+}

@@ -1,0 +1,27 @@
+//! # obliv-baselines — the join operators the paper compares against
+//!
+//! Table 1 of *Efficient Oblivious Database Joins* contrasts the proposed
+//! algorithm with the standard insecure sort-merge join, quadratic oblivious
+//! joins, and the primary/foreign-key-restricted oblivious join of
+//! Opaque/ObliDB.  This crate reimplements those comparison points on the
+//! same substrate as the main algorithm so that the workspace's Table 1 and
+//! Figure 8 reproductions measure like against like:
+//!
+//! * [`sort_merge_join`] — the insecure `O(m′ log m′)` baseline,
+//! * [`nested_loop_join`] — the trivial oblivious `O(n₁·n₂)` join,
+//! * [`opaque_pkfk_join`] — the Opaque-style oblivious PK–FK join,
+//! * [`hash_join`] — an insecure hash join used as a fast answer oracle in
+//!   tests and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash_join;
+pub mod nested_loop;
+pub mod opaque_pkfk;
+pub mod sort_merge;
+
+pub use hash_join::hash_join;
+pub use nested_loop::{nested_loop_join, NestedLoopResult};
+pub use opaque_pkfk::{opaque_pkfk_join, NotAPrimaryKey, PkFkResult};
+pub use sort_merge::{sort_merge_join, SortMergeStats};

@@ -1,0 +1,114 @@
+//! The trivial oblivious nested-loop join.
+//!
+//! §4.2 of the paper notes that a naive oblivious join can be obtained from
+//! a nested loop: compare every pair of rows, always writing a (real or
+//! dummy) candidate row, and compact the `n₁·n₂` candidates at the end.  The
+//! access pattern is a function of `(n₁, n₂)` alone — even the output size is
+//! only revealed by the final compaction — but the cost is quadratic, which
+//! is what Table 1 and the Table 1 reproduction quantify.
+
+use obliv_join::{JoinRow, Table};
+use obliv_primitives::{oblivious_compact, Choice, CtSelect, Keyed, Routable};
+use obliv_trace::{OpCounters, TraceSink, Tracer};
+
+/// Result of the oblivious nested-loop join.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NestedLoopResult {
+    /// The joined rows, grouped by left-row order then right-row order.
+    pub rows: Vec<JoinRow>,
+    /// Operation counters accumulated during the run (pair comparisons are
+    /// counted as linear steps; the compaction contributes routing hops).
+    pub ops: OpCounters,
+}
+
+/// Join two tables with the quadratic oblivious nested loop.
+///
+/// Every candidate slot `(i, j)` is written exactly once whether or not the
+/// rows match, and the matching rows are then gathered with an oblivious
+/// compaction, so the trace depends only on `(n₁, n₂)`.
+pub fn nested_loop_join<S: TraceSink>(
+    tracer: &Tracer<S>,
+    t1: &Table,
+    t2: &Table,
+) -> NestedLoopResult {
+    let before = tracer.counters();
+    let n1 = t1.len();
+    let n2 = t2.len();
+
+    // The inputs live in public memory, exactly like the real operator.
+    let left = tracer.alloc_from(t1.rows().to_vec());
+    let right = tracer.alloc_from(t2.rows().to_vec());
+
+    // Candidate matrix: one slot per pair, written unconditionally.
+    let mut candidates = tracer.alloc_from(vec![Keyed::<JoinRow>::null(); n1 * n2]);
+    for i in 0..n1 {
+        let a = left.read(i);
+        for j in 0..n2 {
+            let b = right.read(j);
+            tracer.bump_linear_steps(1);
+            let matches = Choice::eq_u64(a.key, b.key);
+            let real = Keyed::new(JoinRow::new(a.value, b.value), 1);
+            let candidate = Keyed::ct_select(matches, real, Keyed::null());
+            candidates.write(i * n2 + j, candidate);
+        }
+    }
+
+    // Gather the real rows at the front; only now is the output size m
+    // revealed, mirroring the leakage profile of the main algorithm.
+    let compacted = oblivious_compact(candidates);
+    let live = compacted.live as usize;
+    let rows = compacted.table.as_slice()[..live].iter().map(|k| k.value).collect();
+
+    NestedLoopResult { rows, ops: tracer.counters().since(&before) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_join::{reference_join, sorted_rows};
+    use obliv_trace::{CollectingSink, CountingSink};
+
+    fn check(t1: &Table, t2: &Table) {
+        let tracer = Tracer::new(CountingSink::new());
+        let result = nested_loop_join(&tracer, t1, t2);
+        assert_eq!(sorted_rows(result.rows.clone()), sorted_rows(reference_join(t1, t2)));
+    }
+
+    #[test]
+    fn matches_reference() {
+        check(&Table::from_pairs(vec![(1, 1), (1, 2), (2, 3)]), &Table::from_pairs(vec![(1, 4), (2, 5)]));
+        check(&Table::from_pairs(vec![]), &Table::from_pairs(vec![(1, 1)]));
+        check(
+            &(0..12u64).map(|i| (i % 3, i)).collect(),
+            &(0..15u64).map(|i| (i % 5, 100 + i)).collect(),
+        );
+    }
+
+    #[test]
+    fn trace_depends_only_on_input_sizes() {
+        let run = |t1: &Table, t2: &Table| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let _ = nested_loop_join(&tracer, t1, t2);
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+        // Same (n₁, n₂) = (3, 4); different match structure and output size.
+        let a = run(
+            &Table::from_pairs(vec![(1, 1), (1, 2), (1, 3)]),
+            &Table::from_pairs(vec![(1, 4), (1, 5), (1, 6), (1, 7)]),
+        );
+        let b = run(
+            &Table::from_pairs(vec![(1, 1), (2, 2), (3, 3)]),
+            &Table::from_pairs(vec![(8, 4), (9, 5), (9, 6), (9, 7)]),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quadratic_cost_shows_in_counters() {
+        let t1: Table = (0..16u64).map(|i| (i, i)).collect();
+        let t2: Table = (0..16u64).map(|i| (i, i)).collect();
+        let tracer = Tracer::new(CountingSink::new());
+        let result = nested_loop_join(&tracer, &t1, &t2);
+        assert!(result.ops.linear_steps >= 16 * 16);
+    }
+}

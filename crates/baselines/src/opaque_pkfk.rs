@@ -1,0 +1,240 @@
+//! An Opaque/ObliDB-style oblivious primary–foreign-key join.
+//!
+//! Opaque [45] and ObliDB [13] implement an oblivious sort-merge join that
+//! is restricted to primary–foreign-key joins: every join value appears at
+//! most once in the primary table, so `m ≤ n₂` and a single co-sort plus a
+//! linear propagation pass suffices.  The paper compares against this
+//! operator (Table 1, §6.2), so it is reimplemented here on top of the same
+//! traced-memory substrate:
+//!
+//! 1. concatenate both tables, tagging primary rows,
+//! 2. obliviously sort by `(key, primary-first)`,
+//! 3. scan once, carrying the current primary row's data value and stamping
+//!    it into every following foreign row with the same key,
+//! 4. obliviously compact the stamped foreign rows to the front.
+//!
+//! The access pattern depends only on `n₁ + n₂` and the revealed output
+//! size, matching the leakage profile of the general join.
+
+use obliv_join::{JoinRow, Table};
+use obliv_primitives::sort::bitonic;
+use obliv_primitives::{oblivious_compact, Choice, CtSelect, Routable};
+use obliv_trace::{OpCounters, TraceSink, Tracer};
+
+/// Error returned when the "primary" table is not actually a primary-key
+/// table (a join value appears more than once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotAPrimaryKey {
+    /// The offending join value.
+    pub key: u64,
+}
+
+impl std::fmt::Display for NotAPrimaryKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "join value {} appears more than once in the primary table", self.key)
+    }
+}
+
+impl std::error::Error for NotAPrimaryKey {}
+
+/// Result of the PK–FK join.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PkFkResult {
+    /// One row per foreign row whose key exists in the primary table; the
+    /// `left` value is the primary row's data, `right` the foreign row's.
+    pub rows: Vec<JoinRow>,
+    /// Operation counters accumulated during the run.
+    pub ops: OpCounters,
+}
+
+/// Internal record: a tagged row of the combined table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PkFkRecord {
+    key: u64,
+    value: u64,
+    /// 1 for primary rows, 0 for foreign rows (sorts primary first).
+    is_primary: u64,
+    /// For foreign rows after the scan: the matched primary value.
+    matched: u64,
+    /// 1 once the row is a real output candidate.
+    emit: u64,
+    /// Routing destination used by the final compaction; 0 = discard.
+    dest: u64,
+}
+
+impl CtSelect for PkFkRecord {
+    #[inline(always)]
+    fn ct_select(c: Choice, a: Self, b: Self) -> Self {
+        PkFkRecord {
+            key: u64::ct_select(c, a.key, b.key),
+            value: u64::ct_select(c, a.value, b.value),
+            is_primary: u64::ct_select(c, a.is_primary, b.is_primary),
+            matched: u64::ct_select(c, a.matched, b.matched),
+            emit: u64::ct_select(c, a.emit, b.emit),
+            dest: u64::ct_select(c, a.dest, b.dest),
+        }
+    }
+}
+
+impl Routable for PkFkRecord {
+    fn dest(&self) -> u64 {
+        self.dest
+    }
+    fn set_dest(&mut self, dest: u64) {
+        self.dest = dest;
+    }
+    fn null() -> Self {
+        PkFkRecord::default()
+    }
+    fn is_null(&self) -> bool {
+        self.emit == 0
+    }
+    fn set_null(&mut self) {
+        self.emit = 0;
+        self.dest = 0;
+    }
+}
+
+/// Join a primary-key table against a foreign-key table obliviously.
+///
+/// `primary` must contain each join value at most once; otherwise
+/// [`NotAPrimaryKey`] is returned (this restriction is exactly why the
+/// paper's general join is needed).
+pub fn opaque_pkfk_join<S: TraceSink>(
+    tracer: &Tracer<S>,
+    primary: &Table,
+    foreign: &Table,
+) -> Result<PkFkResult, NotAPrimaryKey> {
+    // The PK property is a schema-level promise; checking it is a plaintext
+    // sanity check on the client side, not part of the oblivious execution.
+    let mut seen = std::collections::HashSet::new();
+    for row in primary.iter() {
+        if !seen.insert(row.key) {
+            return Err(NotAPrimaryKey { key: row.key });
+        }
+    }
+
+    let before = tracer.counters();
+    let combined: Vec<PkFkRecord> = primary
+        .iter()
+        .map(|e| PkFkRecord { key: e.key, value: e.value, is_primary: 1, matched: 0, emit: 1, dest: 0 })
+        .chain(foreign.iter().map(|e| PkFkRecord {
+            key: e.key,
+            value: e.value,
+            is_primary: 0,
+            matched: 0,
+            emit: 1,
+            dest: 0,
+        }))
+        .collect();
+    let mut buf = tracer.alloc_from(combined);
+
+    // Co-sort: each key's primary row (if any) immediately precedes its
+    // foreign rows.
+    bitonic::sort_by_key(&mut buf, |r: &PkFkRecord| (r.key, std::cmp::Reverse(r.is_primary)));
+
+    // Single scan: carry the active primary (key, value) and stamp foreign
+    // rows.  Rows that are not matched foreign rows are marked for discard.
+    let mut have_pk = Choice::FALSE;
+    let mut pk_key: u64 = 0;
+    let mut pk_value: u64 = 0;
+    for i in 0..buf.len() {
+        let mut r = buf.read(i);
+        tracer.bump_linear_steps(1);
+        let is_primary = Choice::eq_u64(r.is_primary, 1);
+        // Update the carried primary row.
+        pk_key = u64::ct_select(is_primary, r.key, pk_key);
+        pk_value = u64::ct_select(is_primary, r.value, pk_value);
+        have_pk = is_primary.or(have_pk);
+
+        let matches = have_pk.and(Choice::eq_u64(r.key, pk_key));
+        let output = is_primary.not().and(matches);
+        r.matched = u64::ct_select(output, pk_value, 0);
+        let mut kept = r;
+        kept.emit = 1;
+        let mut dropped = r;
+        dropped.set_null();
+        buf.write(i, PkFkRecord::ct_select(output, kept, dropped));
+    }
+
+    // Oblivious compaction gathers the emitted rows and reveals m.
+    let compacted = oblivious_compact(buf);
+    let live = compacted.live as usize;
+    let rows = compacted.table.as_slice()[..live]
+        .iter()
+        .map(|r| JoinRow::new(r.matched, r.value))
+        .collect();
+
+    Ok(PkFkResult { rows, ops: tracer.counters().since(&before) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_join::{reference_join, sorted_rows};
+    use obliv_trace::{CollectingSink, CountingSink};
+
+    fn check(primary: &Table, foreign: &Table) -> PkFkResult {
+        let tracer = Tracer::new(CountingSink::new());
+        let result = opaque_pkfk_join(&tracer, primary, foreign).expect("valid PK table");
+        assert_eq!(
+            sorted_rows(result.rows.clone()),
+            sorted_rows(reference_join(primary, foreign)),
+        );
+        result
+    }
+
+    #[test]
+    fn joins_simple_pk_fk_tables() {
+        let departments = Table::from_pairs(vec![(10, 700), (20, 800), (30, 900)]);
+        let employees = Table::from_pairs(vec![(10, 1), (10, 2), (20, 3), (40, 4)]);
+        let result = check(&departments, &employees);
+        assert_eq!(result.rows.len(), 3, "employee 4 references a missing department");
+    }
+
+    #[test]
+    fn handles_foreign_rows_without_match_and_unused_primaries() {
+        check(
+            &Table::from_pairs(vec![(1, 100), (2, 200)]),
+            &Table::from_pairs(vec![(3, 1), (3, 2)]),
+        );
+        check(&Table::from_pairs(vec![(1, 100)]), &Table::from_pairs(vec![]));
+        check(&Table::from_pairs(vec![]), &Table::from_pairs(vec![(1, 1)]));
+    }
+
+    #[test]
+    fn larger_fan_out() {
+        let primary: Table = (0..16u64).map(|i| (i, 1000 + i)).collect();
+        let foreign: Table = (0..200u64).map(|i| (i % 20, i)).collect();
+        check(&primary, &foreign);
+    }
+
+    #[test]
+    fn rejects_duplicate_primary_keys() {
+        let tracer = Tracer::new(CountingSink::new());
+        let bad = Table::from_pairs(vec![(1, 1), (1, 2)]);
+        let fk = Table::from_pairs(vec![(1, 3)]);
+        let err = opaque_pkfk_join(&tracer, &bad, &fk).unwrap_err();
+        assert_eq!(err.key, 1);
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn trace_depends_only_on_sizes() {
+        let run = |primary: &Table, foreign: &Table| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let _ = opaque_pkfk_join(&tracer, primary, foreign).unwrap();
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+        // (|P|, |F|) = (3, 5) with different match structures.
+        let a = run(
+            &Table::from_pairs(vec![(1, 10), (2, 20), (3, 30)]),
+            &Table::from_pairs(vec![(1, 1), (1, 2), (2, 3), (9, 4), (9, 5)]),
+        );
+        let b = run(
+            &Table::from_pairs(vec![(5, 50), (6, 60), (7, 70)]),
+            &Table::from_pairs(vec![(5, 1), (5, 2), (5, 3), (5, 4), (5, 5)]),
+        );
+        assert_eq!(a, b);
+    }
+}

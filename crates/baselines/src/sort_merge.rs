@@ -1,0 +1,114 @@
+//! The standard, non-oblivious sort-merge join.
+//!
+//! This is the `O(m′ log m′)` baseline of Table 1 and the "insecure
+//! sort-merge" curve of Figure 8: both inputs are sorted by join key and
+//! merged with two cursors, emitting the cross product of every pair of
+//! matching runs.  Its memory accesses are blatantly input-dependent — the
+//! cursor advances and the output writes reveal the group structure — which
+//! is exactly the leak the oblivious join removes.
+
+use obliv_join::{JoinRow, Table};
+
+/// Execution statistics of the plaintext sort-merge join (used by the
+/// Table 1 and Figure 8 reproductions to compare operation counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SortMergeStats {
+    /// Comparisons performed by the standard-library sorts.
+    ///
+    /// Counted by instrumenting the comparator, so this is the exact number
+    /// for this run (input-dependent, unlike the oblivious join's counts).
+    pub sort_comparisons: u64,
+    /// Key comparisons performed during the merge scan.
+    pub merge_comparisons: u64,
+    /// Number of output rows.
+    pub output_rows: u64,
+}
+
+/// Join two tables with the textbook sort-merge algorithm.
+pub fn sort_merge_join(t1: &Table, t2: &Table) -> (Vec<JoinRow>, SortMergeStats) {
+    let mut stats = SortMergeStats::default();
+
+    let mut left: Vec<_> = t1.rows().to_vec();
+    let mut right: Vec<_> = t2.rows().to_vec();
+    let mut sort_comparisons = 0u64;
+    left.sort_by(|a, b| {
+        sort_comparisons += 1;
+        (a.key, a.value).cmp(&(b.key, b.value))
+    });
+    right.sort_by(|a, b| {
+        sort_comparisons += 1;
+        (a.key, a.value).cmp(&(b.key, b.value))
+    });
+    stats.sort_comparisons = sort_comparisons;
+
+    let mut rows = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        stats.merge_comparisons += 1;
+        match left[i].key.cmp(&right[j].key) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Emit the cross product of the two equal-key runs.
+                let key = left[i].key;
+                let run_start_j = j;
+                while i < left.len() && left[i].key == key {
+                    let mut jj = run_start_j;
+                    while jj < right.len() && right[jj].key == key {
+                        rows.push(JoinRow::new(left[i].value, right[jj].value));
+                        jj += 1;
+                    }
+                    i += 1;
+                }
+                // Skip the right run as well.
+                while j < right.len() && right[j].key == key {
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    stats.output_rows = rows.len() as u64;
+    (rows, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_join::{reference_join, sorted_rows};
+
+    fn check(t1: &Table, t2: &Table) {
+        let (rows, stats) = sort_merge_join(t1, t2);
+        assert_eq!(sorted_rows(rows.clone()), sorted_rows(reference_join(t1, t2)));
+        assert_eq!(stats.output_rows as usize, rows.len());
+    }
+
+    #[test]
+    fn matches_reference_on_varied_inputs() {
+        check(&Table::from_pairs(vec![(1, 1), (1, 2), (2, 3)]), &Table::from_pairs(vec![(1, 4), (2, 5), (2, 6)]));
+        check(&Table::from_pairs(vec![]), &Table::from_pairs(vec![(1, 1)]));
+        check(&Table::from_pairs(vec![(5, 1); 4]), &Table::from_pairs(vec![(5, 2); 3]));
+        check(
+            &(0..50u64).map(|i| (i % 7, i)).collect(),
+            &(0..60u64).map(|i| (i % 11, i)).collect(),
+        );
+    }
+
+    #[test]
+    fn disjoint_keys_produce_no_rows_but_count_comparisons() {
+        let t1 = Table::from_pairs(vec![(1, 1), (2, 2)]);
+        let t2 = Table::from_pairs(vec![(3, 3), (4, 4)]);
+        let (rows, stats) = sort_merge_join(&t1, &t2);
+        assert!(rows.is_empty());
+        assert!(stats.merge_comparisons > 0);
+        assert_eq!(stats.output_rows, 0);
+    }
+
+    #[test]
+    fn runs_of_equal_keys_emit_full_cross_product() {
+        let t1 = Table::from_pairs(vec![(7, 1), (7, 2), (7, 3)]);
+        let t2 = Table::from_pairs(vec![(7, 10), (7, 20)]);
+        let (rows, _) = sort_merge_join(&t1, &t2);
+        assert_eq!(rows.len(), 6);
+    }
+}

@@ -1,0 +1,46 @@
+//! Ablation: deterministic routing-network distribution (the paper's and
+//! this implementation's default, §5.2 second construction) versus the
+//! probabilistic PRP-based distribution (§5.2 first construction).
+//!
+//! The deterministic variant pays an `O(m log m)` routing pass after an
+//! `O(n log² n)` sort of only the `n` real elements; the probabilistic
+//! variant pays a full `O(m log² m)` sort over the output domain plus PRP
+//! evaluations, which is why the paper prefers the deterministic one.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obliv_primitives::{oblivious_distribute, probabilistic_distribute, Keyed};
+use obliv_trace::{NullSink, Tracer};
+
+fn workload(n: usize, m: usize) -> Vec<Keyed<u64>> {
+    // n elements spread evenly over m destinations (injective).
+    (0..n).map(|i| Keyed::new(i as u64, (i * m / n) as u64 + 1)).collect()
+}
+
+fn bench_distribute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distribute_ablation");
+    group.sample_size(10);
+
+    for &(n, m) in &[(1usize << 10, 1usize << 12), (1 << 12, 1 << 14)] {
+        let elements = workload(n, m);
+        let label = format!("n={n},m={m}");
+
+        group.bench_with_input(BenchmarkId::new("deterministic_routing", &label), &elements, |b, e| {
+            b.iter_batched(
+                || Tracer::new(NullSink).alloc_from(e.clone()),
+                |buf| oblivious_distribute(buf, m),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("probabilistic_prp", &label), &elements, |b, e| {
+            b.iter_batched(
+                || Tracer::new(NullSink).alloc_from(e.clone()),
+                |buf| probabilistic_distribute(buf, m, 0xD15F),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribute);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion companion to the Figure 8 reproduction: wall-clock scaling of
+//! the oblivious join and the insecure sort-merge join on the balanced
+//! workload (`m = n₁ = n₂ = n/2`).
+//!
+//! The report binary `fig8_runtime` sweeps paper-scale sizes; this bench
+//! keeps the sizes small enough for statistically meaningful Criterion runs
+//! and is the regression guard for the join's constant factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use obliv_baselines::sort_merge_join;
+use obliv_join::oblivious_join;
+use obliv_workloads::balanced_unique_keys;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_scaling");
+    group.sample_size(10);
+
+    for &n in &[1usize << 10, 1 << 12, 1 << 14] {
+        let workload = balanced_unique_keys(n / 2, 8);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("oblivious_join", n), &workload, |b, w| {
+            b.iter(|| oblivious_join(&w.left, &w.right))
+        });
+        group.bench_with_input(BenchmarkId::new("insecure_sort_merge", n), &workload, |b, w| {
+            b.iter(|| sort_merge_join(&w.left, &w.right))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

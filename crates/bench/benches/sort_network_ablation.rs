@@ -1,0 +1,50 @@
+//! Ablation: bitonic sorter (the paper's choice) versus Batcher's odd-even
+//! mergesort as the sorting network underlying the join's primitives, and
+//! both versus the standard library's (non-oblivious) sort.
+//!
+//! The paper argues (§3.5) that an `O(n log n)` network such as zig-zag sort
+//! is too slow in practice; this bench quantifies the gap between the two
+//! practical `O(n log² n)` networks on this implementation's record type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obliv_primitives::sort::{bitonic, odd_even};
+use obliv_trace::{NullSink, Tracer};
+
+fn scrambled(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17)).collect()
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_network_ablation");
+    group.sample_size(10);
+
+    for &n in &[1usize << 10, 1 << 13] {
+        let data = scrambled(n);
+
+        group.bench_with_input(BenchmarkId::new("bitonic", n), &data, |b, data| {
+            b.iter_batched(
+                || Tracer::new(NullSink).alloc_from(data.clone()),
+                |mut buf| bitonic::sort_by_key(&mut buf, |x| *x),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("odd_even_merge", n), &data, |b, data| {
+            b.iter_batched(
+                || Tracer::new(NullSink).alloc_from(data.clone()),
+                |mut buf| odd_even::sort_by_key(&mut buf, |x| *x),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("std_sort_insecure", n), &data, |b, data| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| v.sort_unstable(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

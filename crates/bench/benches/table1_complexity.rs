@@ -1,0 +1,48 @@
+//! Criterion companion to the Table 1 reproduction: the four join
+//! implementations on a common (small) balanced workload, plus the
+//! PK–FK-restricted baseline on its own workload class.
+//!
+//! The quadratic nested-loop baseline is benchmarked at a reduced size so
+//! the suite stays fast; its asymptotic gap is already visible there.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obliv_baselines::{hash_join, nested_loop_join, opaque_pkfk_join, sort_merge_join};
+use obliv_join::oblivious_join;
+use obliv_trace::{NullSink, Tracer};
+use obliv_workloads::{balanced_unique_keys, pk_fk};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_complexity");
+    group.sample_size(10);
+
+    let n = 1usize << 12;
+    let balanced = balanced_unique_keys(n / 2, 21);
+    let pk_workload = pk_fk(n / 2, n / 2, 21);
+    let small = balanced_unique_keys(256, 21); // nested loop is quadratic
+
+    group.bench_with_input(BenchmarkId::new("ours_oblivious", n), &balanced, |b, w| {
+        b.iter(|| oblivious_join(&w.left, &w.right))
+    });
+    group.bench_with_input(BenchmarkId::new("insecure_sort_merge", n), &balanced, |b, w| {
+        b.iter(|| sort_merge_join(&w.left, &w.right))
+    });
+    group.bench_with_input(BenchmarkId::new("insecure_hash_join", n), &balanced, |b, w| {
+        b.iter(|| hash_join(&w.left, &w.right))
+    });
+    group.bench_with_input(BenchmarkId::new("opaque_pkfk", n), &pk_workload, |b, w| {
+        b.iter(|| {
+            let tracer = Tracer::new(NullSink);
+            opaque_pkfk_join(&tracer, &w.left, &w.right).unwrap()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("oblivious_nested_loop", 512), &small, |b, w| {
+        b.iter(|| {
+            let tracer = Tracer::new(NullSink);
+            nested_loop_join(&tracer, &w.left, &w.right)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

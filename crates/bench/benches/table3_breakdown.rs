@@ -1,0 +1,58 @@
+//! Criterion companion to the Table 3 reproduction: the cost of each phase
+//! of the join in isolation, so regressions can be attributed to a
+//! subroutine rather than the pipeline as a whole.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use obliv_join::augment::augment_tables;
+use obliv_join::record::AugRecord;
+use obliv_join::{align, oblivious_join};
+use obliv_primitives::oblivious_expand;
+use obliv_trace::{NullSink, Tracer};
+use obliv_workloads::balanced_unique_keys;
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_breakdown");
+    group.sample_size(10);
+
+    let n = 1usize << 13;
+    let workload = balanced_unique_keys(n / 2, 5);
+
+    group.bench_function("full_join", |b| {
+        b.iter(|| oblivious_join(&workload.left, &workload.right))
+    });
+
+    group.bench_function("phase_augment", |b| {
+        b.iter(|| {
+            let tracer = Tracer::new(NullSink);
+            augment_tables(&tracer, &workload.left, &workload.right)
+        })
+    });
+
+    group.bench_function("phase_expand_left", |b| {
+        b.iter_batched(
+            || {
+                let tracer = Tracer::new(NullSink);
+                augment_tables(&tracer, &workload.left, &workload.right).t1
+            },
+            |t1| oblivious_expand(t1, |r: &AugRecord| r.alpha2),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("phase_align", |b| {
+        b.iter_batched(
+            || {
+                let tracer = Tracer::new(NullSink);
+                let augmented = augment_tables(&tracer, &workload.left, &workload.right);
+                (oblivious_expand(augmented.t2, |r: &AugRecord| r.alpha1).table, tracer)
+            },
+            |(mut s2, tracer)| align::align_table(&mut s2, &tracer),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

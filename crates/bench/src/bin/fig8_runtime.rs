@@ -1,0 +1,53 @@
+//! Figure 8 reproduction: runtime of the sequential implementation versus
+//! input size, for the plain prototype, the (simulated) SGX build, the
+//! (simulated) level-III transformed SGX build, and the insecure sort-merge
+//! join.  Workload: `m ≈ n₁ = n₂ = n/2`, as in the paper.
+//!
+//! The paper's measured values at n = 10⁶ on an i5-7300U were:
+//! prototype 2.35 s, SGX 5.67 s, SGX transformed 6.30 s, insecure
+//! sort-merge 0.03 s.  Absolute numbers on other hardware differ; the shape
+//! (near-linear growth, a constant factor between the curves, sort-merge
+//! orders of magnitude below) is the comparison target.
+//!
+//! Run with `cargo run --release -p obliv-bench --bin fig8_runtime [--full]`
+//! (`--full` sweeps to n = 10⁶ like the paper; the default stops at 2·10⁵).
+
+use obliv_bench::{measure_fig8_point, ReportOptions};
+
+fn main() {
+    let opts = ReportOptions::from_args();
+    let sizes: Vec<usize> = if opts.full {
+        vec![100_000, 250_000, 500_000, 750_000, 1_000_000]
+    } else {
+        vec![25_000, 50_000, 100_000, 200_000]
+    };
+
+    println!("# Figure 8 reproduction — runtime (seconds) vs input size n, m = n1 = n2 = n/2");
+    println!(
+        "{:>10} {:>12} {:>12} {:>16} {:>18} {:>10}",
+        "n", "m", "prototype", "SGX (simulated)", "SGX transformed", "sort-merge"
+    );
+    let mut previous: Option<(usize, f64)> = None;
+    for &n in &sizes {
+        let point = measure_fig8_point(n, 0xF168);
+        println!(
+            "{:>10} {:>12} {:>12.3} {:>16.3} {:>18.3} {:>10.3}",
+            point.n,
+            point.output_size,
+            point.prototype.as_secs_f64(),
+            point.sgx.as_secs_f64(),
+            point.sgx_transformed.as_secs_f64(),
+            point.insecure_sort_merge.as_secs_f64(),
+        );
+        if let Some((prev_n, prev_secs)) = previous {
+            let growth = point.prototype.as_secs_f64() / prev_secs;
+            let size_ratio = n as f64 / prev_n as f64;
+            eprintln!(
+                "#   growth {prev_n} -> {n}: runtime x{growth:.2} for input x{size_ratio:.2} (near-linear expected)"
+            );
+        }
+        previous = Some((n, point.prototype.as_secs_f64()));
+    }
+    println!();
+    println!("# paper (i5-7300U, n = 10^6): prototype 2.35 s, SGX 5.67 s, transformed 6.30 s, sort-merge 0.03 s");
+}

@@ -1,0 +1,150 @@
+//! Table 1 reproduction: empirical complexity comparison of the oblivious
+//! join approaches.
+//!
+//! The paper's Table 1 is analytical; this report measures the operation
+//! counts (and wall times) of the implementations in this workspace over a
+//! doubling sweep of input sizes and fits the empirical growth exponent so
+//! the asymptotic classes can be read off directly:
+//!
+//! * standard sort-merge join — `O(m′ log m′)`, not oblivious,
+//! * oblivious nested-loop join — `O(n₁·n₂)`,
+//! * Opaque-style PK–FK join — `O(n log² n)`, restricted to PK–FK inputs,
+//! * this paper's join — `O(n log² n + m log m)`.
+//!
+//! Run with `cargo run --release -p obliv-bench --bin table1_report
+//! [--full]`.
+
+use obliv_bench::{fitted_exponent, time, ReportOptions};
+use obliv_baselines::{nested_loop_join, opaque_pkfk_join, sort_merge_join};
+use obliv_join::oblivious_join;
+use obliv_trace::{CountingSink, NullSink, Tracer};
+use obliv_workloads::{balanced_unique_keys, pk_fk};
+
+struct Row {
+    n: usize,
+    ours_ops: u64,
+    ours_secs: f64,
+    sort_merge_ops: u64,
+    sort_merge_secs: f64,
+    nested_ops: Option<u64>,
+    nested_secs: Option<f64>,
+    pkfk_ops: u64,
+    pkfk_secs: f64,
+}
+
+fn main() {
+    let opts = ReportOptions::from_args();
+    let sizes: Vec<usize> =
+        if opts.full { vec![1 << 10, 1 << 12, 1 << 14, 1 << 16] } else { vec![1 << 8, 1 << 10, 1 << 12] };
+    // The quadratic baseline becomes intractable quickly; cap its input.
+    let nested_cap = if opts.full { 1 << 12 } else { 1 << 10 };
+
+    println!("# Table 1 reproduction — operation counts and wall time per approach");
+    println!("# balanced workload: m = n1 = n2 = n/2 (PK-FK workload for the Opaque-style join)");
+    println!();
+    println!(
+        "{:>8} | {:>14} {:>9} | {:>14} {:>9} | {:>14} {:>9} | {:>14} {:>9}",
+        "n",
+        "ours ops", "ours s",
+        "sort-merge ops", "sm s",
+        "nested ops", "nested s",
+        "pk-fk ops", "pkfk s"
+    );
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let workload = balanced_unique_keys(n / 2, 42);
+
+        let (ours, ours_secs) = time(|| oblivious_join(&workload.left, &workload.right));
+        let ours_ops = ours.stats.total_ops().total_ops();
+
+        let ((_, sm_stats), sm_secs) = time(|| sort_merge_join(&workload.left, &workload.right));
+        let sort_merge_ops = sm_stats.sort_comparisons + sm_stats.merge_comparisons;
+
+        let (nested_ops, nested_secs) = if n <= nested_cap {
+            let tracer = Tracer::new(NullSink);
+            let (res, secs) = time(|| nested_loop_join(&tracer, &workload.left, &workload.right));
+            (Some(res.ops.total_ops()), Some(secs.as_secs_f64()))
+        } else {
+            (None, None)
+        };
+
+        let pk_workload = pk_fk(n / 2, n / 2, 42);
+        let tracer = Tracer::new(CountingSink::new());
+        let (pk_res, pk_secs) =
+            time(|| opaque_pkfk_join(&tracer, &pk_workload.left, &pk_workload.right).unwrap());
+        let pkfk_ops = pk_res.ops.total_ops();
+
+        println!(
+            "{:>8} | {:>14} {:>9.3} | {:>14} {:>9.3} | {:>14} {:>9} | {:>14} {:>9.3}",
+            n,
+            ours_ops,
+            ours_secs.as_secs_f64(),
+            sort_merge_ops,
+            sm_secs.as_secs_f64(),
+            nested_ops.map(|o| o.to_string()).unwrap_or_else(|| "-".into()),
+            nested_secs.map(|s| format!("{s:9.3}")).unwrap_or_else(|| "-".into()),
+            pkfk_ops,
+            pk_secs.as_secs_f64(),
+        );
+
+        rows.push(Row {
+            n,
+            ours_ops,
+            ours_secs: ours_secs.as_secs_f64(),
+            sort_merge_ops,
+            sort_merge_secs: sm_secs.as_secs_f64(),
+            nested_ops,
+            nested_secs: nested_secs.map(|s| s),
+            pkfk_ops,
+            pkfk_secs: pk_secs.as_secs_f64(),
+        });
+    }
+
+    // Empirical growth exponents between the first and last measured points
+    // (operation counts are deterministic, so this is noise-free).
+    if rows.len() >= 2 {
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        println!();
+        println!("# empirical growth exponent b in ops ~ n^b (paper's asymptotics in brackets)");
+        println!(
+            "ours             : {:.2}  [n log^2 n  -> ~1.1-1.3]",
+            fitted_exponent(first.n as f64, first.ours_ops as f64, last.n as f64, last.ours_ops as f64)
+        );
+        println!(
+            "sort-merge       : {:.2}  [n log n    -> ~1.0-1.2]",
+            fitted_exponent(
+                first.n as f64,
+                first.sort_merge_ops as f64,
+                last.n as f64,
+                last.sort_merge_ops as f64
+            )
+        );
+        if let (Some(a), Some(b)) = (first.nested_ops, rows.iter().rev().find_map(|r| r.nested_ops))
+        {
+            let last_nested_n =
+                rows.iter().rev().find(|r| r.nested_ops.is_some()).map(|r| r.n).unwrap_or(first.n);
+            println!(
+                "nested loop      : {:.2}  [n^2        -> ~2.0]",
+                fitted_exponent(first.n as f64, a as f64, last_nested_n as f64, b as f64)
+            );
+        }
+        println!(
+            "opaque pk-fk     : {:.2}  [n log^2 n  -> ~1.1-1.3]",
+            fitted_exponent(first.n as f64, first.pkfk_ops as f64, last.n as f64, last.pkfk_ops as f64)
+        );
+        println!();
+        println!("# wall-time summary (seconds)");
+        for r in &rows {
+            println!(
+                "n = {:>7}: ours {:.3}, sort-merge {:.3}, nested {}, pk-fk {:.3}",
+                r.n,
+                r.ours_secs,
+                r.sort_merge_secs,
+                r.nested_secs.map(|s| format!("{s:.3}")).unwrap_or_else(|| "-".into()),
+                r.pkfk_secs
+            );
+        }
+    }
+}

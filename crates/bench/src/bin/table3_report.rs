@@ -1,0 +1,103 @@
+//! Table 3 reproduction: per-subroutine comparison counts and runtime share.
+//!
+//! The paper reports, for `m ≈ n₁ = n₂` and `n = 10⁶`:
+//!
+//! | subroutine              | comparisons        | runtime share |
+//! |-------------------------|--------------------|---------------|
+//! | initial sorts on TC     | n(log₂ n)²/2       | 60 %          |
+//! | o.d. on T1, T2 (sort)   | n₁(log₂ n₁)²/2     | 25 %          |
+//! | o.d. on T1, T2 (route)  | 2m·log₂ m          |  3 %          |
+//! | align sort on S2        | m(log₂ m)²/4       | 12 %          |
+//!
+//! This binary measures the same breakdown on this implementation: exact
+//! operation counts from the per-phase counters, wall-clock shares from the
+//! per-phase timers, and the paper's approximate formulas next to them.
+//!
+//! Run with `cargo run --release -p obliv-bench --bin table3_report
+//! [--full]` (`--full` uses n = 10⁶ like the paper; the default is 10⁵).
+
+use obliv_bench::ReportOptions;
+use obliv_join::cost;
+use obliv_join::{oblivious_join, Phase};
+use obliv_workloads::balanced_unique_keys;
+
+fn main() {
+    let opts = ReportOptions::from_args();
+    let n: usize = if opts.full { 1_000_000 } else { 100_000 };
+    let workload = balanced_unique_keys(n / 2, 7);
+
+    println!("# Table 3 reproduction — n = {n}, m = n1 = n2 = {}", n / 2);
+    let result = oblivious_join(&workload.left, &workload.right);
+    assert_eq!(result.stats.output_size as usize, n / 2);
+
+    let stats = &result.stats;
+    let total_wall = stats.total_wall().as_secs_f64();
+    let measured = stats.table3_rows();
+    let paper = cost::paper_estimate(n);
+
+    // Wall-clock attribution: the augment and align phases are single
+    // subroutines; the two expand phases contain both the o.d. sort and the
+    // o.d. route, so their wall time is split proportionally to the
+    // operation counts of the two parts.
+    let expand_wall = stats.phase(Phase::ExpandLeft).wall.as_secs_f64()
+        + stats.phase(Phase::ExpandRight).wall.as_secs_f64();
+    let od_sort_ops = measured[1].1 as f64;
+    let od_route_ops = measured[2].1 as f64;
+    let od_total_ops = (od_sort_ops + od_route_ops).max(1.0);
+    let wall_by_row = [
+        stats.phase(Phase::Augment).wall.as_secs_f64(),
+        expand_wall * od_sort_ops / od_total_ops,
+        expand_wall * od_route_ops / od_total_ops,
+        stats.phase(Phase::Align).wall.as_secs_f64(),
+    ];
+
+    println!();
+    println!(
+        "{:<26} {:>16} {:>18} {:>10} {:>12}",
+        "subroutine", "measured ops", "paper formula", "runtime %", "paper %"
+    );
+    let paper_share = [60.0, 25.0, 3.0, 12.0];
+    for (i, ((label, ops), (_, formula))) in measured.iter().zip(paper.iter()).enumerate() {
+        println!(
+            "{:<26} {:>16} {:>18.0} {:>9.1}% {:>11.0}%",
+            label,
+            ops,
+            formula,
+            100.0 * wall_by_row[i] / total_wall.max(1e-12),
+            paper_share[i],
+        );
+    }
+
+    let zip_wall = stats.phase(Phase::Zip).wall.as_secs_f64();
+    println!(
+        "{:<26} {:>16} {:>18} {:>9.1}% {:>11}",
+        "linear passes + zip",
+        stats.total_ops().linear_steps,
+        "-",
+        100.0 * zip_wall / total_wall.max(1e-12),
+        "-"
+    );
+
+    println!();
+    println!(
+        "total comparisons measured: {} (paper estimate n log^2 n + n log n = {:.0})",
+        stats.total_ops().comparisons + stats.total_ops().routing_hops,
+        cost::paper_total_estimate(n)
+    );
+    println!("total wall time: {:.3} s", total_wall);
+    println!();
+    println!("# exact cost-model cross-check (must match the measured counters)");
+    let predicted = cost::predict(n / 2, n / 2, result.stats.output_size as usize);
+    println!(
+        "measured comparisons {} vs predicted {}",
+        stats.total_ops().comparisons,
+        predicted.total_comparisons()
+    );
+    println!(
+        "measured routing hops {} vs predicted {}",
+        stats.total_ops().routing_hops,
+        predicted.routing_hops
+    );
+    assert_eq!(stats.total_ops().comparisons, predicted.total_comparisons());
+    assert_eq!(stats.total_ops().routing_hops, predicted.routing_hops);
+}

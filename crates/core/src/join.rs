@@ -1,0 +1,352 @@
+//! The full oblivious equi-join (Algorithm 1).
+//!
+//! ```text
+//! Oblivious-Join(T₁, T₂):
+//!   1. Augment-Tables      — group dimensions α₁, α₂ and output size m
+//!   2. Oblivious-Expand T₁ — S₁ with α₂ copies of every T₁ entry
+//!   3. Oblivious-Expand T₂ — S₂ with α₁ copies of every T₂ entry
+//!   4. Align-Table S₂      — reorder S₂ to line up with S₁
+//!   5. zip                 — output rows (S₁[i].d, S₂[i].d)
+//! ```
+//!
+//! The total cost is `O(n log² n + m log m)` with `n = n₁ + n₂`; the access
+//! pattern is a function of `(n₁, n₂, m)` only.
+
+use std::time::Instant;
+
+use obliv_primitives::oblivious_expand;
+use obliv_trace::{NullSink, OpCounters, TraceSink, Tracer, TrackedBuffer};
+
+use crate::align::align_table;
+use crate::augment::augment_tables;
+use crate::record::{AugRecord, JoinRow};
+use crate::stats::{JoinStats, Phase};
+use crate::table::Table;
+
+/// The output of an oblivious join.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinResult {
+    /// The joined rows `(d₁, d₂)`, one per matching pair of input rows.
+    ///
+    /// The rows come out grouped by join value (ascending) and, within a
+    /// group, ordered lexicographically by `(d₁, d₂)`; callers that need a
+    /// different order should sort.
+    pub rows: Vec<JoinRow>,
+    /// The join value of each output row, aligned with `rows`.
+    ///
+    /// Keeping the key available lets downstream oblivious operators (e.g.
+    /// the query plans of `obliv-operators`) regroup or re-join the output
+    /// without a plaintext pass over the inputs.
+    pub keys: Vec<crate::record::JoinKey>,
+    /// Per-phase operation counts and timings.
+    pub stats: JoinStats,
+}
+
+impl JoinResult {
+    /// Number of output rows (`m`).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the join produced no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Join two tables obliviously, discarding the memory trace (the fastest
+/// configuration; use [`oblivious_join_with_tracer`] to record or hash the
+/// trace).
+pub fn oblivious_join(t1: &Table, t2: &Table) -> JoinResult {
+    let tracer = Tracer::new(NullSink);
+    oblivious_join_with_tracer(&tracer, t1, t2)
+}
+
+/// Join two tables obliviously, performing every public-memory access
+/// through `tracer`.
+pub fn oblivious_join_with_tracer<S: TraceSink>(
+    tracer: &Tracer<S>,
+    t1: &Table,
+    t2: &Table,
+) -> JoinResult {
+    let mut stats = JoinStats::new(t1.len() as u64, t2.len() as u64);
+    let mut ops_before = tracer.counters();
+    let mut phase_timer = Instant::now();
+    let mut finish_phase = |phase: Phase, stats: &mut JoinStats, tracer: &Tracer<S>| {
+        let now = Instant::now();
+        let ops_now = tracer.counters();
+        stats.record_phase(phase, ops_now.since(&ops_before), now - phase_timer);
+        ops_before = ops_now;
+        phase_timer = now;
+    };
+
+    // Phase 1: Algorithm 2.
+    let augmented = augment_tables(tracer, t1, t2);
+    let m = augmented.output_size;
+    stats.output_size = m;
+    finish_phase(Phase::Augment, &mut stats, tracer);
+
+    // Phase 2: S₁ = T₁ expanded by α₂.
+    let s1 = oblivious_expand(augmented.t1, |r: &AugRecord| r.alpha2);
+    debug_assert_eq!(s1.total, m);
+    finish_phase(Phase::ExpandLeft, &mut stats, tracer);
+
+    // Phase 3: S₂ = T₂ expanded by α₁.
+    let s2 = oblivious_expand(augmented.t2, |r: &AugRecord| r.alpha1);
+    debug_assert_eq!(s2.total, m);
+    finish_phase(Phase::ExpandRight, &mut stats, tracer);
+
+    // Phase 4: align S₂ with S₁.
+    let s1 = s1.table;
+    let mut s2 = s2.table;
+    align_table(&mut s2, tracer);
+    finish_phase(Phase::Align, &mut stats, tracer);
+
+    // Phase 5: zip the data values together (Algorithm 1, lines 6–9).
+    let (rows, keys) = zip_output(tracer, &s1, &s2);
+    finish_phase(Phase::Zip, &mut stats, tracer);
+
+    JoinResult { rows, keys, stats }
+}
+
+/// The final linear pass: `TD[i] ← (S₁[i].d, S₂[i].d)` (the join value is
+/// carried alongside for downstream operators).
+fn zip_output<S: TraceSink>(
+    tracer: &Tracer<S>,
+    s1: &TrackedBuffer<AugRecord, S>,
+    s2: &TrackedBuffer<AugRecord, S>,
+) -> (Vec<JoinRow>, Vec<crate::record::JoinKey>) {
+    debug_assert_eq!(s1.len(), s2.len());
+    let m = s1.len();
+    let mut td = tracer.alloc_from(vec![(0u64, JoinRow::default()); m]);
+    for i in 0..m {
+        let left = s1.read(i);
+        let right = s2.read(i);
+        tracer.bump_linear_steps(1);
+        debug_assert_eq!(
+            left.key, right.key,
+            "aligned tables disagree on the join value at row {i}"
+        );
+        td.write(i, (left.key, JoinRow::new(left.value, right.value)));
+    }
+    td.into_vec().into_iter().map(|(k, r)| (r, k)).unzip()
+}
+
+/// A plain (non-oblivious) nested-loop reference join, used by tests and
+/// documentation to state the functional contract of [`oblivious_join`]:
+/// both produce the same multiset of `(d₁, d₂)` pairs.
+pub fn reference_join(t1: &Table, t2: &Table) -> Vec<JoinRow> {
+    let mut rows = Vec::new();
+    for a in t1.iter() {
+        for b in t2.iter() {
+            if a.key == b.key {
+                rows.push(JoinRow::new(a.value, b.value));
+            }
+        }
+    }
+    rows
+}
+
+/// Helper shared by tests and benches: the multiset of output rows, sorted,
+/// so results with different orderings can be compared.
+pub fn sorted_rows(mut rows: Vec<JoinRow>) -> Vec<JoinRow> {
+    rows.sort_unstable();
+    rows
+}
+
+/// Measured operation counters of a join, as a convenience for callers that
+/// only care about totals (reports, Table 1 reproduction).
+pub fn total_ops(result: &JoinResult) -> OpCounters {
+    result.stats.total_ops()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_trace::{CollectingSink, CountingSink, HashingSink};
+
+    fn table(pairs: &[(u64, u64)]) -> Table {
+        Table::from_pairs(pairs.to_vec())
+    }
+
+    fn assert_join_matches_reference(t1: &Table, t2: &Table) -> JoinResult {
+        let result = oblivious_join(t1, t2);
+        assert_eq!(
+            sorted_rows(result.rows.clone()),
+            sorted_rows(reference_join(t1, t2)),
+            "join mismatch for {t1:?} vs {t2:?}"
+        );
+        assert_eq!(result.stats.output_size as usize, result.rows.len());
+        result
+    }
+
+    #[test]
+    fn joins_paper_figure_1_example() {
+        // T₁ = {(x,a1),(x,a2),(y,b1),(y,b2),(y,b3)}, T₂ = {(x,u1),(x,u2),(x,u3),(y,v1),(y,v2)}.
+        let t1 = table(&[(1, 11), (1, 12), (2, 21), (2, 22), (2, 23)]);
+        let t2 = table(&[(1, 31), (1, 32), (1, 33), (2, 41), (2, 42)]);
+        let result = assert_join_matches_reference(&t1, &t2);
+        assert_eq!(result.len(), 2 * 3 + 3 * 2);
+    }
+
+    #[test]
+    fn joins_disjoint_tables_to_empty_output() {
+        let t1 = table(&[(1, 1), (2, 2), (3, 3)]);
+        let t2 = table(&[(7, 7), (8, 8)]);
+        let result = assert_join_matches_reference(&t1, &t2);
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn joins_with_empty_inputs() {
+        let t = table(&[(1, 1), (2, 2)]);
+        let empty = Table::new();
+        assert_join_matches_reference(&t, &empty);
+        assert_join_matches_reference(&empty, &t);
+        assert_join_matches_reference(&empty, &empty);
+    }
+
+    #[test]
+    fn joins_one_to_one_keys() {
+        let t1: Table = (0..20u64).map(|i| (i, i * 10)).collect();
+        let t2: Table = (0..20u64).map(|i| (i, i * 100)).collect();
+        let result = assert_join_matches_reference(&t1, &t2);
+        assert_eq!(result.len(), 20);
+    }
+
+    #[test]
+    fn joins_single_giant_group() {
+        let t1: Table = (0..9u64).map(|i| (5, i)).collect();
+        let t2: Table = (0..7u64).map(|i| (5, 100 + i)).collect();
+        let result = assert_join_matches_reference(&t1, &t2);
+        assert_eq!(result.len(), 63);
+    }
+
+    #[test]
+    fn joins_skewed_group_mix() {
+        // A heavy key, several medium keys, keys unique to one side, and
+        // repeated (j, d) rows.
+        let t1 = table(&[
+            (1, 1), (1, 2), (1, 3), (1, 3),
+            (2, 10),
+            (3, 20), (3, 21),
+            (9, 90),
+        ]);
+        let t2 = table(&[
+            (1, 100), (1, 101),
+            (3, 300),
+            (4, 400), (4, 401),
+            (9, 900), (9, 900),
+        ]);
+        assert_join_matches_reference(&t1, &t2);
+    }
+
+    #[test]
+    fn joins_unbalanced_table_sizes() {
+        let t1: Table = (0..3u64).map(|i| (i % 2, i)).collect();
+        let t2: Table = (0..40u64).map(|i| (i % 5, 1000 + i)).collect();
+        assert_join_matches_reference(&t1, &t2);
+        assert_join_matches_reference(&t2, &t1);
+    }
+
+    #[test]
+    fn output_rows_are_grouped_by_join_value() {
+        let t1 = table(&[(2, 20), (1, 10), (1, 11)]);
+        let t2 = table(&[(1, 5), (2, 6), (1, 7)]);
+        let result = oblivious_join(&t1, &t2);
+        // Key 1 pairs first (4 of them), then key 2 pairs (1).
+        assert_eq!(result.len(), 5);
+        let key1_rows = &result.rows[..4];
+        assert!(key1_rows.iter().all(|r| r.left == 10 || r.left == 11));
+        assert_eq!(result.rows[4], JoinRow::new(20, 6));
+    }
+
+    #[test]
+    fn counters_match_between_runs_with_same_shape() {
+        // Same (n₁, n₂, m): operation counters must be identical.
+        let a = oblivious_join(&table(&[(1, 1), (1, 2)]), &table(&[(1, 5), (2, 6)]));
+        let b = oblivious_join(&table(&[(7, 9), (8, 8)]), &table(&[(7, 1), (7, 2)]));
+        assert_eq!(a.stats.output_size, 2);
+        assert_eq!(b.stats.output_size, 2);
+        assert_eq!(a.stats.total_ops(), b.stats.total_ops());
+        for phase in Phase::ALL {
+            assert_eq!(a.stats.phase(phase).ops, b.stats.phase(phase).ops, "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn trace_is_identical_for_inputs_with_same_shape() {
+        let run = |t1: &Table, t2: &Table| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let _ = oblivious_join_with_tracer(&tracer, t1, t2);
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+        // (n₁, n₂, m) = (4, 4, 8) in three different ways.
+        let a = run(
+            &table(&[(1, 1), (1, 2), (2, 3), (2, 4)]),
+            &table(&[(1, 5), (1, 6), (2, 7), (2, 8)]),
+        );
+        let b = run(
+            &table(&[(3, 1), (3, 2), (3, 3), (3, 4)]),
+            &table(&[(3, 5), (3, 6), (9, 7), (9, 8)]),
+        );
+        let c = run(
+            &table(&[(1, 9), (2, 9), (3, 9), (4, 9)]),
+            &table(&[(1, 1), (1, 2), (2, 1), (3, 1)]),
+        );
+        // a and b share the shape (n₁, n₂, m) = (4, 4, 8) and must agree
+        // exactly; c has m = 4, so its trace legitimately differs in length.
+        assert_eq!(a, b);
+        assert_ne!(a.len(), c.len());
+    }
+
+    #[test]
+    fn hashed_trace_matches_for_same_shape_and_differs_otherwise() {
+        let run = |t1: &Table, t2: &Table| {
+            let tracer = Tracer::new(HashingSink::new());
+            let _ = oblivious_join_with_tracer(&tracer, t1, t2);
+            tracer.with_sink(|s| s.digest_hex())
+        };
+        let base = run(
+            &table(&[(1, 1), (1, 2), (2, 3)]),
+            &table(&[(1, 4), (2, 5), (2, 6)]),
+        ); // shape (3, 3, m = 2·1 + 1·2 = 4)
+        let smaller_m = run(
+            &table(&[(9, 9), (9, 8), (9, 7)]),
+            &table(&[(9, 1), (3, 2), (3, 3)]),
+        ); // shape (3, 3, m = 3·1 + 0·2 = 3) — different m, different trace
+        let larger_m = run(
+            &table(&[(1, 1), (1, 2), (2, 3)]),
+            &table(&[(1, 4), (1, 5), (1, 6)]),
+        ); // shape (3, 3, m = 2·3 = 6)
+        assert_ne!(base, smaller_m);
+        assert_ne!(base, larger_m);
+
+        // And a genuinely identical shape must agree.
+        let twin = run(
+            &table(&[(5, 0), (5, 1), (6, 2)]),
+            &table(&[(5, 3), (6, 4), (6, 5)]),
+        ); // α(5) = 2×1, α(6) = 1×2 → m = 4
+        assert_eq!(base, twin);
+    }
+
+    #[test]
+    fn measured_ops_match_cost_model_prediction() {
+        use crate::cost;
+        for (t1, t2) in [
+            (table(&[(1, 1), (1, 2), (2, 3), (3, 4)]), table(&[(1, 5), (2, 6), (2, 7)])),
+            (
+                (0..32u64).map(|i| (i % 8, i)).collect::<Table>(),
+                (0..24u64).map(|i| (i % 6, i)).collect::<Table>(),
+            ),
+        ] {
+            let tracer = Tracer::new(CountingSink::new());
+            let result = oblivious_join_with_tracer(&tracer, &t1, &t2);
+            let predicted =
+                cost::predict(t1.len(), t2.len(), result.stats.output_size as usize);
+            let measured = result.stats.total_ops();
+            assert_eq!(measured.comparisons, predicted.total_comparisons());
+            assert_eq!(measured.routing_hops, predicted.routing_hops);
+        }
+    }
+}

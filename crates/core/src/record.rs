@@ -1,0 +1,237 @@
+//! Table entries and the augmented records used internally by the join.
+
+use obliv_primitives::{Choice, CtSelect, Routable};
+
+/// A join-attribute value.
+///
+/// Keys are fixed-width words: an oblivious record must have a fixed size so
+/// that moving it between public and local memory is a constant-time bitwise
+/// copy.  Variable-length keys should be hashed or dictionary-encoded to a
+/// word before joining (standard practice for sort-based join operators).
+pub type JoinKey = u64;
+
+/// A data-attribute value carried alongside the join key.
+///
+/// Like [`JoinKey`] this is a fixed-width word; wider payloads are handled
+/// by storing row identifiers here and fetching the full rows after the
+/// join (late materialisation).
+pub type DataValue = u64;
+
+/// One row of an input table: the pair `(j, d)` of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Entry {
+    /// The join attribute `j`.
+    pub key: JoinKey,
+    /// The data attribute `d`.
+    pub value: DataValue,
+}
+
+impl Entry {
+    /// Construct an entry from its two attributes.
+    pub fn new(key: JoinKey, value: DataValue) -> Self {
+        Entry { key, value }
+    }
+}
+
+impl From<(JoinKey, DataValue)> for Entry {
+    fn from((key, value): (JoinKey, DataValue)) -> Self {
+        Entry::new(key, value)
+    }
+}
+
+/// One row of the join output: the data values of a matching pair of input
+/// rows, `(d₁, d₂)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct JoinRow {
+    /// Data value contributed by the left table.
+    pub left: DataValue,
+    /// Data value contributed by the right table.
+    pub right: DataValue,
+}
+
+impl JoinRow {
+    /// Construct an output row.
+    pub fn new(left: DataValue, right: DataValue) -> Self {
+        JoinRow { left, right }
+    }
+}
+
+impl CtSelect for JoinRow {
+    #[inline(always)]
+    fn ct_select(c: Choice, a: Self, b: Self) -> Self {
+        JoinRow {
+            left: u64::ct_select(c, a.left, b.left),
+            right: u64::ct_select(c, a.right, b.right),
+        }
+    }
+}
+
+/// Identifier of the originating table inside the combined table `T_C`
+/// (Algorithm 2).  Encoded as 1 / 2 exactly as in the paper so that sorting
+/// by `(j, tid)` groups a join value's `T₁` entries before its `T₂` entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TableId {
+    /// The left input table `T₁`.
+    Left = 1,
+    /// The right input table `T₂`.
+    Right = 2,
+}
+
+impl TableId {
+    /// Numeric encoding used as a sort key (1 for left, 2 for right).
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self as u64
+    }
+}
+
+/// The augmented record `(j, d, tid, α₁, α₂, …)` that flows through every
+/// stage of the join.
+///
+/// On top of the paper's attributes it carries the routing destination used
+/// by oblivious distribution/expansion (`dest`), the alignment index of
+/// Algorithm 5 (`align_idx`), and a validity flag (`live`) so that null
+/// padding entries are representable.  All fields are fixed-width words and
+/// every conditional assignment to a record goes through [`CtSelect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AugRecord {
+    /// Join attribute `j`.
+    pub key: JoinKey,
+    /// Data attribute `d`.
+    pub value: DataValue,
+    /// Originating table id (1 or 2); 0 in null records.
+    pub tid: u64,
+    /// Group dimension `α₁(j)`: how many entries of `T₁` carry this key.
+    pub alpha1: u64,
+    /// Group dimension `α₂(j)`: how many entries of `T₂` carry this key.
+    pub alpha2: u64,
+    /// 1-based routing destination for oblivious distribution; 0 marks the
+    /// record as null (`f̂(∅) = 0`).
+    pub dest: u64,
+    /// Alignment index `ii` of Algorithm 5.
+    pub align_idx: u64,
+    /// 1 for real records, 0 for null padding.
+    pub live: u64,
+}
+
+impl AugRecord {
+    /// Build a live, un-augmented record from an input entry.
+    pub fn from_entry(entry: Entry, tid: TableId) -> Self {
+        AugRecord {
+            key: entry.key,
+            value: entry.value,
+            tid: tid.as_u64(),
+            alpha1: 0,
+            alpha2: 0,
+            dest: 1, // a harmless non-zero placeholder; set properly before routing
+            align_idx: 0,
+            live: 1,
+        }
+    }
+
+    /// The `(d₁, d₂)`-producing projection used by the final zip is handled
+    /// in the join module; here we expose the entry view for tests.
+    pub fn entry(&self) -> Entry {
+        Entry::new(self.key, self.value)
+    }
+
+    /// Whether the record is a real entry (as opposed to null padding).
+    pub fn is_live(&self) -> bool {
+        self.live == 1
+    }
+}
+
+impl CtSelect for AugRecord {
+    #[inline(always)]
+    fn ct_select(c: Choice, a: Self, b: Self) -> Self {
+        AugRecord {
+            key: u64::ct_select(c, a.key, b.key),
+            value: u64::ct_select(c, a.value, b.value),
+            tid: u64::ct_select(c, a.tid, b.tid),
+            alpha1: u64::ct_select(c, a.alpha1, b.alpha1),
+            alpha2: u64::ct_select(c, a.alpha2, b.alpha2),
+            dest: u64::ct_select(c, a.dest, b.dest),
+            align_idx: u64::ct_select(c, a.align_idx, b.align_idx),
+            live: u64::ct_select(c, a.live, b.live),
+        }
+    }
+}
+
+impl Routable for AugRecord {
+    fn dest(&self) -> u64 {
+        self.dest
+    }
+
+    fn set_dest(&mut self, dest: u64) {
+        self.dest = dest;
+    }
+
+    fn null() -> Self {
+        AugRecord::default()
+    }
+
+    fn is_null(&self) -> bool {
+        // Nullity is carried by the explicit flag rather than `dest == 0` so
+        // records remain distinguishable before destinations are assigned.
+        self.live == 0
+    }
+
+    fn set_null(&mut self) {
+        self.live = 0;
+        self.dest = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_constructors() {
+        let e = Entry::new(3, 14);
+        assert_eq!(e, Entry::from((3, 14)));
+        assert_eq!(e.key, 3);
+        assert_eq!(e.value, 14);
+    }
+
+    #[test]
+    fn table_id_encoding_orders_left_before_right() {
+        assert_eq!(TableId::Left.as_u64(), 1);
+        assert_eq!(TableId::Right.as_u64(), 2);
+        assert!(TableId::Left.as_u64() < TableId::Right.as_u64());
+    }
+
+    #[test]
+    fn aug_record_from_entry_is_live() {
+        let r = AugRecord::from_entry(Entry::new(7, 70), TableId::Right);
+        assert!(r.is_live());
+        assert!(!r.is_null());
+        assert_eq!(r.tid, 2);
+        assert_eq!(r.entry(), Entry::new(7, 70));
+    }
+
+    #[test]
+    fn null_record_is_null_regardless_of_dest() {
+        let mut n = AugRecord::null();
+        assert!(n.is_null());
+        n.set_dest(5);
+        assert!(n.is_null(), "nullity is carried by the live flag, not dest");
+        assert_eq!(n.dest(), 5);
+    }
+
+    #[test]
+    fn ct_select_picks_whole_record() {
+        let a = AugRecord::from_entry(Entry::new(1, 10), TableId::Left);
+        let b = AugRecord::from_entry(Entry::new(2, 20), TableId::Right);
+        assert_eq!(AugRecord::ct_select(Choice::TRUE, a, b), a);
+        assert_eq!(AugRecord::ct_select(Choice::FALSE, a, b), b);
+    }
+
+    #[test]
+    fn join_row_ct_select() {
+        let a = JoinRow::new(1, 2);
+        let b = JoinRow::new(3, 4);
+        assert_eq!(JoinRow::ct_select(Choice::TRUE, a, b), a);
+        assert_eq!(JoinRow::ct_select(Choice::FALSE, a, b), b);
+    }
+}

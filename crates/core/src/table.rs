@@ -1,0 +1,156 @@
+//! Client-side table representation.
+//!
+//! A [`Table`] is the plaintext view the *client* holds before handing data
+//! to the oblivious operator: just a bag of `(join key, data value)` rows.
+//! The join loads it into traced public memory (as augmented records) before
+//! doing any data-dependent work, so constructing and inspecting a `Table`
+//! is not part of the observable execution.
+
+use std::collections::BTreeMap;
+
+use crate::record::{DataValue, Entry, JoinKey};
+
+/// An unordered input table of `(j, d)` rows (§4.1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    rows: Vec<Entry>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A table with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Table { rows: Vec::with_capacity(capacity) }
+    }
+
+    /// Build a table from `(key, value)` pairs.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (JoinKey, DataValue)>,
+    {
+        Table { rows: pairs.into_iter().map(Entry::from).collect() }
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, key: JoinKey, value: DataValue) {
+        self.rows.push(Entry::new(key, value));
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows in insertion order.
+    pub fn rows(&self) -> &[Entry] {
+        &self.rows
+    }
+
+    /// Iterate over the rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.rows.iter()
+    }
+
+    /// Histogram of join-key multiplicities: for each key appearing in the
+    /// table, how many rows carry it.  Used by workload generators, cost
+    /// predictions and tests; not by the oblivious execution itself.
+    pub fn key_histogram(&self) -> BTreeMap<JoinKey, u64> {
+        let mut hist = BTreeMap::new();
+        for row in &self.rows {
+            *hist.entry(row.key).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// The exact output size `m = Σ_j α₁(j)·α₂(j)` of joining `self` with
+    /// `other`.  This is a plaintext helper (the oblivious pipeline computes
+    /// the same quantity obliviously inside Algorithm 2).
+    pub fn join_output_size(&self, other: &Table) -> u64 {
+        let left = self.key_histogram();
+        let right = other.key_histogram();
+        left.iter()
+            .map(|(key, a1)| a1 * right.get(key).copied().unwrap_or(0))
+            .sum()
+    }
+}
+
+impl FromIterator<(JoinKey, DataValue)> for Table {
+    fn from_iter<I: IntoIterator<Item = (JoinKey, DataValue)>>(iter: I) -> Self {
+        Table::from_pairs(iter)
+    }
+}
+
+impl FromIterator<Entry> for Table {
+    fn from_iter<I: IntoIterator<Item = Entry>>(iter: I) -> Self {
+        Table { rows: iter.into_iter().collect() }
+    }
+}
+
+impl IntoIterator for Table {
+    type Item = Entry;
+    type IntoIter = std::vec::IntoIter<Entry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_iteration() {
+        let mut t = Table::new();
+        assert!(t.is_empty());
+        t.push(1, 10);
+        t.push(2, 20);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1], Entry::new(2, 20));
+
+        let u: Table = vec![(1, 10), (2, 20)].into_iter().collect();
+        assert_eq!(t, u);
+        assert_eq!(t.iter().count(), 2);
+
+        let from_entries: Table = vec![Entry::new(1, 10), Entry::new(2, 20)].into_iter().collect();
+        assert_eq!(from_entries, t);
+
+        let collected: Vec<Entry> = t.clone().into_iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn histogram_counts_duplicates() {
+        let t = Table::from_pairs(vec![(5, 1), (5, 2), (7, 3)]);
+        let h = t.key_histogram();
+        assert_eq!(h[&5], 2);
+        assert_eq!(h[&7], 1);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn join_output_size_matches_group_products() {
+        // Key x: 2 × 3, key y: 1 × 0, key z: 0 × 4 → m = 6.
+        let t1 = Table::from_pairs(vec![(1, 0), (1, 1), (2, 2)]);
+        let t2 = Table::from_pairs(vec![(1, 0), (1, 1), (1, 2), (3, 0), (3, 1), (3, 2), (3, 3)]);
+        assert_eq!(t1.join_output_size(&t2), 6);
+        assert_eq!(t2.join_output_size(&t1), 6);
+        assert_eq!(t1.join_output_size(&Table::new()), 0);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let t = Table::with_capacity(16);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

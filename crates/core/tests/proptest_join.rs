@@ -1,0 +1,98 @@
+//! Property-based tests of the oblivious join itself: functional agreement
+//! with a reference join on arbitrary tables, and the structural properties
+//! the paper proves (output size, trace shape, counter determinism).
+
+use obliv_join::{cost, oblivious_join, oblivious_join_with_tracer, reference_join, sorted_rows, Table};
+use obliv_trace::{HashingSink, Tracer};
+use proptest::prelude::*;
+
+/// Tables with a small key domain so many-to-many groups are common.
+fn arbitrary_table(max_rows: usize, key_domain: u64) -> impl Strategy<Value = Table> {
+    prop::collection::vec((0..key_domain, 0u64..1000), 0..max_rows).prop_map(Table::from_pairs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn join_matches_reference(
+        t1 in arbitrary_table(40, 8),
+        t2 in arbitrary_table(40, 8),
+    ) {
+        let result = oblivious_join(&t1, &t2);
+        prop_assert_eq!(sorted_rows(result.rows.clone()), sorted_rows(reference_join(&t1, &t2)));
+        prop_assert_eq!(result.stats.output_size as usize, result.rows.len());
+    }
+
+    #[test]
+    fn join_with_disjoint_domains_is_empty(
+        t1 in arbitrary_table(30, 6),
+        t2 in arbitrary_table(30, 6),
+    ) {
+        // Shift the second table's keys out of the first's domain.
+        let shifted: Table = t2.rows().iter().map(|e| (e.key + 1000, e.value)).collect();
+        let result = oblivious_join(&t1, &shifted);
+        prop_assert!(result.is_empty());
+        prop_assert_eq!(result.stats.output_size, 0);
+    }
+
+    #[test]
+    fn output_size_equals_sum_of_group_products(
+        t1 in arbitrary_table(35, 6),
+        t2 in arbitrary_table(35, 6),
+    ) {
+        let result = oblivious_join(&t1, &t2);
+        prop_assert_eq!(result.stats.output_size, t1.join_output_size(&t2));
+    }
+
+    #[test]
+    fn counters_match_cost_model(
+        t1 in arbitrary_table(30, 5),
+        t2 in arbitrary_table(30, 5),
+    ) {
+        let result = oblivious_join(&t1, &t2);
+        let predicted = cost::predict(t1.len(), t2.len(), result.stats.output_size as usize);
+        prop_assert_eq!(result.stats.total_ops().comparisons, predicted.total_comparisons());
+        prop_assert_eq!(result.stats.total_ops().routing_hops, predicted.routing_hops);
+    }
+
+    #[test]
+    fn trace_hash_is_invariant_under_value_scrambling(
+        t1 in arbitrary_table(25, 5),
+        t2 in arbitrary_table(25, 5),
+        scramble in any::<u64>(),
+    ) {
+        // Scrambling the data values (not the keys) changes neither n nor m,
+        // so the trace fingerprint must not change.
+        let digest = |a: &Table, b: &Table| {
+            let tracer = Tracer::new(HashingSink::new());
+            let _ = oblivious_join_with_tracer(&tracer, a, b);
+            tracer.with_sink(|s| s.digest_hex())
+        };
+        let scrambled = |t: &Table| -> Table {
+            t.rows().iter().map(|e| (e.key, e.value ^ scramble)).collect()
+        };
+        prop_assert_eq!(
+            digest(&t1, &t2),
+            digest(&scrambled(&t1), &scrambled(&t2))
+        );
+    }
+
+    #[test]
+    fn join_is_symmetric_up_to_column_swap(
+        t1 in arbitrary_table(30, 6),
+        t2 in arbitrary_table(30, 6),
+    ) {
+        let forward = oblivious_join(&t1, &t2);
+        let backward = oblivious_join(&t2, &t1);
+        let mut swapped: Vec<_> = backward
+            .rows
+            .iter()
+            .map(|r| obliv_join::JoinRow::new(r.right, r.left))
+            .collect();
+        let mut forward_rows = forward.rows.clone();
+        swapped.sort_unstable();
+        forward_rows.sort_unstable();
+        prop_assert_eq!(forward_rows, swapped);
+    }
+}

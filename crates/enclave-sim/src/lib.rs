@@ -1,0 +1,40 @@
+//! # obliv-enclave-sim — an SGX Enclave Page Cache cost simulator
+//!
+//! The paper evaluates its prototype both as a plain process and as an Intel
+//! SGX enclave whose working set must fit the ~93 MiB Enclave Page Cache
+//! (EPC); once the footprint exceeds the EPC, pages are encrypted and
+//! swapped out, and Figure 8's SGX curves bend accordingly.  No SGX hardware
+//! is available to this reproduction, so the enclave behaviour is
+//! *simulated* (see DESIGN.md, "Substitutions"): the simulator replays the
+//! algorithm's observable access stream against a page-granular LRU model of
+//! the EPC and charges a cost for every page fault.
+//!
+//! Because the join is oblivious, its access stream — and therefore the
+//! simulated fault count — is a function of `(n₁, n₂, m)` only, exactly as
+//! the real enclave's paging behaviour would be.
+//!
+//! The simulator implements [`TraceSink`], so it can be plugged directly
+//! into a traced join run:
+//!
+//! ```
+//! use obliv_enclave_sim::{EnclaveSimulator, EpcConfig};
+//! use obliv_join::{oblivious_join_with_tracer, Table};
+//! use obliv_trace::Tracer;
+//!
+//! let t1 = Table::from_pairs((0..256u64).map(|k| (k, k)));
+//! let t2 = Table::from_pairs((0..256u64).map(|k| (k, k + 1000)));
+//! // A deliberately tiny EPC so even this small join pages.
+//! let config = EpcConfig { epc_bytes: 16 * 1024, ..EpcConfig::default() };
+//! let tracer = Tracer::new(EnclaveSimulator::new(config));
+//! let result = oblivious_join_with_tracer(&tracer, &t1, &t2);
+//! let report = tracer.with_sink(|sim| sim.report());
+//! assert_eq!(result.len(), 256);
+//! assert!(report.page_faults > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epc;
+
+pub use epc::{EnclaveReport, EnclaveSimulator, EpcConfig};

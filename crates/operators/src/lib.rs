@@ -1,0 +1,51 @@
+//! # obliv-operators — oblivious relational operators
+//!
+//! The paper closes by noting that its primitives — oblivious sorting,
+//! distribution and expansion — "could also potentially be useful in
+//! providing a general framework for oblivious algorithm design" and that
+//! "grouping aggregations over joins could be computed using fewer sorting
+//! steps than a full join would require" (§7).  This crate follows both
+//! threads: it builds the standard relational operators obliviously from the
+//! same primitives, and it implements the grouping-aggregation-over-join
+//! operator the future-work section sketches.
+//!
+//! Every operator has the same leakage profile as the join itself: its
+//! memory-access sequence depends only on the input sizes and, where an
+//! output table is produced, on the revealed output size.
+//!
+//! | operator | cost | reveals |
+//! |----------|------|---------|
+//! | [`oblivious_filter`] | `O(n log n)` | output size |
+//! | [`oblivious_project`] | `O(n)` | nothing |
+//! | [`oblivious_union_all`] | `O(n)` | nothing |
+//! | [`oblivious_distinct`] | `O(n log² n)` | output size |
+//! | [`oblivious_group_aggregate`] | `O(n log² n)` | number of groups |
+//! | [`oblivious_semi_join`] / [`oblivious_anti_join`] | `O(n log² n)` | output size |
+//! | [`oblivious_join_aggregate`] | `O(n log² n)` — no `m`-sized expansion | number of groups |
+//!
+//! ```
+//! use obliv_join::Table;
+//! use obliv_operators::{oblivious_group_aggregate, Aggregate};
+//! use obliv_trace::{NullSink, Tracer};
+//!
+//! // Per-department salary totals, without revealing department sizes.
+//! let salaries = Table::from_pairs(vec![(10, 1000), (20, 800), (10, 1200), (30, 500)]);
+//! let tracer = Tracer::new(NullSink);
+//! let totals = oblivious_group_aggregate(&tracer, &salaries, Aggregate::Sum);
+//! assert_eq!(totals.rows(), &[(10, 2200).into(), (20, 800).into(), (30, 500).into()]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod filter;
+mod join_aggregate;
+mod plan;
+mod set_ops;
+
+pub use aggregate::{oblivious_group_aggregate, Aggregate};
+pub use filter::{oblivious_filter, oblivious_project, Predicate};
+pub use join_aggregate::{oblivious_join_aggregate, JoinAggregate};
+pub use plan::{JoinColumns, QueryPlan};
+pub use set_ops::{oblivious_anti_join, oblivious_distinct, oblivious_semi_join, oblivious_union_all};

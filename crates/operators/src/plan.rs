@@ -1,0 +1,362 @@
+//! Composable oblivious query plans.
+//!
+//! The individual operators of this crate are useful on their own, but a
+//! downstream user typically wants to express a whole query and have every
+//! stage executed with the same leakage discipline.  [`QueryPlan`] is a
+//! small logical-plan tree over the operators; [`execute`](QueryPlan::execute)
+//! walks it bottom-up, keeping every intermediate result in the same
+//! `(key, value)` table shape so plans compose freely.
+//!
+//! What an executed plan reveals is exactly the union of what its operators
+//! reveal: the sizes of the base tables (public inputs) and the sizes of the
+//! intermediate results that are materialised (filter/distinct/join/
+//! aggregate outputs) — the same leakage profile as the paper's join.
+//!
+//! ```
+//! use obliv_join::Table;
+//! use obliv_operators::{Aggregate, JoinColumns, Predicate, QueryPlan};
+//! use obliv_trace::{NullSink, Tracer};
+//!
+//! // SELECT dept, SUM(salary) FROM employees WHERE salary >= 1000 GROUP BY dept
+//! let employees = Table::from_pairs(vec![(10, 900), (10, 1500), (20, 2000), (20, 800)]);
+//! let plan = QueryPlan::scan(employees)
+//!     .filter(Predicate::ValueAtLeast(1000))
+//!     .group_aggregate(Aggregate::Sum);
+//! let result = plan.execute(&Tracer::new(NullSink));
+//! assert_eq!(result.rows(), &[(10, 1500).into(), (20, 2000).into()]);
+//! # let _ = JoinColumns::KeyAndLeft;
+//! ```
+
+use obliv_join::{oblivious_join_with_tracer, Table};
+use obliv_trace::{TraceSink, Tracer};
+
+use crate::aggregate::{oblivious_group_aggregate, Aggregate};
+use crate::filter::{oblivious_filter, oblivious_project, Predicate};
+use crate::join_aggregate::{oblivious_join_aggregate, JoinAggregate};
+use crate::set_ops::{
+    oblivious_anti_join, oblivious_distinct, oblivious_semi_join, oblivious_union_all,
+};
+
+/// How to project the three-column join output `(j, d₁, d₂)` back into the
+/// two-column `(key, value)` shape that every other operator consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinColumns {
+    /// Keep the join value as the key and `d₁` as the value.
+    KeyAndLeft,
+    /// Keep the join value as the key and `d₂` as the value.
+    KeyAndRight,
+    /// Re-key the output by `d₁`, carrying `d₂` as the value (useful for
+    /// chaining a second join on a foreign key stored in `d₁`).
+    LeftAndRight,
+    /// Re-key the output by `d₂`, carrying `d₁` as the value.
+    RightAndLeft,
+}
+
+/// A logical query plan over oblivious operators.
+#[derive(Debug, Clone)]
+pub enum QueryPlan {
+    /// A base table (client plaintext; its size is public input).
+    Scan(Table),
+    /// Oblivious selection.
+    Filter {
+        /// Input plan.
+        input: Box<QueryPlan>,
+        /// Row predicate.
+        predicate: Predicate,
+    },
+    /// Oblivious per-row projection (key/value remapping).
+    Project {
+        /// Input plan.
+        input: Box<QueryPlan>,
+        /// Swap the key and value columns (the only structural remap that
+        /// needs no user closure; arbitrary maps are available through the
+        /// [`oblivious_project`] function directly).
+        swap_columns: bool,
+    },
+    /// Oblivious duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<QueryPlan>,
+    },
+    /// Oblivious bag union of two inputs.
+    UnionAll {
+        /// Left input.
+        left: Box<QueryPlan>,
+        /// Right input.
+        right: Box<QueryPlan>,
+    },
+    /// The paper's oblivious equi-join, projected back to two columns.
+    Join {
+        /// Left input.
+        left: Box<QueryPlan>,
+        /// Right input.
+        right: Box<QueryPlan>,
+        /// Output projection.
+        columns: JoinColumns,
+    },
+    /// Semi-join: rows of `left` whose key appears in `right`.
+    SemiJoin {
+        /// Probed input.
+        left: Box<QueryPlan>,
+        /// Witness input.
+        right: Box<QueryPlan>,
+    },
+    /// Anti-join: rows of `left` whose key does not appear in `right`.
+    AntiJoin {
+        /// Probed input.
+        left: Box<QueryPlan>,
+        /// Witness input.
+        right: Box<QueryPlan>,
+    },
+    /// Group-by aggregation over a single input.
+    GroupAggregate {
+        /// Input plan.
+        input: Box<QueryPlan>,
+        /// Aggregate function.
+        aggregate: Aggregate,
+    },
+    /// Grouping aggregation over a join, computed without materialising the
+    /// join (the paper's §7 future-work operator).
+    JoinAggregate {
+        /// Left input.
+        left: Box<QueryPlan>,
+        /// Right input.
+        right: Box<QueryPlan>,
+        /// Aggregate over the joined pairs of each group.
+        aggregate: JoinAggregate,
+    },
+}
+
+impl QueryPlan {
+    /// A base-table scan.
+    pub fn scan(table: Table) -> QueryPlan {
+        QueryPlan::Scan(table)
+    }
+
+    /// Append an oblivious filter.
+    pub fn filter(self, predicate: Predicate) -> QueryPlan {
+        QueryPlan::Filter { input: Box::new(self), predicate }
+    }
+
+    /// Append a key/value column swap.
+    pub fn swap_columns(self) -> QueryPlan {
+        QueryPlan::Project { input: Box::new(self), swap_columns: true }
+    }
+
+    /// Append a duplicate-elimination step.
+    pub fn distinct(self) -> QueryPlan {
+        QueryPlan::Distinct { input: Box::new(self) }
+    }
+
+    /// Bag-union with another plan.
+    pub fn union_all(self, other: QueryPlan) -> QueryPlan {
+        QueryPlan::UnionAll { left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Equi-join with another plan.
+    pub fn join(self, other: QueryPlan, columns: JoinColumns) -> QueryPlan {
+        QueryPlan::Join { left: Box::new(self), right: Box::new(other), columns }
+    }
+
+    /// Semi-join against another plan.
+    pub fn semi_join(self, other: QueryPlan) -> QueryPlan {
+        QueryPlan::SemiJoin { left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Anti-join against another plan.
+    pub fn anti_join(self, other: QueryPlan) -> QueryPlan {
+        QueryPlan::AntiJoin { left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Group-by aggregation.
+    pub fn group_aggregate(self, aggregate: Aggregate) -> QueryPlan {
+        QueryPlan::GroupAggregate { input: Box::new(self), aggregate }
+    }
+
+    /// Grouping aggregation over a join with another plan.
+    pub fn join_aggregate(self, other: QueryPlan, aggregate: JoinAggregate) -> QueryPlan {
+        QueryPlan::JoinAggregate { left: Box::new(self), right: Box::new(other), aggregate }
+    }
+
+    /// Number of operator nodes in the plan (scans included).
+    pub fn node_count(&self) -> usize {
+        match self {
+            QueryPlan::Scan(_) => 1,
+            QueryPlan::Filter { input, .. }
+            | QueryPlan::Project { input, .. }
+            | QueryPlan::Distinct { input }
+            | QueryPlan::GroupAggregate { input, .. } => 1 + input.node_count(),
+            QueryPlan::UnionAll { left, right }
+            | QueryPlan::Join { left, right, .. }
+            | QueryPlan::SemiJoin { left, right }
+            | QueryPlan::AntiJoin { left, right }
+            | QueryPlan::JoinAggregate { left, right, .. } => {
+                1 + left.node_count() + right.node_count()
+            }
+        }
+    }
+
+    /// Execute the plan obliviously, tracing every public-memory access
+    /// through `tracer`.
+    pub fn execute<S: TraceSink>(&self, tracer: &Tracer<S>) -> Table {
+        match self {
+            QueryPlan::Scan(table) => table.clone(),
+            QueryPlan::Filter { input, predicate } => {
+                oblivious_filter(tracer, &input.execute(tracer), *predicate)
+            }
+            QueryPlan::Project { input, swap_columns } => {
+                let table = input.execute(tracer);
+                if *swap_columns {
+                    oblivious_project(tracer, &table, |e| obliv_join::Entry::new(e.value, e.key))
+                } else {
+                    table
+                }
+            }
+            QueryPlan::Distinct { input } => oblivious_distinct(tracer, &input.execute(tracer)),
+            QueryPlan::UnionAll { left, right } => {
+                oblivious_union_all(tracer, &left.execute(tracer), &right.execute(tracer))
+            }
+            QueryPlan::Join { left, right, columns } => {
+                let result = oblivious_join_with_tracer(
+                    tracer,
+                    &left.execute(tracer),
+                    &right.execute(tracer),
+                );
+                result
+                    .keys
+                    .iter()
+                    .zip(result.rows.iter())
+                    .map(|(&key, row)| match columns {
+                        JoinColumns::KeyAndLeft => (key, row.left),
+                        JoinColumns::KeyAndRight => (key, row.right),
+                        JoinColumns::LeftAndRight => (row.left, row.right),
+                        JoinColumns::RightAndLeft => (row.right, row.left),
+                    })
+                    .collect()
+            }
+            QueryPlan::SemiJoin { left, right } => {
+                oblivious_semi_join(tracer, &left.execute(tracer), &right.execute(tracer))
+            }
+            QueryPlan::AntiJoin { left, right } => {
+                oblivious_anti_join(tracer, &left.execute(tracer), &right.execute(tracer))
+            }
+            QueryPlan::GroupAggregate { input, aggregate } => {
+                oblivious_group_aggregate(tracer, &input.execute(tracer), *aggregate)
+            }
+            QueryPlan::JoinAggregate { left, right, aggregate } => oblivious_join_aggregate(
+                tracer,
+                &left.execute(tracer),
+                &right.execute(tracer),
+                *aggregate,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_trace::{CollectingSink, CountingSink, NullSink};
+
+    fn orders() -> Table {
+        // (customer id, order value)
+        Table::from_pairs(vec![(1, 100), (1, 250), (2, 50), (3, 300), (3, 20), (3, 80)])
+    }
+
+    fn customers() -> Table {
+        // (customer id, region)
+        Table::from_pairs(vec![(1, 7), (2, 7), (3, 9), (4, 9)])
+    }
+
+    #[test]
+    fn filter_group_plan_matches_manual_composition() {
+        let plan = QueryPlan::scan(orders())
+            .filter(Predicate::ValueAtLeast(80))
+            .group_aggregate(Aggregate::Sum);
+        let out = plan.execute(&Tracer::new(NullSink));
+        assert_eq!(out.rows(), &[(1, 350).into(), (3, 380).into()]);
+        assert_eq!(plan.node_count(), 3);
+    }
+
+    #[test]
+    fn join_plan_projects_requested_columns() {
+        let tracer = Tracer::new(CountingSink::new());
+        // region per order: join orders with customers on customer id, keep
+        // (customer, region).
+        let plan = QueryPlan::scan(orders()).join(QueryPlan::scan(customers()), JoinColumns::KeyAndRight);
+        let out = plan.execute(&tracer);
+        assert_eq!(out.len(), orders().len());
+        assert!(out.rows().iter().all(|e| e.value == 7 || e.value == 9));
+
+        // Re-keyed by order value, carrying the region.
+        let rekeyed = QueryPlan::scan(orders())
+            .join(QueryPlan::scan(customers()), JoinColumns::LeftAndRight)
+            .execute(&tracer);
+        assert!(rekeyed.rows().iter().any(|e| e.key == 300 && e.value == 9));
+    }
+
+    #[test]
+    fn multi_stage_plan_matches_plaintext_sql() {
+        // SELECT region, COUNT(*) over orders joined to customers, orders >= 80 only.
+        let plan = QueryPlan::scan(orders())
+            .filter(Predicate::ValueAtLeast(80))
+            .join(QueryPlan::scan(customers()), JoinColumns::RightAndLeft)
+            // now key = region, value = order value
+            .group_aggregate(Aggregate::Count);
+        let out = plan.execute(&Tracer::new(NullSink));
+
+        // Plaintext reference.
+        let mut expected = std::collections::BTreeMap::new();
+        for o in orders().iter().filter(|o| o.value >= 80) {
+            for c in customers().iter().filter(|c| c.key == o.key) {
+                *expected.entry(c.value).or_insert(0u64) += 1;
+            }
+        }
+        let got: std::collections::BTreeMap<u64, u64> =
+            out.rows().iter().map(|e| (e.key, e.value)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn semi_anti_union_compose() {
+        let with_orders = QueryPlan::scan(customers()).semi_join(QueryPlan::scan(orders()));
+        let without_orders = QueryPlan::scan(customers()).anti_join(QueryPlan::scan(orders()));
+        let all_again = with_orders.clone().union_all(without_orders.clone());
+
+        let tracer = Tracer::new(NullSink);
+        assert_eq!(with_orders.execute(&tracer).len(), 3);
+        assert_eq!(without_orders.execute(&tracer).len(), 1);
+        assert_eq!(all_again.execute(&tracer).len(), customers().len());
+    }
+
+    #[test]
+    fn join_aggregate_plan_never_materialises_the_join() {
+        // Cost check: the trace length of the join-aggregate plan must not
+        // grow with the join output size.
+        let run = |left: Table, right: Table| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let _ = QueryPlan::scan(left)
+                .join_aggregate(QueryPlan::scan(right), JoinAggregate::CountPairs)
+                .execute(&tracer);
+            tracer.with_sink(|s| s.accesses().len())
+        };
+        let tiny_output = run(
+            (0..30u64).map(|i| (i, i)).collect(),
+            (0..30u64).map(|i| (i + 500, i)).collect(),
+        );
+        let huge_output = run(
+            (0..30u64).map(|_| (1, 1)).collect(),
+            (0..30u64).map(|_| (1, 2)).collect(),
+        );
+        assert_eq!(tiny_output, huge_output);
+    }
+
+    #[test]
+    fn swap_columns_and_distinct() {
+        let plan = QueryPlan::scan(orders()).swap_columns().distinct();
+        let out = plan.execute(&Tracer::new(NullSink));
+        // Keys are now the order values (all distinct in this fixture).
+        assert_eq!(out.len(), orders().len());
+        assert!(out.rows().iter().any(|e| e.key == 250 && e.value == 1));
+    }
+}

@@ -1,0 +1,247 @@
+//! Oblivious compaction: gather the non-null elements of an array at the
+//! front, obliviously.
+//!
+//! §3.5 of the paper mentions two ways to do this:
+//!
+//! * sort with the null flag as the leading key ([`sort_compact_by_key`]) —
+//!   `O(n log² n)` with a bitonic sorter, order among the survivors decided
+//!   by the secondary key;
+//! * Goodrich's order-preserving routing-network compaction
+//!   ([`oblivious_compact`]) — `O(n log n)`, the mirror image of the
+//!   distribution network of Algorithm 3 (the paper notes the distribution
+//!   network "is used in the reverse direction" relative to Goodrich's
+//!   compaction).
+//!
+//! The join itself only needs distribution and expansion; compaction is
+//! provided because it is the natural companion primitive (selections and
+//! projections reduce to it) and it powers one of the ablation benchmarks.
+
+use obliv_trace::{TraceSink, TrackedBuffer};
+
+use crate::ct::{Choice, CtSelect};
+use crate::routable::Routable;
+use crate::sort::bitonic;
+
+/// Result of a compaction: the buffer plus the number of real elements now
+/// occupying its prefix.
+#[derive(Debug)]
+pub struct Compaction<T: Copy, S: TraceSink> {
+    /// The compacted buffer (same length as the input).
+    pub table: TrackedBuffer<T, S>,
+    /// Number of non-null elements, all of which now sit at the front.
+    pub live: u64,
+}
+
+/// Compact by sorting: non-null elements first (ordered by `key`), null
+/// elements last.  `O(n log² n)` comparisons.
+pub fn sort_compact_by_key<T, S, K, F>(mut buf: TrackedBuffer<T, S>, key: F) -> Compaction<T, S>
+where
+    T: Routable,
+    S: TraceSink,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let tracer = buf.tracer();
+    let live = count_live(&buf, &tracer);
+    bitonic::sort_by_key(&mut buf, |e: &T| (e.is_null(), key(e)));
+    Compaction { table: buf, live }
+}
+
+/// Order-preserving oblivious compaction via the reverse routing network.
+///
+/// Every non-null element is assigned its rank among the non-null elements
+/// (a linear pass), and the routing network then moves each element *down*
+/// to its rank with hops of decreasing powers of two — the mirror image of
+/// [`oblivious_distribute`](crate::oblivious_distribute), with the same
+/// `O(n log n)` cost and the same input-independent access pattern.
+///
+/// The relative order of the surviving elements is preserved.  Destination
+/// attributes of the survivors are overwritten with their rank.
+pub fn oblivious_compact<T, S>(mut buf: TrackedBuffer<T, S>) -> Compaction<T, S>
+where
+    T: Routable,
+    S: TraceSink,
+{
+    let n = buf.len();
+    let tracer = buf.tracer();
+
+    // Pass 1: rank assignment.  Non-null elements receive dest = 1, 2, …;
+    // null elements receive dest = 0.
+    let mut rank: u64 = 0;
+    for i in 0..n {
+        let mut e = buf.read(i);
+        tracer.bump_linear_steps(1);
+        let live = Choice::from_bool(!e.is_null());
+        rank += live.mask() & 1;
+        e.set_dest(u64::ct_select(live, rank, 0));
+        buf.write(i, e);
+    }
+    let live = rank;
+
+    // Pass 2: routing.  Each live element must move down by exactly
+    // (position − rank + 1); the moves follow the binary expansion of that
+    // distance, least-significant bit first, with hop sizes j = 1, 2, 4, ….
+    // Processing pairs front-to-back within a stage vacates a destination
+    // slot before the element behind it arrives, and because the remaining
+    // distances of live elements grow by at most the gap between them, a
+    // moving element always lands on a null slot.
+    if n >= 2 {
+        let mut j = 1usize;
+        while j < n {
+            for i in 0..n - j {
+                let lo = buf.read(i);
+                let hi = buf.read(i + j);
+                tracer.bump_routing_hops(1);
+                // Remaining downward distance of the upper element: current
+                // position (i + j) minus target position (dest − 1).  Lower
+                // bits were cleared by earlier stages, so testing bit log₂ j
+                // asks whether this stage's hop is part of the element's
+                // route.
+                let live_hi = Choice::from_bool(!hi.is_null());
+                let remaining = ((i + j) as u64 + 1).wrapping_sub(hi.dest());
+                let bit_set = Choice::from_bool(remaining & (j as u64) != 0);
+                let hop = live_hi.and(bit_set);
+                let new_lo = T::ct_select(hop, hi, lo);
+                let new_hi = T::ct_select(hop, lo, hi);
+                buf.write(i, new_lo);
+                buf.write(i + j, new_hi);
+            }
+            j *= 2;
+        }
+    }
+
+    Compaction { table: buf, live }
+}
+
+fn count_live<T, S>(buf: &TrackedBuffer<T, S>, tracer: &obliv_trace::Tracer<S>) -> u64
+where
+    T: Routable,
+    S: TraceSink,
+{
+    let mut live = 0u64;
+    for i in 0..buf.len() {
+        let e = buf.read(i);
+        tracer.bump_linear_steps(1);
+        live += Choice::from_bool(!e.is_null()).mask() & 1;
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routable::Keyed;
+    use obliv_trace::{CollectingSink, CountingSink, Tracer};
+
+    type K = Keyed<u64>;
+
+    /// Build a buffer from an option pattern: `Some(v)` is a real element
+    /// with payload `v`, `None` is a null slot.
+    fn build(tracer: &Tracer<CountingSink>, pattern: &[Option<u64>]) -> TrackedBuffer<K, CountingSink> {
+        tracer.alloc_from(
+            pattern
+                .iter()
+                .map(|p| match p {
+                    Some(v) => Keyed::new(*v, 1),
+                    None => Keyed::null(),
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn live_values(c: &Compaction<K, CountingSink>) -> Vec<u64> {
+        c.table.as_slice()[..c.live as usize].iter().map(|e| e.value).collect()
+    }
+
+    #[test]
+    fn compacts_simple_pattern_preserving_order() {
+        let tracer = Tracer::new(CountingSink::new());
+        let buf = build(&tracer, &[None, Some(10), None, Some(20), Some(30), None, Some(40)]);
+        let c = oblivious_compact(buf);
+        assert_eq!(c.live, 4);
+        assert_eq!(live_values(&c), vec![10, 20, 30, 40]);
+        // Every slot past the live prefix is null.
+        assert!(c.table.as_slice()[c.live as usize..].iter().all(|e| e.is_null()));
+    }
+
+    #[test]
+    fn exhaustive_small_patterns() {
+        // Every null/real pattern up to length 10; order preservation is
+        // checked by giving the real elements increasing payloads.
+        for n in 0..=10usize {
+            for mask in 0u32..(1 << n) {
+                let pattern: Vec<Option<u64>> = (0..n)
+                    .map(|i| if (mask >> i) & 1 == 1 { Some(100 + i as u64) } else { None })
+                    .collect();
+                let expected: Vec<u64> = pattern.iter().flatten().copied().collect();
+                let tracer = Tracer::new(CountingSink::new());
+                let c = oblivious_compact(build(&tracer, &pattern));
+                assert_eq!(c.live as usize, expected.len(), "n={n} mask={mask:b}");
+                assert_eq!(live_values(&c), expected, "n={n} mask={mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_null_and_all_real() {
+        let tracer = Tracer::new(CountingSink::new());
+        let c = oblivious_compact(build(&tracer, &[None, None, None]));
+        assert_eq!(c.live, 0);
+
+        let c = oblivious_compact(build(&tracer, &[Some(1), Some(2), Some(3)]));
+        assert_eq!(c.live, 3);
+        assert_eq!(live_values(&c), vec![1, 2, 3]);
+
+        let empty: TrackedBuffer<K, _> = tracer.alloc_from(vec![]);
+        let c = oblivious_compact(empty);
+        assert_eq!(c.live, 0);
+    }
+
+    #[test]
+    fn larger_random_like_pattern() {
+        let tracer = Tracer::new(CountingSink::new());
+        let pattern: Vec<Option<u64>> = (0..300u64)
+            .map(|i| if (i * 2654435761) % 7 < 3 { Some(i) } else { None })
+            .collect();
+        let expected: Vec<u64> = pattern.iter().flatten().copied().collect();
+        let c = oblivious_compact(build(&tracer, &pattern));
+        assert_eq!(c.live as usize, expected.len());
+        assert_eq!(live_values(&c), expected);
+    }
+
+    #[test]
+    fn sort_compact_matches_rank_compact_on_sorted_payloads() {
+        let tracer = Tracer::new(CountingSink::new());
+        let pattern: Vec<Option<u64>> = (0..40u64)
+            .map(|i| if i % 3 == 0 { Some(i) } else { None })
+            .collect();
+        let expected: Vec<u64> = pattern.iter().flatten().copied().collect();
+        let c = sort_compact_by_key(build(&tracer, &pattern), |e| e.value);
+        assert_eq!(c.live as usize, expected.len());
+        assert_eq!(live_values(&c), expected);
+    }
+
+    #[test]
+    fn traces_depend_only_on_length() {
+        let run = |pattern: Vec<Option<u64>>| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let buf = tracer.alloc_from(
+                pattern
+                    .iter()
+                    .map(|p| match p {
+                        Some(v) => Keyed::new(*v, 1),
+                        None => Keyed::<u64>::null(),
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            let _ = oblivious_compact(buf);
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+        let a = run(vec![Some(1), None, Some(2), None, Some(3), None, None]);
+        let b = run(vec![None, None, None, None, None, None, Some(9)]);
+        let c = run(vec![Some(4); 7]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), c.len());
+        assert_eq!(a, c);
+    }
+}

@@ -1,0 +1,348 @@
+//! `Oblivious-Distribute` (Algorithm 3) and its variants.
+//!
+//! Problem: given `n` elements, each carrying an injective 1-based
+//! destination `f(x) ∈ {1, …, m}` (`m ≥` number of real elements), place
+//! every element at its destination in an array of size `m`, obliviously.
+//!
+//! Two constructions are provided, mirroring §5.2 of the paper:
+//!
+//! * [`oblivious_distribute`] — the deterministic routing network: sort by
+//!   destination, then let every element "trickle down" to its target with
+//!   hops of decreasing powers of two (`O(n log² n + m log m)`),
+//! * [`probabilistic_distribute`] — write each element at `π(f(x))` for a
+//!   pseudorandom permutation `π`, then obliviously sort by `π⁻¹(position)`
+//!   to undo the masking (`O(m log² m)` but with a PRP assumption).
+//!
+//! Both accept *extended* inputs in the sense of `Ext-Oblivious-Distribute`
+//! (Algorithm 4, lines 24–31): elements may be marked null (`dest() == 0`),
+//! in which case they are discarded and only the real elements are placed.
+
+use obliv_trace::{TraceSink, TrackedBuffer};
+
+use crate::ct::Choice;
+use crate::prp::Prp;
+use crate::routable::Routable;
+use crate::sort::bitonic;
+
+/// Deterministic oblivious distribution (Algorithms 3 / Ext, §5.2).
+///
+/// Consumes the input buffer (its storage is reused for the sort step) and
+/// returns a fresh buffer of length exactly `m` in which every non-null
+/// element `x` of the input sits at index `x.dest() − 1`; all other slots
+/// hold [`Routable::null`].
+///
+/// # Requirements
+/// * non-null destinations must be injective and lie in `1..=m`,
+/// * the number of non-null elements must be at most `m`.
+///
+/// These are programming contracts of the caller (the join always satisfies
+/// them); they are checked with debug assertions, not data-dependent control
+/// flow.
+///
+/// # Panics
+/// Panics if `m == 0` and the input contains a non-null element.
+pub fn oblivious_distribute<T, S>(mut x: TrackedBuffer<T, S>, m: usize) -> TrackedBuffer<T, S>
+where
+    T: Routable,
+    S: TraceSink,
+{
+    let n = x.len();
+    let tracer = x.tracer();
+    debug_assert!(
+        x.as_slice().iter().filter(|e| !e.is_null()).count() <= m,
+        "more real elements than destinations"
+    );
+
+    // Step 1 (Alg. 3 line 3 / Alg. 4 line 26): sort the input so that real
+    // elements come first, ordered by destination.  Nulls sort last because
+    // their `dest` of 0 is mapped to +infinity via the is_null flag.
+    bitonic::sort_by_key(&mut x, |e: &T| (e.is_null(), e.dest()));
+
+    // Step 2 (lines 4–5 / 27–29): lay the sorted prefix into an array of
+    // size max(n, m), padding with nulls.
+    let cap = n.max(m);
+    let mut a = tracer.alloc_from(vec![T::null(); cap]);
+    for i in 0..n {
+        let e = x.read(i);
+        a.write(i, e);
+        tracer.bump_linear_steps(1);
+    }
+    drop(x);
+
+    // Step 3 (lines 6–17): the routing network.  Hop intervals are the
+    // powers of two below m; for each interval j we scan backwards and move
+    // an element forward by j whenever doing so does not overshoot its
+    // destination.  Both branches perform identical accesses.
+    route_forward(&mut a, m);
+
+    // Step 4 (line 31): return A[1..m].
+    shrink_to(a, m)
+}
+
+/// The routing loop shared by distribution; exposed at crate level so the
+/// compaction primitive can reuse its mirror image.
+pub(crate) fn route_forward<T, S>(a: &mut TrackedBuffer<T, S>, m: usize)
+where
+    T: Routable,
+    S: TraceSink,
+{
+    if m < 2 {
+        return;
+    }
+    let tracer = a.tracer();
+    let mut j = (m as u64).next_power_of_two() as usize;
+    if j >= m {
+        // 2^{⌈log₂ m⌉ − 1}: the largest power of two strictly below m, or
+        // m/2 when m itself is a power of two.
+        j /= 2;
+    }
+    while j >= 1 {
+        // 0-based translation of "for i ← m − j … 1".
+        for i in (0..m - j).rev() {
+            let y = a.read(i);
+            let y_next = a.read(i + j);
+            tracer.bump_routing_hops(1);
+            // 1-based condition f̂(y) ≥ i + j becomes dest ≥ i + j + 1 in
+            // 0-based position terms; nulls (dest 0) never satisfy it.
+            let hop = Choice::ge_u64(y.dest(), (i + j + 1) as u64);
+            let stay_lo = T::ct_select(hop, y_next, y);
+            let move_hi = T::ct_select(hop, y, y_next);
+            a.write(i, stay_lo);
+            a.write(i + j, move_hi);
+        }
+        j /= 2;
+    }
+}
+
+/// Probabilistic oblivious distribution (§5.2, first construction).
+///
+/// Every slot of the output is first seeded with a null element whose
+/// destination attribute carries `π⁻¹(slot) + 1`; each real input element is
+/// then written at `π(f(x) − 1)`; finally a bitonic sort by the destination
+/// attribute restores destination order.  The adversary observes writes at
+/// `π(f(x₁)), …, π(f(xₙ))` — a uniformly random `n`-subset of the `m` slots
+/// because `f` is injective — followed by the input-independent accesses of
+/// the sorting network.
+///
+/// Unlike the deterministic variant this construction requires **all** input
+/// elements to be real (the basic Algorithm-3 setting): skipping writes for
+/// null elements would leak how many there are.
+pub fn probabilistic_distribute<T, S>(
+    x: TrackedBuffer<T, S>,
+    m: usize,
+    prp_key: u64,
+) -> TrackedBuffer<T, S>
+where
+    T: Routable,
+    S: TraceSink,
+{
+    let n = x.len();
+    assert!(n <= m, "cannot place {n} elements into {m} slots");
+    assert!(
+        x.as_slice().iter().all(|e| !e.is_null()),
+        "probabilistic_distribute requires all-real inputs; use oblivious_distribute for extended inputs"
+    );
+    let tracer = x.tracer();
+    if m == 0 {
+        return tracer.alloc_from(Vec::new());
+    }
+    let prp = Prp::new(m as u64, prp_key);
+
+    // Work on (element, sort-key) pairs so that filler slots can carry their
+    // un-masking key while still being recognisable as nulls afterwards.
+    // Seed every slot with (∅, π⁻¹(slot) + 1) …
+    let mut a = tracer.alloc_from(vec![(T::null(), 0u64); m]);
+    for pos in 0..m {
+        a.write(pos, (T::null(), prp.invert(pos as u64) + 1));
+        tracer.bump_linear_steps(1);
+    }
+
+    // … then scatter each real element x at slot π(f(x) − 1) carrying key
+    // f(x).  The adversary sees writes at pseudorandom distinct positions.
+    for i in 0..n {
+        let e = x.read(i);
+        let slot = prp.apply(e.dest() - 1) as usize;
+        a.write(slot, (e, e.dest()));
+        tracer.bump_linear_steps(1);
+    }
+    drop(x);
+
+    // Undo the masking permutation with an oblivious sort on the key; the
+    // element originally written at π(f(x)−1) ends up at position f(x)−1.
+    bitonic::sort_by_key(&mut a, |&(_, key): &(T, u64)| key);
+
+    // Project away the helper key.  Fillers are already ∅.
+    let mut out = tracer.alloc_from(vec![T::null(); m]);
+    for pos in 0..m {
+        let (e, _) = a.read(pos);
+        out.write(pos, e);
+        tracer.bump_linear_steps(1);
+    }
+    out
+}
+
+/// Copy the first `m` elements into a fresh buffer of length exactly `m`
+/// (identity if the buffer already has that length).
+fn shrink_to<T, S>(a: TrackedBuffer<T, S>, m: usize) -> TrackedBuffer<T, S>
+where
+    T: Routable,
+    S: TraceSink,
+{
+    if a.len() == m {
+        return a;
+    }
+    let tracer = a.tracer();
+    let mut out = tracer.alloc_from(vec![T::null(); m]);
+    for i in 0..m {
+        let e = a.read(i);
+        out.write(i, e);
+        tracer.bump_linear_steps(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routable::Keyed;
+    use obliv_trace::{CollectingSink, CountingSink, Tracer};
+
+    type K = Keyed<u64>;
+
+    fn keyed(tracer: &Tracer<CountingSink>, pairs: &[(u64, u64)]) -> TrackedBuffer<K, CountingSink> {
+        tracer.alloc_from(pairs.iter().map(|&(v, d)| Keyed::new(v, d)).collect())
+    }
+
+    fn check_placement(out: &[K], expected: &[(u64, u64)], m: usize) {
+        assert_eq!(out.len(), m);
+        let mut want = vec![None; m];
+        for &(v, d) in expected {
+            want[(d - 1) as usize] = Some(v);
+        }
+        for (i, slot) in out.iter().enumerate() {
+            match want[i] {
+                Some(v) => {
+                    assert_eq!(slot.dest, i as u64 + 1, "slot {i}");
+                    assert_eq!(slot.value, v, "slot {i}");
+                }
+                None => assert!(slot.is_null(), "slot {i} should be null, got {slot:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn places_paper_example() {
+        // Figure 3: n = 5, m = 8, destinations 4, 1, 3, 8, 6.
+        let tracer = Tracer::new(CountingSink::new());
+        let pairs = [(1, 4), (2, 1), (3, 3), (4, 8), (5, 6)];
+        let x = keyed(&tracer, &pairs);
+        let out = oblivious_distribute(x, 8);
+        check_placement(out.as_slice(), &pairs, 8);
+    }
+
+    #[test]
+    fn handles_m_equal_n_dense_permutation() {
+        let tracer = Tracer::new(CountingSink::new());
+        let pairs: Vec<(u64, u64)> = (0..16u64).map(|i| (i, ((i * 5) % 16) + 1)).collect();
+        let x = keyed(&tracer, &pairs);
+        let out = oblivious_distribute(x, 16);
+        check_placement(out.as_slice(), &pairs, 16);
+    }
+
+    #[test]
+    fn discards_null_elements_ext_variant() {
+        let tracer = Tracer::new(CountingSink::new());
+        // Nulls interleaved with real elements; m smaller than n.
+        let x = tracer.alloc_from(vec![
+            Keyed::new(10u64, 2),
+            Keyed::<u64>::null(),
+            Keyed::new(30, 1),
+            Keyed::<u64>::null(),
+            Keyed::new(50, 3),
+            Keyed::<u64>::null(),
+        ]);
+        let out = oblivious_distribute(x, 3);
+        check_placement(out.as_slice(), &[(10, 2), (30, 1), (50, 3)], 3);
+    }
+
+    #[test]
+    fn single_element_and_empty_domains() {
+        let tracer = Tracer::new(CountingSink::new());
+        let x = keyed(&tracer, &[(9, 1)]);
+        let out = oblivious_distribute(x, 1);
+        check_placement(out.as_slice(), &[(9, 1)], 1);
+
+        let empty: TrackedBuffer<K, _> = tracer.alloc_from(vec![]);
+        let out = oblivious_distribute(empty, 4);
+        assert_eq!(out.len(), 4);
+        assert!(out.as_slice().iter().all(|e| e.is_null()));
+
+        let all_null: TrackedBuffer<K, _> = tracer.alloc_from(vec![Keyed::null(); 3]);
+        let out = oblivious_distribute(all_null, 0);
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn sparse_distribution_many_gaps() {
+        let tracer = Tracer::new(CountingSink::new());
+        let pairs: Vec<(u64, u64)> = (0..10u64).map(|i| (i + 100, i * 7 + 1)).collect();
+        let m = 64 + 2; // not a power of two
+        let x = keyed(&tracer, &pairs);
+        let out = oblivious_distribute(x, m);
+        check_placement(out.as_slice(), &pairs, m);
+    }
+
+    #[test]
+    fn routing_trace_depends_only_on_n_and_m() {
+        let run = |dests: Vec<u64>| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let x = tracer
+                .alloc_from(dests.iter().map(|&d| Keyed::new(d, d)).collect::<Vec<K>>());
+            let _ = oblivious_distribute(x, 16);
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+        // Same n = 6, m = 16, very different destination structures.
+        let a = run(vec![1, 2, 3, 4, 5, 6]);
+        let b = run(vec![11, 12, 13, 14, 15, 16]);
+        let c = run(vec![1, 3, 7, 8, 15, 16]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn probabilistic_matches_deterministic_output() {
+        // Injective destinations: element i goes to slot 2i + 1 of 40.
+        let pairs: Vec<(u64, u64)> = (0..20u64).map(|i| (i + 1, i * 2 + 1)).collect();
+
+        let tracer = Tracer::new(CountingSink::new());
+        let x = keyed(&tracer, &pairs);
+        let det = oblivious_distribute(x, 40);
+
+        for key in [1u64, 99, 0xabcdef] {
+            let tracer2 = Tracer::new(CountingSink::new());
+            let x2 = keyed(&tracer2, &pairs);
+            let prob = probabilistic_distribute(x2, 40, key);
+            assert_eq!(det.as_slice(), prob.as_slice(), "prp key {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-real")]
+    fn probabilistic_rejects_nulls() {
+        let tracer = Tracer::new(CountingSink::new());
+        let x = tracer.alloc_from(vec![Keyed::new(1u64, 1), Keyed::null()]);
+        let _ = probabilistic_distribute(x, 4, 0);
+    }
+
+    #[test]
+    fn routing_hop_counter_is_m_log_m() {
+        let tracer = Tracer::new(CountingSink::new());
+        let m = 64;
+        let x = keyed(&tracer, &[(1, 1), (2, 30), (3, 64)]);
+        let _ = oblivious_distribute(x, m);
+        // For m a power of two the loop executes (m - j) hops for j = m/2,
+        // m/4, …, 1: that is Σ (m − m/2^k) = m·log₂(m) − (m − 1).
+        let expected = (m as u64) * 6 - (m as u64 - 1);
+        assert_eq!(tracer.counters().routing_hops, expected);
+    }
+}

@@ -1,0 +1,226 @@
+//! `Oblivious-Expand` (Algorithm 4).
+//!
+//! Given an array `X = (x₁, …, xₙ)` and a non-negative replication count
+//! `g(x)` for each element, produce
+//!
+//! ```text
+//! A = (x₁, …, x₁, x₂, …, x₂, …)        with g(xᵢ) copies of xᵢ,
+//! ```
+//!
+//! in time `O(n log² n + m log m)` where `m = Σ g(xᵢ)`, obliviously.  This
+//! is the workhorse of the join: `S₁` is `T₁` expanded by `α₂` and `S₂` is
+//! `T₂` expanded by `α₁`.
+//!
+//! The construction is the paper's: a linear pass assigns each element its
+//! first output position (the running sum of the counts, with zero-count
+//! elements marked null), an extended oblivious distribution places each
+//! element there, and a final linear pass duplicates every element into the
+//! null slots that follow it.
+
+use obliv_trace::{TraceSink, TrackedBuffer};
+
+use crate::ct::Choice;
+use crate::distribute::oblivious_distribute;
+use crate::routable::Routable;
+
+/// Result of an expansion: the expanded buffer plus its (public) length.
+#[derive(Debug)]
+pub struct Expansion<T: Copy, S: TraceSink> {
+    /// The expanded table, of length `total`.
+    pub table: TrackedBuffer<T, S>,
+    /// Total number of copies produced (`m = Σ g(x)`), which the algorithm
+    /// legitimately reveals (§3.2, "Revealing Output Length").
+    pub total: u64,
+}
+
+/// Obliviously duplicate each element of `x` according to `g` (Algorithm 4).
+///
+/// `g` is evaluated on local copies of the elements; it must be a pure
+/// function of the element.  Elements with `g(x) == 0` produce no copies.
+///
+/// The destination attribute of every output element is left set to its
+/// (1-based) position in the output, which callers may overwrite.
+///
+/// ```
+/// use obliv_trace::{CountingSink, Tracer};
+/// use obliv_primitives::{oblivious_expand, Keyed};
+///
+/// let tracer = Tracer::new(CountingSink::new());
+/// let x = tracer.alloc_from(vec![
+///     Keyed::new(10u64, 1),
+///     Keyed::new(20u64, 1),
+///     Keyed::new(30u64, 1),
+/// ]);
+/// // Replicate by value: 2 copies of 10, none of 20, 3 copies of 30.
+/// let out = oblivious_expand(x, |e| match e.value {
+///     10 => 2,
+///     30 => 3,
+///     _ => 0,
+/// });
+/// assert_eq!(out.total, 5);
+/// let values: Vec<u64> = out.table.as_slice().iter().map(|e| e.value).collect();
+/// assert_eq!(values, vec![10, 10, 30, 30, 30]);
+/// ```
+pub fn oblivious_expand<T, S, G>(mut x: TrackedBuffer<T, S>, g: G) -> Expansion<T, S>
+where
+    T: Routable,
+    S: TraceSink,
+    G: Fn(&T) -> u64,
+{
+    let n = x.len();
+    let tracer = x.tracer();
+
+    // Pass 1 (lines 3–11): cumulative counts become first-occurrence
+    // destinations; zero-count elements are marked null.  `s` lives in local
+    // memory; the scan pattern is a fixed forward sweep.
+    let mut s: u64 = 1;
+    for i in 0..n {
+        let e = x.read(i);
+        tracer.bump_linear_steps(1);
+        let count = g(&e);
+        let zero = Choice::eq_u64(count, 0);
+        // Either the element keeps living and is destined for position s, or
+        // it is discarded; both candidate records are built and the masked
+        // selection picks one, so no secret-dependent branch is taken.
+        let mut kept = e;
+        kept.set_dest(s);
+        let mut dropped = e;
+        dropped.set_null();
+        x.write(i, T::ct_select(zero, dropped, kept));
+        s += count;
+    }
+    let total = s - 1;
+
+    // Pass 2 (line 12): extended oblivious distribution to the first
+    // occurrence positions.
+    let mut a = oblivious_distribute(x, total as usize);
+
+    // Pass 3 (lines 14–21): fill every null slot with the closest preceding
+    // real element.  Both branches of the selection write the slot back.
+    let mut prev = T::null();
+    for i in 0..total as usize {
+        let e = a.read(i);
+        tracer.bump_linear_steps(1);
+        let is_null = Choice::from_bool(e.is_null());
+        let filled = T::ct_select(is_null, prev, e);
+        prev = filled;
+        a.write(i, filled);
+    }
+
+    Expansion { table: a, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routable::Keyed;
+    use obliv_trace::{CollectingSink, CountingSink, Tracer};
+
+    type K = Keyed<u64>;
+
+    fn expand_counts(counts: &[u64]) -> (Vec<u64>, u64) {
+        // Build elements whose value is their index and whose replication
+        // count is looked up from `counts` by value.
+        let tracer = Tracer::new(CountingSink::new());
+        let x: TrackedBuffer<K, _> = tracer
+            .alloc_from((0..counts.len() as u64).map(|i| Keyed::new(i, 1)).collect::<Vec<_>>());
+        let counts = counts.to_vec();
+        let out = oblivious_expand(x, move |e| counts[e.value as usize]);
+        let values = out.table.as_slice().iter().map(|e| e.value).collect();
+        (values, out.total)
+    }
+
+    fn reference(counts: &[u64]) -> Vec<u64> {
+        counts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &c)| std::iter::repeat(i as u64).take(c as usize))
+            .collect()
+    }
+
+    #[test]
+    fn paper_figure_4_example() {
+        // g = (2, 3, 0, 2, 1) → x1 x1 x2 x2 x2 x4 x4 x5.
+        let (values, total) = expand_counts(&[2, 3, 0, 2, 1]);
+        assert_eq!(total, 8);
+        assert_eq!(values, reference(&[2, 3, 0, 2, 1]));
+    }
+
+    #[test]
+    fn all_zero_counts_yield_empty_output() {
+        let (values, total) = expand_counts(&[0, 0, 0]);
+        assert_eq!(total, 0);
+        assert!(values.is_empty());
+    }
+
+    #[test]
+    fn single_element_many_copies() {
+        let (values, total) = expand_counts(&[7]);
+        assert_eq!(total, 7);
+        assert_eq!(values, vec![0; 7]);
+    }
+
+    #[test]
+    fn zeros_at_boundaries() {
+        for counts in [
+            vec![0, 5, 0],
+            vec![0, 0, 3, 1],
+            vec![4, 0, 0, 0],
+            vec![1, 0, 1, 0, 1],
+            vec![0, 1],
+        ] {
+            let (values, total) = expand_counts(&counts);
+            let want = reference(&counts);
+            assert_eq!(total as usize, want.len(), "{counts:?}");
+            assert_eq!(values, want, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn larger_mixed_counts() {
+        let counts: Vec<u64> = (0..50u64).map(|i| (i * 7 + 3) % 5).collect();
+        let (values, total) = expand_counts(&counts);
+        let want = reference(&counts);
+        assert_eq!(total as usize, want.len());
+        assert_eq!(values, want);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (values, total) = expand_counts(&[]);
+        assert_eq!(total, 0);
+        assert!(values.is_empty());
+    }
+
+    #[test]
+    fn trace_depends_only_on_n_and_m() {
+        // Two count vectors with the same n and the same total m but very
+        // different shapes must produce identical traces.
+        let run = |counts: Vec<u64>| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let x: TrackedBuffer<K, _> = tracer.alloc_from(
+                (0..counts.len() as u64).map(|i| Keyed::new(i, 1)).collect::<Vec<_>>(),
+            );
+            let counts2 = counts.clone();
+            let _ = oblivious_expand(x, move |e| counts2[e.value as usize]);
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+        let a = run(vec![2, 2, 2, 2]); // m = 8, uniform
+        let b = run(vec![8, 0, 0, 0]); // m = 8, single heavy element
+        let c = run(vec![0, 0, 1, 7]); // m = 8, heavy tail
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn output_preserves_destination_ordering_of_copies() {
+        // The destinations left on the output should be non-decreasing and
+        // equal to the first-occurrence index of each run.
+        let tracer = Tracer::new(CountingSink::new());
+        let x: TrackedBuffer<K, _> =
+            tracer.alloc_from(vec![Keyed::new(5, 1), Keyed::new(6, 1), Keyed::new(7, 1)]);
+        let out = oblivious_expand(x, |e| e.value - 4); // counts 1, 2, 3
+        let dests: Vec<u64> = out.table.as_slice().iter().map(|e| e.dest).collect();
+        assert_eq!(dests, vec![1, 2, 2, 4, 4, 4]);
+    }
+}

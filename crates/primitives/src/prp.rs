@@ -1,0 +1,193 @@
+//! A small-domain pseudorandom permutation (PRP).
+//!
+//! The probabilistic variant of `Oblivious-Distribute` (§5.2 of the paper)
+//! needs a pseudorandom permutation `π` of `{0, …, m−1}` and its inverse:
+//! elements are written at `π(f(x))` (a uniformly random-looking set of
+//! positions, because `f` is injective) and a subsequent oblivious sort by
+//! `π⁻¹(position)` undoes the masking.
+//!
+//! The permutation here is a 4-round balanced Feistel network over the
+//! smallest even-bit-width domain `2^{2k} ≥ m`, restricted to `[0, m)` by
+//! cycle walking.  The round function is a keyed SplitMix64-style mixer — a
+//! *pseudo*random permutation adequate for reproducing the paper's
+//! experiments; swapping in a cryptographic round function would not change
+//! any interface.
+
+/// A keyed permutation of `{0, 1, …, domain−1}`.
+#[derive(Debug, Clone, Copy)]
+pub struct Prp {
+    domain: u64,
+    /// Half-width in bits of the Feistel block (block is 2·half_bits wide).
+    half_bits: u32,
+    round_keys: [u64; Prp::ROUNDS],
+}
+
+impl Prp {
+    const ROUNDS: usize = 4;
+
+    /// Create a permutation of `{0, …, domain−1}` keyed by `key`.
+    ///
+    /// # Panics
+    /// Panics if `domain == 0`.
+    pub fn new(domain: u64, key: u64) -> Self {
+        assert!(domain > 0, "PRP domain must be non-empty");
+        // Smallest even bit-width 2k with 2^(2k) >= domain (minimum 2 so the
+        // Feistel halves are non-degenerate).
+        let mut bits = 64 - (domain.saturating_sub(1)).leading_zeros();
+        if bits < 2 {
+            bits = 2;
+        }
+        if bits % 2 == 1 {
+            bits += 1;
+        }
+        let half_bits = bits / 2;
+        let mut round_keys = [0u64; Self::ROUNDS];
+        let mut state = key ^ 0x9e37_79b9_7f4a_7c15;
+        for rk in round_keys.iter_mut() {
+            state = splitmix64(state);
+            *rk = state;
+        }
+        Prp { domain, half_bits, round_keys }
+    }
+
+    /// The size of the permuted domain.
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// Apply the permutation.
+    ///
+    /// # Panics
+    /// Panics if `x >= domain`.
+    pub fn apply(&self, x: u64) -> u64 {
+        assert!(x < self.domain, "PRP input {x} outside domain {}", self.domain);
+        // Cycle walking: iterate the block permutation until the image lands
+        // back inside [0, domain).  Expected number of steps is < 4 because
+        // the block is at most 4× the domain.
+        let mut y = self.block_forward(x);
+        while y >= self.domain {
+            y = self.block_forward(y);
+        }
+        y
+    }
+
+    /// Apply the inverse permutation.
+    ///
+    /// # Panics
+    /// Panics if `y >= domain`.
+    pub fn invert(&self, y: u64) -> u64 {
+        assert!(y < self.domain, "PRP input {y} outside domain {}", self.domain);
+        let mut x = self.block_backward(y);
+        while x >= self.domain {
+            x = self.block_backward(x);
+        }
+        x
+    }
+
+    fn half_mask(&self) -> u64 {
+        (1u64 << self.half_bits) - 1
+    }
+
+    fn block_forward(&self, x: u64) -> u64 {
+        let mask = self.half_mask();
+        let mut left = (x >> self.half_bits) & mask;
+        let mut right = x & mask;
+        for rk in self.round_keys {
+            let new_left = right;
+            let new_right = left ^ (self.round(right, rk) & mask);
+            left = new_left;
+            right = new_right;
+        }
+        (left << self.half_bits) | right
+    }
+
+    fn block_backward(&self, y: u64) -> u64 {
+        let mask = self.half_mask();
+        let mut left = (y >> self.half_bits) & mask;
+        let mut right = y & mask;
+        for rk in self.round_keys.iter().rev() {
+            let prev_right = left;
+            let prev_left = right ^ (self.round(prev_right, *rk) & mask);
+            left = prev_left;
+            right = prev_right;
+        }
+        (left << self.half_bits) | right
+    }
+
+    fn round(&self, half: u64, round_key: u64) -> u64 {
+        splitmix64(half ^ round_key)
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn is_a_permutation_for_various_domains() {
+        for &domain in &[1u64, 2, 3, 7, 8, 16, 17, 100, 255, 256, 1000] {
+            let prp = Prp::new(domain, 0xdead_beef ^ domain);
+            let images: HashSet<u64> = (0..domain).map(|x| prp.apply(x)).collect();
+            assert_eq!(images.len() as u64, domain, "domain {domain}");
+            assert!(images.iter().all(|&y| y < domain), "domain {domain}");
+        }
+    }
+
+    #[test]
+    fn invert_undoes_apply() {
+        for &domain in &[1u64, 5, 64, 129, 1000] {
+            let prp = Prp::new(domain, 42 + domain);
+            for x in 0..domain {
+                assert_eq!(prp.invert(prp.apply(x)), x, "domain {domain} x {x}");
+                assert_eq!(prp.apply(prp.invert(x)), x, "domain {domain} x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_permutations() {
+        let domain = 128;
+        let a = Prp::new(domain, 1);
+        let b = Prp::new(domain, 2);
+        let differs = (0..domain).any(|x| a.apply(x) != b.apply(x));
+        assert!(differs);
+    }
+
+    #[test]
+    fn deterministic_for_same_key() {
+        let a = Prp::new(1000, 777);
+        let b = Prp::new(1000, 777);
+        for x in (0..1000).step_by(37) {
+            assert_eq!(a.apply(x), b.apply(x));
+        }
+    }
+
+    #[test]
+    fn permutation_is_not_identity_for_nontrivial_domains() {
+        let prp = Prp::new(1024, 3);
+        let moved = (0..1024).filter(|&x| prp.apply(x) != x).count();
+        assert!(moved > 900, "only {moved} of 1024 points moved");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_domain_panics() {
+        let prp = Prp::new(10, 0);
+        let _ = prp.apply(10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_domain_panics() {
+        let _ = Prp::new(0, 0);
+    }
+}

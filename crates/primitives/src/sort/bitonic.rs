@@ -1,0 +1,228 @@
+//! Batcher's bitonic sorting network, for arbitrary input lengths.
+//!
+//! This is the oblivious sort the paper builds everything on (§3.5): an
+//! in-place, input-independent `O(n log² n)` network.  The arbitrary-length
+//! variant used here follows the standard recursive construction: split the
+//! input in halves sorted in opposite directions, then merge the resulting
+//! bitonic sequence with hops of decreasing powers of two.  The sequence of
+//! compare-exchange positions depends only on `n`.
+//!
+//! The paper parameterises calls as `Bitonic-Sort⟨x ↑, y ↓, …⟩`; here the
+//! same thing is expressed with a key-extraction closure returning a tuple
+//! (use [`core::cmp::Reverse`] for descending components), plus an overall
+//! [`Direction`].
+
+use obliv_trace::{TraceSink, TrackedBuffer};
+
+use super::network::{greatest_power_of_two_below, Schedule};
+use super::{compare_exchange, Direction};
+use crate::ct::CtSelect;
+
+/// Sort `buf` in place, ascending by `key`.
+///
+/// ```
+/// use obliv_trace::{CollectingSink, Tracer};
+/// use obliv_primitives::sort::bitonic::sort_by_key;
+///
+/// let tracer = Tracer::new(CollectingSink::new());
+/// let mut buf = tracer.alloc_from(vec![5u64, 1, 4, 1, 3]);
+/// sort_by_key(&mut buf, |x| *x);
+/// assert_eq!(buf.as_slice(), &[1, 1, 3, 4, 5]);
+/// ```
+pub fn sort_by_key<T, S, K, F>(buf: &mut TrackedBuffer<T, S>, key: F)
+where
+    T: Copy + CtSelect,
+    S: TraceSink,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    sort_by_key_dir(buf, Direction::Ascending, key);
+}
+
+/// Sort `buf` in place in the given direction by `key`.
+pub fn sort_by_key_dir<T, S, K, F>(buf: &mut TrackedBuffer<T, S>, dir: Direction, key: F)
+where
+    T: Copy + CtSelect,
+    S: TraceSink,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let n = buf.len();
+    sort_range(buf, 0, n, dir, &key);
+}
+
+fn sort_range<T, S, K, F>(buf: &mut TrackedBuffer<T, S>, lo: usize, n: usize, dir: Direction, key: &F)
+where
+    T: Copy + CtSelect,
+    S: TraceSink,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    if n <= 1 {
+        return;
+    }
+    let m = n / 2;
+    // The two halves are sorted in opposite directions so that the whole
+    // range forms a bitonic sequence, which `merge_range` then sorts.
+    sort_range(buf, lo, m, dir.flipped(), key);
+    sort_range(buf, lo + m, n - m, dir, key);
+    merge_range(buf, lo, n, dir, key);
+}
+
+fn merge_range<T, S, K, F>(buf: &mut TrackedBuffer<T, S>, lo: usize, n: usize, dir: Direction, key: &F)
+where
+    T: Copy + CtSelect,
+    S: TraceSink,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    if n <= 1 {
+        return;
+    }
+    let m = greatest_power_of_two_below(n as u64) as usize;
+    for i in lo..lo + (n - m) {
+        compare_exchange(buf, i, i + m, dir, key);
+    }
+    merge_range(buf, lo, m, dir, key);
+    merge_range(buf, lo + m, n - m, dir, key);
+}
+
+/// The network's compare-exchange schedule for `n` elements, in execution
+/// order.  Executing [`sort_by_key`] on any input of length `n` touches
+/// exactly these pairs in exactly this order.
+pub fn schedule(n: usize) -> Schedule {
+    let mut sched = Schedule::new();
+    schedule_sort(&mut sched, 0, n);
+    sched
+}
+
+fn schedule_sort(sched: &mut Schedule, lo: usize, n: usize) {
+    if n <= 1 {
+        return;
+    }
+    let m = n / 2;
+    schedule_sort(sched, lo, m);
+    schedule_sort(sched, lo + m, n - m);
+    schedule_merge(sched, lo, n);
+}
+
+fn schedule_merge(sched: &mut Schedule, lo: usize, n: usize) {
+    if n <= 1 {
+        return;
+    }
+    let m = greatest_power_of_two_below(n as u64) as usize;
+    for i in lo..lo + (n - m) {
+        sched.push(i, i + m);
+    }
+    schedule_merge(sched, lo, m);
+    schedule_merge(sched, lo + m, n - m);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_trace::{AccessKind, CollectingSink, CountingSink, Tracer};
+
+    fn sorts_correctly(input: Vec<u64>) {
+        let tracer = Tracer::new(CountingSink::new());
+        let mut buf = tracer.alloc_from(input.clone());
+        sort_by_key(&mut buf, |x| *x);
+        let mut expected = input;
+        expected.sort_unstable();
+        assert_eq!(buf.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn sorts_all_small_permutation_like_inputs() {
+        // Exhaustive 0/1 inputs up to length 10: by the 0-1 principle, a
+        // comparator network that sorts every 0/1 sequence sorts everything.
+        for n in 0..=10usize {
+            for mask in 0u32..(1 << n) {
+                let input: Vec<u64> = (0..n).map(|i| ((mask >> i) & 1) as u64).collect();
+                let tracer = Tracer::new(CountingSink::new());
+                let mut buf = tracer.alloc_from(input.clone());
+                sort_by_key(&mut buf, |x| *x);
+                let mut expected = input;
+                expected.sort_unstable();
+                assert_eq!(buf.as_slice(), expected.as_slice(), "n={n} mask={mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_typical_inputs() {
+        sorts_correctly(vec![]);
+        sorts_correctly(vec![42]);
+        sorts_correctly(vec![5, 4, 3, 2, 1]);
+        sorts_correctly(vec![1, 1, 1, 1]);
+        sorts_correctly((0..97).rev().map(|x| x * 7 % 31).collect());
+        sorts_correctly((0..128).map(|x| (x * 2654435761u64) % 1000).collect());
+    }
+
+    #[test]
+    fn descending_direction() {
+        let tracer = Tracer::new(CountingSink::new());
+        let mut buf = tracer.alloc_from(vec![3u64, 9, 1, 7, 7]);
+        sort_by_key_dir(&mut buf, Direction::Descending, |x| *x);
+        assert_eq!(buf.as_slice(), &[9, 7, 7, 3, 1]);
+    }
+
+    #[test]
+    fn lexicographic_tuple_keys_with_reverse() {
+        use core::cmp::Reverse;
+        let tracer = Tracer::new(CountingSink::new());
+        // (group, value): ascending group, descending value.
+        let mut buf = tracer.alloc_from(vec![(2u64, 1u64), (1, 5), (2, 9), (1, 2)]);
+        sort_by_key(&mut buf, |&(g, v)| (g, Reverse(v)));
+        assert_eq!(buf.as_slice(), &[(1, 5), (1, 2), (2, 9), (2, 1)]);
+    }
+
+    #[test]
+    fn executed_accesses_follow_schedule_exactly() {
+        for n in [0usize, 1, 2, 3, 5, 8, 13] {
+            let sched = schedule(n);
+            let tracer = Tracer::new(CollectingSink::new());
+            let input: Vec<u64> = (0..n as u64).map(|x| (x * 37) % 11).collect();
+            let mut buf = tracer.alloc_from(input);
+            sort_by_key(&mut buf, |x| *x);
+            let accesses = tracer.with_sink(|s| s.accesses().to_vec());
+            assert_eq!(accesses.len(), sched.len() * 4, "n={n}");
+            for (g, chunk) in sched.gates().iter().zip(accesses.chunks(4)) {
+                assert_eq!(chunk[0].kind, AccessKind::Read);
+                assert_eq!(chunk[0].index, g.lo as u64);
+                assert_eq!(chunk[1].kind, AccessKind::Read);
+                assert_eq!(chunk[1].index, g.hi as u64);
+                assert_eq!(chunk[2].kind, AccessKind::Write);
+                assert_eq!(chunk[2].index, g.lo as u64);
+                assert_eq!(chunk[3].kind, AccessKind::Write);
+                assert_eq!(chunk[3].index, g.hi as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_input_independent() {
+        let n = 33usize;
+        let run = |input: Vec<u64>| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let mut buf = tracer.alloc_from(input);
+            sort_by_key(&mut buf, |x| *x);
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+        let a = run((0..n as u64).collect());
+        let b = run((0..n as u64).rev().collect());
+        let c = run(vec![7; n]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn comparison_counter_matches_schedule_size() {
+        for n in [1usize, 2, 7, 16, 33, 100] {
+            let tracer = Tracer::new(CountingSink::new());
+            let mut buf = tracer.alloc_from((0..n as u64).rev().collect::<Vec<_>>());
+            sort_by_key(&mut buf, |x| *x);
+            assert_eq!(tracer.counters().comparisons, schedule(n).len() as u64, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Static descriptions of sorting networks.
+//!
+//! A network's *schedule* — its sequence of compare-exchange index pairs —
+//! is a pure function of the array length.  Materialising the schedule is
+//! useful in three places:
+//!
+//! * tests assert that executing a sort touches exactly the scheduled pairs
+//!   (data independence by construction),
+//! * the analytical cost model (Table 1 and Table 3 predictions) needs gate
+//!   counts without running anything,
+//! * the enclave simulator can replay a schedule against its cost model.
+
+/// One compare-exchange gate of a network: the pair of positions touched,
+/// with `lo < hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gate {
+    /// Lower position.
+    pub lo: usize,
+    /// Higher position.
+    pub hi: usize,
+}
+
+/// The full schedule of a sorting network over `len` elements.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    gates: Vec<Gate>,
+}
+
+impl Schedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push(&mut self, lo: usize, hi: usize) {
+        debug_assert!(lo < hi);
+        self.gates.push(Gate { lo, hi });
+    }
+
+    /// The gates in execution order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of compare-exchange gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the schedule contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+}
+
+/// Number of comparators in a bitonic sort of `n` elements (exact, by
+/// construction of the schedule for small `n`; closed-form recurrence
+/// otherwise).
+pub fn bitonic_comparator_count(n: usize) -> u64 {
+    fn sort_count(n: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        let m = n / 2;
+        sort_count(m) + sort_count(n - m) + merge_count(n)
+    }
+    fn merge_count(n: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        let m = greatest_power_of_two_below(n);
+        (n - m) + merge_count(m) + merge_count(n - m)
+    }
+    sort_count(n as u64)
+}
+
+/// Number of comparators in an odd-even mergesort of `n` elements (counting
+/// only gates where both endpoints are below `n`).
+pub fn odd_even_comparator_count(n: usize) -> u64 {
+    crate::sort::odd_even::schedule(n).len() as u64
+}
+
+/// The asymptotic estimate the paper uses for a bitonic sort on `n` keys:
+/// roughly `n·(log₂ n)²/4` comparisons (§6.2).
+pub fn bitonic_comparator_estimate(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let lg = n.log2();
+    n * lg * lg / 4.0
+}
+
+/// Largest power of two strictly below `n` (assumes `n >= 2`).
+pub(crate) fn greatest_power_of_two_below(n: u64) -> u64 {
+    debug_assert!(n >= 2);
+    let mut p = 1u64;
+    while p * 2 < n {
+        p *= 2;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greatest_power_of_two_below_small_values() {
+        assert_eq!(greatest_power_of_two_below(2), 1);
+        assert_eq!(greatest_power_of_two_below(3), 2);
+        assert_eq!(greatest_power_of_two_below(4), 2);
+        assert_eq!(greatest_power_of_two_below(5), 4);
+        assert_eq!(greatest_power_of_two_below(8), 4);
+        assert_eq!(greatest_power_of_two_below(9), 8);
+        assert_eq!(greatest_power_of_two_below(1025), 1024);
+    }
+
+    #[test]
+    fn counts_match_schedules() {
+        for n in 0..64 {
+            let sched = crate::sort::bitonic::schedule(n);
+            assert_eq!(sched.len() as u64, bitonic_comparator_count(n), "bitonic n={n}");
+            let oes = crate::sort::odd_even::schedule(n);
+            assert_eq!(oes.len() as u64, odd_even_comparator_count(n), "odd-even n={n}");
+        }
+    }
+
+    #[test]
+    fn power_of_two_counts_match_closed_forms() {
+        // For n = 2^k the bitonic sorter has n·k·(k+1)/4 comparators.
+        for k in 1..=10u32 {
+            let n = 1usize << k;
+            let expected = (n as u64) * (k as u64) * (k as u64 + 1) / 4;
+            assert_eq!(bitonic_comparator_count(n), expected, "n = 2^{k}");
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_exact_count_within_factor() {
+        for &n in &[64usize, 256, 1024, 4096] {
+            let exact = bitonic_comparator_count(n) as f64;
+            let est = bitonic_comparator_estimate(n);
+            let ratio = exact / est;
+            assert!(ratio > 0.5 && ratio < 2.5, "n={n} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn schedule_push_and_access() {
+        let mut s = Schedule::new();
+        assert!(s.is_empty());
+        s.push(0, 3);
+        s.push(1, 2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.gates()[0], Gate { lo: 0, hi: 3 });
+        assert_eq!(s.gates()[1], Gate { lo: 1, hi: 2 });
+    }
+}

@@ -1,0 +1,145 @@
+//! Batcher's odd-even mergesort network, for arbitrary input lengths.
+//!
+//! The paper uses a bitonic sorter; odd-even mergesort is the other classic
+//! `O(n log² n)` data-independent network, with a somewhat smaller constant
+//! (about `n (log₂ n)²/4` comparators versus the bitonic sorter's
+//! `n (log₂ n)²/4 … /2` depending on `n`).  It is included as an ablation:
+//! `benches/sort_network_ablation.rs` swaps it into the join to measure how
+//! much the choice of network matters.
+//!
+//! Arbitrary lengths are handled with the standard trick of running the
+//! network for the next power of two and skipping every comparator with an
+//! endpoint `≥ n`; this is equivalent to padding the input with `+∞`
+//! sentinels, which an ascending network never moves out of the tail.
+
+use obliv_trace::{TraceSink, TrackedBuffer};
+
+use super::network::Schedule;
+use super::{compare_exchange, Direction};
+use crate::ct::CtSelect;
+
+/// Sort `buf` in place, ascending by `key`, using odd-even mergesort.
+pub fn sort_by_key<T, S, K, F>(buf: &mut TrackedBuffer<T, S>, key: F)
+where
+    T: Copy + CtSelect,
+    S: TraceSink,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let n = buf.len();
+    for gate in schedule(n).gates() {
+        compare_exchange(buf, gate.lo, gate.hi, Direction::Ascending, &key);
+    }
+}
+
+/// The network's compare-exchange schedule for `n` elements.
+///
+/// Unlike the bitonic implementation, the executor above literally walks
+/// this schedule, so agreement between the two is trivial; the schedule is
+/// still exposed so cost models and the enclave simulator can consume it.
+pub fn schedule(n: usize) -> Schedule {
+    let mut sched = Schedule::new();
+    if n >= 2 {
+        let p = n.next_power_of_two();
+        merge_sort(&mut sched, 0, p, n);
+    }
+    sched
+}
+
+fn merge_sort(sched: &mut Schedule, lo: usize, len: usize, n: usize) {
+    if len <= 1 {
+        return;
+    }
+    let half = len / 2;
+    merge_sort(sched, lo, half, n);
+    merge_sort(sched, lo + half, half, n);
+    merge(sched, lo, len, 1, n);
+}
+
+/// Odd-even merge of the (conceptually sorted) halves of `[lo, lo+len)`,
+/// comparing elements `step` apart.
+fn merge(sched: &mut Schedule, lo: usize, len: usize, step: usize, n: usize) {
+    let pair = step * 2;
+    if pair < len {
+        merge(sched, lo, len, pair, n);
+        merge(sched, lo + step, len, pair, n);
+        let mut i = lo + step;
+        while i + step < lo + len {
+            push_if_real(sched, i, i + step, n);
+            i += pair;
+        }
+    } else {
+        push_if_real(sched, lo, lo + step, n);
+    }
+}
+
+fn push_if_real(sched: &mut Schedule, lo: usize, hi: usize, n: usize) {
+    if hi < n {
+        sched.push(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_trace::{CollectingSink, CountingSink, Tracer};
+
+    #[test]
+    fn zero_one_principle_up_to_ten() {
+        for n in 0..=10usize {
+            for mask in 0u32..(1 << n) {
+                let input: Vec<u64> = (0..n).map(|i| ((mask >> i) & 1) as u64).collect();
+                let tracer = Tracer::new(CountingSink::new());
+                let mut buf = tracer.alloc_from(input.clone());
+                sort_by_key(&mut buf, |x| *x);
+                let mut expected = input;
+                expected.sort_unstable();
+                assert_eq!(buf.as_slice(), expected.as_slice(), "n={n} mask={mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_larger_inputs() {
+        for n in [17usize, 32, 63, 100, 257] {
+            let input: Vec<u64> = (0..n as u64).map(|x| (x * 2654435761) % 509).collect();
+            let tracer = Tracer::new(CountingSink::new());
+            let mut buf = tracer.alloc_from(input.clone());
+            sort_by_key(&mut buf, |x| *x);
+            let mut expected = input;
+            expected.sort_unstable();
+            assert_eq!(buf.as_slice(), expected.as_slice(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn trace_is_input_independent() {
+        let n = 29usize;
+        let run = |input: Vec<u64>| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let mut buf = tracer.alloc_from(input);
+            sort_by_key(&mut buf, |x| *x);
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+        assert_eq!(run((0..n as u64).collect()), run((0..n as u64).rev().collect()));
+    }
+
+    #[test]
+    fn gate_count_is_no_worse_than_bitonic_for_powers_of_two() {
+        for k in 2..=9u32 {
+            let n = 1usize << k;
+            let oe = schedule(n).len();
+            let bi = crate::sort::bitonic::schedule(n).len();
+            assert!(oe <= bi, "n={n}: odd-even {oe} vs bitonic {bi}");
+        }
+    }
+
+    #[test]
+    fn schedule_gates_stay_in_bounds() {
+        for n in 0..80usize {
+            for g in schedule(n).gates() {
+                assert!(g.lo < g.hi && g.hi < n, "n={n} gate {g:?}");
+            }
+        }
+    }
+}

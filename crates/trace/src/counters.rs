@@ -1,0 +1,99 @@
+//! Algorithm-level operation counters.
+//!
+//! The paper's Table 3 reports, for each subroutine of the join, the number
+//! of comparisons (compare-exchanges of the sorting networks, hops of the
+//! routing network) and the share of total runtime.  Memory-access counts
+//! come from [`CountingSink`](crate::CountingSink); the *semantic* operation
+//! counts come from these counters, which the primitives bump as they run.
+//!
+//! Counters are a pure function of the public parameters (`n₁`, `n₂`, `m`)
+//! for any oblivious routine — a property the test suites assert.
+
+/// Snapshot of all operation counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Key comparisons performed by sorting networks (one per
+    /// compare-exchange gate).
+    pub comparisons: u64,
+    /// Compare-exchange gates executed (each writes both elements back,
+    /// swapped or not).
+    pub compare_exchanges: u64,
+    /// Hop steps executed by the oblivious-distribution routing network
+    /// (each reads and writes a pair of cells `j` apart).
+    pub routing_hops: u64,
+    /// Elements touched by linear passes (dimension filling, fill-down,
+    /// alignment index computation, output zipping).
+    pub linear_steps: u64,
+}
+
+impl OpCounters {
+    /// All counters at zero.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Element-wise difference `self - earlier`; used to attribute work to a
+    /// phase by snapshotting before and after it.
+    pub fn since(&self, earlier: &OpCounters) -> OpCounters {
+        OpCounters {
+            comparisons: self.comparisons - earlier.comparisons,
+            compare_exchanges: self.compare_exchanges - earlier.compare_exchanges,
+            routing_hops: self.routing_hops - earlier.routing_hops,
+            linear_steps: self.linear_steps - earlier.linear_steps,
+        }
+    }
+
+    /// Sum of all counted operations; a coarse single-number cost proxy.
+    pub fn total_ops(&self) -> u64 {
+        self.comparisons + self.routing_hops + self.linear_steps
+    }
+}
+
+impl core::ops::Add for OpCounters {
+    type Output = OpCounters;
+
+    fn add(self, rhs: OpCounters) -> OpCounters {
+        OpCounters {
+            comparisons: self.comparisons + rhs.comparisons,
+            compare_exchanges: self.compare_exchanges + rhs.compare_exchanges,
+            routing_hops: self.routing_hops + rhs.routing_hops,
+            linear_steps: self.linear_steps + rhs.linear_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = OpCounters { comparisons: 10, compare_exchanges: 10, routing_hops: 4, linear_steps: 7 };
+        let b = OpCounters { comparisons: 3, compare_exchanges: 3, routing_hops: 1, linear_steps: 2 };
+        let d = a.since(&b);
+        assert_eq!(d, OpCounters { comparisons: 7, compare_exchanges: 7, routing_hops: 3, linear_steps: 5 });
+    }
+
+    #[test]
+    fn add_is_fieldwise() {
+        let a = OpCounters { comparisons: 1, compare_exchanges: 2, routing_hops: 3, linear_steps: 4 };
+        let b = OpCounters { comparisons: 10, compare_exchanges: 20, routing_hops: 30, linear_steps: 40 };
+        assert_eq!(
+            a + b,
+            OpCounters { comparisons: 11, compare_exchanges: 22, routing_hops: 33, linear_steps: 44 }
+        );
+    }
+
+    #[test]
+    fn total_ops_ignores_compare_exchanges_double_count() {
+        // compare_exchanges and comparisons count the same gates from two
+        // angles; total_ops must not double-count them.
+        let a = OpCounters { comparisons: 5, compare_exchanges: 5, routing_hops: 2, linear_steps: 1 };
+        assert_eq!(a.total_ops(), 8);
+    }
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(OpCounters::zero(), OpCounters::default());
+    }
+}

@@ -1,0 +1,343 @@
+//! Trace sinks: what to do with the access stream.
+//!
+//! The algorithms in this workspace are written once against the
+//! [`TrackedBuffer`](crate::TrackedBuffer) API; *what happens* to the
+//! resulting access stream is decided by the sink the
+//! [`Tracer`](crate::Tracer) was built with:
+//!
+//! * [`NullSink`] — discard everything (benchmark configuration; compiles to
+//!   nothing after inlining),
+//! * [`CollectingSink`] — keep the full log (Figure 7, small-`n` trace
+//!   equality tests),
+//! * [`HashingSink`] — keep only a chained SHA-256 fingerprint of the log
+//!   (the paper's large-`n` obliviousness experiment),
+//! * [`CountingSink`] — keep per-array read/write totals (cost accounting).
+
+use crate::access::{Access, ArrayId, TraceEvent};
+use crate::sha256::Sha256;
+
+/// A consumer of the observable event stream.
+///
+/// Implementations must be deterministic functions of the event sequence:
+/// the whole point of recording is to compare the streams of different runs.
+pub trait TraceSink {
+    /// Record one observable event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// Discards every event. This is the configuration used for timing runs so
+/// that tracing overhead does not distort the measured runtimes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Keeps the complete event log in memory.
+///
+/// Only suitable for small inputs (the log of a full join at `n = 10⁶` has
+/// on the order of 10⁹ entries); the paper makes the same distinction and
+/// switches to the hashed representation beyond `n = 10`.
+#[derive(Debug, Default, Clone)]
+pub struct CollectingSink {
+    accesses: Vec<Access>,
+    allocs: Vec<(ArrayId, u64)>,
+}
+
+impl CollectingSink {
+    /// A new, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded memory accesses, in program order.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// The recorded allocations (array id, length), in program order.
+    pub fn allocations(&self) -> &[(ArrayId, u64)] {
+        &self.allocs
+    }
+
+    /// Number of recorded memory accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if no accesses have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::Access(a) => self.accesses.push(a),
+            TraceEvent::Alloc { array, len } => self.allocs.push((array, len)),
+        }
+    }
+}
+
+/// Maintains the chained hash `H ← SHA-256(H ‖ r ‖ t ‖ i)` over the access
+/// stream, exactly as in the paper's §6.1 experiment, so traces of arbitrary
+/// length can be compared in constant space.
+///
+/// Allocation events are folded in as well (with a distinguishing tag byte)
+/// so that two programs allocating different-shaped scratch space cannot
+/// collide by accident.
+#[derive(Debug, Clone)]
+pub struct HashingSink {
+    state: [u8; 32],
+    events: u64,
+}
+
+impl Default for HashingSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashingSink {
+    /// Start from the all-zero state `H = 0`, as the paper does.
+    pub fn new() -> Self {
+        HashingSink { state: [0u8; 32], events: 0 }
+    }
+
+    /// The current chained digest.
+    pub fn digest(&self) -> [u8; 32] {
+        self.state
+    }
+
+    /// The current chained digest rendered as hex.
+    pub fn digest_hex(&self) -> String {
+        Sha256::hex(&self.state)
+    }
+
+    /// How many events have been folded into the digest.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl TraceSink for HashingSink {
+    fn record(&mut self, event: TraceEvent) {
+        let mut h = Sha256::new();
+        h.update(&self.state);
+        match event {
+            TraceEvent::Access(a) => {
+                h.update(&a.array.0.to_le_bytes());
+                h.update(&[a.kind.as_byte()]);
+                h.update(&a.index.to_le_bytes());
+            }
+            TraceEvent::Alloc { array, len } => {
+                h.update(&array.0.to_le_bytes());
+                // Tag byte 2 distinguishes allocations from reads (0) and
+                // writes (1).
+                h.update(&[2u8]);
+                h.update(&len.to_le_bytes());
+            }
+        }
+        self.state = h.finalize();
+        self.events += 1;
+    }
+}
+
+/// Per-array read/write totals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTotals {
+    /// Number of reads observed.
+    pub reads: u64,
+    /// Number of writes observed.
+    pub writes: u64,
+}
+
+impl AccessTotals {
+    /// Reads plus writes.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Counts reads and writes, overall and per array.
+#[derive(Debug, Default, Clone)]
+pub struct CountingSink {
+    overall: AccessTotals,
+    per_array: Vec<AccessTotals>,
+    allocated_cells: u64,
+}
+
+impl CountingSink {
+    /// A new sink with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Totals over every array.
+    pub fn overall(&self) -> AccessTotals {
+        self.overall
+    }
+
+    /// Totals for one array (zero if the array was never touched).
+    pub fn for_array(&self, array: ArrayId) -> AccessTotals {
+        self.per_array
+            .get(array.0 as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total number of public cells allocated (sum of allocation lengths).
+    pub fn allocated_cells(&self) -> u64 {
+        self.allocated_cells
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::Access(a) => {
+                let idx = a.array.0 as usize;
+                if idx >= self.per_array.len() {
+                    self.per_array.resize(idx + 1, AccessTotals::default());
+                }
+                let slot = &mut self.per_array[idx];
+                match a.kind {
+                    crate::access::AccessKind::Read => {
+                        slot.reads += 1;
+                        self.overall.reads += 1;
+                    }
+                    crate::access::AccessKind::Write => {
+                        slot.writes += 1;
+                        self.overall.writes += 1;
+                    }
+                }
+            }
+            TraceEvent::Alloc { len, .. } => self.allocated_cells += len,
+        }
+    }
+}
+
+/// Fans one event stream out to two sinks; lets a test both collect and hash
+/// the same run.
+#[derive(Debug, Default, Clone)]
+pub struct TeeSink<A, B> {
+    /// First receiving sink.
+    pub first: A,
+    /// Second receiving sink.
+    pub second: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Combine two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.first.record(event);
+        self.second.record(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessKind;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Alloc { array: ArrayId(0), len: 4 },
+            TraceEvent::Access(Access::read(ArrayId(0), 0)),
+            TraceEvent::Access(Access::write(ArrayId(0), 1)),
+            TraceEvent::Access(Access::read(ArrayId(0), 3)),
+        ]
+    }
+
+    #[test]
+    fn collecting_sink_keeps_order() {
+        let mut sink = CollectingSink::new();
+        for e in sample_events() {
+            sink.record(e);
+        }
+        assert_eq!(sink.len(), 3);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.allocations(), &[(ArrayId(0), 4)]);
+        assert_eq!(sink.accesses()[0].kind, AccessKind::Read);
+        assert_eq!(sink.accesses()[1].kind, AccessKind::Write);
+        assert_eq!(sink.accesses()[2].index, 3);
+    }
+
+    #[test]
+    fn hashing_sink_is_deterministic_and_order_sensitive() {
+        let mut a = HashingSink::new();
+        let mut b = HashingSink::new();
+        for e in sample_events() {
+            a.record(e);
+            b.record(e);
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.events(), 4);
+
+        // Swapping two events changes the digest.
+        let mut c = HashingSink::new();
+        let mut events = sample_events();
+        events.swap(1, 2);
+        for e in events {
+            c.record(e);
+        }
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn hashing_sink_distinguishes_reads_writes_and_allocs() {
+        let mut read = HashingSink::new();
+        read.record(TraceEvent::Access(Access::read(ArrayId(0), 7)));
+        let mut write = HashingSink::new();
+        write.record(TraceEvent::Access(Access::write(ArrayId(0), 7)));
+        let mut alloc = HashingSink::new();
+        alloc.record(TraceEvent::Alloc { array: ArrayId(0), len: 7 });
+        assert_ne!(read.digest(), write.digest());
+        assert_ne!(read.digest(), alloc.digest());
+        assert_ne!(write.digest(), alloc.digest());
+    }
+
+    #[test]
+    fn counting_sink_totals() {
+        let mut sink = CountingSink::new();
+        for e in sample_events() {
+            sink.record(e);
+        }
+        sink.record(TraceEvent::Access(Access::write(ArrayId(2), 0)));
+        assert_eq!(sink.overall(), AccessTotals { reads: 2, writes: 2 });
+        assert_eq!(sink.for_array(ArrayId(0)), AccessTotals { reads: 2, writes: 1 });
+        assert_eq!(sink.for_array(ArrayId(1)), AccessTotals::default());
+        assert_eq!(sink.for_array(ArrayId(2)), AccessTotals { reads: 0, writes: 1 });
+        assert_eq!(sink.for_array(ArrayId(9)), AccessTotals::default());
+        assert_eq!(sink.allocated_cells(), 4);
+        assert_eq!(sink.overall().total(), 4);
+    }
+
+    #[test]
+    fn tee_sink_feeds_both() {
+        let mut tee = TeeSink::new(CollectingSink::new(), CountingSink::new());
+        for e in sample_events() {
+            tee.record(e);
+        }
+        assert_eq!(tee.first.len(), 3);
+        assert_eq!(tee.second.overall().total(), 3);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        for e in sample_events() {
+            sink.record(e);
+        }
+    }
+}

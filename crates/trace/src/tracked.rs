@@ -1,0 +1,145 @@
+//! Public-memory arrays whose every access is observable.
+
+use crate::access::{Access, ArrayId};
+use crate::sink::TraceSink;
+use crate::tracer::Tracer;
+
+/// A public-memory array.
+///
+/// This is the workspace's rendering of the paper's adversarial model
+/// (§3.1): all table data lives in `TrackedBuffer`s, every element read or
+/// write goes through [`read`](TrackedBuffer::read) /
+/// [`write`](TrackedBuffer::write) and is reported to the owning
+/// [`Tracer`], and the algorithms are only allowed to hold a constant number
+/// of elements at a time in ordinary local variables (the paper's level-II
+/// constant local memory).
+///
+/// Element types are `Copy` on purpose: a database entry in this model is a
+/// fixed-width record that fits in the constant-size working set, and moving
+/// it between public and local memory is a bitwise copy.
+#[derive(Debug)]
+pub struct TrackedBuffer<T: Copy, S: TraceSink> {
+    id: ArrayId,
+    data: Vec<T>,
+    tracer: Tracer<S>,
+}
+
+impl<T: Copy, S: TraceSink> TrackedBuffer<T, S> {
+    pub(crate) fn from_parts(id: ArrayId, data: Vec<T>, tracer: Tracer<S>) -> Self {
+        TrackedBuffer { id, data, tracer }
+    }
+
+    /// The array's identifier in the trace.
+    pub fn id(&self) -> ArrayId {
+        self.id
+    }
+
+    /// The (public) length of the array.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// A handle to the tracer this buffer reports to.
+    pub fn tracer(&self) -> Tracer<S> {
+        self.tracer.clone()
+    }
+
+    /// `e ?← T[i]`: read element `i` into local memory.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds — array lengths are public, so a
+    /// bounds failure is a program bug, not an information leak.
+    #[inline]
+    pub fn read(&self, i: usize) -> T {
+        self.tracer.record_access(Access::read(self.id, i as u64));
+        self.data[i]
+    }
+
+    /// `T[i] ?← e`: write the local value `v` to element `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn write(&mut self, i: usize, v: T) {
+        self.tracer.record_access(Access::write(self.id, i as u64));
+        self.data[i] = v;
+    }
+
+    /// Out-of-model inspection of the whole array.
+    ///
+    /// This is **not** part of the oblivious programming model — it exists
+    /// so tests, reports and output extraction can look at final contents
+    /// without polluting the trace.  Algorithm code must not use it on data
+    /// whose access pattern matters.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Out-of-model consumption of the array (used when handing a finished
+    /// output table back to the caller).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectingSink, CountingSink};
+
+    #[test]
+    fn read_write_roundtrip() {
+        let tracer = Tracer::new(CountingSink::new());
+        let mut buf = tracer.alloc::<u64>(10);
+        for i in 0..10 {
+            buf.write(i, (i * i) as u64);
+        }
+        for i in 0..10 {
+            assert_eq!(buf.read(i), (i * i) as u64);
+        }
+        let totals = tracer.with_sink(|s| s.overall());
+        assert_eq!(totals.reads, 10);
+        assert_eq!(totals.writes, 10);
+    }
+
+    #[test]
+    fn alloc_from_preserves_contents_without_traced_writes() {
+        let tracer = Tracer::new(CollectingSink::new());
+        let buf = tracer.alloc_from(vec![7u8, 8, 9]);
+        assert_eq!(buf.as_slice(), &[7, 8, 9]);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+        tracer.with_sink(|s| assert!(s.accesses().is_empty()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let tracer = Tracer::new(CollectingSink::new());
+        let buf = tracer.alloc::<u8>(2);
+        let _ = buf.read(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        let tracer = Tracer::new(CollectingSink::new());
+        let mut buf = tracer.alloc::<u8>(2);
+        buf.write(5, 1);
+    }
+
+    #[test]
+    fn into_vec_returns_contents() {
+        let tracer = Tracer::new(CollectingSink::new());
+        let mut buf = tracer.alloc::<u32>(3);
+        buf.write(0, 1);
+        buf.write(1, 2);
+        buf.write(2, 3);
+        assert_eq!(buf.into_vec(), vec![1, 2, 3]);
+    }
+}

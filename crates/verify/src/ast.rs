@@ -1,0 +1,174 @@
+//! Abstract syntax of the small imperative language of Figure 6.
+//!
+//! The language is just expressive enough to write the kernels of the join:
+//! local-variable arithmetic, explicit array reads/writes (`x ?← A[i]`,
+//! `A[i] ?← x`), conditionals, and counted loops whose bound must be a
+//! public quantity.  Programs are values (no parser); the kernels in
+//! [`crate::programs`] are built with the helper constructors below.
+
+/// Security label of a variable or array (Figure 6): `L` for
+/// input-independent ("low") data such as sizes and loop counters, `H` for
+/// anything derived from table contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Public / input-independent.
+    Low,
+    /// Secret / input-dependent.
+    High,
+}
+
+impl Label {
+    /// The lattice join `l₁ ⊔ l₂`.
+    pub fn join(self, other: Label) -> Label {
+        if self == Label::High || other == Label::High {
+            Label::High
+        } else {
+            Label::Low
+        }
+    }
+
+    /// The ordering relation `l₁ ⊑ l₂` (information may flow from `self` to
+    /// `other`).
+    pub fn flows_to(self, other: Label) -> bool {
+        !(self == Label::High && other == Label::Low)
+    }
+}
+
+/// Expressions over local variables (array contents are only reachable
+/// through explicit read statements, mirroring the `?←` discipline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A local variable.
+    Var(String),
+    /// A literal constant (always low).
+    Const(i64),
+    /// Any binary operation; the operator itself is irrelevant to typing.
+    BinOp(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(a: Expr, b: Expr) -> Expr {
+        Expr::BinOp(Box::new(a), Box::new(b))
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `x ← e` — assignment between locals.
+    Assign {
+        /// Target variable.
+        var: String,
+        /// Source expression.
+        expr: Expr,
+    },
+    /// `x ?← A[i]` — traced read of a public array.
+    ArrayRead {
+        /// Target local variable.
+        var: String,
+        /// Source array.
+        array: String,
+        /// Index expression (must type as low).
+        index: Expr,
+    },
+    /// `A[i] ?← e` — traced write to a public array.
+    ArrayWrite {
+        /// Target array.
+        array: String,
+        /// Index expression (must type as low).
+        index: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `if c then s₁ else s₂` — both branches must emit identical traces.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch.
+        else_branch: Vec<Stmt>,
+    },
+    /// `for i ← 1 … t do s` — `t` must type as low.
+    For {
+        /// Loop counter name (bound as a low variable inside the body).
+        counter: String,
+        /// Iteration-count expression.
+        bound: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Helper constructors to keep kernel definitions readable.
+impl Stmt {
+    /// `var ← expr`.
+    pub fn assign(var: &str, expr: Expr) -> Stmt {
+        Stmt::Assign { var: var.to_string(), expr }
+    }
+
+    /// `var ?← array[index]`.
+    pub fn read(var: &str, array: &str, index: Expr) -> Stmt {
+        Stmt::ArrayRead { var: var.to_string(), array: array.to_string(), index }
+    }
+
+    /// `array[index] ?← value`.
+    pub fn write(array: &str, index: Expr, value: Expr) -> Stmt {
+        Stmt::ArrayWrite { array: array.to_string(), index, value }
+    }
+
+    /// `if cond { then_branch } else { else_branch }`.
+    pub fn if_else(cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then_branch, else_branch }
+    }
+
+    /// `for counter in 0..bound { body }`.
+    pub fn for_loop(counter: &str, bound: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { counter: counter.to_string(), bound, body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_lattice() {
+        assert_eq!(Label::Low.join(Label::Low), Label::Low);
+        assert_eq!(Label::Low.join(Label::High), Label::High);
+        assert_eq!(Label::High.join(Label::Low), Label::High);
+        assert_eq!(Label::High.join(Label::High), Label::High);
+
+        assert!(Label::Low.flows_to(Label::Low));
+        assert!(Label::Low.flows_to(Label::High));
+        assert!(Label::High.flows_to(Label::High));
+        assert!(!Label::High.flows_to(Label::Low));
+    }
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let s = Stmt::for_loop(
+            "i",
+            Expr::var("n"),
+            vec![
+                Stmt::read("x", "A", Expr::var("i")),
+                Stmt::assign("y", Expr::bin(Expr::var("x"), Expr::Const(1))),
+                Stmt::write("A", Expr::var("i"), Expr::var("y")),
+            ],
+        );
+        match s {
+            Stmt::For { counter, bound, body } => {
+                assert_eq!(counter, "i");
+                assert_eq!(bound, Expr::var("n"));
+                assert_eq!(body.len(), 3);
+            }
+            _ => panic!("expected a for loop"),
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The type checker of Figure 6.
+//!
+//! Judgements:
+//!
+//! * expressions: `Γ ⊢ e : Var l ; ε` — expressions only touch locals, so
+//!   they emit no trace and their label is the join of their variables',
+//! * statements: `Γ ⊢ s ; T` — the statement type-checks and emits the
+//!   symbolic trace `T`.
+//!
+//! A well-typed program's trace is, by construction, a function of the
+//! low-labelled inputs only (sizes, constants), which is the paper's level-II
+//! obliviousness.  On top of the condensed Figure 6 rules, the checker also
+//! rejects *implicit flows*: an assignment to a low variable (or any
+//! write to a low array) under a high branch condition.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Label, Stmt};
+use crate::trace::Trace;
+
+/// Declared type of a name: a local variable or a public array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarType {
+    /// A local (register) variable with the given label.
+    Var(Label),
+    /// A public array whose *contents* carry the given label.  Indices into
+    /// any array must always be low.
+    Array(Label),
+}
+
+/// The typing environment Γ.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    bindings: HashMap<String, VarType>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a local variable.
+    pub fn var(mut self, name: &str, label: Label) -> Self {
+        self.bindings.insert(name.to_string(), VarType::Var(label));
+        self
+    }
+
+    /// Declare a public array.
+    pub fn array(mut self, name: &str, label: Label) -> Self {
+        self.bindings.insert(name.to_string(), VarType::Array(label));
+        self
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarType> {
+        self.bindings.get(name).copied()
+    }
+}
+
+/// A typing error, i.e. a potential obliviousness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A name was used without being declared.
+    Unknown(String),
+    /// An array was used where a variable was expected, or vice versa.
+    Misuse(String),
+    /// An array index expression typed as high — the access pattern would
+    /// depend on secret data.
+    HighIndex {
+        /// The array being indexed.
+        array: String,
+    },
+    /// An assignment would move high data into a low location.
+    FlowViolation {
+        /// The assignment target.
+        target: String,
+    },
+    /// The two branches of a conditional emit different traces.
+    BranchTraceMismatch,
+    /// A loop bound typed as high — the number of iterations (and hence the
+    /// trace length) would depend on secret data.
+    HighLoopBound,
+    /// A low-labelled location is written under a high branch condition
+    /// (implicit flow).
+    ImplicitFlow {
+        /// The written target.
+        target: String,
+    },
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::Unknown(name) => write!(f, "unknown name `{name}`"),
+            TypeError::Misuse(name) => write!(f, "`{name}` used with the wrong kind (array vs variable)"),
+            TypeError::HighIndex { array } => {
+                write!(f, "array `{array}` indexed by a high (secret-dependent) expression")
+            }
+            TypeError::FlowViolation { target } => {
+                write!(f, "high data assigned to low location `{target}`")
+            }
+            TypeError::BranchTraceMismatch => {
+                write!(f, "the branches of a conditional emit different memory traces")
+            }
+            TypeError::HighLoopBound => write!(f, "loop bound depends on secret data"),
+            TypeError::ImplicitFlow { target } => {
+                write!(f, "low location `{target}` written under a secret branch condition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Type-check a whole program (a statement sequence) and return its symbolic
+/// trace.
+pub fn check_program(env: &Env, program: &[Stmt]) -> Result<Trace, TypeError> {
+    check_block(env, program, Label::Low)
+}
+
+fn check_block(env: &Env, block: &[Stmt], pc: Label) -> Result<Trace, TypeError> {
+    let mut trace = Trace::empty();
+    for stmt in block {
+        trace = trace.concat(check_stmt(env, stmt, pc)?);
+    }
+    Ok(trace)
+}
+
+/// Type an expression: the label is the join of its variables' labels.
+fn check_expr(env: &Env, expr: &Expr) -> Result<Label, TypeError> {
+    match expr {
+        Expr::Const(_) => Ok(Label::Low),
+        Expr::Var(name) => match env.lookup(name) {
+            Some(VarType::Var(label)) => Ok(label),
+            Some(VarType::Array(_)) => Err(TypeError::Misuse(name.clone())),
+            None => Err(TypeError::Unknown(name.clone())),
+        },
+        Expr::BinOp(a, b) => Ok(check_expr(env, a)?.join(check_expr(env, b)?)),
+    }
+}
+
+fn lookup_var(env: &Env, name: &str) -> Result<Label, TypeError> {
+    match env.lookup(name) {
+        Some(VarType::Var(label)) => Ok(label),
+        Some(VarType::Array(_)) => Err(TypeError::Misuse(name.to_string())),
+        None => Err(TypeError::Unknown(name.to_string())),
+    }
+}
+
+fn lookup_array(env: &Env, name: &str) -> Result<Label, TypeError> {
+    match env.lookup(name) {
+        Some(VarType::Array(label)) => Ok(label),
+        Some(VarType::Var(_)) => Err(TypeError::Misuse(name.to_string())),
+        None => Err(TypeError::Unknown(name.to_string())),
+    }
+}
+
+fn check_stmt(env: &Env, stmt: &Stmt, pc: Label) -> Result<Trace, TypeError> {
+    match stmt {
+        // T-Asgn: l_expr ⊑ l_var, plus the implicit-flow check on pc.
+        Stmt::Assign { var, expr } => {
+            let target = lookup_var(env, var)?;
+            let source = check_expr(env, expr)?;
+            if !source.flows_to(target) {
+                return Err(TypeError::FlowViolation { target: var.clone() });
+            }
+            if !pc.flows_to(target) {
+                return Err(TypeError::ImplicitFlow { target: var.clone() });
+            }
+            Ok(Trace::empty())
+        }
+        // T-Read: index low, l_array ⊑ l_var, emits ⟨R, array, index⟩.
+        Stmt::ArrayRead { var, array, index } => {
+            let target = lookup_var(env, var)?;
+            let contents = lookup_array(env, array)?;
+            if check_expr(env, index)? != Label::Low {
+                return Err(TypeError::HighIndex { array: array.clone() });
+            }
+            if !contents.flows_to(target) {
+                return Err(TypeError::FlowViolation { target: var.clone() });
+            }
+            if !pc.flows_to(target) {
+                return Err(TypeError::ImplicitFlow { target: var.clone() });
+            }
+            Ok(Trace::read(array, index.clone()))
+        }
+        // T-Write: index low, l_value ⊑ l_array, emits ⟨W, array, index⟩.
+        Stmt::ArrayWrite { array, index, value } => {
+            let contents = lookup_array(env, array)?;
+            if check_expr(env, index)? != Label::Low {
+                return Err(TypeError::HighIndex { array: array.clone() });
+            }
+            let source = check_expr(env, value)?;
+            if !source.flows_to(contents) {
+                return Err(TypeError::FlowViolation { target: array.clone() });
+            }
+            if !pc.flows_to(contents) {
+                return Err(TypeError::ImplicitFlow { target: array.clone() });
+            }
+            Ok(Trace::write(array, index.clone()))
+        }
+        // T-Cond: both branches must emit the same trace; the branch
+        // condition's label taints the program counter inside the branches.
+        Stmt::If { cond, then_branch, else_branch } => {
+            let cond_label = check_expr(env, cond)?;
+            let branch_pc = pc.join(cond_label);
+            let then_trace = check_block(env, then_branch, branch_pc)?;
+            let else_trace = check_block(env, else_branch, branch_pc)?;
+            if then_trace != else_trace {
+                return Err(TypeError::BranchTraceMismatch);
+            }
+            Ok(then_trace)
+        }
+        // T-For: the bound must be low; the counter is a fresh low variable
+        // in the body; the trace is the body trace repeated `bound` times.
+        Stmt::For { counter, bound, body } => {
+            if check_expr(env, bound)? != Label::Low {
+                return Err(TypeError::HighLoopBound);
+            }
+            let inner_env = env.clone().var(counter, Label::Low);
+            let body_trace = check_block(&inner_env, body, pc)?;
+            Ok(Trace::repeat(bound.clone(), body_trace))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_env() -> Env {
+        Env::new()
+            .var("n", Label::Low)
+            .var("m", Label::Low)
+            .var("x", Label::High)
+            .var("y", Label::High)
+            .var("lo", Label::Low)
+            .array("A", Label::High)
+            .array("B", Label::High)
+            .array("P", Label::Low)
+    }
+
+    #[test]
+    fn fixed_scan_is_well_typed() {
+        // for i in 0..n { x ?← A[i]; A[i] ?← x }
+        let prog = vec![Stmt::for_loop(
+            "i",
+            Expr::var("n"),
+            vec![
+                Stmt::read("x", "A", Expr::var("i")),
+                Stmt::write("A", Expr::var("i"), Expr::var("x")),
+            ],
+        )];
+        let trace = check_program(&base_env(), &prog).expect("well-typed");
+        assert_eq!(trace.len(), 1, "one repeat node");
+    }
+
+    #[test]
+    fn secret_index_is_rejected() {
+        // A[x] ?← y with x high.
+        let prog = vec![Stmt::write("A", Expr::var("x"), Expr::var("y"))];
+        assert_eq!(
+            check_program(&base_env(), &prog),
+            Err(TypeError::HighIndex { array: "A".into() })
+        );
+    }
+
+    #[test]
+    fn secret_loop_bound_is_rejected() {
+        let prog = vec![Stmt::for_loop("i", Expr::var("x"), vec![])];
+        assert_eq!(check_program(&base_env(), &prog), Err(TypeError::HighLoopBound));
+    }
+
+    #[test]
+    fn high_to_low_assignment_is_rejected() {
+        let prog = vec![Stmt::assign("lo", Expr::var("x"))];
+        assert_eq!(
+            check_program(&base_env(), &prog),
+            Err(TypeError::FlowViolation { target: "lo".into() })
+        );
+        // Reading a high array into a low variable is equally bad.
+        let prog = vec![Stmt::read("lo", "A", Expr::var("n"))];
+        assert_eq!(
+            check_program(&base_env(), &prog),
+            Err(TypeError::FlowViolation { target: "lo".into() })
+        );
+    }
+
+    #[test]
+    fn branches_with_same_trace_accept_and_different_traces_reject() {
+        // if x { y ← A[i]; A[i] ← y } else { y ← A[i]; A[i] ← y }  (same trace)
+        let balanced = vec![Stmt::for_loop(
+            "i",
+            Expr::var("n"),
+            vec![Stmt::if_else(
+                Expr::var("x"),
+                vec![
+                    Stmt::read("y", "A", Expr::var("i")),
+                    Stmt::write("A", Expr::var("i"), Expr::var("y")),
+                ],
+                vec![
+                    Stmt::read("y", "A", Expr::var("i")),
+                    Stmt::write("A", Expr::var("i"), Expr::Const(0)),
+                ],
+            )],
+        )];
+        assert!(check_program(&base_env(), &balanced).is_ok());
+
+        // Unbalanced: the else branch touches B instead of A.
+        let unbalanced = vec![Stmt::if_else(
+            Expr::var("x"),
+            vec![Stmt::read("y", "A", Expr::var("n"))],
+            vec![Stmt::read("y", "B", Expr::var("n"))],
+        )];
+        assert_eq!(check_program(&base_env(), &unbalanced), Err(TypeError::BranchTraceMismatch));
+    }
+
+    #[test]
+    fn implicit_flow_to_low_location_is_rejected() {
+        // if x { lo ← 1 } else { lo ← 0 } — no memory trace difference, but
+        // a low variable now encodes a secret.
+        let prog = vec![Stmt::if_else(
+            Expr::var("x"),
+            vec![Stmt::assign("lo", Expr::Const(1))],
+            vec![Stmt::assign("lo", Expr::Const(0))],
+        )];
+        assert_eq!(
+            check_program(&base_env(), &prog),
+            Err(TypeError::ImplicitFlow { target: "lo".into() })
+        );
+
+        // Writing a low array under a high guard is rejected for the same
+        // reason, even with identical traces in both branches.
+        let prog = vec![Stmt::if_else(
+            Expr::var("x"),
+            vec![Stmt::write("P", Expr::var("n"), Expr::Const(1))],
+            vec![Stmt::write("P", Expr::var("n"), Expr::Const(0))],
+        )];
+        assert_eq!(
+            check_program(&base_env(), &prog),
+            Err(TypeError::ImplicitFlow { target: "P".into() })
+        );
+    }
+
+    #[test]
+    fn unknown_and_misused_names_are_reported() {
+        let prog = vec![Stmt::assign("nope", Expr::Const(1))];
+        assert_eq!(check_program(&base_env(), &prog), Err(TypeError::Unknown("nope".into())));
+
+        let prog = vec![Stmt::assign("A", Expr::Const(1))];
+        assert_eq!(check_program(&base_env(), &prog), Err(TypeError::Misuse("A".into())));
+
+        let prog = vec![Stmt::read("x", "y", Expr::var("n"))];
+        assert_eq!(check_program(&base_env(), &prog), Err(TypeError::Misuse("y".into())));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        for err in [
+            TypeError::Unknown("q".into()),
+            TypeError::Misuse("q".into()),
+            TypeError::HighIndex { array: "A".into() },
+            TypeError::FlowViolation { target: "x".into() },
+            TypeError::BranchTraceMismatch,
+            TypeError::HighLoopBound,
+            TypeError::ImplicitFlow { target: "x".into() },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # obliv-verify — a memory-trace obliviousness type system
+//!
+//! A reimplementation of the condensed type system the paper uses to verify
+//! its prototype (Figure 6, after Liu et al., "Memory trace oblivious
+//! program execution"): a small imperative language with `L`/`H` security
+//! labels in which
+//!
+//! * array indices and loop bounds must be low (input-independent),
+//! * information may only flow upwards (`L ⊑ H`), including implicitly
+//!   through branch conditions,
+//! * the two branches of every conditional must emit identical symbolic
+//!   memory traces.
+//!
+//! A well-typed program's trace is a function of its low inputs only — the
+//! paper's level-II obliviousness.  [`programs`] transcribes each kernel of
+//! the join into this language; the crate's tests check that all of them
+//! type-check and that deliberately leaky variants (the plain sort-merge
+//! scan, a secret-indexed probe) are rejected.
+//!
+//! ```
+//! use obliv_verify::{check_program, programs};
+//!
+//! for kernel in programs::join_kernels() {
+//!     check_program(&kernel.env, &kernel.body)
+//!         .unwrap_or_else(|e| panic!("{} is not oblivious: {e}", kernel.name));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod programs;
+pub mod trace;
+
+pub use ast::{Expr, Label, Stmt};
+pub use check::{check_program, Env, TypeError, VarType};
+pub use programs::Kernel;
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,131 @@
+//! Symbolic memory traces.
+//!
+//! The type system of Figure 6 assigns every statement a *trace*: the
+//! sequence of array accesses it performs, with indices kept as syntactic
+//! expressions (the loop bounds `n`, `m` are symbolic).  Two programs are
+//! trace-equivalent when these symbolic traces are structurally equal; the
+//! `T-Cond` rule demands exactly that of the two branches of a conditional.
+
+use crate::ast::Expr;
+
+/// One symbolic access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `⟨R, array, index⟩`.
+    Read {
+        /// Accessed array.
+        array: String,
+        /// Symbolic index expression.
+        index: Expr,
+    },
+    /// `⟨W, array, index⟩`.
+    Write {
+        /// Accessed array.
+        array: String,
+        /// Symbolic index expression.
+        index: Expr,
+    },
+    /// A trace repeated a symbolic number of times (`T‖…‖T`, the `T-For`
+    /// rule).  Kept un-expanded so traces stay polynomial in program size.
+    Repeat {
+        /// Symbolic iteration count.
+        count: Expr,
+        /// The body trace.
+        body: Trace,
+    },
+}
+
+/// A sequence of symbolic events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// The empty trace `ε`.
+    pub fn empty() -> Self {
+        Trace::default()
+    }
+
+    /// A single read event.
+    pub fn read(array: &str, index: Expr) -> Self {
+        Trace { events: vec![TraceEvent::Read { array: array.to_string(), index }] }
+    }
+
+    /// A single write event.
+    pub fn write(array: &str, index: Expr) -> Self {
+        Trace { events: vec![TraceEvent::Write { array: array.to_string(), index }] }
+    }
+
+    /// Concatenation `T₁ ‖ T₂`.
+    pub fn concat(mut self, other: Trace) -> Trace {
+        self.events.extend(other.events);
+        self
+    }
+
+    /// Repetition of `body`, `count` times.
+    pub fn repeat(count: Expr, body: Trace) -> Trace {
+        if body.is_empty() {
+            // Repeating an empty trace is still empty; normalising here makes
+            // trace equality less syntax-dependent.
+            return Trace::empty();
+        }
+        Trace { events: vec![TraceEvent::Repeat { count, body }] }
+    }
+
+    /// Whether the trace contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events of the trace.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of top-level events (repetitions count as one).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_preserves_order() {
+        let t = Trace::read("A", Expr::var("i")).concat(Trace::write("A", Expr::var("i")));
+        assert_eq!(t.len(), 2);
+        assert!(matches!(t.events()[0], TraceEvent::Read { .. }));
+        assert!(matches!(t.events()[1], TraceEvent::Write { .. }));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Trace::read("A", Expr::var("i"));
+        let b = Trace::read("A", Expr::var("i"));
+        let c = Trace::read("A", Expr::var("j"));
+        let d = Trace::read("B", Expr::var("i"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn repeat_of_empty_is_empty() {
+        let t = Trace::repeat(Expr::var("n"), Trace::empty());
+        assert!(t.is_empty());
+        assert_eq!(t, Trace::empty());
+    }
+
+    #[test]
+    fn repeats_compare_by_count_and_body() {
+        let body = Trace::read("A", Expr::var("i"));
+        let a = Trace::repeat(Expr::var("n"), body.clone());
+        let b = Trace::repeat(Expr::var("n"), body.clone());
+        let c = Trace::repeat(Expr::var("m"), body);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,178 @@
+//! Table-pair generators with controlled group structure.
+
+use obliv_join::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated workload: two input tables plus the exact output size of
+/// their join (handy for assertions and for labelling benchmark points).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Human-readable name of the generator and its parameters.
+    pub name: String,
+    /// The left input table.
+    pub left: Table,
+    /// The right input table.
+    pub right: Table,
+    /// Exact join output size `m`.
+    pub output_size: u64,
+}
+
+impl WorkloadSpec {
+    fn new(name: String, left: Table, right: Table) -> Self {
+        let output_size = left.join_output_size(&right);
+        WorkloadSpec { name, left, right, output_size }
+    }
+
+    /// Total input size `n = n₁ + n₂`.
+    pub fn input_size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+}
+
+/// `n₁ = n₂ = half` tables whose keys match one-to-one: `m = half`.
+///
+/// This is the balanced workload of Figure 8 (`m ≈ n₁ = n₂ = n/2`).
+pub fn balanced_unique_keys(half: usize, seed: u64) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let left = (0..half as u64).map(|k| (k, rng.gen::<u32>() as u64)).collect();
+    let right = (0..half as u64).map(|k| (k, rng.gen::<u32>() as u64)).collect();
+    WorkloadSpec::new(format!("balanced_unique_keys(n1=n2={half})"), left, right)
+}
+
+/// A single join value shared by every row of both tables: one `n₁ × n₂`
+/// group, `m = n₁·n₂`.
+pub fn single_group(n1: usize, n2: usize, seed: u64) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key = rng.gen::<u32>() as u64;
+    let left = (0..n1).map(|i| (key, i as u64)).collect();
+    let right = (0..n2).map(|i| (key, 1_000_000 + i as u64)).collect();
+    WorkloadSpec::new(format!("single_group({n1}x{n2})"), left, right)
+}
+
+/// Group sizes drawn from a (discretised) power-law distribution with the
+/// given exponent, until each table reaches its target size.
+///
+/// Matches the paper's "group sizes were drawn from a power law
+/// distribution" test inputs.
+pub fn power_law(n1: usize, n2: usize, exponent: f64, seed: u64) -> WorkloadSpec {
+    assert!(exponent > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut left = Table::with_capacity(n1);
+    let mut right = Table::with_capacity(n2);
+    let mut key = 0u64;
+    let max_group = 1 + (n1.max(n2) / 4).max(1);
+
+    // Inverse-CDF sampling of a zeta-like distribution, clamped so a single
+    // group cannot swallow the whole table.
+    let sample_group = |rng: &mut StdRng| -> usize {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let size = u.powf(-1.0 / (exponent - 1.0)).floor() as usize;
+        size.clamp(1, max_group)
+    };
+
+    while left.len() < n1 || right.len() < n2 {
+        let g1 = if left.len() < n1 { sample_group(&mut rng).min(n1 - left.len()) } else { 0 };
+        let g2 = if right.len() < n2 { sample_group(&mut rng).min(n2 - right.len()) } else { 0 };
+        for _ in 0..g1 {
+            left.push(key, rng.gen::<u32>() as u64);
+        }
+        for _ in 0..g2 {
+            right.push(key, rng.gen::<u32>() as u64);
+        }
+        key += 1;
+    }
+    WorkloadSpec::new(format!("power_law(n1={n1}, n2={n2}, a={exponent})"), left, right)
+}
+
+/// A primary-key table of `num_keys` rows and a foreign-key table of
+/// `num_foreign` rows referencing those keys uniformly at random.
+///
+/// This is the workload class Opaque's join is restricted to; the general
+/// join and the PK–FK baseline can both run it.
+pub fn pk_fk(num_keys: usize, num_foreign: usize, seed: u64) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let left: Table = (0..num_keys as u64).map(|k| (k, 10_000 + k)).collect();
+    let right: Table = (0..num_foreign)
+        .map(|i| (rng.gen_range(0..num_keys.max(1)) as u64, i as u64))
+        .collect();
+    WorkloadSpec::new(format!("pk_fk(keys={num_keys}, foreign={num_foreign})"), left, right)
+}
+
+/// A TPC-style `orders ⋈ lineitem` synthetic: `scale` orders, each with a
+/// small random number of line items (1–7).  The join key is the order id.
+///
+/// Used by the examples to exercise the API on a workload that looks like
+/// the analytics queries the paper's introduction motivates.
+pub fn orders_lineitem(scale: usize, seed: u64) -> WorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let orders: Table = (0..scale as u64).map(|o| (o, 500 + (o % 97))).collect();
+    let mut lineitems = Table::new();
+    for order in 0..scale as u64 {
+        let items = rng.gen_range(1..=7u64);
+        for item in 0..items {
+            lineitems.push(order, order * 10 + item);
+        }
+    }
+    WorkloadSpec::new(format!("orders_lineitem(scale={scale})"), orders, lineitems)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_workload_has_matching_output_size() {
+        let w = balanced_unique_keys(128, 7);
+        assert_eq!(w.left.len(), 128);
+        assert_eq!(w.right.len(), 128);
+        assert_eq!(w.output_size, 128);
+        assert_eq!(w.input_size(), 256);
+    }
+
+    #[test]
+    fn single_group_output_is_product() {
+        let w = single_group(9, 11, 3);
+        assert_eq!(w.output_size, 99);
+    }
+
+    #[test]
+    fn power_law_reaches_target_sizes() {
+        let w = power_law(200, 150, 2.0, 42);
+        assert_eq!(w.left.len(), 200);
+        assert_eq!(w.right.len(), 150);
+        // Shared keys guarantee at least some output.
+        assert!(w.output_size > 0);
+    }
+
+    #[test]
+    fn power_law_is_deterministic_per_seed() {
+        let a = power_law(100, 100, 1.8, 5);
+        let b = power_law(100, 100, 1.8, 5);
+        let c = power_law(100, 100, 1.8, 6);
+        assert_eq!(a.left, b.left);
+        assert_eq!(a.right, b.right);
+        assert_ne!(a.left, c.left);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn power_law_rejects_small_exponent() {
+        let _ = power_law(10, 10, 1.0, 0);
+    }
+
+    #[test]
+    fn pk_fk_has_unique_primary_keys_and_bounded_output() {
+        let w = pk_fk(50, 300, 11);
+        let hist = w.left.key_histogram();
+        assert!(hist.values().all(|&c| c == 1));
+        assert_eq!(w.output_size, 300, "every foreign row references an existing key");
+    }
+
+    #[test]
+    fn orders_lineitem_output_equals_lineitem_count() {
+        let w = orders_lineitem(40, 13);
+        assert_eq!(w.left.len(), 40);
+        assert_eq!(w.output_size, w.right.len() as u64);
+    }
+}

@@ -1,0 +1,19 @@
+//! # obliv-workloads — deterministic workload generators
+//!
+//! The paper's evaluation (§6) exercises the join on inputs with controlled
+//! group structure: `n` one-by-one groups, a single `1 × n` group, group
+//! sizes drawn from a power-law distribution, primary/foreign-key tables,
+//! and balanced inputs with `m ≈ n₁ = n₂` for the scaling experiments.  This
+//! crate generates all of those, deterministically from a seed, so every
+//! experiment in the workspace is reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod suite;
+
+pub use generators::{
+    balanced_unique_keys, orders_lineitem, pk_fk, power_law, single_group, WorkloadSpec,
+};
+pub use suite::{correctness_suite, trace_classes, TraceClass};

@@ -1,0 +1,148 @@
+//! Pre-packaged workload collections mirroring the paper's test methodology.
+
+use obliv_join::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generators::{balanced_unique_keys, power_law, single_group, WorkloadSpec};
+
+/// The paper's correctness methodology (§6): "for each `n`, we automatically
+/// generated 20 tests consisting of various different inputs of size `n`
+/// (for instance, one inducing `n` 1×1 groups, one inducing a single `1×n`
+/// group, and several where the group sizes were drawn from a power law
+/// distribution)".
+///
+/// `n` is the total input size (`n₁ + n₂`); the suite contains exactly
+/// `count` workloads.
+pub fn correctness_suite(n: usize, count: usize, seed: u64) -> Vec<WorkloadSpec> {
+    assert!(n >= 2, "need at least one row per table");
+    let half = n / 2;
+    let mut suite = Vec::with_capacity(count);
+
+    // The two structured extremes from the paper.
+    suite.push(balanced_unique_keys(half, seed));
+    suite.push(single_group(1, n - 1, seed ^ 1));
+
+    // The rest: power-law group structures with varying exponents and
+    // varying left/right splits.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+    let mut i = 0u64;
+    while suite.len() < count {
+        let exponent = 1.5 + (i as f64 % 5.0) * 0.35;
+        let split = rng.gen_range(1..n);
+        suite.push(power_law(split, n - split, exponent, seed.wrapping_add(1000 + i)));
+        i += 1;
+    }
+    suite
+}
+
+/// A class of inputs that must produce *identical* memory traces: all its
+/// members have the same `(n₁, n₂, m)` but different contents and group
+/// structure.  Mirrors the paper's §6.1 "test classes".
+#[derive(Debug, Clone)]
+pub struct TraceClass {
+    /// Description of the shared shape.
+    pub name: String,
+    /// Left table size shared by all members.
+    pub n1: usize,
+    /// Right table size shared by all members.
+    pub n2: usize,
+    /// Output size shared by all members.
+    pub output_size: u64,
+    /// The member table pairs.
+    pub members: Vec<(Table, Table)>,
+}
+
+/// Build a trace class with the given shape `(n₁, n₂, m = n₁)` containing
+/// `members` structurally different inputs.
+///
+/// The construction keeps `m` fixed at `n₁` while varying the group
+/// structure: member `k` groups the left table's keys into runs of size
+/// `k + 1` and gives each distinct key exactly one matching right-table row,
+/// so every left row contributes exactly one output row no matter how the
+/// groups are shaped.  Data values are freshly drawn for every member.
+pub fn trace_classes(n1: usize, n2: usize, members: usize, seed: u64) -> TraceClass {
+    assert!(n1 >= 1 && n2 >= n1, "need n2 >= n1 >= 1 for this construction");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(members);
+
+    for k in 0..members {
+        let group = k + 1;
+        // Left: n1 rows, keys in runs of `group`.
+        let left: Table = (0..n1).map(|i| ((i / group) as u64, rng.gen::<u32>() as u64)).collect();
+        // Right: for each left group (of size g), exactly one matching row
+        // replicated... no — to keep m = n1 exactly we give each *left key*
+        // exactly one matching right row, and pad the right table to n2 with
+        // keys that never match.
+        // Right: exactly one row per distinct left key (so each left row
+        // contributes one output row and m = n₁ regardless of the group
+        // size), padded to n₂ with keys that never match.
+        let distinct_keys = n1.div_ceil(group);
+        let mut right = Table::with_capacity(n2);
+        for key in 0..distinct_keys as u64 {
+            right.push(key, rng.gen::<u32>() as u64);
+        }
+        while right.len() < n2 {
+            right.push(u64::MAX - right.len() as u64, rng.gen::<u32>() as u64);
+        }
+        assert_eq!(right.len(), n2, "construction exceeded n2; need n2 >= ceil(n1/(k+1))");
+        out.push((left, right));
+    }
+
+    let m = out[0].0.join_output_size(&out[0].1);
+    for (l, r) in &out {
+        debug_assert_eq!(l.join_output_size(r), m);
+    }
+    TraceClass {
+        name: format!("shape(n1={n1}, n2={n2}, m={m})"),
+        n1,
+        n2,
+        output_size: m,
+        members: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correctness_suite_has_requested_size_and_total_n() {
+        let suite = correctness_suite(64, 20, 9);
+        assert_eq!(suite.len(), 20);
+        for w in &suite {
+            assert_eq!(w.input_size(), 64, "{}", w.name);
+        }
+        // The two canonical extremes are present.
+        assert!(suite[0].name.contains("balanced"));
+        assert!(suite[1].name.contains("single_group"));
+    }
+
+    #[test]
+    fn trace_class_members_share_shape() {
+        let class = trace_classes(12, 16, 4, 3);
+        assert_eq!(class.members.len(), 4);
+        for (l, r) in &class.members {
+            assert_eq!(l.len(), 12);
+            assert_eq!(r.len(), 16);
+            assert_eq!(l.join_output_size(r), class.output_size);
+        }
+        assert_eq!(class.output_size, 12);
+    }
+
+    #[test]
+    fn trace_class_members_differ_in_structure() {
+        let class = trace_classes(8, 8, 3, 1);
+        // Member 0 has 8 distinct keys, member 2 has ceil(8/3) = 3.
+        let keys0 = class.members[0].0.key_histogram().len();
+        let keys2 = class.members[2].0.key_histogram().len();
+        assert_eq!(keys0, 8);
+        assert_eq!(keys2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "n2 >= n1")]
+    fn trace_class_rejects_bad_sizes() {
+        let _ = trace_classes(10, 5, 2, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: join two small tables obliviously and inspect the result.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use obliv_join_suite::prelude::*;
+
+fn main() {
+    // A toy schema: employees(dept_id, employee_id) ⋈ departments(dept_id, site_id).
+    let employees = Table::from_pairs(vec![
+        (10, 1), // Alice works in department 10
+        (10, 2), // Bob works in department 10
+        (20, 3), // Carol works in department 20
+        (30, 4), // Dave works in department 30 (no site on record)
+    ]);
+    let departments = Table::from_pairs(vec![
+        (10, 700), // department 10 is at site 700
+        (20, 800), // department 20 is at site 800
+        (40, 900), // department 40 has no employees
+    ]);
+
+    // The join's access pattern depends only on the table sizes and the
+    // output size — not on which employees belong to which department.
+    let result = oblivious_join(&employees, &departments);
+
+    println!("employee_id -> site_id ({} rows):", result.len());
+    for row in &result.rows {
+        println!("  employee {:>2} works at site {}", row.left, row.right);
+    }
+
+    println!("\nper-phase cost breakdown:");
+    for phase in Phase::ALL {
+        let stats = result.stats.phase(phase);
+        println!(
+            "  {:<22} {:>6} comparisons, {:>6} routing hops, {:>7.3} ms",
+            phase.label(),
+            stats.ops.comparisons,
+            stats.ops.routing_hops,
+            stats.wall.as_secs_f64() * 1e3,
+        );
+    }
+    println!(
+        "\ntotal: {} comparisons, {} routing hops, output size m = {}",
+        result.stats.total_ops().comparisons,
+        result.stats.total_ops().routing_hops,
+        result.stats.output_size,
+    );
+}

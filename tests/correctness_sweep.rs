@@ -1,0 +1,88 @@
+//! The paper's correctness methodology (§6): for a range of input sizes,
+//! run a generated suite of structurally diverse workloads through the
+//! oblivious join and compare every output against an insecure reference.
+
+use obliv_join_suite::prelude::*;
+use obliv_join_suite::join::sorted_rows;
+
+fn assert_matches_reference(left: &Table, right: &Table, label: &str) {
+    let oblivious = oblivious_join(left, right);
+    let reference = hash_join(left, right);
+    assert_eq!(
+        sorted_rows(oblivious.rows.clone()),
+        sorted_rows(reference),
+        "mismatch on workload {label}"
+    );
+    assert_eq!(oblivious.stats.output_size as usize, oblivious.rows.len(), "{label}");
+    assert_eq!(
+        oblivious.stats.output_size,
+        left.join_output_size(right),
+        "revealed output size disagrees with the plaintext computation on {label}"
+    );
+}
+
+#[test]
+fn suite_of_twenty_workloads_at_small_sizes() {
+    for n in [10usize, 24, 60] {
+        for workload in correctness_suite(n, 20, 0xfeed + n as u64) {
+            assert_matches_reference(&workload.left, &workload.right, &workload.name);
+        }
+    }
+}
+
+#[test]
+fn suite_at_moderate_size() {
+    for workload in correctness_suite(400, 8, 77) {
+        assert_matches_reference(&workload.left, &workload.right, &workload.name);
+    }
+}
+
+#[test]
+fn structured_extremes() {
+    // n 1×1 groups.
+    let w = balanced_unique_keys(128, 3);
+    assert_matches_reference(&w.left, &w.right, &w.name);
+
+    // A single 1×n group.
+    let w = single_group(1, 255, 4);
+    assert_matches_reference(&w.left, &w.right, &w.name);
+
+    // A single n×n group (quadratic output).
+    let w = single_group(24, 24, 5);
+    assert_matches_reference(&w.left, &w.right, &w.name);
+
+    // Primary/foreign key.
+    let w = pk_fk(64, 300, 6);
+    assert_matches_reference(&w.left, &w.right, &w.name);
+
+    // Orders/lineitem style.
+    let w = orders_lineitem(100, 7);
+    assert_matches_reference(&w.left, &w.right, &w.name);
+}
+
+#[test]
+fn all_join_implementations_agree() {
+    let workload = power_law(150, 200, 2.0, 99);
+    let (left, right) = (&workload.left, &workload.right);
+
+    let oblivious = sorted_rows(oblivious_join(left, right).rows);
+    let hash = sorted_rows(hash_join(left, right));
+    let (merge_rows, _) = sort_merge_join(left, right);
+    let merge = sorted_rows(merge_rows);
+    let tracer = Tracer::new(NullSink);
+    let nested = sorted_rows(nested_loop_join(&tracer, left, right).rows);
+
+    assert_eq!(oblivious, hash);
+    assert_eq!(oblivious, merge);
+    assert_eq!(oblivious, nested);
+}
+
+#[test]
+fn pkfk_baseline_agrees_with_general_join_on_pkfk_workloads() {
+    let workload = pk_fk(80, 400, 123);
+    let general = sorted_rows(oblivious_join(&workload.left, &workload.right).rows);
+    let tracer = Tracer::new(NullSink);
+    let restricted =
+        sorted_rows(opaque_pkfk_join(&tracer, &workload.left, &workload.right).unwrap().rows);
+    assert_eq!(general, restricted);
+}

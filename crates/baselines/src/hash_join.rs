@@ -12,8 +12,11 @@ use obliv_join::{JoinRow, Table};
 /// Join two tables with a classic build/probe hash join.
 pub fn hash_join(t1: &Table, t2: &Table) -> Vec<JoinRow> {
     // Build on the smaller side to keep the hash table small.
-    let (build, probe, build_is_left) =
-        if t1.len() <= t2.len() { (t1, t2, true) } else { (t2, t1, false) };
+    let (build, probe, build_is_left) = if t1.len() <= t2.len() {
+        (t1, t2, true)
+    } else {
+        (t2, t1, false)
+    };
 
     let mut index: HashMap<u64, Vec<u64>> = HashMap::with_capacity(build.len());
     for row in build.iter() {
@@ -45,7 +48,10 @@ mod tests {
         let small = Table::from_pairs(vec![(1, 1), (2, 2), (2, 3)]);
         let large: Table = (0..30u64).map(|i| (i % 4, 100 + i)).collect();
         for (a, b) in [(&small, &large), (&large, &small)] {
-            assert_eq!(sorted_rows(hash_join(a, b)), sorted_rows(reference_join(a, b)));
+            assert_eq!(
+                sorted_rows(hash_join(a, b)),
+                sorted_rows(reference_join(a, b))
+            );
         }
     }
 

@@ -57,9 +57,15 @@ pub fn nested_loop_join<S: TraceSink>(
     // revealed, mirroring the leakage profile of the main algorithm.
     let compacted = oblivious_compact(candidates);
     let live = compacted.live as usize;
-    let rows = compacted.table.as_slice()[..live].iter().map(|k| k.value).collect();
+    let rows = compacted.table.as_slice()[..live]
+        .iter()
+        .map(|k| k.value)
+        .collect();
 
-    NestedLoopResult { rows, ops: tracer.counters().since(&before) }
+    NestedLoopResult {
+        rows,
+        ops: tracer.counters().since(&before),
+    }
 }
 
 #[cfg(test)]
@@ -71,12 +77,18 @@ mod tests {
     fn check(t1: &Table, t2: &Table) {
         let tracer = Tracer::new(CountingSink::new());
         let result = nested_loop_join(&tracer, t1, t2);
-        assert_eq!(sorted_rows(result.rows.clone()), sorted_rows(reference_join(t1, t2)));
+        assert_eq!(
+            sorted_rows(result.rows.clone()),
+            sorted_rows(reference_join(t1, t2))
+        );
     }
 
     #[test]
     fn matches_reference() {
-        check(&Table::from_pairs(vec![(1, 1), (1, 2), (2, 3)]), &Table::from_pairs(vec![(1, 4), (2, 5)]));
+        check(
+            &Table::from_pairs(vec![(1, 1), (1, 2), (2, 3)]),
+            &Table::from_pairs(vec![(1, 4), (2, 5)]),
+        );
         check(&Table::from_pairs(vec![]), &Table::from_pairs(vec![(1, 1)]));
         check(
             &(0..12u64).map(|i| (i % 3, i)).collect(),

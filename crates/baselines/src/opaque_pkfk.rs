@@ -31,7 +31,11 @@ pub struct NotAPrimaryKey {
 
 impl std::fmt::Display for NotAPrimaryKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "join value {} appears more than once in the primary table", self.key)
+        write!(
+            f,
+            "join value {} appears more than once in the primary table",
+            self.key
+        )
     }
 }
 
@@ -117,7 +121,14 @@ pub fn opaque_pkfk_join<S: TraceSink>(
     let before = tracer.counters();
     let combined: Vec<PkFkRecord> = primary
         .iter()
-        .map(|e| PkFkRecord { key: e.key, value: e.value, is_primary: 1, matched: 0, emit: 1, dest: 0 })
+        .map(|e| PkFkRecord {
+            key: e.key,
+            value: e.value,
+            is_primary: 1,
+            matched: 0,
+            emit: 1,
+            dest: 0,
+        })
         .chain(foreign.iter().map(|e| PkFkRecord {
             key: e.key,
             value: e.value,
@@ -131,7 +142,9 @@ pub fn opaque_pkfk_join<S: TraceSink>(
 
     // Co-sort: each key's primary row (if any) immediately precedes its
     // foreign rows.
-    bitonic::sort_by_key(&mut buf, |r: &PkFkRecord| (r.key, std::cmp::Reverse(r.is_primary)));
+    bitonic::sort_by_key(&mut buf, |r: &PkFkRecord| {
+        (r.key, std::cmp::Reverse(r.is_primary))
+    });
 
     // Single scan: carry the active primary (key, value) and stamp foreign
     // rows.  Rows that are not matched foreign rows are marked for discard.
@@ -165,7 +178,10 @@ pub fn opaque_pkfk_join<S: TraceSink>(
         .map(|r| JoinRow::new(r.matched, r.value))
         .collect();
 
-    Ok(PkFkResult { rows, ops: tracer.counters().since(&before) })
+    Ok(PkFkResult {
+        rows,
+        ops: tracer.counters().since(&before),
+    })
 }
 
 #[cfg(test)]
@@ -189,7 +205,11 @@ mod tests {
         let departments = Table::from_pairs(vec![(10, 700), (20, 800), (30, 900)]);
         let employees = Table::from_pairs(vec![(10, 1), (10, 2), (20, 3), (40, 4)]);
         let result = check(&departments, &employees);
-        assert_eq!(result.rows.len(), 3, "employee 4 references a missing department");
+        assert_eq!(
+            result.rows.len(),
+            3,
+            "employee 4 references a missing department"
+        );
     }
 
     #[test]
@@ -198,7 +218,10 @@ mod tests {
             &Table::from_pairs(vec![(1, 100), (2, 200)]),
             &Table::from_pairs(vec![(3, 1), (3, 2)]),
         );
-        check(&Table::from_pairs(vec![(1, 100)]), &Table::from_pairs(vec![]));
+        check(
+            &Table::from_pairs(vec![(1, 100)]),
+            &Table::from_pairs(vec![]),
+        );
         check(&Table::from_pairs(vec![]), &Table::from_pairs(vec![(1, 1)]));
     }
 

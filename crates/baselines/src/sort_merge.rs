@@ -79,15 +79,24 @@ mod tests {
 
     fn check(t1: &Table, t2: &Table) {
         let (rows, stats) = sort_merge_join(t1, t2);
-        assert_eq!(sorted_rows(rows.clone()), sorted_rows(reference_join(t1, t2)));
+        assert_eq!(
+            sorted_rows(rows.clone()),
+            sorted_rows(reference_join(t1, t2))
+        );
         assert_eq!(stats.output_rows as usize, rows.len());
     }
 
     #[test]
     fn matches_reference_on_varied_inputs() {
-        check(&Table::from_pairs(vec![(1, 1), (1, 2), (2, 3)]), &Table::from_pairs(vec![(1, 4), (2, 5), (2, 6)]));
+        check(
+            &Table::from_pairs(vec![(1, 1), (1, 2), (2, 3)]),
+            &Table::from_pairs(vec![(1, 4), (2, 5), (2, 6)]),
+        );
         check(&Table::from_pairs(vec![]), &Table::from_pairs(vec![(1, 1)]));
-        check(&Table::from_pairs(vec![(5, 1); 4]), &Table::from_pairs(vec![(5, 2); 3]));
+        check(
+            &Table::from_pairs(vec![(5, 1); 4]),
+            &Table::from_pairs(vec![(5, 2); 3]),
+        );
         check(
             &(0..50u64).map(|i| (i % 7, i)).collect(),
             &(0..60u64).map(|i| (i % 11, i)).collect(),

@@ -18,7 +18,9 @@ use obliv_primitives::{is_sorted_by_key, Choice, CtSelect};
 use obliv_trace::{NullSink, TraceSink, Tracer, TrackedBuffer};
 
 fn scrambled(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| i.wrapping_mul(0xA24BAED4963EE407).rotate_left(23)).collect()
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0xA24BAED4963EE407).rotate_left(23))
+        .collect()
 }
 
 /// A bitonic sort whose gates skip the write-back when no swap is needed —
@@ -43,28 +45,36 @@ fn bench_ct_overhead(c: &mut Criterion) {
     for &n in &[1usize << 10, 1 << 13] {
         let data = scrambled(n);
 
-        group.bench_with_input(BenchmarkId::new("oblivious_write_always", n), &data, |b, data| {
-            b.iter_batched(
-                || Tracer::new(NullSink).alloc_from(data.clone()),
-                |mut buf| {
-                    bitonic::sort_by_key(&mut buf, |x| *x);
-                    debug_assert!(is_sorted_by_key(&buf, Direction::Ascending, |x| *x));
-                    buf
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("leaky_write_on_swap", n), &data, |b, data| {
-            b.iter_batched(
-                || Tracer::new(NullSink).alloc_from(data.clone()),
-                |mut buf| {
-                    leaky_bitonic_sort(&mut buf);
-                    debug_assert!(is_sorted_by_key(&buf, Direction::Ascending, |x| *x));
-                    buf
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("oblivious_write_always", n),
+            &data,
+            |b, data| {
+                b.iter_batched(
+                    || Tracer::new(NullSink).alloc_from(data.clone()),
+                    |mut buf| {
+                        bitonic::sort_by_key(&mut buf, |x| *x);
+                        debug_assert!(is_sorted_by_key(&buf, Direction::Ascending, |x| *x));
+                        buf
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("leaky_write_on_swap", n),
+            &data,
+            |b, data| {
+                b.iter_batched(
+                    || Tracer::new(NullSink).alloc_from(data.clone()),
+                    |mut buf| {
+                        leaky_bitonic_sort(&mut buf);
+                        debug_assert!(is_sorted_by_key(&buf, Direction::Ascending, |x| *x));
+                        buf
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
         group.bench_with_input(BenchmarkId::new("std_sort", n), &data, |b, data| {
             b.iter_batched(
                 || data.clone(),

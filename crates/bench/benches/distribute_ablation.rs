@@ -13,7 +13,9 @@ use obliv_trace::{NullSink, Tracer};
 
 fn workload(n: usize, m: usize) -> Vec<Keyed<u64>> {
     // n elements spread evenly over m destinations (injective).
-    (0..n).map(|i| Keyed::new(i as u64, (i * m / n) as u64 + 1)).collect()
+    (0..n)
+        .map(|i| Keyed::new(i as u64, (i * m / n) as u64 + 1))
+        .collect()
 }
 
 fn bench_distribute(c: &mut Criterion) {
@@ -24,20 +26,28 @@ fn bench_distribute(c: &mut Criterion) {
         let elements = workload(n, m);
         let label = format!("n={n},m={m}");
 
-        group.bench_with_input(BenchmarkId::new("deterministic_routing", &label), &elements, |b, e| {
-            b.iter_batched(
-                || Tracer::new(NullSink).alloc_from(e.clone()),
-                |buf| oblivious_distribute(buf, m),
-                criterion::BatchSize::SmallInput,
-            )
-        });
-        group.bench_with_input(BenchmarkId::new("probabilistic_prp", &label), &elements, |b, e| {
-            b.iter_batched(
-                || Tracer::new(NullSink).alloc_from(e.clone()),
-                |buf| probabilistic_distribute(buf, m, 0xD15F),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("deterministic_routing", &label),
+            &elements,
+            |b, e| {
+                b.iter_batched(
+                    || Tracer::new(NullSink).alloc_from(e.clone()),
+                    |buf| oblivious_distribute(buf, m),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("probabilistic_prp", &label),
+            &elements,
+            |b, e| {
+                b.iter_batched(
+                    || Tracer::new(NullSink).alloc_from(e.clone()),
+                    |buf| probabilistic_distribute(buf, m, 0xD15F),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,81 @@
+//! Engine throughput: queries/second of `obliv_engine::Engine::execute_batch`
+//! as the worker pool widens, on two catalog shapes:
+//!
+//! * `orders_lineitem` — the PK–FK order/line-item workload,
+//! * `power_law` — skewed group sizes (the paper's hard case).
+//!
+//! Each measured iteration executes one batch of 16 mixed queries (joins,
+//! filter+aggregate, semi/anti joins, join-aggregates) through the full
+//! service path: text parsing is done once up front, so the measurement is
+//! resolution + concurrent oblivious execution.  Reported throughput is in
+//! queries (elements) per second; the 1-worker row is the serial baseline
+//! the speedup is read against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use obliv_engine::{parse_query, Engine, EngineConfig, QueryRequest};
+use obliv_workloads::{orders_lineitem, power_law, WorkloadSpec};
+
+/// The batch every configuration executes: a mixed, realistic query load.
+const BATCH_QUERIES: [&str; 16] = [
+    "JOIN left right",
+    "SCAN left | FILTER v>=500 | AGG sum",
+    "SEMIJOIN left right",
+    "ANTIJOIN right left",
+    "JOINAGG left right count",
+    "JOIN left right left-right | DISTINCT",
+    "SCAN right | FILTER k in 1..32 | AGG count",
+    "SCAN left | SWAP | DISTINCT",
+    "JOINAGG left right sumright",
+    "JOIN left right key-left",
+    "SCAN right | FILTER v<250 | AGG max",
+    "SEMIJOIN right left",
+    "ANTIJOIN left right",
+    "SCAN left | DISTINCT | AGG count",
+    "JOINAGG left right sumleft",
+    "SCAN right | AGG min",
+];
+
+fn engine_for(workload: &WorkloadSpec, workers: usize) -> Engine {
+    let engine = Engine::new(EngineConfig { workers });
+    engine
+        .register_table("left", workload.left.clone())
+        .unwrap();
+    engine
+        .register_table("right", workload.right.clone())
+        .unwrap();
+    engine
+}
+
+fn requests() -> Vec<QueryRequest> {
+    BATCH_QUERIES
+        .iter()
+        .map(|q| QueryRequest::new(*q, parse_query(q).unwrap()))
+        .collect()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH_QUERIES.len() as u64));
+
+    let workloads = [
+        ("orders_lineitem", orders_lineitem(64, 8)),
+        ("power_law", power_law(128, 128, 1.5, 8)),
+    ];
+
+    for (name, workload) in &workloads {
+        let batch = requests();
+        for workers in [1usize, 2, 4, 8] {
+            let engine = engine_for(workload, workers);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/workers"), workers),
+                &batch,
+                |b, batch| b.iter(|| engine.execute_batch(batch).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

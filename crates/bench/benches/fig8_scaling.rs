@@ -22,9 +22,11 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("oblivious_join", n), &workload, |b, w| {
             b.iter(|| oblivious_join(&w.left, &w.right))
         });
-        group.bench_with_input(BenchmarkId::new("insecure_sort_merge", n), &workload, |b, w| {
-            b.iter(|| sort_merge_join(&w.left, &w.right))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("insecure_sort_merge", n),
+            &workload,
+            |b, w| b.iter(|| sort_merge_join(&w.left, &w.right)),
+        );
     }
     group.finish();
 }

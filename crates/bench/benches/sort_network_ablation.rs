@@ -11,7 +11,9 @@ use obliv_primitives::sort::{bitonic, odd_even};
 use obliv_trace::{NullSink, Tracer};
 
 fn scrambled(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17)).collect()
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17))
+        .collect()
 }
 
 fn bench_networks(c: &mut Criterion) {
@@ -35,13 +37,17 @@ fn bench_networks(c: &mut Criterion) {
                 criterion::BatchSize::SmallInput,
             )
         });
-        group.bench_with_input(BenchmarkId::new("std_sort_insecure", n), &data, |b, data| {
-            b.iter_batched(
-                || data.clone(),
-                |mut v| v.sort_unstable(),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("std_sort_insecure", n),
+            &data,
+            |b, data| {
+                b.iter_batched(
+                    || data.clone(),
+                    |mut v| v.sort_unstable(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -23,24 +23,32 @@ fn bench_table1(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("ours_oblivious", n), &balanced, |b, w| {
         b.iter(|| oblivious_join(&w.left, &w.right))
     });
-    group.bench_with_input(BenchmarkId::new("insecure_sort_merge", n), &balanced, |b, w| {
-        b.iter(|| sort_merge_join(&w.left, &w.right))
-    });
-    group.bench_with_input(BenchmarkId::new("insecure_hash_join", n), &balanced, |b, w| {
-        b.iter(|| hash_join(&w.left, &w.right))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("insecure_sort_merge", n),
+        &balanced,
+        |b, w| b.iter(|| sort_merge_join(&w.left, &w.right)),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("insecure_hash_join", n),
+        &balanced,
+        |b, w| b.iter(|| hash_join(&w.left, &w.right)),
+    );
     group.bench_with_input(BenchmarkId::new("opaque_pkfk", n), &pk_workload, |b, w| {
         b.iter(|| {
             let tracer = Tracer::new(NullSink);
             opaque_pkfk_join(&tracer, &w.left, &w.right).unwrap()
         })
     });
-    group.bench_with_input(BenchmarkId::new("oblivious_nested_loop", 512), &small, |b, w| {
-        b.iter(|| {
-            let tracer = Tracer::new(NullSink);
-            nested_loop_join(&tracer, &w.left, &w.right)
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("oblivious_nested_loop", 512),
+        &small,
+        |b, w| {
+            b.iter(|| {
+                let tracer = Tracer::new(NullSink);
+                nested_loop_join(&tracer, &w.left, &w.right)
+            })
+        },
+    );
     group.finish();
 }
 

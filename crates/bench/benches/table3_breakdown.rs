@@ -44,7 +44,10 @@ fn bench_phases(c: &mut Criterion) {
             || {
                 let tracer = Tracer::new(NullSink);
                 let augmented = augment_tables(&tracer, &workload.left, &workload.right);
-                (oblivious_expand(augmented.t2, |r: &AugRecord| r.alpha1).table, tracer)
+                (
+                    oblivious_expand(augmented.t2, |r: &AugRecord| r.alpha1).table,
+                    tracer,
+                )
             },
             |(mut s2, tracer)| align::align_table(&mut s2, &tracer),
             criterion::BatchSize::SmallInput,

@@ -18,7 +18,12 @@ fn trace_for(t1: &Table, t2: &Table) -> Vec<(u32, u64, AccessKind)> {
     let tracer = Tracer::new(CollectingSink::new());
     let result = oblivious_join_with_tracer(&tracer, t1, t2);
     assert_eq!(result.len(), 8, "the Figure 7 workload produces m = 8");
-    tracer.with_sink(|s| s.accesses().iter().map(|a| (a.array.index(), a.index, a.kind)).collect())
+    tracer.with_sink(|s| {
+        s.accesses()
+            .iter()
+            .map(|a| (a.array.index(), a.index, a.kind))
+            .collect()
+    })
 }
 
 fn main() {
@@ -32,13 +37,22 @@ fn main() {
     let u1 = Table::from_pairs(vec![(5, 1), (5, 2), (5, 3), (5, 4)]);
     let u2 = Table::from_pairs(vec![(5, 9), (5, 8), (6, 7), (6, 6)]);
     let other = trace_for(&u1, &u2);
-    assert_eq!(trace, other, "same-shape inputs must produce the identical access sequence");
+    assert_eq!(
+        trace, other,
+        "same-shape inputs must produce the identical access sequence"
+    );
 
     println!("# Figure 7 reproduction — join of two 4-row tables into 8 rows");
-    println!("# {} public-memory accesses; identical for both same-shape inputs tested", trace.len());
+    println!(
+        "# {} public-memory accesses; identical for both same-shape inputs tested",
+        trace.len()
+    );
     println!("time,array,index,kind");
     for (t, (array, index, kind)) in trace.iter().enumerate() {
-        println!("{t},{array},{index},{}", if *kind == AccessKind::Read { "R" } else { "W" });
+        println!(
+            "{t},{array},{index},{}",
+            if *kind == AccessKind::Read { "R" } else { "W" }
+        );
     }
 
     // ASCII rendering: rows are (array, index) cells in allocation order,
@@ -49,8 +63,12 @@ fn main() {
     let columns = 96usize;
     let bucket = trace.len().div_ceil(columns).max(1);
     eprintln!();
-    eprintln!("# ASCII access map ({} memory cells x {} time buckets of {} accesses each)",
-        cells.len(), columns.min(trace.len()), bucket);
+    eprintln!(
+        "# ASCII access map ({} memory cells x {} time buckets of {} accesses each)",
+        cells.len(),
+        columns.min(trace.len()),
+        bucket
+    );
     for &(array, index) in &cells {
         let mut line = String::with_capacity(columns);
         for c in 0..columns.min(trace.len()) {

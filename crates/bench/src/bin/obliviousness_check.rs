@@ -29,8 +29,9 @@ fn main() {
             let _ = oblivious_join_with_tracer(&tracer, left, right);
             logs.push(tracer.with_sink(|s| s.accesses().to_vec()));
         }
-        let all_equal =
-            logs[1..].iter().all(|log| first_trace_divergence(&logs[0], log).is_none());
+        let all_equal = logs[1..]
+            .iter()
+            .all(|log| first_trace_divergence(&logs[0], log).is_none());
         println!(
             "  class {:<28} members {}  log length {:>7}  identical: {}",
             class.name,

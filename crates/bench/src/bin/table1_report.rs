@@ -14,8 +14,8 @@
 //! Run with `cargo run --release -p obliv-bench --bin table1_report
 //! [--full]`.
 
-use obliv_bench::{fitted_exponent, time, ReportOptions};
 use obliv_baselines::{nested_loop_join, opaque_pkfk_join, sort_merge_join};
+use obliv_bench::{fitted_exponent, time, ReportOptions};
 use obliv_join::oblivious_join;
 use obliv_trace::{CountingSink, NullSink, Tracer};
 use obliv_workloads::{balanced_unique_keys, pk_fk};
@@ -34,8 +34,11 @@ struct Row {
 
 fn main() {
     let opts = ReportOptions::from_args();
-    let sizes: Vec<usize> =
-        if opts.full { vec![1 << 10, 1 << 12, 1 << 14, 1 << 16] } else { vec![1 << 8, 1 << 10, 1 << 12] };
+    let sizes: Vec<usize> = if opts.full {
+        vec![1 << 10, 1 << 12, 1 << 14, 1 << 16]
+    } else {
+        vec![1 << 8, 1 << 10, 1 << 12]
+    };
     // The quadratic baseline becomes intractable quickly; cap its input.
     let nested_cap = if opts.full { 1 << 12 } else { 1 << 10 };
 
@@ -45,10 +48,14 @@ fn main() {
     println!(
         "{:>8} | {:>14} {:>9} | {:>14} {:>9} | {:>14} {:>9} | {:>14} {:>9}",
         "n",
-        "ours ops", "ours s",
-        "sort-merge ops", "sm s",
-        "nested ops", "nested s",
-        "pk-fk ops", "pkfk s"
+        "ours ops",
+        "ours s",
+        "sort-merge ops",
+        "sm s",
+        "nested ops",
+        "nested s",
+        "pk-fk ops",
+        "pkfk s"
     );
 
     let mut rows = Vec::new();
@@ -82,8 +89,12 @@ fn main() {
             ours_secs.as_secs_f64(),
             sort_merge_ops,
             sm_secs.as_secs_f64(),
-            nested_ops.map(|o| o.to_string()).unwrap_or_else(|| "-".into()),
-            nested_secs.map(|s| format!("{s:9.3}")).unwrap_or_else(|| "-".into()),
+            nested_ops
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| "-".into()),
+            nested_secs
+                .map(|s| format!("{s:9.3}"))
+                .unwrap_or_else(|| "-".into()),
             pkfk_ops,
             pk_secs.as_secs_f64(),
         );
@@ -95,7 +106,7 @@ fn main() {
             sort_merge_ops,
             sort_merge_secs: sm_secs.as_secs_f64(),
             nested_ops,
-            nested_secs: nested_secs.map(|s| s),
+            nested_secs,
             pkfk_ops,
             pkfk_secs: pk_secs.as_secs_f64(),
         });
@@ -110,7 +121,12 @@ fn main() {
         println!("# empirical growth exponent b in ops ~ n^b (paper's asymptotics in brackets)");
         println!(
             "ours             : {:.2}  [n log^2 n  -> ~1.1-1.3]",
-            fitted_exponent(first.n as f64, first.ours_ops as f64, last.n as f64, last.ours_ops as f64)
+            fitted_exponent(
+                first.n as f64,
+                first.ours_ops as f64,
+                last.n as f64,
+                last.ours_ops as f64
+            )
         );
         println!(
             "sort-merge       : {:.2}  [n log n    -> ~1.0-1.2]",
@@ -121,10 +137,16 @@ fn main() {
                 last.sort_merge_ops as f64
             )
         );
-        if let (Some(a), Some(b)) = (first.nested_ops, rows.iter().rev().find_map(|r| r.nested_ops))
-        {
-            let last_nested_n =
-                rows.iter().rev().find(|r| r.nested_ops.is_some()).map(|r| r.n).unwrap_or(first.n);
+        if let (Some(a), Some(b)) = (
+            first.nested_ops,
+            rows.iter().rev().find_map(|r| r.nested_ops),
+        ) {
+            let last_nested_n = rows
+                .iter()
+                .rev()
+                .find(|r| r.nested_ops.is_some())
+                .map(|r| r.n)
+                .unwrap_or(first.n);
             println!(
                 "nested loop      : {:.2}  [n^2        -> ~2.0]",
                 fitted_exponent(first.n as f64, a as f64, last_nested_n as f64, b as f64)
@@ -132,7 +154,12 @@ fn main() {
         }
         println!(
             "opaque pk-fk     : {:.2}  [n log^2 n  -> ~1.1-1.3]",
-            fitted_exponent(first.n as f64, first.pkfk_ops as f64, last.n as f64, last.pkfk_ops as f64)
+            fitted_exponent(
+                first.n as f64,
+                first.pkfk_ops as f64,
+                last.n as f64,
+                last.pkfk_ops as f64
+            )
         );
         println!();
         println!("# wall-time summary (seconds)");
@@ -142,7 +169,9 @@ fn main() {
                 r.n,
                 r.ours_secs,
                 r.sort_merge_secs,
-                r.nested_secs.map(|s| format!("{s:.3}")).unwrap_or_else(|| "-".into()),
+                r.nested_secs
+                    .map(|s| format!("{s:.3}"))
+                    .unwrap_or_else(|| "-".into()),
                 r.pkfk_secs
             );
         }

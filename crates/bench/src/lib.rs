@@ -141,7 +141,10 @@ mod tests {
         assert_eq!(point.n, 256);
         assert_eq!(point.output_size, 128);
         assert!(point.prototype > Duration::ZERO);
-        assert!(point.sgx >= point.prototype, "enclave estimate includes a slowdown factor");
+        assert!(
+            point.sgx >= point.prototype,
+            "enclave estimate includes a slowdown factor"
+        );
         assert!(point.sgx_transformed >= point.sgx);
     }
 

@@ -75,7 +75,11 @@ pub fn augment_tables<S: TraceSink>(
     }
     drop(tc);
 
-    AugmentedTables { t1: out1, t2: out2, output_size }
+    AugmentedTables {
+        t1: out1,
+        t2: out2,
+        output_size,
+    }
 }
 
 /// The two linear passes of Figure 2 over the `(j, tid)`-sorted `T_C`.
@@ -143,7 +147,11 @@ mod tests {
             &Table::from_pairs(t1.to_vec()),
             &Table::from_pairs(t2.to_vec()),
         );
-        (a.t1.as_slice().to_vec(), a.t2.as_slice().to_vec(), a.output_size)
+        (
+            a.t1.as_slice().to_vec(),
+            a.t2.as_slice().to_vec(),
+            a.output_size,
+        )
     }
 
     #[test]
@@ -170,8 +178,12 @@ mod tests {
         // The augmented tables preserve their rows and are sorted by (j, d).
         assert_eq!(a1.len(), 6);
         assert_eq!(a2.len(), 6);
-        assert!(a1.windows(2).all(|w| (w[0].key, w[0].value) <= (w[1].key, w[1].value)));
-        assert!(a2.windows(2).all(|w| (w[0].key, w[0].value) <= (w[1].key, w[1].value)));
+        assert!(a1
+            .windows(2)
+            .all(|w| (w[0].key, w[0].value) <= (w[1].key, w[1].value)));
+        assert!(a2
+            .windows(2)
+            .all(|w| (w[0].key, w[0].value) <= (w[1].key, w[1].value)));
         assert!(a1.iter().all(|r| r.tid == 1));
         assert!(a2.iter().all(|r| r.tid == 2));
     }
@@ -213,7 +225,10 @@ mod tests {
         let t2: Vec<(u64, u64)> = (0..7).map(|i| (42, 100 + i)).collect();
         let (a1, a2, m) = augmented(&t1, &t2);
         assert_eq!(m, 35);
-        assert!(a1.iter().chain(a2.iter()).all(|r| (r.alpha1, r.alpha2) == (5, 7)));
+        assert!(a1
+            .iter()
+            .chain(a2.iter())
+            .all(|r| (r.alpha1, r.alpha2) == (5, 7)));
     }
 
     #[test]
@@ -222,7 +237,9 @@ mod tests {
         let (a1, _a2, m) = augmented(&[(1, 9), (1, 9), (1, 9)], &[(1, 5)]);
         assert_eq!(m, 3);
         assert_eq!(a1.len(), 3);
-        assert!(a1.iter().all(|r| r.value == 9 && (r.alpha1, r.alpha2) == (3, 1)));
+        assert!(a1
+            .iter()
+            .all(|r| r.value == 9 && (r.alpha1, r.alpha2) == (3, 1)));
     }
 
     #[test]
@@ -233,8 +250,14 @@ mod tests {
             tracer.with_sink(|s| s.accesses().to_vec())
         };
         // Same (n₁, n₂) = (4, 3), wildly different group structures.
-        let a = run(vec![(1, 1), (1, 2), (1, 3), (1, 4)], vec![(1, 5), (1, 6), (1, 7)]);
-        let b = run(vec![(1, 1), (2, 2), (3, 3), (4, 4)], vec![(9, 5), (9, 6), (8, 7)]);
+        let a = run(
+            vec![(1, 1), (1, 2), (1, 3), (1, 4)],
+            vec![(1, 5), (1, 6), (1, 7)],
+        );
+        let b = run(
+            vec![(1, 1), (2, 2), (3, 3), (4, 4)],
+            vec![(9, 5), (9, 6), (8, 7)],
+        );
         assert_eq!(a, b);
     }
 }

@@ -78,7 +78,10 @@ pub fn paper_estimate(n: usize) -> Vec<(&'static str, f64)> {
     let lg = |x: usize| (x.max(2) as f64).log2();
     vec![
         ("initial sorts on TC", n as f64 * lg(n) * lg(n) / 2.0),
-        ("o.d. on T1, T2 (sort)", n1 as f64 * lg(n1) * lg(n1) / 2.0 * 2.0 / 2.0),
+        (
+            "o.d. on T1, T2 (sort)",
+            n1 as f64 * lg(n1) * lg(n1) / 2.0 * 2.0 / 2.0,
+        ),
         ("o.d. on T1, T2 (route)", 2.0 * m as f64 * lg(m)),
         ("align sort on S2", m as f64 * lg(m) * lg(m) / 4.0),
     ]

@@ -227,16 +227,23 @@ mod tests {
         // A heavy key, several medium keys, keys unique to one side, and
         // repeated (j, d) rows.
         let t1 = table(&[
-            (1, 1), (1, 2), (1, 3), (1, 3),
+            (1, 1),
+            (1, 2),
+            (1, 3),
+            (1, 3),
             (2, 10),
-            (3, 20), (3, 21),
+            (3, 20),
+            (3, 21),
             (9, 90),
         ]);
         let t2 = table(&[
-            (1, 100), (1, 101),
+            (1, 100),
+            (1, 101),
             (3, 300),
-            (4, 400), (4, 401),
-            (9, 900), (9, 900),
+            (4, 400),
+            (4, 401),
+            (9, 900),
+            (9, 900),
         ]);
         assert_join_matches_reference(&t1, &t2);
     }
@@ -270,7 +277,11 @@ mod tests {
         assert_eq!(b.stats.output_size, 2);
         assert_eq!(a.stats.total_ops(), b.stats.total_ops());
         for phase in Phase::ALL {
-            assert_eq!(a.stats.phase(phase).ops, b.stats.phase(phase).ops, "{phase:?}");
+            assert_eq!(
+                a.stats.phase(phase).ops,
+                b.stats.phase(phase).ops,
+                "{phase:?}"
+            );
         }
     }
 
@@ -334,7 +345,10 @@ mod tests {
     fn measured_ops_match_cost_model_prediction() {
         use crate::cost;
         for (t1, t2) in [
-            (table(&[(1, 1), (1, 2), (2, 3), (3, 4)]), table(&[(1, 5), (2, 6), (2, 7)])),
+            (
+                table(&[(1, 1), (1, 2), (2, 3), (3, 4)]),
+                table(&[(1, 5), (2, 6), (2, 7)]),
+            ),
             (
                 (0..32u64).map(|i| (i % 8, i)).collect::<Table>(),
                 (0..24u64).map(|i| (i % 6, i)).collect::<Table>(),
@@ -342,8 +356,7 @@ mod tests {
         ] {
             let tracer = Tracer::new(CountingSink::new());
             let result = oblivious_join_with_tracer(&tracer, &t1, &t2);
-            let predicted =
-                cost::predict(t1.len(), t2.len(), result.stats.output_size as usize);
+            let predicted = cost::predict(t1.len(), t2.len(), result.stats.output_size as usize);
             let measured = result.stats.total_ops();
             assert_eq!(measured.comparisons, predicted.total_comparisons());
             assert_eq!(measured.routing_hops, predicted.routing_hops);

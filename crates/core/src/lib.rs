@@ -69,7 +69,9 @@ pub mod record;
 pub mod stats;
 pub mod table;
 
-pub use join::{oblivious_join, oblivious_join_with_tracer, reference_join, sorted_rows, JoinResult};
+pub use join::{
+    oblivious_join, oblivious_join_with_tracer, reference_join, sorted_rows, JoinResult,
+};
 pub use record::{AugRecord, DataValue, Entry, JoinKey, JoinRow, TableId};
 pub use stats::{JoinStats, Phase, PhaseStats};
 pub use table::Table;

@@ -28,8 +28,13 @@ pub enum Phase {
 
 impl Phase {
     /// All phases in execution order.
-    pub const ALL: [Phase; 5] =
-        [Phase::Augment, Phase::ExpandLeft, Phase::ExpandRight, Phase::Align, Phase::Zip];
+    pub const ALL: [Phase; 5] = [
+        Phase::Augment,
+        Phase::ExpandLeft,
+        Phase::ExpandRight,
+        Phase::Align,
+        Phase::Zip,
+    ];
 
     /// Human-readable label used by reports.
     pub fn label(self) -> &'static str {
@@ -68,7 +73,12 @@ pub struct JoinStats {
 impl JoinStats {
     /// Create an empty statistics record for the given input sizes.
     pub fn new(n1: u64, n2: u64) -> Self {
-        JoinStats { n1, n2, output_size: 0, phases: [PhaseStats::default(); 5] }
+        JoinStats {
+            n1,
+            n2,
+            output_size: 0,
+            phases: [PhaseStats::default(); 5],
+        }
     }
 
     pub(crate) fn record_phase(&mut self, phase: Phase, ops: OpCounters, wall: Duration) {
@@ -82,7 +92,9 @@ impl JoinStats {
 
     /// Sum of the operation counters across all phases.
     pub fn total_ops(&self) -> OpCounters {
-        self.phases.iter().fold(OpCounters::zero(), |acc, p| acc + p.ops)
+        self.phases
+            .iter()
+            .fold(OpCounters::zero(), |acc, p| acc + p.ops)
     }
 
     /// Total wall-clock time across all phases.
@@ -105,8 +117,7 @@ impl JoinStats {
     /// the routing passes, and the alignment sort.
     pub fn table3_rows(&self) -> Vec<(&'static str, u64)> {
         let augment = self.phase(Phase::Augment).ops;
-        let od =
-            self.phase(Phase::ExpandLeft).ops + self.phase(Phase::ExpandRight).ops;
+        let od = self.phase(Phase::ExpandLeft).ops + self.phase(Phase::ExpandRight).ops;
         let align = self.phase(Phase::Align).ops;
         vec![
             ("initial sorts on TC", augment.comparisons),
@@ -122,7 +133,12 @@ mod tests {
     use super::*;
 
     fn counters(comparisons: u64, hops: u64) -> OpCounters {
-        OpCounters { comparisons, compare_exchanges: comparisons, routing_hops: hops, linear_steps: 1 }
+        OpCounters {
+            comparisons,
+            compare_exchanges: comparisons,
+            routing_hops: hops,
+            linear_steps: 1,
+        }
     }
 
     #[test]
@@ -141,7 +157,11 @@ mod tests {
         stats.output_size = 9;
         stats.record_phase(Phase::Augment, counters(10, 0), Duration::from_millis(10));
         stats.record_phase(Phase::ExpandLeft, counters(3, 7), Duration::from_millis(20));
-        stats.record_phase(Phase::ExpandRight, counters(4, 8), Duration::from_millis(30));
+        stats.record_phase(
+            Phase::ExpandRight,
+            counters(4, 8),
+            Duration::from_millis(30),
+        );
         stats.record_phase(Phase::Align, counters(5, 0), Duration::from_millis(40));
 
         assert_eq!(stats.phase(Phase::Augment).ops.comparisons, 10);

@@ -24,7 +24,9 @@ impl Table {
 
     /// A table with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Table { rows: Vec::with_capacity(capacity) }
+        Table {
+            rows: Vec::with_capacity(capacity),
+        }
     }
 
     /// Build a table from `(key, value)` pairs.
@@ -32,7 +34,9 @@ impl Table {
     where
         I: IntoIterator<Item = (JoinKey, DataValue)>,
     {
-        Table { rows: pairs.into_iter().map(Entry::from).collect() }
+        Table {
+            rows: pairs.into_iter().map(Entry::from).collect(),
+        }
     }
 
     /// Append one row.
@@ -91,7 +95,9 @@ impl FromIterator<(JoinKey, DataValue)> for Table {
 
 impl FromIterator<Entry> for Table {
     fn from_iter<I: IntoIterator<Item = Entry>>(iter: I) -> Self {
-        Table { rows: iter.into_iter().collect() }
+        Table {
+            rows: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -121,7 +127,9 @@ mod tests {
         assert_eq!(t, u);
         assert_eq!(t.iter().count(), 2);
 
-        let from_entries: Table = vec![Entry::new(1, 10), Entry::new(2, 20)].into_iter().collect();
+        let from_entries: Table = vec![Entry::new(1, 10), Entry::new(2, 20)]
+            .into_iter()
+            .collect();
         assert_eq!(from_entries, t);
 
         let collected: Vec<Entry> = t.clone().into_iter().collect();

@@ -2,7 +2,9 @@
 //! with a reference join on arbitrary tables, and the structural properties
 //! the paper proves (output size, trace shape, counter determinism).
 
-use obliv_join::{cost, oblivious_join, oblivious_join_with_tracer, reference_join, sorted_rows, Table};
+use obliv_join::{
+    cost, oblivious_join, oblivious_join_with_tracer, reference_join, sorted_rows, Table,
+};
 use obliv_trace::{HashingSink, Tracer};
 use proptest::prelude::*;
 

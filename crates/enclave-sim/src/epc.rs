@@ -158,8 +158,10 @@ impl EnclaveSimulator {
         }
         self.resident.insert(page, self.clock);
         self.lru.insert(self.clock, page);
-        self.report.peak_resident_pages =
-            self.report.peak_resident_pages.max(self.resident.len() as u64);
+        self.report.peak_resident_pages = self
+            .report
+            .peak_resident_pages
+            .max(self.resident.len() as u64);
     }
 }
 
@@ -176,7 +178,11 @@ impl TraceSink for EnclaveSimulator {
             TraceEvent::Access(access) => {
                 self.report.accesses += 1;
                 self.report.access_time_ns += self.config.access_cost_ns;
-                let base = self.array_base_page.get(&access.array).copied().unwrap_or(0);
+                let base = self
+                    .array_base_page
+                    .get(&access.array)
+                    .copied()
+                    .unwrap_or(0);
                 let page = base + access.index * self.config.entry_bytes / self.config.page_bytes;
                 self.touch_page(page);
                 // Writes and reads cost the same in this model; the kind is
@@ -207,9 +213,15 @@ mod tests {
 
     #[test]
     fn sequential_scan_within_epc_faults_once_per_page() {
-        let config = EpcConfig { epc_bytes: 1 << 20, ..EpcConfig::default() };
+        let config = EpcConfig {
+            epc_bytes: 1 << 20,
+            ..EpcConfig::default()
+        };
         let mut sim = EnclaveSimulator::new(config);
-        sim.record(TraceEvent::Alloc { array: ArrayId(0), len: 1024 });
+        sim.record(TraceEvent::Alloc {
+            array: ArrayId(0),
+            len: 1024,
+        });
         for i in 0..1024 {
             sim.record(access_event(0, i));
         }
@@ -233,7 +245,10 @@ mod tests {
             ..EpcConfig::default()
         };
         let mut sim = EnclaveSimulator::new(config);
-        sim.record(TraceEvent::Alloc { array: ArrayId(0), len: 16 * 64 });
+        sim.record(TraceEvent::Alloc {
+            array: ArrayId(0),
+            len: 16 * 64,
+        });
         for _ in 0..2 {
             for i in 0..16 * 64 {
                 sim.record(access_event(0, i));
@@ -241,15 +256,24 @@ mod tests {
         }
         let report = sim.report();
         assert_eq!(report.cold_faults, 16);
-        assert_eq!(report.page_faults, 32, "every page re-faults on the second sweep");
+        assert_eq!(
+            report.page_faults, 32,
+            "every page re-faults on the second sweep"
+        );
         assert!(report.paging_time_ns > 0.0);
     }
 
     #[test]
     fn fits_in_epc_means_no_capacity_faults() {
-        let config = EpcConfig { epc_bytes: 1 << 20, ..EpcConfig::default() };
+        let config = EpcConfig {
+            epc_bytes: 1 << 20,
+            ..EpcConfig::default()
+        };
         let mut sim = EnclaveSimulator::new(config);
-        sim.record(TraceEvent::Alloc { array: ArrayId(0), len: 512 });
+        sim.record(TraceEvent::Alloc {
+            array: ArrayId(0),
+            len: 512,
+        });
         for _ in 0..5 {
             for i in 0..512 {
                 sim.record(access_event(0, i));
@@ -262,11 +286,21 @@ mod tests {
     #[test]
     fn distinct_arrays_use_distinct_pages() {
         let mut sim = EnclaveSimulator::sgx_default();
-        sim.record(TraceEvent::Alloc { array: ArrayId(0), len: 10 });
-        sim.record(TraceEvent::Alloc { array: ArrayId(1), len: 10 });
+        sim.record(TraceEvent::Alloc {
+            array: ArrayId(0),
+            len: 10,
+        });
+        sim.record(TraceEvent::Alloc {
+            array: ArrayId(1),
+            len: 10,
+        });
         sim.record(access_event(0, 0));
         sim.record(access_event(1, 0));
-        assert_eq!(sim.report().page_faults, 2, "same offset in different arrays is a different page");
+        assert_eq!(
+            sim.report().page_faults,
+            2,
+            "same offset in different arrays is a different page"
+        );
         assert_eq!(sim.report().allocated_bytes, 2 * 10 * 64);
     }
 

@@ -1,0 +1,199 @@
+//! The table catalog: named registered tables with public-size metadata.
+//!
+//! The engine's security model matches the paper's: table *sizes* are public
+//! inputs (the adversary sees every array allocation), table *contents* are
+//! protected.  The catalog therefore exposes sizes freely through
+//! [`TableMeta`] while handing contents only to the executor.
+
+use std::collections::BTreeMap;
+
+use obliv_join::Table;
+
+use crate::error::EngineError;
+
+/// Public metadata of one registered table.
+///
+/// Everything here is information the paper's adversary already observes
+/// (array identities and lengths), so listing it leaks nothing new.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMeta {
+    /// The registered name.
+    pub name: String,
+    /// Number of rows — public by the paper's definition of the input sizes
+    /// `n₁`, `n₂`.
+    pub rows: usize,
+}
+
+/// A registry of named tables that query plans reference by name.
+///
+/// ```
+/// use obliv_engine::Catalog;
+/// use obliv_join::Table;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register("orders", Table::from_pairs(vec![(1, 100), (2, 250)])).unwrap();
+/// assert_eq!(catalog.meta("orders").unwrap().rows, 2);
+/// assert!(catalog.get("lineitem").is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+/// `true` iff `name` is usable as a table name in the text frontend:
+/// non-empty, no whitespace, and none of the frontend's structural
+/// characters (`|` separates stages).
+fn name_is_valid(name: &str) -> bool {
+    !name.is_empty() && !name.contains(|c: char| c.is_whitespace() || c == '|')
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register `table` under `name`, replacing any previous table of that
+    /// name (the previous table is returned).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        table: Table,
+    ) -> Result<Option<Table>, EngineError> {
+        let name = name.into();
+        if !name_is_valid(&name) {
+            return Err(EngineError::InvalidTableName { name });
+        }
+        Ok(self.tables.insert(name, table))
+    }
+
+    /// Remove and return the table registered under `name`.
+    pub fn deregister(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// The table registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Like [`get`](Catalog::get), but returning the engine's
+    /// unknown-table error for use during plan resolution.
+    pub fn resolve(&self, name: &str) -> Result<&Table, EngineError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable {
+                name: name.to_string(),
+            })
+    }
+
+    /// Public metadata for `name`, if registered.
+    pub fn meta(&self, name: &str) -> Option<TableMeta> {
+        self.tables.get(name).map(|t| TableMeta {
+            name: name.to_string(),
+            rows: t.len(),
+        })
+    }
+
+    /// Public metadata for every registered table, in name order.
+    pub fn list(&self) -> Vec<TableMeta> {
+        self.tables
+            .iter()
+            .map(|(name, t)| TableMeta {
+                name: name.clone(),
+                rows: t.len(),
+            })
+            .collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` iff no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> Table {
+        Table::from_pairs((0..n).map(|i| (i, i)))
+    }
+
+    #[test]
+    fn register_get_meta_roundtrip() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        assert_eq!(c.register("orders", t(3)).unwrap(), None);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("orders").unwrap().len(), 3);
+        assert_eq!(
+            c.meta("orders"),
+            Some(TableMeta {
+                name: "orders".into(),
+                rows: 3
+            })
+        );
+        assert_eq!(c.meta("lineitem"), None);
+    }
+
+    #[test]
+    fn register_replaces_and_returns_previous() {
+        let mut c = Catalog::new();
+        c.register("x", t(2)).unwrap();
+        let old = c.register("x", t(5)).unwrap();
+        assert_eq!(old.unwrap().len(), 2);
+        assert_eq!(c.get("x").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn invalid_names_are_rejected() {
+        let mut c = Catalog::new();
+        for bad in ["", "two words", "pipe|name", "tab\tname"] {
+            assert_eq!(
+                c.register(bad, t(1)),
+                Err(EngineError::InvalidTableName { name: bad.into() })
+            );
+        }
+    }
+
+    #[test]
+    fn list_is_name_ordered_and_public_sizes_only() {
+        let mut c = Catalog::new();
+        c.register("zeta", t(1)).unwrap();
+        c.register("alpha", t(4)).unwrap();
+        let metas = c.list();
+        assert_eq!(
+            metas
+                .iter()
+                .map(|m| (m.name.as_str(), m.rows))
+                .collect::<Vec<_>>(),
+            vec![("alpha", 4), ("zeta", 1)]
+        );
+    }
+
+    #[test]
+    fn resolve_reports_unknown_tables() {
+        let c = Catalog::new();
+        assert_eq!(
+            c.resolve("ghost").unwrap_err(),
+            EngineError::UnknownTable {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let mut c = Catalog::new();
+        c.register("x", t(2)).unwrap();
+        assert_eq!(c.deregister("x").unwrap().len(), 2);
+        assert!(c.get("x").is_none());
+        assert!(c.deregister("x").is_none());
+    }
+}

@@ -1,0 +1,49 @@
+//! Engine-level error types.
+
+use std::fmt;
+
+/// Everything that can go wrong between receiving a query and executing it.
+///
+/// Execution itself cannot fail — a resolved [`QueryPlan`]
+/// (`obliv_operators::QueryPlan`) runs to completion on any input — so every
+/// variant here is a submission-time error: a bad query string or a
+/// reference to a table the catalog does not hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A plan referenced a table name the catalog does not contain.
+    UnknownTable {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A table registration used an invalid name (empty, or containing
+    /// whitespace or the `|` stage separator).
+    InvalidTableName {
+        /// The rejected name.
+        name: String,
+    },
+    /// The text frontend could not parse a query string.
+    Parse {
+        /// The offending query text.
+        query: String,
+        /// What went wrong, with enough context to fix the query.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable { name } => {
+                write!(f, "unknown table `{name}` (not registered in the catalog)")
+            }
+            EngineError::InvalidTableName { name } => {
+                write!(f, "invalid table name `{name}`")
+            }
+            EngineError::Parse { query, message } => {
+                write!(f, "cannot parse query `{query}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,443 @@
+//! The engine: catalog ownership, serial execution, and the worker pool.
+//!
+//! ## Concurrency model
+//!
+//! The tracing substrate is deliberately single-threaded (a
+//! [`Tracer`](obliv_trace::Tracer) is an `Rc` of shared state), because the
+//! paper's adversary observes *one* interleaved access stream per program.
+//! The engine preserves that model under concurrency by giving every query
+//! its own tracer, created on the worker that runs it: queries never share
+//! mutable state, so each query's access stream — and therefore its trace
+//! digest — is exactly what a serial run would produce.  Concurrency
+//! changes *when* streams are produced, never *what* they contain.
+//!
+//! Plans are resolved against the catalog on the submitting thread (cloning
+//! the referenced tables), so workers receive self-contained jobs and the
+//! catalog lock is never held during execution.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::Instant;
+
+use obliv_join::Table;
+use obliv_operators::QueryPlan;
+use obliv_trace::{HashingSink, Tracer};
+
+use crate::catalog::{Catalog, TableMeta};
+use crate::error::EngineError;
+use crate::frontend::parse_query;
+use crate::query::{QueryRequest, QueryResponse, QuerySummary};
+use crate::session::Session;
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of worker threads used by [`Engine::execute_batch`].
+    /// `1` degenerates to serial execution on a single spawned worker.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        EngineConfig { workers }
+    }
+}
+
+/// A concurrent oblivious query service over a [`Catalog`] of named tables.
+///
+/// ```
+/// use obliv_engine::{Engine, EngineConfig};
+/// use obliv_join::Table;
+///
+/// let engine = Engine::new(EngineConfig { workers: 2 });
+/// engine.register_table("orders", Table::from_pairs(vec![(1, 120), (2, 80)])).unwrap();
+/// engine.register_table("customers", Table::from_pairs(vec![(1, 7), (2, 9)])).unwrap();
+///
+/// let responses = engine
+///     .execute_text_batch(&["SCAN orders | FILTER v>=100", "JOIN orders customers"])
+///     .unwrap();
+/// assert_eq!(responses.len(), 2);
+/// assert_eq!(responses[0].result.rows(), &[(1, 120).into()]);
+/// assert_eq!(responses[1].result.rows(), &[(1, 7).into(), (2, 9).into()]);
+/// ```
+pub struct Engine {
+    catalog: RwLock<Catalog>,
+    workers: usize,
+}
+
+impl Engine {
+    /// An engine with an empty catalog.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine::with_catalog(Catalog::new(), config)
+    }
+
+    /// An engine serving queries over an existing catalog.
+    pub fn with_catalog(catalog: Catalog, config: EngineConfig) -> Self {
+        Engine {
+            catalog: RwLock::new(catalog),
+            workers: config.workers.max(1),
+        }
+    }
+
+    /// Number of worker threads a batch is spread over.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Register `table` under `name`, replacing (and returning) any
+    /// previous table of that name.
+    pub fn register_table(
+        &self,
+        name: impl Into<String>,
+        table: Table,
+    ) -> Result<Option<Table>, EngineError> {
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .register(name, table)
+    }
+
+    /// Remove and return the table registered under `name`.
+    pub fn deregister_table(&self, name: &str) -> Option<Table> {
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .deregister(name)
+    }
+
+    /// Public metadata for `name`, if registered.
+    pub fn table_meta(&self, name: &str) -> Option<TableMeta> {
+        self.catalog
+            .read()
+            .expect("catalog lock poisoned")
+            .meta(name)
+    }
+
+    /// Public metadata for every registered table, in name order.
+    pub fn list_tables(&self) -> Vec<TableMeta> {
+        self.catalog.read().expect("catalog lock poisoned").list()
+    }
+
+    /// Open a session: a labelled request queue with cumulative accounting.
+    pub fn session(&self, tenant: impl Into<String>) -> Session<'_> {
+        Session::new(self, tenant)
+    }
+
+    /// Resolve every request against the current catalog snapshot.
+    ///
+    /// This is the only step that reads the catalog; it happens entirely on
+    /// the calling thread, so a batch sees one consistent snapshot even if
+    /// tables are re-registered while it runs.  The read lock is held only
+    /// to copy each *distinct* referenced table once; the per-scan-leaf
+    /// clones of plan resolution happen against that snapshot with the lock
+    /// released, so writers wait for one copy per table, not one per query.
+    fn resolve_batch(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<(String, QueryPlan)>, EngineError> {
+        let snapshot = {
+            let catalog = self.catalog.read().expect("catalog lock poisoned");
+            let mut snapshot = Catalog::new();
+            for request in requests {
+                for name in request.plan.referenced_tables() {
+                    if snapshot.get(name).is_none() {
+                        snapshot
+                            .register(name, catalog.resolve(name)?.clone())
+                            .expect("names in the catalog are valid");
+                    }
+                }
+            }
+            snapshot
+        };
+        requests
+            .iter()
+            .map(|r| Ok((r.label.clone(), r.plan.resolve(&snapshot)?)))
+            .collect()
+    }
+
+    /// Execute one resolved plan with its own tracer, producing the result
+    /// table and the query's leakage summary.  This is the single code path
+    /// used by serial and concurrent execution alike.
+    fn run_one(label: String, plan: &QueryPlan) -> QueryResponse {
+        let start = Instant::now();
+        let tracer = Tracer::new(HashingSink::new());
+        let result = plan.execute(&tracer);
+        let wall = start.elapsed();
+        let counters = tracer.counters();
+        let (trace_digest, trace_events) = tracer.with_sink(|s| (s.digest_hex(), s.events()));
+        QueryResponse {
+            label,
+            summary: QuerySummary {
+                trace_digest,
+                trace_events,
+                counters,
+                output_rows: result.len(),
+                wall,
+            },
+            result,
+        }
+    }
+
+    /// Execute a batch of requests on this thread, in submission order.
+    ///
+    /// This is the reference semantics the worker pool is tested against:
+    /// for every request, [`execute_batch`](Engine::execute_batch) returns a
+    /// bit-identical result table and trace digest.
+    pub fn execute_serial(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<QueryResponse>, EngineError> {
+        let jobs = self.resolve_batch(requests)?;
+        Ok(jobs
+            .into_iter()
+            .map(|(label, plan)| Engine::run_one(label, &plan))
+            .collect())
+    }
+
+    /// Execute a batch of requests concurrently on the worker pool.
+    ///
+    /// Responses come back in submission order regardless of which worker
+    /// ran which query or in what order they finished.  Every query runs on
+    /// its own tracer, so results and trace digests are bit-identical to
+    /// [`execute_serial`](Engine::execute_serial).
+    ///
+    /// The whole batch is resolved before any query runs, so a single bad
+    /// request fails the batch up front rather than part-way through.
+    pub fn execute_batch(
+        &self,
+        requests: &[QueryRequest],
+    ) -> Result<Vec<QueryResponse>, EngineError> {
+        let jobs = self.resolve_batch(requests)?;
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = self.workers.min(jobs.len());
+        if workers <= 1 {
+            return Ok(jobs
+                .into_iter()
+                .map(|(label, plan)| Engine::run_one(label, &plan))
+                .collect());
+        }
+
+        // Job queue: a channel drained through a shared mutex, so each
+        // worker pulls the next query as soon as it finishes the last —
+        // simple work stealing without per-worker queues.
+        let (job_tx, job_rx) = mpsc::channel::<(usize, String, QueryPlan)>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (response_tx, response_rx) = mpsc::channel::<(usize, QueryResponse)>();
+
+        let total = jobs.len();
+        for (index, (label, plan)) in jobs.into_iter().enumerate() {
+            job_tx.send((index, label, plan)).expect("job channel open");
+        }
+        drop(job_tx); // Workers exit when the queue drains.
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = Arc::clone(&job_rx);
+                let response_tx = response_tx.clone();
+                scope.spawn(move || loop {
+                    // Hold the lock only while pulling a job, never while
+                    // executing one.
+                    let job = job_rx.lock().expect("job queue lock poisoned").recv();
+                    match job {
+                        Ok((index, label, plan)) => {
+                            let response = Engine::run_one(label, &plan);
+                            if response_tx.send((index, response)).is_err() {
+                                return; // Collector gone; nothing useful left to do.
+                            }
+                        }
+                        Err(_) => return, // Queue drained.
+                    }
+                });
+            }
+            drop(response_tx);
+
+            let mut responses: Vec<Option<QueryResponse>> = (0..total).map(|_| None).collect();
+            for (index, response) in response_rx {
+                responses[index] = Some(response);
+            }
+            Ok(responses
+                .into_iter()
+                .map(|r| r.expect("every submitted query produces exactly one response"))
+                .collect())
+        })
+    }
+
+    /// Parse and execute a batch of text queries concurrently; the query
+    /// text itself is used as each response's label.
+    pub fn execute_text_batch(&self, queries: &[&str]) -> Result<Vec<QueryResponse>, EngineError> {
+        let requests = queries
+            .iter()
+            .map(|q| Ok(QueryRequest::new(*q, parse_query(q)?)))
+            .collect::<Result<Vec<_>, EngineError>>()?;
+        self.execute_batch(&requests)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let catalog = self.catalog.read().expect("catalog lock poisoned");
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .field("tables", &catalog.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::NamedPlan;
+    use obliv_operators::{Aggregate, JoinColumns, Predicate};
+
+    fn engine(workers: usize) -> Engine {
+        let engine = Engine::new(EngineConfig { workers });
+        engine
+            .register_table(
+                "orders",
+                Table::from_pairs(vec![(1, 100), (1, 250), (2, 50), (3, 300)]),
+            )
+            .unwrap();
+        engine
+            .register_table(
+                "customers",
+                Table::from_pairs(vec![(1, 7), (2, 7), (3, 9), (4, 9)]),
+            )
+            .unwrap();
+        engine
+    }
+
+    fn requests() -> Vec<QueryRequest> {
+        vec![
+            QueryRequest::new(
+                "regions",
+                NamedPlan::scan("orders")
+                    .join(NamedPlan::scan("customers"), JoinColumns::KeyAndRight),
+            ),
+            QueryRequest::new(
+                "big-orders",
+                NamedPlan::scan("orders").filter(Predicate::ValueAtLeast(100)),
+            ),
+            QueryRequest::new(
+                "per-customer",
+                NamedPlan::scan("orders").group_aggregate(Aggregate::Sum),
+            ),
+            QueryRequest::new(
+                "no-orders",
+                NamedPlan::scan("customers").anti_join(NamedPlan::scan("orders")),
+            ),
+        ]
+    }
+
+    #[test]
+    fn concurrent_matches_serial_bit_for_bit() {
+        let engine = engine(4);
+        let serial = engine.execute_serial(&requests()).unwrap();
+        let concurrent = engine.execute_batch(&requests()).unwrap();
+        assert_eq!(serial.len(), concurrent.len());
+        for (s, c) in serial.iter().zip(&concurrent) {
+            assert_eq!(s.label, c.label);
+            assert_eq!(s.result, c.result);
+            assert_eq!(s.summary.trace_digest, c.summary.trace_digest);
+            assert_eq!(s.summary.trace_events, c.summary.trace_events);
+            assert_eq!(s.summary.counters, c.summary.counters);
+            assert_eq!(s.summary.output_rows, c.summary.output_rows);
+        }
+    }
+
+    #[test]
+    fn responses_come_back_in_submission_order() {
+        let engine = engine(3);
+        let responses = engine.execute_batch(&requests()).unwrap();
+        assert_eq!(
+            responses
+                .iter()
+                .map(|r| r.label.as_str())
+                .collect::<Vec<_>>(),
+            vec!["regions", "big-orders", "per-customer", "no-orders"]
+        );
+    }
+
+    #[test]
+    fn unknown_table_fails_the_whole_batch_up_front() {
+        let engine = engine(2);
+        let mut reqs = requests();
+        reqs.push(QueryRequest::new("bad", NamedPlan::scan("ghost")));
+        assert_eq!(
+            engine.execute_batch(&reqs).unwrap_err(),
+            EngineError::UnknownTable {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = engine(2);
+        assert!(engine.execute_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let engine = engine(1);
+        let responses = engine.execute_batch(&requests()).unwrap();
+        assert_eq!(responses.len(), 4);
+    }
+
+    #[test]
+    fn more_workers_than_queries_works() {
+        let engine = engine(16);
+        let responses = engine.execute_batch(&requests()[..2]).unwrap();
+        assert_eq!(responses.len(), 2);
+    }
+
+    #[test]
+    fn text_batch_roundtrip() {
+        let engine = engine(2);
+        let responses = engine
+            .execute_text_batch(&[
+                "SCAN orders | FILTER v>=100 | AGG sum",
+                "ANTIJOIN customers orders",
+            ])
+            .unwrap();
+        // Orders ≥ 100 grouped by customer: 1 → 350, 3 → 300.
+        assert_eq!(
+            responses[0].result.rows(),
+            &[(1, 350).into(), (3, 300).into()]
+        );
+        // Customer 4 has no orders.
+        assert_eq!(responses[1].result.rows(), &[(4, 9).into()]);
+        assert_eq!(responses[0].label, "SCAN orders | FILTER v>=100 | AGG sum");
+    }
+
+    #[test]
+    fn summary_reports_leakage_accounting() {
+        let engine = engine(2);
+        let responses = engine.execute_batch(&requests()).unwrap();
+        for r in &responses {
+            assert_eq!(r.summary.trace_digest.len(), 64);
+            assert!(r.summary.trace_events > 0);
+            assert_eq!(r.summary.output_rows, r.result.len());
+        }
+        // The join query does real sorting work.
+        assert!(responses[0].summary.counters.comparisons > 0);
+    }
+
+    #[test]
+    fn catalog_snapshot_is_taken_at_submission() {
+        let engine = engine(2);
+        let before = engine.execute_batch(&requests()).unwrap();
+        // Re-register a table with different contents; old responses keep
+        // their values, a new run sees the new table.
+        engine
+            .register_table("orders", Table::from_pairs(vec![(9, 1)]))
+            .unwrap();
+        let after = engine.execute_batch(&requests()[2..3]).unwrap();
+        assert_ne!(before[2].result, after[0].result);
+    }
+}

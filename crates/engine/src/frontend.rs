@@ -1,0 +1,355 @@
+//! A tiny text frontend for the engine.
+//!
+//! Queries are pipelines: a *source* clause followed by `|`-separated
+//! *stage* clauses, each compiling to one [`NamedPlan`] node.  The grammar
+//! (keywords case-insensitive, whitespace-separated):
+//!
+//! ```text
+//! query  := source { '|' stage }*
+//! source := SCAN t
+//!         | JOIN t t [proj]            -- default proj: key-right
+//!         | SEMIJOIN t t | ANTIJOIN t t
+//!         | JOINAGG t t jagg
+//! stage  := FILTER pred
+//!         | AGG agg | DISTINCT | SWAP
+//!         | JOIN t [proj] | SEMIJOIN t | ANTIJOIN t | UNION t
+//!         | JOINAGG t jagg
+//! proj   := key-left | key-right | left-right | right-left
+//! agg    := count | sum | min | max
+//! jagg   := count | sumleft | sumright | sumproducts
+//! pred   := true | v>=N | v<N | k=N | k in LO..HI
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! JOIN orders lineitem | FILTER v>=100 | AGG sum
+//! SCAN customers | ANTIJOIN orders
+//! JOINAGG orders lineitem count
+//! ```
+//!
+//! The frontend only *names* tables; sizes and contents stay in the
+//! catalog, so parsing is independent of any data.
+
+use obliv_operators::{Aggregate, JoinAggregate, JoinColumns, Predicate};
+
+use crate::error::EngineError;
+use crate::query::NamedPlan;
+
+/// Parse one pipeline query into a [`NamedPlan`].
+pub fn parse_query(text: &str) -> Result<NamedPlan, EngineError> {
+    let err = |message: String| EngineError::Parse {
+        query: text.to_string(),
+        message,
+    };
+
+    let mut clauses = text.split('|').map(str::trim);
+    let source = clauses.next().filter(|c| !c.is_empty()).ok_or_else(|| {
+        err("empty query: expected a source clause (SCAN/JOIN/SEMIJOIN/ANTIJOIN/JOINAGG)".into())
+    })?;
+
+    let mut plan = parse_source(source).map_err(&err)?;
+    for clause in clauses {
+        if clause.is_empty() {
+            return Err(err("empty stage between `|` separators".into()));
+        }
+        plan = parse_stage(plan, clause).map_err(&err)?;
+    }
+    Ok(plan)
+}
+
+fn parse_source(clause: &str) -> Result<NamedPlan, String> {
+    let mut words = clause.split_whitespace();
+    let keyword = words
+        .next()
+        .expect("clause is non-empty")
+        .to_ascii_uppercase();
+    let words: Vec<&str> = words.collect();
+    match keyword.as_str() {
+        "SCAN" => match words.as_slice() {
+            [t] => Ok(NamedPlan::scan(*t)),
+            _ => Err("SCAN takes exactly one table name".into()),
+        },
+        "JOIN" => match words.as_slice() {
+            [l, r] => Ok(NamedPlan::scan(*l).join(NamedPlan::scan(*r), JoinColumns::KeyAndRight)),
+            [l, r, proj] => {
+                Ok(NamedPlan::scan(*l).join(NamedPlan::scan(*r), parse_projection(proj)?))
+            }
+            _ => Err("JOIN takes two table names and an optional projection".into()),
+        },
+        "SEMIJOIN" => match words.as_slice() {
+            [l, r] => Ok(NamedPlan::scan(*l).semi_join(NamedPlan::scan(*r))),
+            _ => Err("SEMIJOIN takes exactly two table names".into()),
+        },
+        "ANTIJOIN" => match words.as_slice() {
+            [l, r] => Ok(NamedPlan::scan(*l).anti_join(NamedPlan::scan(*r))),
+            _ => Err("ANTIJOIN takes exactly two table names".into()),
+        },
+        "JOINAGG" => {
+            match words.as_slice() {
+                [l, r, agg] => Ok(NamedPlan::scan(*l)
+                    .join_aggregate(NamedPlan::scan(*r), parse_join_aggregate(agg)?)),
+                _ => Err("JOINAGG takes two table names and an aggregate".into()),
+            }
+        }
+        other => Err(format!(
+            "unknown source keyword `{other}` (expected SCAN, JOIN, SEMIJOIN, ANTIJOIN or JOINAGG)"
+        )),
+    }
+}
+
+fn parse_stage(input: NamedPlan, clause: &str) -> Result<NamedPlan, String> {
+    let mut words = clause.split_whitespace();
+    let keyword = words
+        .next()
+        .expect("clause is non-empty")
+        .to_ascii_uppercase();
+    let words: Vec<&str> = words.collect();
+    match keyword.as_str() {
+        "FILTER" => Ok(input.filter(parse_predicate(&words.join(" "))?)),
+        "AGG" => match words.as_slice() {
+            [agg] => Ok(input.group_aggregate(parse_aggregate(agg)?)),
+            _ => Err("AGG takes exactly one aggregate (count, sum, min, max)".into()),
+        },
+        "DISTINCT" => match words.as_slice() {
+            [] => Ok(input.distinct()),
+            _ => Err("DISTINCT takes no arguments".into()),
+        },
+        "SWAP" => match words.as_slice() {
+            [] => Ok(input.swap_columns()),
+            _ => Err("SWAP takes no arguments".into()),
+        },
+        "JOIN" => match words.as_slice() {
+            [t] => Ok(input.join(NamedPlan::scan(*t), JoinColumns::KeyAndRight)),
+            [t, proj] => Ok(input.join(NamedPlan::scan(*t), parse_projection(proj)?)),
+            _ => Err("stage JOIN takes one table name and an optional projection".into()),
+        },
+        "SEMIJOIN" => match words.as_slice() {
+            [t] => Ok(input.semi_join(NamedPlan::scan(*t))),
+            _ => Err("stage SEMIJOIN takes exactly one table name".into()),
+        },
+        "ANTIJOIN" => match words.as_slice() {
+            [t] => Ok(input.anti_join(NamedPlan::scan(*t))),
+            _ => Err("stage ANTIJOIN takes exactly one table name".into()),
+        },
+        "UNION" => match words.as_slice() {
+            [t] => Ok(input.union_all(NamedPlan::scan(*t))),
+            _ => Err("UNION takes exactly one table name".into()),
+        },
+        "JOINAGG" => match words.as_slice() {
+            [t, agg] => Ok(input.join_aggregate(NamedPlan::scan(*t), parse_join_aggregate(agg)?)),
+            _ => Err("stage JOINAGG takes one table name and an aggregate".into()),
+        },
+        other => Err(format!(
+            "unknown stage keyword `{other}` (expected FILTER, AGG, DISTINCT, SWAP, JOIN, \
+             SEMIJOIN, ANTIJOIN, UNION or JOINAGG)"
+        )),
+    }
+}
+
+fn parse_projection(word: &str) -> Result<JoinColumns, String> {
+    match word.to_ascii_lowercase().as_str() {
+        "key-left" => Ok(JoinColumns::KeyAndLeft),
+        "key-right" => Ok(JoinColumns::KeyAndRight),
+        "left-right" => Ok(JoinColumns::LeftAndRight),
+        "right-left" => Ok(JoinColumns::RightAndLeft),
+        other => Err(format!(
+            "unknown join projection `{other}` (expected key-left, key-right, left-right or \
+             right-left)"
+        )),
+    }
+}
+
+fn parse_aggregate(word: &str) -> Result<Aggregate, String> {
+    match word.to_ascii_lowercase().as_str() {
+        "count" => Ok(Aggregate::Count),
+        "sum" => Ok(Aggregate::Sum),
+        "min" => Ok(Aggregate::Min),
+        "max" => Ok(Aggregate::Max),
+        other => Err(format!(
+            "unknown aggregate `{other}` (expected count, sum, min or max)"
+        )),
+    }
+}
+
+fn parse_join_aggregate(word: &str) -> Result<JoinAggregate, String> {
+    match word.to_ascii_lowercase().as_str() {
+        "count" | "countpairs" => Ok(JoinAggregate::CountPairs),
+        "sumleft" => Ok(JoinAggregate::SumLeft),
+        "sumright" => Ok(JoinAggregate::SumRight),
+        "sumproducts" => Ok(JoinAggregate::SumProducts),
+        other => Err(format!(
+            "unknown join aggregate `{other}` (expected count, sumleft, sumright or sumproducts)"
+        )),
+    }
+}
+
+fn parse_number(text: &str) -> Result<u64, String> {
+    text.parse::<u64>()
+        .map_err(|_| format!("`{text}` is not an unsigned integer"))
+}
+
+/// Parse a filter predicate: `true`, `v>=N`, `v<N`, `k=N` or `k in LO..HI`.
+fn parse_predicate(text: &str) -> Result<Predicate, String> {
+    // Normalise: lowercase, strip spaces around operators so `v >= 100` and
+    // `v>=100` both parse.
+    let compact: String = text.to_ascii_lowercase();
+    let compact = compact.trim();
+    if compact.is_empty() {
+        return Err("FILTER needs a predicate (true, v>=N, v<N, k=N, k in LO..HI)".into());
+    }
+    if compact == "true" {
+        return Ok(Predicate::True);
+    }
+
+    // `k in LO..HI` (inclusive bounds).
+    if let Some(rest) = compact
+        .strip_prefix("k in ")
+        .or_else(|| compact.strip_prefix("k in"))
+    {
+        let (lo, hi) = rest
+            .trim()
+            .split_once("..")
+            .ok_or_else(|| format!("range predicate `{compact}` must look like `k in LO..HI`"))?;
+        let lo = parse_number(lo.trim())?;
+        let hi = parse_number(hi.trim())?;
+        if lo > hi {
+            return Err(format!("empty key range {lo}..{hi}"));
+        }
+        return Ok(Predicate::KeyInRange(lo, hi));
+    }
+
+    let without_spaces: String = compact.chars().filter(|c| !c.is_whitespace()).collect();
+    if let Some(n) = without_spaces.strip_prefix("v>=") {
+        return Ok(Predicate::ValueAtLeast(parse_number(n)?));
+    }
+    if let Some(n) = without_spaces.strip_prefix("v<") {
+        return Ok(Predicate::ValueBelow(parse_number(n)?));
+    }
+    if let Some(n) = without_spaces.strip_prefix("k=") {
+        return Ok(Predicate::KeyEquals(parse_number(n)?));
+    }
+    Err(format!(
+        "unknown predicate `{text}` (expected true, v>=N, v<N, k=N or k in LO..HI)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issue_example_parses() {
+        let plan = parse_query("JOIN orders lineitem | FILTER v>=100 | AGG sum").unwrap();
+        assert_eq!(
+            plan,
+            NamedPlan::scan("orders")
+                .join(NamedPlan::scan("lineitem"), JoinColumns::KeyAndRight)
+                .filter(Predicate::ValueAtLeast(100))
+                .group_aggregate(Aggregate::Sum)
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_space_tolerant() {
+        let a = parse_query("join orders lineitem | filter v >= 100 | agg SUM").unwrap();
+        let b = parse_query("JOIN orders lineitem|FILTER v>=100|AGG sum").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_sources_parse() {
+        assert_eq!(parse_query("SCAN t").unwrap(), NamedPlan::scan("t"));
+        assert_eq!(
+            parse_query("JOIN a b left-right").unwrap(),
+            NamedPlan::scan("a").join(NamedPlan::scan("b"), JoinColumns::LeftAndRight)
+        );
+        assert_eq!(
+            parse_query("SEMIJOIN a b").unwrap(),
+            NamedPlan::scan("a").semi_join(NamedPlan::scan("b"))
+        );
+        assert_eq!(
+            parse_query("ANTIJOIN a b").unwrap(),
+            NamedPlan::scan("a").anti_join(NamedPlan::scan("b"))
+        );
+        assert_eq!(
+            parse_query("JOINAGG a b sumproducts").unwrap(),
+            NamedPlan::scan("a").join_aggregate(NamedPlan::scan("b"), JoinAggregate::SumProducts)
+        );
+    }
+
+    #[test]
+    fn all_stages_parse() {
+        let plan = parse_query(
+            "SCAN t | FILTER k in 3..9 | DISTINCT | SWAP | JOIN u key-left | SEMIJOIN v \
+             | ANTIJOIN w | UNION x | JOINAGG y sumleft | AGG max",
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            NamedPlan::scan("t")
+                .filter(Predicate::KeyInRange(3, 9))
+                .distinct()
+                .swap_columns()
+                .join(NamedPlan::scan("u"), JoinColumns::KeyAndLeft)
+                .semi_join(NamedPlan::scan("v"))
+                .anti_join(NamedPlan::scan("w"))
+                .union_all(NamedPlan::scan("x"))
+                .join_aggregate(NamedPlan::scan("y"), JoinAggregate::SumLeft)
+                .group_aggregate(Aggregate::Max)
+        );
+    }
+
+    #[test]
+    fn predicates_parse() {
+        for (text, expected) in [
+            ("true", Predicate::True),
+            ("v>=42", Predicate::ValueAtLeast(42)),
+            ("v < 7", Predicate::ValueBelow(7)),
+            ("k=5", Predicate::KeyEquals(5)),
+            ("k in 1..10", Predicate::KeyInRange(1, 10)),
+        ] {
+            let plan = parse_query(&format!("SCAN t | FILTER {text}")).unwrap();
+            assert_eq!(plan, NamedPlan::scan("t").filter(expected), "{text}");
+        }
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        let cases = [
+            ("", "empty query"),
+            ("   ", "empty query"),
+            ("SCAN", "exactly one table"),
+            ("SCAN a b", "exactly one table"),
+            ("FROB t", "unknown source keyword"),
+            ("SCAN t | FROB", "unknown stage keyword"),
+            ("SCAN t |", "empty stage"),
+            ("SCAN t | FILTER", "needs a predicate"),
+            ("SCAN t | FILTER v>100", "unknown predicate"),
+            ("SCAN t | FILTER k in 9..3", "empty key range"),
+            ("SCAN t | AGG median", "unknown aggregate"),
+            ("JOIN a b sideways", "unknown join projection"),
+            ("JOINAGG a b harmonic", "unknown join aggregate"),
+            ("SCAN t | FILTER v>=ten", "not an unsigned integer"),
+        ];
+        for (query, needle) in cases {
+            match parse_query(query) {
+                Err(EngineError::Parse { message, .. }) => {
+                    assert!(
+                        message.contains(needle),
+                        "query `{query}`: message `{message}` should contain `{needle}`"
+                    );
+                }
+                other => panic!("query `{query}` should fail to parse, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scan_distinct_roundtrip() {
+        assert_eq!(
+            parse_query("SCAN t | DISTINCT").unwrap(),
+            NamedPlan::scan("t").distinct()
+        );
+    }
+}

@@ -1,0 +1,374 @@
+//! Query requests, named plans, responses and per-query leakage summaries.
+//!
+//! A [`NamedPlan`] is the same operator tree as
+//! [`obliv_operators::QueryPlan`], except its leaves are catalog *names*
+//! rather than inline tables.  Resolution against a [`Catalog`] substitutes
+//! the registered tables and yields an ordinary `QueryPlan`, so execution —
+//! and therefore the leakage profile — is exactly that of the operator
+//! library.
+
+use obliv_operators::{Aggregate, JoinAggregate, JoinColumns, Predicate, QueryPlan};
+use obliv_trace::OpCounters;
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+
+/// A query-plan tree whose scan leaves are catalog table names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamedPlan {
+    /// Scan the catalog table of this name.
+    Scan(String),
+    /// Oblivious selection.
+    Filter {
+        /// Input plan.
+        input: Box<NamedPlan>,
+        /// Row predicate.
+        predicate: Predicate,
+    },
+    /// Swap the key and value columns.
+    SwapColumns {
+        /// Input plan.
+        input: Box<NamedPlan>,
+    },
+    /// Oblivious duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<NamedPlan>,
+    },
+    /// Oblivious bag union.
+    UnionAll {
+        /// Left input.
+        left: Box<NamedPlan>,
+        /// Right input.
+        right: Box<NamedPlan>,
+    },
+    /// The paper's oblivious equi-join, projected back to two columns.
+    Join {
+        /// Left input.
+        left: Box<NamedPlan>,
+        /// Right input.
+        right: Box<NamedPlan>,
+        /// Output projection.
+        columns: JoinColumns,
+    },
+    /// Semi-join: rows of `left` whose key appears in `right`.
+    SemiJoin {
+        /// Probed input.
+        left: Box<NamedPlan>,
+        /// Witness input.
+        right: Box<NamedPlan>,
+    },
+    /// Anti-join: rows of `left` whose key does not appear in `right`.
+    AntiJoin {
+        /// Probed input.
+        left: Box<NamedPlan>,
+        /// Witness input.
+        right: Box<NamedPlan>,
+    },
+    /// Group-by aggregation.
+    GroupAggregate {
+        /// Input plan.
+        input: Box<NamedPlan>,
+        /// Aggregate function.
+        aggregate: Aggregate,
+    },
+    /// Grouping aggregation over a join, without materialising the join.
+    JoinAggregate {
+        /// Left input.
+        left: Box<NamedPlan>,
+        /// Right input.
+        right: Box<NamedPlan>,
+        /// Aggregate over the joined pairs of each group.
+        aggregate: JoinAggregate,
+    },
+}
+
+impl NamedPlan {
+    /// Scan a named catalog table.
+    pub fn scan(name: impl Into<String>) -> NamedPlan {
+        NamedPlan::Scan(name.into())
+    }
+
+    /// Append an oblivious filter.
+    pub fn filter(self, predicate: Predicate) -> NamedPlan {
+        NamedPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Append a key/value column swap.
+    pub fn swap_columns(self) -> NamedPlan {
+        NamedPlan::SwapColumns {
+            input: Box::new(self),
+        }
+    }
+
+    /// Append a duplicate-elimination step.
+    pub fn distinct(self) -> NamedPlan {
+        NamedPlan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Bag-union with another plan.
+    pub fn union_all(self, other: NamedPlan) -> NamedPlan {
+        NamedPlan::UnionAll {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Equi-join with another plan.
+    pub fn join(self, other: NamedPlan, columns: JoinColumns) -> NamedPlan {
+        NamedPlan::Join {
+            left: Box::new(self),
+            right: Box::new(other),
+            columns,
+        }
+    }
+
+    /// Semi-join against another plan.
+    pub fn semi_join(self, other: NamedPlan) -> NamedPlan {
+        NamedPlan::SemiJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Anti-join against another plan.
+    pub fn anti_join(self, other: NamedPlan) -> NamedPlan {
+        NamedPlan::AntiJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Group-by aggregation.
+    pub fn group_aggregate(self, aggregate: Aggregate) -> NamedPlan {
+        NamedPlan::GroupAggregate {
+            input: Box::new(self),
+            aggregate,
+        }
+    }
+
+    /// Grouping aggregation over a join with another plan.
+    pub fn join_aggregate(self, other: NamedPlan, aggregate: JoinAggregate) -> NamedPlan {
+        NamedPlan::JoinAggregate {
+            left: Box::new(self),
+            right: Box::new(other),
+            aggregate,
+        }
+    }
+
+    /// Every distinct table name this plan references, in first-use order.
+    pub fn referenced_tables(&self) -> Vec<&str> {
+        let mut names = Vec::new();
+        self.collect_tables(&mut names);
+        names
+    }
+
+    fn collect_tables<'a>(&'a self, names: &mut Vec<&'a str>) {
+        match self {
+            NamedPlan::Scan(name) => {
+                if !names.contains(&name.as_str()) {
+                    names.push(name);
+                }
+            }
+            NamedPlan::Filter { input, .. }
+            | NamedPlan::SwapColumns { input }
+            | NamedPlan::Distinct { input }
+            | NamedPlan::GroupAggregate { input, .. } => input.collect_tables(names),
+            NamedPlan::UnionAll { left, right }
+            | NamedPlan::Join { left, right, .. }
+            | NamedPlan::SemiJoin { left, right }
+            | NamedPlan::AntiJoin { left, right }
+            | NamedPlan::JoinAggregate { left, right, .. } => {
+                left.collect_tables(names);
+                right.collect_tables(names);
+            }
+        }
+    }
+
+    /// Substitute every scan leaf with its registered table, yielding an
+    /// executable [`QueryPlan`].  Table contents are cloned at resolution
+    /// time, so the resulting plan is self-contained: executing it needs no
+    /// catalog access (and in particular no cross-worker synchronisation).
+    pub fn resolve(&self, catalog: &Catalog) -> Result<QueryPlan, EngineError> {
+        Ok(match self {
+            NamedPlan::Scan(name) => QueryPlan::Scan(catalog.resolve(name)?.clone()),
+            NamedPlan::Filter { input, predicate } => QueryPlan::Filter {
+                input: Box::new(input.resolve(catalog)?),
+                predicate: *predicate,
+            },
+            NamedPlan::SwapColumns { input } => QueryPlan::Project {
+                input: Box::new(input.resolve(catalog)?),
+                swap_columns: true,
+            },
+            NamedPlan::Distinct { input } => QueryPlan::Distinct {
+                input: Box::new(input.resolve(catalog)?),
+            },
+            NamedPlan::UnionAll { left, right } => QueryPlan::UnionAll {
+                left: Box::new(left.resolve(catalog)?),
+                right: Box::new(right.resolve(catalog)?),
+            },
+            NamedPlan::Join {
+                left,
+                right,
+                columns,
+            } => QueryPlan::Join {
+                left: Box::new(left.resolve(catalog)?),
+                right: Box::new(right.resolve(catalog)?),
+                columns: *columns,
+            },
+            NamedPlan::SemiJoin { left, right } => QueryPlan::SemiJoin {
+                left: Box::new(left.resolve(catalog)?),
+                right: Box::new(right.resolve(catalog)?),
+            },
+            NamedPlan::AntiJoin { left, right } => QueryPlan::AntiJoin {
+                left: Box::new(left.resolve(catalog)?),
+                right: Box::new(right.resolve(catalog)?),
+            },
+            NamedPlan::GroupAggregate { input, aggregate } => QueryPlan::GroupAggregate {
+                input: Box::new(input.resolve(catalog)?),
+                aggregate: *aggregate,
+            },
+            NamedPlan::JoinAggregate {
+                left,
+                right,
+                aggregate,
+            } => QueryPlan::JoinAggregate {
+                left: Box::new(left.resolve(catalog)?),
+                right: Box::new(right.resolve(catalog)?),
+                aggregate: *aggregate,
+            },
+        })
+    }
+}
+
+/// One query submitted to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Caller-chosen tag, echoed back on the response (e.g. a tenant or
+    /// query identifier; the engine does not interpret it).
+    pub label: String,
+    /// The plan to execute.
+    pub plan: NamedPlan,
+}
+
+impl QueryRequest {
+    /// A request with the given label and plan.
+    pub fn new(label: impl Into<String>, plan: NamedPlan) -> Self {
+        QueryRequest {
+            label: label.into(),
+            plan,
+        }
+    }
+}
+
+impl From<NamedPlan> for QueryRequest {
+    fn from(plan: NamedPlan) -> Self {
+        QueryRequest {
+            label: String::new(),
+            plan,
+        }
+    }
+}
+
+/// What one executed query revealed and spent.
+///
+/// The digest is the paper's chained-SHA-256 fingerprint of the query's
+/// whole public-memory access stream; two queries with the same digest are
+/// indistinguishable to the §3.1 adversary.  Because every query runs on its
+/// own tracer, the digest is a function of the query's public parameters
+/// only — co-scheduled queries cannot perturb it (the engine's integration
+/// tests assert this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySummary {
+    /// Hex rendering of the chained SHA-256 trace fingerprint.
+    pub trace_digest: String,
+    /// Number of trace events (allocations + accesses) the query emitted.
+    pub trace_events: u64,
+    /// Algorithm-level operation counts (comparisons, routing hops, …).
+    pub counters: OpCounters,
+    /// Rows in the result table (revealed by construction, like the
+    /// paper's output size `m`).
+    pub output_rows: usize,
+    /// Wall-clock execution time of this query on its worker.
+    pub wall: std::time::Duration,
+}
+
+/// The engine's answer to one [`QueryRequest`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The request's label, echoed back.
+    pub label: String,
+    /// The result table.
+    pub result: obliv_join::Table,
+    /// Leakage and cost accounting for this query.
+    pub summary: QuerySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_join::Table;
+    use obliv_trace::{NullSink, Tracer};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "orders",
+            Table::from_pairs(vec![(1, 100), (1, 250), (2, 50)]),
+        )
+        .unwrap();
+        c.register("customers", Table::from_pairs(vec![(1, 7), (2, 9)]))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn resolve_substitutes_catalog_tables() {
+        let plan = NamedPlan::scan("orders")
+            .filter(Predicate::ValueAtLeast(100))
+            .join(NamedPlan::scan("customers"), JoinColumns::KeyAndRight);
+        let resolved = plan.resolve(&catalog()).unwrap();
+        let out = resolved.execute(&Tracer::new(NullSink));
+        // Orders ≥ 100 are (1,100) and (1,250); both join customer 1 → region 7.
+        assert_eq!(out.rows(), &[(1, 7).into(), (1, 7).into()]);
+    }
+
+    #[test]
+    fn resolve_fails_on_unknown_table() {
+        let plan = NamedPlan::scan("orders").union_all(NamedPlan::scan("ghost"));
+        assert_eq!(
+            plan.resolve(&catalog()).unwrap_err(),
+            EngineError::UnknownTable {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn referenced_tables_deduplicates_in_first_use_order() {
+        let plan = NamedPlan::scan("b")
+            .join(NamedPlan::scan("a"), JoinColumns::KeyAndLeft)
+            .union_all(NamedPlan::scan("b"));
+        assert_eq!(plan.referenced_tables(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn builder_mirrors_query_plan_shape() {
+        let named = NamedPlan::scan("orders")
+            .distinct()
+            .swap_columns()
+            .semi_join(NamedPlan::scan("customers"))
+            .anti_join(NamedPlan::scan("customers"))
+            .group_aggregate(Aggregate::Count)
+            .join_aggregate(NamedPlan::scan("customers"), JoinAggregate::CountPairs);
+        // Resolution succeeds and the tree has one node per builder call
+        // plus the four scans.
+        let resolved = named.resolve(&catalog()).unwrap();
+        assert_eq!(resolved.node_count(), 10);
+    }
+}

@@ -1,0 +1,227 @@
+//! Sessions: per-tenant request queues with cumulative accounting.
+//!
+//! A [`Session`] is a thin convenience layer over
+//! [`Engine::execute_batch`](crate::Engine::execute_batch): it queues
+//! requests (text or built plans) under a tenant label, runs them as one
+//! concurrent batch, and keeps running totals of what the tenant's queries
+//! have revealed and spent.  Sessions hold no table data and no locks —
+//! dropping one costs nothing.
+
+use crate::error::EngineError;
+use crate::executor::Engine;
+use crate::frontend::parse_query;
+use crate::query::{NamedPlan, QueryRequest, QueryResponse};
+
+/// Cumulative accounting for one session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries executed so far.
+    pub queries: u64,
+    /// Total trace events across those queries.
+    pub trace_events: u64,
+    /// Total result rows returned.
+    pub output_rows: u64,
+    /// Total sorting-network comparisons spent.
+    pub comparisons: u64,
+}
+
+/// A labelled queue of queries bound to an [`Engine`].
+///
+/// ```
+/// use obliv_engine::{Engine, EngineConfig};
+/// use obliv_join::Table;
+///
+/// let engine = Engine::new(EngineConfig { workers: 2 });
+/// engine.register_table("orders", Table::from_pairs(vec![(1, 100), (2, 250)])).unwrap();
+///
+/// let mut session = engine.session("tenant-a");
+/// session.queue_text("SCAN orders | AGG count").unwrap();
+/// session.queue_text("SCAN orders | FILTER v>=200").unwrap();
+/// let responses = session.run().unwrap();
+/// assert_eq!(responses.len(), 2);
+/// assert_eq!(session.stats().queries, 2);
+/// ```
+#[derive(Debug)]
+pub struct Session<'engine> {
+    engine: &'engine Engine,
+    tenant: String,
+    pending: Vec<QueryRequest>,
+    stats: SessionStats,
+    /// Labels issued so far — monotonically increasing, never rewound (in
+    /// particular not by [`clear_pending`](Session::clear_pending)), so a
+    /// label is never reused within one session.
+    issued: u64,
+}
+
+impl<'engine> Session<'engine> {
+    pub(crate) fn new(engine: &'engine Engine, tenant: impl Into<String>) -> Self {
+        Session {
+            engine,
+            tenant: tenant.into(),
+            pending: Vec::new(),
+            stats: SessionStats::default(),
+            issued: 0,
+        }
+    }
+
+    /// The tenant label this session was opened with.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Queue a built plan.  The response label is `tenant/qN`, where `N`
+    /// counts every request this session has ever issued.
+    pub fn queue(&mut self, plan: NamedPlan) -> &mut Self {
+        let label = format!("{}/q{}", self.tenant, self.issued);
+        self.issued += 1;
+        self.pending.push(QueryRequest::new(label, plan));
+        self
+    }
+
+    /// Parse and queue a text query.
+    pub fn queue_text(&mut self, query: &str) -> Result<&mut Self, EngineError> {
+        let plan = parse_query(query)?;
+        Ok(self.queue(plan))
+    }
+
+    /// Number of queries waiting to run.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drop every queued request (e.g. after a failed [`run`](Session::run)
+    /// whose offending query cannot be fixed), returning them for
+    /// inspection.  Accounted totals are untouched.
+    pub fn clear_pending(&mut self) -> Vec<QueryRequest> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Execute every queued request as one concurrent batch, in queue
+    /// order, and fold the responses into the session's running totals.
+    pub fn run(&mut self) -> Result<Vec<QueryResponse>, EngineError> {
+        let requests = std::mem::take(&mut self.pending);
+        let responses = match self.engine.execute_batch(&requests) {
+            Ok(responses) => responses,
+            Err(e) => {
+                // Failed batches leave the queue intact so the caller can
+                // fix the catalog and retry, or abandon the batch with
+                // [`clear_pending`](Session::clear_pending).
+                self.pending = requests;
+                return Err(e);
+            }
+        };
+        for r in &responses {
+            self.stats.queries += 1;
+            self.stats.trace_events += r.summary.trace_events;
+            self.stats.output_rows += r.summary.output_rows as u64;
+            self.stats.comparisons += r.summary.counters.comparisons;
+        }
+        Ok(responses)
+    }
+
+    /// Running totals over every query this session has executed.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::EngineConfig;
+    use obliv_join::Table;
+
+    fn engine() -> Engine {
+        let engine = Engine::new(EngineConfig { workers: 2 });
+        engine
+            .register_table(
+                "orders",
+                Table::from_pairs(vec![(1, 100), (1, 250), (2, 50)]),
+            )
+            .unwrap();
+        engine
+            .register_table("customers", Table::from_pairs(vec![(1, 7), (2, 9)]))
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn sessions_label_and_account() {
+        let engine = engine();
+        let mut session = engine.session("acme");
+        session.queue_text("SCAN orders | AGG sum").unwrap();
+        session.queue_text("JOIN orders customers").unwrap();
+        assert_eq!(session.pending(), 2);
+
+        let responses = session.run().unwrap();
+        assert_eq!(responses[0].label, "acme/q0");
+        assert_eq!(responses[1].label, "acme/q1");
+        assert_eq!(session.pending(), 0);
+
+        let stats = session.stats();
+        assert_eq!(stats.queries, 2);
+        assert!(stats.trace_events > 0);
+        assert_eq!(
+            stats.output_rows,
+            responses.iter().map(|r| r.result.len() as u64).sum::<u64>()
+        );
+
+        // Labels continue from where the last batch stopped.
+        session.queue_text("SCAN customers").unwrap();
+        let responses = session.run().unwrap();
+        assert_eq!(responses[0].label, "acme/q2");
+        assert_eq!(session.stats().queries, 3);
+    }
+
+    #[test]
+    fn failed_run_preserves_the_queue() {
+        let engine = engine();
+        let mut session = engine.session("acme");
+        session.queue_text("SCAN ghost").unwrap();
+        assert!(session.run().is_err());
+        assert_eq!(session.pending(), 1);
+        assert_eq!(session.stats(), SessionStats::default());
+
+        // Registering the missing table makes the retry succeed.
+        engine
+            .register_table("ghost", Table::from_pairs(vec![(1, 1)]))
+            .unwrap();
+        assert_eq!(session.run().unwrap().len(), 1);
+        assert_eq!(session.stats().queries, 1);
+    }
+
+    #[test]
+    fn clear_pending_unwedges_a_failed_queue() {
+        let engine = engine();
+        let mut session = engine.session("acme");
+        session.queue_text("SCAN ghost").unwrap();
+        session.queue_text("SCAN orders").unwrap();
+        assert!(session.run().is_err());
+
+        // The bad request cannot be fixed; abandon the batch and move on.
+        let dropped = session.clear_pending();
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(session.pending(), 0);
+        session.queue_text("SCAN orders").unwrap();
+        let responses = session.run().unwrap();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(session.stats().queries, 1);
+        // Labels are never rewound: the new request must not reuse the
+        // labels of the abandoned ones.
+        assert_eq!(responses[0].label, "acme/q2");
+        assert!(dropped.iter().all(|d| d.label != responses[0].label));
+    }
+
+    #[test]
+    fn independent_sessions_share_the_engine() {
+        let engine = engine();
+        let mut a = engine.session("a");
+        let mut b = engine.session("b");
+        a.queue_text("SCAN orders").unwrap();
+        b.queue_text("SCAN customers").unwrap();
+        assert_eq!(a.run().unwrap()[0].result.len(), 3);
+        assert_eq!(b.run().unwrap()[0].result.len(), 2);
+        assert_eq!(a.stats().queries, 1);
+        assert_eq!(b.stats().queries, 1);
+    }
+}

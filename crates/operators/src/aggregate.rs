@@ -55,8 +55,10 @@ pub fn oblivious_group_aggregate<S: TraceSink>(
     table: &Table,
     aggregate: Aggregate,
 ) -> Table {
-    let records: Vec<AugRecord> =
-        table.iter().map(|&e| AugRecord::from_entry(e, TableId::Left)).collect();
+    let records: Vec<AugRecord> = table
+        .iter()
+        .map(|&e| AugRecord::from_entry(e, TableId::Left))
+        .collect();
     let mut buf = tracer.alloc_from(records);
     let n = buf.len();
     bitonic::sort_by_key(&mut buf, |r: &AugRecord| (r.key, r.value));
@@ -98,7 +100,10 @@ pub fn oblivious_group_aggregate<S: TraceSink>(
 
     let compacted = oblivious_compact(buf);
     let live = compacted.live as usize;
-    compacted.table.as_slice()[..live].iter().map(|r| (r.key, r.value)).collect()
+    compacted.table.as_slice()[..live]
+        .iter()
+        .map(|r| (r.key, r.value))
+        .collect()
 }
 
 #[cfg(test)]
@@ -141,7 +146,12 @@ mod tests {
 
     #[test]
     fn all_aggregates_match_reference_on_small_table() {
-        for agg in [Aggregate::Count, Aggregate::Sum, Aggregate::Min, Aggregate::Max] {
+        for agg in [
+            Aggregate::Count,
+            Aggregate::Sum,
+            Aggregate::Min,
+            Aggregate::Max,
+        ] {
             assert_eq!(run(&table(), agg), reference(&table(), agg), "{agg:?}");
         }
     }
@@ -149,7 +159,12 @@ mod tests {
     #[test]
     fn aggregates_match_reference_on_larger_skewed_table() {
         let t: Table = (0..300u64).map(|i| (i % 13, (i * 37) % 101)).collect();
-        for agg in [Aggregate::Count, Aggregate::Sum, Aggregate::Min, Aggregate::Max] {
+        for agg in [
+            Aggregate::Count,
+            Aggregate::Sum,
+            Aggregate::Min,
+            Aggregate::Max,
+        ] {
             assert_eq!(run(&t, agg), reference(&t, agg), "{agg:?}");
         }
     }

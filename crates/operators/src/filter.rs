@@ -49,8 +49,10 @@ pub fn oblivious_filter<S: TraceSink>(
     table: &Table,
     predicate: Predicate,
 ) -> Table {
-    let records: Vec<AugRecord> =
-        table.iter().map(|&e| AugRecord::from_entry(e, TableId::Left)).collect();
+    let records: Vec<AugRecord> = table
+        .iter()
+        .map(|&e| AugRecord::from_entry(e, TableId::Left))
+        .collect();
     let mut buf = tracer.alloc_from(records);
 
     // Mark non-matching rows as null; every slot is written back.
@@ -66,7 +68,10 @@ pub fn oblivious_filter<S: TraceSink>(
     // Gather the survivors; only now is their count revealed.
     let compacted = oblivious_compact(buf);
     let live = compacted.live as usize;
-    compacted.table.as_slice()[..live].iter().map(|r| (r.key, r.value)).collect()
+    compacted.table.as_slice()[..live]
+        .iter()
+        .map(|r| (r.key, r.value))
+        .collect()
 }
 
 /// Oblivious projection: apply a per-row transformation in a single fixed
@@ -77,8 +82,10 @@ where
     S: TraceSink,
     F: Fn(Entry) -> Entry,
 {
-    let records: Vec<AugRecord> =
-        table.iter().map(|&e| AugRecord::from_entry(e, TableId::Left)).collect();
+    let records: Vec<AugRecord> = table
+        .iter()
+        .map(|&e| AugRecord::from_entry(e, TableId::Left))
+        .collect();
     let mut buf = tracer.alloc_from(records);
     for i in 0..buf.len() {
         let mut r = buf.read(i);
@@ -122,7 +129,10 @@ mod tests {
         assert_eq!(out.rows(), &[(1, 10).into(), (1, 30).into()]);
 
         let out = oblivious_filter(&tracer, &table(), Predicate::ValueAtLeast(25));
-        assert_eq!(out.rows(), &[(2, 25).into(), (1, 30).into(), (2, 60).into()]);
+        assert_eq!(
+            out.rows(),
+            &[(2, 25).into(), (1, 30).into(), (2, 60).into()]
+        );
 
         let out = oblivious_filter(&tracer, &table(), Predicate::True);
         assert_eq!(out.len(), 5);

@@ -121,7 +121,10 @@ pub fn oblivious_join_aggregate<S: TraceSink>(
 
     let compacted = oblivious_compact(buf);
     let live = compacted.live as usize;
-    compacted.table.as_slice()[..live].iter().map(|r| (r.key, r.value)).collect()
+    compacted.table.as_slice()[..live]
+        .iter()
+        .map(|r| (r.key, r.value))
+        .collect()
 }
 
 #[cfg(test)]
@@ -180,7 +183,11 @@ mod tests {
             JoinAggregate::SumRight,
             JoinAggregate::SumProducts,
         ] {
-            assert_eq!(run(&t1(), &t2(), agg), reference(&t1(), &t2(), agg), "{agg:?}");
+            assert_eq!(
+                run(&t1(), &t2(), agg),
+                reference(&t1(), &t2(), agg),
+                "{agg:?}"
+            );
         }
     }
 
@@ -188,7 +195,11 @@ mod tests {
     fn matches_on_larger_random_like_tables() {
         let a: Table = (0..150u64).map(|i| (i % 11, (i * 7) % 23 + 1)).collect();
         let b: Table = (0..180u64).map(|i| (i % 17, (i * 5) % 19 + 1)).collect();
-        for agg in [JoinAggregate::CountPairs, JoinAggregate::SumLeft, JoinAggregate::SumProducts] {
+        for agg in [
+            JoinAggregate::CountPairs,
+            JoinAggregate::SumLeft,
+            JoinAggregate::SumProducts,
+        ] {
             assert_eq!(run(&a, &b, agg), reference(&a, &b, agg), "{agg:?}");
         }
     }
@@ -202,8 +213,10 @@ mod tests {
 
     #[test]
     fn count_pairs_sums_to_the_join_output_size() {
-        let total: u64 =
-            run(&t1(), &t2(), JoinAggregate::CountPairs).iter().map(|&(_, c)| c).sum();
+        let total: u64 = run(&t1(), &t2(), JoinAggregate::CountPairs)
+            .iter()
+            .map(|&(_, c)| c)
+            .sum();
         assert_eq!(total as usize, reference_join(&t1(), &t2()).len());
     }
 

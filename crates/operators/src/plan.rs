@@ -135,47 +135,75 @@ impl QueryPlan {
 
     /// Append an oblivious filter.
     pub fn filter(self, predicate: Predicate) -> QueryPlan {
-        QueryPlan::Filter { input: Box::new(self), predicate }
+        QueryPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Append a key/value column swap.
     pub fn swap_columns(self) -> QueryPlan {
-        QueryPlan::Project { input: Box::new(self), swap_columns: true }
+        QueryPlan::Project {
+            input: Box::new(self),
+            swap_columns: true,
+        }
     }
 
     /// Append a duplicate-elimination step.
     pub fn distinct(self) -> QueryPlan {
-        QueryPlan::Distinct { input: Box::new(self) }
+        QueryPlan::Distinct {
+            input: Box::new(self),
+        }
     }
 
     /// Bag-union with another plan.
     pub fn union_all(self, other: QueryPlan) -> QueryPlan {
-        QueryPlan::UnionAll { left: Box::new(self), right: Box::new(other) }
+        QueryPlan::UnionAll {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Equi-join with another plan.
     pub fn join(self, other: QueryPlan, columns: JoinColumns) -> QueryPlan {
-        QueryPlan::Join { left: Box::new(self), right: Box::new(other), columns }
+        QueryPlan::Join {
+            left: Box::new(self),
+            right: Box::new(other),
+            columns,
+        }
     }
 
     /// Semi-join against another plan.
     pub fn semi_join(self, other: QueryPlan) -> QueryPlan {
-        QueryPlan::SemiJoin { left: Box::new(self), right: Box::new(other) }
+        QueryPlan::SemiJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Anti-join against another plan.
     pub fn anti_join(self, other: QueryPlan) -> QueryPlan {
-        QueryPlan::AntiJoin { left: Box::new(self), right: Box::new(other) }
+        QueryPlan::AntiJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Group-by aggregation.
     pub fn group_aggregate(self, aggregate: Aggregate) -> QueryPlan {
-        QueryPlan::GroupAggregate { input: Box::new(self), aggregate }
+        QueryPlan::GroupAggregate {
+            input: Box::new(self),
+            aggregate,
+        }
     }
 
     /// Grouping aggregation over a join with another plan.
     pub fn join_aggregate(self, other: QueryPlan, aggregate: JoinAggregate) -> QueryPlan {
-        QueryPlan::JoinAggregate { left: Box::new(self), right: Box::new(other), aggregate }
+        QueryPlan::JoinAggregate {
+            left: Box::new(self),
+            right: Box::new(other),
+            aggregate,
+        }
     }
 
     /// Number of operator nodes in the plan (scans included).
@@ -204,7 +232,10 @@ impl QueryPlan {
             QueryPlan::Filter { input, predicate } => {
                 oblivious_filter(tracer, &input.execute(tracer), *predicate)
             }
-            QueryPlan::Project { input, swap_columns } => {
+            QueryPlan::Project {
+                input,
+                swap_columns,
+            } => {
                 let table = input.execute(tracer);
                 if *swap_columns {
                     oblivious_project(tracer, &table, |e| obliv_join::Entry::new(e.value, e.key))
@@ -216,7 +247,11 @@ impl QueryPlan {
             QueryPlan::UnionAll { left, right } => {
                 oblivious_union_all(tracer, &left.execute(tracer), &right.execute(tracer))
             }
-            QueryPlan::Join { left, right, columns } => {
+            QueryPlan::Join {
+                left,
+                right,
+                columns,
+            } => {
                 let result = oblivious_join_with_tracer(
                     tracer,
                     &left.execute(tracer),
@@ -243,7 +278,11 @@ impl QueryPlan {
             QueryPlan::GroupAggregate { input, aggregate } => {
                 oblivious_group_aggregate(tracer, &input.execute(tracer), *aggregate)
             }
-            QueryPlan::JoinAggregate { left, right, aggregate } => oblivious_join_aggregate(
+            QueryPlan::JoinAggregate {
+                left,
+                right,
+                aggregate,
+            } => oblivious_join_aggregate(
                 tracer,
                 &left.execute(tracer),
                 &right.execute(tracer),
@@ -260,7 +299,14 @@ mod tests {
 
     fn orders() -> Table {
         // (customer id, order value)
-        Table::from_pairs(vec![(1, 100), (1, 250), (2, 50), (3, 300), (3, 20), (3, 80)])
+        Table::from_pairs(vec![
+            (1, 100),
+            (1, 250),
+            (2, 50),
+            (3, 300),
+            (3, 20),
+            (3, 80),
+        ])
     }
 
     fn customers() -> Table {
@@ -283,7 +329,8 @@ mod tests {
         let tracer = Tracer::new(CountingSink::new());
         // region per order: join orders with customers on customer id, keep
         // (customer, region).
-        let plan = QueryPlan::scan(orders()).join(QueryPlan::scan(customers()), JoinColumns::KeyAndRight);
+        let plan =
+            QueryPlan::scan(orders()).join(QueryPlan::scan(customers()), JoinColumns::KeyAndRight);
         let out = plan.execute(&tracer);
         assert_eq!(out.len(), orders().len());
         assert!(out.rows().iter().all(|e| e.value == 7 || e.value == 9));

@@ -32,8 +32,10 @@ pub fn oblivious_union_all<S: TraceSink>(tracer: &Tracer<S>, t1: &Table, t2: &Ta
 /// scan, and compacts.  Cost `O(n log² n)`; reveals the number of distinct
 /// rows.
 pub fn oblivious_distinct<S: TraceSink>(tracer: &Tracer<S>, table: &Table) -> Table {
-    let records: Vec<AugRecord> =
-        table.iter().map(|&e| AugRecord::from_entry(e, TableId::Left)).collect();
+    let records: Vec<AugRecord> = table
+        .iter()
+        .map(|&e| AugRecord::from_entry(e, TableId::Left))
+        .collect();
     let mut buf = tracer.alloc_from(records);
     bitonic::sort_by_key(&mut buf, |r: &AugRecord| (r.key, r.value));
 
@@ -56,7 +58,10 @@ pub fn oblivious_distinct<S: TraceSink>(tracer: &Tracer<S>, table: &Table) -> Ta
 
     let compacted = oblivious_compact(buf);
     let live = compacted.live as usize;
-    compacted.table.as_slice()[..live].iter().map(|r| (r.key, r.value)).collect()
+    compacted.table.as_slice()[..live]
+        .iter()
+        .map(|r| (r.key, r.value))
+        .collect()
 }
 
 /// Oblivious semi-join: the rows of `t1` whose key appears in `t2`.
@@ -104,7 +109,9 @@ fn key_membership_filter<S: TraceSink>(
         let matched = have_witness.and(Choice::eq_u64(r.key, witness_key));
         // Keep probed rows whose match status agrees with the requested
         // polarity; drop every witness row.
-        let wanted = matched.and(keep_matching).or(matched.not().and(keep_matching.not()));
+        let wanted = matched
+            .and(keep_matching)
+            .or(matched.not().and(keep_matching.not()));
         let keep = is_witness.not().and(wanted);
         let mut dropped = r;
         dropped.set_null();
@@ -113,7 +120,10 @@ fn key_membership_filter<S: TraceSink>(
 
     let compacted = oblivious_compact(buf);
     let live = compacted.live as usize;
-    compacted.table.as_slice()[..live].iter().map(|r| (r.key, r.value)).collect()
+    compacted.table.as_slice()[..live]
+        .iter()
+        .map(|r| (r.key, r.value))
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,7 +188,12 @@ mod tests {
         let anti = oblivious_anti_join(&tracer, &probe(), &witnesses());
         assert_eq!(semi.len() + anti.len(), probe().len());
 
-        let mut all: Vec<_> = semi.rows().iter().chain(anti.rows().iter()).copied().collect();
+        let mut all: Vec<_> = semi
+            .rows()
+            .iter()
+            .chain(anti.rows().iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         let mut expected = probe().rows().to_vec();
         expected.sort_unstable();
@@ -189,7 +204,10 @@ mod tests {
     fn semi_join_against_empty_witnesses_is_empty() {
         let tracer = Tracer::new(CountingSink::new());
         assert!(oblivious_semi_join(&tracer, &probe(), &Table::new()).is_empty());
-        assert_eq!(oblivious_anti_join(&tracer, &probe(), &Table::new()).len(), probe().len());
+        assert_eq!(
+            oblivious_anti_join(&tracer, &probe(), &Table::new()).len(),
+            probe().len()
+        );
     }
 
     #[test]

@@ -20,8 +20,7 @@ fn tracer() -> Tracer<CountingSink> {
 /// Strategy: a table with keys in a small domain (to force collisions) and
 /// bounded values.
 fn small_table(max_rows: usize) -> impl Strategy<Value = Table> {
-    prop::collection::vec((0u64..12, 0u64..100), 0..max_rows)
-        .prop_map(Table::from_pairs)
+    prop::collection::vec((0u64..12, 0u64..100), 0..max_rows).prop_map(Table::from_pairs)
 }
 
 proptest! {

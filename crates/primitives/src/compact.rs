@@ -137,7 +137,10 @@ mod tests {
 
     /// Build a buffer from an option pattern: `Some(v)` is a real element
     /// with payload `v`, `None` is a null slot.
-    fn build(tracer: &Tracer<CountingSink>, pattern: &[Option<u64>]) -> TrackedBuffer<K, CountingSink> {
+    fn build(
+        tracer: &Tracer<CountingSink>,
+        pattern: &[Option<u64>],
+    ) -> TrackedBuffer<K, CountingSink> {
         tracer.alloc_from(
             pattern
                 .iter()
@@ -150,18 +153,26 @@ mod tests {
     }
 
     fn live_values(c: &Compaction<K, CountingSink>) -> Vec<u64> {
-        c.table.as_slice()[..c.live as usize].iter().map(|e| e.value).collect()
+        c.table.as_slice()[..c.live as usize]
+            .iter()
+            .map(|e| e.value)
+            .collect()
     }
 
     #[test]
     fn compacts_simple_pattern_preserving_order() {
         let tracer = Tracer::new(CountingSink::new());
-        let buf = build(&tracer, &[None, Some(10), None, Some(20), Some(30), None, Some(40)]);
+        let buf = build(
+            &tracer,
+            &[None, Some(10), None, Some(20), Some(30), None, Some(40)],
+        );
         let c = oblivious_compact(buf);
         assert_eq!(c.live, 4);
         assert_eq!(live_values(&c), vec![10, 20, 30, 40]);
         // Every slot past the live prefix is null.
-        assert!(c.table.as_slice()[c.live as usize..].iter().all(|e| e.is_null()));
+        assert!(c.table.as_slice()[c.live as usize..]
+            .iter()
+            .all(|e| e.is_null()));
     }
 
     #[test]
@@ -171,7 +182,13 @@ mod tests {
         for n in 0..=10usize {
             for mask in 0u32..(1 << n) {
                 let pattern: Vec<Option<u64>> = (0..n)
-                    .map(|i| if (mask >> i) & 1 == 1 { Some(100 + i as u64) } else { None })
+                    .map(|i| {
+                        if (mask >> i) & 1 == 1 {
+                            Some(100 + i as u64)
+                        } else {
+                            None
+                        }
+                    })
                     .collect();
                 let expected: Vec<u64> = pattern.iter().flatten().copied().collect();
                 let tracer = Tracer::new(CountingSink::new());
@@ -201,7 +218,13 @@ mod tests {
     fn larger_random_like_pattern() {
         let tracer = Tracer::new(CountingSink::new());
         let pattern: Vec<Option<u64>> = (0..300u64)
-            .map(|i| if (i * 2654435761) % 7 < 3 { Some(i) } else { None })
+            .map(|i| {
+                if (i * 2654435761) % 7 < 3 {
+                    Some(i)
+                } else {
+                    None
+                }
+            })
             .collect();
         let expected: Vec<u64> = pattern.iter().flatten().copied().collect();
         let c = oblivious_compact(build(&tracer, &pattern));

@@ -73,6 +73,7 @@ impl Choice {
 
     /// Logical negation.
     #[inline(always)]
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors `and`/`or`
     pub fn not(self) -> Choice {
         Choice(!self.0)
     }
@@ -218,7 +219,10 @@ mod tests {
         assert_eq!(u32::ct_select(Choice::TRUE, 7, 9), 7);
         assert_eq!(i64::ct_select(Choice::FALSE, -7, -9), -9);
         assert!(bool::ct_select(Choice::TRUE, true, false));
-        assert_eq!(<(u64, u32)>::ct_select(Choice::FALSE, (1, 2), (3, 4)), (3, 4));
+        assert_eq!(
+            <(u64, u32)>::ct_select(Choice::FALSE, (1, 2), (3, 4)),
+            (3, 4)
+        );
 
         let (mut a, mut b) = (10u64, 20u64);
         ct_swap(Choice::FALSE, &mut a, &mut b);

@@ -209,7 +209,10 @@ mod tests {
 
     type K = Keyed<u64>;
 
-    fn keyed(tracer: &Tracer<CountingSink>, pairs: &[(u64, u64)]) -> TrackedBuffer<K, CountingSink> {
+    fn keyed(
+        tracer: &Tracer<CountingSink>,
+        pairs: &[(u64, u64)],
+    ) -> TrackedBuffer<K, CountingSink> {
         tracer.alloc_from(pairs.iter().map(|&(v, d)| Keyed::new(v, d)).collect())
     }
 
@@ -296,8 +299,7 @@ mod tests {
     fn routing_trace_depends_only_on_n_and_m() {
         let run = |dests: Vec<u64>| {
             let tracer = Tracer::new(CollectingSink::new());
-            let x = tracer
-                .alloc_from(dests.iter().map(|&d| Keyed::new(d, d)).collect::<Vec<K>>());
+            let x = tracer.alloc_from(dests.iter().map(|&d| Keyed::new(d, d)).collect::<Vec<K>>());
             let _ = oblivious_distribute(x, 16);
             tracer.with_sink(|s| s.accesses().to_vec())
         };

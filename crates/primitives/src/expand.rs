@@ -122,8 +122,11 @@ mod tests {
         // Build elements whose value is their index and whose replication
         // count is looked up from `counts` by value.
         let tracer = Tracer::new(CountingSink::new());
-        let x: TrackedBuffer<K, _> = tracer
-            .alloc_from((0..counts.len() as u64).map(|i| Keyed::new(i, 1)).collect::<Vec<_>>());
+        let x: TrackedBuffer<K, _> = tracer.alloc_from(
+            (0..counts.len() as u64)
+                .map(|i| Keyed::new(i, 1))
+                .collect::<Vec<_>>(),
+        );
         let counts = counts.to_vec();
         let out = oblivious_expand(x, move |e| counts[e.value as usize]);
         let values = out.table.as_slice().iter().map(|e| e.value).collect();
@@ -134,7 +137,7 @@ mod tests {
         counts
             .iter()
             .enumerate()
-            .flat_map(|(i, &c)| std::iter::repeat(i as u64).take(c as usize))
+            .flat_map(|(i, &c)| std::iter::repeat_n(i as u64, c as usize))
             .collect()
     }
 
@@ -199,7 +202,9 @@ mod tests {
         let run = |counts: Vec<u64>| {
             let tracer = Tracer::new(CollectingSink::new());
             let x: TrackedBuffer<K, _> = tracer.alloc_from(
-                (0..counts.len() as u64).map(|i| Keyed::new(i, 1)).collect::<Vec<_>>(),
+                (0..counts.len() as u64)
+                    .map(|i| Keyed::new(i, 1))
+                    .collect::<Vec<_>>(),
             );
             let counts2 = counts.clone();
             let _ = oblivious_expand(x, move |e| counts2[e.value as usize]);

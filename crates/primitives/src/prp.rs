@@ -47,7 +47,11 @@ impl Prp {
             state = splitmix64(state);
             *rk = state;
         }
-        Prp { domain, half_bits, round_keys }
+        Prp {
+            domain,
+            half_bits,
+            round_keys,
+        }
     }
 
     /// The size of the permuted domain.
@@ -60,7 +64,11 @@ impl Prp {
     /// # Panics
     /// Panics if `x >= domain`.
     pub fn apply(&self, x: u64) -> u64 {
-        assert!(x < self.domain, "PRP input {x} outside domain {}", self.domain);
+        assert!(
+            x < self.domain,
+            "PRP input {x} outside domain {}",
+            self.domain
+        );
         // Cycle walking: iterate the block permutation until the image lands
         // back inside [0, domain).  Expected number of steps is < 4 because
         // the block is at most 4× the domain.
@@ -76,7 +84,11 @@ impl Prp {
     /// # Panics
     /// Panics if `y >= domain`.
     pub fn invert(&self, y: u64) -> u64 {
-        assert!(y < self.domain, "PRP input {y} outside domain {}", self.domain);
+        assert!(
+            y < self.domain,
+            "PRP input {y} outside domain {}",
+            self.domain
+        );
         let mut x = self.block_backward(y);
         while x >= self.domain {
             x = self.block_backward(x);

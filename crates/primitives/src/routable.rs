@@ -63,7 +63,10 @@ impl<T: Copy> Keyed<T> {
 impl<T: Copy + CtSelect> CtSelect for Keyed<T> {
     #[inline(always)]
     fn ct_select(c: crate::ct::Choice, a: Self, b: Self) -> Self {
-        Keyed { value: T::ct_select(c, a.value, b.value), dest: u64::ct_select(c, a.dest, b.dest) }
+        Keyed {
+            value: T::ct_select(c, a.value, b.value),
+            dest: u64::ct_select(c, a.dest, b.dest),
+        }
     }
 }
 
@@ -77,7 +80,10 @@ impl<T: Copy + CtSelect + Default> Routable for Keyed<T> {
     }
 
     fn null() -> Self {
-        Keyed { value: T::default(), dest: 0 }
+        Keyed {
+            value: T::default(),
+            dest: 0,
+        }
     }
 }
 

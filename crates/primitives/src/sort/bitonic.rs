@@ -51,8 +51,13 @@ where
     sort_range(buf, 0, n, dir, &key);
 }
 
-fn sort_range<T, S, K, F>(buf: &mut TrackedBuffer<T, S>, lo: usize, n: usize, dir: Direction, key: &F)
-where
+fn sort_range<T, S, K, F>(
+    buf: &mut TrackedBuffer<T, S>,
+    lo: usize,
+    n: usize,
+    dir: Direction,
+    key: &F,
+) where
     T: Copy + CtSelect,
     S: TraceSink,
     K: Ord,
@@ -69,8 +74,13 @@ where
     merge_range(buf, lo, n, dir, key);
 }
 
-fn merge_range<T, S, K, F>(buf: &mut TrackedBuffer<T, S>, lo: usize, n: usize, dir: Direction, key: &F)
-where
+fn merge_range<T, S, K, F>(
+    buf: &mut TrackedBuffer<T, S>,
+    lo: usize,
+    n: usize,
+    dir: Direction,
+    key: &F,
+) where
     T: Copy + CtSelect,
     S: TraceSink,
     K: Ord,
@@ -222,7 +232,11 @@ mod tests {
             let tracer = Tracer::new(CountingSink::new());
             let mut buf = tracer.alloc_from((0..n as u64).rev().collect::<Vec<_>>());
             sort_by_key(&mut buf, |x| *x);
-            assert_eq!(tracer.counters().comparisons, schedule(n).len() as u64, "n={n}");
+            assert_eq!(
+                tracer.counters().comparisons,
+                schedule(n).len() as u64,
+                "n={n}"
+            );
         }
     }
 }

@@ -118,7 +118,11 @@ mod tests {
 
         let accesses = tracer.with_sink(|s| s.accesses().to_vec());
         assert_eq!(accesses.len(), 8, "2 reads + 2 writes per gate");
-        assert_eq!(accesses[0..4], accesses[4..8], "identical pattern whether or not a swap happened");
+        assert_eq!(
+            accesses[0..4],
+            accesses[4..8],
+            "identical pattern whether or not a swap happened"
+        );
     }
 
     #[test]

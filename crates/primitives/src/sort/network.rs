@@ -120,9 +120,17 @@ mod tests {
     fn counts_match_schedules() {
         for n in 0..64 {
             let sched = crate::sort::bitonic::schedule(n);
-            assert_eq!(sched.len() as u64, bitonic_comparator_count(n), "bitonic n={n}");
+            assert_eq!(
+                sched.len() as u64,
+                bitonic_comparator_count(n),
+                "bitonic n={n}"
+            );
             let oes = crate::sort::odd_even::schedule(n);
-            assert_eq!(oes.len() as u64, odd_even_comparator_count(n), "odd-even n={n}");
+            assert_eq!(
+                oes.len() as u64,
+                odd_even_comparator_count(n),
+                "odd-even n={n}"
+            );
         }
     }
 

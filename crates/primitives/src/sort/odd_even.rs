@@ -121,7 +121,10 @@ mod tests {
             sort_by_key(&mut buf, |x| *x);
             tracer.with_sink(|s| s.accesses().to_vec())
         };
-        assert_eq!(run((0..n as u64).collect()), run((0..n as u64).rev().collect()));
+        assert_eq!(
+            run((0..n as u64).collect()),
+            run((0..n as u64).rev().collect())
+        );
     }
 
     #[test]

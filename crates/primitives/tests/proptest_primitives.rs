@@ -66,7 +66,6 @@ proptest! {
             (Just(m), prop::collection::vec(any::<u64>(), 1..=m))
         })
     ) {
-        let m = m;
         let n = picks.len();
         // Build an injective destination map by ranking the random picks.
         let mut order: Vec<usize> = (0..m).collect();
@@ -123,7 +122,7 @@ proptest! {
         let expected: Vec<u64> = counts
             .iter()
             .enumerate()
-            .flat_map(|(i, &c)| std::iter::repeat(i as u64).take(c as usize))
+            .flat_map(|(i, &c)| std::iter::repeat_n(i as u64, c as usize))
             .collect();
         prop_assert_eq!(out.total as usize, expected.len());
         let got: Vec<u64> = out.table.as_slice().iter().map(|e| e.value).collect();

@@ -1,0 +1,223 @@
+//! Offline shim of the tiny slice of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so instead of
+//! the real `rand` this path dependency provides a deterministic,
+//! seed-reproducible implementation of the few items the workspace imports:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen`] and
+//! [`Rng::gen_range`].  The generator is xoshiro256++ seeded through
+//! SplitMix64 — statistically strong for workload generation, though *not*
+//! the same stream as upstream `rand` (workloads are deterministic per seed,
+//! which is all the callers rely on).
+
+#![forbid(unsafe_code)]
+
+/// Random number generator implementations.
+pub mod rngs {
+    /// Deterministic RNG standing in for `rand::rngs::StdRng`
+    /// (xoshiro256++ rather than ChaCha12, see the crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draw a uniform value from `rng`.
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut StdRng) -> Self {
+        // 53 uniform bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draw a uniform value in the range from `rng`.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+#[inline]
+fn uniform_u64(rng: &mut StdRng, span: u64) -> u64 {
+    // Debiased multiply-shift (Lemire); `span` is the number of values.
+    // Rejection tests the *low* word of the widening product: a draw is
+    // biased exactly when that word falls below (2^64 - span) mod span.
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let m = (rng.next_u64() as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+impl SampleRange for core::ops::Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + uniform_u64(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut StdRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + uniform_u64(rng, span + 1)
+    }
+}
+
+impl SampleRange for core::ops::Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        (*self.start() as u64..=*self.end() as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = f64::draw(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// The user-facing generation trait, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Draw a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draw a uniform value in `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(xs, (0..32).map(|_| c.gen()).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(1u64..=7);
+            assert!((1..=7).contains(&w));
+            let x = rng.gen_range(0usize..3);
+            assert!(x < 3);
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn small_spans_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.gen_range(0u64..3) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+    }
+}

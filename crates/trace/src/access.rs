@@ -57,13 +57,21 @@ impl Access {
     /// Convenience constructor for a read access.
     #[inline]
     pub fn read(array: ArrayId, index: u64) -> Self {
-        Access { kind: AccessKind::Read, array, index }
+        Access {
+            kind: AccessKind::Read,
+            array,
+            index,
+        }
     }
 
     /// Convenience constructor for a write access.
     #[inline]
     pub fn write(array: ArrayId, index: u64) -> Self {
-        Access { kind: AccessKind::Write, array, index }
+        Access {
+            kind: AccessKind::Write,
+            array,
+            index,
+        }
     }
 }
 

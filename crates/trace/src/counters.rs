@@ -68,19 +68,52 @@ mod tests {
 
     #[test]
     fn since_subtracts_fieldwise() {
-        let a = OpCounters { comparisons: 10, compare_exchanges: 10, routing_hops: 4, linear_steps: 7 };
-        let b = OpCounters { comparisons: 3, compare_exchanges: 3, routing_hops: 1, linear_steps: 2 };
+        let a = OpCounters {
+            comparisons: 10,
+            compare_exchanges: 10,
+            routing_hops: 4,
+            linear_steps: 7,
+        };
+        let b = OpCounters {
+            comparisons: 3,
+            compare_exchanges: 3,
+            routing_hops: 1,
+            linear_steps: 2,
+        };
         let d = a.since(&b);
-        assert_eq!(d, OpCounters { comparisons: 7, compare_exchanges: 7, routing_hops: 3, linear_steps: 5 });
+        assert_eq!(
+            d,
+            OpCounters {
+                comparisons: 7,
+                compare_exchanges: 7,
+                routing_hops: 3,
+                linear_steps: 5
+            }
+        );
     }
 
     #[test]
     fn add_is_fieldwise() {
-        let a = OpCounters { comparisons: 1, compare_exchanges: 2, routing_hops: 3, linear_steps: 4 };
-        let b = OpCounters { comparisons: 10, compare_exchanges: 20, routing_hops: 30, linear_steps: 40 };
+        let a = OpCounters {
+            comparisons: 1,
+            compare_exchanges: 2,
+            routing_hops: 3,
+            linear_steps: 4,
+        };
+        let b = OpCounters {
+            comparisons: 10,
+            compare_exchanges: 20,
+            routing_hops: 30,
+            linear_steps: 40,
+        };
         assert_eq!(
             a + b,
-            OpCounters { comparisons: 11, compare_exchanges: 22, routing_hops: 33, linear_steps: 44 }
+            OpCounters {
+                comparisons: 11,
+                compare_exchanges: 22,
+                routing_hops: 33,
+                linear_steps: 44
+            }
         );
     }
 
@@ -88,7 +121,12 @@ mod tests {
     fn total_ops_ignores_compare_exchanges_double_count() {
         // compare_exchanges and comparisons count the same gates from two
         // angles; total_ops must not double-count them.
-        let a = OpCounters { comparisons: 5, compare_exchanges: 5, routing_hops: 2, linear_steps: 1 };
+        let a = OpCounters {
+            comparisons: 5,
+            compare_exchanges: 5,
+            routing_hops: 2,
+            linear_steps: 1,
+        };
         assert_eq!(a.total_ops(), 8);
     }
 

@@ -47,14 +47,16 @@
 
 mod access;
 mod counters;
-mod sink;
 pub mod sha256;
+mod sink;
 mod tracer;
 mod tracked;
 
 pub use access::{Access, AccessKind, ArrayId, TraceEvent};
 pub use counters::OpCounters;
-pub use sink::{AccessTotals, CollectingSink, CountingSink, HashingSink, NullSink, TeeSink, TraceSink};
+pub use sink::{
+    AccessTotals, CollectingSink, CountingSink, HashingSink, NullSink, TeeSink, TraceSink,
+};
 pub use tracer::Tracer;
 pub use tracked::TrackedBuffer;
 

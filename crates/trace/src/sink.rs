@@ -104,7 +104,10 @@ impl Default for HashingSink {
 impl HashingSink {
     /// Start from the all-zero state `H = 0`, as the paper does.
     pub fn new() -> Self {
-        HashingSink { state: [0u8; 32], events: 0 }
+        HashingSink {
+            state: [0u8; 32],
+            events: 0,
+        }
     }
 
     /// The current chained digest.
@@ -252,7 +255,10 @@ mod tests {
 
     fn sample_events() -> Vec<TraceEvent> {
         vec![
-            TraceEvent::Alloc { array: ArrayId(0), len: 4 },
+            TraceEvent::Alloc {
+                array: ArrayId(0),
+                len: 4,
+            },
             TraceEvent::Access(Access::read(ArrayId(0), 0)),
             TraceEvent::Access(Access::write(ArrayId(0), 1)),
             TraceEvent::Access(Access::read(ArrayId(0), 3)),
@@ -301,7 +307,10 @@ mod tests {
         let mut write = HashingSink::new();
         write.record(TraceEvent::Access(Access::write(ArrayId(0), 7)));
         let mut alloc = HashingSink::new();
-        alloc.record(TraceEvent::Alloc { array: ArrayId(0), len: 7 });
+        alloc.record(TraceEvent::Alloc {
+            array: ArrayId(0),
+            len: 7,
+        });
         assert_ne!(read.digest(), write.digest());
         assert_ne!(read.digest(), alloc.digest());
         assert_ne!(write.digest(), alloc.digest());
@@ -314,10 +323,28 @@ mod tests {
             sink.record(e);
         }
         sink.record(TraceEvent::Access(Access::write(ArrayId(2), 0)));
-        assert_eq!(sink.overall(), AccessTotals { reads: 2, writes: 2 });
-        assert_eq!(sink.for_array(ArrayId(0)), AccessTotals { reads: 2, writes: 1 });
+        assert_eq!(
+            sink.overall(),
+            AccessTotals {
+                reads: 2,
+                writes: 2
+            }
+        );
+        assert_eq!(
+            sink.for_array(ArrayId(0)),
+            AccessTotals {
+                reads: 2,
+                writes: 1
+            }
+        );
         assert_eq!(sink.for_array(ArrayId(1)), AccessTotals::default());
-        assert_eq!(sink.for_array(ArrayId(2)), AccessTotals { reads: 0, writes: 1 });
+        assert_eq!(
+            sink.for_array(ArrayId(2)),
+            AccessTotals {
+                reads: 0,
+                writes: 1
+            }
+        );
         assert_eq!(sink.for_array(ArrayId(9)), AccessTotals::default());
         assert_eq!(sink.allocated_cells(), 4);
         assert_eq!(sink.overall().total(), 4);

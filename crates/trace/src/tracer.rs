@@ -42,7 +42,9 @@ struct TracerInner<S: TraceSink> {
 
 impl<S: TraceSink> Clone for Tracer<S> {
     fn clone(&self) -> Self {
-        Tracer { inner: Rc::clone(&self.inner) }
+        Tracer {
+            inner: Rc::clone(&self.inner),
+        }
     }
 }
 
@@ -56,7 +58,11 @@ impl<S: TraceSink> Tracer<S> {
     /// Create a tracer recording into `sink`.
     pub fn new(sink: S) -> Self {
         Tracer {
-            inner: Rc::new(RefCell::new(TracerInner { sink, counters: OpCounters::zero(), next_array: 0 })),
+            inner: Rc::new(RefCell::new(TracerInner {
+                sink,
+                counters: OpCounters::zero(),
+                next_array: 0,
+            })),
         }
     }
 
@@ -78,7 +84,10 @@ impl<S: TraceSink> Tracer<S> {
             let mut inner = self.inner.borrow_mut();
             let id = ArrayId(inner.next_array);
             inner.next_array += 1;
-            inner.sink.record(TraceEvent::Alloc { array: id, len: data.len() as u64 });
+            inner.sink.record(TraceEvent::Alloc {
+                array: id,
+                len: data.len() as u64,
+            });
             id
         };
         TrackedBuffer::from_parts(id, data, self.clone())
@@ -87,7 +96,10 @@ impl<S: TraceSink> Tracer<S> {
     /// Record a single memory access (called by [`TrackedBuffer`]).
     #[inline]
     pub(crate) fn record_access(&self, access: Access) {
-        self.inner.borrow_mut().sink.record(TraceEvent::Access(access));
+        self.inner
+            .borrow_mut()
+            .sink
+            .record(TraceEvent::Access(access));
     }
 
     /// Current snapshot of the operation counters.
@@ -180,7 +192,11 @@ mod tests {
                 s.accesses().iter().map(|a| (a.kind, a.index)).collect();
             assert_eq!(
                 kinds,
-                vec![(AccessKind::Write, 5), (AccessKind::Read, 5), (AccessKind::Read, 0)]
+                vec![
+                    (AccessKind::Write, 5),
+                    (AccessKind::Read, 5),
+                    (AccessKind::Read, 0)
+                ]
             );
         });
     }

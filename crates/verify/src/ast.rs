@@ -110,27 +110,46 @@ pub enum Stmt {
 impl Stmt {
     /// `var ← expr`.
     pub fn assign(var: &str, expr: Expr) -> Stmt {
-        Stmt::Assign { var: var.to_string(), expr }
+        Stmt::Assign {
+            var: var.to_string(),
+            expr,
+        }
     }
 
     /// `var ?← array[index]`.
     pub fn read(var: &str, array: &str, index: Expr) -> Stmt {
-        Stmt::ArrayRead { var: var.to_string(), array: array.to_string(), index }
+        Stmt::ArrayRead {
+            var: var.to_string(),
+            array: array.to_string(),
+            index,
+        }
     }
 
     /// `array[index] ?← value`.
     pub fn write(array: &str, index: Expr, value: Expr) -> Stmt {
-        Stmt::ArrayWrite { array: array.to_string(), index, value }
+        Stmt::ArrayWrite {
+            array: array.to_string(),
+            index,
+            value,
+        }
     }
 
     /// `if cond { then_branch } else { else_branch }`.
     pub fn if_else(cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>) -> Stmt {
-        Stmt::If { cond, then_branch, else_branch }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        }
     }
 
     /// `for counter in 0..bound { body }`.
     pub fn for_loop(counter: &str, bound: Expr, body: Vec<Stmt>) -> Stmt {
-        Stmt::For { counter: counter.to_string(), bound, body }
+        Stmt::For {
+            counter: counter.to_string(),
+            bound,
+            body,
+        }
     }
 }
 
@@ -163,7 +182,11 @@ mod tests {
             ],
         );
         match s {
-            Stmt::For { counter, bound, body } => {
+            Stmt::For {
+                counter,
+                bound,
+                body,
+            } => {
                 assert_eq!(counter, "i");
                 assert_eq!(bound, Expr::var("n"));
                 assert_eq!(body.len(), 3);

@@ -48,7 +48,8 @@ impl Env {
 
     /// Declare a public array.
     pub fn array(mut self, name: &str, label: Label) -> Self {
-        self.bindings.insert(name.to_string(), VarType::Array(label));
+        self.bindings
+            .insert(name.to_string(), VarType::Array(label));
         self
     }
 
@@ -92,19 +93,30 @@ impl std::fmt::Display for TypeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TypeError::Unknown(name) => write!(f, "unknown name `{name}`"),
-            TypeError::Misuse(name) => write!(f, "`{name}` used with the wrong kind (array vs variable)"),
+            TypeError::Misuse(name) => {
+                write!(f, "`{name}` used with the wrong kind (array vs variable)")
+            }
             TypeError::HighIndex { array } => {
-                write!(f, "array `{array}` indexed by a high (secret-dependent) expression")
+                write!(
+                    f,
+                    "array `{array}` indexed by a high (secret-dependent) expression"
+                )
             }
             TypeError::FlowViolation { target } => {
                 write!(f, "high data assigned to low location `{target}`")
             }
             TypeError::BranchTraceMismatch => {
-                write!(f, "the branches of a conditional emit different memory traces")
+                write!(
+                    f,
+                    "the branches of a conditional emit different memory traces"
+                )
             }
             TypeError::HighLoopBound => write!(f, "loop bound depends on secret data"),
             TypeError::ImplicitFlow { target } => {
-                write!(f, "low location `{target}` written under a secret branch condition")
+                write!(
+                    f,
+                    "low location `{target}` written under a secret branch condition"
+                )
             }
         }
     }
@@ -162,10 +174,14 @@ fn check_stmt(env: &Env, stmt: &Stmt, pc: Label) -> Result<Trace, TypeError> {
             let target = lookup_var(env, var)?;
             let source = check_expr(env, expr)?;
             if !source.flows_to(target) {
-                return Err(TypeError::FlowViolation { target: var.clone() });
+                return Err(TypeError::FlowViolation {
+                    target: var.clone(),
+                });
             }
             if !pc.flows_to(target) {
-                return Err(TypeError::ImplicitFlow { target: var.clone() });
+                return Err(TypeError::ImplicitFlow {
+                    target: var.clone(),
+                });
             }
             Ok(Trace::empty())
         }
@@ -174,34 +190,54 @@ fn check_stmt(env: &Env, stmt: &Stmt, pc: Label) -> Result<Trace, TypeError> {
             let target = lookup_var(env, var)?;
             let contents = lookup_array(env, array)?;
             if check_expr(env, index)? != Label::Low {
-                return Err(TypeError::HighIndex { array: array.clone() });
+                return Err(TypeError::HighIndex {
+                    array: array.clone(),
+                });
             }
             if !contents.flows_to(target) {
-                return Err(TypeError::FlowViolation { target: var.clone() });
+                return Err(TypeError::FlowViolation {
+                    target: var.clone(),
+                });
             }
             if !pc.flows_to(target) {
-                return Err(TypeError::ImplicitFlow { target: var.clone() });
+                return Err(TypeError::ImplicitFlow {
+                    target: var.clone(),
+                });
             }
             Ok(Trace::read(array, index.clone()))
         }
         // T-Write: index low, l_value ⊑ l_array, emits ⟨W, array, index⟩.
-        Stmt::ArrayWrite { array, index, value } => {
+        Stmt::ArrayWrite {
+            array,
+            index,
+            value,
+        } => {
             let contents = lookup_array(env, array)?;
             if check_expr(env, index)? != Label::Low {
-                return Err(TypeError::HighIndex { array: array.clone() });
+                return Err(TypeError::HighIndex {
+                    array: array.clone(),
+                });
             }
             let source = check_expr(env, value)?;
             if !source.flows_to(contents) {
-                return Err(TypeError::FlowViolation { target: array.clone() });
+                return Err(TypeError::FlowViolation {
+                    target: array.clone(),
+                });
             }
             if !pc.flows_to(contents) {
-                return Err(TypeError::ImplicitFlow { target: array.clone() });
+                return Err(TypeError::ImplicitFlow {
+                    target: array.clone(),
+                });
             }
             Ok(Trace::write(array, index.clone()))
         }
         // T-Cond: both branches must emit the same trace; the branch
         // condition's label taints the program counter inside the branches.
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let cond_label = check_expr(env, cond)?;
             let branch_pc = pc.join(cond_label);
             let then_trace = check_block(env, then_branch, branch_pc)?;
@@ -213,7 +249,11 @@ fn check_stmt(env: &Env, stmt: &Stmt, pc: Label) -> Result<Trace, TypeError> {
         }
         // T-For: the bound must be low; the counter is a fresh low variable
         // in the body; the trace is the body trace repeated `bound` times.
-        Stmt::For { counter, bound, body } => {
+        Stmt::For {
+            counter,
+            bound,
+            body,
+        } => {
             if check_expr(env, bound)? != Label::Low {
                 return Err(TypeError::HighLoopBound);
             }
@@ -268,7 +308,10 @@ mod tests {
     #[test]
     fn secret_loop_bound_is_rejected() {
         let prog = vec![Stmt::for_loop("i", Expr::var("x"), vec![])];
-        assert_eq!(check_program(&base_env(), &prog), Err(TypeError::HighLoopBound));
+        assert_eq!(
+            check_program(&base_env(), &prog),
+            Err(TypeError::HighLoopBound)
+        );
     }
 
     #[test]
@@ -276,13 +319,17 @@ mod tests {
         let prog = vec![Stmt::assign("lo", Expr::var("x"))];
         assert_eq!(
             check_program(&base_env(), &prog),
-            Err(TypeError::FlowViolation { target: "lo".into() })
+            Err(TypeError::FlowViolation {
+                target: "lo".into()
+            })
         );
         // Reading a high array into a low variable is equally bad.
         let prog = vec![Stmt::read("lo", "A", Expr::var("n"))];
         assert_eq!(
             check_program(&base_env(), &prog),
-            Err(TypeError::FlowViolation { target: "lo".into() })
+            Err(TypeError::FlowViolation {
+                target: "lo".into()
+            })
         );
     }
 
@@ -312,7 +359,10 @@ mod tests {
             vec![Stmt::read("y", "A", Expr::var("n"))],
             vec![Stmt::read("y", "B", Expr::var("n"))],
         )];
-        assert_eq!(check_program(&base_env(), &unbalanced), Err(TypeError::BranchTraceMismatch));
+        assert_eq!(
+            check_program(&base_env(), &unbalanced),
+            Err(TypeError::BranchTraceMismatch)
+        );
     }
 
     #[test]
@@ -326,7 +376,9 @@ mod tests {
         )];
         assert_eq!(
             check_program(&base_env(), &prog),
-            Err(TypeError::ImplicitFlow { target: "lo".into() })
+            Err(TypeError::ImplicitFlow {
+                target: "lo".into()
+            })
         );
 
         // Writing a low array under a high guard is rejected for the same
@@ -345,13 +397,22 @@ mod tests {
     #[test]
     fn unknown_and_misused_names_are_reported() {
         let prog = vec![Stmt::assign("nope", Expr::Const(1))];
-        assert_eq!(check_program(&base_env(), &prog), Err(TypeError::Unknown("nope".into())));
+        assert_eq!(
+            check_program(&base_env(), &prog),
+            Err(TypeError::Unknown("nope".into()))
+        );
 
         let prog = vec![Stmt::assign("A", Expr::Const(1))];
-        assert_eq!(check_program(&base_env(), &prog), Err(TypeError::Misuse("A".into())));
+        assert_eq!(
+            check_program(&base_env(), &prog),
+            Err(TypeError::Misuse("A".into()))
+        );
 
         let prog = vec![Stmt::read("x", "y", Expr::var("n"))];
-        assert_eq!(check_program(&base_env(), &prog), Err(TypeError::Misuse("y".into())));
+        assert_eq!(
+            check_program(&base_env(), &prog),
+            Err(TypeError::Misuse("y".into()))
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ pub fn fill_dimensions_kernel() -> Kernel {
         Stmt::assign("cmp", Expr::bin(Expr::var("y"), Expr::var("prev"))),
         Stmt::if_else(
             Expr::var("cmp"),
-            vec![Stmt::assign("count1", Expr::Const(0)), Stmt::assign("count2", Expr::Const(0))],
+            vec![
+                Stmt::assign("count1", Expr::Const(0)),
+                Stmt::assign("count2", Expr::Const(0)),
+            ],
             vec![
                 Stmt::assign("count1", Expr::var("count1")),
                 Stmt::assign("count2", Expr::var("count2")),
@@ -164,10 +167,18 @@ pub fn align_and_zip_kernel() -> Kernel {
         vec![
             Stmt::read("y", "S1", Expr::var("i")),
             Stmt::read("y2", "S2", Expr::var("i")),
-            Stmt::write("TD", Expr::var("i"), Expr::bin(Expr::var("y"), Expr::var("y2"))),
+            Stmt::write(
+                "TD",
+                Expr::var("i"),
+                Expr::bin(Expr::var("y"), Expr::var("y2")),
+            ),
         ],
     );
-    Kernel { name: "align + zip", env: data_env(), body: vec![align, zip] }
+    Kernel {
+        name: "align + zip",
+        env: data_env(),
+        body: vec![align, zip],
+    }
 }
 
 /// All kernels of the oblivious join, in pipeline order.
@@ -226,7 +237,12 @@ mod tests {
     fn every_join_kernel_is_well_typed() {
         for kernel in join_kernels() {
             let result = check_program(&kernel.env, &kernel.body);
-            assert!(result.is_ok(), "kernel `{}` failed: {:?}", kernel.name, result);
+            assert!(
+                result.is_ok(),
+                "kernel `{}` failed: {:?}",
+                kernel.name,
+                result
+            );
         }
     }
 
@@ -234,7 +250,11 @@ mod tests {
     fn join_kernel_traces_are_nonempty() {
         for kernel in join_kernels() {
             let trace = check_program(&kernel.env, &kernel.body).unwrap();
-            assert!(!trace.is_empty(), "kernel `{}` should touch memory", kernel.name);
+            assert!(
+                !trace.is_empty(),
+                "kernel `{}` should touch memory",
+                kernel.name
+            );
         }
     }
 

@@ -49,12 +49,22 @@ impl Trace {
 
     /// A single read event.
     pub fn read(array: &str, index: Expr) -> Self {
-        Trace { events: vec![TraceEvent::Read { array: array.to_string(), index }] }
+        Trace {
+            events: vec![TraceEvent::Read {
+                array: array.to_string(),
+                index,
+            }],
+        }
     }
 
     /// A single write event.
     pub fn write(array: &str, index: Expr) -> Self {
-        Trace { events: vec![TraceEvent::Write { array: array.to_string(), index }] }
+        Trace {
+            events: vec![TraceEvent::Write {
+                array: array.to_string(),
+                index,
+            }],
+        }
     }
 
     /// Concatenation `T₁ ‖ T₂`.
@@ -70,7 +80,9 @@ impl Trace {
             // trace equality less syntax-dependent.
             return Trace::empty();
         }
-        Trace { events: vec![TraceEvent::Repeat { count, body }] }
+        Trace {
+            events: vec![TraceEvent::Repeat { count, body }],
+        }
     }
 
     /// Whether the trace contains no events.

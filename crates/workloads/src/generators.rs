@@ -21,7 +21,12 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     fn new(name: String, left: Table, right: Table) -> Self {
         let output_size = left.join_output_size(&right);
-        WorkloadSpec { name, left, right, output_size }
+        WorkloadSpec {
+            name,
+            left,
+            right,
+            output_size,
+        }
     }
 
     /// Total input size `n = n₁ + n₂`.
@@ -35,8 +40,12 @@ impl WorkloadSpec {
 /// This is the balanced workload of Figure 8 (`m ≈ n₁ = n₂ = n/2`).
 pub fn balanced_unique_keys(half: usize, seed: u64) -> WorkloadSpec {
     let mut rng = StdRng::seed_from_u64(seed);
-    let left = (0..half as u64).map(|k| (k, rng.gen::<u32>() as u64)).collect();
-    let right = (0..half as u64).map(|k| (k, rng.gen::<u32>() as u64)).collect();
+    let left = (0..half as u64)
+        .map(|k| (k, rng.gen::<u32>() as u64))
+        .collect();
+    let right = (0..half as u64)
+        .map(|k| (k, rng.gen::<u32>() as u64))
+        .collect();
     WorkloadSpec::new(format!("balanced_unique_keys(n1=n2={half})"), left, right)
 }
 
@@ -72,8 +81,16 @@ pub fn power_law(n1: usize, n2: usize, exponent: f64, seed: u64) -> WorkloadSpec
     };
 
     while left.len() < n1 || right.len() < n2 {
-        let g1 = if left.len() < n1 { sample_group(&mut rng).min(n1 - left.len()) } else { 0 };
-        let g2 = if right.len() < n2 { sample_group(&mut rng).min(n2 - right.len()) } else { 0 };
+        let g1 = if left.len() < n1 {
+            sample_group(&mut rng).min(n1 - left.len())
+        } else {
+            0
+        };
+        let g2 = if right.len() < n2 {
+            sample_group(&mut rng).min(n2 - right.len())
+        } else {
+            0
+        };
         for _ in 0..g1 {
             left.push(key, rng.gen::<u32>() as u64);
         }
@@ -82,7 +99,11 @@ pub fn power_law(n1: usize, n2: usize, exponent: f64, seed: u64) -> WorkloadSpec
         }
         key += 1;
     }
-    WorkloadSpec::new(format!("power_law(n1={n1}, n2={n2}, a={exponent})"), left, right)
+    WorkloadSpec::new(
+        format!("power_law(n1={n1}, n2={n2}, a={exponent})"),
+        left,
+        right,
+    )
 }
 
 /// A primary-key table of `num_keys` rows and a foreign-key table of
@@ -96,7 +117,11 @@ pub fn pk_fk(num_keys: usize, num_foreign: usize, seed: u64) -> WorkloadSpec {
     let right: Table = (0..num_foreign)
         .map(|i| (rng.gen_range(0..num_keys.max(1)) as u64, i as u64))
         .collect();
-    WorkloadSpec::new(format!("pk_fk(keys={num_keys}, foreign={num_foreign})"), left, right)
+    WorkloadSpec::new(
+        format!("pk_fk(keys={num_keys}, foreign={num_foreign})"),
+        left,
+        right,
+    )
 }
 
 /// A TPC-style `orders ⋈ lineitem` synthetic: `scale` orders, each with a
@@ -166,7 +191,10 @@ mod tests {
         let w = pk_fk(50, 300, 11);
         let hist = w.left.key_histogram();
         assert!(hist.values().all(|&c| c == 1));
-        assert_eq!(w.output_size, 300, "every foreign row references an existing key");
+        assert_eq!(
+            w.output_size, 300,
+            "every foreign row references an existing key"
+        );
     }
 
     #[test]

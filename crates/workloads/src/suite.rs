@@ -30,7 +30,12 @@ pub fn correctness_suite(n: usize, count: usize, seed: u64) -> Vec<WorkloadSpec>
     while suite.len() < count {
         let exponent = 1.5 + (i as f64 % 5.0) * 0.35;
         let split = rng.gen_range(1..n);
-        suite.push(power_law(split, n - split, exponent, seed.wrapping_add(1000 + i)));
+        suite.push(power_law(
+            split,
+            n - split,
+            exponent,
+            seed.wrapping_add(1000 + i),
+        ));
         i += 1;
     }
     suite
@@ -62,14 +67,19 @@ pub struct TraceClass {
 /// so every left row contributes exactly one output row no matter how the
 /// groups are shaped.  Data values are freshly drawn for every member.
 pub fn trace_classes(n1: usize, n2: usize, members: usize, seed: u64) -> TraceClass {
-    assert!(n1 >= 1 && n2 >= n1, "need n2 >= n1 >= 1 for this construction");
+    assert!(
+        n1 >= 1 && n2 >= n1,
+        "need n2 >= n1 >= 1 for this construction"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(members);
 
     for k in 0..members {
         let group = k + 1;
         // Left: n1 rows, keys in runs of `group`.
-        let left: Table = (0..n1).map(|i| ((i / group) as u64, rng.gen::<u32>() as u64)).collect();
+        let left: Table = (0..n1)
+            .map(|i| ((i / group) as u64, rng.gen::<u32>() as u64))
+            .collect();
         // Right: for each left group (of size g), exactly one matching row
         // replicated... no — to keep m = n1 exactly we give each *left key*
         // exactly one matching right row, and pad the right table to n2 with
@@ -85,7 +95,11 @@ pub fn trace_classes(n1: usize, n2: usize, members: usize, seed: u64) -> TraceCl
         while right.len() < n2 {
             right.push(u64::MAX - right.len() as u64, rng.gen::<u32>() as u64);
         }
-        assert_eq!(right.len(), n2, "construction exceeded n2; need n2 >= ceil(n1/(k+1))");
+        assert_eq!(
+            right.len(),
+            n2,
+            "construction exceeded n2; need n2 >= ceil(n1/(k+1))"
+        );
         out.push((left, right));
     }
 

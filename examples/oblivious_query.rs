@@ -42,9 +42,19 @@ fn main() {
     // GROUP BY order_id, SUM(price * weight) over the join — computed
     // without materialising the join at all.
     let revenue = oblivious_join_aggregate(&tracer, orders, &expensive, JoinAggregate::SumProducts);
-    println!("orders with at least one expensive line item: {}", revenue.len());
-    let top = revenue.rows().iter().max_by_key(|e| e.value).expect("non-empty");
-    println!("largest weighted revenue: order {} -> {}", top.key, top.value);
+    println!(
+        "orders with at least one expensive line item: {}",
+        revenue.len()
+    );
+    let top = revenue
+        .rows()
+        .iter()
+        .max_by_key(|e| e.value)
+        .expect("non-empty");
+    println!(
+        "largest weighted revenue: order {} -> {}",
+        top.key, top.value
+    );
 
     // Cross-check against a plaintext materialisation of the same query.
     let mut reference: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
@@ -55,7 +65,10 @@ fn main() {
     }
     let aggregate_as_map: std::collections::BTreeMap<u64, u64> =
         revenue.rows().iter().map(|e| (e.key, e.value)).collect();
-    assert_eq!(aggregate_as_map, reference, "join-aggregate must equal the materialised reference");
+    assert_eq!(
+        aggregate_as_map, reference,
+        "join-aggregate must equal the materialised reference"
+    );
     println!("join-aggregate result verified against a materialised reference ✓");
 
     // A few more operators from the library, for flavour.
@@ -63,7 +76,9 @@ fn main() {
     let orders_without_items = oblivious_anti_join(&tracer, orders, lineitem);
     let distinct_prices = oblivious_distinct(
         &tracer,
-        &oblivious_project(&tracer, lineitem, |e| obliv_join_suite::join::Entry::new(e.value, 0)),
+        &oblivious_project(&tracer, lineitem, |e| {
+            obliv_join_suite::join::Entry::new(e.value, 0)
+        }),
     );
     println!(
         "orders with line items: {}, without: {}, distinct prices: {}",

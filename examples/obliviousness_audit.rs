@@ -14,7 +14,11 @@ use obliv_trace::Tracer;
 fn main() {
     // 1. Trace-hash equality across a class of same-shaped inputs.
     let class = trace_classes(64, 64, 5, 2024);
-    println!("trace class {} with {} members:", class.name, class.members.len());
+    println!(
+        "trace class {} with {} members:",
+        class.name,
+        class.members.len()
+    );
     let mut digests = Vec::new();
     for (i, (left, right)) in class.members.iter().enumerate() {
         let tracer = Tracer::new(HashingSink::new());
@@ -28,7 +32,10 @@ fn main() {
         );
         digests.push(digest);
     }
-    assert!(digests.windows(2).all(|w| w[0] == w[1]), "trace hashes must all agree");
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "trace hashes must all agree"
+    );
     println!("  -> all {} trace hashes identical\n", digests.len());
 
     // 2. A different shape must (and does) produce a different fingerprint.
@@ -37,13 +44,20 @@ fn main() {
     let _ = oblivious_join_with_tracer(&tracer, &other.left, &other.right);
     let other_digest = tracer.with_sink(|s| s.digest_hex());
     assert_ne!(other_digest, digests[0]);
-    println!("different shape (n1 = 65) -> different hash {}…\n", &other_digest[..16]);
+    println!(
+        "different shape (n1 = 65) -> different hash {}…\n",
+        &other_digest[..16]
+    );
 
     // 3. Type-system verification of every kernel (Figure 6).
     println!("type-checking the implementation kernels:");
     for kernel in programs::join_kernels() {
         let trace = check_program(&kernel.env, &kernel.body).expect("kernel must be oblivious");
-        println!("  {:<38} well-typed ({} top-level trace events)", kernel.name, trace.len());
+        println!(
+            "  {:<38} well-typed ({} top-level trace events)",
+            kernel.name,
+            trace.len()
+        );
     }
     let leaky = programs::leaky_sort_merge_kernel();
     let err = check_program(&leaky.env, &leaky.body).unwrap_err();
@@ -52,14 +66,26 @@ fn main() {
     // 4. Enclave paging profile of a join that exceeds a (deliberately tiny)
     //    EPC, showing where the Figure 8 SGX curves bend.
     let workload = balanced_unique_keys(2_000, 5);
-    let config = EpcConfig { epc_bytes: 256 * 1024, ..EpcConfig::default() };
+    let config = EpcConfig {
+        epc_bytes: 256 * 1024,
+        ..EpcConfig::default()
+    };
     let tracer = Tracer::new(EnclaveSimulator::new(config));
     let result = oblivious_join_with_tracer(&tracer, &workload.left, &workload.right);
     let report = tracer.with_sink(|sim| sim.report());
     println!("enclave simulation (EPC limited to 256 KiB):");
     println!("  output rows          {}", result.len());
     println!("  memory accesses      {}", report.accesses);
-    println!("  page faults          {} ({} compulsory)", report.page_faults, report.cold_faults);
-    println!("  fault rate           {:.4} per access", report.fault_rate());
-    println!("  simulated paging     {:.2} ms", report.paging_time_ns / 1e6);
+    println!(
+        "  page faults          {} ({} compulsory)",
+        report.page_faults, report.cold_faults
+    );
+    println!(
+        "  fault rate           {:.4} per access",
+        report.fault_rate()
+    );
+    println!(
+        "  simulated paging     {:.2} ms",
+        report.paging_time_ns / 1e6
+    );
 }

@@ -47,7 +47,11 @@ fn main() {
     assert_eq!(a, b, "general and PK-FK joins must agree on PK-FK inputs");
 
     println!("\n                         general oblivious    Opaque-style PK-FK");
-    println!("output rows              {:>14}        {:>14}", general.len(), pkfk.rows.len());
+    println!(
+        "output rows              {:>14}        {:>14}",
+        general.len(),
+        pkfk.rows.len()
+    );
     println!(
         "comparisons              {:>14}        {:>14}",
         general.stats.total_ops().comparisons,

@@ -51,7 +51,10 @@ fn main() {
     let mut b = insecure_rows;
     a.sort_unstable();
     b.sort_unstable();
-    assert_eq!(a, b, "the oblivious join must produce the sort-merge answer");
+    assert_eq!(
+        a, b,
+        "the oblivious join must produce the sort-merge answer"
+    );
 
     println!("\n                     oblivious join    insecure sort-merge");
     println!(
@@ -73,7 +76,11 @@ fn main() {
         "\nphase shares: {}",
         Phase::ALL
             .iter()
-            .map(|&p| format!("{} {:.0}%", p.label(), oblivious.stats.wall_share(p) * 100.0))
+            .map(|&p| format!(
+                "{} {:.0}%",
+                p.label(),
+                oblivious.stats.wall_share(p) * 100.0
+            ))
             .collect::<Vec<_>>()
             .join(", ")
     );

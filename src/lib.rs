@@ -3,7 +3,8 @@
 //! One-stop re-export of the public API of the *Efficient Oblivious Database
 //! Joins* reproduction.  Depend on this crate to get the join, its
 //! primitives, the traced-memory substrate, the baselines, the workload
-//! generators, the obliviousness type system and the enclave simulator under
+//! generators, the obliviousness type system, the enclave simulator and the
+//! concurrent query engine under
 //! a single name; or depend on the individual crates (`obliv-join`,
 //! `obliv-primitives`, …) if you only need a part.
 //!
@@ -25,6 +26,7 @@
 
 pub use obliv_baselines as baselines;
 pub use obliv_enclave_sim as enclave_sim;
+pub use obliv_engine as engine;
 pub use obliv_join as join;
 pub use obliv_operators as operators;
 pub use obliv_primitives as primitives;
@@ -36,6 +38,10 @@ pub use obliv_workloads as workloads;
 pub mod prelude {
     pub use obliv_baselines::{hash_join, nested_loop_join, opaque_pkfk_join, sort_merge_join};
     pub use obliv_enclave_sim::{EnclaveSimulator, EpcConfig};
+    pub use obliv_engine::{
+        parse_query, Catalog, Engine, EngineConfig, EngineError, NamedPlan, QueryRequest,
+        QueryResponse, QuerySummary, Session, SessionStats, TableMeta,
+    };
     pub use obliv_join::{
         oblivious_join, oblivious_join_with_tracer, JoinResult, JoinRow, Phase, Table,
     };

@@ -2,8 +2,8 @@
 //! run a generated suite of structurally diverse workloads through the
 //! oblivious join and compare every output against an insecure reference.
 
-use obliv_join_suite::prelude::*;
 use obliv_join_suite::join::sorted_rows;
+use obliv_join_suite::prelude::*;
 
 fn assert_matches_reference(left: &Table, right: &Table, label: &str) {
     let oblivious = oblivious_join(left, right);
@@ -13,7 +13,11 @@ fn assert_matches_reference(left: &Table, right: &Table, label: &str) {
         sorted_rows(reference),
         "mismatch on workload {label}"
     );
-    assert_eq!(oblivious.stats.output_size as usize, oblivious.rows.len(), "{label}");
+    assert_eq!(
+        oblivious.stats.output_size as usize,
+        oblivious.rows.len(),
+        "{label}"
+    );
     assert_eq!(
         oblivious.stats.output_size,
         left.join_output_size(right),
@@ -82,7 +86,10 @@ fn pkfk_baseline_agrees_with_general_join_on_pkfk_workloads() {
     let workload = pk_fk(80, 400, 123);
     let general = sorted_rows(oblivious_join(&workload.left, &workload.right).rows);
     let tracer = Tracer::new(NullSink);
-    let restricted =
-        sorted_rows(opaque_pkfk_join(&tracer, &workload.left, &workload.right).unwrap().rows);
+    let restricted = sorted_rows(
+        opaque_pkfk_join(&tracer, &workload.left, &workload.right)
+            .unwrap()
+            .rows,
+    );
     assert_eq!(general, restricted);
 }

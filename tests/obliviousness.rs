@@ -2,8 +2,8 @@
 //! exact trace equality for small inputs, chained-hash equality for larger
 //! ones, counter determinism, and the type-system verification.
 
-use obliv_join_suite::prelude::*;
 use obliv_join_suite::join::cost;
+use obliv_join_suite::prelude::*;
 use obliv_join_suite::verify::{check_program, programs, TypeError};
 use obliv_trace::first_trace_divergence;
 
@@ -95,8 +95,17 @@ fn counters_match_cost_model_exactly() {
             result.stats.output_size as usize,
         );
         let measured = result.stats.total_ops();
-        assert_eq!(measured.comparisons, predicted.total_comparisons(), "{}", workload.name);
-        assert_eq!(measured.routing_hops, predicted.routing_hops, "{}", workload.name);
+        assert_eq!(
+            measured.comparisons,
+            predicted.total_comparisons(),
+            "{}",
+            workload.name
+        );
+        assert_eq!(
+            measured.routing_hops, predicted.routing_hops,
+            "{}",
+            workload.name
+        );
     }
 }
 
@@ -114,7 +123,10 @@ fn value_permutation_and_key_renaming_do_not_change_the_trace() {
 
     // Shift every data value and apply an order-preserving key map k → 3k+7.
     let remap = |t: &Table| -> Table {
-        t.rows().iter().map(|e| (e.key * 3 + 7, e.value ^ 0xdead_beef)).collect()
+        t.rows()
+            .iter()
+            .map(|e| (e.key * 3 + 7, e.value ^ 0xdead_beef))
+            .collect()
     };
     let remapped = digest_of(&remap(&base.left), &remap(&base.right));
     assert_eq!(original, remapped);

@@ -24,8 +24,11 @@ fn filter_join_aggregate_pipeline_matches_plaintext_sql() {
     let mut reference: BTreeMap<u64, u64> = BTreeMap::new();
     for a in t1.iter() {
         for b in t2.iter().filter(|b| b.value >= 50 && b.key == a.key) {
-            *reference.entry(a.key).or_insert(0) =
-                reference.get(&a.key).copied().unwrap_or(0).wrapping_add(a.value * b.value);
+            *reference.entry(a.key).or_insert(0) = reference
+                .get(&a.key)
+                .copied()
+                .unwrap_or(0)
+                .wrapping_add(a.value * b.value);
         }
     }
     let got: BTreeMap<u64, u64> = result.rows().iter().map(|e| (e.key, e.value)).collect();
@@ -36,8 +39,12 @@ fn filter_join_aggregate_pipeline_matches_plaintext_sql() {
 fn join_aggregate_count_matches_full_join_cardinalities() {
     let workload = power_law(200, 250, 2.1, 8);
     let tracer = tracer();
-    let counts =
-        oblivious_join_aggregate(&tracer, &workload.left, &workload.right, JoinAggregate::CountPairs);
+    let counts = oblivious_join_aggregate(
+        &tracer,
+        &workload.left,
+        &workload.right,
+        JoinAggregate::CountPairs,
+    );
     let total: u64 = counts.rows().iter().map(|e| e.value).sum();
     assert_eq!(total, workload.output_size);
 

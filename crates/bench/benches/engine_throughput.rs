@@ -15,6 +15,17 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use obliv_engine::{parse_query, Engine, EngineConfig, QueryRequest};
 use obliv_workloads::{orders_lineitem, power_law, WorkloadSpec};
 
+// Three serving-path configurations are measured per workload:
+//
+// * `workers/N` — cold path, result cache disabled: every iteration
+//   resolves and obliviously executes all 16 queries.  Comparable to the
+//   pre-cache numbers; still benefits from Arc-backed snapshots and the
+//   scheduled sort.
+// * `warm_cache/1` — result cache enabled and warmed: iterations measure
+//   the pure serve-from-cache path (canonicalisation, probe, fan-out).
+// * `dedup_x4/1` — cache disabled, the batch contains each query four
+//   times: measures intra-batch deduplication (execute 16, answer 64).
+
 /// The batch every configuration executes: a mixed, realistic query load.
 const BATCH_QUERIES: [&str; 16] = [
     "JOIN left right",
@@ -35,8 +46,11 @@ const BATCH_QUERIES: [&str; 16] = [
     "SCAN right | AGG min",
 ];
 
-fn engine_for(workload: &WorkloadSpec, workers: usize) -> Engine {
-    let engine = Engine::new(EngineConfig { workers });
+fn engine_for(workload: &WorkloadSpec, workers: usize, result_cache: bool) -> Engine {
+    let engine = Engine::new(EngineConfig {
+        workers,
+        result_cache,
+    });
     engine
         .register_table("left", workload.left.clone())
         .unwrap();
@@ -66,13 +80,36 @@ fn bench_engine_throughput(c: &mut Criterion) {
     for (name, workload) in &workloads {
         let batch = requests();
         for workers in [1usize, 2, 4, 8] {
-            let engine = engine_for(workload, workers);
+            // Cold path: no result cache, every query executes.
+            let engine = engine_for(workload, workers, false);
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}/workers"), workers),
                 &batch,
                 |b, batch| b.iter(|| engine.execute_batch(batch).unwrap()),
             );
         }
+
+        // Warm cache: one priming run outside the measurement, then every
+        // iteration serves all 16 queries from the (plan, epoch) cache.
+        let engine = engine_for(workload, 1, true);
+        engine.execute_batch(&batch).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/warm_cache"), 1),
+            &batch,
+            |b, batch| b.iter(|| engine.execute_batch(batch).unwrap()),
+        );
+
+        // Intra-batch dedup: each query four times, cache off — 16
+        // executions answer 64 requests.
+        let batch_x4: Vec<QueryRequest> = (0..4).flat_map(|_| requests()).collect();
+        let engine = engine_for(workload, 1, false);
+        group.throughput(Throughput::Elements(batch_x4.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/dedup_x4"), 1),
+            &batch_x4,
+            |b, batch| b.iter(|| engine.execute_batch(batch).unwrap()),
+        );
+        group.throughput(Throughput::Elements(BATCH_QUERIES.len() as u64));
     }
     group.finish();
 }

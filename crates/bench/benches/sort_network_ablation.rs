@@ -5,9 +5,15 @@
 //! The paper argues (§3.5) that an `O(n log n)` network such as zig-zag sort
 //! is too slow in practice; this bench quantifies the gap between the two
 //! practical `O(n log² n)` networks on this implementation's record type.
+//!
+//! `bitonic` is the production driver: the iterative, precomputed run
+//! schedule with batched trace emission and per-run counter updates.
+//! `bitonic_per_gate` is the legacy recursive walker (one traced
+//! read/write per element, one counter bump per gate), kept as the
+//! baseline that quantifies what the scheduled driver buys.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use obliv_primitives::sort::{bitonic, odd_even};
+use obliv_primitives::sort::{bitonic, odd_even, Direction};
 use obliv_trace::{NullSink, Tracer};
 
 fn scrambled(n: usize) -> Vec<u64> {
@@ -20,13 +26,20 @@ fn bench_networks(c: &mut Criterion) {
     let mut group = c.benchmark_group("sort_network_ablation");
     group.sample_size(10);
 
-    for &n in &[1usize << 10, 1 << 13] {
+    for &n in &[1usize << 10, 1 << 12, 1 << 13] {
         let data = scrambled(n);
 
         group.bench_with_input(BenchmarkId::new("bitonic", n), &data, |b, data| {
             b.iter_batched(
                 || Tracer::new(NullSink).alloc_from(data.clone()),
                 |mut buf| bitonic::sort_by_key(&mut buf, |x| *x),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("bitonic_per_gate", n), &data, |b, data| {
+            b.iter_batched(
+                || Tracer::new(NullSink).alloc_from(data.clone()),
+                |mut buf| bitonic::sort_by_key_dir_per_gate(&mut buf, Direction::Ascending, |x| *x),
                 criterion::BatchSize::SmallInput,
             )
         });

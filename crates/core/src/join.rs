@@ -111,6 +111,12 @@ pub fn oblivious_join_with_tracer<S: TraceSink>(
 
 /// The final linear pass: `TD[i] ← (S₁[i].d, S₂[i].d)` (the join value is
 /// carried alongside for downstream operators).
+///
+/// The pass is a fixed left-to-right scan of all three arrays, so its
+/// accesses are emitted as three coalesced runs (`read_run` on each input,
+/// `write_run` on the output) and its `m` step counts as one batched
+/// counter update — run extents are a function of the public size `m`
+/// only, so the batched trace stays a function of public parameters.
 fn zip_output<S: TraceSink>(
     tracer: &Tracer<S>,
     s1: &TrackedBuffer<AugRecord, S>,
@@ -119,15 +125,20 @@ fn zip_output<S: TraceSink>(
     debug_assert_eq!(s1.len(), s2.len());
     let m = s1.len();
     let mut td = tracer.alloc_from(vec![(0u64, JoinRow::default()); m]);
-    for i in 0..m {
-        let left = s1.read(i);
-        let right = s2.read(i);
-        tracer.bump_linear_steps(1);
-        debug_assert_eq!(
-            left.key, right.key,
-            "aligned tables disagree on the join value at row {i}"
-        );
-        td.write(i, (left.key, JoinRow::new(left.value, right.value)));
+    tracer.bump_linear_steps(m as u64);
+    {
+        let left_rows = s1.read_run(0, m);
+        let right_rows = s2.read_run(0, m);
+        let out = td.write_run(0, m);
+        for i in 0..m {
+            let left = left_rows[i];
+            let right = right_rows[i];
+            debug_assert_eq!(
+                left.key, right.key,
+                "aligned tables disagree on the join value at row {i}"
+            );
+            out[i] = (left.key, JoinRow::new(left.value, right.value));
+        }
     }
     td.into_vec().into_iter().map(|(k, r)| (r, k)).unzip()
 }

@@ -7,13 +7,21 @@
 //! is not part of the observable execution.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::record::{DataValue, Entry, JoinKey};
 
 /// An unordered input table of `(j, d)` rows (§4.1).
+///
+/// Rows are held behind an [`Arc`], so cloning a table is an O(1)
+/// reference-count bump rather than a deep copy — serving layers snapshot
+/// and fan out tables per query batch, and every scan leaf of a resolved
+/// plan holds its own clone.  Mutation ([`push`](Table::push)) is
+/// copy-on-write: it materialises a private copy of the rows only when the
+/// storage is actually shared.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Table {
-    rows: Vec<Entry>,
+    rows: Arc<Vec<Entry>>,
 }
 
 impl Table {
@@ -25,23 +33,33 @@ impl Table {
     /// A table with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
         Table {
-            rows: Vec::with_capacity(capacity),
+            rows: Arc::new(Vec::with_capacity(capacity)),
         }
     }
 
-    /// Build a table from `(key, value)` pairs.
+    /// Build a table from `(key, value)` pairs, pre-reserving from the
+    /// iterator's `size_hint`.
     pub fn from_pairs<I>(pairs: I) -> Self
     where
         I: IntoIterator<Item = (JoinKey, DataValue)>,
     {
+        let pairs = pairs.into_iter();
+        let mut rows = Vec::with_capacity(pairs.size_hint().0);
+        rows.extend(pairs.map(Entry::from));
         Table {
-            rows: pairs.into_iter().map(Entry::from).collect(),
+            rows: Arc::new(rows),
         }
     }
 
-    /// Append one row.
+    /// Append one row (copy-on-write if the row storage is shared).
     pub fn push(&mut self, key: JoinKey, value: DataValue) {
-        self.rows.push(Entry::new(key, value));
+        Arc::make_mut(&mut self.rows).push(Entry::new(key, value));
+    }
+
+    /// True if this table shares its row storage with another clone
+    /// (diagnostic; used by tests asserting snapshotting stays shallow).
+    pub fn shares_rows_with(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
     }
 
     /// Number of rows.
@@ -69,7 +87,7 @@ impl Table {
     /// predictions and tests; not by the oblivious execution itself.
     pub fn key_histogram(&self) -> BTreeMap<JoinKey, u64> {
         let mut hist = BTreeMap::new();
-        for row in &self.rows {
+        for row in self.rows.iter() {
             *hist.entry(row.key).or_insert(0) += 1;
         }
         hist
@@ -95,8 +113,11 @@ impl FromIterator<(JoinKey, DataValue)> for Table {
 
 impl FromIterator<Entry> for Table {
     fn from_iter<I: IntoIterator<Item = Entry>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut rows = Vec::with_capacity(iter.size_hint().0);
+        rows.extend(iter);
         Table {
-            rows: iter.into_iter().collect(),
+            rows: Arc::new(rows),
         }
     }
 }
@@ -106,7 +127,10 @@ impl IntoIterator for Table {
     type IntoIter = std::vec::IntoIter<Entry>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.rows.into_iter()
+        // Reuse the allocation when this clone is the sole owner.
+        Arc::try_unwrap(self.rows)
+            .unwrap_or_else(|shared| shared.as_ref().clone())
+            .into_iter()
     }
 }
 
@@ -160,5 +184,43 @@ mod tests {
         let t = Table::with_capacity(16);
         assert!(t.is_empty());
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_rows_until_mutation() {
+        let t = Table::from_pairs(vec![(1, 10), (2, 20)]);
+        let snapshot = t.clone();
+        assert!(t.shares_rows_with(&snapshot), "clone is an Arc bump");
+
+        // Copy-on-write: pushing to one side detaches it, the other side
+        // keeps the original contents.
+        let mut mutated = snapshot.clone();
+        mutated.push(3, 30);
+        assert!(!mutated.shares_rows_with(&snapshot));
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(mutated.len(), 3);
+        assert_eq!(snapshot, t);
+    }
+
+    #[test]
+    fn push_on_unique_owner_does_not_reallocate_shared_state() {
+        let mut t = Table::with_capacity(4);
+        t.push(1, 1);
+        t.push(2, 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1], Entry::new(2, 2));
+    }
+
+    #[test]
+    fn into_iter_works_for_shared_and_unique_tables() {
+        let t = Table::from_pairs(vec![(1, 10), (2, 20)]);
+        let keep = t.clone();
+        // Shared: consuming one clone leaves the other intact.
+        let drained: Vec<Entry> = t.into_iter().collect();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(keep.len(), 2);
+        // Unique: sole owner moves its rows out.
+        let drained_again: Vec<Entry> = keep.into_iter().collect();
+        assert_eq!(drained_again, drained);
     }
 }

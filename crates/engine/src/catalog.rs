@@ -38,6 +38,13 @@ pub struct TableMeta {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
+    /// Monotone content-version counter: bumped by every mutation that
+    /// changes the registered tables ([`register`](Catalog::register) and
+    /// every successful [`deregister`](Catalog::deregister)).  Result
+    /// caches key on `(plan, epoch)`, so any catalog change invalidates
+    /// every cached result at once — coarse, but cheap and obviously
+    /// correct.
+    epoch: u64,
 }
 
 /// `true` iff `name` is usable as a table name in the text frontend:
@@ -64,12 +71,24 @@ impl Catalog {
         if !name_is_valid(&name) {
             return Err(EngineError::InvalidTableName { name });
         }
+        self.epoch += 1;
         Ok(self.tables.insert(name, table))
     }
 
     /// Remove and return the table registered under `name`.
     pub fn deregister(&mut self, name: &str) -> Option<Table> {
-        self.tables.remove(name)
+        let removed = self.tables.remove(name);
+        if removed.is_some() {
+            self.epoch += 1;
+        }
+        removed
+    }
+
+    /// The catalog's current epoch: a counter bumped by every content
+    /// mutation.  Two reads returning the same epoch saw identical
+    /// registered tables.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The table registered under `name`, if any.
@@ -195,5 +214,25 @@ mod tests {
         assert_eq!(c.deregister("x").unwrap().len(), 2);
         assert!(c.get("x").is_none());
         assert!(c.deregister("x").is_none());
+    }
+
+    #[test]
+    fn epoch_tracks_content_mutations_only() {
+        let mut c = Catalog::new();
+        assert_eq!(c.epoch(), 0);
+        c.register("x", t(2)).unwrap();
+        assert_eq!(c.epoch(), 1);
+        c.register("x", t(5)).unwrap(); // replacement counts
+        assert_eq!(c.epoch(), 2);
+        assert!(c.register("bad name", t(1)).is_err());
+        assert_eq!(c.epoch(), 2, "rejected registration leaves epoch alone");
+        assert!(c.deregister("ghost").is_none());
+        assert_eq!(c.epoch(), 2, "no-op deregister leaves epoch alone");
+        c.deregister("x");
+        assert_eq!(c.epoch(), 3);
+        // Reads never bump.
+        let _ = c.meta("x");
+        let _ = c.list();
+        assert_eq!(c.epoch(), 3);
     }
 }

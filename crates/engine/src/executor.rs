@@ -1,4 +1,4 @@
-//! The engine: catalog ownership, serial execution, and the worker pool.
+//! The engine: catalog ownership, result caching, and the worker pool.
 //!
 //! ## Concurrency model
 //!
@@ -11,10 +11,27 @@
 //! digest — is exactly what a serial run would produce.  Concurrency
 //! changes *when* streams are produced, never *what* they contain.
 //!
-//! Plans are resolved against the catalog on the submitting thread (cloning
-//! the referenced tables), so workers receive self-contained jobs and the
-//! catalog lock is never held during execution.
+//! Plans are resolved against the catalog on the submitting thread, so
+//! workers receive self-contained jobs.  Table rows are `Arc`-backed, so
+//! resolution clones are reference-count bumps against one shared snapshot
+//! — the catalog read lock is held only for those bumps, never during
+//! execution.
+//!
+//! ## Result cache
+//!
+//! Executing the same plan against the same catalog contents always
+//! produces the same result table *and* the same leakage summary (the
+//! digest is a pure function of public parameters).  The engine therefore
+//! keeps a result cache keyed on `(canonical plan, catalog epoch)`: any
+//! catalog mutation bumps the epoch and invalidates everything, and
+//! identical plans within one batch are deduplicated — executed once, with
+//! the response fanned out to every duplicate.  Cache keys contain only
+//! public information (the plan text), so the cache leaks nothing beyond
+//! what submitting the plan already reveals; hits are visible in
+//! [`QueryResponse::cached`] and the engine-wide [`CacheStats`].
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
@@ -34,8 +51,14 @@ use crate::session::Session;
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of worker threads used by [`Engine::execute_batch`].
-    /// `1` degenerates to serial execution on a single spawned worker.
+    /// `1` degenerates to serial execution on the calling thread.
     pub workers: usize,
+    /// Enable the `(canonical plan, catalog epoch)` result cache.  On by
+    /// default; disable it to force every request through a fresh
+    /// execution (e.g. for timing the uncached path).  Intra-batch
+    /// deduplication of identical plans is always on — it changes
+    /// neither results nor leakage, only repeated work.
+    pub result_cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -43,9 +66,40 @@ impl Default for EngineConfig {
         let workers = thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        EngineConfig { workers }
+        EngineConfig {
+            workers,
+            result_cache: true,
+        }
     }
 }
+
+/// Cumulative result-cache accounting for one engine.
+///
+/// A *miss* is a request that triggered a fresh plan execution; a *hit* is
+/// a request answered from the cache or deduplicated against an identical
+/// plan in the same batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered without a fresh execution.
+    pub hits: u64,
+    /// Requests that executed their plan.
+    pub misses: u64,
+}
+
+/// The label-independent payload of one executed query, shared between the
+/// cache and every response fanned out from it.
+struct CachedQuery {
+    result: Table,
+    summary: QuerySummary,
+}
+
+/// Upper bound on retained cache entries; inserts beyond the cap are
+/// skipped (existing entries keep serving hits) so one epoch cannot grow
+/// the cache without bound.
+const RESULT_CACHE_CAP: usize = 1024;
+
+/// Canonical plan → (epoch stamped at insertion, executed payload).
+type ResultCacheMap = HashMap<String, (u64, Arc<CachedQuery>)>;
 
 /// A concurrent oblivious query service over a [`Catalog`] of named tables.
 ///
@@ -53,7 +107,7 @@ impl Default for EngineConfig {
 /// use obliv_engine::{Engine, EngineConfig};
 /// use obliv_join::Table;
 ///
-/// let engine = Engine::new(EngineConfig { workers: 2 });
+/// let engine = Engine::new(EngineConfig { workers: 2, ..Default::default() });
 /// engine.register_table("orders", Table::from_pairs(vec![(1, 120), (2, 80)])).unwrap();
 /// engine.register_table("customers", Table::from_pairs(vec![(1, 7), (2, 9)])).unwrap();
 ///
@@ -67,6 +121,12 @@ impl Default for EngineConfig {
 pub struct Engine {
     catalog: RwLock<Catalog>,
     workers: usize,
+    /// `(canonical plan) → (epoch, payload)`; entries are valid only while
+    /// their stored epoch matches the live catalog's, and the whole map is
+    /// cleared on every catalog mutation.  `None` when caching is disabled.
+    result_cache: Option<Mutex<ResultCacheMap>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl Engine {
@@ -80,6 +140,9 @@ impl Engine {
         Engine {
             catalog: RwLock::new(catalog),
             workers: config.workers.max(1),
+            result_cache: config.result_cache.then(|| Mutex::new(HashMap::new())),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -88,25 +151,51 @@ impl Engine {
         self.workers
     }
 
+    /// Cumulative result-cache hit/miss totals since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every cached result (hit/miss totals are untouched).
+    pub fn clear_result_cache(&self) {
+        if let Some(cache) = &self.result_cache {
+            cache.lock().expect("result cache lock poisoned").clear();
+        }
+    }
+
     /// Register `table` under `name`, replacing (and returning) any
-    /// previous table of that name.
+    /// previous table of that name.  Bumps the catalog epoch, invalidating
+    /// every cached result.
     pub fn register_table(
         &self,
         name: impl Into<String>,
         table: Table,
     ) -> Result<Option<Table>, EngineError> {
-        self.catalog
+        let replaced = self
+            .catalog
             .write()
             .expect("catalog lock poisoned")
-            .register(name, table)
+            .register(name, table)?;
+        self.clear_result_cache();
+        Ok(replaced)
     }
 
-    /// Remove and return the table registered under `name`.
+    /// Remove and return the table registered under `name`.  If a table
+    /// was removed, the catalog epoch is bumped and the result cache
+    /// invalidated.
     pub fn deregister_table(&self, name: &str) -> Option<Table> {
-        self.catalog
+        let removed = self
+            .catalog
             .write()
             .expect("catalog lock poisoned")
-            .deregister(name)
+            .deregister(name);
+        if removed.is_some() {
+            self.clear_result_cache();
+        }
+        removed
     }
 
     /// Public metadata for `name`, if registered.
@@ -127,50 +216,17 @@ impl Engine {
         Session::new(self, tenant)
     }
 
-    /// Resolve every request against the current catalog snapshot.
-    ///
-    /// This is the only step that reads the catalog; it happens entirely on
-    /// the calling thread, so a batch sees one consistent snapshot even if
-    /// tables are re-registered while it runs.  The read lock is held only
-    /// to copy each *distinct* referenced table once; the per-scan-leaf
-    /// clones of plan resolution happen against that snapshot with the lock
-    /// released, so writers wait for one copy per table, not one per query.
-    fn resolve_batch(
-        &self,
-        requests: &[QueryRequest],
-    ) -> Result<Vec<(String, QueryPlan)>, EngineError> {
-        let snapshot = {
-            let catalog = self.catalog.read().expect("catalog lock poisoned");
-            let mut snapshot = Catalog::new();
-            for request in requests {
-                for name in request.plan.referenced_tables() {
-                    if snapshot.get(name).is_none() {
-                        snapshot
-                            .register(name, catalog.resolve(name)?.clone())
-                            .expect("names in the catalog are valid");
-                    }
-                }
-            }
-            snapshot
-        };
-        requests
-            .iter()
-            .map(|r| Ok((r.label.clone(), r.plan.resolve(&snapshot)?)))
-            .collect()
-    }
-
     /// Execute one resolved plan with its own tracer, producing the result
     /// table and the query's leakage summary.  This is the single code path
     /// used by serial and concurrent execution alike.
-    fn run_one(label: String, plan: &QueryPlan) -> QueryResponse {
+    fn run_plan(plan: &QueryPlan) -> CachedQuery {
         let start = Instant::now();
         let tracer = Tracer::new(HashingSink::new());
         let result = plan.execute(&tracer);
         let wall = start.elapsed();
         let counters = tracer.counters();
         let (trace_digest, trace_events) = tracer.with_sink(|s| (s.digest_hex(), s.events()));
-        QueryResponse {
-            label,
+        CachedQuery {
             summary: QuerySummary {
                 trace_digest,
                 trace_events,
@@ -182,20 +238,17 @@ impl Engine {
         }
     }
 
-    /// Execute a batch of requests on this thread, in submission order.
+    /// Execute a batch of requests serially on this thread.
     ///
-    /// This is the reference semantics the worker pool is tested against:
-    /// for every request, [`execute_batch`](Engine::execute_batch) returns a
-    /// bit-identical result table and trace digest.
+    /// Same semantics as [`execute_batch`](Engine::execute_batch) — the
+    /// two share one code path (cache probe, dedup, fan-out); only the job
+    /// scheduling differs — so for every request the result table and
+    /// trace digest are bit-identical between the two.
     pub fn execute_serial(
         &self,
         requests: &[QueryRequest],
     ) -> Result<Vec<QueryResponse>, EngineError> {
-        let jobs = self.resolve_batch(requests)?;
-        Ok(jobs
-            .into_iter()
-            .map(|(label, plan)| Engine::run_one(label, &plan))
-            .collect())
+        self.execute_common(requests, false)
     }
 
     /// Execute a batch of requests concurrently on the worker pool.
@@ -207,32 +260,157 @@ impl Engine {
     ///
     /// The whole batch is resolved before any query runs, so a single bad
     /// request fails the batch up front rather than part-way through.
+    /// Identical plans are executed once per batch, and plans already in
+    /// the result cache for the current catalog epoch are not executed at
+    /// all; in both cases every duplicate receives the one payload with
+    /// its own label and `cached: true`.
     pub fn execute_batch(
         &self,
         requests: &[QueryRequest],
     ) -> Result<Vec<QueryResponse>, EngineError> {
-        let jobs = self.resolve_batch(requests)?;
-        if jobs.is_empty() {
+        self.execute_common(requests, true)
+    }
+
+    fn execute_common(
+        &self,
+        requests: &[QueryRequest],
+        parallel: bool,
+    ) -> Result<Vec<QueryResponse>, EngineError> {
+        if requests.is_empty() {
             return Ok(Vec::new());
         }
-        let workers = self.workers.min(jobs.len());
-        if workers <= 1 {
-            return Ok(jobs
-                .into_iter()
-                .map(|(label, plan)| Engine::run_one(label, &plan))
-                .collect());
+
+        // Deduplicate by canonical plan: `slot_of_request[i]` is the
+        // distinct-plan slot of request `i`, `representative[slot]` the
+        // first request index with that plan.  Canonicalisation renders
+        // each plan once per request per batch (~0.5 µs/query on the
+        // warm-cache path, included in the bench numbers); if it ever
+        // dominates, memoise the canonical form on `QueryRequest`.
+        let canon: Vec<String> = requests.iter().map(|r| r.plan.canonical()).collect();
+        let mut slot_by_key: HashMap<&str, usize> = HashMap::with_capacity(requests.len());
+        let mut representative: Vec<usize> = Vec::new();
+        let mut slot_of_request: Vec<usize> = Vec::with_capacity(requests.len());
+        for (i, key) in canon.iter().enumerate() {
+            let slot = *slot_by_key.entry(key.as_str()).or_insert_with(|| {
+                representative.push(i);
+                representative.len() - 1
+            });
+            slot_of_request.push(slot);
         }
 
+        // Probe the cache and resolve the remaining plans against one
+        // consistent catalog snapshot.  Resolution clones are Arc bumps,
+        // so the read lock is held only briefly even for large tables.
+        let mut payload: Vec<Option<Arc<CachedQuery>>> = Vec::new();
+        payload.resize_with(representative.len(), || None);
+        let mut jobs: Vec<(usize, QueryPlan)> = Vec::new();
+        let epoch = {
+            let catalog = self.catalog.read().expect("catalog lock poisoned");
+            let epoch = catalog.epoch();
+            if let Some(cache) = &self.result_cache {
+                let cache = cache.lock().expect("result cache lock poisoned");
+                for (slot, &req) in representative.iter().enumerate() {
+                    if let Some((cached_epoch, entry)) = cache.get(canon[req].as_str()) {
+                        if *cached_epoch == epoch {
+                            payload[slot] = Some(Arc::clone(entry));
+                        }
+                    }
+                }
+            }
+            for (slot, &req) in representative.iter().enumerate() {
+                if payload[slot].is_none() {
+                    jobs.push((slot, requests[req].plan.resolve(&catalog)?));
+                }
+            }
+            epoch
+        };
+
+        // Execute the distinct uncached plans — on the pool when asked and
+        // worthwhile, inline otherwise.
+        let fresh_slots: Vec<usize> = jobs.iter().map(|(slot, _)| *slot).collect();
+        let workers = self.workers.min(jobs.len());
+        if parallel && workers > 1 {
+            for (slot, entry) in Self::run_on_pool(jobs, workers) {
+                payload[slot] = Some(entry);
+            }
+        } else {
+            for (slot, plan) in jobs {
+                payload[slot] = Some(Arc::new(Engine::run_plan(&plan)));
+            }
+        }
+
+        // Publish fresh results for future batches of the same epoch.  The
+        // catalog read lock is re-taken (same catalog → cache order as the
+        // probe phase) so a concurrent mutation either already bumped the
+        // epoch — in which case these stale-stamped entries are not
+        // published at all — or is serialised after the inserts and clears
+        // them; either way no dead entry can occupy the capped cache.
+        if let Some(cache) = &self.result_cache {
+            let catalog = self.catalog.read().expect("catalog lock poisoned");
+            if catalog.epoch() == epoch {
+                let mut cache = cache.lock().expect("result cache lock poisoned");
+                for &slot in &fresh_slots {
+                    if cache.len() >= RESULT_CACHE_CAP {
+                        break;
+                    }
+                    let entry = payload[slot].as_ref().expect("fresh slot was executed");
+                    cache.insert(
+                        canon[representative[slot]].clone(),
+                        (epoch, Arc::clone(entry)),
+                    );
+                }
+            }
+        }
+
+        // Fan out: one response per request, in submission order.  The
+        // representative of a freshly executed plan is the miss; every
+        // other request (intra-batch duplicate or cache hit) is a hit.
+        let fresh: Vec<bool> = {
+            let mut fresh = vec![false; representative.len()];
+            for &slot in &fresh_slots {
+                fresh[slot] = true;
+            }
+            fresh
+        };
+        let responses: Vec<QueryResponse> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, request)| {
+                let slot = slot_of_request[i];
+                let entry = payload[slot].as_ref().expect("every slot was filled");
+                let cached = !(fresh[slot] && representative[slot] == i);
+                if cached {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                QueryResponse {
+                    label: request.label.clone(),
+                    result: entry.result.clone(),
+                    summary: entry.summary.clone(),
+                    cached,
+                }
+            })
+            .collect();
+        Ok(responses)
+    }
+
+    /// Drain `jobs` through a pool of `workers` threads, returning each
+    /// distinct-plan slot's executed payload.
+    fn run_on_pool(
+        jobs: Vec<(usize, QueryPlan)>,
+        workers: usize,
+    ) -> Vec<(usize, Arc<CachedQuery>)> {
         // Job queue: a channel drained through a shared mutex, so each
         // worker pulls the next query as soon as it finishes the last —
         // simple work stealing without per-worker queues.
-        let (job_tx, job_rx) = mpsc::channel::<(usize, String, QueryPlan)>();
+        let (job_tx, job_rx) = mpsc::channel::<(usize, QueryPlan)>();
         let job_rx = Arc::new(Mutex::new(job_rx));
-        let (response_tx, response_rx) = mpsc::channel::<(usize, QueryResponse)>();
+        let (response_tx, response_rx) = mpsc::channel::<(usize, Arc<CachedQuery>)>();
 
         let total = jobs.len();
-        for (index, (label, plan)) in jobs.into_iter().enumerate() {
-            job_tx.send((index, label, plan)).expect("job channel open");
+        for job in jobs {
+            job_tx.send(job).expect("job channel open");
         }
         drop(job_tx); // Workers exit when the queue drains.
 
@@ -245,9 +423,9 @@ impl Engine {
                     // executing one.
                     let job = job_rx.lock().expect("job queue lock poisoned").recv();
                     match job {
-                        Ok((index, label, plan)) => {
-                            let response = Engine::run_one(label, &plan);
-                            if response_tx.send((index, response)).is_err() {
+                        Ok((slot, plan)) => {
+                            let entry = Arc::new(Engine::run_plan(&plan));
+                            if response_tx.send((slot, entry)).is_err() {
                                 return; // Collector gone; nothing useful left to do.
                             }
                         }
@@ -256,15 +434,7 @@ impl Engine {
                 });
             }
             drop(response_tx);
-
-            let mut responses: Vec<Option<QueryResponse>> = (0..total).map(|_| None).collect();
-            for (index, response) in response_rx {
-                responses[index] = Some(response);
-            }
-            Ok(responses
-                .into_iter()
-                .map(|r| r.expect("every submitted query produces exactly one response"))
-                .collect())
+            response_rx.into_iter().take(total).collect()
         })
     }
 
@@ -285,6 +455,8 @@ impl std::fmt::Debug for Engine {
         f.debug_struct("Engine")
             .field("workers", &self.workers)
             .field("tables", &catalog.len())
+            .field("result_cache", &self.result_cache.is_some())
+            .field("cache_stats", &self.cache_stats())
             .finish()
     }
 }
@@ -295,8 +467,8 @@ mod tests {
     use crate::query::NamedPlan;
     use obliv_operators::{Aggregate, JoinColumns, Predicate};
 
-    fn engine(workers: usize) -> Engine {
-        let engine = Engine::new(EngineConfig { workers });
+    fn engine_with(config: EngineConfig) -> Engine {
+        let engine = Engine::new(config);
         engine
             .register_table(
                 "orders",
@@ -310,6 +482,13 @@ mod tests {
             )
             .unwrap();
         engine
+    }
+
+    fn engine(workers: usize) -> Engine {
+        engine_with(EngineConfig {
+            workers,
+            ..Default::default()
+        })
     }
 
     fn requests() -> Vec<QueryRequest> {
@@ -336,7 +515,12 @@ mod tests {
 
     #[test]
     fn concurrent_matches_serial_bit_for_bit() {
-        let engine = engine(4);
+        // Cache off so the second run genuinely re-executes on the pool
+        // instead of replaying the first run's cached payloads.
+        let engine = engine_with(EngineConfig {
+            workers: 4,
+            result_cache: false,
+        });
         let serial = engine.execute_serial(&requests()).unwrap();
         let concurrent = engine.execute_batch(&requests()).unwrap();
         assert_eq!(serial.len(), concurrent.len());
@@ -439,5 +623,98 @@ mod tests {
             .unwrap();
         let after = engine.execute_batch(&requests()[2..3]).unwrap();
         assert_ne!(before[2].result, after[0].result);
+    }
+
+    #[test]
+    fn cache_hit_is_bit_identical_to_the_original_miss() {
+        let engine = engine(2);
+        let request = &requests()[..1];
+        let miss = engine.execute_batch(request).unwrap().pop().unwrap();
+        assert!(!miss.cached);
+        let hit = engine.execute_batch(request).unwrap().pop().unwrap();
+        assert!(hit.cached);
+        // Bit-identical payload: result, digest, counters, even the wall
+        // time of the run that produced it.
+        assert_eq!(hit.label, miss.label);
+        assert_eq!(hit.result, miss.result);
+        assert_eq!(hit.summary, miss.summary);
+        assert_eq!(engine.cache_stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn identical_plans_in_one_batch_execute_once() {
+        let engine = engine(4);
+        let plan = NamedPlan::scan("orders").group_aggregate(Aggregate::Sum);
+        let batch = vec![
+            QueryRequest::new("a", plan.clone()),
+            QueryRequest::new("b", plan.clone()),
+            QueryRequest::new("c", plan),
+        ];
+        let responses = engine.execute_batch(&batch).unwrap();
+        assert_eq!(
+            responses.iter().map(|r| r.cached).collect::<Vec<_>>(),
+            vec![false, true, true],
+            "first occurrence is the miss, duplicates are deduplicated"
+        );
+        assert_eq!(
+            responses
+                .iter()
+                .map(|r| r.label.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a", "b", "c"],
+            "each duplicate keeps its own label"
+        );
+        assert_eq!(responses[0].result, responses[1].result);
+        assert_eq!(responses[0].summary, responses[2].summary);
+        assert_eq!(engine.cache_stats(), CacheStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn catalog_mutation_invalidates_the_cache() {
+        let engine = engine(2);
+        let request = &requests()[2..3]; // per-customer aggregate over orders
+        let first = engine.execute_batch(request).unwrap();
+        engine
+            .register_table("orders", Table::from_pairs(vec![(9, 1)]))
+            .unwrap();
+        let second = engine.execute_batch(request).unwrap();
+        assert!(!second[0].cached, "epoch bump must force re-execution");
+        assert_ne!(first[0].result, second[0].result);
+        // Deregistering also invalidates.
+        let third = engine.execute_batch(request).unwrap();
+        assert!(third[0].cached);
+        engine.deregister_table("customers");
+        let fourth = engine.execute_batch(request).unwrap();
+        assert!(!fourth[0].cached);
+    }
+
+    #[test]
+    fn disabled_cache_still_deduplicates_within_a_batch() {
+        let engine = engine_with(EngineConfig {
+            workers: 2,
+            result_cache: false,
+        });
+        let plan = NamedPlan::scan("orders").group_aggregate(Aggregate::Sum);
+        let batch = vec![
+            QueryRequest::new("a", plan.clone()),
+            QueryRequest::new("b", plan),
+        ];
+        let responses = engine.execute_batch(&batch).unwrap();
+        assert!(!responses[0].cached);
+        assert!(responses[1].cached, "intra-batch dedup is always on");
+        // But nothing persists across batches.
+        let again = engine.execute_batch(&batch).unwrap();
+        assert!(!again[0].cached);
+        assert_eq!(engine.cache_stats(), CacheStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn clear_result_cache_forces_re_execution() {
+        let engine = engine(2);
+        let request = &requests()[1..2];
+        engine.execute_batch(request).unwrap();
+        engine.clear_result_cache();
+        let responses = engine.execute_batch(request).unwrap();
+        assert!(!responses[0].cached);
     }
 }

@@ -27,7 +27,7 @@
 //! use obliv_engine::{Engine, EngineConfig};
 //! use obliv_join::Table;
 //!
-//! let engine = Engine::new(EngineConfig { workers: 4 });
+//! let engine = Engine::new(EngineConfig { workers: 4, ..Default::default() });
 //! engine.register_table("orders", Table::from_pairs(vec![(1, 120), (1, 80), (2, 200)])).unwrap();
 //! engine.register_table("lineitem", Table::from_pairs(vec![(1, 3), (2, 5)])).unwrap();
 //!
@@ -51,7 +51,7 @@
 //! | [`catalog`] | [`Catalog`], [`TableMeta`] — named tables, public sizes |
 //! | [`query`] | [`NamedPlan`], [`QueryRequest`], [`QueryResponse`], [`QuerySummary`] |
 //! | [`frontend`] | [`parse_query`] — the pipeline text language |
-//! | [`executor`] | [`Engine`], [`EngineConfig`] — worker-pool batch execution |
+//! | [`executor`] | [`Engine`], [`EngineConfig`], [`CacheStats`] — worker-pool batch execution and the result cache |
 //! | [`session`] | [`Session`], [`SessionStats`] — per-tenant queues and accounting |
 
 #![forbid(unsafe_code)]
@@ -66,7 +66,7 @@ pub mod session;
 
 pub use catalog::{Catalog, TableMeta};
 pub use error::EngineError;
-pub use executor::{Engine, EngineConfig};
+pub use executor::{CacheStats, Engine, EngineConfig};
 pub use frontend::parse_query;
 pub use query::{NamedPlan, QueryRequest, QueryResponse, QuerySummary};
 pub use session::{Session, SessionStats};

@@ -161,6 +161,21 @@ impl NamedPlan {
         }
     }
 
+    /// A canonical textual key for this plan, used (together with the
+    /// catalog epoch) as the engine's result-cache key and for
+    /// intra-batch deduplication.
+    ///
+    /// Two plans have equal canonical forms iff they are structurally
+    /// identical — same operator tree, same parameters, same table names.
+    /// The rendering is the plan's `Debug` form, which spells out every
+    /// field and quotes table names, so structurally different plans
+    /// cannot collide.  The key contains only public information (the
+    /// plan itself), so caching on it leaks nothing beyond what
+    /// submitting the plan already reveals.
+    pub fn canonical(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// Every distinct table name this plan references, in first-use order.
     pub fn referenced_tables(&self) -> Vec<&str> {
         let mut names = Vec::new();
@@ -307,6 +322,12 @@ pub struct QueryResponse {
     pub result: obliv_join::Table,
     /// Leakage and cost accounting for this query.
     pub summary: QuerySummary,
+    /// `true` if this response was served from the engine's result cache
+    /// (or deduplicated against an identical plan in the same batch)
+    /// rather than freshly executed.  `result` and `summary` are
+    /// bit-identical to the original miss's — including the digest and
+    /// the recorded wall time of the run that produced them.
+    pub cached: bool,
 }
 
 #[cfg(test)]
@@ -355,6 +376,20 @@ mod tests {
             .join(NamedPlan::scan("a"), JoinColumns::KeyAndLeft)
             .union_all(NamedPlan::scan("b"));
         assert_eq!(plan.referenced_tables(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn canonical_distinguishes_structurally_different_plans() {
+        let a = NamedPlan::scan("orders").filter(Predicate::ValueAtLeast(100));
+        let b = NamedPlan::scan("orders").filter(Predicate::ValueAtLeast(101));
+        let c = NamedPlan::scan("orders2").filter(Predicate::ValueAtLeast(100));
+        assert_eq!(a.canonical(), a.clone().canonical());
+        assert_ne!(a.canonical(), b.canonical());
+        assert_ne!(a.canonical(), c.canonical());
+        // Operator order matters.
+        let d = NamedPlan::scan("x").union_all(NamedPlan::scan("y"));
+        let e = NamedPlan::scan("y").union_all(NamedPlan::scan("x"));
+        assert_ne!(d.canonical(), e.canonical());
     }
 
     #[test]

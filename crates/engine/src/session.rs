@@ -13,16 +13,28 @@ use crate::frontend::parse_query;
 use crate::query::{NamedPlan, QueryRequest, QueryResponse};
 
 /// Cumulative accounting for one session.
+///
+/// Totals are summed over the *summaries returned to the tenant*: a cache
+/// hit replays the original run's summary, so its trace events,
+/// comparisons and output rows are counted again even though no new work
+/// was performed.  This makes the totals a measure of what the tenant's
+/// queries *represent*, not of fresh engine work; use
+/// [`cache_hits`](SessionStats::cache_hits) (or the engine-wide
+/// [`CacheStats`](crate::CacheStats)) to separate replayed from executed
+/// work, e.g. when billing actual resource consumption.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Queries executed so far.
+    /// Queries answered so far (fresh and cached alike).
     pub queries: u64,
-    /// Total trace events across those queries.
+    /// Total trace events across the returned summaries.
     pub trace_events: u64,
     /// Total result rows returned.
     pub output_rows: u64,
-    /// Total sorting-network comparisons spent.
+    /// Total sorting-network comparisons across the returned summaries.
     pub comparisons: u64,
+    /// How many of the queries were answered from the engine's result
+    /// cache (or deduplicated within a batch) instead of freshly executed.
+    pub cache_hits: u64,
 }
 
 /// A labelled queue of queries bound to an [`Engine`].
@@ -31,7 +43,7 @@ pub struct SessionStats {
 /// use obliv_engine::{Engine, EngineConfig};
 /// use obliv_join::Table;
 ///
-/// let engine = Engine::new(EngineConfig { workers: 2 });
+/// let engine = Engine::new(EngineConfig { workers: 2, ..Default::default() });
 /// engine.register_table("orders", Table::from_pairs(vec![(1, 100), (2, 250)])).unwrap();
 ///
 /// let mut session = engine.session("tenant-a");
@@ -115,6 +127,7 @@ impl<'engine> Session<'engine> {
             self.stats.trace_events += r.summary.trace_events;
             self.stats.output_rows += r.summary.output_rows as u64;
             self.stats.comparisons += r.summary.counters.comparisons;
+            self.stats.cache_hits += u64::from(r.cached);
         }
         Ok(responses)
     }
@@ -132,7 +145,10 @@ mod tests {
     use obliv_join::Table;
 
     fn engine() -> Engine {
-        let engine = Engine::new(EngineConfig { workers: 2 });
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            ..Default::default()
+        });
         engine
             .register_table(
                 "orders",
@@ -210,6 +226,22 @@ mod tests {
         // labels of the abandoned ones.
         assert_eq!(responses[0].label, "acme/q2");
         assert!(dropped.iter().all(|d| d.label != responses[0].label));
+    }
+
+    #[test]
+    fn session_accounts_cache_hits() {
+        let engine = engine();
+        let mut session = engine.session("acme");
+        session.queue_text("SCAN orders | AGG sum").unwrap();
+        session.queue_text("SCAN orders | AGG sum").unwrap();
+        session.run().unwrap();
+        // Same plan twice in one batch: one execution, one dedup hit.
+        assert_eq!(session.stats().queries, 2);
+        assert_eq!(session.stats().cache_hits, 1);
+        // Re-running the same text later hits the cross-batch cache.
+        session.queue_text("SCAN orders | AGG sum").unwrap();
+        session.run().unwrap();
+        assert_eq!(session.stats().cache_hits, 2);
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //!   counts without running anything,
 //! * the enclave simulator can replay a schedule against its cost model.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use super::Direction;
+
 /// One compare-exchange gate of a network: the pair of positions touched,
 /// with `lo < hi`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +24,149 @@ pub struct Gate {
     pub lo: usize,
     /// Higher position.
     pub hi: usize,
+}
+
+/// One maximal run of independent compare-exchange gates sharing a stride
+/// and a direction: gate `g` (for `g < count`) touches the pair
+/// `(lo + g, lo + stride + g)`.
+///
+/// A bitonic merge level is exactly such a run, so flattening the network
+/// into runs turns the recursive per-gate walk into an iterative pass that
+/// can batch trace emission and counter updates per run.  Since
+/// `count ≤ stride` for every bitonic run, the two windows
+/// `[lo, lo+count)` and `[lo+stride, lo+stride+count)` never overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateRun {
+    /// First gate's lower position.
+    pub lo: usize,
+    /// Distance between the two positions of every gate in the run.
+    pub stride: usize,
+    /// Number of gates in the run.
+    pub count: usize,
+    /// `true` if these gates order larger keys first.
+    pub descending: bool,
+}
+
+impl GateRun {
+    /// The gates of this run, in execution order.
+    pub fn gates(&self) -> impl Iterator<Item = Gate> + '_ {
+        (0..self.count).map(move |g| Gate {
+            lo: self.lo + g,
+            hi: self.lo + self.stride + g,
+        })
+    }
+}
+
+/// A sorting network flattened into an iterative sequence of [`GateRun`]s.
+///
+/// This is the precomputed form the blocked sort driver executes: no
+/// recursion, one comparison-counter update and one batched trace
+/// transaction per run.  The flattened gate order is identical to the
+/// recursive schedule's ([`crate::sort::bitonic::schedule`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunSchedule {
+    runs: Vec<GateRun>,
+    gates: u64,
+}
+
+impl RunSchedule {
+    /// An empty run schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn push_run(&mut self, lo: usize, stride: usize, count: usize, descending: bool) {
+        debug_assert!(stride >= 1 && count >= 1 && count <= stride);
+        self.runs.push(GateRun {
+            lo,
+            stride,
+            count,
+            descending,
+        });
+        self.gates += count as u64;
+    }
+
+    /// The runs in execution order.
+    pub fn runs(&self) -> &[GateRun] {
+        &self.runs
+    }
+
+    /// Total number of compare-exchange gates across all runs.
+    pub fn gate_count(&self) -> u64 {
+        self.gates
+    }
+
+    /// True if the schedule contains no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+/// Upper bound on distinct `(n, direction)` entries each registry level
+/// retains.  Requests beyond the cap still get a schedule — it just isn't
+/// memoised — so a workload cycling through many distinct input sizes
+/// cannot grow the registries without bound.
+const SCHEDULE_REGISTRY_CAP: usize = 64;
+
+/// Registry key `(n, descending)` → memoised schedule.
+type ScheduleMap = HashMap<(usize, bool), Arc<RunSchedule>>;
+
+thread_local! {
+    /// Per-thread front cache: the sort hot path repeats sorts of the same
+    /// length on one thread without taking any lock.
+    static THREAD_REGISTRY: RefCell<ScheduleMap> = RefCell::new(HashMap::new());
+}
+
+/// Process-wide second level, shared across threads.  Short-lived worker
+/// threads (the engine pool spawns a fresh scope per batch) start with an
+/// empty thread-local cache but find schedules already built by earlier
+/// batches here, behind a read lock taken once per sort.
+fn shared_registry() -> &'static RwLock<ScheduleMap> {
+    static SHARED: OnceLock<RwLock<ScheduleMap>> = OnceLock::new();
+    SHARED.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Look up `key` in the shared registry, building (and publishing) the
+/// schedule on a miss.
+fn shared_bitonic_runs(key: (usize, bool), n: usize, dir: Direction) -> Arc<RunSchedule> {
+    if let Some(sched) = shared_registry()
+        .read()
+        .expect("schedule registry poisoned")
+        .get(&key)
+    {
+        return Arc::clone(sched);
+    }
+    let sched = Arc::new(crate::sort::bitonic::run_schedule(n, dir));
+    let mut map = shared_registry()
+        .write()
+        .expect("schedule registry poisoned");
+    if map.len() < SCHEDULE_REGISTRY_CAP {
+        // A racing thread may have inserted meanwhile; keep the first.
+        return Arc::clone(map.entry(key).or_insert(sched));
+    }
+    sched
+}
+
+/// The bitonic network's [`RunSchedule`] for `n` elements sorted in
+/// direction `dir`, memoised per thread with a process-wide fallback.
+///
+/// Schedules are pure functions of the *public* pair `(n, dir)`, so after
+/// first use the per-sort cost of the schedule drops to a thread-local
+/// hash lookup (no lock); a fresh thread pays one read-locked lookup to
+/// adopt schedules built by earlier threads.
+pub fn cached_bitonic_runs(n: usize, dir: Direction) -> Arc<RunSchedule> {
+    let key = (n, dir == Direction::Descending);
+    THREAD_REGISTRY.with(|registry| {
+        let mut map = registry.borrow_mut();
+        if let Some(sched) = map.get(&key) {
+            return Arc::clone(sched);
+        }
+        let sched = shared_bitonic_runs(key, n, dir);
+        if map.len() < SCHEDULE_REGISTRY_CAP {
+            map.insert(key, Arc::clone(&sched));
+        }
+        sched
+    })
 }
 
 /// The full schedule of a sorting network over `len` elements.
@@ -151,6 +300,56 @@ mod tests {
             let est = bitonic_comparator_estimate(n);
             let ratio = exact / est;
             assert!(ratio > 0.5 && ratio < 2.5, "n={n} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn run_schedule_flattens_to_the_recursive_gate_schedule() {
+        for n in 0..64usize {
+            for dir in [Direction::Ascending, Direction::Descending] {
+                let runs = crate::sort::bitonic::run_schedule(n, dir);
+                let flat: Vec<Gate> = runs.runs().iter().flat_map(|r| r.gates()).collect();
+                let recursive = crate::sort::bitonic::schedule(n);
+                assert_eq!(flat, recursive.gates(), "n={n} dir={dir:?}");
+                assert_eq!(runs.gate_count(), recursive.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn run_windows_never_overlap() {
+        for n in 0..200usize {
+            for r in crate::sort::bitonic::run_schedule(n, Direction::Ascending).runs() {
+                assert!(r.count <= r.stride, "n={n} run {r:?}");
+                assert!(r.lo + r.stride + r.count <= n, "n={n} run {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_memoises_per_length_and_direction() {
+        let a = cached_bitonic_runs(37, Direction::Ascending);
+        let b = cached_bitonic_runs(37, Direction::Ascending);
+        assert!(Arc::ptr_eq(&a, &b), "same (n, dir) shares one schedule");
+        let d = cached_bitonic_runs(37, Direction::Descending);
+        assert_eq!(a.gate_count(), d.gate_count());
+        // Directions differ per run, not in shape.
+        assert_eq!(a.runs().len(), d.runs().len());
+        assert!(a
+            .runs()
+            .iter()
+            .zip(d.runs())
+            .all(|(x, y)| x.descending != y.descending
+                && (x.lo, x.stride, x.count) == (y.lo, y.stride, y.count)));
+    }
+
+    #[test]
+    fn uncached_sizes_beyond_the_cap_still_get_schedules() {
+        // Drive well past the cap; every call must still return a correct
+        // schedule whether or not it was memoised.
+        for n in 1000..1000 + SCHEDULE_REGISTRY_CAP + 8 {
+            let sched = cached_bitonic_runs(n, Direction::Ascending);
+            assert_eq!(sched.gate_count(), bitonic_comparator_count(n), "n={n}");
         }
     }
 

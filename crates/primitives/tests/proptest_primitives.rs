@@ -5,7 +5,8 @@
 //! checked for trace invariance: the recorded access sequence may depend on
 //! the public parameters only.
 
-use obliv_primitives::sort::{bitonic, odd_even};
+use obliv_primitives::sort::network::bitonic_comparator_count;
+use obliv_primitives::sort::{bitonic, odd_even, Direction};
 use obliv_primitives::{
     oblivious_compact, oblivious_distribute, oblivious_expand, probabilistic_distribute, Keyed,
     Prp, Routable,
@@ -30,6 +31,41 @@ proptest! {
         let mut expected = values;
         expected.sort_unstable();
         prop_assert_eq!(buf.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn scheduled_sort_output_and_comparator_count_match_closed_form(
+        // Every length 0..=64 — including every non-power-of-two — drawn
+        // with random contents; the scheduled iterative driver must sort
+        // and spend exactly `bitonic_comparator_count(n)` comparisons.
+        (n, values) in (0usize..=64).prop_flat_map(|n| {
+            (Just(n), prop::collection::vec(any::<u64>(), n..=n))
+        })
+    ) {
+        let tracer = counting();
+        let mut buf = tracer.alloc_from(values.clone());
+        bitonic::sort_by_key(&mut buf, |x| *x);
+        let mut expected = values;
+        expected.sort_unstable();
+        prop_assert_eq!(buf.as_slice(), expected.as_slice());
+        prop_assert_eq!(tracer.counters().comparisons, bitonic_comparator_count(n));
+    }
+
+    #[test]
+    fn scheduled_sort_matches_per_gate_oracle(
+        values in prop::collection::vec(any::<u64>(), 0..=64),
+        descending in any::<bool>(),
+    ) {
+        let dir = if descending { Direction::Descending } else { Direction::Ascending };
+        let t_sched = counting();
+        let mut scheduled = t_sched.alloc_from(values.clone());
+        bitonic::sort_by_key_dir(&mut scheduled, dir, |x| *x);
+        let t_gate = counting();
+        let mut per_gate = t_gate.alloc_from(values);
+        bitonic::sort_by_key_dir_per_gate(&mut per_gate, dir, |x| *x);
+        prop_assert_eq!(scheduled.as_slice(), per_gate.as_slice());
+        prop_assert_eq!(t_sched.counters(), t_gate.counters());
+        prop_assert_eq!(t_sched.with_sink(|s| s.overall()), t_gate.with_sink(|s| s.overall()));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //!   (the paper's large-`n` obliviousness experiment),
 //! * [`CountingSink`] — keep per-array read/write totals (cost accounting).
 
-use crate::access::{Access, ArrayId, TraceEvent};
+use crate::access::{Access, AccessKind, ArrayId, TraceEvent};
 use crate::sha256::Sha256;
 
 /// A consumer of the observable event stream.
@@ -23,6 +23,30 @@ use crate::sha256::Sha256;
 pub trait TraceSink {
     /// Record one observable event.
     fn record(&mut self, event: TraceEvent);
+
+    /// Record `count` consecutive same-kind accesses `start, start+1, …,
+    /// start+count−1` on one array as a single coalesced run.
+    ///
+    /// Run boundaries are part of the observable program description: the
+    /// batched emitters only coalesce runs whose extent is a function of
+    /// public parameters (e.g. a sorting network's gate schedule), so a
+    /// coalesced stream reveals exactly what the per-element stream does.
+    ///
+    /// The default implementation replays the run as `count` individual
+    /// [`TraceEvent::Access`] events, so order-exact sinks — in particular
+    /// the access-pattern checker's [`CollectingSink`] — observe the
+    /// fully expanded per-element stream.  Sinks for which the expansion
+    /// is pure overhead ([`NullSink`], [`HashingSink`], [`CountingSink`])
+    /// override this with an O(1) fold.
+    fn record_run(&mut self, kind: AccessKind, array: ArrayId, start: u64, count: u64) {
+        for i in 0..count {
+            self.record(TraceEvent::Access(Access {
+                kind,
+                array,
+                index: start + i,
+            }));
+        }
+    }
 }
 
 /// Discards every event. This is the configuration used for timing runs so
@@ -33,6 +57,9 @@ pub struct NullSink;
 impl TraceSink for NullSink {
     #[inline(always)]
     fn record(&mut self, _event: TraceEvent) {}
+
+    #[inline(always)]
+    fn record_run(&mut self, _kind: AccessKind, _array: ArrayId, _start: u64, _count: u64) {}
 }
 
 /// Keeps the complete event log in memory.
@@ -147,6 +174,25 @@ impl TraceSink for HashingSink {
         self.state = h.finalize();
         self.events += 1;
     }
+
+    /// Batched absorption: one chained SHA-256 update per coalesced run
+    /// instead of one per access.  The run is hashed as
+    /// `H ← SHA-256(H ‖ r ‖ tag ‖ start ‖ count)` with tag bytes 3 (read
+    /// run) / 4 (write run), domain-separated from single accesses (0/1)
+    /// and allocations (2).  Since run boundaries are a function of public
+    /// parameters only, the batched digest remains one too.
+    fn record_run(&mut self, kind: AccessKind, array: ArrayId, start: u64, count: u64) {
+        let mut h = Sha256::new();
+        h.update(&self.state);
+        h.update(&array.0.to_le_bytes());
+        h.update(&[3 + kind.as_byte()]);
+        h.update(&start.to_le_bytes());
+        h.update(&count.to_le_bytes());
+        self.state = h.finalize();
+        // `events` keeps counting *accesses represented*, so event totals
+        // stay comparable between batched and per-element emission.
+        self.events += count;
+    }
 }
 
 /// Per-array read/write totals.
@@ -221,6 +267,24 @@ impl TraceSink for CountingSink {
             TraceEvent::Alloc { len, .. } => self.allocated_cells += len,
         }
     }
+
+    fn record_run(&mut self, kind: AccessKind, array: ArrayId, _start: u64, count: u64) {
+        let idx = array.0 as usize;
+        if idx >= self.per_array.len() {
+            self.per_array.resize(idx + 1, AccessTotals::default());
+        }
+        let slot = &mut self.per_array[idx];
+        match kind {
+            AccessKind::Read => {
+                slot.reads += count;
+                self.overall.reads += count;
+            }
+            AccessKind::Write => {
+                slot.writes += count;
+                self.overall.writes += count;
+            }
+        }
+    }
 }
 
 /// Fans one event stream out to two sinks; lets a test both collect and hash
@@ -245,6 +309,12 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
     fn record(&mut self, event: TraceEvent) {
         self.first.record(event);
         self.second.record(event);
+    }
+
+    #[inline]
+    fn record_run(&mut self, kind: AccessKind, array: ArrayId, start: u64, count: u64) {
+        self.first.record_run(kind, array, start, count);
+        self.second.record_run(kind, array, start, count);
     }
 }
 
@@ -358,6 +428,69 @@ mod tests {
         }
         assert_eq!(tee.first.len(), 3);
         assert_eq!(tee.second.overall().total(), 3);
+    }
+
+    #[test]
+    fn record_run_default_expansion_matches_per_element_stream() {
+        // A sink with no override sees the legacy per-element stream.
+        struct Probe(CollectingSink);
+        impl TraceSink for Probe {
+            fn record(&mut self, event: TraceEvent) {
+                self.0.record(event);
+            }
+        }
+        let mut probe = Probe(CollectingSink::new());
+        probe.record_run(AccessKind::Write, ArrayId(1), 10, 3);
+        let mut reference = CollectingSink::new();
+        for i in 10..13 {
+            reference.record(TraceEvent::Access(Access::write(ArrayId(1), i)));
+        }
+        assert_eq!(probe.0.accesses(), reference.accesses());
+    }
+
+    #[test]
+    fn counting_sink_folds_runs() {
+        let mut sink = CountingSink::new();
+        sink.record_run(AccessKind::Read, ArrayId(2), 0, 5);
+        sink.record_run(AccessKind::Write, ArrayId(2), 0, 7);
+        assert_eq!(
+            sink.for_array(ArrayId(2)),
+            AccessTotals {
+                reads: 5,
+                writes: 7
+            }
+        );
+        assert_eq!(sink.overall().total(), 12);
+    }
+
+    #[test]
+    fn hashing_sink_runs_are_deterministic_and_parameter_sensitive() {
+        let run = |kind, start, count| {
+            let mut s = HashingSink::new();
+            s.record_run(kind, ArrayId(0), start, count);
+            (s.digest(), s.events())
+        };
+        let (d1, e1) = run(AccessKind::Read, 4, 8);
+        let (d2, e2) = run(AccessKind::Read, 4, 8);
+        assert_eq!(d1, d2, "same run, same digest");
+        assert_eq!(e1, 8, "events count accesses represented");
+        assert_eq!(e1, e2);
+        // Every public parameter of the run perturbs the digest.
+        assert_ne!(d1, run(AccessKind::Write, 4, 8).0);
+        assert_ne!(d1, run(AccessKind::Read, 5, 8).0);
+        assert_ne!(d1, run(AccessKind::Read, 4, 9).0);
+        // Runs are domain-separated from single accesses.
+        let mut single = HashingSink::new();
+        single.record(TraceEvent::Access(Access::read(ArrayId(0), 4)));
+        assert_ne!(run(AccessKind::Read, 4, 1).0, single.digest());
+    }
+
+    #[test]
+    fn tee_sink_forwards_runs_to_both() {
+        let mut tee = TeeSink::new(CollectingSink::new(), CountingSink::new());
+        tee.record_run(AccessKind::Read, ArrayId(0), 3, 4);
+        assert_eq!(tee.first.len(), 4, "collecting side sees the expansion");
+        assert_eq!(tee.second.overall().reads, 4);
     }
 
     #[test]

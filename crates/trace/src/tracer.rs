@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use crate::access::{Access, ArrayId, TraceEvent};
+use crate::access::{Access, AccessKind, ArrayId, TraceEvent};
 use crate::counters::OpCounters;
 use crate::sink::TraceSink;
 use crate::tracked::TrackedBuffer;
@@ -100,6 +100,44 @@ impl<S: TraceSink> Tracer<S> {
             .borrow_mut()
             .sink
             .record(TraceEvent::Access(access));
+    }
+
+    /// Record a coalesced run of `count` consecutive same-kind accesses
+    /// (called by [`TrackedBuffer`]'s batched emitters).
+    #[inline]
+    pub(crate) fn record_access_run(
+        &self,
+        kind: AccessKind,
+        array: ArrayId,
+        start: u64,
+        count: u64,
+    ) {
+        if count == 0 {
+            return;
+        }
+        self.inner
+            .borrow_mut()
+            .sink
+            .record_run(kind, array, start, count);
+    }
+
+    /// Record the four coalesced runs of one blocked compare-exchange pass
+    /// — reads then writes of both strided windows — in a single sink
+    /// transaction (one shared-state borrow instead of `4·count`).
+    #[inline]
+    pub(crate) fn record_exchange_runs(&self, array: ArrayId, lo: u64, stride: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        inner.sink.record_run(AccessKind::Read, array, lo, count);
+        inner
+            .sink
+            .record_run(AccessKind::Read, array, lo + stride, count);
+        inner.sink.record_run(AccessKind::Write, array, lo, count);
+        inner
+            .sink
+            .record_run(AccessKind::Write, array, lo + stride, count);
     }
 
     /// Current snapshot of the operation counters.

@@ -1,6 +1,6 @@
 //! Public-memory arrays whose every access is observable.
 
-use crate::access::{Access, ArrayId};
+use crate::access::{Access, AccessKind, ArrayId};
 use crate::sink::TraceSink;
 use crate::tracer::Tracer;
 
@@ -70,6 +70,68 @@ impl<T: Copy, S: TraceSink> TrackedBuffer<T, S> {
         self.data[i] = v;
     }
 
+    /// Batched emission: read the window `[start, start+count)`.
+    ///
+    /// Reports one coalesced read-run event to the tracer and returns the
+    /// window.  Only runs whose extent is a function of public parameters
+    /// (e.g. a sorting network's schedule) may be coalesced — the run
+    /// boundary itself becomes part of the observable trace.
+    ///
+    /// # Panics
+    /// Panics if the window is out of bounds.
+    #[inline]
+    pub fn read_run(&self, start: usize, count: usize) -> &[T] {
+        self.tracer
+            .record_access_run(AccessKind::Read, self.id, start as u64, count as u64);
+        &self.data[start..start + count]
+    }
+
+    /// Batched emission: write the window `[start, start+count)`.
+    ///
+    /// Reports one coalesced write-run event and returns the window
+    /// mutably.  The caller must overwrite every element of the window
+    /// (the event claims `count` writes); the compare-exchange drivers do.
+    ///
+    /// # Panics
+    /// Panics if the window is out of bounds.
+    #[inline]
+    pub fn write_run(&mut self, start: usize, count: usize) -> &mut [T] {
+        self.tracer
+            .record_access_run(AccessKind::Write, self.id, start as u64, count as u64);
+        &mut self.data[start..start + count]
+    }
+
+    /// Batched emission for a run of compare-exchange gates `(lo+g,
+    /// lo+stride+g)`, `g < count`: report the four coalesced runs (two
+    /// reads, two writes) in one tracer transaction and return the two
+    /// disjoint windows `[lo, lo+count)` and `[lo+stride, lo+stride+count)`
+    /// mutably.
+    ///
+    /// Every gate still reads both its elements into local memory and
+    /// writes both back — the caller does so element-wise on the returned
+    /// windows — so the constant-local-memory discipline of §3.1 is
+    /// unchanged; only the *emission* is batched.
+    ///
+    /// # Panics
+    /// Panics if `count > stride` (the windows would overlap) or if the
+    /// upper window is out of bounds.
+    #[inline]
+    pub fn paired_run_mut(
+        &mut self,
+        lo: usize,
+        stride: usize,
+        count: usize,
+    ) -> (&mut [T], &mut [T]) {
+        assert!(
+            count <= stride,
+            "paired_run_mut windows overlap: count {count} > stride {stride}"
+        );
+        self.tracer
+            .record_exchange_runs(self.id, lo as u64, stride as u64, count as u64);
+        let (head, tail) = self.data.split_at_mut(lo + stride);
+        (&mut head[lo..lo + count], &mut tail[..count])
+    }
+
     /// Out-of-model inspection of the whole array.
     ///
     /// This is **not** part of the oblivious programming model — it exists
@@ -131,6 +193,80 @@ mod tests {
         let tracer = Tracer::new(CollectingSink::new());
         let mut buf = tracer.alloc::<u8>(2);
         buf.write(5, 1);
+    }
+
+    #[test]
+    fn read_run_expands_per_element_on_collecting_sink() {
+        let tracer = Tracer::new(CollectingSink::new());
+        let buf = tracer.alloc_from(vec![10u64, 11, 12, 13, 14]);
+        assert_eq!(buf.read_run(1, 3), &[11, 12, 13]);
+        tracer.with_sink(|s| {
+            let idx: Vec<u64> = s.accesses().iter().map(|a| a.index).collect();
+            assert_eq!(idx, vec![1, 2, 3]);
+            assert!(s
+                .accesses()
+                .iter()
+                .all(|a| a.kind == crate::access::AccessKind::Read));
+        });
+    }
+
+    #[test]
+    fn write_run_counts_every_element() {
+        let tracer = Tracer::new(CountingSink::new());
+        let mut buf = tracer.alloc::<u64>(8);
+        buf.write_run(2, 4).copy_from_slice(&[9, 9, 9, 9]);
+        assert_eq!(tracer.with_sink(|s| s.overall()).writes, 4);
+        assert_eq!(buf.as_slice(), &[0, 0, 9, 9, 9, 9, 0, 0]);
+    }
+
+    #[test]
+    fn paired_run_mut_returns_disjoint_windows_and_emits_four_runs() {
+        let tracer = Tracer::new(CollectingSink::new());
+        let mut buf = tracer.alloc_from(vec![5u64, 4, 3, 2, 1, 0]);
+        let (lo, hi) = buf.paired_run_mut(1, 3, 2);
+        assert_eq!(lo, &[4, 3]);
+        assert_eq!(hi, &[1, 0], "upper window starts at lo + stride = 4");
+        lo[0] = 100;
+        hi[1] = 200;
+        assert_eq!(buf.as_slice(), &[5, 100, 3, 2, 1, 200]);
+        tracer.with_sink(|s| {
+            // Expanded order: R lo-window, R hi-window, W lo-window, W hi-window.
+            let pattern: Vec<(crate::access::AccessKind, u64)> =
+                s.accesses().iter().map(|a| (a.kind, a.index)).collect();
+            use crate::access::AccessKind::{Read, Write};
+            assert_eq!(
+                pattern,
+                vec![
+                    (Read, 1),
+                    (Read, 2),
+                    (Read, 4),
+                    (Read, 5),
+                    (Write, 1),
+                    (Write, 2),
+                    (Write, 4),
+                    (Write, 5)
+                ]
+            );
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn paired_run_mut_rejects_overlapping_windows() {
+        let tracer = Tracer::new(CollectingSink::new());
+        let mut buf = tracer.alloc::<u64>(8);
+        let _ = buf.paired_run_mut(0, 2, 3);
+    }
+
+    #[test]
+    fn empty_runs_emit_nothing() {
+        let tracer = Tracer::new(CollectingSink::new());
+        let mut buf = tracer.alloc::<u64>(4);
+        assert!(buf.read_run(2, 0).is_empty());
+        assert!(buf.write_run(2, 0).is_empty());
+        let (lo, hi) = buf.paired_run_mut(1, 2, 0);
+        assert!(lo.is_empty() && hi.is_empty());
+        tracer.with_sink(|s| assert!(s.accesses().is_empty()));
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod prelude {
     pub use obliv_baselines::{hash_join, nested_loop_join, opaque_pkfk_join, sort_merge_join};
     pub use obliv_enclave_sim::{EnclaveSimulator, EpcConfig};
     pub use obliv_engine::{
-        parse_query, Catalog, Engine, EngineConfig, EngineError, NamedPlan, QueryRequest,
-        QueryResponse, QuerySummary, Session, SessionStats, TableMeta,
+        parse_query, CacheStats, Catalog, Engine, EngineConfig, EngineError, NamedPlan,
+        QueryRequest, QueryResponse, QuerySummary, Session, SessionStats, TableMeta,
     };
     pub use obliv_join::{
         oblivious_join, oblivious_join_with_tracer, JoinResult, JoinRow, Phase, Table,

@@ -6,7 +6,24 @@ use obliv_join_suite::prelude::*;
 
 /// An engine loaded with the paper-style workloads under catalog names.
 fn loaded_engine(workers: usize) -> Engine {
-    let engine = Engine::new(EngineConfig { workers });
+    loaded_engine_with(EngineConfig {
+        workers,
+        ..Default::default()
+    })
+}
+
+/// Like [`loaded_engine`], with the result cache off — used by the tests
+/// whose point is that *re-execution* is bit-identical (a cache hit would
+/// trivially compare a payload with itself).
+fn loaded_engine_uncached(workers: usize) -> Engine {
+    loaded_engine_with(EngineConfig {
+        workers,
+        result_cache: false,
+    })
+}
+
+fn loaded_engine_with(config: EngineConfig) -> Engine {
+    let engine = Engine::new(config);
     let ol = orders_lineitem(24, 42);
     engine.register_table("orders", ol.left).unwrap();
     engine.register_table("lineitem", ol.right).unwrap();
@@ -35,7 +52,9 @@ const MIXED_QUERIES: [&str; 9] = [
 /// serial path agrees too.
 #[test]
 fn concurrent_batch_matches_serial_query_plan_execute() {
-    let engine = loaded_engine(4);
+    // Cache off: the batch and the serial run must both genuinely
+    // execute for the bit-for-bit comparison to mean anything.
+    let engine = loaded_engine_uncached(4);
     let requests: Vec<QueryRequest> = MIXED_QUERIES
         .iter()
         .map(|q| QueryRequest::new(*q, parse_query(q).unwrap()))
@@ -102,7 +121,9 @@ fn results_are_independent_of_worker_count() {
 /// same whether it runs alone or co-scheduled with seven other queries.
 #[test]
 fn trace_digest_is_independent_of_coscheduled_queries() {
-    let engine = loaded_engine(4);
+    // Cache off: the co-scheduled run must re-execute the probe, not
+    // replay the alone run's cached payload.
+    let engine = loaded_engine_uncached(4);
     let probe = "JOIN orders lineitem | FILTER v>=500 | AGG sum";
 
     let alone = engine.execute_text_batch(&[probe]).unwrap();
@@ -130,7 +151,10 @@ fn trace_digest_is_independent_of_coscheduled_queries() {
 fn engine_digests_depend_only_on_public_parameters() {
     // Same sizes and same join output size, different values: one-to-one
     // matching on shifted key sets.
-    let engine = Engine::new(EngineConfig { workers: 4 });
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        ..Default::default()
+    });
     engine
         .register_table("a1", Table::from_pairs((0..64u64).map(|k| (k, k * 3))))
         .unwrap();
@@ -152,6 +176,63 @@ fn engine_digests_depend_only_on_public_parameters() {
         "digest should be a function of (n1, n2, m) only"
     );
     assert_ne!(responses[0].result, responses[1].result);
+}
+
+/// A result-cache hit returns a bit-identical `QueryResponse` to the
+/// original miss, through the full service path (text frontend, batch
+/// executor, fan-out).
+#[test]
+fn cache_hit_is_bit_identical_to_original_miss_end_to_end() {
+    let engine = loaded_engine(4);
+    let query = "JOIN orders lineitem | FILTER v>=500 | AGG sum";
+
+    let miss = engine.execute_text_batch(&[query]).unwrap().pop().unwrap();
+    assert!(!miss.cached);
+    let hit = engine.execute_text_batch(&[query]).unwrap().pop().unwrap();
+    assert!(hit.cached);
+
+    assert_eq!(hit.label, miss.label);
+    assert_eq!(hit.result, miss.result);
+    assert_eq!(hit.summary, miss.summary, "digest, counters, events, wall");
+    assert_eq!(engine.cache_stats(), CacheStats { hits: 1, misses: 1 });
+
+    // Mutating the catalog invalidates: the same text re-executes and (with
+    // unchanged tables elsewhere irrelevant) reports a fresh miss.
+    engine
+        .register_table("unrelated", Table::from_pairs(vec![(1, 1)]))
+        .unwrap();
+    let after_epoch_bump = engine.execute_text_batch(&[query]).unwrap().pop().unwrap();
+    assert!(
+        !after_epoch_bump.cached,
+        "any catalog mutation bumps the epoch and invalidates"
+    );
+    assert_eq!(
+        after_epoch_bump.result, miss.result,
+        "the tables the plan reads did not change, so the result did not"
+    );
+    assert_eq!(
+        after_epoch_bump.summary.trace_digest,
+        miss.summary.trace_digest
+    );
+}
+
+/// Duplicate plans inside one concurrent batch execute once; every
+/// duplicate's payload is bit-identical and correctly labelled.
+#[test]
+fn intra_batch_duplicates_are_deduplicated_concurrently() {
+    let engine = loaded_engine(4);
+    let mut queries = vec!["JOIN orders lineitem"; 5];
+    queries.push("SCAN orders | AGG count");
+    let responses = engine.execute_text_batch(&queries).unwrap();
+    assert_eq!(responses.len(), 6);
+    assert!(!responses[0].cached);
+    for dup in &responses[1..5] {
+        assert!(dup.cached);
+        assert_eq!(dup.result, responses[0].result);
+        assert_eq!(dup.summary, responses[0].summary);
+    }
+    assert!(!responses[5].cached);
+    assert_eq!(engine.cache_stats(), CacheStats { hits: 4, misses: 2 });
 }
 
 /// Sessions accumulate accounting across concurrent batches without

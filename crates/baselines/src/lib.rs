@@ -10,7 +10,7 @@
 //! * [`sort_merge_join`] — the insecure `O(m′ log m′)` baseline,
 //! * [`nested_loop_join`] — the trivial oblivious `O(n₁·n₂)` join,
 //! * [`opaque_pkfk_join`] — the Opaque-style oblivious PK–FK join,
-//! * [`hash_join`] — an insecure hash join used as a fast answer oracle in
+//! * [`hash_join()`] — an insecure hash join used as a fast answer oracle in
 //!   tests and benches.
 
 #![forbid(unsafe_code)]

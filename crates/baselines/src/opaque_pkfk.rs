@@ -1,6 +1,6 @@
 //! An Opaque/ObliDB-style oblivious primary–foreign-key join.
 //!
-//! Opaque [45] and ObliDB [13] implement an oblivious sort-merge join that
+//! Opaque \[45\] and ObliDB \[13\] implement an oblivious sort-merge join that
 //! is restricted to primary–foreign-key joins: every join value appears at
 //! most once in the primary table, so `m ≤ n₂` and a single co-sort plus a
 //! linear propagation pass suffices.  The paper compares against this

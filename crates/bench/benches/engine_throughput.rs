@@ -1,8 +1,12 @@
 //! Engine throughput: queries/second of `obliv_engine::Engine::execute_batch`
-//! as the worker pool widens, on two catalog shapes:
+//! as the worker pool widens, on three catalog shapes:
 //!
 //! * `orders_lineitem` — the PK–FK order/line-item workload,
-//! * `power_law` — skewed group sizes (the paper's hard case).
+//! * `power_law` — skewed group sizes (the paper's hard case),
+//! * `wide` — the typed multi-column workload through the column-level
+//!   frontend (`JOIN … ON …`, `FILTER col…`, `AGG agg(col)`); comparing its
+//!   rows against `orders_lineitem` measures the overhead of the schema
+//!   layer over the legacy pair shape.
 //!
 //! Each measured iteration executes one batch of 16 mixed queries (joins,
 //! filter+aggregate, semi/anti joins, join-aggregates) through the full
@@ -13,7 +17,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use obliv_engine::{parse_query, Engine, EngineConfig, QueryRequest};
-use obliv_workloads::{orders_lineitem, power_law, WorkloadSpec};
+use obliv_workloads::{orders_lineitem, power_law, wide_orders_lineitem, WorkloadSpec};
 
 // Three serving-path configurations are measured per workload:
 //
@@ -67,6 +71,50 @@ fn requests() -> Vec<QueryRequest> {
         .collect()
 }
 
+/// The wide-row batch: the same query classes as [`BATCH_QUERIES`], but
+/// over typed multi-column tables through the column-level frontend.  Every
+/// query respects the one-carried-payload-per-side planner limit.
+const WIDE_BATCH_QUERIES: [&str; 16] = [
+    "JOIN orders lineitem ON o_key",
+    "SCAN orders | FILTER price>=500 | AGG sum(price) BY region",
+    "JOIN orders lineitem ON o_key | FILTER price>=500 | AGG sum(qty)",
+    "SCAN lineitem | FILTER qty>=25 | AGG max(qty) BY o_key",
+    "JOIN orders lineitem ON o_key | AGG count",
+    "SCAN orders | FILTER priority<0 | AGG count BY region",
+    "JOIN orders lineitem ON o_key | FILTER urgent=true | AGG max(tax)",
+    "SCAN orders | FILTER urgent=true | AGG min(priority) BY region",
+    "JOIN orders lineitem ON o_key | FILTER qty>=10 | AGG sum(qty)",
+    "SCAN lineitem | FILTER tax<0 | AGG count BY o_key",
+    "JOIN orders lineitem ON o_key | AGG min(tax)",
+    "SCAN orders | AGG max(price) BY region",
+    "JOIN orders lineitem ON o_key | FILTER price>=250 | AGG count",
+    "SCAN lineitem | AGG sum(qty) BY o_key",
+    "JOIN orders lineitem ON o_key | FILTER priority>=2 | AGG sum(qty)",
+    "SCAN orders | FILTER price<250 | AGG count BY urgent",
+];
+
+fn wide_engine_for(workers: usize, result_cache: bool) -> Engine {
+    let workload = wide_orders_lineitem(64, 8);
+    let engine = Engine::new(EngineConfig {
+        workers,
+        result_cache,
+    });
+    engine
+        .register_wide_table("orders", workload.orders.clone())
+        .unwrap();
+    engine
+        .register_wide_table("lineitem", workload.lineitem.clone())
+        .unwrap();
+    engine
+}
+
+fn wide_requests() -> Vec<QueryRequest> {
+    WIDE_BATCH_QUERIES
+        .iter()
+        .map(|q| QueryRequest::new(*q, parse_query(q).unwrap()))
+        .collect()
+}
+
 fn bench_engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
     group.sample_size(10);
@@ -111,6 +159,27 @@ fn bench_engine_throughput(c: &mut Criterion) {
         );
         group.throughput(Throughput::Elements(BATCH_QUERIES.len() as u64));
     }
+
+    // Wide-row variant: the same serving path over typed multi-column
+    // tables.  Read `wide/workers` against `orders_lineitem/workers` for
+    // the schema-layer overhead on the cold path.
+    let wide_batch = wide_requests();
+    group.throughput(Throughput::Elements(WIDE_BATCH_QUERIES.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let engine = wide_engine_for(workers, false);
+        group.bench_with_input(
+            BenchmarkId::new("wide/workers", workers),
+            &wide_batch,
+            |b, batch| b.iter(|| engine.execute_batch(batch).unwrap()),
+        );
+    }
+    let engine = wide_engine_for(1, true);
+    engine.execute_batch(&wide_batch).unwrap();
+    group.bench_with_input(
+        BenchmarkId::new("wide/warm_cache", 1),
+        &wide_batch,
+        |b, batch| b.iter(|| engine.execute_batch(batch).unwrap()),
+    );
     group.finish();
 }
 

@@ -51,6 +51,7 @@
 //! | module | paper | contents |
 //! |--------|-------|----------|
 //! | [`table`] | §4.1 | client-side input tables |
+//! | [`schema`] | §4.1 | typed schemas / fixed-width wide rows |
 //! | [`record`] | §5 | fixed-width entry / augmented-record types |
 //! | [`augment`] | Algorithm 2 | group dimensions α₁, α₂ and output size |
 //! | [`align`] | Algorithm 5 | alignment of `S₂` with `S₁` |
@@ -66,6 +67,7 @@ pub mod augment;
 pub mod cost;
 pub mod join;
 pub mod record;
+pub mod schema;
 pub mod stats;
 pub mod table;
 
@@ -73,5 +75,6 @@ pub use join::{
     oblivious_join, oblivious_join_with_tracer, reference_join, sorted_rows, JoinResult,
 };
 pub use record::{AugRecord, DataValue, Entry, JoinKey, JoinRow, TableId};
+pub use schema::{Column, ColumnType, Schema, SchemaError, Value, WideTable};
 pub use stats::{JoinStats, Phase, PhaseStats};
 pub use table::Table;

@@ -13,7 +13,8 @@
 //! simulated fault count — is a function of `(n₁, n₂, m)` only, exactly as
 //! the real enclave's paging behaviour would be.
 //!
-//! The simulator implements [`TraceSink`], so it can be plugged directly
+//! The simulator implements [`TraceSink`](obliv_trace::TraceSink), so it
+//! can be plugged directly
 //! into a traced join run:
 //!
 //! ```

@@ -6,15 +6,34 @@
 //! [`TableMeta`] while handing contents only to the executor.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use obliv_join::schema::{Schema, WideTable};
 use obliv_join::Table;
 
 use crate::error::EngineError;
 
+/// One registered table: the legacy pair shape, or a typed wide table.
+#[derive(Debug, Clone)]
+enum Registered {
+    Pair(Table),
+    Wide(WideTable),
+}
+
+impl Registered {
+    fn rows(&self) -> usize {
+        match self {
+            Registered::Pair(t) => t.len(),
+            Registered::Wide(t) => t.len(),
+        }
+    }
+}
+
 /// Public metadata of one registered table.
 ///
 /// Everything here is information the paper's adversary already observes
-/// (array identities and lengths), so listing it leaks nothing new.
+/// (array identities, lengths and record widths), so listing it leaks
+/// nothing new.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableMeta {
     /// The registered name.
@@ -22,9 +41,18 @@ pub struct TableMeta {
     /// Number of rows — public by the paper's definition of the input sizes
     /// `n₁`, `n₂`.
     pub rows: usize,
+    /// The table's schema, for wide tables; `None` for legacy pair-shaped
+    /// tables (whose implicit schema is `{key: u64, value: u64}`).
+    pub schema: Option<Arc<Schema>>,
 }
 
 /// A registry of named tables that query plans reference by name.
+///
+/// Tables come in two shapes: the legacy `(u64, u64)` pair shape
+/// ([`register`](Catalog::register)) and typed wide tables
+/// ([`register_wide`](Catalog::register_wide)).  Wide plans can read both
+/// (a pair table is the degenerate `{key, value}` schema); pair plans can
+/// only read pair tables.
 ///
 /// ```
 /// use obliv_engine::Catalog;
@@ -37,7 +65,7 @@ pub struct TableMeta {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Registered>,
     /// Monotone content-version counter: bumped by every mutation that
     /// changes the registered tables ([`register`](Catalog::register) and
     /// every successful [`deregister`](Catalog::deregister)).  Result
@@ -60,14 +88,38 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register `table` under `name`, replacing any previous table of that
-    /// name (the previous table is returned).
+    /// Register a pair-shaped `table` under `name`, replacing any previous
+    /// table of that name (the previous table is returned if it was also
+    /// pair-shaped).
     pub fn register(
         &mut self,
         name: impl Into<String>,
         table: Table,
     ) -> Result<Option<Table>, EngineError> {
-        let name = name.into();
+        Ok(match self.insert(name.into(), Registered::Pair(table))? {
+            Some(Registered::Pair(t)) => Some(t),
+            _ => None,
+        })
+    }
+
+    /// Register a wide `table` under `name`, replacing any previous table
+    /// of that name (the previous table is returned if it was also wide).
+    pub fn register_wide(
+        &mut self,
+        name: impl Into<String>,
+        table: WideTable,
+    ) -> Result<Option<WideTable>, EngineError> {
+        Ok(match self.insert(name.into(), Registered::Wide(table))? {
+            Some(Registered::Wide(t)) => Some(t),
+            _ => None,
+        })
+    }
+
+    fn insert(
+        &mut self,
+        name: String,
+        table: Registered,
+    ) -> Result<Option<Registered>, EngineError> {
         if !name_is_valid(&name) {
             return Err(EngineError::InvalidTableName { name });
         }
@@ -75,13 +127,19 @@ impl Catalog {
         Ok(self.tables.insert(name, table))
     }
 
-    /// Remove and return the table registered under `name`.
+    /// Remove the table registered under `name`, whatever its shape.  The
+    /// removed table is returned when it was pair-shaped (use
+    /// [`get_wide`](Catalog::get_wide) before deregistering to recover a
+    /// wide table's contents).
     pub fn deregister(&mut self, name: &str) -> Option<Table> {
         let removed = self.tables.remove(name);
         if removed.is_some() {
             self.epoch += 1;
         }
-        removed
+        match removed {
+            Some(Registered::Pair(t)) => Some(t),
+            _ => None,
+        }
     }
 
     /// The catalog's current epoch: a counter bumped by every content
@@ -91,37 +149,79 @@ impl Catalog {
         self.epoch
     }
 
-    /// The table registered under `name`, if any.
-    pub fn get(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name)
+    /// `true` iff a table of either shape is registered under `name` —
+    /// the shape-agnostic existence check (a pair-typed
+    /// [`deregister`](Catalog::deregister) returning `None` does *not*
+    /// mean the name was unknown; it may have removed a wide table).
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
     }
 
-    /// Like [`get`](Catalog::get), but returning the engine's
-    /// unknown-table error for use during plan resolution.
+    /// The pair-shaped table registered under `name`, if any (`None` for
+    /// wide tables).
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        match self.tables.get(name) {
+            Some(Registered::Pair(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The wide table registered under `name`, if any (`None` for pair
+    /// tables — use [`resolve_wide`](Catalog::resolve_wide) to read a pair
+    /// table through its degenerate wide schema).
+    pub fn get_wide(&self, name: &str) -> Option<&WideTable> {
+        match self.tables.get(name) {
+            Some(Registered::Wide(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Like [`get`](Catalog::get), but returning the engine's resolution
+    /// errors: unknown tables and wide tables referenced by pair plans are
+    /// both reported.
     pub fn resolve(&self, name: &str) -> Result<&Table, EngineError> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| EngineError::UnknownTable {
+        match self.tables.get(name) {
+            Some(Registered::Pair(t)) => Ok(t),
+            Some(Registered::Wide(_)) => Err(EngineError::WideTableInScalarPlan {
                 name: name.to_string(),
-            })
+            }),
+            None => Err(EngineError::UnknownTable {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Resolve `name` for a wide plan.  Wide tables resolve to a cheap
+    /// clone (an `Arc` bump); pair tables are wrapped on the fly in the
+    /// degenerate `{key: u64, value: u64}` schema, so wide queries can read
+    /// legacy tables too.
+    pub fn resolve_wide(&self, name: &str) -> Result<WideTable, EngineError> {
+        match self.tables.get(name) {
+            Some(Registered::Wide(t)) => Ok(t.clone()),
+            Some(Registered::Pair(t)) => Ok(WideTable::from_pair(t)),
+            None => Err(EngineError::UnknownTable {
+                name: name.to_string(),
+            }),
+        }
     }
 
     /// Public metadata for `name`, if registered.
     pub fn meta(&self, name: &str) -> Option<TableMeta> {
         self.tables.get(name).map(|t| TableMeta {
             name: name.to_string(),
-            rows: t.len(),
+            rows: t.rows(),
+            schema: match t {
+                Registered::Pair(_) => None,
+                Registered::Wide(w) => Some(w.schema_handle()),
+            },
         })
     }
 
     /// Public metadata for every registered table, in name order.
     pub fn list(&self) -> Vec<TableMeta> {
         self.tables
-            .iter()
-            .map(|(name, t)| TableMeta {
-                name: name.clone(),
-                rows: t.len(),
-            })
+            .keys()
+            .map(|name| self.meta(name).expect("listed names are registered"))
             .collect()
     }
 
@@ -155,7 +255,8 @@ mod tests {
             c.meta("orders"),
             Some(TableMeta {
                 name: "orders".into(),
-                rows: 3
+                rows: 3,
+                schema: None
             })
         );
         assert_eq!(c.meta("lineitem"), None);
@@ -194,6 +295,69 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![("alpha", 4), ("zeta", 1)]
         );
+    }
+
+    fn wide(n: u64) -> WideTable {
+        use obliv_join::schema::{ColumnType, Value};
+        let schema = Schema::new([("id", ColumnType::U64), ("p", ColumnType::I64)]).unwrap();
+        WideTable::from_rows(
+            schema,
+            (0..n).map(|i| vec![Value::U64(i), Value::I64(-(i as i64))]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn wide_tables_register_with_schema_metadata() {
+        let mut c = Catalog::new();
+        c.register_wide("orders", wide(3)).unwrap();
+        let meta = c.meta("orders").unwrap();
+        assert_eq!(meta.rows, 3);
+        assert_eq!(
+            meta.schema.as_ref().unwrap().column_names(),
+            vec!["id", "p"]
+        );
+        // Pair accessors refuse the wide entry with a typed error.
+        assert!(c.get("orders").is_none());
+        assert_eq!(
+            c.resolve("orders").unwrap_err(),
+            EngineError::WideTableInScalarPlan {
+                name: "orders".into()
+            }
+        );
+        // Wide accessors see it.
+        assert_eq!(c.get_wide("orders").unwrap().len(), 3);
+        assert_eq!(c.resolve_wide("orders").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn pair_tables_resolve_wide_through_degenerate_schema() {
+        let mut c = Catalog::new();
+        c.register("orders", t(2)).unwrap();
+        let as_wide = c.resolve_wide("orders").unwrap();
+        assert_eq!(as_wide.schema().column_names(), vec!["key", "value"]);
+        assert_eq!(as_wide.len(), 2);
+        assert!(c.get_wide("orders").is_none(), "get_wide is shape-strict");
+    }
+
+    #[test]
+    fn replacing_across_shapes_bumps_epoch_and_changes_shape() {
+        let mut c = Catalog::new();
+        c.register("x", t(2)).unwrap();
+        let epoch = c.epoch();
+        // Pair → wide replacement: previous pair table is not returned
+        // through the wide-typed slot.
+        assert_eq!(c.register_wide("x", wide(4)).unwrap(), None);
+        assert_eq!(c.epoch(), epoch + 1);
+        assert!(c.get("x").is_none());
+        assert_eq!(c.get_wide("x").unwrap().len(), 4);
+        // Wide removal returns None from the pair-typed deregister but
+        // still removes and bumps; `contains` is the shape-agnostic check.
+        assert!(c.contains("x"));
+        assert!(c.deregister("x").is_none());
+        assert!(!c.contains("x"));
+        assert!(c.get_wide("x").is_none());
+        assert_eq!(c.epoch(), epoch + 2);
     }
 
     #[test]

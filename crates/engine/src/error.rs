@@ -2,12 +2,16 @@
 
 use std::fmt;
 
+use obliv_join::SchemaError;
+use obliv_operators::WideError;
+
 /// Everything that can go wrong between receiving a query and executing it.
 ///
-/// Execution itself cannot fail — a resolved [`QueryPlan`]
-/// (`obliv_operators::QueryPlan`) runs to completion on any input — so every
-/// variant here is a submission-time error: a bad query string or a
-/// reference to a table the catalog does not hold.
+/// Execution itself cannot fail — a resolved plan runs to completion on any
+/// input — so every variant here is a submission-time error: a bad query
+/// string, a reference the catalog cannot satisfy, or a plan that fails
+/// schema validation.  All checks run against *public* metadata (names,
+/// schemas, sizes), so erroring early leaks nothing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// A plan referenced a table name the catalog does not contain.
@@ -28,6 +32,52 @@ pub enum EngineError {
         /// What went wrong, with enough context to fix the query.
         message: String,
     },
+    /// A pair-shaped (legacy) plan referenced a table registered with a
+    /// wide schema.  Wide tables are queried with column syntax
+    /// (`JOIN a b ON key`, `FILTER col>=N`, `AGG sum(col)`).
+    WideTableInScalarPlan {
+        /// The wide table's name.
+        name: String,
+    },
+    /// A wide plan failed schema validation (unknown column, type
+    /// mismatch, non-aggregatable column, …).
+    Wide(WideError),
+    /// A wide plan was resolved through the pair-shaped
+    /// [`resolve`](crate::NamedPlan::resolve); use
+    /// [`resolve_any`](crate::NamedPlan::resolve_any) (or just the engine's
+    /// `execute_*` entry points, which do).
+    NotAPairPlan,
+    /// A column reference matched a column in both join inputs, so the
+    /// planner cannot tell which side to read it from.
+    AmbiguousColumn {
+        /// The ambiguous column name.
+        name: String,
+        /// The left table's name.
+        left: String,
+        /// The right table's name.
+        right: String,
+    },
+    /// Stages downstream of a wide join referenced more than one payload
+    /// column from the same side; the kernel carries one data word per
+    /// side.  Aggregate first, or run one query per payload column.
+    TooManyCarriedColumns {
+        /// The table whose carry capacity was exceeded.
+        table: String,
+        /// The columns that were requested from it.
+        columns: Vec<String>,
+    },
+}
+
+impl From<WideError> for EngineError {
+    fn from(e: WideError) -> Self {
+        EngineError::Wide(e)
+    }
+}
+
+impl From<SchemaError> for EngineError {
+    fn from(e: SchemaError) -> Self {
+        EngineError::Wide(WideError::Schema(e))
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -42,6 +92,28 @@ impl fmt::Display for EngineError {
             EngineError::Parse { query, message } => {
                 write!(f, "cannot parse query `{query}`: {message}")
             }
+            EngineError::WideTableInScalarPlan { name } => write!(
+                f,
+                "table `{name}` has a wide schema; query it with column syntax \
+                 (e.g. `JOIN a b ON key`, `FILTER col>=N`, `AGG sum(col)`)"
+            ),
+            EngineError::Wide(e) => write!(f, "{e}"),
+            EngineError::NotAPairPlan => write!(
+                f,
+                "wide plans produce wide results; resolve them with `resolve_any` \
+                 or submit them through the engine"
+            ),
+            EngineError::AmbiguousColumn { name, left, right } => write!(
+                f,
+                "column `{name}` exists in both `{left}` and `{right}`; rename one side"
+            ),
+            EngineError::TooManyCarriedColumns { table, columns } => write!(
+                f,
+                "stages reference {} payload columns of `{table}` ({}), but a wide join \
+                 carries one payload column per side; aggregate earlier or split the query",
+                columns.len(),
+                columns.join(", ")
+            ),
         }
     }
 }

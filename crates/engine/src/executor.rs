@@ -3,7 +3,7 @@
 //! ## Concurrency model
 //!
 //! The tracing substrate is deliberately single-threaded (a
-//! [`Tracer`](obliv_trace::Tracer) is an `Rc` of shared state), because the
+//! [`Tracer`] is an `Rc` of shared state), because the
 //! paper's adversary observes *one* interleaved access stream per program.
 //! The engine preserves that model under concurrency by giving every query
 //! its own tracer, created on the worker that runs it: queries never share
@@ -37,14 +37,14 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 use std::time::Instant;
 
+use obliv_join::schema::WideTable;
 use obliv_join::Table;
-use obliv_operators::QueryPlan;
 use obliv_trace::{HashingSink, Tracer};
 
 use crate::catalog::{Catalog, TableMeta};
 use crate::error::EngineError;
 use crate::frontend::parse_query;
-use crate::query::{QueryRequest, QueryResponse, QuerySummary};
+use crate::query::{QueryRequest, QueryResponse, QuerySummary, ResolvedPlan};
 use crate::session::Session;
 
 /// Engine construction options.
@@ -90,6 +90,7 @@ pub struct CacheStats {
 /// cache and every response fanned out from it.
 struct CachedQuery {
     result: Table,
+    wide: Option<WideTable>,
     summary: QuerySummary,
 }
 
@@ -183,16 +184,36 @@ impl Engine {
         Ok(replaced)
     }
 
-    /// Remove and return the table registered under `name`.  If a table
-    /// was removed, the catalog epoch is bumped and the result cache
-    /// invalidated.
-    pub fn deregister_table(&self, name: &str) -> Option<Table> {
-        let removed = self
+    /// Register a wide (typed, multi-column) `table` under `name`,
+    /// replacing (and returning) any previous wide table of that name.
+    /// Bumps the catalog epoch, invalidating every cached result.
+    pub fn register_wide_table(
+        &self,
+        name: impl Into<String>,
+        table: WideTable,
+    ) -> Result<Option<WideTable>, EngineError> {
+        let replaced = self
             .catalog
             .write()
             .expect("catalog lock poisoned")
-            .deregister(name);
-        if removed.is_some() {
+            .register_wide(name, table)?;
+        self.clear_result_cache();
+        Ok(replaced)
+    }
+
+    /// Remove the table registered under `name`, whatever its shape, and
+    /// return it if it was pair-shaped (a removed *wide* table still
+    /// bumps the epoch and invalidates the cache, but yields `None` —
+    /// read it with the catalog's `get_wide` before deregistering if its
+    /// contents matter).
+    pub fn deregister_table(&self, name: &str) -> Option<Table> {
+        let (removed, changed) = {
+            let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+            let before = catalog.epoch();
+            let removed = catalog.deregister(name);
+            (removed, catalog.epoch() != before)
+        };
+        if changed {
             self.clear_result_cache();
         }
         removed
@@ -219,10 +240,25 @@ impl Engine {
     /// Execute one resolved plan with its own tracer, producing the result
     /// table and the query's leakage summary.  This is the single code path
     /// used by serial and concurrent execution alike.
-    fn run_plan(plan: &QueryPlan) -> CachedQuery {
+    fn run_plan(plan: &ResolvedPlan) -> CachedQuery {
         let start = Instant::now();
         let tracer = Tracer::new(HashingSink::new());
-        let result = plan.execute(&tracer);
+        let (result, wide, output_rows) = match plan {
+            ResolvedPlan::Pair(plan) => {
+                let result = plan.execute(&tracer);
+                let rows = result.len();
+                (result, None, rows)
+            }
+            ResolvedPlan::Wide(pipeline) => {
+                // Resolution already validated the pipeline, so execution
+                // cannot hit a schema error.
+                let result = pipeline
+                    .execute(&tracer)
+                    .expect("wide plan validated at resolution");
+                let rows = result.len();
+                (Table::new(), Some(result), rows)
+            }
+        };
         let wall = start.elapsed();
         let counters = tracer.counters();
         let (trace_digest, trace_events) = tracer.with_sink(|s| (s.digest_hex(), s.events()));
@@ -231,10 +267,11 @@ impl Engine {
                 trace_digest,
                 trace_events,
                 counters,
-                output_rows: result.len(),
+                output_rows,
                 wall,
             },
             result,
+            wide,
         }
     }
 
@@ -303,7 +340,7 @@ impl Engine {
         // so the read lock is held only briefly even for large tables.
         let mut payload: Vec<Option<Arc<CachedQuery>>> = Vec::new();
         payload.resize_with(representative.len(), || None);
-        let mut jobs: Vec<(usize, QueryPlan)> = Vec::new();
+        let mut jobs: Vec<(usize, ResolvedPlan)> = Vec::new();
         let epoch = {
             let catalog = self.catalog.read().expect("catalog lock poisoned");
             let epoch = catalog.epoch();
@@ -319,7 +356,7 @@ impl Engine {
             }
             for (slot, &req) in representative.iter().enumerate() {
                 if payload[slot].is_none() {
-                    jobs.push((slot, requests[req].plan.resolve(&catalog)?));
+                    jobs.push((slot, requests[req].plan.resolve_any(&catalog)?));
                 }
             }
             epoch
@@ -387,6 +424,7 @@ impl Engine {
                 QueryResponse {
                     label: request.label.clone(),
                     result: entry.result.clone(),
+                    wide: entry.wide.clone(),
                     summary: entry.summary.clone(),
                     cached,
                 }
@@ -398,13 +436,13 @@ impl Engine {
     /// Drain `jobs` through a pool of `workers` threads, returning each
     /// distinct-plan slot's executed payload.
     fn run_on_pool(
-        jobs: Vec<(usize, QueryPlan)>,
+        jobs: Vec<(usize, ResolvedPlan)>,
         workers: usize,
     ) -> Vec<(usize, Arc<CachedQuery>)> {
         // Job queue: a channel drained through a shared mutex, so each
         // worker pulls the next query as soon as it finishes the last —
         // simple work stealing without per-worker queues.
-        let (job_tx, job_rx) = mpsc::channel::<(usize, QueryPlan)>();
+        let (job_tx, job_rx) = mpsc::channel::<(usize, ResolvedPlan)>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let (response_tx, response_rx) = mpsc::channel::<(usize, Arc<CachedQuery>)>();
 

@@ -1,8 +1,11 @@
 //! A tiny text frontend for the engine.
 //!
 //! Queries are pipelines: a *source* clause followed by `|`-separated
-//! *stage* clauses, each compiling to one [`NamedPlan`] node.  The grammar
-//! (keywords case-insensitive, whitespace-separated):
+//! *stage* clauses.  Two dialects share the pipeline syntax:
+//!
+//! **Legacy (pair-shaped)** — over `(key, value)` tables, compiling to
+//! pair-shaped [`NamedPlan`] nodes (keywords case-insensitive,
+//! whitespace-separated):
 //!
 //! ```text
 //! query  := source { '|' stage }*
@@ -20,21 +23,52 @@
 //! pred   := true | v>=N | v<N | k=N | k in LO..HI
 //! ```
 //!
+//! **Wide (column-level)** — over typed wide tables, compiling to one
+//! [`NamedPlan::Wide`] pipeline.  A query is parsed as wide when its source
+//! uses `JOIN … ON …`, or any `FILTER` names a column (anything outside the
+//! legacy `v`/`k` forms), or any `AGG` uses `agg(column)` / `BY`:
+//!
+//! ```text
+//! query  := wsource { '|' wstage }*
+//! wsource := SCAN t
+//!          | JOIN t t ON key            -- same key column name both sides
+//!          | JOIN t t ON lkey=rkey
+//! wstage  := FILTER col>=const | FILTER col<const | FILTER col=const
+//!          | AGG count [BY col]
+//!          | AGG agg(col) [BY col]      -- agg: count | sum | min | max
+//! const   := integer | -integer | true | false
+//! ```
+//!
+//! Comparisons follow the column type's natural order (signed for `i64`,
+//! lexicographic for `bytes[≤8]`); constants are typed against the column at
+//! validation time.  Without `BY`, aggregations downstream of a wide join
+//! group by the join key.
+//!
 //! Examples:
 //!
 //! ```text
 //! JOIN orders lineitem | FILTER v>=100 | AGG sum
-//! SCAN customers | ANTIJOIN orders
-//! JOINAGG orders lineitem count
+//! JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)
+//! SCAN orders | FILTER priority<0 | AGG count BY region
 //! ```
 //!
-//! The frontend only *names* tables; sizes and contents stay in the
-//! catalog, so parsing is independent of any data.
+//! The frontend only *names* tables and columns; schemas and contents stay
+//! in the catalog, so parsing is independent of any data, and schema errors
+//! (unknown columns, type mismatches) surface as typed
+//! [`EngineError`]s at resolution.
+//!
+//! One wart to know about: `FILTER v>=N`, `FILTER v<N`, `FILTER k=N` and
+//! `FILTER k in LO..HI` always parse as the legacy dialect, so a wide table
+//! with columns literally named `v` or `k` needs another wide marker in the
+//! query (or different column names).
 
-use obliv_operators::{Aggregate, JoinAggregate, JoinColumns, Predicate};
+use obliv_join::schema::Value;
+use obliv_operators::{
+    Aggregate, JoinAggregate, JoinColumns, Predicate, WideCmp, WidePredicate, WideStage,
+};
 
 use crate::error::EngineError;
-use crate::query::NamedPlan;
+use crate::query::{NamedPlan, WideNamed};
 
 /// Parse one pipeline query into a [`NamedPlan`].
 pub fn parse_query(text: &str) -> Result<NamedPlan, EngineError> {
@@ -43,19 +77,239 @@ pub fn parse_query(text: &str) -> Result<NamedPlan, EngineError> {
         message,
     };
 
-    let mut clauses = text.split('|').map(str::trim);
-    let source = clauses.next().filter(|c| !c.is_empty()).ok_or_else(|| {
-        err("empty query: expected a source clause (SCAN/JOIN/SEMIJOIN/ANTIJOIN/JOINAGG)".into())
-    })?;
+    let clauses: Vec<&str> = text.split('|').map(str::trim).collect();
+    let (&source, stages) = clauses
+        .split_first()
+        .expect("split yields at least one clause");
+    if source.is_empty() {
+        return Err(err(
+            "empty query: expected a source clause (SCAN/JOIN/SEMIJOIN/ANTIJOIN/JOINAGG)".into(),
+        ));
+    }
+    if stages.iter().any(|c| c.is_empty()) {
+        return Err(err("empty stage between `|` separators".into()));
+    }
+
+    if is_wide_query(source, stages) {
+        let mut plan = parse_wide_source(source).map_err(&err)?;
+        for clause in stages {
+            plan = parse_wide_stage(plan, clause).map_err(&err)?;
+        }
+        return Ok(NamedPlan::Wide(plan));
+    }
 
     let mut plan = parse_source(source).map_err(&err)?;
-    for clause in clauses {
-        if clause.is_empty() {
-            return Err(err("empty stage between `|` separators".into()));
-        }
+    for clause in stages {
         plan = parse_stage(plan, clause).map_err(&err)?;
     }
     Ok(plan)
+}
+
+/// Decide the dialect from purely syntactic markers (parsing stays
+/// catalog-independent): an `ON` join, a parenthesised or `BY`-qualified
+/// aggregate, or a filter predicate outside the legacy forms.
+fn is_wide_query(source: &str, stages: &[&str]) -> bool {
+    let has_word = |clause: &str, word: &str| {
+        clause
+            .split_whitespace()
+            .any(|w| w.eq_ignore_ascii_case(word))
+    };
+    if has_word(source, "ON") {
+        return true;
+    }
+    stages.iter().any(|clause| {
+        let mut words = clause.split_whitespace();
+        match words.next().map(|w| w.to_ascii_uppercase()).as_deref() {
+            Some("AGG") => clause.contains('(') || has_word(clause, "BY"),
+            Some("FILTER") => {
+                // A wide marker only if the predicate is *not* a legacy
+                // form but *is* a well-formed column predicate — otherwise
+                // the legacy parser's error messages stay authoritative.
+                let rest = words.collect::<Vec<&str>>().join(" ");
+                parse_predicate(&rest).is_err() && parse_wide_predicate(&rest).is_ok()
+            }
+            _ => false,
+        }
+    })
+}
+
+fn parse_wide_source(clause: &str) -> Result<WideNamed, String> {
+    let words: Vec<&str> = clause.split_whitespace().collect();
+    let keyword = words[0].to_ascii_uppercase();
+    match keyword.as_str() {
+        "SCAN" => match words[1..] {
+            [t] => Ok(WideNamed::scan(t)),
+            _ => Err("SCAN takes exactly one table name".into()),
+        },
+        "JOIN" => {
+            if words.len() < 5 || !words[3].eq_ignore_ascii_case("ON") {
+                return Err(
+                    "a wide JOIN names its key columns: JOIN left right ON key (or ON \
+                     left_key=right_key)"
+                        .into(),
+                );
+            }
+            let on_words = &words[4..];
+            let spec = on_words.join(" ");
+            let (lk, rk) = match spec.split_once('=') {
+                Some((l, r)) => (l.trim(), r.trim()),
+                None if on_words.len() == 1 => (on_words[0], on_words[0]),
+                None => {
+                    return Err(format!(
+                        "malformed ON clause `{spec}`: expected one key column or \
+                         left_key=right_key (composite keys are not supported)"
+                    ))
+                }
+            };
+            let is_key =
+                |k: &str| !k.is_empty() && !k.contains(char::is_whitespace) && !k.contains('=');
+            if !is_key(lk) || !is_key(rk) {
+                return Err(format!("malformed ON clause `{spec}`"));
+            }
+            Ok(WideNamed::join(words[1], words[2], lk, rk))
+        }
+        other => Err(format!(
+            "wide (column-level) pipelines start from SCAN t or JOIN left right ON key; \
+             `{other}` is not supported with column stages"
+        )),
+    }
+}
+
+fn parse_wide_stage(plan: WideNamed, clause: &str) -> Result<WideNamed, String> {
+    let mut words = clause.split_whitespace();
+    let keyword = words
+        .next()
+        .expect("clause is non-empty")
+        .to_ascii_uppercase();
+    let words: Vec<&str> = words.collect();
+    match keyword.as_str() {
+        "FILTER" => Ok(plan.stage(WideStage::Filter(parse_wide_predicate(&words.join(" "))?))),
+        "AGG" => {
+            let (spec, by) = match words.iter().position(|w| w.eq_ignore_ascii_case("BY")) {
+                Some(pos) => {
+                    if words.len() != pos + 2 {
+                        return Err("BY takes exactly one group column".into());
+                    }
+                    (&words[..pos], Some(words[pos + 1].to_string()))
+                }
+                None => (&words[..], None),
+            };
+            match spec {
+                [one] => {
+                    let (aggregate, column) = parse_wide_aggregate(one)?;
+                    Ok(plan.stage(WideStage::Aggregate {
+                        aggregate,
+                        column,
+                        by,
+                    }))
+                }
+                _ => Err("AGG takes one aggregate, e.g. sum(qty), count, min(price)".into()),
+            }
+        }
+        other => Err(format!(
+            "stage `{other}` is not supported in wide (column-level) pipelines; supported \
+             stages: FILTER col>=N, AGG agg(col) [BY col]"
+        )),
+    }
+}
+
+/// `count`, `count(col)`, `sum(col)`, `min(col)`, `max(col)`.
+fn parse_wide_aggregate(word: &str) -> Result<(Aggregate, Option<String>), String> {
+    if let Some(open) = word.find('(') {
+        if !word.ends_with(')') {
+            return Err(format!("malformed aggregate `{word}`: missing `)`"));
+        }
+        let column = word[open + 1..word.len() - 1].trim();
+        if column.is_empty() {
+            return Err(format!(
+                "aggregate `{word}` needs a column between the parentheses"
+            ));
+        }
+        let aggregate = match word[..open].to_ascii_lowercase().as_str() {
+            "count" => Aggregate::Count,
+            "sum" => Aggregate::Sum,
+            "min" => Aggregate::Min,
+            "max" => Aggregate::Max,
+            other => {
+                return Err(format!(
+                    "unknown aggregate `{other}` (expected count, sum, min or max)"
+                ))
+            }
+        };
+        Ok((aggregate, Some(column.to_string())))
+    } else {
+        match word.to_ascii_lowercase().as_str() {
+            "count" => Ok((Aggregate::Count, None)),
+            w @ ("sum" | "min" | "max") => {
+                Err(format!("{w} needs a column argument, e.g. {w}(qty)"))
+            }
+            other => Err(format!(
+                "unknown aggregate `{other}` (expected count, sum(col), min(col) or max(col))"
+            )),
+        }
+    }
+}
+
+/// Parse a wide filter predicate: `col>=const`, `col<const` or `col=const`.
+///
+/// Whitespace is allowed around the operator only — `price >= 100` parses,
+/// `price >= 1 0` is rejected rather than silently compacted.
+fn parse_wide_predicate(text: &str) -> Result<WidePredicate, String> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err("FILTER needs a predicate (col>=N, col<N or col=N)".into());
+    }
+    let (idx, op_len, cmp) = if let Some(i) = trimmed.find(">=") {
+        (i, 2, WideCmp::AtLeast)
+    } else if let Some(i) = trimmed.find('<') {
+        (i, 1, WideCmp::Below)
+    } else if let Some(i) = trimmed.find('=') {
+        (i, 1, WideCmp::Equals)
+    } else {
+        return Err(format!(
+            "unknown predicate `{text}` (expected col>=N, col<N or col=N)"
+        ));
+    };
+    let column = trimmed[..idx].trim();
+    if column.is_empty() {
+        return Err(format!("predicate `{text}` is missing its column name"));
+    }
+    if column.contains(char::is_whitespace) {
+        return Err(format!(
+            "malformed predicate `{text}`: `{column}` is not one column name"
+        ));
+    }
+    let constant_text = trimmed[idx + op_len..].trim();
+    if constant_text.contains(char::is_whitespace) {
+        return Err(format!(
+            "malformed predicate `{text}`: `{constant_text}` is not one constant"
+        ));
+    }
+    let constant = parse_wide_constant(constant_text)?;
+    Ok(WidePredicate {
+        column: column.to_string(),
+        cmp,
+        constant,
+    })
+}
+
+/// A typed filter constant: integer, negative integer, or boolean.
+fn parse_wide_constant(text: &str) -> Result<Value, String> {
+    if text.eq_ignore_ascii_case("true") {
+        return Ok(Value::Bool(true));
+    }
+    if text.eq_ignore_ascii_case("false") {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('-') {
+        return text
+            .parse::<i64>()
+            .map(Value::I64)
+            .map_err(|_| format!("`{text}` is not a constant (integer, true or false)"));
+    }
+    text.parse::<u64>()
+        .map(Value::U64)
+        .map_err(|_| format!("`{text}` is not a constant (integer, true or false)"))
 }
 
 fn parse_source(clause: &str) -> Result<NamedPlan, String> {
@@ -351,5 +605,129 @@ mod tests {
             parse_query("SCAN t | DISTINCT").unwrap(),
             NamedPlan::scan("t").distinct()
         );
+    }
+
+    #[test]
+    fn issue_wide_example_parses() {
+        let plan = parse_query("JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)")
+            .unwrap();
+        assert_eq!(
+            plan,
+            NamedPlan::Wide(
+                WideNamed::join("orders", "lineitem", "o_key", "o_key")
+                    .stage(WideStage::Filter(WidePredicate {
+                        column: "price".into(),
+                        cmp: WideCmp::AtLeast,
+                        constant: Value::U64(100),
+                    }))
+                    .stage(WideStage::Aggregate {
+                        aggregate: Aggregate::Sum,
+                        column: Some("qty".into()),
+                        by: None,
+                    })
+            )
+        );
+    }
+
+    #[test]
+    fn wide_forms_parse() {
+        // Distinct key names, negative constants, boolean constants, BY.
+        let plan = parse_query(
+            "JOIN a b ON x=y | FILTER tax < -2 | FILTER urgent=true \
+             | AGG count BY region",
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            NamedPlan::Wide(
+                WideNamed::join("a", "b", "x", "y")
+                    .stage(WideStage::Filter(WidePredicate {
+                        column: "tax".into(),
+                        cmp: WideCmp::Below,
+                        constant: Value::I64(-2),
+                    }))
+                    .stage(WideStage::Filter(WidePredicate {
+                        column: "urgent".into(),
+                        cmp: WideCmp::Equals,
+                        constant: Value::Bool(true),
+                    }))
+                    .stage(WideStage::Aggregate {
+                        aggregate: Aggregate::Count,
+                        column: None,
+                        by: Some("region".into()),
+                    })
+            )
+        );
+        // A wide SCAN pipeline is triggered by its stages.
+        let scan = parse_query("SCAN t | FILTER price>=5 | AGG max(price) BY region").unwrap();
+        assert!(matches!(scan, NamedPlan::Wide(_)));
+    }
+
+    #[test]
+    fn legacy_magic_names_stay_legacy() {
+        // v/k predicates and bare aggregates never trigger the wide dialect.
+        assert_eq!(
+            parse_query("SCAN t | FILTER v>=10 | AGG sum").unwrap(),
+            NamedPlan::scan("t")
+                .filter(Predicate::ValueAtLeast(10))
+                .group_aggregate(Aggregate::Sum)
+        );
+        // But one wide marker pulls the whole pipeline into the wide
+        // dialect, where `v` is an ordinary column name.
+        let wide = parse_query("SCAN t | FILTER v>=10 | AGG sum(qty) BY v").unwrap();
+        assert_eq!(
+            wide,
+            NamedPlan::Wide(
+                WideNamed::scan("t")
+                    .stage(WideStage::Filter(WidePredicate {
+                        column: "v".into(),
+                        cmp: WideCmp::AtLeast,
+                        constant: Value::U64(10),
+                    }))
+                    .stage(WideStage::Aggregate {
+                        aggregate: Aggregate::Sum,
+                        column: Some("qty".into()),
+                        by: Some("v".into()),
+                    })
+            )
+        );
+    }
+
+    #[test]
+    fn wide_errors_name_the_problem() {
+        let cases = [
+            ("JOIN a b ON ", "names its key columns"),
+            ("JOIN a b ON =x", "malformed ON clause"),
+            ("SEMIJOIN a b ON k", "not supported with column stages"),
+            ("JOIN a b ON k | DISTINCT", "not supported in wide"),
+            ("JOIN a b ON k | AGG median(x)", "unknown aggregate"),
+            ("JOIN a b ON k | AGG sum()", "needs a column between"),
+            ("JOIN a b ON k | AGG sum(x", "missing `)`"),
+            ("JOIN a b ON k | AGG sum(x) BY", "exactly one group column"),
+            (
+                "SCAN t | AGG sum(x) | AGG count BY",
+                "exactly one group column",
+            ),
+            ("JOIN a b ON k | FILTER price>=ten", "not a constant"),
+            ("JOIN a b ON k | FILTER >=10", "missing its column name"),
+            ("JOIN a b ON k1 k2", "composite keys are not supported"),
+            ("JOIN a b ON k1=k2=k3", "malformed ON clause"),
+            ("JOIN a b ON x = y z", "malformed ON clause"),
+            ("JOIN a b ON k | FILTER price >= 1 0", "is not one constant"),
+            (
+                "JOIN a b ON k | FILTER pri ce >= 5",
+                "is not one column name",
+            ),
+            ("JOIN a b ON k | FILTER price", "unknown predicate"),
+        ];
+        for (query, needle) in cases {
+            match parse_query(query) {
+                Err(EngineError::Parse { message, .. }) => assert!(
+                    message.contains(needle),
+                    "query `{query}`: message `{message}` should contain `{needle}`"
+                ),
+                other => panic!("query `{query}` should fail to parse, got {other:?}"),
+            }
+        }
     }
 }

@@ -68,5 +68,7 @@ pub use catalog::{Catalog, TableMeta};
 pub use error::EngineError;
 pub use executor::{CacheStats, Engine, EngineConfig};
 pub use frontend::parse_query;
-pub use query::{NamedPlan, QueryRequest, QueryResponse, QuerySummary};
+pub use query::{
+    NamedPlan, QueryRequest, QueryResponse, QuerySummary, ResolvedPlan, WideNamed, WideNamedSource,
+};
 pub use session::{Session, SessionStats};

@@ -7,7 +7,11 @@
 //! and therefore the leakage profile — is exactly that of the operator
 //! library.
 
-use obliv_operators::{Aggregate, JoinAggregate, JoinColumns, Predicate, QueryPlan};
+use obliv_join::schema::{SchemaError, WideTable};
+use obliv_operators::{
+    Aggregate, JoinAggregate, JoinColumns, Predicate, QueryPlan, WidePipeline, WideSource,
+    WideStage,
+};
 use obliv_trace::OpCounters;
 
 use crate::catalog::Catalog;
@@ -81,6 +85,214 @@ pub enum NamedPlan {
         /// Aggregate over the joined pairs of each group.
         aggregate: JoinAggregate,
     },
+    /// A schema-aware pipeline over wide (multi-column) tables; produces a
+    /// [`WideTable`] result instead of a pair table.
+    Wide(WideNamed),
+}
+
+/// The source of a wide named pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WideNamedSource {
+    /// Scan one catalog table (wide, or pair through its degenerate
+    /// schema).
+    Scan(String),
+    /// Equi-join two catalog tables on named key columns.  The payload
+    /// columns carried through the join are *inferred* at resolution time
+    /// from what the downstream stages reference.
+    Join {
+        /// Left table name.
+        left: String,
+        /// Right table name.
+        right: String,
+        /// Left key column.
+        left_key: String,
+        /// Right key column.
+        right_key: String,
+    },
+}
+
+/// A wide pipeline whose tables are catalog names: the named counterpart of
+/// [`WidePipeline`], produced by the text frontend's column syntax
+/// (`JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WideNamed {
+    /// The data source.
+    pub source: WideNamedSource,
+    /// Filter/aggregate stages, applied in order.
+    pub stages: Vec<WideStage>,
+}
+
+impl WideNamed {
+    /// Scan one catalog table.
+    pub fn scan(table: impl Into<String>) -> WideNamed {
+        WideNamed {
+            source: WideNamedSource::Scan(table.into()),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Join two catalog tables on named key columns.
+    pub fn join(
+        left: impl Into<String>,
+        right: impl Into<String>,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> WideNamed {
+        WideNamed {
+            source: WideNamedSource::Join {
+                left: left.into(),
+                right: right.into(),
+                left_key: left_key.into(),
+                right_key: right_key.into(),
+            },
+            stages: Vec::new(),
+        }
+    }
+
+    /// Append a stage.
+    pub fn stage(mut self, stage: WideStage) -> WideNamed {
+        self.stages.push(stage);
+        self
+    }
+
+    /// The columns the pipeline needs from the *join inputs*: every column
+    /// referenced before (and by) the first aggregation.  After the first
+    /// aggregation the schema is rebuilt from aggregate outputs, so later
+    /// references resolve against those instead.
+    fn input_column_refs(&self) -> Vec<&str> {
+        let mut refs: Vec<&str> = Vec::new();
+        for stage in &self.stages {
+            match stage {
+                WideStage::Filter(pred) => {
+                    if !refs.contains(&pred.column.as_str()) {
+                        refs.push(&pred.column);
+                    }
+                }
+                WideStage::Aggregate { column, by, .. } => {
+                    for name in [column.as_deref(), by.as_deref()].into_iter().flatten() {
+                        if !refs.contains(&name) {
+                            refs.push(name);
+                        }
+                    }
+                    break; // later stages see the aggregate's output schema
+                }
+            }
+        }
+        refs
+    }
+
+    /// Resolve against the catalog: substitute tables, infer the join's
+    /// carried payload columns from downstream column references, and
+    /// statically validate the whole pipeline.
+    pub fn resolve(&self, catalog: &Catalog) -> Result<WidePipeline, EngineError> {
+        let source = match &self.source {
+            WideNamedSource::Scan(name) => WideSource::Scan(catalog.resolve_wide(name)?),
+            WideNamedSource::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let left_table = catalog.resolve_wide(left)?;
+                let right_table = catalog.resolve_wide(right)?;
+                let (carry_left, carry_right) = infer_carries(
+                    self.input_column_refs(),
+                    (left, &left_table, left_key),
+                    (right, &right_table, right_key),
+                )?;
+                WideSource::Join {
+                    left: left_table,
+                    right: right_table,
+                    left_key: left_key.clone(),
+                    right_key: right_key.clone(),
+                    carry_left,
+                    carry_right,
+                }
+            }
+        };
+        let pipeline = WidePipeline {
+            source,
+            stages: self.stages.clone(),
+        };
+        pipeline.output_schema()?; // full static validation, typed errors
+        Ok(pipeline)
+    }
+}
+
+/// Assign each referenced column to the join side that owns it, enforcing
+/// the one-carried-payload-per-side kernel limit.
+fn infer_carries(
+    refs: Vec<&str>,
+    (left_name, left, left_key): (&str, &WideTable, &str),
+    (right_name, right, _right_key): (&str, &WideTable, &str),
+) -> Result<(Option<String>, Option<String>), EngineError> {
+    let mut carry_left: Vec<String> = Vec::new();
+    let mut carry_right: Vec<String> = Vec::new();
+    for name in refs {
+        // The join key is always present in the output (named after the
+        // left key column); it never needs carrying.
+        if name == left_key {
+            continue;
+        }
+        let in_left = left.schema().column(name).is_ok();
+        let in_right = right.schema().column(name).is_ok();
+        match (in_left, in_right) {
+            (true, true) => {
+                return Err(EngineError::AmbiguousColumn {
+                    name: name.to_string(),
+                    left: left_name.to_string(),
+                    right: right_name.to_string(),
+                })
+            }
+            (true, false) => {
+                if !carry_left.iter().any(|c| c == name) {
+                    carry_left.push(name.to_string());
+                }
+            }
+            (false, true) => {
+                // This includes a differently-named right key column: it
+                // equals the join key in every output row, but under its
+                // own name it rides along like any payload so downstream
+                // references resolve.
+                if !carry_right.iter().any(|c| c == name) {
+                    carry_right.push(name.to_string());
+                }
+            }
+            (false, false) => {
+                let mut available: Vec<String> = left
+                    .schema()
+                    .column_names()
+                    .into_iter()
+                    .map(String::from)
+                    .collect();
+                available.extend(right.schema().column_names().into_iter().map(String::from));
+                return Err(SchemaError::UnknownColumn {
+                    name: name.to_string(),
+                    available,
+                }
+                .into());
+            }
+        }
+    }
+    for (table, carries) in [(left_name, &carry_left), (right_name, &carry_right)] {
+        if carries.len() > 1 {
+            return Err(EngineError::TooManyCarriedColumns {
+                table: table.to_string(),
+                columns: carries.clone(),
+            });
+        }
+    }
+    Ok((carry_left.pop(), carry_right.pop()))
+}
+
+/// A resolved plan, ready to execute: the pair-shaped operator tree or a
+/// validated wide pipeline.
+#[derive(Debug, Clone)]
+pub enum ResolvedPlan {
+    /// A pair-shaped operator tree.
+    Pair(QueryPlan),
+    /// A validated wide pipeline.
+    Wide(WidePipeline),
 }
 
 impl NamedPlan {
@@ -161,6 +373,11 @@ impl NamedPlan {
         }
     }
 
+    /// Wrap a wide (schema-aware) pipeline as a plan.
+    pub fn wide(pipeline: WideNamed) -> NamedPlan {
+        NamedPlan::Wide(pipeline)
+    }
+
     /// A canonical textual key for this plan, used (together with the
     /// catalog epoch) as the engine's result-cache key and for
     /// intra-batch deduplication.
@@ -202,6 +419,31 @@ impl NamedPlan {
                 left.collect_tables(names);
                 right.collect_tables(names);
             }
+            NamedPlan::Wide(wide) => match &wide.source {
+                WideNamedSource::Scan(name) => {
+                    if !names.contains(&name.as_str()) {
+                        names.push(name);
+                    }
+                }
+                WideNamedSource::Join { left, right, .. } => {
+                    for name in [left, right] {
+                        if !names.contains(&name.as_str()) {
+                            names.push(name);
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Resolve a plan of either shape against the catalog.  This is what
+    /// the engine's execution paths use; pair plans resolve exactly as
+    /// [`resolve`](NamedPlan::resolve), wide plans additionally get their
+    /// carried columns inferred and their schemas validated.
+    pub fn resolve_any(&self, catalog: &Catalog) -> Result<ResolvedPlan, EngineError> {
+        match self {
+            NamedPlan::Wide(wide) => Ok(ResolvedPlan::Wide(wide.resolve(catalog)?)),
+            other => Ok(ResolvedPlan::Pair(other.resolve(catalog)?)),
         }
     }
 
@@ -209,8 +451,14 @@ impl NamedPlan {
     /// executable [`QueryPlan`].  Table contents are cloned at resolution
     /// time, so the resulting plan is self-contained: executing it needs no
     /// catalog access (and in particular no cross-worker synchronisation).
+    ///
+    /// This is the pair-shaped path: a [`NamedPlan::Wide`] plan produces a
+    /// wide result and therefore fails here with
+    /// [`EngineError::NotAPairPlan`]; use
+    /// [`resolve_any`](NamedPlan::resolve_any) instead.
     pub fn resolve(&self, catalog: &Catalog) -> Result<QueryPlan, EngineError> {
         Ok(match self {
+            NamedPlan::Wide(_) => return Err(EngineError::NotAPairPlan),
             NamedPlan::Scan(name) => QueryPlan::Scan(catalog.resolve(name)?.clone()),
             NamedPlan::Filter { input, predicate } => QueryPlan::Filter {
                 input: Box::new(input.resolve(catalog)?),
@@ -318,8 +566,12 @@ pub struct QuerySummary {
 pub struct QueryResponse {
     /// The request's label, echoed back.
     pub label: String,
-    /// The result table.
+    /// The result table of a pair-shaped plan (empty for wide plans, whose
+    /// result is in [`wide`](QueryResponse::wide)).
     pub result: obliv_join::Table,
+    /// The result of a wide (schema-aware) plan, with its output schema;
+    /// `None` for pair-shaped plans.
+    pub wide: Option<WideTable>,
     /// Leakage and cost accounting for this query.
     pub summary: QuerySummary,
     /// `true` if this response was served from the engine's result cache
@@ -390,6 +642,172 @@ mod tests {
         let d = NamedPlan::scan("x").union_all(NamedPlan::scan("y"));
         let e = NamedPlan::scan("y").union_all(NamedPlan::scan("x"));
         assert_ne!(d.canonical(), e.canonical());
+    }
+
+    fn wide_catalog() -> Catalog {
+        use obliv_join::schema::{ColumnType, Schema};
+        let mut c = catalog();
+        let orders = Schema::new([
+            ("o_key", ColumnType::U64),
+            ("price", ColumnType::U64),
+            ("region", ColumnType::Bytes(4)),
+        ])
+        .unwrap();
+        let lineitem = Schema::new([
+            ("l_key", ColumnType::U64),
+            ("qty", ColumnType::U64),
+            ("tax", ColumnType::I64),
+        ])
+        .unwrap();
+        use obliv_join::schema::Value as V;
+        c.register_wide(
+            "worders",
+            WideTable::from_rows(
+                orders,
+                [
+                    vec![V::U64(1), V::U64(120), V::Bytes(b"east".to_vec())],
+                    vec![V::U64(2), V::U64(80), V::Bytes(b"west".to_vec())],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.register_wide(
+            "wlineitem",
+            WideTable::from_rows(
+                lineitem,
+                [
+                    vec![V::U64(1), V::U64(5), V::I64(-1)],
+                    vec![V::U64(1), V::U64(7), V::I64(2)],
+                    vec![V::U64(2), V::U64(3), V::I64(0)],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn wide_resolution_infers_carries_from_stages() {
+        use obliv_operators::{WidePredicate, WideSource, WideStage};
+        let plan = WideNamed::join("worders", "wlineitem", "o_key", "l_key")
+            .stage(WideStage::Filter(WidePredicate::at_least(
+                "price",
+                obliv_join::schema::Value::U64(100),
+            )))
+            .stage(WideStage::Aggregate {
+                aggregate: Aggregate::Sum,
+                column: Some("qty".into()),
+                by: None,
+            });
+        let pipeline = plan.resolve(&wide_catalog()).unwrap();
+        match &pipeline.source {
+            WideSource::Join {
+                carry_left,
+                carry_right,
+                ..
+            } => {
+                assert_eq!(carry_left.as_deref(), Some("price"));
+                assert_eq!(carry_right.as_deref(), Some("qty"));
+            }
+            other => panic!("expected join source, got {other:?}"),
+        }
+        assert_eq!(
+            pipeline.output_schema().unwrap().column_names(),
+            vec!["o_key", "sum_qty"]
+        );
+    }
+
+    #[test]
+    fn wide_resolution_reports_typed_planning_errors() {
+        use obliv_join::schema::Value as V;
+        use obliv_operators::{WideError, WidePredicate, WideStage};
+        let catalog = wide_catalog();
+
+        // Unknown column across both sides.
+        let err = WideNamed::join("worders", "wlineitem", "o_key", "l_key")
+            .stage(WideStage::Filter(WidePredicate::at_least(
+                "ghost",
+                V::U64(0),
+            )))
+            .resolve(&catalog)
+            .unwrap_err();
+        match err {
+            EngineError::Wide(WideError::Schema(SchemaError::UnknownColumn {
+                name,
+                available,
+            })) => {
+                assert_eq!(name, "ghost");
+                assert!(available.contains(&"price".to_string()));
+                assert!(available.contains(&"qty".to_string()));
+            }
+            other => panic!("expected unknown column, got {other:?}"),
+        }
+
+        // Two payload columns from one side exceed the carry capacity.
+        let err = WideNamed::join("worders", "wlineitem", "o_key", "l_key")
+            .stage(WideStage::Filter(WidePredicate::at_least("qty", V::U64(1))))
+            .stage(WideStage::Aggregate {
+                aggregate: Aggregate::Min,
+                column: Some("tax".into()),
+                by: None,
+            })
+            .resolve(&catalog)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::TooManyCarriedColumns {
+                table: "wlineitem".into(),
+                columns: vec!["qty".into(), "tax".into()]
+            }
+        );
+
+        // Wide tables cannot feed pair-shaped plans.
+        assert_eq!(
+            NamedPlan::scan("worders").resolve(&catalog).unwrap_err(),
+            EngineError::WideTableInScalarPlan {
+                name: "worders".into()
+            }
+        );
+
+        // And wide plans refuse the pair-shaped resolve.
+        assert_eq!(
+            NamedPlan::Wide(WideNamed::scan("worders"))
+                .resolve(&catalog)
+                .unwrap_err(),
+            EngineError::NotAPairPlan
+        );
+    }
+
+    #[test]
+    fn wide_plans_read_pair_tables_through_degenerate_schema() {
+        use obliv_operators::{WidePredicate, WideStage};
+        let plan = NamedPlan::Wide(WideNamed::scan("orders").stage(WideStage::Filter(
+            WidePredicate::at_least("value", obliv_join::schema::Value::U64(100)),
+        )));
+        let resolved = plan.resolve_any(&wide_catalog()).unwrap();
+        match resolved {
+            ResolvedPlan::Wide(pipeline) => {
+                let out = pipeline
+                    .execute(&obliv_trace::Tracer::new(obliv_trace::NullSink))
+                    .unwrap();
+                assert_eq!(out.len(), 2); // orders 100 and 250
+            }
+            other => panic!("expected wide resolution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_plans_canonicalise_and_list_tables() {
+        let a = NamedPlan::Wide(WideNamed::join("worders", "wlineitem", "o_key", "l_key"));
+        let b = NamedPlan::Wide(WideNamed::join("worders", "wlineitem", "o_key", "qty"));
+        assert_ne!(a.canonical(), b.canonical());
+        assert_eq!(a.referenced_tables(), vec!["worders", "wlineitem"]);
+        assert_eq!(
+            NamedPlan::Wide(WideNamed::scan("t")).referenced_tables(),
+            vec!["t"]
+        );
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! | [`oblivious_semi_join`] / [`oblivious_anti_join`] | `O(n log² n)` | output size |
 //! | [`oblivious_join_aggregate`] | `O(n log² n)` — no `m`-sized expansion | number of groups |
 //!
+//! The [`wide`] module lifts filter, join and group-aggregate to typed
+//! multi-column tables ([`obliv_join::schema`]): operators select key and
+//! payload columns by name, and the trace additionally reflects the (public)
+//! schema row width.
+//!
 //! ```
 //! use obliv_join::Table;
 //! use obliv_operators::{oblivious_group_aggregate, Aggregate};
@@ -43,6 +48,7 @@ mod filter;
 mod join_aggregate;
 mod plan;
 mod set_ops;
+pub mod wide;
 
 pub use aggregate::{oblivious_group_aggregate, Aggregate};
 pub use filter::{oblivious_filter, oblivious_project, Predicate};
@@ -50,4 +56,8 @@ pub use join_aggregate::{oblivious_join_aggregate, JoinAggregate};
 pub use plan::{JoinColumns, QueryPlan};
 pub use set_ops::{
     oblivious_anti_join, oblivious_distinct, oblivious_semi_join, oblivious_union_all,
+};
+pub use wide::{
+    wide_filter, wide_group_aggregate, wide_join, WideCmp, WideError, WidePipeline, WidePredicate,
+    WideSource, WideStage, MAX_ROW_WORDS,
 };

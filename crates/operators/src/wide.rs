@@ -1,0 +1,1275 @@
+//! Oblivious operators over typed wide rows.
+//!
+//! These operators lift the pair-shaped kernel to multi-column tables
+//! ([`WideTable`]): callers select key and payload columns *by name*, and the
+//! operators stage the fixed-width encoded rows through traced public memory
+//! so that the observable trace is a function of the public parameters
+//! `(row count, schema row width, output size)` only — never of row
+//! contents.
+//!
+//! Execution model:
+//!
+//! * [`wide_filter`] keeps whole rows: rows are packed into fixed
+//!   `[u64; W]` word records (`W = ceil(row_width / 8)`, a public schema
+//!   property), marked branch-free against the predicate, and obliviously
+//!   compacted — the same mark-then-compact discipline as the pair filter.
+//! * [`wide_join`] and [`wide_group_aggregate`] project the named key (and
+//!   payload) columns into the kernel's `(key word, value word)` pair shape
+//!   using the order-preserving codes of [`obliv_primitives::encode`], run
+//!   the pair kernel, and decode the words back into typed columns on the
+//!   way out.  A join therefore carries **at most one payload column per
+//!   side** through the kernel; select the columns the rest of the query
+//!   needs (the engine's planner infers them from downstream stages).
+//!
+//! [`WidePipeline`] composes these into a validated linear pipeline — the
+//! wide analogue of [`QueryPlan`](crate::QueryPlan).
+
+use std::fmt;
+use std::sync::Arc;
+
+use obliv_join::oblivious_join_with_tracer;
+use obliv_join::schema::{ColumnType, Schema, SchemaError, Value, WideTable};
+use obliv_join::Table;
+use obliv_primitives::{oblivious_compact, Choice, CtSelect, Routable};
+use obliv_trace::{TraceSink, Tracer, TrackedBuffer};
+
+use crate::aggregate::{oblivious_group_aggregate, Aggregate};
+
+/// Maximum row width the wide operators accept, in kernel words
+/// (`16 words = 128 bytes`).  Wider schemas are rejected with
+/// [`WideError::RowTooWide`]; store a row identifier and late-materialise
+/// instead.
+pub const MAX_ROW_WORDS: usize = 16;
+
+/// Everything that can go wrong validating a wide operator or pipeline
+/// against its input schemas.  All variants are submission-time errors
+/// raised against public schema metadata, never during oblivious execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WideError {
+    /// A column reference or constant failed schema validation.
+    Schema(SchemaError),
+    /// The schema's rows exceed [`MAX_ROW_WORDS`] kernel words.
+    RowTooWide {
+        /// The schema's row width in bytes.
+        width_bytes: usize,
+        /// The row width in kernel words.
+        words: usize,
+    },
+    /// The two join key columns have different types.
+    JoinKeyTypeMismatch {
+        /// Left key column name.
+        left: String,
+        /// Left key column type.
+        left_ty: ColumnType,
+        /// Right key column name.
+        right: String,
+        /// Right key column type.
+        right_ty: ColumnType,
+    },
+    /// The aggregate cannot be computed over a column of this type.
+    NotAggregatable {
+        /// The aggregated column.
+        column: String,
+        /// Its type.
+        ty: ColumnType,
+        /// The requested aggregate.
+        aggregate: Aggregate,
+    },
+    /// `sum`, `min` and `max` need a column argument.
+    MissingAggregateColumn {
+        /// The aggregate that was requested without a column.
+        aggregate: Aggregate,
+    },
+    /// A wide aggregation needs a group column: either the pipeline's
+    /// natural key (the join key, when downstream of a wide join) or an
+    /// explicit `BY column`.
+    MissingGroupColumn,
+}
+
+impl From<SchemaError> for WideError {
+    fn from(e: SchemaError) -> Self {
+        WideError::Schema(e)
+    }
+}
+
+impl fmt::Display for WideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WideError::Schema(e) => write!(f, "{e}"),
+            WideError::RowTooWide { width_bytes, words } => write!(
+                f,
+                "rows of {width_bytes} bytes ({words} words) exceed the kernel limit of \
+                 {MAX_ROW_WORDS} words; store a row id and late-materialise wide payloads"
+            ),
+            WideError::JoinKeyTypeMismatch {
+                left,
+                left_ty,
+                right,
+                right_ty,
+            } => write!(
+                f,
+                "join key type mismatch: `{left}` is {left_ty} but `{right}` is {right_ty}"
+            ),
+            WideError::NotAggregatable {
+                column,
+                ty,
+                aggregate,
+            } => write!(
+                f,
+                "cannot aggregate {aggregate:?} over column `{column}` of type {ty} \
+                 (sum needs u64; min/max need a key-word type; count takes no column)"
+            ),
+            WideError::MissingAggregateColumn { aggregate } => {
+                write!(f, "{aggregate:?} needs a column argument, e.g. sum(qty)")
+            }
+            WideError::MissingGroupColumn => write!(
+                f,
+                "this aggregation has no group column: aggregate downstream of a wide join \
+                 (grouping by the join key) or name one explicitly with `BY column`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WideError {}
+
+/// Comparison operator of a wide filter predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WideCmp {
+    /// Keep rows where the column is `>=` the constant (column order).
+    AtLeast,
+    /// Keep rows where the column is `<` the constant.
+    Below,
+    /// Keep rows where the column equals the constant.
+    Equals,
+}
+
+/// A typed selection predicate over one named column of a wide table.
+///
+/// Comparisons happen in the column type's natural order (signed order for
+/// `i64`, lexicographic for fixed-width `bytes[≤8]`), implemented by
+/// comparing order-preserving kernel words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WidePredicate {
+    /// The filtered column.
+    pub column: String,
+    /// The comparison.
+    pub cmp: WideCmp,
+    /// The constant compared against (must match the column's type;
+    /// non-negative integer constants coerce to `i64` columns).
+    pub constant: Value,
+}
+
+impl WidePredicate {
+    /// `column >= constant`.
+    pub fn at_least(column: impl Into<String>, constant: Value) -> Self {
+        WidePredicate {
+            column: column.into(),
+            cmp: WideCmp::AtLeast,
+            constant,
+        }
+    }
+
+    /// `column < constant`.
+    pub fn below(column: impl Into<String>, constant: Value) -> Self {
+        WidePredicate {
+            column: column.into(),
+            cmp: WideCmp::Below,
+            constant,
+        }
+    }
+
+    /// `column == constant`.
+    pub fn equals(column: impl Into<String>, constant: Value) -> Self {
+        WidePredicate {
+            column: column.into(),
+            cmp: WideCmp::Equals,
+            constant,
+        }
+    }
+
+    /// Resolve the predicate against a schema: the column's index and the
+    /// constant's kernel word.
+    fn compile(&self, schema: &Schema) -> Result<(usize, u64), SchemaError> {
+        let (idx, _) = schema.key_column(&self.column)?;
+        let word = schema.value_to_word(idx, &self.constant)?;
+        Ok((idx, word))
+    }
+
+    /// Check the predicate against a schema without executing anything.
+    pub fn validate(&self, schema: &Schema) -> Result<(), WideError> {
+        self.compile(schema)?;
+        Ok(())
+    }
+
+    /// Branch-free evaluation on a column word.
+    fn matches(&self, column_word: u64, constant_word: u64) -> Choice {
+        match self.cmp {
+            WideCmp::AtLeast => Choice::ge_u64(column_word, constant_word),
+            WideCmp::Below => Choice::ge_u64(column_word, constant_word).not(),
+            WideCmp::Equals => Choice::eq_u64(column_word, constant_word),
+        }
+    }
+}
+
+/// A whole encoded row packed into `W` kernel words, plus the routing
+/// metadata oblivious compaction needs.  `W` is a public schema property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WideRec<const W: usize> {
+    words: [u64; W],
+    /// Scratch word the filter compares (extracted at load time).
+    cmp: u64,
+    dest: u64,
+    live: u64,
+}
+
+impl<const W: usize> Default for WideRec<W> {
+    fn default() -> Self {
+        WideRec {
+            words: [0; W],
+            cmp: 0,
+            dest: 0,
+            live: 0,
+        }
+    }
+}
+
+impl<const W: usize> CtSelect for WideRec<W> {
+    #[inline(always)]
+    fn ct_select(c: Choice, a: Self, b: Self) -> Self {
+        let mut words = [0u64; W];
+        for (w, (&x, &y)) in words.iter_mut().zip(a.words.iter().zip(b.words.iter())) {
+            *w = u64::ct_select(c, x, y);
+        }
+        WideRec {
+            words,
+            cmp: u64::ct_select(c, a.cmp, b.cmp),
+            dest: u64::ct_select(c, a.dest, b.dest),
+            live: u64::ct_select(c, a.live, b.live),
+        }
+    }
+}
+
+impl<const W: usize> Routable for WideRec<W> {
+    fn dest(&self) -> u64 {
+        self.dest
+    }
+
+    fn set_dest(&mut self, dest: u64) {
+        self.dest = dest;
+    }
+
+    fn null() -> Self {
+        WideRec::default()
+    }
+
+    fn is_null(&self) -> bool {
+        self.live == 0
+    }
+
+    fn set_null(&mut self) {
+        self.live = 0;
+        self.dest = 0;
+    }
+}
+
+/// Check a schema fits the kernel word limit, returning its word count.
+fn row_words_checked(schema: &Schema) -> Result<usize, WideError> {
+    let words = schema.row_words();
+    if words > MAX_ROW_WORDS {
+        return Err(WideError::RowTooWide {
+            width_bytes: schema.row_width(),
+            words,
+        });
+    }
+    Ok(words)
+}
+
+/// Stage a wide table's encoded rows through traced public memory as one
+/// flat word array (`n * words` cells) and return the traced buffer.
+///
+/// The allocation length — and therefore the trace — encodes both the row
+/// count and the schema width, both public.  The load is emitted as one
+/// coalesced read run; callers that need the words use the buffer's
+/// untraced `as_slice` view (the read was already accounted for here)
+/// rather than copying them out.
+fn stage_in<S: TraceSink>(
+    tracer: &Tracer<S>,
+    table: &WideTable,
+    words: usize,
+) -> TrackedBuffer<u64, S> {
+    let n = table.len();
+    let mut flat: Vec<u64> = Vec::with_capacity(n * words);
+    for row in table.rows() {
+        let start = flat.len();
+        for chunk in row.chunks(8) {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            flat.push(u64::from_le_bytes(b));
+        }
+        flat.resize(start + words, 0);
+    }
+    let staged = tracer.alloc_from(flat);
+    tracer.bump_linear_steps(n as u64);
+    if !staged.is_empty() {
+        let _ = staged.read_run(0, staged.len());
+    }
+    staged
+}
+
+/// Materialise output rows through traced public memory (`n_rows * words`
+/// cells, written as one coalesced run), then rebuild the client-side
+/// [`WideTable`].
+fn stage_out<S: TraceSink>(
+    tracer: &Tracer<S>,
+    schema: Arc<Schema>,
+    words: usize,
+    row_word_groups: &[Vec<u64>],
+) -> WideTable {
+    let n = row_word_groups.len();
+    let mut staged = tracer.alloc::<u64>(n * words);
+    tracer.bump_linear_steps(n as u64);
+    if n * words > 0 {
+        let out = staged.write_run(0, n * words);
+        for (i, group) in row_word_groups.iter().enumerate() {
+            out[i * words..(i + 1) * words].copy_from_slice(group);
+        }
+    }
+    let flat = staged.into_vec();
+    let width = schema.row_width();
+    let mut data = Vec::with_capacity(n * width);
+    for i in 0..n {
+        let row_bytes: Vec<u8> = flat[i * words..(i + 1) * words]
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .take(width)
+            .collect();
+        data.extend_from_slice(&row_bytes);
+    }
+    WideTable::from_encoded(schema, data)
+}
+
+/// Monomorphic filter body for one row width `W`.
+fn wide_filter_w<const W: usize, S: TraceSink>(
+    tracer: &Tracer<S>,
+    table: &WideTable,
+    predicate: &WidePredicate,
+    col_idx: usize,
+    constant_word: u64,
+) -> WideTable {
+    let schema = table.schema_handle();
+    let n = table.len();
+    let staged = stage_in(tracer, table, W);
+    let staged_words = staged.as_slice();
+    let recs: Vec<WideRec<W>> = (0..n)
+        .map(|i| WideRec {
+            words: staged_words[i * W..(i + 1) * W]
+                .try_into()
+                .expect("W words per row"),
+            cmp: schema.word_at(table.row_bytes(i), col_idx),
+            dest: 1,
+            live: 1,
+        })
+        .collect();
+    let mut buf: TrackedBuffer<WideRec<W>, S> = tracer.alloc_from(recs);
+
+    // Mark non-matching rows null; every slot is written back.
+    for i in 0..n {
+        let r = buf.read(i);
+        tracer.bump_linear_steps(1);
+        let keep = predicate.matches(r.cmp, constant_word);
+        let mut dropped = r;
+        dropped.set_null();
+        buf.write(i, WideRec::ct_select(keep, r, dropped));
+    }
+
+    // Gather the survivors; only their count is revealed.
+    let compacted = oblivious_compact(buf);
+    let live = compacted.live as usize;
+    let groups: Vec<Vec<u64>> = compacted.table.as_slice()[..live]
+        .iter()
+        .map(|r| r.words.to_vec())
+        .collect();
+    stage_out(tracer, schema, W, &groups)
+}
+
+/// Oblivious wide selection: keep the rows whose named column matches the
+/// predicate.  Reveals only the number of surviving rows (carried by the
+/// output length, exactly like the pair filter).
+pub fn wide_filter<S: TraceSink>(
+    tracer: &Tracer<S>,
+    table: &WideTable,
+    predicate: &WidePredicate,
+) -> Result<WideTable, WideError> {
+    let words = row_words_checked(table.schema())?;
+    let (col_idx, constant_word) = predicate.compile(table.schema())?;
+    macro_rules! dispatch {
+        ($($w:literal),*) => {
+            match words {
+                $( $w => Ok(wide_filter_w::<$w, S>(tracer, table, predicate, col_idx, constant_word)), )*
+                other => unreachable!("row_words_checked admitted width {other}"),
+            }
+        };
+    }
+    dispatch!(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+}
+
+/// Output column name of an aggregate (`count`, `sum_qty`, `min_price`, …).
+fn aggregate_output_name(aggregate: Aggregate, column: Option<&str>) -> String {
+    match (aggregate, column) {
+        (Aggregate::Count, _) => "count".to_string(),
+        (Aggregate::Sum, Some(c)) => format!("sum_{c}"),
+        (Aggregate::Min, Some(c)) => format!("min_{c}"),
+        (Aggregate::Max, Some(c)) => format!("max_{c}"),
+        _ => unreachable!("validated aggregates always carry their column"),
+    }
+}
+
+/// Resolve a wide aggregation against its input schema: the group column
+/// index/type, the aggregated column index (if any) and the output schema.
+fn aggregate_plan(
+    schema: &Schema,
+    key: &str,
+    aggregate: Aggregate,
+    column: Option<&str>,
+) -> Result<(usize, ColumnType, Option<usize>, Schema), WideError> {
+    let (key_idx, key_col) = schema.key_column(key)?;
+    let key_ty = key_col.ty();
+    let (agg_idx, out_ty) = match aggregate {
+        Aggregate::Count => {
+            // An optional column is checked for existence but not read.
+            let idx = column
+                .map(|c| schema.column(c))
+                .transpose()?
+                .map(|(i, _)| i);
+            (idx, ColumnType::U64)
+        }
+        Aggregate::Sum => {
+            let name = column.ok_or(WideError::MissingAggregateColumn { aggregate })?;
+            let (idx, col) = schema.column(name)?;
+            if col.ty() != ColumnType::U64 {
+                return Err(WideError::NotAggregatable {
+                    column: name.to_string(),
+                    ty: col.ty(),
+                    aggregate,
+                });
+            }
+            (Some(idx), ColumnType::U64)
+        }
+        Aggregate::Min | Aggregate::Max => {
+            let name = column.ok_or(WideError::MissingAggregateColumn { aggregate })?;
+            let (idx, col) = schema.column(name)?;
+            if !col.ty().is_word_encodable() {
+                return Err(WideError::NotAggregatable {
+                    column: name.to_string(),
+                    ty: col.ty(),
+                    aggregate,
+                });
+            }
+            (Some(idx), col.ty())
+        }
+    };
+    let out_schema = Schema::new([
+        (key.to_string(), key_ty),
+        (aggregate_output_name(aggregate, column), out_ty),
+    ])?;
+    Ok((key_idx, key_ty, agg_idx, out_schema))
+}
+
+/// Oblivious wide `SELECT key, agg(column) … GROUP BY key`.
+///
+/// The named group column becomes the kernel's sort key (via its
+/// order-preserving word code) and the aggregated column rides along as the
+/// pair value; the pair kernel's group-aggregate does the oblivious work.
+/// The result has one row per distinct group key, with schema
+/// `{key, count|sum_col|min_col|max_col}`.
+///
+/// Type rules: `sum` needs a `u64` column; `min`/`max` need any key-word
+/// type (the result decodes back to the column's type); `count` takes no
+/// column (one is accepted and checked for existence).
+pub fn wide_group_aggregate<S: TraceSink>(
+    tracer: &Tracer<S>,
+    table: &WideTable,
+    key: &str,
+    aggregate: Aggregate,
+    column: Option<&str>,
+) -> Result<WideTable, WideError> {
+    let words = row_words_checked(table.schema())?;
+    let (key_idx, key_ty, agg_idx, out_schema) =
+        aggregate_plan(table.schema(), key, aggregate, column)?;
+    let out_ty = out_schema.columns()[1].ty();
+
+    // Stage the wide rows (trace models the full-width input load), then
+    // project (key word, agg word) pairs into the kernel shape.
+    // Extraction is fixed-offset and data-independent.
+    drop(stage_in(tracer, table, words));
+    let pairs: Table = (0..table.len())
+        .map(|i| {
+            let row = table.row_bytes(i);
+            let key_word = table.schema().word_at(row, key_idx);
+            let agg_word = agg_idx.map_or(0, |idx| match aggregate {
+                // Sums operate on raw u64 values (identity code).
+                Aggregate::Sum => match table.schema().value_at(row, idx) {
+                    Value::U64(v) => v,
+                    _ => unreachable!("sum validated as u64"),
+                },
+                _ => table.schema().word_at(row, idx),
+            });
+            (key_word, agg_word)
+        })
+        .collect();
+    let result = oblivious_group_aggregate(tracer, &pairs, aggregate);
+
+    let out_words = out_schema.row_words();
+    let out_schema = Arc::new(out_schema);
+    let groups: Vec<Vec<u64>> = result
+        .iter()
+        .map(|e| {
+            let row = out_schema
+                .encode_row(&[key_ty.value_from_word(e.key), out_value(out_ty, e.value)])
+                .expect("output schema encodes its own rows");
+            pack_words(&row, out_words)
+        })
+        .collect();
+    Ok(stage_out(tracer, out_schema, out_words, &groups))
+}
+
+/// Decode an aggregate result word into the output column's type (`count`
+/// and `sum` are plain u64; `min`/`max` decode the order-preserving code).
+fn out_value(ty: ColumnType, word: u64) -> Value {
+    match ty {
+        ColumnType::U64 => Value::U64(word),
+        other => other.value_from_word(word),
+    }
+}
+
+/// Pack encoded row bytes into `words` little-endian kernel words.
+fn pack_words(row: &[u8], words: usize) -> Vec<u64> {
+    let mut out = vec![0u64; words];
+    for (i, chunk) in row.chunks(8).enumerate() {
+        let mut b = [0u8; 8];
+        b[..chunk.len()].copy_from_slice(chunk);
+        out[i] = u64::from_le_bytes(b);
+    }
+    out
+}
+
+/// Resolve a wide join's output schema and column indices.
+///
+/// Output columns: the (left) key column, then the carried left column,
+/// then the carried right column; name clashes are disambiguated with
+/// `left_` / `right_` prefixes.
+#[allow(clippy::type_complexity)]
+fn join_plan(
+    left: &Schema,
+    right: &Schema,
+    left_key: &str,
+    right_key: &str,
+    carry_left: Option<&str>,
+    carry_right: Option<&str>,
+) -> Result<(usize, usize, Option<usize>, Option<usize>, Schema), WideError> {
+    let (lk_idx, lk_col) = left.key_column(left_key)?;
+    let (rk_idx, rk_col) = right.key_column(right_key)?;
+    if lk_col.ty() != rk_col.ty() {
+        return Err(WideError::JoinKeyTypeMismatch {
+            left: left_key.to_string(),
+            left_ty: lk_col.ty(),
+            right: right_key.to_string(),
+            right_ty: rk_col.ty(),
+        });
+    }
+    let mut out_cols: Vec<(String, ColumnType)> = vec![(left_key.to_string(), lk_col.ty())];
+    let push_col =
+        |prefix: &str, name: &str, ty: ColumnType, cols: &mut Vec<(String, ColumnType)>| {
+            let base = name.to_string();
+            if cols.iter().any(|(n, _)| *n == base) {
+                cols.push((format!("{prefix}{base}"), ty));
+            } else {
+                cols.push((base, ty));
+            }
+        };
+    let cl = carry_left
+        .map(|name| left.key_column(name))
+        .transpose()?
+        .map(|(idx, col)| (idx, col.ty()));
+    if let (Some(name), Some((_, ty))) = (carry_left, &cl) {
+        push_col("left_", name, *ty, &mut out_cols);
+    }
+    let cr = carry_right
+        .map(|name| right.key_column(name))
+        .transpose()?
+        .map(|(idx, col)| (idx, col.ty()));
+    if let (Some(name), Some((_, ty))) = (carry_right, &cr) {
+        push_col("right_", name, *ty, &mut out_cols);
+    }
+    let out_schema = Schema::new(out_cols)?;
+    Ok((
+        lk_idx,
+        rk_idx,
+        cl.map(|(i, _)| i),
+        cr.map(|(i, _)| i),
+        out_schema,
+    ))
+}
+
+/// The paper's oblivious equi-join over wide tables, keyed on named columns.
+///
+/// Each side carries at most one named payload column through the kernel
+/// (the kernel record has one data word per side); the output schema is
+/// `{key, [carry_left], [carry_right]}`.  The trace is a function of
+/// `(n₁, w₁, n₂, w₂, m, w_out)` only — all public.
+pub fn wide_join<S: TraceSink>(
+    tracer: &Tracer<S>,
+    left: &WideTable,
+    right: &WideTable,
+    left_key: &str,
+    right_key: &str,
+    carry_left: Option<&str>,
+    carry_right: Option<&str>,
+) -> Result<WideTable, WideError> {
+    let lwords = row_words_checked(left.schema())?;
+    let rwords = row_words_checked(right.schema())?;
+    let (lk_idx, rk_idx, cl_idx, cr_idx, out_schema) = join_plan(
+        left.schema(),
+        right.schema(),
+        left_key,
+        right_key,
+        carry_left,
+        carry_right,
+    )?;
+    let key_ty = out_schema.columns()[0].ty();
+
+    // Stage both inputs (the trace models the full-width loads; row counts
+    // and widths are public), then project each side to
+    // (key word, carry word) kernel pairs.
+    drop(stage_in(tracer, left, lwords));
+    drop(stage_in(tracer, right, rwords));
+    let project = |t: &WideTable, key_idx: usize, carry_idx: Option<usize>| -> Table {
+        (0..t.len())
+            .map(|i| {
+                let row = t.row_bytes(i);
+                (
+                    t.schema().word_at(row, key_idx),
+                    carry_idx.map_or(0, |c| t.schema().word_at(row, c)),
+                )
+            })
+            .collect()
+    };
+    let lp = project(left, lk_idx, cl_idx);
+    let rp = project(right, rk_idx, cr_idx);
+    let result = oblivious_join_with_tracer(tracer, &lp, &rp);
+
+    let carry_tys: Vec<ColumnType> = out_schema.columns()[1..].iter().map(|c| c.ty()).collect();
+    let out_words = out_schema.row_words();
+    let out_schema = Arc::new(out_schema);
+    let groups: Vec<Vec<u64>> = result
+        .keys
+        .iter()
+        .zip(result.rows.iter())
+        .map(|(&key_word, row)| {
+            let mut values = vec![key_ty.value_from_word(key_word)];
+            let mut carried = Vec::new();
+            if cl_idx.is_some() {
+                carried.push(row.left);
+            }
+            if cr_idx.is_some() {
+                carried.push(row.right);
+            }
+            for (word, ty) in carried.into_iter().zip(&carry_tys) {
+                values.push(ty.value_from_word(word));
+            }
+            let encoded = out_schema
+                .encode_row(&values)
+                .expect("output schema encodes its own rows");
+            pack_words(&encoded, out_words)
+        })
+        .collect();
+    Ok(stage_out(tracer, out_schema, out_words, &groups))
+}
+
+/// The data source of a [`WidePipeline`]: a single table, or the wide
+/// equi-join of two tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WideSource {
+    /// Scan one wide table.
+    Scan(WideTable),
+    /// Join two wide tables on named key columns, carrying at most one
+    /// named payload column per side.
+    Join {
+        /// Left input.
+        left: WideTable,
+        /// Right input.
+        right: WideTable,
+        /// Left key column name.
+        left_key: String,
+        /// Right key column name.
+        right_key: String,
+        /// Payload column carried from the left side, if any.
+        carry_left: Option<String>,
+        /// Payload column carried from the right side, if any.
+        carry_right: Option<String>,
+    },
+}
+
+/// One pipeline stage applied to the current wide intermediate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WideStage {
+    /// Oblivious selection on a named column.
+    Filter(WidePredicate),
+    /// Oblivious grouped aggregation.
+    Aggregate {
+        /// The aggregate function.
+        aggregate: Aggregate,
+        /// The aggregated column (`None` for `count`).
+        column: Option<String>,
+        /// Explicit group column; defaults to the pipeline's natural key
+        /// (the join key column, when the source is a wide join).
+        by: Option<String>,
+    },
+}
+
+/// A validated linear pipeline over wide tables: one [`WideSource`]
+/// followed by filter/aggregate stages, mirroring the text frontend's
+/// `JOIN … ON … | FILTER … | AGG …` form.
+///
+/// [`output_schema`](WidePipeline::output_schema) statically type-checks
+/// the whole pipeline against the source schemas, so every schema error
+/// surfaces before any oblivious work happens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidePipeline {
+    /// The data source.
+    pub source: WideSource,
+    /// The stages, applied in order.
+    pub stages: Vec<WideStage>,
+}
+
+impl WidePipeline {
+    /// Statically validate the pipeline, returning its output schema.
+    pub fn output_schema(&self) -> Result<Schema, WideError> {
+        let (mut schema, mut natural_key) = self.source_schema()?;
+        for stage in &self.stages {
+            match stage {
+                WideStage::Filter(pred) => pred.validate(&schema)?,
+                WideStage::Aggregate {
+                    aggregate,
+                    column,
+                    by,
+                } => {
+                    let key = by
+                        .as_deref()
+                        .or(natural_key.as_deref())
+                        .ok_or(WideError::MissingGroupColumn)?;
+                    let (_, _, _, out) =
+                        aggregate_plan(&schema, key, *aggregate, column.as_deref())?;
+                    natural_key = Some(out.columns()[0].name().to_string());
+                    schema = out;
+                }
+            }
+        }
+        Ok(schema)
+    }
+
+    /// Source validation: the source's output schema and natural group key.
+    fn source_schema(&self) -> Result<(Schema, Option<String>), WideError> {
+        match &self.source {
+            WideSource::Scan(table) => {
+                row_words_checked(table.schema())?;
+                Ok((table.schema().clone(), None))
+            }
+            WideSource::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                carry_left,
+                carry_right,
+            } => {
+                row_words_checked(left.schema())?;
+                row_words_checked(right.schema())?;
+                let (_, _, _, _, out) = join_plan(
+                    left.schema(),
+                    right.schema(),
+                    left_key,
+                    right_key,
+                    carry_left.as_deref(),
+                    carry_right.as_deref(),
+                )?;
+                Ok((out, Some(left_key.clone())))
+            }
+        }
+    }
+
+    /// Execute the pipeline obliviously, tracing every public-memory access
+    /// through `tracer`.  Validation runs first, so a schema error surfaces
+    /// before any traced work.
+    pub fn execute<S: TraceSink>(&self, tracer: &Tracer<S>) -> Result<WideTable, WideError> {
+        self.output_schema()?;
+        let (mut table, mut natural_key) = match &self.source {
+            WideSource::Scan(t) => (t.clone(), None),
+            WideSource::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                carry_left,
+                carry_right,
+            } => (
+                wide_join(
+                    tracer,
+                    left,
+                    right,
+                    left_key,
+                    right_key,
+                    carry_left.as_deref(),
+                    carry_right.as_deref(),
+                )?,
+                Some(left_key.clone()),
+            ),
+        };
+        for stage in &self.stages {
+            match stage {
+                WideStage::Filter(pred) => table = wide_filter(tracer, &table, pred)?,
+                WideStage::Aggregate {
+                    aggregate,
+                    column,
+                    by,
+                } => {
+                    let key = by
+                        .as_deref()
+                        .or(natural_key.as_deref())
+                        .ok_or(WideError::MissingGroupColumn)?
+                        .to_string();
+                    table =
+                        wide_group_aggregate(tracer, &table, &key, *aggregate, column.as_deref())?;
+                    natural_key = Some(table.schema().columns()[0].name().to_string());
+                }
+            }
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_trace::{CollectingSink, HashingSink, NullSink};
+
+    fn orders() -> WideTable {
+        let schema = Schema::new([
+            ("o_key", ColumnType::U64),
+            ("price", ColumnType::U64),
+            ("priority", ColumnType::I64),
+            ("region", ColumnType::Bytes(4)),
+        ])
+        .unwrap();
+        WideTable::from_rows(
+            schema,
+            [
+                vec![
+                    Value::U64(1),
+                    Value::U64(120),
+                    Value::I64(-1),
+                    Value::Bytes(b"east".to_vec()),
+                ],
+                vec![
+                    Value::U64(1),
+                    Value::U64(40),
+                    Value::I64(2),
+                    Value::Bytes(b"west".to_vec()),
+                ],
+                vec![
+                    Value::U64(2),
+                    Value::U64(250),
+                    Value::I64(0),
+                    Value::Bytes(b"east".to_vec()),
+                ],
+                vec![
+                    Value::U64(3),
+                    Value::U64(99),
+                    Value::I64(-5),
+                    Value::Bytes(b"west".to_vec()),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn lineitem() -> WideTable {
+        let schema = Schema::new([
+            ("o_key", ColumnType::U64),
+            ("qty", ColumnType::U64),
+            ("tax", ColumnType::I64),
+        ])
+        .unwrap();
+        WideTable::from_rows(
+            schema,
+            [
+                vec![Value::U64(1), Value::U64(5), Value::I64(1)],
+                vec![Value::U64(1), Value::U64(7), Value::I64(-1)],
+                vec![Value::U64(2), Value::U64(3), Value::I64(0)],
+                vec![Value::U64(9), Value::U64(8), Value::I64(4)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_selects_by_named_column() {
+        let tracer = Tracer::new(NullSink);
+        let out = wide_filter(
+            &tracer,
+            &orders(),
+            &WidePredicate::at_least("price", Value::U64(100)),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.value(0, "price").unwrap(), Value::U64(120));
+        assert_eq!(out.value(1, "o_key").unwrap(), Value::U64(2));
+        // The full rows survive, not just the filtered column.
+        assert_eq!(
+            out.value(0, "region").unwrap(),
+            Value::Bytes(b"east".to_vec())
+        );
+        assert_eq!(out.schema(), orders().schema());
+    }
+
+    #[test]
+    fn filter_respects_signed_and_bytes_order() {
+        let tracer = Tracer::new(NullSink);
+        // priority < 0 keeps the two negative-priority rows.
+        let neg = wide_filter(
+            &tracer,
+            &orders(),
+            &WidePredicate::below("priority", Value::I64(0)),
+        )
+        .unwrap();
+        assert_eq!(neg.len(), 2);
+        assert_eq!(neg.value(1, "priority").unwrap(), Value::I64(-5));
+        // Bytes equality.
+        let east = wide_filter(
+            &tracer,
+            &orders(),
+            &WidePredicate::equals("region", Value::Bytes(b"east".to_vec())),
+        )
+        .unwrap();
+        assert_eq!(east.len(), 2);
+        // Coercion: a non-negative integer constant against an i64 column.
+        let coerced = wide_filter(
+            &tracer,
+            &orders(),
+            &WidePredicate::at_least("priority", Value::U64(0)),
+        )
+        .unwrap();
+        assert_eq!(coerced.len(), 2);
+    }
+
+    #[test]
+    fn filter_typed_errors() {
+        let tracer = Tracer::new(NullSink);
+        let unknown = wide_filter(
+            &tracer,
+            &orders(),
+            &WidePredicate::at_least("ghost", Value::U64(1)),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            unknown,
+            WideError::Schema(SchemaError::UnknownColumn { .. })
+        ));
+        let mismatch = wide_filter(
+            &tracer,
+            &orders(),
+            &WidePredicate::at_least("region", Value::U64(10)),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            mismatch,
+            WideError::Schema(SchemaError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn group_aggregate_by_named_columns() {
+        let tracer = Tracer::new(NullSink);
+        let sums = wide_group_aggregate(&tracer, &lineitem(), "o_key", Aggregate::Sum, Some("qty"))
+            .unwrap();
+        assert_eq!(sums.schema().column_names(), vec!["o_key", "sum_qty"]);
+        assert_eq!(sums.len(), 3);
+        assert_eq!(sums.value(0, "sum_qty").unwrap(), Value::U64(12));
+        assert_eq!(sums.value(1, "sum_qty").unwrap(), Value::U64(3));
+
+        // min over a signed column decodes back to i64.
+        let mins = wide_group_aggregate(&tracer, &lineitem(), "o_key", Aggregate::Min, Some("tax"))
+            .unwrap();
+        assert_eq!(mins.value(0, "min_tax").unwrap(), Value::I64(-1));
+
+        let counts =
+            wide_group_aggregate(&tracer, &orders(), "region", Aggregate::Count, None).unwrap();
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts.value(0, "count").unwrap(), Value::U64(2));
+        assert_eq!(
+            counts.value(0, "region").unwrap(),
+            Value::Bytes(b"east".to_vec())
+        );
+    }
+
+    #[test]
+    fn aggregate_typed_errors() {
+        let tracer = Tracer::new(NullSink);
+        let non_numeric =
+            wide_group_aggregate(&tracer, &orders(), "o_key", Aggregate::Sum, Some("region"))
+                .unwrap_err();
+        assert_eq!(
+            non_numeric,
+            WideError::NotAggregatable {
+                column: "region".into(),
+                ty: ColumnType::Bytes(4),
+                aggregate: Aggregate::Sum
+            }
+        );
+        let signed_sum = wide_group_aggregate(
+            &tracer,
+            &orders(),
+            "o_key",
+            Aggregate::Sum,
+            Some("priority"),
+        )
+        .unwrap_err();
+        assert!(matches!(signed_sum, WideError::NotAggregatable { .. }));
+        let missing =
+            wide_group_aggregate(&tracer, &orders(), "o_key", Aggregate::Sum, None).unwrap_err();
+        assert_eq!(
+            missing,
+            WideError::MissingAggregateColumn {
+                aggregate: Aggregate::Sum
+            }
+        );
+    }
+
+    #[test]
+    fn join_carries_named_payloads() {
+        let tracer = Tracer::new(NullSink);
+        let out = wide_join(
+            &tracer,
+            &orders(),
+            &lineitem(),
+            "o_key",
+            "o_key",
+            Some("price"),
+            Some("qty"),
+        )
+        .unwrap();
+        assert_eq!(out.schema().column_names(), vec!["o_key", "price", "qty"]);
+        // Keys 1 (2×2 pairs) and 2 (1×1) match: m = 5.
+        assert_eq!(out.len(), 5);
+        let mut pairs: Vec<(u64, u64, u64)> = (0..out.len())
+            .map(|i| {
+                match (
+                    out.value(i, "o_key").unwrap(),
+                    out.value(i, "price").unwrap(),
+                    out.value(i, "qty").unwrap(),
+                ) {
+                    (Value::U64(k), Value::U64(p), Value::U64(q)) => (k, p, q),
+                    other => panic!("unexpected types {other:?}"),
+                }
+            })
+            .collect();
+        pairs.sort_unstable();
+        assert_eq!(
+            pairs,
+            vec![
+                (1, 40, 5),
+                (1, 40, 7),
+                (1, 120, 5),
+                (1, 120, 7),
+                (2, 250, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn join_key_type_mismatch_is_typed() {
+        let tracer = Tracer::new(NullSink);
+        let err = wide_join(
+            &tracer,
+            &orders(),
+            &lineitem(),
+            "priority",
+            "o_key",
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            WideError::JoinKeyTypeMismatch {
+                left: "priority".into(),
+                left_ty: ColumnType::I64,
+                right: "o_key".into(),
+                right_ty: ColumnType::U64
+            }
+        );
+    }
+
+    #[test]
+    fn pipeline_join_filter_aggregate_end_to_end() {
+        // JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)
+        let pipeline = WidePipeline {
+            source: WideSource::Join {
+                left: orders(),
+                right: lineitem(),
+                left_key: "o_key".into(),
+                right_key: "o_key".into(),
+                carry_left: Some("price".into()),
+                carry_right: Some("qty".into()),
+            },
+            stages: vec![
+                WideStage::Filter(WidePredicate::at_least("price", Value::U64(100))),
+                WideStage::Aggregate {
+                    aggregate: Aggregate::Sum,
+                    column: Some("qty".into()),
+                    by: None,
+                },
+            ],
+        };
+        let out_schema = pipeline.output_schema().unwrap();
+        assert_eq!(out_schema.column_names(), vec!["o_key", "sum_qty"]);
+        let tracer = Tracer::new(NullSink);
+        let out = pipeline.execute(&tracer).unwrap();
+        // Key 1 keeps the price-120 pairs (qty 5 + 7 = 12); key 2 keeps
+        // price 250 × qty 3.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.value(0, "sum_qty").unwrap(), Value::U64(12));
+        assert_eq!(out.value(1, "sum_qty").unwrap(), Value::U64(3));
+    }
+
+    #[test]
+    fn pipeline_scan_requires_explicit_group_column() {
+        let pipeline = WidePipeline {
+            source: WideSource::Scan(orders()),
+            stages: vec![WideStage::Aggregate {
+                aggregate: Aggregate::Count,
+                column: None,
+                by: None,
+            }],
+        };
+        assert_eq!(
+            pipeline.output_schema().unwrap_err(),
+            WideError::MissingGroupColumn
+        );
+        let with_by = WidePipeline {
+            source: WideSource::Scan(orders()),
+            stages: vec![WideStage::Aggregate {
+                aggregate: Aggregate::Count,
+                column: None,
+                by: Some("region".into()),
+            }],
+        };
+        let tracer = Tracer::new(NullSink);
+        assert_eq!(with_by.execute(&tracer).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wide_trace_depends_only_on_public_shape() {
+        // Same schema, same row count, different contents → identical
+        // traces (not just digests).
+        let schema = || {
+            Schema::new([
+                ("k", ColumnType::U64),
+                ("a", ColumnType::U64),
+                ("b", ColumnType::I64),
+            ])
+            .unwrap()
+        };
+        let run = |rows: Vec<Vec<Value>>| {
+            let t = WideTable::from_rows(schema(), rows).unwrap();
+            let tracer = Tracer::new(CollectingSink::new());
+            let _ = wide_filter(&tracer, &t, &WidePredicate::at_least("a", Value::U64(50)));
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+        // Both inputs keep exactly two rows, so even the revealed output
+        // size coincides.
+        let a = run(vec![
+            vec![Value::U64(1), Value::U64(60), Value::I64(-4)],
+            vec![Value::U64(2), Value::U64(10), Value::I64(4)],
+            vec![Value::U64(3), Value::U64(70), Value::I64(0)],
+        ]);
+        let b = run(vec![
+            vec![Value::U64(9), Value::U64(55), Value::I64(12)],
+            vec![Value::U64(8), Value::U64(51), Value::I64(-2)],
+            vec![Value::U64(7), Value::U64(49), Value::I64(3)],
+        ]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wider_schemas_change_the_digest_but_not_per_content() {
+        let narrow = || Schema::new([("k", ColumnType::U64), ("v", ColumnType::U64)]).unwrap();
+        let wide = || {
+            Schema::new([
+                ("k", ColumnType::U64),
+                ("v", ColumnType::U64),
+                ("pad", ColumnType::Bytes(16)),
+            ])
+            .unwrap()
+        };
+        let digest = |t: &WideTable| {
+            let tracer = Tracer::new(HashingSink::new());
+            let _ = wide_filter(&tracer, t, &WidePredicate::at_least("v", Value::U64(0)));
+            tracer.with_sink(|s| s.digest_hex())
+        };
+        let narrow_t = WideTable::from_rows(
+            narrow(),
+            [
+                vec![Value::U64(1), Value::U64(2)],
+                vec![Value::U64(3), Value::U64(4)],
+            ],
+        )
+        .unwrap();
+        let wide_t = WideTable::from_rows(
+            wide(),
+            [
+                vec![Value::U64(1), Value::U64(2), Value::Bytes(vec![0; 16])],
+                vec![Value::U64(3), Value::U64(4), Value::Bytes(vec![9; 16])],
+            ],
+        )
+        .unwrap();
+        assert_ne!(digest(&narrow_t), digest(&wide_t), "row width is traced");
+    }
+
+    #[test]
+    fn too_wide_rows_are_rejected() {
+        let schema =
+            Schema::new([("k", ColumnType::U64), ("blob", ColumnType::Bytes(200))]).unwrap();
+        let t = WideTable::new(schema);
+        let tracer = Tracer::new(NullSink);
+        let err =
+            wide_filter(&tracer, &t, &WidePredicate::at_least("k", Value::U64(0))).unwrap_err();
+        assert!(matches!(err, WideError::RowTooWide { .. }));
+    }
+
+    #[test]
+    fn empty_tables_flow_through() {
+        let tracer = Tracer::new(NullSink);
+        let empty = WideTable::new(orders().schema().clone());
+        let filtered = wide_filter(
+            &tracer,
+            &empty,
+            &WidePredicate::at_least("price", Value::U64(0)),
+        )
+        .unwrap();
+        assert!(filtered.is_empty());
+        let joined = wide_join(
+            &tracer,
+            &empty,
+            &lineitem(),
+            "o_key",
+            "o_key",
+            None,
+            Some("qty"),
+        )
+        .unwrap();
+        assert!(joined.is_empty());
+        assert_eq!(joined.schema().column_names(), vec!["o_key", "qty"]);
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`oblivious_expand`] — Algorithm 4 (§5.3),
 //! * [`compact`] — oblivious compaction, the mirror image of distribution,
 //! * [`prp`] — the small-domain pseudorandom permutation used by the
-//!   probabilistic distribution.
+//!   probabilistic distribution,
+//! * [`encode`] — order-preserving codes mapping typed column values
+//!   (signed integers, booleans, short byte strings) into the `u64` word
+//!   domain the comparators operate on.
 //!
 //! Every primitive operates on buffers allocated from an
 //! [`obliv_trace::Tracer`], so its memory-access sequence can be logged,
@@ -41,6 +44,7 @@
 pub mod compact;
 pub mod ct;
 pub mod distribute;
+pub mod encode;
 pub mod expand;
 pub mod prp;
 mod routable;
@@ -49,6 +53,10 @@ pub mod sort;
 pub use compact::{oblivious_compact, sort_compact_by_key, Compaction};
 pub use ct::{ct_max_u64, ct_min_u64, ct_swap, Choice, CtSelect};
 pub use distribute::{oblivious_distribute, probabilistic_distribute};
+pub use encode::{
+    ct_lt_words, decode_bool, decode_bytes_be, decode_i64, decode_u64, encode_bool,
+    encode_bytes_be, encode_i64, encode_u64, MAX_BYTES_WORD,
+};
 pub use expand::{oblivious_expand, Expansion};
 pub use prp::Prp;
 pub use routable::{Keyed, Routable};

@@ -267,7 +267,7 @@ impl From<core::ops::RangeInclusive<usize>> for SizeRange {
 pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,

@@ -132,6 +132,19 @@ impl SampleRange for core::ops::RangeInclusive<u64> {
     }
 }
 
+impl SampleRange for core::ops::RangeInclusive<i64> {
+    type Output = i64;
+    fn sample(self, rng: &mut StdRng) -> i64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        // Shift into the unsigned domain (order-preserving bias), sample
+        // there, shift back.
+        let bias = |v: i64| (v as u64) ^ (1u64 << 63);
+        let word = (bias(lo)..=bias(hi)).sample(rng);
+        (word ^ (1u64 << 63)) as i64
+    }
+}
+
 impl SampleRange for core::ops::Range<usize> {
     type Output = usize;
     fn sample(self, rng: &mut StdRng) -> usize {
@@ -200,7 +213,18 @@ mod tests {
             assert!(x < 3);
             let f = rng.gen_range(f64::EPSILON..1.0);
             assert!((f64::EPSILON..1.0).contains(&f));
+            let s = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&s));
         }
+    }
+
+    #[test]
+    fn signed_ranges_hit_both_signs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let draws: Vec<i64> = (0..200).map(|_| rng.gen_range(-3i64..=3)).collect();
+        assert!(draws.iter().any(|&v| v < 0));
+        assert!(draws.iter().any(|&v| v > 0));
+        assert_eq!(rng.gen_range(4i64..=4), 4, "degenerate range");
     }
 
     #[test]

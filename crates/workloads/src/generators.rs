@@ -1,5 +1,6 @@
 //! Table-pair generators with controlled group structure.
 
+use obliv_join::schema::{ColumnType, Schema, Value, WideTable};
 use obliv_join::Table;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -142,6 +143,93 @@ pub fn orders_lineitem(scale: usize, seed: u64) -> WorkloadSpec {
     WorkloadSpec::new(format!("orders_lineitem(scale={scale})"), orders, lineitems)
 }
 
+/// A generated wide workload: two multi-column tables plus the exact output
+/// size of their join on the `o_key` column.
+#[derive(Debug, Clone)]
+pub struct WideWorkloadSpec {
+    /// Human-readable generator name and parameters.
+    pub name: String,
+    /// The orders table:
+    /// `{o_key: u64, price: u64, priority: i64, urgent: bool, region: bytes[4]}`.
+    pub orders: WideTable,
+    /// The line-item table:
+    /// `{o_key: u64, qty: u64, tax: i64, part: bytes[8]}`.
+    pub lineitem: WideTable,
+    /// Exact output size of `orders ⋈ lineitem ON o_key`.
+    pub output_size: u64,
+}
+
+/// The wide (TPC-H-flavoured) `orders ⋈ lineitem` synthetic: `scale` orders
+/// with typed payload columns, each with 1–7 line items.
+///
+/// This is the multi-column counterpart of [`orders_lineitem`], exercising
+/// every supported column type: unsigned and signed integers, booleans and
+/// fixed-width byte strings.
+pub fn wide_orders_lineitem(scale: usize, seed: u64) -> WideWorkloadSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let regions: [&[u8; 4]; 4] = [b"east", b"west", b"nrth", b"sth "];
+
+    let orders_schema = Schema::new([
+        ("o_key", ColumnType::U64),
+        ("price", ColumnType::U64),
+        ("priority", ColumnType::I64),
+        ("urgent", ColumnType::Bool),
+        ("region", ColumnType::Bytes(4)),
+    ])
+    .expect("static schema is valid");
+    let orders = WideTable::from_rows(
+        orders_schema,
+        (0..scale as u64).map(|o| {
+            vec![
+                Value::U64(o),
+                Value::U64(rng.gen_range(10..1000u64)),
+                Value::I64(rng.gen_range(-5..=5i64)),
+                Value::Bool(rng.gen::<u32>() % 4 == 0),
+                Value::Bytes(regions[rng.gen_range(0..regions.len())].to_vec()),
+            ]
+        }),
+    )
+    .expect("generated rows conform to the schema");
+
+    let lineitem_schema = Schema::new([
+        ("o_key", ColumnType::U64),
+        ("qty", ColumnType::U64),
+        ("tax", ColumnType::I64),
+        ("part", ColumnType::Bytes(8)),
+    ])
+    .expect("static schema is valid");
+    let mut rows = Vec::new();
+    for order in 0..scale as u64 {
+        for item in 0..rng.gen_range(1..=7u64) {
+            // Exactly 8 bytes, matching the fixed-width `part` column.
+            let part = format!("pt{:03}-{:02}", order % 1000, item);
+            rows.push(vec![
+                Value::U64(order),
+                Value::U64(rng.gen_range(1..50u64)),
+                Value::I64(rng.gen_range(-3..=9i64)),
+                Value::Bytes(part.into_bytes()),
+            ]);
+        }
+    }
+    let lineitem =
+        WideTable::from_rows(lineitem_schema, rows).expect("generated rows conform to the schema");
+
+    let output_size = orders
+        .project_pair("o_key", "price")
+        .expect("o_key/price are word-encodable")
+        .join_output_size(
+            &lineitem
+                .project_pair("o_key", "qty")
+                .expect("o_key/qty are word-encodable"),
+        );
+    WideWorkloadSpec {
+        name: format!("wide_orders_lineitem(scale={scale})"),
+        orders,
+        lineitem,
+        output_size,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +272,31 @@ mod tests {
     #[should_panic(expected = "exponent")]
     fn power_law_rejects_small_exponent() {
         let _ = power_law(10, 10, 1.0, 0);
+    }
+
+    #[test]
+    fn wide_workload_is_deterministic_and_typed() {
+        let a = wide_orders_lineitem(16, 3);
+        let b = wide_orders_lineitem(16, 3);
+        assert_eq!(a.orders, b.orders);
+        assert_eq!(a.lineitem, b.lineitem);
+        assert_eq!(a.orders.len(), 16);
+        assert!(a.lineitem.len() >= 16, "every order has at least one item");
+        assert_eq!(
+            a.output_size as usize,
+            a.lineitem.len(),
+            "o_key is a primary key of orders, so m = |lineitem|"
+        );
+        assert_eq!(
+            a.orders.schema().column_names(),
+            vec!["o_key", "price", "priority", "urgent", "region"]
+        );
+        match a.lineitem.value(0, "part").unwrap() {
+            Value::Bytes(b) => assert_eq!(b.len(), 8),
+            other => panic!("part should be bytes, got {other:?}"),
+        }
+        let c = wide_orders_lineitem(16, 4);
+        assert_ne!(a.orders, c.orders, "seed changes contents");
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub mod generators;
 pub mod suite;
 
 pub use generators::{
-    balanced_unique_keys, orders_lineitem, pk_fk, power_law, single_group, WorkloadSpec,
+    balanced_unique_keys, orders_lineitem, pk_fk, power_law, single_group, wide_orders_lineitem,
+    WideWorkloadSpec, WorkloadSpec,
 };
 pub use suite::{correctness_suite, trace_classes, TraceClass};

@@ -18,8 +18,10 @@
 //! ```
 //!
 //! The crate also hosts the workspace's runnable examples (`examples/`) and
-//! cross-crate integration tests (`tests/`); see README.md for the map of
-//! experiments to binaries.
+//! cross-crate integration tests (`tests/`).  The repository's top-level
+//! `README.md` maps the layout, and `ARCHITECTURE.md` walks the crate
+//! stack, the life of a query through the engine, and where the
+//! obliviousness guarantees live.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,15 +42,17 @@ pub mod prelude {
     pub use obliv_enclave_sim::{EnclaveSimulator, EpcConfig};
     pub use obliv_engine::{
         parse_query, CacheStats, Catalog, Engine, EngineConfig, EngineError, NamedPlan,
-        QueryRequest, QueryResponse, QuerySummary, Session, SessionStats, TableMeta,
+        QueryRequest, QueryResponse, QuerySummary, Session, SessionStats, TableMeta, WideNamed,
     };
     pub use obliv_join::{
-        oblivious_join, oblivious_join_with_tracer, JoinResult, JoinRow, Phase, Table,
+        oblivious_join, oblivious_join_with_tracer, ColumnType, JoinResult, JoinRow, Phase, Schema,
+        SchemaError, Table, Value, WideTable,
     };
     pub use obliv_operators::{
         oblivious_anti_join, oblivious_distinct, oblivious_filter, oblivious_group_aggregate,
         oblivious_join_aggregate, oblivious_project, oblivious_semi_join, oblivious_union_all,
-        Aggregate, JoinAggregate, JoinColumns, Predicate, QueryPlan,
+        wide_filter, wide_group_aggregate, wide_join, Aggregate, JoinAggregate, JoinColumns,
+        Predicate, QueryPlan, WideError, WidePipeline, WidePredicate, WideStage,
     };
     pub use obliv_primitives::{
         oblivious_compact, oblivious_distribute, oblivious_expand, Keyed, Routable,
@@ -58,7 +62,7 @@ pub mod prelude {
     };
     pub use obliv_workloads::{
         balanced_unique_keys, correctness_suite, orders_lineitem, pk_fk, power_law, single_group,
-        trace_classes,
+        trace_classes, wide_orders_lineitem,
     };
 }
 

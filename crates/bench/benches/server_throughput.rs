@@ -1,0 +1,137 @@
+//! Server throughput: queries/second through the whole network stack —
+//! client framing → TCP or loopback → connection handler → cross-connection
+//! batcher → `Engine::execute_batch` → response framing — measured against
+//! the in-process `engine_throughput` numbers to price the front door.
+//!
+//! Rows:
+//!
+//! * `loopback/cold` — in-memory transport, result cache off: every
+//!   iteration pays parse + resolve + oblivious execution + wire codec.
+//! * `loopback/warm_cache` — cache primed: the measured path is framing,
+//!   batching and cache fan-out only, i.e. the protocol overhead floor.
+//! * `tcp/warm_cache` — the same warm path over real loopback TCP
+//!   sockets, adding the kernel's socket stack.
+//! * `tcp/clients/N` — N concurrent warm-path TCP clients round-robin
+//!   their requests; cross-connection batching and the shared result
+//!   cache serve them together.
+//!
+//! Each iteration answers one 8-query batch per client (the same mixed
+//! query classes as `engine_throughput`'s wide rows); throughput is in
+//! queries per second.
+
+use std::sync::Arc;
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use obliv_engine::{Engine, EngineConfig};
+use obliv_server::{Client, Server, ServerConfig};
+use obliv_workloads::wide_orders_lineitem;
+
+/// The per-client batch: mixed wide query classes, all cacheable.
+const BATCH_QUERIES: [&str; 8] = [
+    "JOIN orders lineitem ON o_key | FILTER price>=500 | AGG sum(qty)",
+    "SCAN orders | FILTER price>=500 | AGG sum(price) BY region",
+    "JOIN orders lineitem ON o_key | AGG count",
+    "SCAN lineitem | FILTER qty>=25 | AGG max(qty) BY o_key",
+    "SCAN orders | FILTER urgent=true | AGG count BY region",
+    "JOIN orders lineitem ON o_key | FILTER qty>=10 | AGG sum(qty)",
+    "SCAN orders | FILTER region=\"east\" | AGG count BY o_key",
+    "SCAN lineitem | AGG sum(qty) BY o_key",
+];
+
+fn engine(result_cache: bool) -> Arc<Engine> {
+    let workload = wide_orders_lineitem(64, 8);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        result_cache,
+    }));
+    engine
+        .register_wide_table("orders", workload.orders)
+        .unwrap();
+    engine
+        .register_wide_table("lineitem", workload.lineitem)
+        .unwrap();
+    engine
+}
+
+fn run_batch(client: &mut Client) {
+    for query in BATCH_QUERIES {
+        client.query(query).unwrap();
+    }
+}
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BATCH_QUERIES.len() as u64));
+
+    // Cold path over the in-memory transport: full oblivious execution
+    // plus the wire protocol.
+    {
+        let server = Server::without_listener(engine(false), ServerConfig::default());
+        let mut client = Client::over(server.connect_loopback().unwrap(), "bench");
+        group.bench_function(BenchmarkId::new("loopback", "cold"), |b| {
+            b.iter(|| run_batch(&mut client))
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // Warm path over the in-memory transport: the protocol overhead floor.
+    {
+        let server = Server::without_listener(engine(true), ServerConfig::default());
+        let mut client = Client::over(server.connect_loopback().unwrap(), "bench");
+        run_batch(&mut client); // prime the cache
+        group.bench_function(BenchmarkId::new("loopback", "warm_cache"), |b| {
+            b.iter(|| run_batch(&mut client))
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // Warm path over real TCP sockets.
+    {
+        let server = Server::bind("127.0.0.1:0", engine(true), ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = Client::connect(addr, "bench").unwrap();
+        run_batch(&mut client);
+        group.bench_function(BenchmarkId::new("tcp", "warm_cache"), |b| {
+            b.iter(|| run_batch(&mut client))
+        });
+        drop(client);
+        server.shutdown();
+    }
+
+    // Concurrent warm-path TCP clients sharing the batcher and cache.
+    for clients in [2usize, 4] {
+        let server = Server::bind("127.0.0.1:0", engine(true), ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        {
+            let mut primer = Client::connect(addr, "primer").unwrap();
+            run_batch(&mut primer);
+        }
+        group.throughput(Throughput::Elements((BATCH_QUERIES.len() * clients) as u64));
+        group.bench_function(BenchmarkId::new("tcp/clients", clients), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|i| {
+                        thread::spawn(move || {
+                            let mut client = Client::connect(addr, format!("bench-{i}")).unwrap();
+                            run_batch(&mut client);
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    handle.join().unwrap();
+                }
+            })
+        });
+        group.throughput(Throughput::Elements(BATCH_QUERIES.len() as u64));
+        server.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -36,13 +36,18 @@
 //! wstage  := FILTER col>=const | FILTER col<const | FILTER col=const
 //!          | AGG count [BY col]
 //!          | AGG agg(col) [BY col]      -- agg: count | sum | min | max
-//! const   := integer | -integer | true | false
+//! const   := integer | -integer | true | false | "ascii bytes"
 //! ```
 //!
 //! Comparisons follow the column type's natural order (signed for `i64`,
 //! lexicographic for `bytes[≤8]`); constants are typed against the column at
-//! validation time.  Without `BY`, aggregations downstream of a wide join
-//! group by the join key.
+//! validation time.  A double-quoted constant is a bytes literal (printable
+//! ASCII, no escapes) for equality and range filters on `bytes[n]` columns
+//! — `FILTER region="east"` — and is length-checked against the column's
+//! declared width when the plan is validated against the schema.  Inside
+//! the quotes everything printable is literal content, including spaces,
+//! comparison characters and the `|` clause separator.  Without
+//! `BY`, aggregations downstream of a wide join group by the join key.
 //!
 //! Examples:
 //!
@@ -77,7 +82,7 @@ pub fn parse_query(text: &str) -> Result<NamedPlan, EngineError> {
         message,
     };
 
-    let clauses: Vec<&str> = text.split('|').map(str::trim).collect();
+    let clauses = split_clauses(text);
     let (&source, stages) = clauses
         .split_first()
         .expect("split yields at least one clause");
@@ -105,6 +110,29 @@ pub fn parse_query(text: &str) -> Result<NamedPlan, EngineError> {
     Ok(plan)
 }
 
+/// Split a query into its `|`-separated pipeline clauses, treating a `|`
+/// inside a double-quoted bytes literal as literal content — so
+/// `FILTER tag="a|b"` is one clause.  A query with an unterminated quote
+/// keeps everything after it in one clause; the bytes-literal parser then
+/// reports the missing closing quote with its proper message.
+fn split_clauses(text: &str) -> Vec<&str> {
+    let mut clauses = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '|' if !in_quotes => {
+                clauses.push(text[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    clauses.push(text[start..].trim());
+    clauses
+}
+
 /// Decide the dialect from purely syntactic markers (parsing stays
 /// catalog-independent): an `ON` join, a parenthesised or `BY`-qualified
 /// aggregate, or a filter predicate outside the legacy forms.
@@ -122,11 +150,15 @@ fn is_wide_query(source: &str, stages: &[&str]) -> bool {
         match words.next().map(|w| w.to_ascii_uppercase()).as_deref() {
             Some("AGG") => clause.contains('(') || has_word(clause, "BY"),
             Some("FILTER") => {
-                // A wide marker only if the predicate is *not* a legacy
-                // form but *is* a well-formed column predicate — otherwise
+                // A quote means a bytes literal, which only the wide
+                // dialect has — wide even when malformed, so its error
+                // messages (unclosed quote, non-ASCII, …) reach the user.
+                // Otherwise a wide marker only if the predicate is *not* a
+                // legacy form but *is* a well-formed column predicate — so
                 // the legacy parser's error messages stay authoritative.
                 let rest = words.collect::<Vec<&str>>().join(" ");
-                parse_predicate(&rest).is_err() && parse_wide_predicate(&rest).is_ok()
+                rest.contains('"')
+                    || (parse_predicate(&rest).is_err() && parse_wide_predicate(&rest).is_ok())
             }
             _ => false,
         }
@@ -183,7 +215,15 @@ fn parse_wide_stage(plan: WideNamed, clause: &str) -> Result<WideNamed, String> 
         .to_ascii_uppercase();
     let words: Vec<&str> = words.collect();
     match keyword.as_str() {
-        "FILTER" => Ok(plan.stage(WideStage::Filter(parse_wide_predicate(&words.join(" "))?))),
+        // The predicate is the *raw* clause remainder, not the joined
+        // words: whitespace runs inside a quoted bytes literal are content.
+        "FILTER" => {
+            let rest = clause
+                .split_once(char::is_whitespace)
+                .map(|(_, r)| r)
+                .unwrap_or("");
+            Ok(plan.stage(WideStage::Filter(parse_wide_predicate(rest)?)))
+        }
         "AGG" => {
             let (spec, by) = match words.iter().position(|w| w.eq_ignore_ascii_case("BY")) {
                 Some(pos) => {
@@ -253,17 +293,23 @@ fn parse_wide_aggregate(word: &str) -> Result<(Aggregate, Option<String>), Strin
 /// Parse a wide filter predicate: `col>=const`, `col<const` or `col=const`.
 ///
 /// Whitespace is allowed around the operator only — `price >= 100` parses,
-/// `price >= 1 0` is rejected rather than silently compacted.
+/// `price >= 1 0` is rejected rather than silently compacted.  Inside a
+/// quoted bytes literal every printable ASCII character (including spaces
+/// and comparison characters) is literal: `tag="a=b"` filters on the three
+/// bytes `a=b`.
 fn parse_wide_predicate(text: &str) -> Result<WidePredicate, String> {
     let trimmed = text.trim();
     if trimmed.is_empty() {
         return Err("FILTER needs a predicate (col>=N, col<N or col=N)".into());
     }
-    let (idx, op_len, cmp) = if let Some(i) = trimmed.find(">=") {
+    // The comparison operator is searched for left of any quote, so quoted
+    // literal contents can never be mistaken for an operator.
+    let head = &trimmed[..trimmed.find('"').unwrap_or(trimmed.len())];
+    let (idx, op_len, cmp) = if let Some(i) = head.find(">=") {
         (i, 2, WideCmp::AtLeast)
-    } else if let Some(i) = trimmed.find('<') {
+    } else if let Some(i) = head.find('<') {
         (i, 1, WideCmp::Below)
-    } else if let Some(i) = trimmed.find('=') {
+    } else if let Some(i) = head.find('=') {
         (i, 1, WideCmp::Equals)
     } else {
         return Err(format!(
@@ -280,12 +326,18 @@ fn parse_wide_predicate(text: &str) -> Result<WidePredicate, String> {
         ));
     }
     let constant_text = trimmed[idx + op_len..].trim();
-    if constant_text.contains(char::is_whitespace) {
-        return Err(format!(
-            "malformed predicate `{text}`: `{constant_text}` is not one constant"
-        ));
-    }
-    let constant = parse_wide_constant(constant_text)?;
+    let constant = if constant_text.starts_with('"') {
+        // Quoted bytes literal: spaces are literal content, so the
+        // one-token check below does not apply.
+        parse_bytes_literal(constant_text)?
+    } else {
+        if constant_text.contains(char::is_whitespace) {
+            return Err(format!(
+                "malformed predicate `{text}`: `{constant_text}` is not one constant"
+            ));
+        }
+        parse_wide_constant(constant_text)?
+    };
     Ok(WidePredicate {
         column: column.to_string(),
         cmp,
@@ -293,7 +345,34 @@ fn parse_wide_predicate(text: &str) -> Result<WidePredicate, String> {
     })
 }
 
-/// A typed filter constant: integer, negative integer, or boolean.
+/// A double-quoted bytes literal for `bytes[n]` columns: printable ASCII
+/// (space through `~`), no escape sequences, no embedded quotes.  The
+/// literal's *length* is checked against the column's declared width when
+/// the plan is validated against the schema — a `bytes[4]` column only
+/// accepts 4-byte literals.
+fn parse_bytes_literal(text: &str) -> Result<Value, String> {
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| format!("bytes literal `{text}` is missing its closing quote"))?;
+    if inner.is_empty() {
+        return Err("empty bytes literal `\"\"` (bytes columns have width >= 1)".into());
+    }
+    if inner.contains('"') {
+        return Err(format!(
+            "bytes literal `{text}` contains an embedded quote (escapes are not supported)"
+        ));
+    }
+    if !inner.bytes().all(|b| (0x20..0x7f).contains(&b)) {
+        return Err(format!(
+            "bytes literal `{text}` must be printable ASCII (space through `~`)"
+        ));
+    }
+    Ok(Value::Bytes(inner.as_bytes().to_vec()))
+}
+
+/// A typed filter constant: integer, negative integer, boolean, or a
+/// double-quoted bytes literal.
 fn parse_wide_constant(text: &str) -> Result<Value, String> {
     if text.eq_ignore_ascii_case("true") {
         return Ok(Value::Bool(true));
@@ -301,15 +380,17 @@ fn parse_wide_constant(text: &str) -> Result<Value, String> {
     if text.eq_ignore_ascii_case("false") {
         return Ok(Value::Bool(false));
     }
+    if text.starts_with('"') {
+        return parse_bytes_literal(text);
+    }
     if text.starts_with('-') {
-        return text
-            .parse::<i64>()
-            .map(Value::I64)
-            .map_err(|_| format!("`{text}` is not a constant (integer, true or false)"));
+        return text.parse::<i64>().map(Value::I64).map_err(|_| {
+            format!("`{text}` is not a constant (integer, true, false or \"bytes\")")
+        });
     }
     text.parse::<u64>()
         .map(Value::U64)
-        .map_err(|_| format!("`{text}` is not a constant (integer, true or false)"))
+        .map_err(|_| format!("`{text}` is not a constant (integer, true, false or \"bytes\")"))
 }
 
 fn parse_source(clause: &str) -> Result<NamedPlan, String> {
@@ -691,6 +772,71 @@ mod tests {
                     })
             )
         );
+    }
+
+    #[test]
+    fn bytes_literals_parse_as_wide_filters() {
+        // A quoted literal alone marks the pipeline as wide.
+        let plan = parse_query("SCAN t | FILTER region=\"east\"").unwrap();
+        assert_eq!(
+            plan,
+            NamedPlan::Wide(WideNamed::scan("t").stage(WideStage::Filter(WidePredicate {
+                column: "region".into(),
+                cmp: WideCmp::Equals,
+                constant: Value::Bytes(b"east".to_vec()),
+            })))
+        );
+        // Range comparisons use the bytes' lexicographic order, spaces are
+        // allowed around the operator and inside the quotes, and operator
+        // characters inside the quotes are literal content.
+        let plan = parse_query("JOIN a b ON k | FILTER part >= \"pt a=1\"").unwrap();
+        assert_eq!(
+            plan,
+            NamedPlan::Wide(WideNamed::join("a", "b", "k", "k").stage(WideStage::Filter(
+                WidePredicate {
+                    column: "part".into(),
+                    cmp: WideCmp::AtLeast,
+                    constant: Value::Bytes(b"pt a=1".to_vec()),
+                }
+            )))
+        );
+        // Even the clause separator is literal inside the quotes.
+        let plan = parse_query("SCAN t | FILTER tag=\"a|b\" | AGG count BY tag").unwrap();
+        assert_eq!(
+            plan,
+            NamedPlan::Wide(
+                WideNamed::scan("t")
+                    .stage(WideStage::Filter(WidePredicate {
+                        column: "tag".into(),
+                        cmp: WideCmp::Equals,
+                        constant: Value::Bytes(b"a|b".to_vec()),
+                    }))
+                    .stage(WideStage::Aggregate {
+                        aggregate: Aggregate::Count,
+                        column: None,
+                        by: Some("tag".into()),
+                    })
+            )
+        );
+    }
+
+    #[test]
+    fn bytes_literal_errors_name_the_problem() {
+        let cases = [
+            ("SCAN t | FILTER tag=\"abc", "missing its closing quote"),
+            ("SCAN t | FILTER tag=\"\"", "empty bytes literal"),
+            ("SCAN t | FILTER tag=\"a\"b\"", "embedded quote"),
+            ("SCAN t | FILTER tag=\"caf\u{e9}\"", "printable ASCII"),
+        ];
+        for (query, needle) in cases {
+            match parse_query(query) {
+                Err(EngineError::Parse { message, .. }) => assert!(
+                    message.contains(needle),
+                    "query `{query}`: message `{message}` should contain `{needle}`"
+                ),
+                other => panic!("query `{query}` should fail to parse, got {other:?}"),
+            }
+        }
     }
 
     #[test]

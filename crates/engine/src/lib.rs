@@ -61,6 +61,7 @@ pub mod catalog;
 pub mod error;
 pub mod executor;
 pub mod frontend;
+pub(crate) mod pool;
 pub mod query;
 pub mod session;
 

@@ -1,0 +1,248 @@
+//! The engine's resident worker pool.
+//!
+//! Earlier engine versions spawned a fresh `thread::scope` of workers for
+//! every batch.  That was fine when every batch cost ~100 ms of oblivious
+//! execution, but once the result cache made warm batches µs-scale, the
+//! per-batch thread spawn became the dominant cost of any batch containing
+//! even one miss.  The pool here is *resident*: `workers` threads are
+//! spawned once when the [`Engine`](crate::Engine) is constructed, pull
+//! jobs from a shared injector queue for the engine's whole lifetime, and
+//! shut down gracefully (drain, then join) when the engine is dropped.
+//!
+//! Concurrent batches share the same workers: each submitted job carries
+//! its own reply channel, so two callers inside `execute_batch` at the same
+//! time interleave their jobs on the pool without observing each other's
+//! results.  Per-query obliviousness is untouched — a job builds its own
+//! [`Tracer`](obliv_trace::Tracer) exactly as the scoped workers did, so
+//! which thread runs a query (and when) can never change its trace.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// What one job produced: its output, or the panic payload its task
+/// unwound with (the submitter re-raises it via `resume_unwind`, so the
+/// original panic message survives the thread hop).
+pub(crate) type JobOutput<T> = std::thread::Result<T>;
+
+/// A unit of pool work: run `task`, send its output to `reply` tagged with
+/// `slot`.  The reply receiver may already be gone (a caller that panicked
+/// between submit and collect); the send error is ignored because nobody is
+/// left to care about the result.
+pub(crate) struct Job<T: Send + 'static> {
+    /// Caller-chosen tag returned with the output (the executor uses the
+    /// distinct-plan slot index).
+    pub slot: usize,
+    /// The work itself, executed on a worker thread.
+    pub task: Box<dyn FnOnce() -> T + Send + 'static>,
+    /// Where the tagged output goes.
+    pub reply: mpsc::Sender<(usize, JobOutput<T>)>,
+}
+
+/// A fixed-size pool of long-lived worker threads fed by one injector
+/// queue.
+///
+/// The queue is an `mpsc` channel whose receiver is shared behind a mutex:
+/// every worker pulls the next job as soon as it finishes the last, which
+/// gives work-stealing behaviour without per-worker deques.  The mutex is
+/// held only while *pulling* a job, never while running one.
+pub(crate) struct WorkerPool<T: Send + 'static> {
+    /// The submit side of the queue.  `None` only during shutdown: dropping
+    /// the sender is what tells idle workers to exit.
+    injector: Mutex<Option<mpsc::Sender<Job<T>>>>,
+    /// Worker handles, joined on drop.
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn a pool of `workers` resident threads (zero is allowed and
+    /// spawns nothing — useful for a serial engine that never submits).
+    pub(crate) fn new(workers: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<Job<T>>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("obliv-engine-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only while pulling a job.
+                        let job = rx.lock().expect("pool queue lock poisoned").recv();
+                        match job {
+                            Ok(Job { slot, task, reply }) => {
+                                // A panicking task must not kill a resident
+                                // worker (the pool would silently shrink for
+                                // the engine's lifetime).  Contain it and
+                                // ship the payload back: the submitter
+                                // re-raises it with the original message.
+                                let output =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                                let _ = reply.send((slot, output));
+                            }
+                            // Channel closed: the pool is shutting down.
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawning an engine worker thread failed")
+            })
+            .collect();
+        WorkerPool {
+            injector: Mutex::new(Some(tx)),
+            workers,
+        }
+    }
+
+    /// Number of resident worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a batch of jobs and a reply sender; outputs arrive on the
+    /// corresponding receiver in completion order, tagged with each job's
+    /// slot.  The caller typically drops its own clone of the reply sender
+    /// and then `iter().take(n)`s the receiver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called during/after shutdown (the engine drops the pool
+    /// only when the engine itself is dropped, so a live `&Engine` can
+    /// always submit).
+    pub(crate) fn submit(
+        &self,
+        jobs: impl IntoIterator<Item = (usize, Box<dyn FnOnce() -> T + Send + 'static>)>,
+        reply: &mpsc::Sender<(usize, JobOutput<T>)>,
+    ) {
+        let injector = self.injector.lock().expect("pool injector lock poisoned");
+        let tx = injector.as_ref().expect("worker pool is shut down");
+        for (slot, task) in jobs {
+            tx.send(Job {
+                slot,
+                task,
+                reply: reply.clone(),
+            })
+            .expect("resident workers outlive the injector");
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    /// Graceful shutdown: close the injector (workers finish whatever is
+    /// queued, then see the closed channel and exit), then join every
+    /// worker so no thread outlives the engine.
+    fn drop(&mut self) {
+        self.injector
+            .lock()
+            .expect("pool injector lock poisoned")
+            .take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_jobs_and_tags_slots() {
+        let pool: WorkerPool<u64> = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(
+            (0..8usize).map(|i| {
+                let task: Box<dyn FnOnce() -> u64 + Send> = Box::new(move || (i as u64) * 10);
+                (i, task)
+            }),
+            &tx,
+        );
+        drop(tx);
+        let mut out: Vec<(usize, u64)> = rx.iter().map(|(s, r)| (s, r.unwrap())).collect();
+        out.sort_unstable();
+        assert_eq!(
+            out,
+            (0..8usize)
+                .map(|i| (i, (i as u64) * 10))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn pool_serves_many_batches_without_respawning() {
+        let pool: WorkerPool<usize> = WorkerPool::new(2);
+        for round in 0..50 {
+            let (tx, rx) = mpsc::channel();
+            pool.submit(
+                (0..4usize).map(|i| {
+                    let task: Box<dyn FnOnce() -> usize + Send> = Box::new(move || i + round);
+                    (i, task)
+                }),
+                &tx,
+            );
+            drop(tx);
+            assert_eq!(rx.iter().count(), 4);
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_constructs_and_drops() {
+        let pool: WorkerPool<()> = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        drop(pool);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool: WorkerPool<u8> = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(
+            [
+                (
+                    0usize,
+                    Box::new(|| -> u8 { panic!("job bug") }) as Box<dyn FnOnce() -> u8 + Send>,
+                ),
+                (1usize, Box::new(|| 5u8) as Box<dyn FnOnce() -> u8 + Send>),
+            ],
+            &tx,
+        );
+        drop(tx);
+        // The panicked job ships its payload back; the same worker still
+        // runs the next job in the queue.
+        let out: Vec<(usize, JobOutput<u8>)> = rx.iter().collect();
+        assert_eq!(out.len(), 2);
+        let payload = out[0].1.as_ref().unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"job bug"));
+        assert_eq!(out[1].0, 1);
+        assert_eq!(*out[1].1.as_ref().unwrap(), 5);
+        // And the pool serves later batches.
+        let (tx2, rx2) = mpsc::channel();
+        pool.submit(
+            std::iter::once((2usize, Box::new(|| 9u8) as Box<dyn FnOnce() -> u8 + Send>)),
+            &tx2,
+        );
+        drop(tx2);
+        let out: Vec<(usize, u8)> = rx2.iter().map(|(s, r)| (s, r.unwrap())).collect();
+        assert_eq!(out, vec![(2, 9)]);
+    }
+
+    #[test]
+    fn dropped_reply_receiver_does_not_kill_workers() {
+        let pool: WorkerPool<u8> = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        drop(rx); // Caller gave up before the job ran.
+        pool.submit(
+            std::iter::once((0usize, Box::new(|| 7u8) as Box<dyn FnOnce() -> u8 + Send>)),
+            &tx,
+        );
+        drop(tx);
+        // The worker must survive the failed send and serve the next batch.
+        let (tx2, rx2) = mpsc::channel();
+        pool.submit(
+            std::iter::once((1usize, Box::new(|| 9u8) as Box<dyn FnOnce() -> u8 + Send>)),
+            &tx2,
+        );
+        drop(tx2);
+        let out: Vec<(usize, u8)> = rx2.iter().map(|(s, r)| (s, r.unwrap())).collect();
+        assert_eq!(out, vec![(1, 9)]);
+    }
+}

@@ -510,13 +510,22 @@ impl NamedPlan {
 }
 
 /// One query submitted to the engine.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct QueryRequest {
     /// Caller-chosen tag, echoed back on the response (e.g. a tenant or
     /// query identifier; the engine does not interpret it).
     pub label: String,
-    /// The plan to execute.
-    pub plan: NamedPlan,
+    /// The plan to execute.  Private so it cannot be mutated after
+    /// [`canonical`](QueryRequest::canonical) is memoised — a stale memo
+    /// would key the result cache under the wrong plan.  Read it with
+    /// [`plan`](QueryRequest::plan); to change it, build a new request.
+    plan: NamedPlan,
+    /// Memoised [`NamedPlan::canonical`] rendering, computed on first use.
+    /// The executor reads the canonical form once per request per batch
+    /// (cache key + intra-batch dedup); memoising it here means a
+    /// re-submitted request — the warm-cache serving path, and the server's
+    /// batcher — renders its plan exactly once, ever.
+    canonical: std::sync::OnceLock<String>,
 }
 
 impl QueryRequest {
@@ -525,16 +534,39 @@ impl QueryRequest {
         QueryRequest {
             label: label.into(),
             plan,
+            canonical: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The plan this request executes.
+    pub fn plan(&self) -> &NamedPlan {
+        &self.plan
+    }
+
+    /// Consume the request, yielding its plan.
+    pub fn into_plan(self) -> NamedPlan {
+        self.plan
+    }
+
+    /// The plan's canonical textual key (see [`NamedPlan::canonical`]),
+    /// rendered on first call and memoised for every later one.  The memo
+    /// cannot go stale: the plan is immutable for the request's lifetime.
+    pub fn canonical(&self) -> &str {
+        self.canonical.get_or_init(|| self.plan.canonical())
+    }
+}
+
+/// Equality ignores the memo state: two requests are equal iff their label
+/// and plan are.
+impl PartialEq for QueryRequest {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label && self.plan == other.plan
     }
 }
 
 impl From<NamedPlan> for QueryRequest {
     fn from(plan: NamedPlan) -> Self {
-        QueryRequest {
-            label: String::new(),
-            plan,
-        }
+        QueryRequest::new(String::new(), plan)
     }
 }
 
@@ -808,6 +840,22 @@ mod tests {
             NamedPlan::Wide(WideNamed::scan("t")).referenced_tables(),
             vec!["t"]
         );
+    }
+
+    #[test]
+    fn request_canonical_is_memoised_and_stable() {
+        let req = QueryRequest::new("a", NamedPlan::scan("orders"));
+        assert_eq!(req.canonical(), req.plan().canonical());
+        let first = req.canonical().as_ptr();
+        assert_eq!(
+            req.canonical().as_ptr(),
+            first,
+            "later calls reuse the memo"
+        );
+        // Clones and equality are memo-independent.
+        let fresh = QueryRequest::new("a", NamedPlan::scan("orders"));
+        assert_eq!(fresh, req);
+        assert_eq!(req.clone(), fresh);
     }
 
     #[test]

@@ -81,12 +81,35 @@ impl<'engine> Session<'engine> {
         &self.tenant
     }
 
+    /// Label a plan as this session's next request *without* queueing it:
+    /// the label is `tenant/qN`, where `N` counts every request this
+    /// session has ever issued.  Callers that execute requests out of band
+    /// — the network server batches requests from many sessions into one
+    /// engine batch — use `issue` + [`record`](Session::record) in place of
+    /// [`queue`](Session::queue) + [`run`](Session::run).
+    pub fn issue(&mut self, plan: NamedPlan) -> QueryRequest {
+        let label = format!("{}/q{}", self.tenant, self.issued);
+        self.issued += 1;
+        QueryRequest::new(label, plan)
+    }
+
+    /// Fold one response into the session's running totals.  Used by
+    /// [`run`](Session::run) for every response it receives, and by
+    /// out-of-band executors (the network server) for responses to requests
+    /// this session [`issue`](Session::issue)d.
+    pub fn record(&mut self, response: &QueryResponse) {
+        self.stats.queries += 1;
+        self.stats.trace_events += response.summary.trace_events;
+        self.stats.output_rows += response.summary.output_rows as u64;
+        self.stats.comparisons += response.summary.counters.comparisons;
+        self.stats.cache_hits += u64::from(response.cached);
+    }
+
     /// Queue a built plan.  The response label is `tenant/qN`, where `N`
     /// counts every request this session has ever issued.
     pub fn queue(&mut self, plan: NamedPlan) -> &mut Self {
-        let label = format!("{}/q{}", self.tenant, self.issued);
-        self.issued += 1;
-        self.pending.push(QueryRequest::new(label, plan));
+        let request = self.issue(plan);
+        self.pending.push(request);
         self
     }
 
@@ -123,11 +146,7 @@ impl<'engine> Session<'engine> {
             }
         };
         for r in &responses {
-            self.stats.queries += 1;
-            self.stats.trace_events += r.summary.trace_events;
-            self.stats.output_rows += r.summary.output_rows as u64;
-            self.stats.comparisons += r.summary.counters.comparisons;
-            self.stats.cache_hits += u64::from(r.cached);
+            self.record(r);
         }
         Ok(responses)
     }
@@ -242,6 +261,29 @@ mod tests {
         session.queue_text("SCAN orders | AGG sum").unwrap();
         session.run().unwrap();
         assert_eq!(session.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn issue_and_record_mirror_queue_and_run() {
+        let engine = engine();
+        let mut session = engine.session("acme");
+        // Out-of-band execution: label through the session, execute through
+        // the engine directly, account through `record`.
+        let request = session.issue(parse_query("SCAN orders | AGG sum").unwrap());
+        assert_eq!(request.label, "acme/q0");
+        let responses = engine
+            .execute_batch(std::slice::from_ref(&request))
+            .unwrap();
+        session.record(&responses[0]);
+        let stats = session.stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.trace_events, responses[0].summary.trace_events);
+        // Labels continue after an out-of-band issue, and queue/run totals
+        // fold into the same stats.
+        session.queue_text("SCAN orders").unwrap();
+        let responses = session.run().unwrap();
+        assert_eq!(responses[0].label, "acme/q1");
+        assert_eq!(session.stats().queries, 2);
     }
 
     #[test]

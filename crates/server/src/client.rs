@@ -1,0 +1,177 @@
+//! A blocking client for the wire protocol.
+//!
+//! One [`Client`] wraps one connection (TCP or loopback) and speaks the
+//! strict request/response protocol: every call writes one frame and
+//! blocks for the answering frame.  Concurrency comes from opening more
+//! clients — the server batches concurrent requests across connections
+//! into shared engine batches.
+
+use std::io::{self};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use obliv_engine::{NamedPlan, SessionStats};
+
+use crate::proto::{
+    read_frame, write_frame, DecodeError, FrameError, QueryReply, Request, Response, WireError,
+    MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+};
+use crate::transport::Connection;
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (or the server closed the connection).
+    Io(io::Error),
+    /// The server's bytes did not parse as a protocol response.
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Server(WireError),
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::TooLarge { .. } => ClientError::Protocol(e.to_string()),
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking connection to an oblivious query server.
+///
+/// ```no_run
+/// use obliv_server::Client;
+///
+/// let mut client = Client::connect("127.0.0.1:7787", "tenant-a").unwrap();
+/// let reply = client.query("SCAN orders | AGG count").unwrap();
+/// println!("digest = {}, cached = {}", reply.summary.trace_digest, reply.cached);
+/// ```
+pub struct Client {
+    conn: Box<dyn Connection>,
+    token: String,
+}
+
+impl Client {
+    /// Connect over TCP; `token` names the tenant this connection's
+    /// server-side session accounts to.
+    pub fn connect(addr: impl ToSocketAddrs, token: impl Into<String>) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client::over(stream, token))
+    }
+
+    /// Wrap an already-connected transport (e.g. one end of
+    /// [`loopback`](crate::transport::loopback) attached to a server via
+    /// [`Server::connect_loopback`](crate::Server::connect_loopback)).
+    pub fn over(conn: impl Connection + 'static, token: impl Into<String>) -> Client {
+        Client {
+            conn: Box::new(conn),
+            token: token.into(),
+        }
+    }
+
+    /// The tenant token this client presents.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+
+    /// Run a text query (parsed server-side by the engine's frontend).
+    pub fn query(&mut self, query: impl Into<String>) -> Result<QueryReply, ClientError> {
+        let request = Request::QueryText {
+            token: self.token.clone(),
+            query: query.into(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Reply(reply) => Ok(reply),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Run an already-built plan (shipped in the protocol's binary plan
+    /// encoding; no text round-trip).
+    pub fn query_plan(&mut self, plan: &NamedPlan) -> Result<QueryReply, ClientError> {
+        let request = Request::QueryPlan {
+            token: self.token.clone(),
+            plan: plan.clone(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Reply(reply) => Ok(reply),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the cumulative [`SessionStats`] of this connection's
+    /// server-side session.
+    pub fn stats(&mut self) -> Result<SessionStats, ClientError> {
+        match self.roundtrip(&Request::Stats {
+            token: self.token.clone(),
+        })? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        // Oversized input (a query string or plan that cannot fit the
+        // request frame) is the caller's error, reported through the
+        // Result — never a panic.
+        let body = request
+            .encode()
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if body.len() > MAX_REQUEST_FRAME {
+            return Err(ClientError::Protocol(format!(
+                "request of {} bytes exceeds the {MAX_REQUEST_FRAME}-byte frame bound",
+                body.len()
+            )));
+        }
+        write_frame(&mut self.conn, &body, MAX_REQUEST_FRAME)?;
+        let body = read_frame(&mut self.conn, MAX_RESPONSE_FRAME)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        match Response::decode(&body)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            response => Ok(response),
+        }
+    }
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("token", &self.token)
+            .finish()
+    }
+}
+
+fn unexpected(response: Response) -> ClientError {
+    ClientError::Protocol(format!(
+        "unexpected response variant for this request: {response:?}"
+    ))
+}

@@ -1,0 +1,1301 @@
+//! The wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Serving systems in this space treat the request *shapes* on the wire as
+//! part of the public leakage surface, so the protocol is deliberately
+//! rigid: every message is one length-prefixed frame, every frame length is
+//! bounded, and every field is either public by the engine's definition
+//! (plans, table names, row counts, digests) or the protected row payload
+//! the engine already revealed by answering.  Nothing is compressed and no
+//! field is optional, so a frame's size is a function of the same public
+//! parameters the trace digest covers.
+//!
+//! ## Framing
+//!
+//! ```text
+//! frame  := len:u32be body
+//! ```
+//!
+//! `len` counts the body bytes only.  Request frames are bounded by
+//! [`MAX_REQUEST_FRAME`] and response frames by [`MAX_RESPONSE_FRAME`]
+//! (both enforced on read *before* the body is buffered); an oversized
+//! frame is answered with a typed [`ErrorKind::FrameTooLarge`] frame and
+//! the connection is closed, because framing cannot be resynchronised with
+//! a peer whose declared length cannot be trusted.
+//!
+//! ## Requests (`version:u8 opcode:u8 …`)
+//!
+//! ```text
+//! 0x01 QUERY_TEXT  token:str16 query:str16
+//! 0x02 QUERY_PLAN  token:str16 plan
+//! 0x03 STATS       token:str16
+//! ```
+//!
+//! `str16` is `len:u16be` UTF-8 bytes.  `plan` is the recursive
+//! [`NamedPlan`] encoding (one tag byte per node; see the `plan` codec in
+//! this module), depth-limited on decode so a hostile frame cannot recurse
+//! the decoder to death.  The `token` names the tenant; the first token on
+//! a connection binds its engine session.
+//!
+//! ## Responses (`version:u8 status:u8 …`)
+//!
+//! ```text
+//! 0x00 OK_PAIR   label:str16 cached:u8 summary rows:u32be (key:u64be value:u64be)*
+//! 0x01 OK_WIDE   label:str16 cached:u8 summary schema rows:u32be rowbytes*
+//! 0x02 OK_STATS  queries:u64be trace_events:u64be output_rows:u64be
+//!                comparisons:u64be cache_hits:u64be
+//! 0x03 ERROR     kind:u8 message:str16
+//! ```
+//!
+//! `summary` is the full [`QuerySummary`]: digest (`str16`, 64 hex chars),
+//! trace events, the four operation counters, output rows and wall-clock
+//! nanoseconds.  `schema` is `ncols:u16be (name:str16 type)*` with `type`
+//! one of `0` (`u64`), `1` (`i64`), `2` (`bool`), `3 width:u16be`
+//! (`bytes[width]`); wide rows are the table's fixed-width encoded bytes,
+//! `rows × row_width` of them.  Error messages are truncated to
+//! [`MAX_ERROR_MESSAGE`] bytes so an error frame's size is bounded by
+//! construction.
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use obliv_engine::{
+    NamedPlan, QueryResponse, QuerySummary, SessionStats, WideNamed, WideNamedSource,
+};
+use obliv_join::schema::{ColumnType, Schema, Value, WideTable};
+use obliv_operators::{
+    Aggregate, JoinAggregate, JoinColumns, Predicate, WideCmp, WidePredicate, WideStage,
+};
+use obliv_trace::OpCounters;
+
+/// The one protocol version this build speaks.  A request frame with any
+/// other version byte is answered with
+/// [`ErrorKind::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a request frame's body, in bytes.  Requests are plans
+/// and tokens — kilobytes at most — so the bound is tight to cap what an
+/// unauthenticated peer can make the server buffer.
+pub const MAX_REQUEST_FRAME: usize = 64 * 1024;
+
+/// Upper bound on a response frame's body, in bytes (responses carry
+/// result rows, so the bound is generous).
+pub const MAX_RESPONSE_FRAME: usize = 16 * 1024 * 1024;
+
+/// Error messages are truncated to this many bytes before framing, so
+/// every error frame has a small, bounded size.
+pub const MAX_ERROR_MESSAGE: usize = 300;
+
+/// Maximum plan-tree depth the decoder will follow.
+const MAX_PLAN_DEPTH: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// One client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a text query (parsed by the engine's frontend).
+    QueryText {
+        /// Tenant/auth token; binds the connection's session on first use.
+        token: String,
+        /// The pipeline query text.
+        query: String,
+    },
+    /// Run an already-built [`NamedPlan`].
+    QueryPlan {
+        /// Tenant/auth token.
+        token: String,
+        /// The plan to execute.
+        plan: NamedPlan,
+    },
+    /// Fetch the connection session's cumulative [`SessionStats`].
+    Stats {
+        /// Tenant/auth token.
+        token: String,
+    },
+}
+
+impl Request {
+    /// The request's auth token.
+    pub fn token(&self) -> &str {
+        match self {
+            Request::QueryText { token, .. }
+            | Request::QueryPlan { token, .. }
+            | Request::Stats { token } => token,
+        }
+    }
+}
+
+/// The result rows of one answered query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyRows {
+    /// A pair-shaped result.
+    Pair(Vec<(u64, u64)>),
+    /// A wide result with its output schema.
+    Wide(WideTable),
+}
+
+/// One answered query: the wire rendering of a
+/// [`QueryResponse`] (identical fields; the result
+/// table travels as raw fixed-width rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// The server-assigned label (`tenant/qN`).
+    pub label: String,
+    /// Served from the engine's result cache (or deduplicated in-batch).
+    pub cached: bool,
+    /// The query's leakage and cost accounting, digest included.
+    pub summary: QuerySummary,
+    /// The result rows.
+    pub rows: ReplyRows,
+}
+
+impl QueryReply {
+    /// Build the wire reply for an engine response.
+    pub fn from_response(response: &QueryResponse) -> QueryReply {
+        QueryReply {
+            label: response.label.clone(),
+            cached: response.cached,
+            summary: response.summary.clone(),
+            rows: match &response.wide {
+                Some(wide) => ReplyRows::Wide(wide.clone()),
+                None => ReplyRows::Pair(
+                    response
+                        .result
+                        .rows()
+                        .iter()
+                        .map(|e| (e.key, e.value))
+                        .collect(),
+                ),
+            },
+        }
+    }
+}
+
+/// Typed error category of an [`Response::Error`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame could not be decoded (bad opcode, truncated body, …).
+    Protocol,
+    /// A frame exceeded its size bound; the connection is closed after
+    /// this error because framing cannot be resynchronised.
+    FrameTooLarge,
+    /// The request's version byte is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion,
+    /// The request's token does not match the token that bound this
+    /// connection's session.
+    AuthMismatch,
+    /// The engine rejected the query (parse error, unknown table, schema
+    /// validation, …); the message carries the engine's rendering.
+    Query,
+    /// The server is shutting down and no longer executes queries.
+    Shutdown,
+    /// The server failed internally while executing the query (a bug, not
+    /// a property of the request); the connection stays usable.
+    Internal,
+}
+
+impl ErrorKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            ErrorKind::Protocol => 0,
+            ErrorKind::FrameTooLarge => 1,
+            ErrorKind::UnsupportedVersion => 2,
+            ErrorKind::AuthMismatch => 3,
+            ErrorKind::Query => 4,
+            ErrorKind::Shutdown => 5,
+            ErrorKind::Internal => 6,
+        }
+    }
+
+    fn from_wire(byte: u8) -> Result<ErrorKind, DecodeError> {
+        Ok(match byte {
+            0 => ErrorKind::Protocol,
+            1 => ErrorKind::FrameTooLarge,
+            2 => ErrorKind::UnsupportedVersion,
+            3 => ErrorKind::AuthMismatch,
+            4 => ErrorKind::Query,
+            5 => ErrorKind::Shutdown,
+            6 => ErrorKind::Internal,
+            other => return Err(DecodeError::new(format!("unknown error kind {other}"))),
+        })
+    }
+}
+
+/// A typed, bounded-size error frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The error category.
+    pub kind: ErrorKind,
+    /// Human-readable detail, truncated to [`MAX_ERROR_MESSAGE`] bytes.
+    pub message: String,
+}
+
+impl WireError {
+    /// An error frame with its message truncated to the protocol bound.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> WireError {
+        let mut message = message.into();
+        if message.len() > MAX_ERROR_MESSAGE {
+            let mut end = MAX_ERROR_MESSAGE;
+            while !message.is_char_boundary(end) {
+                end -= 1;
+            }
+            message.truncate(end);
+        }
+        WireError { kind, message }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// An answered query.
+    Reply(QueryReply),
+    /// The connection session's cumulative stats.
+    Stats(SessionStats),
+    /// A typed error.
+    Error(WireError),
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The declared body length exceeds the applicable bound.  The body
+    /// was *not* read; the stream is no longer in sync.
+    TooLarge {
+        /// The declared body length.
+        declared: usize,
+        /// The enforced bound.
+        max: usize,
+    },
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Write one `len:u32be body` frame.
+///
+/// # Panics
+///
+/// Panics if `body` exceeds `max` — response construction is bounded
+/// before encoding, so an oversized outgoing frame is a server bug, not a
+/// runtime condition.
+pub fn write_frame(w: &mut impl Write, body: &[u8], max: usize) -> io::Result<()> {
+    assert!(body.len() <= max, "outgoing frame exceeds its bound");
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one frame, enforcing the length bound *before* buffering the body.
+/// Returns `Ok(None)` on clean end-of-stream (the peer closed between
+/// frames).
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    // A clean close before any header byte is a normal end of session; a
+    // close mid-header is an error.
+    match r.read(&mut header) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut header[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => r.read_exact(&mut header)?,
+        Err(e) => return Err(e.into()),
+    }
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > max {
+        return Err(FrameError::TooLarge { declared, max });
+    }
+    let mut body = vec![0u8; declared];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive codec
+// ---------------------------------------------------------------------------
+
+/// A body failed to decode; carries a human-readable reason that ends up
+/// in a [`ErrorKind::Protocol`] error frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(String);
+
+impl DecodeError {
+    fn new(message: impl Into<String>) -> DecodeError {
+        DecodeError(message.into())
+    }
+
+    /// The reason the body was rejected.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed frame body: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An append-only body builder.  Field-size violations (a string or
+/// count that does not fit its wire width) are *recorded* rather than
+/// panicked on, and surface as a typed [`ErrorKind::FrameTooLarge`] error
+/// from `encode` — oversized input is a normal runtime condition for the
+/// client library, not a bug.
+struct Writer {
+    buf: Vec<u8>,
+    overflow: Option<String>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer {
+            buf: vec![PROTOCOL_VERSION],
+            overflow: None,
+        }
+    }
+
+    fn overflowed(&mut self, what: &str, len: usize, max: usize) {
+        if self.overflow.is_none() {
+            self.overflow = Some(format!("{what} of {len} exceeds the wire bound of {max}"));
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// `len:u16be` + raw bytes.
+    fn str16(&mut self, s: &str) {
+        if s.len() > u16::MAX as usize {
+            self.overflowed("string field", s.len(), u16::MAX as usize);
+            return;
+        }
+        self.u16(s.len() as u16);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    fn finish(self) -> Result<Vec<u8>, WireError> {
+        match self.overflow {
+            Some(message) => Err(WireError::new(ErrorKind::FrameTooLarge, message)),
+            None => Ok(self.buf),
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::new(format!(
+                "truncated body: wanted {n} more bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str16(&mut self) -> Result<String, DecodeError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::new("string field is not UTF-8"))
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos != self.buf.len() {
+            return Err(DecodeError::new(format!(
+                "{} trailing bytes after the message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Check the leading version byte, separating "not this version" (which
+/// gets its own typed error) from garbage.
+fn check_version(r: &mut Reader<'_>) -> Result<(), DecodeError> {
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        // The caller maps this message prefix onto UnsupportedVersion.
+        return Err(DecodeError::new(format!(
+            "unsupported protocol version {version} (this build speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+/// `true` iff a decode failure is the version check (so the server can
+/// answer with [`ErrorKind::UnsupportedVersion`] instead of
+/// [`ErrorKind::Protocol`]).
+pub fn is_version_error(e: &DecodeError) -> bool {
+    e.0.starts_with("unsupported protocol version")
+}
+
+// ---------------------------------------------------------------------------
+// Plan codec
+// ---------------------------------------------------------------------------
+
+fn put_predicate(w: &mut Writer, p: &Predicate) {
+    match p {
+        Predicate::True => w.u8(0),
+        Predicate::ValueAtLeast(n) => {
+            w.u8(1);
+            w.u64(*n);
+        }
+        Predicate::ValueBelow(n) => {
+            w.u8(2);
+            w.u64(*n);
+        }
+        Predicate::KeyEquals(n) => {
+            w.u8(3);
+            w.u64(*n);
+        }
+        Predicate::KeyInRange(lo, hi) => {
+            w.u8(4);
+            w.u64(*lo);
+            w.u64(*hi);
+        }
+    }
+}
+
+fn get_predicate(r: &mut Reader<'_>) -> Result<Predicate, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Predicate::True,
+        1 => Predicate::ValueAtLeast(r.u64()?),
+        2 => Predicate::ValueBelow(r.u64()?),
+        3 => Predicate::KeyEquals(r.u64()?),
+        4 => Predicate::KeyInRange(r.u64()?, r.u64()?),
+        other => return Err(DecodeError::new(format!("unknown predicate tag {other}"))),
+    })
+}
+
+fn put_join_columns(w: &mut Writer, c: JoinColumns) {
+    w.u8(match c {
+        JoinColumns::KeyAndLeft => 0,
+        JoinColumns::KeyAndRight => 1,
+        JoinColumns::LeftAndRight => 2,
+        JoinColumns::RightAndLeft => 3,
+    });
+}
+
+fn get_join_columns(r: &mut Reader<'_>) -> Result<JoinColumns, DecodeError> {
+    Ok(match r.u8()? {
+        0 => JoinColumns::KeyAndLeft,
+        1 => JoinColumns::KeyAndRight,
+        2 => JoinColumns::LeftAndRight,
+        3 => JoinColumns::RightAndLeft,
+        other => return Err(DecodeError::new(format!("unknown projection tag {other}"))),
+    })
+}
+
+fn put_aggregate(w: &mut Writer, a: Aggregate) {
+    w.u8(match a {
+        Aggregate::Count => 0,
+        Aggregate::Sum => 1,
+        Aggregate::Min => 2,
+        Aggregate::Max => 3,
+    });
+}
+
+fn get_aggregate(r: &mut Reader<'_>) -> Result<Aggregate, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Aggregate::Count,
+        1 => Aggregate::Sum,
+        2 => Aggregate::Min,
+        3 => Aggregate::Max,
+        other => return Err(DecodeError::new(format!("unknown aggregate tag {other}"))),
+    })
+}
+
+fn put_join_aggregate(w: &mut Writer, a: JoinAggregate) {
+    w.u8(match a {
+        JoinAggregate::CountPairs => 0,
+        JoinAggregate::SumLeft => 1,
+        JoinAggregate::SumRight => 2,
+        JoinAggregate::SumProducts => 3,
+    });
+}
+
+fn get_join_aggregate(r: &mut Reader<'_>) -> Result<JoinAggregate, DecodeError> {
+    Ok(match r.u8()? {
+        0 => JoinAggregate::CountPairs,
+        1 => JoinAggregate::SumLeft,
+        2 => JoinAggregate::SumRight,
+        3 => JoinAggregate::SumProducts,
+        other => {
+            return Err(DecodeError::new(format!(
+                "unknown join-aggregate tag {other}"
+            )))
+        }
+    })
+}
+
+fn put_value(w: &mut Writer, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            w.u8(0);
+            w.u64(*n);
+        }
+        Value::I64(n) => {
+            w.u8(1);
+            w.u64(*n as u64);
+        }
+        Value::Bool(b) => {
+            w.u8(2);
+            w.u8(*b as u8);
+        }
+        Value::Bytes(b) => {
+            w.u8(3);
+            if b.len() > u16::MAX as usize {
+                w.overflowed("bytes constant", b.len(), u16::MAX as usize);
+                return;
+            }
+            w.u16(b.len() as u16);
+            w.bytes(b);
+        }
+    }
+}
+
+fn get_value(r: &mut Reader<'_>) -> Result<Value, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Value::U64(r.u64()?),
+        1 => Value::I64(r.u64()? as i64),
+        2 => Value::Bool(match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return Err(DecodeError::new(format!("bad bool byte {other}"))),
+        }),
+        3 => {
+            let len = r.u16()? as usize;
+            Value::Bytes(r.take(len)?.to_vec())
+        }
+        other => return Err(DecodeError::new(format!("unknown value tag {other}"))),
+    })
+}
+
+fn put_wide_stage(w: &mut Writer, s: &WideStage) {
+    match s {
+        WideStage::Filter(p) => {
+            w.u8(0);
+            w.str16(&p.column);
+            w.u8(match p.cmp {
+                WideCmp::AtLeast => 0,
+                WideCmp::Below => 1,
+                WideCmp::Equals => 2,
+            });
+            put_value(w, &p.constant);
+        }
+        WideStage::Aggregate {
+            aggregate,
+            column,
+            by,
+        } => {
+            w.u8(1);
+            put_aggregate(w, *aggregate);
+            for opt in [column, by] {
+                match opt {
+                    Some(name) => {
+                        w.u8(1);
+                        w.str16(name);
+                    }
+                    None => w.u8(0),
+                }
+            }
+        }
+    }
+}
+
+fn get_wide_stage(r: &mut Reader<'_>) -> Result<WideStage, DecodeError> {
+    Ok(match r.u8()? {
+        0 => {
+            let column = r.str16()?;
+            let cmp = match r.u8()? {
+                0 => WideCmp::AtLeast,
+                1 => WideCmp::Below,
+                2 => WideCmp::Equals,
+                other => return Err(DecodeError::new(format!("unknown comparison tag {other}"))),
+            };
+            let constant = get_value(r)?;
+            WideStage::Filter(WidePredicate {
+                column,
+                cmp,
+                constant,
+            })
+        }
+        1 => {
+            let aggregate = get_aggregate(r)?;
+            let mut opts = [None, None];
+            for opt in &mut opts {
+                *opt = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.str16()?),
+                    other => return Err(DecodeError::new(format!("bad option byte {other}"))),
+                };
+            }
+            let [column, by] = opts;
+            WideStage::Aggregate {
+                aggregate,
+                column,
+                by,
+            }
+        }
+        other => return Err(DecodeError::new(format!("unknown wide-stage tag {other}"))),
+    })
+}
+
+fn put_wide(w: &mut Writer, wide: &WideNamed) {
+    match &wide.source {
+        WideNamedSource::Scan(name) => {
+            w.u8(0);
+            w.str16(name);
+        }
+        WideNamedSource::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            w.u8(1);
+            for s in [left, right, left_key, right_key] {
+                w.str16(s);
+            }
+        }
+    }
+    if wide.stages.len() > u16::MAX as usize {
+        w.overflowed("stage count", wide.stages.len(), u16::MAX as usize);
+        return;
+    }
+    w.u16(wide.stages.len() as u16);
+    for stage in &wide.stages {
+        put_wide_stage(w, stage);
+    }
+}
+
+fn get_wide(r: &mut Reader<'_>) -> Result<WideNamed, DecodeError> {
+    let source = match r.u8()? {
+        0 => WideNamedSource::Scan(r.str16()?),
+        1 => WideNamedSource::Join {
+            left: r.str16()?,
+            right: r.str16()?,
+            left_key: r.str16()?,
+            right_key: r.str16()?,
+        },
+        other => return Err(DecodeError::new(format!("unknown wide-source tag {other}"))),
+    };
+    let stages = (0..r.u16()?)
+        .map(|_| get_wide_stage(r))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(WideNamed { source, stages })
+}
+
+fn put_plan(w: &mut Writer, plan: &NamedPlan) {
+    match plan {
+        NamedPlan::Scan(name) => {
+            w.u8(0);
+            w.str16(name);
+        }
+        NamedPlan::Filter { input, predicate } => {
+            w.u8(1);
+            put_predicate(w, predicate);
+            put_plan(w, input);
+        }
+        NamedPlan::SwapColumns { input } => {
+            w.u8(2);
+            put_plan(w, input);
+        }
+        NamedPlan::Distinct { input } => {
+            w.u8(3);
+            put_plan(w, input);
+        }
+        NamedPlan::UnionAll { left, right } => {
+            w.u8(4);
+            put_plan(w, left);
+            put_plan(w, right);
+        }
+        NamedPlan::Join {
+            left,
+            right,
+            columns,
+        } => {
+            w.u8(5);
+            put_join_columns(w, *columns);
+            put_plan(w, left);
+            put_plan(w, right);
+        }
+        NamedPlan::SemiJoin { left, right } => {
+            w.u8(6);
+            put_plan(w, left);
+            put_plan(w, right);
+        }
+        NamedPlan::AntiJoin { left, right } => {
+            w.u8(7);
+            put_plan(w, left);
+            put_plan(w, right);
+        }
+        NamedPlan::GroupAggregate { input, aggregate } => {
+            w.u8(8);
+            put_aggregate(w, *aggregate);
+            put_plan(w, input);
+        }
+        NamedPlan::JoinAggregate {
+            left,
+            right,
+            aggregate,
+        } => {
+            w.u8(9);
+            put_join_aggregate(w, *aggregate);
+            put_plan(w, left);
+            put_plan(w, right);
+        }
+        NamedPlan::Wide(wide) => {
+            w.u8(10);
+            put_wide(w, wide);
+        }
+    }
+}
+
+fn get_plan(r: &mut Reader<'_>, depth: usize) -> Result<NamedPlan, DecodeError> {
+    if depth > MAX_PLAN_DEPTH {
+        return Err(DecodeError::new(format!(
+            "plan nests deeper than {MAX_PLAN_DEPTH} operators"
+        )));
+    }
+    let input = |r: &mut Reader<'_>| get_plan(r, depth + 1).map(Box::new);
+    Ok(match r.u8()? {
+        0 => NamedPlan::Scan(r.str16()?),
+        1 => NamedPlan::Filter {
+            predicate: get_predicate(r)?,
+            input: input(r)?,
+        },
+        2 => NamedPlan::SwapColumns { input: input(r)? },
+        3 => NamedPlan::Distinct { input: input(r)? },
+        4 => NamedPlan::UnionAll {
+            left: input(r)?,
+            right: input(r)?,
+        },
+        5 => NamedPlan::Join {
+            columns: get_join_columns(r)?,
+            left: input(r)?,
+            right: input(r)?,
+        },
+        6 => NamedPlan::SemiJoin {
+            left: input(r)?,
+            right: input(r)?,
+        },
+        7 => NamedPlan::AntiJoin {
+            left: input(r)?,
+            right: input(r)?,
+        },
+        8 => NamedPlan::GroupAggregate {
+            aggregate: get_aggregate(r)?,
+            input: input(r)?,
+        },
+        9 => NamedPlan::JoinAggregate {
+            aggregate: get_join_aggregate(r)?,
+            left: input(r)?,
+            right: input(r)?,
+        },
+        10 => NamedPlan::Wide(get_wide(r)?),
+        other => return Err(DecodeError::new(format!("unknown plan tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Summary / schema / stats codec
+// ---------------------------------------------------------------------------
+
+fn put_summary(w: &mut Writer, s: &QuerySummary) {
+    w.str16(&s.trace_digest);
+    w.u64(s.trace_events);
+    w.u64(s.counters.comparisons);
+    w.u64(s.counters.compare_exchanges);
+    w.u64(s.counters.routing_hops);
+    w.u64(s.counters.linear_steps);
+    w.u64(s.output_rows as u64);
+    w.u64(s.wall.as_nanos().min(u64::MAX as u128) as u64);
+}
+
+fn get_summary(r: &mut Reader<'_>) -> Result<QuerySummary, DecodeError> {
+    Ok(QuerySummary {
+        trace_digest: r.str16()?,
+        trace_events: r.u64()?,
+        counters: OpCounters {
+            comparisons: r.u64()?,
+            compare_exchanges: r.u64()?,
+            routing_hops: r.u64()?,
+            linear_steps: r.u64()?,
+        },
+        output_rows: r.u64()? as usize,
+        wall: Duration::from_nanos(r.u64()?),
+    })
+}
+
+fn put_schema(w: &mut Writer, schema: &Schema) {
+    let names = schema.column_names();
+    if names.len() > u16::MAX as usize {
+        w.overflowed("column count", names.len(), u16::MAX as usize);
+        return;
+    }
+    w.u16(names.len() as u16);
+    for name in names {
+        let (_, col) = schema.column(name).expect("listed columns exist");
+        w.str16(name);
+        match col.ty() {
+            ColumnType::U64 => w.u8(0),
+            ColumnType::I64 => w.u8(1),
+            ColumnType::Bool => w.u8(2),
+            ColumnType::Bytes(n) => {
+                w.u8(3);
+                if n > u16::MAX as usize {
+                    w.overflowed("bytes column width", n, u16::MAX as usize);
+                    return;
+                }
+                w.u16(n as u16);
+            }
+        }
+    }
+}
+
+fn get_schema(r: &mut Reader<'_>) -> Result<Schema, DecodeError> {
+    let ncols = r.u16()?;
+    let mut columns = Vec::with_capacity(ncols as usize);
+    for _ in 0..ncols {
+        let name = r.str16()?;
+        let ty = match r.u8()? {
+            0 => ColumnType::U64,
+            1 => ColumnType::I64,
+            2 => ColumnType::Bool,
+            3 => ColumnType::Bytes(r.u16()? as usize),
+            other => return Err(DecodeError::new(format!("unknown column-type tag {other}"))),
+        };
+        columns.push((name, ty));
+    }
+    Schema::new(columns).map_err(|e| DecodeError::new(format!("invalid schema on the wire: {e}")))
+}
+
+fn put_stats(w: &mut Writer, s: &SessionStats) {
+    w.u64(s.queries);
+    w.u64(s.trace_events);
+    w.u64(s.output_rows);
+    w.u64(s.comparisons);
+    w.u64(s.cache_hits);
+}
+
+fn get_stats(r: &mut Reader<'_>) -> Result<SessionStats, DecodeError> {
+    Ok(SessionStats {
+        queries: r.u64()?,
+        trace_events: r.u64()?,
+        output_rows: r.u64()?,
+        comparisons: r.u64()?,
+        cache_hits: r.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Top-level encode/decode
+// ---------------------------------------------------------------------------
+
+impl Request {
+    /// Encode into a frame body.  Fails with a typed
+    /// [`ErrorKind::FrameTooLarge`] error when a field does not fit its
+    /// wire width (e.g. a query string over 64 KiB).
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = Writer::new();
+        match self {
+            Request::QueryText { token, query } => {
+                w.u8(1);
+                w.str16(token);
+                w.str16(query);
+            }
+            Request::QueryPlan { token, plan } => {
+                w.u8(2);
+                w.str16(token);
+                put_plan(&mut w, plan);
+            }
+            Request::Stats { token } => {
+                w.u8(3);
+                w.str16(token);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode a frame body.
+    pub fn decode(body: &[u8]) -> Result<Request, DecodeError> {
+        let mut r = Reader::new(body);
+        check_version(&mut r)?;
+        let request = match r.u8()? {
+            1 => Request::QueryText {
+                token: r.str16()?,
+                query: r.str16()?,
+            },
+            2 => Request::QueryPlan {
+                token: r.str16()?,
+                plan: get_plan(&mut r, 0)?,
+            },
+            3 => Request::Stats { token: r.str16()? },
+            other => return Err(DecodeError::new(format!("unknown request opcode {other}"))),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encode into a frame body.  Fails with a typed
+    /// [`ErrorKind::FrameTooLarge`] error when a field does not fit its
+    /// wire width; error frames themselves are bounded by construction
+    /// and always encode.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = Writer::new();
+        match self {
+            Response::Reply(reply) => {
+                match &reply.rows {
+                    ReplyRows::Pair(_) => w.u8(0),
+                    ReplyRows::Wide(_) => w.u8(1),
+                }
+                w.str16(&reply.label);
+                w.u8(reply.cached as u8);
+                put_summary(&mut w, &reply.summary);
+                match &reply.rows {
+                    ReplyRows::Pair(rows) => {
+                        w.u32(rows.len() as u32);
+                        for (key, value) in rows {
+                            w.u64(*key);
+                            w.u64(*value);
+                        }
+                    }
+                    ReplyRows::Wide(table) => {
+                        put_schema(&mut w, table.schema());
+                        w.u32(table.len() as u32);
+                        for row in table.rows() {
+                            w.bytes(row);
+                        }
+                    }
+                }
+            }
+            Response::Stats(stats) => {
+                w.u8(2);
+                put_stats(&mut w, stats);
+            }
+            Response::Error(error) => {
+                w.u8(3);
+                w.u8(error.kind.to_wire());
+                w.str16(&error.message);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode a frame body.
+    pub fn decode(body: &[u8]) -> Result<Response, DecodeError> {
+        let mut r = Reader::new(body);
+        check_version(&mut r)?;
+        let status = r.u8()?;
+        let response = match status {
+            0 | 1 => {
+                let label = r.str16()?;
+                let cached = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(DecodeError::new(format!("bad cached byte {other}"))),
+                };
+                let summary = get_summary(&mut r)?;
+                let rows = if status == 0 {
+                    let n = r.u32()? as usize;
+                    let mut rows = Vec::with_capacity(n.min(1 << 20));
+                    for _ in 0..n {
+                        rows.push((r.u64()?, r.u64()?));
+                    }
+                    ReplyRows::Pair(rows)
+                } else {
+                    let schema = get_schema(&mut r)?;
+                    let n = r.u32()? as usize;
+                    let data = r.take(n * schema.row_width())?.to_vec();
+                    ReplyRows::Wide(WideTable::from_encoded(Arc::new(schema), data))
+                };
+                Response::Reply(QueryReply {
+                    label,
+                    cached,
+                    summary,
+                    rows,
+                })
+            }
+            2 => Response::Stats(get_stats(&mut r)?),
+            3 => Response::Error(WireError {
+                kind: ErrorKind::from_wire(r.u8()?)?,
+                message: r.str16()?,
+            }),
+            other => return Err(DecodeError::new(format!("unknown response status {other}"))),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_engine::parse_query;
+
+    fn roundtrip_request(request: Request) {
+        let body = request.encode().unwrap();
+        assert_eq!(Request::decode(&body).unwrap(), request);
+    }
+
+    fn roundtrip_response(response: Response) {
+        let body = response.encode().unwrap();
+        assert_eq!(Response::decode(&body).unwrap(), response);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Stats {
+            token: "acme".into(),
+        });
+        roundtrip_request(Request::QueryText {
+            token: "acme".into(),
+            query: "JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)".into(),
+        });
+        // Every plan node and parameter type crosses the wire intact,
+        // including the wide pipeline with a bytes constant.
+        for text in [
+            "SCAN t | FILTER k in 3..9 | DISTINCT | SWAP | JOIN u key-left | SEMIJOIN v \
+             | ANTIJOIN w | UNION x | JOINAGG y sumleft | AGG max",
+            "JOIN a b left-right | FILTER v>=100",
+            "JOINAGG a b sumproducts",
+            "JOIN orders lineitem ON o_key=l_key | FILTER region=\"east\" | FILTER tax<-2 \
+             | AGG sum(qty) BY o_key",
+            "SCAN t | FILTER urgent=true | AGG count",
+        ] {
+            roundtrip_request(Request::QueryPlan {
+                token: "t0".into(),
+                plan: parse_query(text).unwrap(),
+            });
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let summary = QuerySummary {
+            trace_digest: "ab".repeat(32),
+            trace_events: 12345,
+            counters: OpCounters {
+                comparisons: 1,
+                compare_exchanges: 2,
+                routing_hops: 3,
+                linear_steps: 4,
+            },
+            output_rows: 2,
+            wall: Duration::from_micros(817),
+        };
+        roundtrip_response(Response::Reply(QueryReply {
+            label: "acme/q0".into(),
+            cached: true,
+            summary: summary.clone(),
+            rows: ReplyRows::Pair(vec![(1, 10), (2, 20)]),
+        }));
+        let schema = Schema::new([
+            ("k", ColumnType::U64),
+            ("p", ColumnType::I64),
+            ("u", ColumnType::Bool),
+            ("tag", ColumnType::Bytes(4)),
+        ])
+        .unwrap();
+        let table = WideTable::from_rows(
+            schema,
+            [
+                vec![
+                    Value::U64(1),
+                    Value::I64(-5),
+                    Value::Bool(true),
+                    Value::Bytes(b"east".to_vec()),
+                ],
+                vec![
+                    Value::U64(2),
+                    Value::I64(7),
+                    Value::Bool(false),
+                    Value::Bytes(b"west".to_vec()),
+                ],
+            ],
+        )
+        .unwrap();
+        roundtrip_response(Response::Reply(QueryReply {
+            label: "acme/q1".into(),
+            cached: false,
+            summary,
+            rows: ReplyRows::Wide(table),
+        }));
+        roundtrip_response(Response::Stats(SessionStats {
+            queries: 4,
+            trace_events: 10,
+            output_rows: 6,
+            comparisons: 3,
+            cache_hits: 1,
+        }));
+        roundtrip_response(Response::Error(WireError::new(
+            ErrorKind::Query,
+            "unknown table `ghost`",
+        )));
+    }
+
+    #[test]
+    fn error_messages_are_bounded() {
+        let e = WireError::new(ErrorKind::Protocol, "x".repeat(10_000));
+        assert_eq!(e.message.len(), MAX_ERROR_MESSAGE);
+        let body = Response::Error(e).encode().unwrap();
+        assert!(body.len() < MAX_ERROR_MESSAGE + 16);
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_errors_not_panics() {
+        // Empty, truncated, bad opcode, bad tags, trailing garbage.
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[PROTOCOL_VERSION]).is_err());
+        assert!(Request::decode(&[PROTOCOL_VERSION, 99]).is_err());
+        assert!(Response::decode(&[PROTOCOL_VERSION, 99]).is_err());
+        let mut ok = Request::Stats { token: "t".into() }.encode().unwrap();
+        ok.push(0);
+        let err = Request::decode(&ok).unwrap_err();
+        assert!(err.message().contains("trailing"));
+        // A version mismatch is distinguishable from garbage.
+        let versioned = Request::decode(&[9, 1]).unwrap_err();
+        assert!(is_version_error(&versioned));
+        assert!(!is_version_error(&err));
+    }
+
+    #[test]
+    fn plan_depth_is_bounded_on_decode() {
+        // 1000 nested DISTINCT nodes around a scan: encodes fine, decode
+        // refuses at the depth bound.
+        let mut plan = NamedPlan::scan("t");
+        for _ in 0..1000 {
+            plan = plan.distinct();
+        }
+        let body = Request::QueryPlan {
+            token: "t".into(),
+            plan,
+        }
+        .encode()
+        .unwrap();
+        let err = Request::decode(&body).unwrap_err();
+        assert!(err.message().contains("deeper"));
+    }
+
+    #[test]
+    fn oversized_fields_fail_encode_instead_of_panicking() {
+        let err = Request::QueryText {
+            token: "t".into(),
+            query: "x".repeat(70_000),
+        }
+        .encode()
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::FrameTooLarge);
+        assert!(err.message.contains("string field"));
+
+        let err = Request::QueryPlan {
+            token: "t".into(),
+            plan: NamedPlan::Wide(WideNamed::scan("t").stage(WideStage::Filter(
+                WidePredicate::equals("tag", Value::Bytes(vec![0x41; 70_000])),
+            ))),
+        }
+        .encode()
+        .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::FrameTooLarge);
+        assert!(err.message.contains("bytes constant"));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_enforce_bounds() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", 16).unwrap();
+        let mut cursor = io::Cursor::new(buf.clone());
+        assert_eq!(read_frame(&mut cursor, 16).unwrap().unwrap(), b"hello");
+        // Clean EOF between frames.
+        assert!(read_frame(&mut cursor, 16).unwrap().is_none());
+        // Oversized declared length is rejected before buffering.
+        let mut cursor = io::Cursor::new(buf);
+        match read_frame(&mut cursor, 4) {
+            Err(FrameError::TooLarge {
+                declared: 5,
+                max: 4,
+            }) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+}

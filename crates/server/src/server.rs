@@ -1,0 +1,653 @@
+//! The connection server: accept loop, per-connection sessions, and the
+//! cross-connection request batcher.
+//!
+//! ## Threading model
+//!
+//! ```text
+//! accept thread ──spawns──▶ handler thread (one per connection)
+//!                               │  parse/decode, session accounting
+//!                               ▼
+//!                           batcher thread ──▶ Engine::execute_batch
+//! ```
+//!
+//! Each connection gets a handler thread and an engine
+//! [`Session`] bound to the connection's auth token, so
+//! per-tenant accounting ([`SessionStats`](obliv_engine::SessionStats))
+//! works exactly as it does in-process.  Handlers do **not** execute queries themselves:
+//! they forward `(request, reply-channel)` pairs to a small pool of
+//! *batcher* threads ([`ServerConfig::batch_runners`]); whichever runner
+//! is idle drains everything currently queued — across all connections —
+//! and submits it as a single [`Engine::execute_batch`] call.  Concurrent
+//! clients therefore share one engine batch and get the executor's
+//! intra-batch deduplication and result cache for free: two tenants
+//! asking the same question at the same time cost one oblivious
+//! execution.  With more than one runner, a new batch forms and executes
+//! while a long cold batch is still running, so warm µs-scale requests
+//! are not head-of-line-blocked behind it.
+//!
+//! The engine's own worker pool is resident, so this pipeline adds no
+//! thread spawns per request anywhere: accept → handler (spawned once per
+//! connection) → batchers (spawned once) → engine workers (spawned once).
+//!
+//! ## Backpressure
+//!
+//! At most [`ServerConfig::max_connections`] handler threads exist at a
+//! time.  The accept thread blocks once the limit is reached — further
+//! clients queue in the OS accept backlog and are admitted as slots free
+//! up — so a connection flood cannot spawn unbounded threads or sessions.
+//!
+//! ## Failure containment
+//!
+//! [`Engine::execute_batch`] fails a whole batch up front if *any* request
+//! in it cannot be resolved.  That contract is right for one caller's
+//! batch, but the batcher's batches mix tenants, so on a batch error it
+//! falls back to executing each request alone: the offending request gets
+//! its typed error frame and every innocent peer still gets its answer.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+
+use obliv_engine::{
+    parse_query, Engine, EngineError, NamedPlan, QueryRequest, QueryResponse, Session,
+};
+
+use crate::proto::{
+    is_version_error, read_frame, write_frame, ErrorKind, FrameError, QueryReply, Request,
+    Response, WireError, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+};
+use crate::transport::{loopback, Connection, PipeStream};
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently served connections; further accepts wait in
+    /// the OS backlog until a slot frees up.
+    pub max_connections: usize,
+    /// Maximum requests the batcher folds into one engine batch.
+    pub max_batch: usize,
+    /// Number of batcher threads.  With one, a long cold batch
+    /// head-of-line-blocks requests that arrive mid-execution; with two
+    /// or more, the next batch forms and executes while the previous one
+    /// is still running (per-connection ordering is unaffected: each
+    /// connection has at most one request in flight).
+    pub batch_runners: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            max_batch: 64,
+            batch_runners: 2,
+        }
+    }
+}
+
+/// Why the batcher could not answer one request.
+enum BatchError {
+    /// The engine rejected it (typed submission error).
+    Engine(EngineError),
+    /// Its execution panicked; the panic was contained on the batcher.
+    Execution,
+}
+
+/// One queued query: the labelled request plus the channel its handler is
+/// blocked on.
+struct BatchItem {
+    request: QueryRequest,
+    reply: mpsc::Sender<Result<QueryResponse, BatchError>>,
+}
+
+/// State shared by the accept loop, handlers and the front object.
+struct Inner {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    /// Currently served connections (the backpressure gate).
+    active: Mutex<usize>,
+    slot_freed: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    /// Block until a connection slot is free and claim it.  Returns
+    /// `false` if the server shut down while waiting.
+    fn claim_slot(&self) -> bool {
+        let mut active = self.active.lock().expect("connection gauge poisoned");
+        while *active >= self.config.max_connections {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
+            active = self
+                .slot_freed
+                .wait(active)
+                .expect("connection gauge poisoned");
+        }
+        *active += 1;
+        true
+    }
+
+    fn release_slot(&self) {
+        *self.active.lock().expect("connection gauge poisoned") -= 1;
+        self.slot_freed.notify_all();
+    }
+}
+
+/// Releases the owning connection's slot when dropped — on normal handler
+/// exit *and* on a handler panic, so a crashing connection can never leak
+/// a slot and slowly wedge the accept gate.
+struct SlotGuard(Arc<Inner>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.0.release_slot();
+    }
+}
+
+/// One served connection's handler thread plus the closer that can
+/// interrupt its blocked reads from another thread.
+type HandlerSlot = (thread::JoinHandle<()>, Box<dyn FnOnce() + Send>);
+
+/// A running network front door over one shared [`Engine`].
+///
+/// Construct with [`Server::bind`] (TCP) and/or attach in-memory clients
+/// with [`Server::connect_loopback`]; stop with [`Server::shutdown`].
+/// Dropping the server also shuts it down.  Shutdown is graceful but not
+/// patient: in-flight requests finish and their responses are written,
+/// then every still-open connection is closed from the server side so
+/// idle peers cannot hold the process hostage.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: Option<SocketAddr>,
+    /// The server's own injector handle; `None` once shut down.
+    batch_tx: Option<mpsc::Sender<BatchItem>>,
+    accept: Option<thread::JoinHandle<()>>,
+    batchers: Vec<thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<HandlerSlot>>>,
+}
+
+impl Server {
+    /// Start a server listening on `addr` (pass port 0 for an ephemeral
+    /// port; read it back with [`local_addr`](Server::local_addr)).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let mut server = Server::without_listener(engine, config);
+        server.addr = Some(local);
+
+        let inner = Arc::clone(&server.inner);
+        let batch_tx = server
+            .batch_tx
+            .clone()
+            .expect("freshly constructed server has a batcher");
+        let handlers = Arc::clone(&server.handlers);
+        server.accept = Some(
+            thread::Builder::new()
+                .name("obliv-server-accept".into())
+                .spawn(move || accept_loop(listener, inner, batch_tx, handlers))
+                .expect("spawning the accept thread failed"),
+        );
+        Ok(server)
+    }
+
+    /// A server with no TCP listener; clients attach through
+    /// [`connect_loopback`](Server::connect_loopback).  Useful in tests
+    /// and embedded setups where no port should be opened.
+    pub fn without_listener(engine: Arc<Engine>, config: ServerConfig) -> Server {
+        let (batch_tx, batch_rx) = mpsc::channel::<BatchItem>();
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        let max_batch = config.max_batch.max(1);
+        let batchers = (0..config.batch_runners.max(1))
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let batch_rx = Arc::clone(&batch_rx);
+                thread::Builder::new()
+                    .name(format!("obliv-server-batcher-{i}"))
+                    .spawn(move || run_batcher(engine, batch_rx, max_batch))
+                    .expect("spawning a batcher thread failed")
+            })
+            .collect();
+        Server {
+            inner: Arc::new(Inner {
+                engine,
+                config,
+                active: Mutex::new(0),
+                slot_freed: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            addr: None,
+            batch_tx: Some(batch_tx),
+            accept: None,
+            batchers,
+            handlers: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The bound TCP address, if the server is listening.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.inner.engine
+    }
+
+    /// Open an in-memory connection to this server and return the client
+    /// endpoint (wrap it in [`Client::over`](crate::Client::over)).  The
+    /// connection counts against
+    /// [`max_connections`](ServerConfig::max_connections) exactly like a
+    /// TCP accept, and this call blocks while the server is at the limit.
+    pub fn connect_loopback(&self) -> io::Result<PipeStream> {
+        let batch_tx = self
+            .batch_tx
+            .clone()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "server is shut down"))?;
+        if !self.inner.claim_slot() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "server is shutting down",
+            ));
+        }
+        let (client_end, server_end) = loopback();
+        let closer = server_end.closer();
+        let inner = Arc::clone(&self.inner);
+        let handle = thread::Builder::new()
+            .name("obliv-server-conn".into())
+            .spawn(move || {
+                let guard = SlotGuard(inner);
+                handle_connection(&guard.0, server_end, batch_tx);
+            })
+            .expect("spawning a connection handler failed");
+        let mut handlers = self.handlers.lock().expect("handler list poisoned");
+        handlers.retain(|(h, _)| !h.is_finished());
+        handlers.push((handle, closer));
+        Ok(client_end)
+    }
+
+    /// Stop the server: stop accepting, close every still-open connection
+    /// (handlers blocked on idle peers are woken with end-of-stream and
+    /// exit; requests already executing finish and answer first), then
+    /// retire the batcher.  The engine is untouched and stays usable.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Wake an accept thread parked on the connection gate…
+        self.inner.slot_freed.notify_all();
+        // …or parked in `accept()` (the dummy connection is dropped
+        // unserved once the flag is seen).  An unspecified bind address
+        // (0.0.0.0 / ::) is not self-connectable on every platform, so
+        // wake through loopback in that case.
+        if let Some(mut addr) = self.addr {
+            if addr.ip().is_unspecified() {
+                addr.set_ip(match addr.ip() {
+                    std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Close every served connection from our side, so handlers parked
+        // in `read_frame` on idle peers wake up (end-of-stream) instead
+        // of holding shutdown hostage, then join them.
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        let (handles, closers): (Vec<_>, Vec<_>) = handlers.into_iter().unzip();
+        for close in closers {
+            close();
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // All handler-held injector clones are gone now; dropping ours
+        // disconnects the batchers' queue and they exit.
+        self.batch_tx.take();
+        for batcher in self.batchers.drain(..) {
+            let _ = batcher.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field(
+                "active_connections",
+                &*self.inner.active.lock().expect("connection gauge poisoned"),
+            )
+            .field("max_connections", &self.inner.config.max_connections)
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    batch_tx: mpsc::Sender<BatchItem>,
+    handlers: Arc<Mutex<Vec<HandlerSlot>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept errors (fd exhaustion, aborted
+                // handshakes) would otherwise busy-spin this thread at
+                // 100% CPU exactly when the machine is under pressure.
+                thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return; // `stream` is the shutdown wake-up (or a late client).
+        }
+        // Request/response latency beats throughput for µs-scale cached
+        // queries; disable Nagle coalescing.
+        let _ = stream.set_nodelay(true);
+        if !inner.claim_slot() {
+            return;
+        }
+        let closer = stream.closer();
+        let handler_inner = Arc::clone(&inner);
+        let tx = batch_tx.clone();
+        let handle = thread::Builder::new()
+            .name("obliv-server-conn".into())
+            .spawn(move || {
+                let guard = SlotGuard(handler_inner);
+                handle_connection(&guard.0, stream, tx);
+            })
+            .expect("spawning a connection handler failed");
+        let mut handlers = handlers.lock().expect("handler list poisoned");
+        handlers.retain(|(h, _)| !h.is_finished());
+        handlers.push((handle, closer));
+    }
+}
+
+/// A cross-connection batcher: drain whatever is queued, execute it as
+/// one engine batch, fan the responses back to the waiting handlers.
+/// Several runners share the queue, so a new batch can form and execute
+/// while a long one is still running on another runner.
+fn run_batcher(engine: Arc<Engine>, rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>, max_batch: usize) {
+    loop {
+        // Hold the queue lock only while assembling a batch, never while
+        // executing one.
+        let items = {
+            let rx = rx.lock().expect("batch queue lock poisoned");
+            match rx.recv() {
+                Ok(first) => {
+                    let mut items = vec![first];
+                    while items.len() < max_batch {
+                        match rx.try_recv() {
+                            Ok(item) => items.push(item),
+                            Err(_) => break,
+                        }
+                    }
+                    items
+                }
+                Err(_) => return, // channel closed: shutdown
+            }
+        };
+        let (requests, replies): (Vec<_>, Vec<_>) = items
+            .into_iter()
+            .map(|item| (item.request, item.reply))
+            .unzip();
+        // The batcher must survive anything a batch does: a panic here
+        // would zombify the whole server (connections alive, every query
+        // answered "shutting down").  `catch_unwind` contains it.
+        let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.execute_batch(&requests)
+        }));
+        match batch {
+            Ok(Ok(responses)) => {
+                for (reply, response) in replies.iter().zip(responses) {
+                    let _ = reply.send(Ok(response));
+                }
+            }
+            Ok(Err(_)) | Err(_) => {
+                // The engine fails a whole batch up front on one bad
+                // request, and a panicking execution fails it too; the
+                // batch mixes tenants, so isolate the failure.  Validation
+                // (resolution without execution, cheap) picks out the
+                // offending requests — they get their typed errors — and
+                // the valid remainder re-runs as *one* batch, keeping the
+                // engine pool's parallelism and the intra-batch dedup for
+                // the innocent peers.
+                let mut valid: Vec<BatchItem> = Vec::with_capacity(requests.len());
+                for (request, reply) in requests.into_iter().zip(replies) {
+                    match engine.validate(&request) {
+                        Ok(()) => valid.push(BatchItem { request, reply }),
+                        Err(e) => {
+                            let _ = reply.send(Err(BatchError::Engine(e)));
+                        }
+                    }
+                }
+                if valid.is_empty() {
+                    continue;
+                }
+                let (requests, replies): (Vec<_>, Vec<_>) = valid
+                    .into_iter()
+                    .map(|item| (item.request, item.reply))
+                    .unzip();
+                let retry = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine.execute_batch(&requests)
+                }));
+                match retry {
+                    Ok(Ok(responses)) => {
+                        for (reply, response) in replies.iter().zip(responses) {
+                            let _ = reply.send(Ok(response));
+                        }
+                    }
+                    // Rare: a catalog mutation raced between validation
+                    // and re-execution, or an execution panicked.  Last
+                    // resort is per-request isolation.
+                    Ok(Err(_)) | Err(_) => {
+                        for (request, reply) in requests.into_iter().zip(replies) {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    engine
+                                        .execute_batch(std::slice::from_ref(&request))
+                                        .map(|mut rs| rs.pop().expect("one response per request"))
+                                }));
+                            let _ = reply.send(match result {
+                                Ok(result) => result.map_err(BatchError::Engine),
+                                Err(_) => Err(BatchError::Execution),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `true` iff `token` is usable as a tenant label: non-empty, at most 128
+/// bytes, no control characters.
+fn token_is_valid(token: &str) -> bool {
+    !token.is_empty() && token.len() <= 128 && !token.chars().any(char::is_control)
+}
+
+/// Serve one connection until the peer closes, the transport fails, or
+/// framing is lost.
+fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::Sender<BatchItem>) {
+    let engine: &Engine = &inner.engine;
+    let mut session: Option<Session<'_>> = None;
+    loop {
+        let body = match read_frame(&mut conn, MAX_REQUEST_FRAME) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean close
+            Err(FrameError::TooLarge { declared, max }) => {
+                // The declared length cannot be trusted, so the stream can
+                // no longer be re-synchronised: answer and close.
+                let error = WireError::new(
+                    ErrorKind::FrameTooLarge,
+                    format!("request frame of {declared} bytes exceeds the {max}-byte bound"),
+                );
+                let _ = send(&mut conn, &Response::Error(error));
+                return;
+            }
+            Err(FrameError::Io(_)) => return,
+        };
+        let request = match Request::decode(&body) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame itself was well-delimited, so the stream is
+                // still in sync: report and keep serving.
+                let kind = if is_version_error(&e) {
+                    ErrorKind::UnsupportedVersion
+                } else {
+                    ErrorKind::Protocol
+                };
+                if send(
+                    &mut conn,
+                    &Response::Error(WireError::new(kind, e.message())),
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        // Bind the session to the first valid token; later requests must
+        // present the same one.
+        let token = request.token();
+        if !token_is_valid(token) {
+            let error = WireError::new(ErrorKind::Protocol, "invalid auth token");
+            if send(&mut conn, &Response::Error(error)).is_err() {
+                return;
+            }
+            continue;
+        }
+        match &session {
+            Some(bound) if bound.tenant() != token => {
+                let error = WireError::new(
+                    ErrorKind::AuthMismatch,
+                    "connection is bound to a different token",
+                );
+                if send(&mut conn, &Response::Error(error)).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Some(_) => {}
+            None => session = Some(engine.session(token.to_string())),
+        }
+        let session = session.as_mut().expect("session bound above");
+
+        let response = match request {
+            Request::Stats { .. } => Response::Stats(session.stats()),
+            Request::QueryText { query, .. } => match parse_query(&query) {
+                Ok(plan) => run_query(session, plan, &batch_tx),
+                Err(e) => Response::Error(WireError::new(ErrorKind::Query, e.to_string())),
+            },
+            Request::QueryPlan { plan, .. } => run_query(session, plan, &batch_tx),
+        };
+        if send(&mut conn, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Label the plan through the connection's session, hand it to the
+/// batcher, wait for the engine's answer, account it.
+fn run_query(
+    session: &mut Session<'_>,
+    plan: NamedPlan,
+    batch_tx: &mpsc::Sender<BatchItem>,
+) -> Response {
+    let shutting_down = || {
+        Response::Error(WireError::new(
+            ErrorKind::Shutdown,
+            "server is shutting down",
+        ))
+    };
+    let request = session.issue(plan);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if batch_tx
+        .send(BatchItem {
+            request,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        return shutting_down();
+    }
+    match reply_rx.recv() {
+        Ok(Ok(response)) => {
+            session.record(&response);
+            Response::Reply(QueryReply::from_response(&response))
+        }
+        Ok(Err(BatchError::Engine(e))) => {
+            Response::Error(WireError::new(ErrorKind::Query, e.to_string()))
+        }
+        Ok(Err(BatchError::Execution)) => Response::Error(WireError::new(
+            ErrorKind::Internal,
+            "query execution failed on the server (internal error)",
+        )),
+        Err(_) => shutting_down(),
+    }
+}
+
+/// A lower bound on a response's encoded size, from public row counts and
+/// widths alone — so an over-bound result is rejected *before* its whole
+/// body is materialised in memory.
+fn payload_size_floor(response: &Response) -> usize {
+    match response {
+        Response::Reply(reply) => match &reply.rows {
+            crate::proto::ReplyRows::Pair(rows) => rows.len() * 16,
+            crate::proto::ReplyRows::Wide(table) => table.len() * table.schema().row_width(),
+        },
+        Response::Stats(_) | Response::Error(_) => 0,
+    }
+}
+
+/// Encode and frame one response, downgrading an over-bound payload (too
+/// big for one frame, or a field over its wire width) to a small, typed
+/// error frame.
+fn send<C: Connection>(conn: &mut C, response: &Response) -> io::Result<()> {
+    let too_large = |bytes: usize| {
+        Response::Error(WireError::new(
+            ErrorKind::FrameTooLarge,
+            format!(
+                "result of at least {bytes} bytes exceeds the {MAX_RESPONSE_FRAME}-byte \
+                 response bound; aggregate or filter server-side"
+            ),
+        ))
+        .encode()
+        .expect("error frames are bounded")
+    };
+    let floor = payload_size_floor(response);
+    let body = if floor > MAX_RESPONSE_FRAME {
+        too_large(floor)
+    } else {
+        match response.encode() {
+            Ok(body) if body.len() <= MAX_RESPONSE_FRAME => body,
+            Ok(body) => too_large(body.len()),
+            Err(e) => Response::Error(e)
+                .encode()
+                .expect("error frames are bounded"),
+        }
+    };
+    write_frame(conn, &body, MAX_RESPONSE_FRAME)
+}

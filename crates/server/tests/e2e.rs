@@ -1,0 +1,479 @@
+//! End-to-end integration tests for the network front door (PR 4
+//! acceptance):
+//!
+//! * the wide acceptance query over real TCP from two concurrent clients
+//!   is bit-identical (rows and trace digest) to in-process
+//!   `Engine::execute_batch`, and a warm repeat is served from the cache
+//!   with the same digest,
+//! * per-connection sessions account independently under concurrent
+//!   clients over the loopback transport,
+//! * malformed, mis-versioned and oversized frames produce typed protocol
+//!   errors without killing the server,
+//! * the connection limit back-pressures accepts instead of failing them.
+
+use std::io::Write;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use obliv_engine::{parse_query, Engine, EngineConfig, QueryRequest};
+use obliv_server::proto::{read_frame, write_frame, Request, Response};
+use obliv_server::{
+    Client, ClientError, ErrorKind, ReplyRows, Server, ServerConfig, MAX_RESPONSE_FRAME,
+};
+use obliv_workloads::wide_orders_lineitem;
+
+/// The wide acceptance query from the issue.
+const ACCEPTANCE_QUERY: &str = "JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)";
+
+/// An engine loaded with the wide orders/lineitem workload.
+fn wide_engine(workers: usize) -> Arc<Engine> {
+    let workload = wide_orders_lineitem(32, 8);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers,
+        result_cache: true,
+    }));
+    engine
+        .register_wide_table("orders", workload.orders.clone())
+        .unwrap();
+    engine
+        .register_wide_table("lineitem", workload.lineitem)
+        .unwrap();
+    engine
+}
+
+#[test]
+fn tcp_acceptance_query_is_bit_identical_to_in_process_execution() {
+    // In-process reference: a separate engine with identical tables, so
+    // nothing the server does can retroactively influence it.
+    let reference = wide_engine(2);
+    let request = QueryRequest::new("ref", parse_query(ACCEPTANCE_QUERY).unwrap());
+    let expected = reference
+        .execute_batch(std::slice::from_ref(&request))
+        .unwrap()
+        .pop()
+        .unwrap();
+    let expected_wide = expected.wide.clone().expect("wide plan yields wide rows");
+
+    let engine = wide_engine(2);
+    let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    // Two concurrent clients run the acceptance query over TCP.
+    let replies: Vec<_> = ["tenant-a", "tenant-b"]
+        .map(|tenant| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr, tenant).unwrap();
+                client.query(ACCEPTANCE_QUERY).unwrap()
+            })
+        })
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+
+    for reply in &replies {
+        assert_eq!(reply.summary.trace_digest, expected.summary.trace_digest);
+        assert_eq!(reply.summary.trace_events, expected.summary.trace_events);
+        assert_eq!(reply.summary.counters, expected.summary.counters);
+        assert_eq!(reply.summary.output_rows, expected.summary.output_rows);
+        match &reply.rows {
+            ReplyRows::Wide(table) => assert_eq!(table, &expected_wide),
+            other => panic!("expected wide rows, got {other:?}"),
+        }
+    }
+    assert_eq!(replies[0].label, "tenant-a/q0");
+    assert_eq!(replies[1].label, "tenant-b/q0");
+
+    // Warm repeat: served from the result cache, digest unchanged.
+    let mut client = Client::connect(addr, "tenant-c").unwrap();
+    let warm = client.query(ACCEPTANCE_QUERY).unwrap();
+    assert!(warm.cached, "second round must hit the result cache");
+    assert_eq!(warm.summary.trace_digest, expected.summary.trace_digest);
+    match &warm.rows {
+        ReplyRows::Wide(table) => assert_eq!(table, &expected_wide),
+        other => panic!("expected wide rows, got {other:?}"),
+    }
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn plan_requests_match_text_requests_over_the_wire() {
+    let engine = wide_engine(1);
+    let server = Server::without_listener(engine, ServerConfig::default());
+
+    let mut text_client = Client::over(server.connect_loopback().unwrap(), "t");
+    let mut plan_client = Client::over(server.connect_loopback().unwrap(), "t");
+
+    let by_text = text_client.query(ACCEPTANCE_QUERY).unwrap();
+    let by_plan = plan_client
+        .query_plan(&parse_query(ACCEPTANCE_QUERY).unwrap())
+        .unwrap();
+    assert_eq!(by_text.summary.trace_digest, by_plan.summary.trace_digest);
+    assert_eq!(by_text.rows, by_plan.rows);
+
+    drop((text_client, plan_client));
+    server.shutdown();
+}
+
+/// Two clients over the loopback transport issuing interleaved queries
+/// get independent, correct per-session accounting.
+#[test]
+fn sessions_account_independently_across_interleaved_connections() {
+    let workload = obliv_workloads::orders_lineitem(32, 8);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        result_cache: true,
+    }));
+    engine
+        .register_table("left", workload.left.clone())
+        .unwrap();
+    engine
+        .register_table("right", workload.right.clone())
+        .unwrap();
+    let server = Server::without_listener(engine, ServerConfig::default());
+
+    let mut alice = Client::over(server.connect_loopback().unwrap(), "alice");
+    let mut bob = Client::over(server.connect_loopback().unwrap(), "bob");
+
+    // Interleave: alice repeats her query (second answer is a cache hit),
+    // bob runs two distinct ones.
+    let a0 = alice.query("SCAN left | FILTER v>=500 | AGG sum").unwrap();
+    let b0 = bob.query("JOIN left right").unwrap();
+    let a1 = alice.query("SCAN left | FILTER v>=500 | AGG sum").unwrap();
+    let b1 = bob.query("SCAN right | AGG count").unwrap();
+
+    // Labels count per session, not globally.
+    assert_eq!(a0.label, "alice/q0");
+    assert_eq!(a1.label, "alice/q1");
+    assert_eq!(b0.label, "bob/q0");
+    assert_eq!(b1.label, "bob/q1");
+    assert!(!a0.cached);
+    assert!(a1.cached, "identical repeat is served from the cache");
+    assert_eq!(a0.summary.trace_digest, a1.summary.trace_digest);
+
+    let alice_stats = alice.stats().unwrap();
+    let bob_stats = bob.stats().unwrap();
+    assert_eq!(alice_stats.queries, 2);
+    assert_eq!(alice_stats.cache_hits, 1);
+    assert_eq!(
+        alice_stats.trace_events,
+        a0.summary.trace_events + a1.summary.trace_events
+    );
+    assert_eq!(
+        alice_stats.output_rows,
+        (a0.summary.output_rows + a1.summary.output_rows) as u64
+    );
+    assert_eq!(
+        alice_stats.comparisons,
+        a0.summary.counters.comparisons + a1.summary.counters.comparisons
+    );
+    assert_eq!(bob_stats.queries, 2);
+    assert_eq!(
+        bob_stats.trace_events,
+        b0.summary.trace_events + b1.summary.trace_events
+    );
+    assert_ne!(
+        alice_stats, bob_stats,
+        "sessions must not bleed into each other"
+    );
+
+    drop((alice, bob));
+    server.shutdown();
+}
+
+/// Truly concurrent clients: every session's totals equal the sum of what
+/// that client was told, regardless of how the batcher grouped the work.
+#[test]
+fn sessions_stay_correct_under_concurrent_clients() {
+    let engine = wide_engine(2);
+    let server = Server::without_listener(engine, ServerConfig::default());
+
+    const ROUNDS: usize = 5;
+    let queries = [
+        ACCEPTANCE_QUERY,
+        "SCAN orders | FILTER price>=500 | AGG count BY region",
+    ];
+    let handles: Vec<_> = (0..2)
+        .map(|who| {
+            let conn = server.connect_loopback().unwrap();
+            let query = queries[who];
+            thread::spawn(move || {
+                let mut client = Client::over(conn, format!("tenant-{who}"));
+                let mut events = 0u64;
+                let mut rows = 0u64;
+                for _ in 0..ROUNDS {
+                    let reply = client.query(query).unwrap();
+                    events += reply.summary.trace_events;
+                    rows += reply.summary.output_rows as u64;
+                }
+                let stats = client.stats().unwrap();
+                (stats, events, rows)
+            })
+        })
+        .collect();
+    for handle in handles {
+        let (stats, events, rows) = handle.join().unwrap();
+        assert_eq!(stats.queries, ROUNDS as u64);
+        assert_eq!(stats.trace_events, events);
+        assert_eq!(stats.output_rows, rows);
+        assert!(
+            stats.cache_hits >= ROUNDS as u64 - 1,
+            "at most the first round misses; got {} hits",
+            stats.cache_hits
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_without_killing_the_server() {
+    let engine = wide_engine(1);
+    let server = Server::without_listener(engine, ServerConfig::default());
+
+    let mut conn = server.connect_loopback().unwrap();
+
+    // A well-framed but meaningless body: typed protocol error, and the
+    // connection stays serviceable.
+    write_frame(&mut conn, &[0xde, 0xad, 0xbe, 0xef], 1024).unwrap();
+    let body = read_frame(&mut conn, MAX_RESPONSE_FRAME).unwrap().unwrap();
+    match Response::decode(&body).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::UnsupportedVersion),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+
+    // A mis-versioned request (version byte 9) is distinguished from
+    // garbage...
+    let mut request = Request::Stats { token: "t".into() }.encode().unwrap();
+    request[0] = 9;
+    write_frame(&mut conn, &request, 1024).unwrap();
+    let body = read_frame(&mut conn, MAX_RESPONSE_FRAME).unwrap().unwrap();
+    match Response::decode(&body).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::UnsupportedVersion),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+
+    // ...as is a bad opcode.
+    let mut request = Request::Stats { token: "t".into() }.encode().unwrap();
+    request[1] = 0x7f;
+    write_frame(&mut conn, &request, 1024).unwrap();
+    let body = read_frame(&mut conn, MAX_RESPONSE_FRAME).unwrap().unwrap();
+    match Response::decode(&body).unwrap() {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::Protocol),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+
+    // Same connection, valid request: still served.
+    write_frame(
+        &mut conn,
+        &Request::QueryText {
+            token: "t".into(),
+            query: "SCAN orders | AGG count BY region".into(),
+        }
+        .encode()
+        .unwrap(),
+        1024,
+    )
+    .unwrap();
+    let body = read_frame(&mut conn, MAX_RESPONSE_FRAME).unwrap().unwrap();
+    assert!(matches!(
+        Response::decode(&body).unwrap(),
+        Response::Reply(_)
+    ));
+
+    // An engine-level error (unknown table) is a typed Query error, and
+    // still does not kill the connection.
+    let mut client = Client::over(server.connect_loopback().unwrap(), "t2");
+    match client.query("SCAN ghost") {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.kind, ErrorKind::Query);
+            assert!(e.message.contains("ghost"));
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    assert!(
+        client
+            .query("SCAN orders | AGG count BY region")
+            .unwrap()
+            .cached,
+        "the earlier raw-frame query warmed the cache for this plan"
+    );
+
+    drop((conn, client));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_rejected_and_close_only_that_connection() {
+    let engine = wide_engine(1);
+    let server = Server::without_listener(engine, ServerConfig::default());
+
+    let mut conn = server.connect_loopback().unwrap();
+    // Declare a body far over MAX_REQUEST_FRAME; the server answers with
+    // a typed error *before* reading any of it, then closes (framing is
+    // unrecoverable with an untrusted length).
+    conn.write_all(&(64 * 1024 * 1024u32).to_be_bytes())
+        .unwrap();
+    conn.flush().unwrap();
+    let body = read_frame(&mut conn, MAX_RESPONSE_FRAME).unwrap().unwrap();
+    match Response::decode(&body).unwrap() {
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::FrameTooLarge);
+            assert!(e.message.contains("exceeds"));
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    assert!(
+        read_frame(&mut conn, MAX_RESPONSE_FRAME).unwrap().is_none(),
+        "connection must be closed after a framing violation"
+    );
+
+    // The server itself is unharmed: a new connection works.
+    let mut client = Client::over(server.connect_loopback().unwrap(), "t");
+    assert_eq!(
+        client
+            .query("SCAN orders | AGG count BY region")
+            .unwrap()
+            .label,
+        "t/q0"
+    );
+
+    drop((conn, client));
+    server.shutdown();
+}
+
+#[test]
+fn token_binding_is_per_connection() {
+    let engine = wide_engine(1);
+    let server = Server::without_listener(engine, ServerConfig::default());
+
+    let mut conn = server.connect_loopback().unwrap();
+    let send = |conn: &mut obliv_server::PipeStream, request: &Request| {
+        write_frame(conn, &request.encode().unwrap(), 4096).unwrap();
+        let body = read_frame(conn, MAX_RESPONSE_FRAME).unwrap().unwrap();
+        Response::decode(&body).unwrap()
+    };
+
+    // First token binds the session...
+    let first = send(
+        &mut conn,
+        &Request::Stats {
+            token: "alice".into(),
+        },
+    );
+    assert!(matches!(first, Response::Stats(_)));
+    // ...a different token on the same connection is refused...
+    match send(
+        &mut conn,
+        &Request::Stats {
+            token: "mallory".into(),
+        },
+    ) {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::AuthMismatch),
+        other => panic!("expected auth mismatch, got {other:?}"),
+    }
+    // ...and an empty token is rejected outright.
+    match send(&mut conn, &Request::Stats { token: "".into() }) {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::Protocol),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // The bound session is still alive and unperturbed.
+    match send(
+        &mut conn,
+        &Request::Stats {
+            token: "alice".into(),
+        },
+    ) {
+        Response::Stats(stats) => assert_eq!(stats.queries, 0),
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    drop(conn);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_client_input_is_an_error_not_a_panic() {
+    let engine = wide_engine(1);
+    let server = Server::without_listener(engine, ServerConfig::default());
+    let mut client = Client::over(server.connect_loopback().unwrap(), "t");
+
+    // A query string over the str16 field bound surfaces as a typed
+    // client error from the Result API.
+    match client.query("x".repeat(70_000)) {
+        Err(ClientError::Protocol(message)) => assert!(message.contains("string field")),
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    // The connection is untouched (nothing was written) and keeps working.
+    assert_eq!(
+        client
+            .query("SCAN orders | AGG count BY region")
+            .unwrap()
+            .label,
+        "t/q0"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_interrupts_idle_connections() {
+    let engine = wide_engine(1);
+    let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    // An idle TCP client (connected, never sends a byte) must not hold
+    // shutdown hostage; its handler is parked in read_frame until the
+    // server closes the socket from its side.
+    let mut idle = Client::connect(addr, "idle").unwrap();
+    // And a loopback connection idling the same way.
+    let lazy = server.connect_loopback().unwrap();
+    thread::sleep(Duration::from_millis(50)); // let both handlers park
+
+    let done = thread::spawn(move || server.shutdown());
+    done.join().expect("shutdown must complete promptly");
+
+    // The idle client's next request fails cleanly: the server closed it.
+    assert!(idle.query("SCAN orders | AGG count BY region").is_err());
+    drop(lazy);
+}
+
+#[test]
+fn connection_limit_backpressures_instead_of_failing() {
+    let engine = wide_engine(1);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        engine,
+        ServerConfig {
+            max_connections: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut first = Client::connect(addr, "a").unwrap();
+    assert_eq!(
+        first
+            .query("SCAN orders | AGG count BY region")
+            .unwrap()
+            .label,
+        "a/q0"
+    );
+
+    // The second client connects (TCP backlog) but is not *served* until
+    // the first disconnects.
+    let second = thread::spawn(move || {
+        let mut client = Client::connect(addr, "b").unwrap();
+        client.query("SCAN orders | AGG count BY region").unwrap()
+    });
+    thread::sleep(Duration::from_millis(100));
+    drop(first); // frees the one slot
+    let reply = second.join().unwrap();
+    assert_eq!(reply.label, "b/q0");
+    assert!(reply.cached, "same query, same epoch: cache hit");
+
+    server.shutdown();
+}

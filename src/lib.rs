@@ -3,9 +3,9 @@
 //! One-stop re-export of the public API of the *Efficient Oblivious Database
 //! Joins* reproduction.  Depend on this crate to get the join, its
 //! primitives, the traced-memory substrate, the baselines, the workload
-//! generators, the obliviousness type system, the enclave simulator and the
-//! concurrent query engine under
-//! a single name; or depend on the individual crates (`obliv-join`,
+//! generators, the obliviousness type system, the enclave simulator, the
+//! concurrent query engine and its network front door (server + client)
+//! under a single name; or depend on the individual crates (`obliv-join`,
 //! `obliv-primitives`, …) if you only need a part.
 //!
 //! ```
@@ -32,6 +32,7 @@ pub use obliv_engine as engine;
 pub use obliv_join as join;
 pub use obliv_operators as operators;
 pub use obliv_primitives as primitives;
+pub use obliv_server as server;
 pub use obliv_trace as trace;
 pub use obliv_verify as verify;
 pub use obliv_workloads as workloads;
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use obliv_primitives::{
         oblivious_compact, oblivious_distribute, oblivious_expand, Keyed, Routable,
     };
+    pub use obliv_server::{Client, ClientError, QueryReply, ReplyRows, Server, ServerConfig};
     pub use obliv_trace::{
         CollectingSink, CountingSink, HashingSink, NullSink, Tracer, TrackedBuffer,
     };

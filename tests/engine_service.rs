@@ -76,7 +76,7 @@ fn concurrent_batch_matches_serial_query_plan_execute() {
 
     for ((request, conc), ser) in requests.iter().zip(&concurrent).zip(&serial) {
         let reference = request
-            .plan
+            .plan()
             .resolve(&catalog)
             .unwrap()
             .execute(&Tracer::new(NullSink));

@@ -124,6 +124,50 @@ fn wide_query_runs_end_to_end_through_the_text_frontend() {
     assert_eq!(response.summary.trace_digest.len(), 64);
 }
 
+#[test]
+fn bytes_literal_filters_run_end_to_end() {
+    let (orders, lineitem) = acceptance_tables();
+    let engine = engine_with(orders, lineitem);
+
+    // Equality on a bytes[4] column through the text frontend: east orders
+    // are keys 1 and 3.
+    let responses = engine
+        .execute_text_batch(&["SCAN orders | FILTER region=\"east\" | AGG count BY o_key"])
+        .unwrap();
+    let wide = responses[0].wide.as_ref().unwrap();
+    assert_eq!(wide.len(), 2);
+    assert_eq!(wide.value(0, "o_key").unwrap(), Value::U64(1));
+    assert_eq!(wide.value(1, "o_key").unwrap(), Value::U64(3));
+
+    // Lexicographic range comparison on a bytes[8] column: parts >=
+    // "pt002-00" are the items of orders 2 and 3.
+    let responses = engine
+        .execute_text_batch(&["SCAN lineitem | FILTER part>=\"pt002-00\" | AGG sum(qty) BY l_key"])
+        .unwrap();
+    let wide = responses[0].wide.as_ref().unwrap();
+    assert_eq!(wide.len(), 2);
+    assert_eq!(wide.value(0, "sum_qty").unwrap(), Value::U64(3));
+    assert_eq!(wide.value(1, "sum_qty").unwrap(), Value::U64(8));
+
+    // A literal whose length does not match the column's declared width is
+    // a typed schema error at validation, before any execution.
+    let err = engine
+        .execute_text_batch(&["SCAN orders | FILTER region=\"northwest\""])
+        .unwrap_err();
+    match err {
+        EngineError::Wide(WideError::Schema(SchemaError::TypeMismatch {
+            column,
+            expected,
+            found,
+        })) => {
+            assert_eq!(column, "region");
+            assert_eq!(expected, ColumnType::Bytes(4));
+            assert_eq!(found, ColumnType::Bytes(9));
+        }
+        other => panic!("expected a bytes-width mismatch, got {other:?}"),
+    }
+}
+
 /// Run the acceptance query against given tables and return the digest.
 fn digest_of(orders: WideTable, lineitem: WideTable, query: &str) -> String {
     let engine = engine_with(orders, lineitem);

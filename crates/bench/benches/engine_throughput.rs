@@ -6,7 +6,11 @@
 //! * `wide` — the typed multi-column workload through the column-level
 //!   frontend (`JOIN … ON …`, `FILTER col…`, `AGG agg(col)`); comparing its
 //!   rows against `orders_lineitem` measures the overhead of the schema
-//!   layer over the legacy pair shape.
+//!   layer over the legacy pair shape,
+//! * `unified_plan` — the unified-IR operator surface (multi-column join
+//!   carries, `PROJECT`, wide `DISTINCT`/`UNION`, column-keyed semi/anti
+//!   joins, range filters) over the same wide catalog; its cold/warm rows
+//!   record the plan-API redesign's cost against the `wide` baseline.
 //!
 //! Each measured iteration executes one batch of 16 mixed queries (joins,
 //! filter+aggregate, semi/anti joins, join-aggregates) through the full
@@ -115,6 +119,46 @@ fn wide_requests() -> Vec<QueryRequest> {
         .collect()
 }
 
+/// The unified-IR batch: operators the pre-redesign engine could not
+/// express over wide tables at all — multi-column join carries, explicit
+/// PROJECT, wide DISTINCT/UNION, column-keyed semi/anti joins and range
+/// filters.  Read `unified_plan/*` against `wide/*` (same tables) for the
+/// cost of the new operator surface, and `unified_plan/warm_cache` against
+/// the PR 4 warm numbers for the redesign's serving-path overhead.
+const UNIFIED_BATCH_QUERIES: [&str; 16] = [
+    "JOIN orders lineitem ON o_key | PROJECT o_key,price,qty,tax | FILTER price>=500",
+    "JOIN orders lineitem ON o_key | FILTER qty>=25 | AGG min(tax)",
+    "SCAN orders | PROJECT region,price | DISTINCT",
+    "SEMIJOIN orders lineitem ON o_key | AGG count BY region",
+    "ANTIJOIN lineitem orders ON o_key | AGG sum(qty) BY o_key",
+    "SCAN orders | FILTER price in 250..750 | AGG count BY region",
+    "JOIN orders lineitem ON o_key | FILTER urgent=true | PROJECT o_key,price,priority,region,qty",
+    "SCAN lineitem | DISTINCT | AGG count BY o_key",
+    "SCAN orders | PROJECT o_key,price | UNION pairs",
+    "JOIN orders lineitem ON o_key | FILTER tax in -3..3 | AGG sum(qty)",
+    "SEMIJOIN lineitem orders ON o_key | PROJECT o_key,qty | DISTINCT",
+    "JOIN orders lineitem ON o_key | PROJECT o_key,region,part | FILTER region=\"east\"",
+    "SCAN orders | FILTER priority in -5..0 | AGG max(price) BY region",
+    "ANTIJOIN orders lineitem ON o_key | PROJECT o_key,price",
+    "JOIN orders lineitem ON o_key | AGG count",
+    "SCAN lineitem | PROJECT part,qty | DISTINCT | AGG count BY part",
+];
+
+fn unified_engine_for(workers: usize, result_cache: bool) -> Engine {
+    let engine = wide_engine_for(workers, result_cache);
+    // A pair table for the degenerate-schema UNION row.
+    let workload = orders_lineitem(64, 8);
+    engine.register_table("pairs", workload.left).unwrap();
+    engine
+}
+
+fn unified_requests() -> Vec<QueryRequest> {
+    UNIFIED_BATCH_QUERIES
+        .iter()
+        .map(|q| QueryRequest::new(*q, parse_query(q).unwrap()))
+        .collect()
+}
+
 fn bench_engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
     group.sample_size(10);
@@ -178,6 +222,27 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.bench_with_input(
         BenchmarkId::new("wide/warm_cache", 1),
         &wide_batch,
+        |b, batch| b.iter(|| engine.execute_batch(batch).unwrap()),
+    );
+
+    // Unified-IR variant: the redesign's new operator surface (multi-carry
+    // joins, PROJECT, wide DISTINCT/UNION/semi/anti, range filters) over
+    // the same wide catalog.
+    let unified_batch = unified_requests();
+    group.throughput(Throughput::Elements(UNIFIED_BATCH_QUERIES.len() as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let engine = unified_engine_for(workers, false);
+        group.bench_with_input(
+            BenchmarkId::new("unified_plan/workers", workers),
+            &unified_batch,
+            |b, batch| b.iter(|| engine.execute_batch(batch).unwrap()),
+        );
+    }
+    let engine = unified_engine_for(1, true);
+    engine.execute_batch(&unified_batch).unwrap();
+    group.bench_with_input(
+        BenchmarkId::new("unified_plan/warm_cache", 1),
+        &unified_batch,
         |b, batch| b.iter(|| engine.execute_batch(batch).unwrap()),
     );
     group.finish();

@@ -15,10 +15,13 @@ use obliv_primitives::sort::bitonic;
 use obliv_primitives::{Choice, CtSelect};
 use obliv_trace::{TraceSink, Tracer, TrackedBuffer};
 
-use crate::record::AugRecord;
+use crate::record::{AugRecord, Payload};
 
 /// Run Algorithm 5 in place on the expanded table `S₂`.
-pub fn align_table<S: TraceSink>(s2: &mut TrackedBuffer<AugRecord, S>, tracer: &Tracer<S>) {
+pub fn align_table<S: TraceSink, P: Payload>(
+    s2: &mut TrackedBuffer<AugRecord<P>, S>,
+    tracer: &Tracer<S>,
+) {
     let m = s2.len();
 
     // Linear pass: q is the 0-based index of the row within its join-value
@@ -47,7 +50,7 @@ pub fn align_table<S: TraceSink>(s2: &mut TrackedBuffer<AugRecord, S>, tracer: &
     }
 
     // One oblivious sort by (j, ii) puts every copy where S₁ expects it.
-    bitonic::sort_by_key(s2, |r: &AugRecord| (r.key, r.align_idx));
+    bitonic::sort_by_key(s2, |r: &AugRecord<P>| (r.key, r.align_idx));
 }
 
 #[cfg(test)]

@@ -14,16 +14,16 @@ use obliv_primitives::sort::bitonic;
 use obliv_primitives::{Choice, CtSelect};
 use obliv_trace::{TraceSink, Tracer, TrackedBuffer};
 
-use crate::record::{AugRecord, TableId};
+use crate::record::{AugRecord, Payload, TableId};
 use crate::table::Table;
 
 /// The augmented tables produced by Algorithm 2, plus the output size.
 #[derive(Debug)]
-pub struct AugmentedTables<S: TraceSink> {
+pub struct AugmentedTables<S: TraceSink, P: Payload = u64> {
     /// `T₁` augmented with `(α₁, α₂)`, sorted lexicographically by `(j, d)`.
-    pub t1: TrackedBuffer<AugRecord, S>,
+    pub t1: TrackedBuffer<AugRecord<P>, S>,
     /// `T₂` augmented with `(α₁, α₂)`, sorted lexicographically by `(j, d)`.
-    pub t2: TrackedBuffer<AugRecord, S>,
+    pub t2: TrackedBuffer<AugRecord<P>, S>,
     /// The exact join output size `m = Σ_j α₁(j)·α₂(j)`.
     pub output_size: u64,
 }
@@ -38,31 +38,44 @@ pub fn augment_tables<S: TraceSink>(
     t1: &Table,
     t2: &Table,
 ) -> AugmentedTables<S> {
-    let n1 = t1.len();
-    let n2 = t2.len();
-
     // Line 2: T_C ← (T₁ × {tid = 1}) ∪ (T₂ × {tid = 2}).
     let combined: Vec<AugRecord> = t1
         .iter()
         .map(|&e| AugRecord::from_entry(e, TableId::Left))
         .chain(t2.iter().map(|&e| AugRecord::from_entry(e, TableId::Right)))
         .collect();
+    augment_combined(tracer, combined, t1.len(), t2.len())
+}
+
+/// The generic body of Algorithm 2 over an already-combined `T_C` whose
+/// first `n1` records came from `T₁` and whose remaining `n2` came from
+/// `T₂`.  The payload type is generic so the wide operators can run the
+/// same augmentation over `[u64; W]` multi-column carries; with `P = u64`
+/// this is exactly the legacy pair-shaped code path (same accesses, same
+/// trace).
+pub fn augment_combined<S: TraceSink, P: Payload>(
+    tracer: &Tracer<S>,
+    combined: Vec<AugRecord<P>>,
+    n1: usize,
+    n2: usize,
+) -> AugmentedTables<S, P> {
+    debug_assert_eq!(combined.len(), n1 + n2);
     let mut tc = tracer.alloc_from(combined);
 
     // Line 3: sort lexicographically by (j, tid) so every group is a
     // contiguous block with the T₁ entries first.
-    bitonic::sort_by_key(&mut tc, |r: &AugRecord| (r.key, r.tid));
+    bitonic::sort_by_key(&mut tc, |r: &AugRecord<P>| (r.key, r.tid));
 
     // Line 4: Fill-Dimensions — two linear passes (Figure 2).
     let output_size = fill_dimensions(&mut tc, tracer);
 
     // Line 5: re-sort by (tid, j, d) so the first n₁ entries are the
     // augmented T₁ (sorted by (j, d)) and the rest are the augmented T₂.
-    bitonic::sort_by_key(&mut tc, |r: &AugRecord| (r.tid, r.key, r.value));
+    bitonic::sort_by_key(&mut tc, |r: &AugRecord<P>| (r.tid, r.key, r.value));
 
     // Lines 6–7: split T_C back into the two augmented tables.
-    let mut out1 = tracer.alloc_from(vec![AugRecord::default(); n1]);
-    let mut out2 = tracer.alloc_from(vec![AugRecord::default(); n2]);
+    let mut out1 = tracer.alloc_from(vec![AugRecord::<P>::default(); n1]);
+    let mut out2 = tracer.alloc_from(vec![AugRecord::<P>::default(); n2]);
     for i in 0..n1 {
         let e = tc.read(i);
         out1.write(i, e);
@@ -85,7 +98,10 @@ pub fn augment_tables<S: TraceSink>(
 /// The two linear passes of Figure 2 over the `(j, tid)`-sorted `T_C`.
 ///
 /// Returns the output size `m`.
-fn fill_dimensions<S: TraceSink>(tc: &mut TrackedBuffer<AugRecord, S>, tracer: &Tracer<S>) -> u64 {
+fn fill_dimensions<S: TraceSink, P: Payload>(
+    tc: &mut TrackedBuffer<AugRecord<P>, S>,
+    tracer: &Tracer<S>,
+) -> u64 {
     let n = tc.len();
 
     // Forward pass: incremental counts.  Entries of a group see c₁ grow

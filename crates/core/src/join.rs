@@ -18,20 +18,23 @@ use obliv_primitives::oblivious_expand;
 use obliv_trace::{NullSink, OpCounters, TraceSink, Tracer, TrackedBuffer};
 
 use crate::align::align_table;
-use crate::augment::augment_tables;
-use crate::record::{AugRecord, JoinRow};
+use crate::augment::augment_combined;
+use crate::record::{AugRecord, JoinRow, Payload, TableId};
 use crate::stats::{JoinStats, Phase};
 use crate::table::Table;
 
 /// The output of an oblivious join.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct JoinResult {
+///
+/// The payload type defaults to the legacy single data word; the wide
+/// operators instantiate it with `[u64; W]` for multi-column carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinResult<P: Payload = u64> {
     /// The joined rows `(d₁, d₂)`, one per matching pair of input rows.
     ///
     /// The rows come out grouped by join value (ascending) and, within a
     /// group, ordered lexicographically by `(d₁, d₂)`; callers that need a
     /// different order should sort.
-    pub rows: Vec<JoinRow>,
+    pub rows: Vec<JoinRow<P>>,
     /// The join value of each output row, aligned with `rows`.
     ///
     /// Keeping the key available lets downstream oblivious operators (e.g.
@@ -42,7 +45,7 @@ pub struct JoinResult {
     pub stats: JoinStats,
 }
 
-impl JoinResult {
+impl<P: Payload> JoinResult<P> {
     /// Number of output rows (`m`).
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -69,7 +72,46 @@ pub fn oblivious_join_with_tracer<S: TraceSink>(
     t1: &Table,
     t2: &Table,
 ) -> JoinResult {
-    let mut stats = JoinStats::new(t1.len() as u64, t2.len() as u64);
+    let combined: Vec<AugRecord> = t1
+        .iter()
+        .map(|&e| AugRecord::from_entry(e, TableId::Left))
+        .chain(t2.iter().map(|&e| AugRecord::from_entry(e, TableId::Right)))
+        .collect();
+    oblivious_join_combined(tracer, combined, t1.len(), t2.len())
+}
+
+/// Join two keyed payload slices obliviously.
+///
+/// This is the generic entry point behind [`oblivious_join_with_tracer`]:
+/// the payload type is any fixed-size [`Payload`] (the wide operators pass
+/// `[u64; W]` to carry several columns per side through one kernel run).
+/// With `P = u64` the access pattern — and therefore the trace — is
+/// bit-identical to the legacy pair-shaped join.
+pub fn oblivious_join_payloads<S: TraceSink, P: Payload>(
+    tracer: &Tracer<S>,
+    t1: &[(u64, P)],
+    t2: &[(u64, P)],
+) -> JoinResult<P> {
+    let combined: Vec<AugRecord<P>> = t1
+        .iter()
+        .map(|&(k, v)| AugRecord::from_parts(k, v, TableId::Left))
+        .chain(
+            t2.iter()
+                .map(|&(k, v)| AugRecord::from_parts(k, v, TableId::Right)),
+        )
+        .collect();
+    oblivious_join_combined(tracer, combined, t1.len(), t2.len())
+}
+
+/// Algorithm 1 over an already-combined record vector (first `n1` records
+/// from `T₁`, the rest from `T₂`).
+fn oblivious_join_combined<S: TraceSink, P: Payload>(
+    tracer: &Tracer<S>,
+    combined: Vec<AugRecord<P>>,
+    n1: usize,
+    n2: usize,
+) -> JoinResult<P> {
+    let mut stats = JoinStats::new(n1 as u64, n2 as u64);
     let mut ops_before = tracer.counters();
     let mut phase_timer = Instant::now();
     let mut finish_phase = |phase: Phase, stats: &mut JoinStats, tracer: &Tracer<S>| {
@@ -81,18 +123,18 @@ pub fn oblivious_join_with_tracer<S: TraceSink>(
     };
 
     // Phase 1: Algorithm 2.
-    let augmented = augment_tables(tracer, t1, t2);
+    let augmented = augment_combined(tracer, combined, n1, n2);
     let m = augmented.output_size;
     stats.output_size = m;
     finish_phase(Phase::Augment, &mut stats, tracer);
 
     // Phase 2: S₁ = T₁ expanded by α₂.
-    let s1 = oblivious_expand(augmented.t1, |r: &AugRecord| r.alpha2);
+    let s1 = oblivious_expand(augmented.t1, |r: &AugRecord<P>| r.alpha2);
     debug_assert_eq!(s1.total, m);
     finish_phase(Phase::ExpandLeft, &mut stats, tracer);
 
     // Phase 3: S₂ = T₂ expanded by α₁.
-    let s2 = oblivious_expand(augmented.t2, |r: &AugRecord| r.alpha1);
+    let s2 = oblivious_expand(augmented.t2, |r: &AugRecord<P>| r.alpha1);
     debug_assert_eq!(s2.total, m);
     finish_phase(Phase::ExpandRight, &mut stats, tracer);
 
@@ -117,14 +159,14 @@ pub fn oblivious_join_with_tracer<S: TraceSink>(
 /// `write_run` on the output) and its `m` step counts as one batched
 /// counter update — run extents are a function of the public size `m`
 /// only, so the batched trace stays a function of public parameters.
-fn zip_output<S: TraceSink>(
+fn zip_output<S: TraceSink, P: Payload>(
     tracer: &Tracer<S>,
-    s1: &TrackedBuffer<AugRecord, S>,
-    s2: &TrackedBuffer<AugRecord, S>,
-) -> (Vec<JoinRow>, Vec<crate::record::JoinKey>) {
+    s1: &TrackedBuffer<AugRecord<P>, S>,
+    s2: &TrackedBuffer<AugRecord<P>, S>,
+) -> (Vec<JoinRow<P>>, Vec<crate::record::JoinKey>) {
     debug_assert_eq!(s1.len(), s2.len());
     let m = s1.len();
-    let mut td = tracer.alloc_from(vec![(0u64, JoinRow::default()); m]);
+    let mut td = tracer.alloc_from(vec![(0u64, JoinRow::<P>::default()); m]);
     tracer.bump_linear_steps(m as u64);
     {
         let left_rows = s1.read_run(0, m);

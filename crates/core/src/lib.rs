@@ -72,9 +72,10 @@ pub mod stats;
 pub mod table;
 
 pub use join::{
-    oblivious_join, oblivious_join_with_tracer, reference_join, sorted_rows, JoinResult,
+    oblivious_join, oblivious_join_payloads, oblivious_join_with_tracer, reference_join,
+    sorted_rows, JoinResult,
 };
-pub use record::{AugRecord, DataValue, Entry, JoinKey, JoinRow, TableId};
+pub use record::{AugRecord, DataValue, Entry, JoinKey, JoinRow, Payload, TableId};
 pub use schema::{Column, ColumnType, Schema, SchemaError, Value, WideTable};
 pub use stats::{JoinStats, Phase, PhaseStats};
 pub use table::Table;

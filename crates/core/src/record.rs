@@ -12,10 +12,36 @@ pub type JoinKey = u64;
 
 /// A data-attribute value carried alongside the join key.
 ///
-/// Like [`JoinKey`] this is a fixed-width word; wider payloads are handled
-/// by storing row identifiers here and fetching the full rows after the
-/// join (late materialisation).
+/// Like [`JoinKey`] this is a fixed-width word; wider payloads use the
+/// generic kernel records ([`AugRecord<P>`]) with a `[u64; W]` payload, or
+/// store row identifiers here and fetch the full rows after the join (late
+/// materialisation).
 pub type DataValue = u64;
+
+/// Payloads the kernel records can carry through the oblivious join.
+///
+/// A payload must be a fixed-size, branch-free-selectable value with a
+/// total order (the augment phase sorts by `(tid, j, d)`); `u64` is the
+/// legacy pair shape and `[u64; W]` carries `W` columns at once.  The
+/// blanket impl covers both.
+pub trait Payload: Copy + Ord + Eq + std::fmt::Debug + std::hash::Hash + CtSelect {
+    /// The all-zero payload used for null padding records.
+    fn zero() -> Self;
+}
+
+impl Payload for u64 {
+    #[inline(always)]
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl<const N: usize> Payload for [u64; N] {
+    #[inline(always)]
+    fn zero() -> Self {
+        [0; N]
+    }
+}
 
 /// One row of an input table: the pair `(j, d)` of §4.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
@@ -41,27 +67,39 @@ impl From<(JoinKey, DataValue)> for Entry {
 
 /// One row of the join output: the data values of a matching pair of input
 /// rows, `(d₁, d₂)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
-pub struct JoinRow {
+///
+/// The payload type defaults to the legacy single word; the wide operators
+/// instantiate it with `[u64; W]` to carry several columns per side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JoinRow<P: Payload = DataValue> {
     /// Data value contributed by the left table.
-    pub left: DataValue,
+    pub left: P,
     /// Data value contributed by the right table.
-    pub right: DataValue,
+    pub right: P,
 }
 
-impl JoinRow {
+impl<P: Payload> JoinRow<P> {
     /// Construct an output row.
-    pub fn new(left: DataValue, right: DataValue) -> Self {
+    pub fn new(left: P, right: P) -> Self {
         JoinRow { left, right }
     }
 }
 
-impl CtSelect for JoinRow {
+impl<P: Payload> Default for JoinRow<P> {
+    fn default() -> Self {
+        JoinRow {
+            left: P::zero(),
+            right: P::zero(),
+        }
+    }
+}
+
+impl<P: Payload> CtSelect for JoinRow<P> {
     #[inline(always)]
     fn ct_select(c: Choice, a: Self, b: Self) -> Self {
         JoinRow {
-            left: u64::ct_select(c, a.left, b.left),
-            right: u64::ct_select(c, a.right, b.right),
+            left: P::ct_select(c, a.left, b.left),
+            right: P::ct_select(c, a.right, b.right),
         }
     }
 }
@@ -93,12 +131,16 @@ impl TableId {
 /// Algorithm 5 (`align_idx`), and a validity flag (`live`) so that null
 /// padding entries are representable.  All fields are fixed-width words and
 /// every conditional assignment to a record goes through [`CtSelect`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct AugRecord {
+///
+/// The data attribute is generic: `u64` for the legacy pair shape (the
+/// default, so existing call sites are unchanged) or `[u64; W]` for the
+/// wide operators' multi-column carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AugRecord<P: Payload = DataValue> {
     /// Join attribute `j`.
     pub key: JoinKey,
     /// Data attribute `d`.
-    pub value: DataValue,
+    pub value: P,
     /// Originating table id (1 or 2); 0 in null records.
     pub tid: u64,
     /// Group dimension `α₁(j)`: how many entries of `T₁` carry this key.
@@ -117,9 +159,37 @@ pub struct AugRecord {
 impl AugRecord {
     /// Build a live, un-augmented record from an input entry.
     pub fn from_entry(entry: Entry, tid: TableId) -> Self {
+        AugRecord::from_parts(entry.key, entry.value, tid)
+    }
+
+    /// The `(d₁, d₂)`-producing projection used by the final zip is handled
+    /// in the join module; here we expose the entry view for tests.
+    pub fn entry(&self) -> Entry {
+        Entry::new(self.key, self.value)
+    }
+}
+
+impl<P: Payload> Default for AugRecord<P> {
+    fn default() -> Self {
         AugRecord {
-            key: entry.key,
-            value: entry.value,
+            key: 0,
+            value: P::zero(),
+            tid: 0,
+            alpha1: 0,
+            alpha2: 0,
+            dest: 0,
+            align_idx: 0,
+            live: 0,
+        }
+    }
+}
+
+impl<P: Payload> AugRecord<P> {
+    /// Build a live, un-augmented record from a key, payload and table id.
+    pub fn from_parts(key: JoinKey, value: P, tid: TableId) -> Self {
+        AugRecord {
+            key,
+            value,
             tid: tid.as_u64(),
             alpha1: 0,
             alpha2: 0,
@@ -129,24 +199,18 @@ impl AugRecord {
         }
     }
 
-    /// The `(d₁, d₂)`-producing projection used by the final zip is handled
-    /// in the join module; here we expose the entry view for tests.
-    pub fn entry(&self) -> Entry {
-        Entry::new(self.key, self.value)
-    }
-
     /// Whether the record is a real entry (as opposed to null padding).
     pub fn is_live(&self) -> bool {
         self.live == 1
     }
 }
 
-impl CtSelect for AugRecord {
+impl<P: Payload> CtSelect for AugRecord<P> {
     #[inline(always)]
     fn ct_select(c: Choice, a: Self, b: Self) -> Self {
         AugRecord {
             key: u64::ct_select(c, a.key, b.key),
-            value: u64::ct_select(c, a.value, b.value),
+            value: P::ct_select(c, a.value, b.value),
             tid: u64::ct_select(c, a.tid, b.tid),
             alpha1: u64::ct_select(c, a.alpha1, b.alpha1),
             alpha2: u64::ct_select(c, a.alpha2, b.alpha2),
@@ -157,7 +221,7 @@ impl CtSelect for AugRecord {
     }
 }
 
-impl Routable for AugRecord {
+impl<P: Payload> Routable for AugRecord<P> {
     fn dest(&self) -> u64 {
         self.dest
     }
@@ -212,7 +276,7 @@ mod tests {
 
     #[test]
     fn null_record_is_null_regardless_of_dest() {
-        let mut n = AugRecord::null();
+        let mut n = AugRecord::<u64>::null();
         assert!(n.is_null());
         n.set_dest(5);
         assert!(n.is_null(), "nullity is carried by the live flag, not dest");
@@ -229,8 +293,8 @@ mod tests {
 
     #[test]
     fn join_row_ct_select() {
-        let a = JoinRow::new(1, 2);
-        let b = JoinRow::new(3, 4);
+        let a = JoinRow::<u64>::new(1, 2);
+        let b = JoinRow::<u64>::new(3, 4);
         assert_eq!(JoinRow::ct_select(Choice::TRUE, a, b), a);
         assert_eq!(JoinRow::ct_select(Choice::FALSE, a, b), b);
     }

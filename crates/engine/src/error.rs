@@ -32,39 +32,25 @@ pub enum EngineError {
         /// What went wrong, with enough context to fix the query.
         message: String,
     },
-    /// A pair-shaped (legacy) plan referenced a table registered with a
-    /// wide schema.  Wide tables are queried with column syntax
-    /// (`JOIN a b ON key`, `FILTER col>=N`, `AGG sum(col)`).
+    /// A pair-shaped accessor ([`Catalog::resolve`](crate::Catalog::resolve))
+    /// was pointed at a table registered with a wide schema.
     WideTableInScalarPlan {
         /// The wide table's name.
         name: String,
     },
-    /// A wide plan failed schema validation (unknown column, type
-    /// mismatch, non-aggregatable column, …).
+    /// A plan failed schema validation (unknown column, type mismatch,
+    /// non-aggregatable column, carry overflow, …).
     Wide(WideError),
-    /// A wide plan was resolved through the pair-shaped
-    /// [`resolve`](crate::NamedPlan::resolve); use
-    /// [`resolve_any`](crate::NamedPlan::resolve_any) (or just the engine's
-    /// `execute_*` entry points, which do).
-    NotAPairPlan,
     /// A column reference matched a column in both join inputs, so the
-    /// planner cannot tell which side to read it from.
+    /// planner cannot tell which side to read it from.  Disambiguate with
+    /// a `left_` / `right_` prefix (the join's own output naming).
     AmbiguousColumn {
         /// The ambiguous column name.
         name: String,
-        /// The left table's name.
-        left: String,
-        /// The right table's name.
-        right: String,
-    },
-    /// Stages downstream of a wide join referenced more than one payload
-    /// column from the same side; the kernel carries one data word per
-    /// side.  Aggregate first, or run one query per payload column.
-    TooManyCarriedColumns {
-        /// The table whose carry capacity was exceeded.
-        table: String,
-        /// The columns that were requested from it.
-        columns: Vec<String>,
+        /// The left input's columns.
+        left: Vec<String>,
+        /// The right input's columns.
+        right: Vec<String>,
     },
 }
 
@@ -98,21 +84,12 @@ impl fmt::Display for EngineError {
                  (e.g. `JOIN a b ON key`, `FILTER col>=N`, `AGG sum(col)`)"
             ),
             EngineError::Wide(e) => write!(f, "{e}"),
-            EngineError::NotAPairPlan => write!(
-                f,
-                "wide plans produce wide results; resolve them with `resolve_any` \
-                 or submit them through the engine"
-            ),
             EngineError::AmbiguousColumn { name, left, right } => write!(
                 f,
-                "column `{name}` exists in both `{left}` and `{right}`; rename one side"
-            ),
-            EngineError::TooManyCarriedColumns { table, columns } => write!(
-                f,
-                "stages reference {} payload columns of `{table}` ({}), but a wide join \
-                 carries one payload column per side; aggregate earlier or split the query",
-                columns.len(),
-                columns.join(", ")
+                "column `{name}` exists on both sides of the join (left: {}; right: {}); \
+                 disambiguate with `left_{name}` / `right_{name}`",
+                left.join(", "),
+                right.join(", ")
             ),
         }
     }

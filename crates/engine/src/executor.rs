@@ -50,8 +50,9 @@ use obliv_trace::{HashingSink, Tracer};
 use crate::catalog::{Catalog, TableMeta};
 use crate::error::EngineError;
 use crate::frontend::parse_query;
+use crate::planner::ResolvedPlan;
 use crate::pool::WorkerPool;
-use crate::query::{QueryRequest, QueryResponse, QuerySummary, ResolvedPlan};
+use crate::query::{QueryRequest, QueryResponse, QuerySummary, Rows};
 use crate::session::Session;
 
 /// Engine construction options.
@@ -96,8 +97,7 @@ pub struct CacheStats {
 /// The label-independent payload of one executed query, shared between the
 /// cache and every response fanned out from it.
 pub(crate) struct CachedQuery {
-    result: Table,
-    wide: Option<WideTable>,
+    rows: Rows,
     summary: QuerySummary,
 }
 
@@ -123,8 +123,8 @@ type ResultCacheMap = HashMap<String, (u64, Arc<CachedQuery>)>;
 ///     .execute_text_batch(&["SCAN orders | FILTER v>=100", "JOIN orders customers"])
 ///     .unwrap();
 /// assert_eq!(responses.len(), 2);
-/// assert_eq!(responses[0].result.rows(), &[(1, 120).into()]);
-/// assert_eq!(responses[1].result.rows(), &[(1, 7).into(), (2, 9).into()]);
+/// assert_eq!(responses[0].rows.pairs().unwrap(), vec![(1, 120)]);
+/// assert_eq!(responses[1].rows.pairs().unwrap(), vec![(1, 7), (2, 9)]);
 /// ```
 pub struct Engine {
     catalog: RwLock<Catalog>,
@@ -257,22 +257,10 @@ impl Engine {
     fn run_plan(plan: &ResolvedPlan) -> CachedQuery {
         let start = Instant::now();
         let tracer = Tracer::new(HashingSink::new());
-        let (result, wide, output_rows) = match plan {
-            ResolvedPlan::Pair(plan) => {
-                let result = plan.execute(&tracer);
-                let rows = result.len();
-                (result, None, rows)
-            }
-            ResolvedPlan::Wide(pipeline) => {
-                // Resolution already validated the pipeline, so execution
-                // cannot hit a schema error.
-                let result = pipeline
-                    .execute(&tracer)
-                    .expect("wide plan validated at resolution");
-                let rows = result.len();
-                (Table::new(), Some(result), rows)
-            }
-        };
+        // Resolution already validated the whole plan, so execution cannot
+        // fail — pair-lowered plans run the legacy kernel, everything else
+        // the wide operators.
+        let rows = plan.execute(&tracer);
         let wall = start.elapsed();
         let counters = tracer.counters();
         let (trace_digest, trace_events) = tracer.with_sink(|s| (s.digest_hex(), s.events()));
@@ -281,11 +269,12 @@ impl Engine {
                 trace_digest,
                 trace_events,
                 counters,
-                output_rows,
+                output_rows: rows.len(),
+                output_row_width: rows.schema().row_width(),
+                carry_words: plan.carry_words(),
                 wall,
             },
-            result,
-            wide,
+            rows,
         }
     }
 
@@ -369,7 +358,7 @@ impl Engine {
             }
             for (slot, &req) in representative.iter().enumerate() {
                 if payload[slot].is_none() {
-                    jobs.push((slot, requests[req].plan().resolve_any(&catalog)?));
+                    jobs.push((slot, requests[req].plan().resolve(&catalog)?));
                 }
             }
             epoch
@@ -458,8 +447,7 @@ impl Engine {
                 }
                 QueryResponse {
                     label: request.label.clone(),
-                    result: entry.result.clone(),
-                    wide: entry.wide.clone(),
+                    rows: entry.rows.clone(),
                     summary: entry.summary.clone(),
                     cached,
                 }
@@ -477,7 +465,7 @@ impl Engine {
     /// one parallel batch.
     pub fn validate(&self, request: &QueryRequest) -> Result<(), EngineError> {
         let catalog = self.catalog.read().expect("catalog lock poisoned");
-        request.plan().resolve_any(&catalog).map(|_| ())
+        request.plan().resolve(&catalog).map(|_| ())
     }
 
     /// Parse and execute a batch of text queries concurrently; the query
@@ -506,8 +494,9 @@ impl std::fmt::Debug for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::NamedPlan;
-    use obliv_operators::{Aggregate, JoinColumns, Predicate};
+    use crate::query::Plan;
+    use obliv_join::schema::Value;
+    use obliv_operators::{Aggregate, WidePredicate};
 
     fn engine_with(config: EngineConfig) -> Engine {
         let engine = Engine::new(config);
@@ -537,20 +526,25 @@ mod tests {
         vec![
             QueryRequest::new(
                 "regions",
-                NamedPlan::scan("orders")
-                    .join(NamedPlan::scan("customers"), JoinColumns::KeyAndRight),
+                Plan::scan("orders")
+                    .join(Plan::scan("customers"), "key", "key")
+                    .project(["key", "right_value"]),
             ),
             QueryRequest::new(
                 "big-orders",
-                NamedPlan::scan("orders").filter(Predicate::ValueAtLeast(100)),
+                Plan::scan("orders").filter(WidePredicate::at_least("value", Value::U64(100))),
             ),
             QueryRequest::new(
                 "per-customer",
-                NamedPlan::scan("orders").group_aggregate(Aggregate::Sum),
+                Plan::scan("orders").group_aggregate(
+                    Aggregate::Sum,
+                    Some("value".into()),
+                    Some("key".into()),
+                ),
             ),
             QueryRequest::new(
                 "no-orders",
-                NamedPlan::scan("customers").anti_join(NamedPlan::scan("orders")),
+                Plan::scan("customers").anti_join(Plan::scan("orders"), "key", "key"),
             ),
         ]
     }
@@ -568,7 +562,7 @@ mod tests {
         assert_eq!(serial.len(), concurrent.len());
         for (s, c) in serial.iter().zip(&concurrent) {
             assert_eq!(s.label, c.label);
-            assert_eq!(s.result, c.result);
+            assert_eq!(s.rows, c.rows);
             assert_eq!(s.summary.trace_digest, c.summary.trace_digest);
             assert_eq!(s.summary.trace_events, c.summary.trace_events);
             assert_eq!(s.summary.counters, c.summary.counters);
@@ -593,7 +587,7 @@ mod tests {
     fn unknown_table_fails_the_whole_batch_up_front() {
         let engine = engine(2);
         let mut reqs = requests();
-        reqs.push(QueryRequest::new("bad", NamedPlan::scan("ghost")));
+        reqs.push(QueryRequest::new("bad", Plan::scan("ghost")));
         assert_eq!(
             engine.execute_batch(&reqs).unwrap_err(),
             EngineError::UnknownTable {
@@ -632,12 +626,9 @@ mod tests {
             ])
             .unwrap();
         // Orders ≥ 100 grouped by customer: 1 → 350, 3 → 300.
-        assert_eq!(
-            responses[0].result.rows(),
-            &[(1, 350).into(), (3, 300).into()]
-        );
+        assert_eq!(responses[0].rows.pairs().unwrap(), vec![(1, 350), (3, 300)]);
         // Customer 4 has no orders.
-        assert_eq!(responses[1].result.rows(), &[(4, 9).into()]);
+        assert_eq!(responses[1].rows.pairs().unwrap(), vec![(4, 9)]);
         assert_eq!(responses[0].label, "SCAN orders | FILTER v>=100 | AGG sum");
     }
 
@@ -648,7 +639,8 @@ mod tests {
         for r in &responses {
             assert_eq!(r.summary.trace_digest.len(), 64);
             assert!(r.summary.trace_events > 0);
-            assert_eq!(r.summary.output_rows, r.result.len());
+            assert_eq!(r.summary.output_rows, r.rows.len());
+            assert_eq!(r.summary.output_row_width, r.rows.schema().row_width());
         }
         // The join query does real sorting work.
         assert!(responses[0].summary.counters.comparisons > 0);
@@ -664,7 +656,7 @@ mod tests {
             .register_table("orders", Table::from_pairs(vec![(9, 1)]))
             .unwrap();
         let after = engine.execute_batch(&requests()[2..3]).unwrap();
-        assert_ne!(before[2].result, after[0].result);
+        assert_ne!(before[2].rows, after[0].rows);
     }
 
     #[test]
@@ -678,7 +670,7 @@ mod tests {
         // Bit-identical payload: result, digest, counters, even the wall
         // time of the run that produced it.
         assert_eq!(hit.label, miss.label);
-        assert_eq!(hit.result, miss.result);
+        assert_eq!(hit.rows, miss.rows);
         assert_eq!(hit.summary, miss.summary);
         assert_eq!(engine.cache_stats(), CacheStats { hits: 1, misses: 1 });
     }
@@ -686,7 +678,11 @@ mod tests {
     #[test]
     fn identical_plans_in_one_batch_execute_once() {
         let engine = engine(4);
-        let plan = NamedPlan::scan("orders").group_aggregate(Aggregate::Sum);
+        let plan = Plan::scan("orders").group_aggregate(
+            Aggregate::Sum,
+            Some("value".into()),
+            Some("key".into()),
+        );
         let batch = vec![
             QueryRequest::new("a", plan.clone()),
             QueryRequest::new("b", plan.clone()),
@@ -706,7 +702,7 @@ mod tests {
             vec!["a", "b", "c"],
             "each duplicate keeps its own label"
         );
-        assert_eq!(responses[0].result, responses[1].result);
+        assert_eq!(responses[0].rows, responses[1].rows);
         assert_eq!(responses[0].summary, responses[2].summary);
         assert_eq!(engine.cache_stats(), CacheStats { hits: 2, misses: 1 });
     }
@@ -721,7 +717,7 @@ mod tests {
             .unwrap();
         let second = engine.execute_batch(request).unwrap();
         assert!(!second[0].cached, "epoch bump must force re-execution");
-        assert_ne!(first[0].result, second[0].result);
+        assert_ne!(first[0].rows, second[0].rows);
         // Deregistering also invalidates.
         let third = engine.execute_batch(request).unwrap();
         assert!(third[0].cached);
@@ -736,7 +732,11 @@ mod tests {
             workers: 2,
             result_cache: false,
         });
-        let plan = NamedPlan::scan("orders").group_aggregate(Aggregate::Sum);
+        let plan = Plan::scan("orders").group_aggregate(
+            Aggregate::Sum,
+            Some("value".into()),
+            Some("key".into()),
+        );
         let batch = vec![
             QueryRequest::new("a", plan.clone()),
             QueryRequest::new("b", plan),
@@ -753,9 +753,9 @@ mod tests {
     #[test]
     fn validate_checks_resolution_without_executing() {
         let engine = engine(2);
-        let good = QueryRequest::new("g", NamedPlan::scan("orders"));
+        let good = QueryRequest::new("g", Plan::scan("orders"));
         assert!(engine.validate(&good).is_ok());
-        let bad = QueryRequest::new("b", NamedPlan::scan("ghost"));
+        let bad = QueryRequest::new("b", Plan::scan("ghost"));
         assert_eq!(
             engine.validate(&bad).unwrap_err(),
             EngineError::UnknownTable {

@@ -1,82 +1,70 @@
-//! A tiny text frontend for the engine.
+//! The text frontend: one pipeline grammar over the unified [`Plan`] IR.
 //!
 //! Queries are pipelines: a *source* clause followed by `|`-separated
-//! *stage* clauses.  Two dialects share the pipeline syntax:
+//! *stage* clauses.  Keywords are case-insensitive.  Every query compiles
+//! to the same typed logical plan; the grammar has two surface forms:
 //!
-//! **Legacy (pair-shaped)** — over `(key, value)` tables, compiling to
-//! pair-shaped [`NamedPlan`] nodes (keywords case-insensitive,
-//! whitespace-separated):
-//!
-//! ```text
-//! query  := source { '|' stage }*
-//! source := SCAN t
-//!         | JOIN t t [proj]            -- default proj: key-right
-//!         | SEMIJOIN t t | ANTIJOIN t t
-//!         | JOINAGG t t jagg
-//! stage  := FILTER pred
-//!         | AGG agg | DISTINCT | SWAP
-//!         | JOIN t [proj] | SEMIJOIN t | ANTIJOIN t | UNION t
-//!         | JOINAGG t jagg
-//! proj   := key-left | key-right | left-right | right-left
-//! agg    := count | sum | min | max
-//! jagg   := count | sumleft | sumright | sumproducts
-//! pred   := true | v>=N | v<N | k=N | k in LO..HI
-//! ```
-//!
-//! **Wide (column-level)** — over typed wide tables, compiling to one
-//! [`NamedPlan::Wide`] pipeline.  A query is parsed as wide when its source
-//! uses `JOIN … ON …`, or any `FILTER` names a column (anything outside the
-//! legacy `v`/`k` forms), or any `AGG` uses `agg(column)` / `BY`:
+//! **Column syntax** (the primary dialect) names key columns with `ON` and
+//! payload columns everywhere:
 //!
 //! ```text
-//! query  := wsource { '|' wstage }*
-//! wsource := SCAN t
-//!          | JOIN t t ON key            -- same key column name both sides
-//!          | JOIN t t ON lkey=rkey
-//! wstage  := FILTER col>=const | FILTER col<const | FILTER col=const
-//!          | AGG count [BY col]
-//!          | AGG agg(col) [BY col]      -- agg: count | sum | min | max
+//! query   := source { '|' stage }*
+//! source  := SCAN t
+//!          | JOIN t t ON key | JOIN t t ON lkey=rkey
+//!          | SEMIJOIN t t ON key[=rkey] | ANTIJOIN t t ON key[=rkey]
+//! stage   := FILTER pred
+//!          | AGG count [BY col] | AGG agg(col) [BY col]   -- agg: count|sum|min|max
+//!          | PROJECT col{,col}*
+//!          | DISTINCT
+//!          | UNION t
+//!          | JOIN t ON key[=rkey] | SEMIJOIN t ON key[=rkey] | ANTIJOIN t ON key[=rkey]
+//! pred    := col>=const | col<const | col=const | col in LO..HI
 //! const   := integer | -integer | true | false | "ascii bytes"
 //! ```
 //!
 //! Comparisons follow the column type's natural order (signed for `i64`,
-//! lexicographic for `bytes[≤8]`); constants are typed against the column at
-//! validation time.  A double-quoted constant is a bytes literal (printable
-//! ASCII, no escapes) for equality and range filters on `bytes[n]` columns
-//! — `FILTER region="east"` — and is length-checked against the column's
-//! declared width when the plan is validated against the schema.  Inside
-//! the quotes everything printable is literal content, including spaces,
-//! comparison characters and the `|` clause separator.  Without
-//! `BY`, aggregations downstream of a wide join group by the join key.
+//! lexicographic for `bytes[≤8]`); constants are typed against the column
+//! at validation time.  A double-quoted constant is a bytes literal
+//! (printable ASCII, no escapes) — `FILTER region="east"` — length-checked
+//! against the column's declared width.  Inside the quotes everything
+//! printable is literal content, including spaces, comparison characters
+//! and the `|` clause separator.  Without `BY`, aggregations downstream of
+//! a join group by the join key.  `PROJECT` picks the columns a join
+//! carries (a bare join carries everything both sides have); columns the
+//! two join inputs share are addressed as `left_name` / `right_name`.
+//!
+//! **Legacy pair syntax** is sugar over the same IR for the degenerate
+//! `{key, value}` schema: `JOIN a b [proj]`, `SEMIJOIN a b`, `ANTIJOIN a b`,
+//! `JOINAGG a b jagg`, stages `FILTER v>=N | v<N | k=N | k in LO..HI | true`,
+//! `AGG agg`, `SWAP`, `DISTINCT`, `UNION t`, `JOIN t [proj]`, `JOINAGG t
+//! jagg` (`proj` := key-left | key-right | left-right | right-left; `jagg`
+//! := count | sumleft | sumright | sumproducts).  `v` and `k` name the
+//! current value/key columns; the compiled plans lower back onto the
+//! pair-shaped kernel, so legacy queries trace exactly as before.
+//!
+//! A query is parsed as column syntax when any clause uses `ON`,
+//! `PROJECT`, a parenthesised or `BY`-qualified aggregate, or a filter
+//! predicate outside the legacy `v`/`k` forms; parsing stays
+//! catalog-independent either way, so schema errors (unknown columns,
+//! type mismatches) surface as typed [`EngineError`]s at resolution.
 //!
 //! Examples:
 //!
 //! ```text
 //! JOIN orders lineitem | FILTER v>=100 | AGG sum
 //! JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)
+//! JOIN orders lineitem ON o_key | PROJECT o_key,price,qty,region | DISTINCT
 //! SCAN orders | FILTER priority<0 | AGG count BY region
 //! ```
-//!
-//! The frontend only *names* tables and columns; schemas and contents stay
-//! in the catalog, so parsing is independent of any data, and schema errors
-//! (unknown columns, type mismatches) surface as typed
-//! [`EngineError`]s at resolution.
-//!
-//! One wart to know about: `FILTER v>=N`, `FILTER v<N`, `FILTER k=N` and
-//! `FILTER k in LO..HI` always parse as the legacy dialect, so a wide table
-//! with columns literally named `v` or `k` needs another wide marker in the
-//! query (or different column names).
 
 use obliv_join::schema::Value;
-use obliv_operators::{
-    Aggregate, JoinAggregate, JoinColumns, Predicate, WideCmp, WidePredicate, WideStage,
-};
+use obliv_operators::{Aggregate, JoinAggregate, JoinColumns, Predicate, WidePredicate};
 
 use crate::error::EngineError;
-use crate::query::{NamedPlan, WideNamed};
+use crate::query::Plan;
 
-/// Parse one pipeline query into a [`NamedPlan`].
-pub fn parse_query(text: &str) -> Result<NamedPlan, EngineError> {
+/// Parse one pipeline query into a [`Plan`].
+pub fn parse_query(text: &str) -> Result<Plan, EngineError> {
     let err = |message: String| EngineError::Parse {
         query: text.to_string(),
         message,
@@ -100,14 +88,14 @@ pub fn parse_query(text: &str) -> Result<NamedPlan, EngineError> {
         for clause in stages {
             plan = parse_wide_stage(plan, clause).map_err(&err)?;
         }
-        return Ok(NamedPlan::Wide(plan));
+        return Ok(plan);
     }
 
-    let mut plan = parse_source(source).map_err(&err)?;
+    let mut builder = parse_legacy_source(source).map_err(&err)?;
     for clause in stages {
-        plan = parse_stage(plan, clause).map_err(&err)?;
+        builder = parse_legacy_stage(builder, clause).map_err(&err)?;
     }
-    Ok(plan)
+    Ok(builder.plan)
 }
 
 /// Split a query into its `|`-separated pipeline clauses, treating a `|`
@@ -133,9 +121,10 @@ fn split_clauses(text: &str) -> Vec<&str> {
     clauses
 }
 
-/// Decide the dialect from purely syntactic markers (parsing stays
-/// catalog-independent): an `ON` join, a parenthesised or `BY`-qualified
-/// aggregate, or a filter predicate outside the legacy forms.
+/// Decide the surface form from purely syntactic markers (parsing stays
+/// catalog-independent): an `ON` key clause, a `PROJECT` stage, a
+/// parenthesised or `BY`-qualified aggregate, or a filter predicate
+/// outside the legacy forms.
 fn is_wide_query(source: &str, stages: &[&str]) -> bool {
     let has_word = |clause: &str, word: &str| {
         clause
@@ -148,15 +137,24 @@ fn is_wide_query(source: &str, stages: &[&str]) -> bool {
     stages.iter().any(|clause| {
         let mut words = clause.split_whitespace();
         match words.next().map(|w| w.to_ascii_uppercase()).as_deref() {
+            Some("PROJECT") => true,
+            Some("JOIN" | "SEMIJOIN" | "ANTIJOIN") => has_word(clause, "ON"),
             Some("AGG") => clause.contains('(') || has_word(clause, "BY"),
             Some("FILTER") => {
-                // A quote means a bytes literal, which only the wide
-                // dialect has — wide even when malformed, so its error
+                // A quote means a bytes literal, which only the column
+                // syntax has — wide even when malformed, so its error
                 // messages (unclosed quote, non-ASCII, …) reach the user.
                 // Otherwise a wide marker only if the predicate is *not* a
                 // legacy form but *is* a well-formed column predicate — so
                 // the legacy parser's error messages stay authoritative.
                 let rest = words.collect::<Vec<&str>>().join(" ");
+                // A range filter is decided by its column alone — `k in …`
+                // is always legacy (its error messages stay authoritative),
+                // any other column is column syntax even when malformed.
+                let tokens: Vec<&str> = rest.split_whitespace().collect();
+                if tokens.len() >= 2 && tokens[1].eq_ignore_ascii_case("in") {
+                    return !tokens[0].eq_ignore_ascii_case("k");
+                }
                 rest.contains('"')
                     || (parse_predicate(&rest).is_err() && parse_wide_predicate(&rest).is_ok())
             }
@@ -165,49 +163,62 @@ fn is_wide_query(source: &str, stages: &[&str]) -> bool {
     })
 }
 
-fn parse_wide_source(clause: &str) -> Result<WideNamed, String> {
+// ---------------------------------------------------------------------------
+// Column syntax
+// ---------------------------------------------------------------------------
+
+/// Parse an `ON key` / `ON lkey=rkey` tail into the two key column names.
+fn parse_on_keys(words: &[&str]) -> Result<(String, String), String> {
+    let spec = words.join(" ");
+    let (lk, rk) = match spec.split_once('=') {
+        Some((l, r)) => (l.trim(), r.trim()),
+        None if words.len() == 1 => (words[0], words[0]),
+        None => {
+            return Err(format!(
+                "malformed ON clause `{spec}`: expected one key column or \
+                 left_key=right_key (composite keys are not supported)"
+            ))
+        }
+    };
+    let is_key = |k: &str| !k.is_empty() && !k.contains(char::is_whitespace) && !k.contains('=');
+    if !is_key(lk) || !is_key(rk) {
+        return Err(format!("malformed ON clause `{spec}`"));
+    }
+    Ok((lk.to_string(), rk.to_string()))
+}
+
+fn parse_wide_source(clause: &str) -> Result<Plan, String> {
     let words: Vec<&str> = clause.split_whitespace().collect();
     let keyword = words[0].to_ascii_uppercase();
     match keyword.as_str() {
         "SCAN" => match words[1..] {
-            [t] => Ok(WideNamed::scan(t)),
+            [t] => Ok(Plan::scan(t)),
             _ => Err("SCAN takes exactly one table name".into()),
         },
-        "JOIN" => {
+        "JOIN" | "SEMIJOIN" | "ANTIJOIN" => {
             if words.len() < 5 || !words[3].eq_ignore_ascii_case("ON") {
-                return Err(
-                    "a wide JOIN names its key columns: JOIN left right ON key (or ON \
-                     left_key=right_key)"
-                        .into(),
-                );
+                return Err(format!(
+                    "a column-syntax {keyword} names its key columns: {keyword} left right \
+                     ON key (or ON left_key=right_key)"
+                ));
             }
-            let on_words = &words[4..];
-            let spec = on_words.join(" ");
-            let (lk, rk) = match spec.split_once('=') {
-                Some((l, r)) => (l.trim(), r.trim()),
-                None if on_words.len() == 1 => (on_words[0], on_words[0]),
-                None => {
-                    return Err(format!(
-                        "malformed ON clause `{spec}`: expected one key column or \
-                         left_key=right_key (composite keys are not supported)"
-                    ))
-                }
-            };
-            let is_key =
-                |k: &str| !k.is_empty() && !k.contains(char::is_whitespace) && !k.contains('=');
-            if !is_key(lk) || !is_key(rk) {
-                return Err(format!("malformed ON clause `{spec}`"));
-            }
-            Ok(WideNamed::join(words[1], words[2], lk, rk))
+            let (lk, rk) = parse_on_keys(&words[4..])?;
+            let (left, right) = (Plan::scan(words[1]), Plan::scan(words[2]));
+            Ok(match keyword.as_str() {
+                "JOIN" => left.join(right, lk, rk),
+                "SEMIJOIN" => left.semi_join(right, lk, rk),
+                _ => left.anti_join(right, lk, rk),
+            })
         }
         other => Err(format!(
-            "wide (column-level) pipelines start from SCAN t or JOIN left right ON key; \
-             `{other}` is not supported with column stages"
+            "column-syntax pipelines start from SCAN t, JOIN left right ON key, \
+             SEMIJOIN left right ON key or ANTIJOIN left right ON key; `{other}` is not \
+             supported with column stages"
         )),
     }
 }
 
-fn parse_wide_stage(plan: WideNamed, clause: &str) -> Result<WideNamed, String> {
+fn parse_wide_stage(plan: Plan, clause: &str) -> Result<Plan, String> {
     let mut words = clause.split_whitespace();
     let keyword = words
         .next()
@@ -222,7 +233,7 @@ fn parse_wide_stage(plan: WideNamed, clause: &str) -> Result<WideNamed, String> 
                 .split_once(char::is_whitespace)
                 .map(|(_, r)| r)
                 .unwrap_or("");
-            Ok(plan.stage(WideStage::Filter(parse_wide_predicate(rest)?)))
+            Ok(plan.filter(parse_wide_predicate(rest)?))
         }
         "AGG" => {
             let (spec, by) = match words.iter().position(|w| w.eq_ignore_ascii_case("BY")) {
@@ -237,18 +248,58 @@ fn parse_wide_stage(plan: WideNamed, clause: &str) -> Result<WideNamed, String> 
             match spec {
                 [one] => {
                     let (aggregate, column) = parse_wide_aggregate(one)?;
-                    Ok(plan.stage(WideStage::Aggregate {
-                        aggregate,
-                        column,
-                        by,
-                    }))
+                    Ok(plan.group_aggregate(aggregate, column, by))
                 }
                 _ => Err("AGG takes one aggregate, e.g. sum(qty), count, min(price)".into()),
             }
         }
+        "PROJECT" => {
+            let spec = words.join(" ");
+            let columns: Vec<String> = spec
+                .split(',')
+                .map(|c| c.trim().to_string())
+                .collect::<Vec<_>>();
+            if columns.iter().any(|c| c.is_empty()) {
+                return Err(
+                    "PROJECT takes a comma-separated column list, e.g. PROJECT o_key,price".into(),
+                );
+            }
+            if columns.iter().any(|c| c.contains(char::is_whitespace)) {
+                return Err(format!(
+                    "malformed PROJECT list `{spec}`: separate columns with commas"
+                ));
+            }
+            Ok(plan.project(columns))
+        }
+        "DISTINCT" => match words.as_slice() {
+            [] => Ok(plan.distinct()),
+            _ => Err("DISTINCT takes no arguments".into()),
+        },
+        "UNION" => match words.as_slice() {
+            [t] => Ok(plan.union_all(Plan::scan(*t))),
+            _ => Err("UNION takes exactly one table name".into()),
+        },
+        "JOIN" | "SEMIJOIN" | "ANTIJOIN" => {
+            if words.len() < 3 || !words[1].eq_ignore_ascii_case("ON") {
+                return Err(format!(
+                    "a column-syntax {keyword} stage names its key columns: {keyword} t ON \
+                     key (or ON left_key=right_key)"
+                ));
+            }
+            let (lk, rk) = parse_on_keys(&words[2..])?;
+            let right = Plan::scan(words[0]);
+            Ok(match keyword.as_str() {
+                "JOIN" => plan.join(right, lk, rk),
+                "SEMIJOIN" => plan.semi_join(right, lk, rk),
+                _ => plan.anti_join(right, lk, rk),
+            })
+        }
+        "SWAP" => Err(
+            "SWAP is legacy pair syntax; in column pipelines reorder with PROJECT col2,col1".into(),
+        ),
         other => Err(format!(
-            "stage `{other}` is not supported in wide (column-level) pipelines; supported \
-             stages: FILTER col>=N, AGG agg(col) [BY col]"
+            "stage `{other}` is not supported in column-syntax pipelines; supported stages: \
+             FILTER, AGG, PROJECT, DISTINCT, UNION, JOIN/SEMIJOIN/ANTIJOIN … ON key"
         )),
     }
 }
@@ -290,7 +341,8 @@ fn parse_wide_aggregate(word: &str) -> Result<(Aggregate, Option<String>), Strin
     }
 }
 
-/// Parse a wide filter predicate: `col>=const`, `col<const` or `col=const`.
+/// Parse a column-syntax filter predicate: `col>=const`, `col<const`,
+/// `col=const` or `col in LO..HI`.
 ///
 /// Whitespace is allowed around the operator only — `price >= 100` parses,
 /// `price >= 1 0` is rejected rather than silently compacted.  Inside a
@@ -300,22 +352,50 @@ fn parse_wide_aggregate(word: &str) -> Result<(Aggregate, Option<String>), Strin
 fn parse_wide_predicate(text: &str) -> Result<WidePredicate, String> {
     let trimmed = text.trim();
     if trimmed.is_empty() {
-        return Err("FILTER needs a predicate (col>=N, col<N or col=N)".into());
+        return Err("FILTER needs a predicate (col>=N, col<N, col=N or col in LO..HI)".into());
+    }
+    // `col in LO..HI` — an inclusive range in the column type's order.
+    let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+    if tokens.len() >= 3 && tokens[1].eq_ignore_ascii_case("in") && !trimmed.contains('"') {
+        let column = tokens[0];
+        if column.contains('=') || column.contains('<') {
+            return Err(format!("malformed predicate `{text}`"));
+        }
+        // Joined with spaces (not compacted): whitespace is allowed around
+        // `..` only, and a constant with interior whitespace stays a typed
+        // parse error instead of silently fusing (`1 0..99` is not 10..99).
+        let range = tokens[2..].join(" ");
+        let (lo, hi) = range
+            .split_once("..")
+            .ok_or_else(|| format!("range predicate `{trimmed}` must look like `col in LO..HI`"))?;
+        let constant = |text: &str| {
+            let text = text.trim();
+            if text.contains(char::is_whitespace) {
+                return Err(format!("malformed range bound `{text}`: not one constant"));
+            }
+            parse_wide_constant(text)
+        };
+        return Ok(WidePredicate::in_range(
+            column,
+            constant(lo)?,
+            constant(hi)?,
+        ));
     }
     // The comparison operator is searched for left of any quote, so quoted
     // literal contents can never be mistaken for an operator.
     let head = &trimmed[..trimmed.find('"').unwrap_or(trimmed.len())];
-    let (idx, op_len, cmp) = if let Some(i) = head.find(">=") {
-        (i, 2, WideCmp::AtLeast)
-    } else if let Some(i) = head.find('<') {
-        (i, 1, WideCmp::Below)
-    } else if let Some(i) = head.find('=') {
-        (i, 1, WideCmp::Equals)
-    } else {
-        return Err(format!(
-            "unknown predicate `{text}` (expected col>=N, col<N or col=N)"
-        ));
-    };
+    let (idx, op_len, build): (usize, usize, fn(&str, Value) -> WidePredicate) =
+        if let Some(i) = head.find(">=") {
+            (i, 2, |c, v| WidePredicate::at_least(c, v))
+        } else if let Some(i) = head.find('<') {
+            (i, 1, |c, v| WidePredicate::below(c, v))
+        } else if let Some(i) = head.find('=') {
+            (i, 1, |c, v| WidePredicate::equals(c, v))
+        } else {
+            return Err(format!(
+                "unknown predicate `{text}` (expected col>=N, col<N, col=N or col in LO..HI)"
+            ));
+        };
     let column = trimmed[..idx].trim();
     if column.is_empty() {
         return Err(format!("predicate `{text}` is missing its column name"));
@@ -338,11 +418,7 @@ fn parse_wide_predicate(text: &str) -> Result<WidePredicate, String> {
         }
         parse_wide_constant(constant_text)?
     };
-    Ok(WidePredicate {
-        column: column.to_string(),
-        cmp,
-        constant,
-    })
+    Ok(build(column, constant))
 }
 
 /// A double-quoted bytes literal for `bytes[n]` columns: printable ASCII
@@ -393,7 +469,98 @@ fn parse_wide_constant(text: &str) -> Result<Value, String> {
         .map_err(|_| format!("`{text}` is not a constant (integer, true, false or \"bytes\")"))
 }
 
-fn parse_source(clause: &str) -> Result<NamedPlan, String> {
+// ---------------------------------------------------------------------------
+// Legacy pair syntax (sugar over the same IR)
+// ---------------------------------------------------------------------------
+
+/// The legacy builder: the plan so far plus the symbolic names of the
+/// current key and value columns.  Legacy sources always start from the
+/// degenerate `{key, value}` schema, and every stage's output naming is
+/// predictable from the plan alone, so the sugar can reference columns the
+/// planner will actually produce.
+struct LegacyBuilder {
+    plan: Plan,
+    key: String,
+    value: String,
+}
+
+impl LegacyBuilder {
+    fn scan(table: &str) -> LegacyBuilder {
+        LegacyBuilder {
+            plan: Plan::scan(table),
+            key: "key".into(),
+            value: "value".into(),
+        }
+    }
+}
+
+/// The output name of the legacy join's carried left value column: the
+/// join prefixes names both sides share, and a scanned right side always
+/// has columns `{key, value}`.
+fn legacy_left_carry_name(value: &str) -> String {
+    if value == "key" || value == "value" {
+        format!("left_{value}")
+    } else {
+        value.to_string()
+    }
+}
+
+/// The output name of the legacy join's carried right `value` column.
+fn legacy_right_carry_name(left_key: &str, left_value: &str) -> String {
+    if left_key == "value" || left_value == "value" {
+        "right_value".to_string()
+    } else {
+        "value".to_string()
+    }
+}
+
+/// A legacy `JOIN … [proj]`: an equi-join on the current key column and
+/// the scanned table's `key`, projected to the legacy two-column shape.
+fn legacy_join(left: LegacyBuilder, right_table: &str, proj: JoinColumns) -> LegacyBuilder {
+    let left_out = legacy_left_carry_name(&left.value);
+    let right_out = legacy_right_carry_name(&left.key, &left.value);
+    let (first, second) = match proj {
+        JoinColumns::KeyAndLeft => (left.key.clone(), left_out),
+        JoinColumns::KeyAndRight => (left.key.clone(), right_out),
+        JoinColumns::LeftAndRight => (left_out, right_out),
+        JoinColumns::RightAndLeft => (right_out, left_out),
+    };
+    let joined = left
+        .plan
+        .join(Plan::scan(right_table), left.key, "key")
+        .project([first.clone(), second.clone()]);
+    LegacyBuilder {
+        plan: joined,
+        key: first,
+        value: second,
+    }
+}
+
+/// The value columns a legacy `JOINAGG` names, per aggregate (the left
+/// side's current value column; the scanned right side's `value`).
+fn legacy_joinagg_values(
+    aggregate: JoinAggregate,
+    left_value: &str,
+) -> (Option<String>, Option<String>) {
+    match aggregate {
+        JoinAggregate::CountPairs => (None, None),
+        JoinAggregate::SumLeft => (Some(left_value.to_string()), None),
+        JoinAggregate::SumRight => (None, Some("value".into())),
+        JoinAggregate::SumProducts => (Some(left_value.to_string()), Some("value".into())),
+    }
+}
+
+/// The output value-column name a join-aggregate produces.
+fn joinagg_output_name(aggregate: JoinAggregate, left_value: &str) -> String {
+    match aggregate {
+        JoinAggregate::CountPairs => "count".into(),
+        JoinAggregate::SumLeft => format!("sum_{left_value}"),
+        JoinAggregate::SumRight => "sum_value".into(),
+        JoinAggregate::SumProducts => "sum_products".into(),
+    }
+}
+
+fn parse_legacy_source(clause: &str) -> Result<LegacyBuilder, String> {
     let mut words = clause.split_whitespace();
     let keyword = words
         .next()
@@ -402,38 +569,68 @@ fn parse_source(clause: &str) -> Result<NamedPlan, String> {
     let words: Vec<&str> = words.collect();
     match keyword.as_str() {
         "SCAN" => match words.as_slice() {
-            [t] => Ok(NamedPlan::scan(*t)),
+            [t] => Ok(LegacyBuilder::scan(t)),
             _ => Err("SCAN takes exactly one table name".into()),
         },
         "JOIN" => match words.as_slice() {
-            [l, r] => Ok(NamedPlan::scan(*l).join(NamedPlan::scan(*r), JoinColumns::KeyAndRight)),
-            [l, r, proj] => {
-                Ok(NamedPlan::scan(*l).join(NamedPlan::scan(*r), parse_projection(proj)?))
-            }
+            [l, r] => Ok(legacy_join(
+                LegacyBuilder::scan(l),
+                r,
+                JoinColumns::KeyAndRight,
+            )),
+            [l, r, proj] => Ok(legacy_join(
+                LegacyBuilder::scan(l),
+                r,
+                parse_projection(proj)?,
+            )),
             _ => Err("JOIN takes two table names and an optional projection".into()),
         },
         "SEMIJOIN" => match words.as_slice() {
-            [l, r] => Ok(NamedPlan::scan(*l).semi_join(NamedPlan::scan(*r))),
+            [l, r] => {
+                let left = LegacyBuilder::scan(l);
+                Ok(LegacyBuilder {
+                    plan: left.plan.semi_join(Plan::scan(*r), "key", "key"),
+                    ..left
+                })
+            }
             _ => Err("SEMIJOIN takes exactly two table names".into()),
         },
         "ANTIJOIN" => match words.as_slice() {
-            [l, r] => Ok(NamedPlan::scan(*l).anti_join(NamedPlan::scan(*r))),
+            [l, r] => {
+                let left = LegacyBuilder::scan(l);
+                Ok(LegacyBuilder {
+                    plan: left.plan.anti_join(Plan::scan(*r), "key", "key"),
+                    ..left
+                })
+            }
             _ => Err("ANTIJOIN takes exactly two table names".into()),
         },
-        "JOINAGG" => {
-            match words.as_slice() {
-                [l, r, agg] => Ok(NamedPlan::scan(*l)
-                    .join_aggregate(NamedPlan::scan(*r), parse_join_aggregate(agg)?)),
-                _ => Err("JOINAGG takes two table names and an aggregate".into()),
+        "JOINAGG" => match words.as_slice() {
+            [l, r, agg] => {
+                let aggregate = parse_join_aggregate(agg)?;
+                let (lv, rv) = legacy_joinagg_values(aggregate, "value");
+                Ok(LegacyBuilder {
+                    plan: Plan::scan(*l).join_aggregate(
+                        Plan::scan(*r),
+                        "key",
+                        "key",
+                        lv,
+                        rv,
+                        aggregate,
+                    ),
+                    key: "key".into(),
+                    value: joinagg_output_name(aggregate, "value"),
+                })
             }
-        }
+            _ => Err("JOINAGG takes two table names and an aggregate".into()),
+        },
         other => Err(format!(
             "unknown source keyword `{other}` (expected SCAN, JOIN, SEMIJOIN, ANTIJOIN or JOINAGG)"
         )),
     }
 }
 
-fn parse_stage(input: NamedPlan, clause: &str) -> Result<NamedPlan, String> {
+fn parse_legacy_stage(input: LegacyBuilder, clause: &str) -> Result<LegacyBuilder, String> {
     let mut words = clause.split_whitespace();
     let keyword = words
         .next()
@@ -441,44 +638,118 @@ fn parse_stage(input: NamedPlan, clause: &str) -> Result<NamedPlan, String> {
         .to_ascii_uppercase();
     let words: Vec<&str> = words.collect();
     match keyword.as_str() {
-        "FILTER" => Ok(input.filter(parse_predicate(&words.join(" "))?)),
+        "FILTER" => {
+            let predicate = legacy_predicate(parse_predicate(&words.join(" "))?, &input);
+            Ok(LegacyBuilder {
+                plan: input.plan.filter(predicate),
+                ..input
+            })
+        }
         "AGG" => match words.as_slice() {
-            [agg] => Ok(input.group_aggregate(parse_aggregate(agg)?)),
+            [agg] => {
+                let aggregate = parse_aggregate(agg)?;
+                let column = match aggregate {
+                    Aggregate::Count => None,
+                    _ => Some(input.value.clone()),
+                };
+                let out_value = match aggregate {
+                    Aggregate::Count => "count".to_string(),
+                    Aggregate::Sum => format!("sum_{}", input.value),
+                    Aggregate::Min => format!("min_{}", input.value),
+                    Aggregate::Max => format!("max_{}", input.value),
+                };
+                Ok(LegacyBuilder {
+                    plan: input
+                        .plan
+                        .group_aggregate(aggregate, column, Some(input.key.clone())),
+                    key: input.key,
+                    value: out_value,
+                })
+            }
             _ => Err("AGG takes exactly one aggregate (count, sum, min, max)".into()),
         },
         "DISTINCT" => match words.as_slice() {
-            [] => Ok(input.distinct()),
+            [] => Ok(LegacyBuilder {
+                plan: input.plan.distinct(),
+                ..input
+            }),
             _ => Err("DISTINCT takes no arguments".into()),
         },
         "SWAP" => match words.as_slice() {
-            [] => Ok(input.swap_columns()),
+            [] => Ok(LegacyBuilder {
+                plan: input.plan.project([input.value.clone(), input.key.clone()]),
+                key: input.value,
+                value: input.key,
+            }),
             _ => Err("SWAP takes no arguments".into()),
         },
         "JOIN" => match words.as_slice() {
-            [t] => Ok(input.join(NamedPlan::scan(*t), JoinColumns::KeyAndRight)),
-            [t, proj] => Ok(input.join(NamedPlan::scan(*t), parse_projection(proj)?)),
+            [t] => Ok(legacy_join(input, t, JoinColumns::KeyAndRight)),
+            [t, proj] => Ok(legacy_join(input, t, parse_projection(proj)?)),
             _ => Err("stage JOIN takes one table name and an optional projection".into()),
         },
         "SEMIJOIN" => match words.as_slice() {
-            [t] => Ok(input.semi_join(NamedPlan::scan(*t))),
+            [t] => Ok(LegacyBuilder {
+                plan: input
+                    .plan
+                    .semi_join(Plan::scan(*t), input.key.clone(), "key"),
+                ..input
+            }),
             _ => Err("stage SEMIJOIN takes exactly one table name".into()),
         },
         "ANTIJOIN" => match words.as_slice() {
-            [t] => Ok(input.anti_join(NamedPlan::scan(*t))),
+            [t] => Ok(LegacyBuilder {
+                plan: input
+                    .plan
+                    .anti_join(Plan::scan(*t), input.key.clone(), "key"),
+                ..input
+            }),
             _ => Err("stage ANTIJOIN takes exactly one table name".into()),
         },
         "UNION" => match words.as_slice() {
-            [t] => Ok(input.union_all(NamedPlan::scan(*t))),
+            [t] => Ok(LegacyBuilder {
+                plan: input.plan.union_all(Plan::scan(*t)),
+                ..input
+            }),
             _ => Err("UNION takes exactly one table name".into()),
         },
         "JOINAGG" => match words.as_slice() {
-            [t, agg] => Ok(input.join_aggregate(NamedPlan::scan(*t), parse_join_aggregate(agg)?)),
+            [t, agg] => {
+                let aggregate = parse_join_aggregate(agg)?;
+                let (lv, rv) = legacy_joinagg_values(aggregate, &input.value);
+                let out_value = joinagg_output_name(aggregate, &input.value);
+                Ok(LegacyBuilder {
+                    plan: input.plan.join_aggregate(
+                        Plan::scan(*t),
+                        input.key.clone(),
+                        "key",
+                        lv,
+                        rv,
+                        aggregate,
+                    ),
+                    key: input.key,
+                    value: out_value,
+                })
+            }
             _ => Err("stage JOINAGG takes one table name and an aggregate".into()),
         },
         other => Err(format!(
             "unknown stage keyword `{other}` (expected FILTER, AGG, DISTINCT, SWAP, JOIN, \
              SEMIJOIN, ANTIJOIN, UNION or JOINAGG)"
         )),
+    }
+}
+
+/// Map a legacy kernel predicate onto the current key/value column names.
+fn legacy_predicate(predicate: Predicate, input: &LegacyBuilder) -> WidePredicate {
+    match predicate {
+        Predicate::True => WidePredicate::True,
+        Predicate::ValueAtLeast(n) => WidePredicate::at_least(&input.value, Value::U64(n)),
+        Predicate::ValueBelow(n) => WidePredicate::below(&input.value, Value::U64(n)),
+        Predicate::KeyEquals(n) => WidePredicate::equals(&input.key, Value::U64(n)),
+        Predicate::KeyInRange(lo, hi) => {
+            WidePredicate::in_range(&input.key, Value::U64(lo), Value::U64(hi))
+        }
     }
 }
 
@@ -524,7 +795,8 @@ fn parse_number(text: &str) -> Result<u64, String> {
         .map_err(|_| format!("`{text}` is not an unsigned integer"))
 }
 
-/// Parse a filter predicate: `true`, `v>=N`, `v<N`, `k=N` or `k in LO..HI`.
+/// Parse a legacy filter predicate: `true`, `v>=N`, `v<N`, `k=N` or
+/// `k in LO..HI`.
 fn parse_predicate(text: &str) -> Result<Predicate, String> {
     // Normalise: lowercase, strip spaces around operators so `v >= 100` and
     // `v>=100` both parse.
@@ -574,14 +846,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn issue_example_parses() {
+    fn issue_example_parses_to_degenerate_plan() {
         let plan = parse_query("JOIN orders lineitem | FILTER v>=100 | AGG sum").unwrap();
+        // JOIN a b == join on key, carry the right value, project back to
+        // two columns; both pair tables clash on every column, so the
+        // carried right value is `right_value`.
         assert_eq!(
             plan,
-            NamedPlan::scan("orders")
-                .join(NamedPlan::scan("lineitem"), JoinColumns::KeyAndRight)
-                .filter(Predicate::ValueAtLeast(100))
-                .group_aggregate(Aggregate::Sum)
+            Plan::scan("orders")
+                .join(Plan::scan("lineitem"), "key", "key")
+                .project(["key", "right_value"])
+                .filter(WidePredicate::at_least("right_value", Value::U64(100)))
+                .group_aggregate(
+                    Aggregate::Sum,
+                    Some("right_value".into()),
+                    Some("key".into())
+                )
         );
     }
 
@@ -593,59 +873,85 @@ mod tests {
     }
 
     #[test]
-    fn all_sources_parse() {
-        assert_eq!(parse_query("SCAN t").unwrap(), NamedPlan::scan("t"));
+    fn all_legacy_sources_parse() {
+        assert_eq!(parse_query("SCAN t").unwrap(), Plan::scan("t"));
         assert_eq!(
             parse_query("JOIN a b left-right").unwrap(),
-            NamedPlan::scan("a").join(NamedPlan::scan("b"), JoinColumns::LeftAndRight)
+            Plan::scan("a")
+                .join(Plan::scan("b"), "key", "key")
+                .project(["left_value", "right_value"])
         );
         assert_eq!(
             parse_query("SEMIJOIN a b").unwrap(),
-            NamedPlan::scan("a").semi_join(NamedPlan::scan("b"))
+            Plan::scan("a").semi_join(Plan::scan("b"), "key", "key")
         );
         assert_eq!(
             parse_query("ANTIJOIN a b").unwrap(),
-            NamedPlan::scan("a").anti_join(NamedPlan::scan("b"))
+            Plan::scan("a").anti_join(Plan::scan("b"), "key", "key")
         );
         assert_eq!(
             parse_query("JOINAGG a b sumproducts").unwrap(),
-            NamedPlan::scan("a").join_aggregate(NamedPlan::scan("b"), JoinAggregate::SumProducts)
+            Plan::scan("a").join_aggregate(
+                Plan::scan("b"),
+                "key",
+                "key",
+                Some("value".into()),
+                Some("value".into()),
+                JoinAggregate::SumProducts
+            )
         );
     }
 
     #[test]
-    fn all_stages_parse() {
-        let plan = parse_query(
-            "SCAN t | FILTER k in 3..9 | DISTINCT | SWAP | JOIN u key-left | SEMIJOIN v \
-             | ANTIJOIN w | UNION x | JOINAGG y sumleft | AGG max",
-        )
-        .unwrap();
+    fn legacy_stages_track_symbolic_columns() {
+        // SWAP renames the pair view; the following AGG reads the swapped
+        // columns.
+        let plan = parse_query("SCAN t | SWAP | AGG max").unwrap();
         assert_eq!(
             plan,
-            NamedPlan::scan("t")
-                .filter(Predicate::KeyInRange(3, 9))
-                .distinct()
-                .swap_columns()
-                .join(NamedPlan::scan("u"), JoinColumns::KeyAndLeft)
-                .semi_join(NamedPlan::scan("v"))
-                .anti_join(NamedPlan::scan("w"))
-                .union_all(NamedPlan::scan("x"))
-                .join_aggregate(NamedPlan::scan("y"), JoinAggregate::SumLeft)
-                .group_aggregate(Aggregate::Max)
+            Plan::scan("t").project(["value", "key"]).group_aggregate(
+                Aggregate::Max,
+                Some("key".into()),
+                Some("value".into())
+            )
+        );
+        // After a join, v/k address the projected pair columns.
+        let plan = parse_query("JOIN a b | FILTER v>=10").unwrap();
+        assert_eq!(
+            plan,
+            Plan::scan("a")
+                .join(Plan::scan("b"), "key", "key")
+                .project(["key", "right_value"])
+                .filter(WidePredicate::at_least("right_value", Value::U64(10)))
+        );
+        // Chained joins and stage semi/anti joins key on the current key.
+        let plan = parse_query("JOIN a b | JOIN c key-left | SEMIJOIN d | UNION e").unwrap();
+        assert_eq!(
+            plan,
+            Plan::scan("a")
+                .join(Plan::scan("b"), "key", "key")
+                .project(["key", "right_value"])
+                .join(Plan::scan("c"), "key", "key")
+                .project(["key", "right_value"])
+                .semi_join(Plan::scan("d"), "key", "key")
+                .union_all(Plan::scan("e"))
         );
     }
 
     #[test]
-    fn predicates_parse() {
+    fn legacy_predicates_parse() {
         for (text, expected) in [
-            ("true", Predicate::True),
-            ("v>=42", Predicate::ValueAtLeast(42)),
-            ("v < 7", Predicate::ValueBelow(7)),
-            ("k=5", Predicate::KeyEquals(5)),
-            ("k in 1..10", Predicate::KeyInRange(1, 10)),
+            ("true", WidePredicate::True),
+            ("v>=42", WidePredicate::at_least("value", Value::U64(42))),
+            ("v < 7", WidePredicate::below("value", Value::U64(7))),
+            ("k=5", WidePredicate::equals("key", Value::U64(5))),
+            (
+                "k in 1..10",
+                WidePredicate::in_range("key", Value::U64(1), Value::U64(10)),
+            ),
         ] {
             let plan = parse_query(&format!("SCAN t | FILTER {text}")).unwrap();
-            assert_eq!(plan, NamedPlan::scan("t").filter(expected), "{text}");
+            assert_eq!(plan, Plan::scan("t").filter(expected), "{text}");
         }
     }
 
@@ -666,6 +972,9 @@ mod tests {
             ("JOIN a b sideways", "unknown join projection"),
             ("JOINAGG a b harmonic", "unknown join aggregate"),
             ("SCAN t | FILTER v>=ten", "not an unsigned integer"),
+            ("SCAN t | PROJECT", "comma-separated column list"),
+            ("SCAN t | PROJECT a b", "separate columns with commas"),
+            ("SCAN t | PROJECT a,,b", "comma-separated column list"),
         ];
         for (query, needle) in cases {
             match parse_query(query) {
@@ -681,32 +990,15 @@ mod tests {
     }
 
     #[test]
-    fn scan_distinct_roundtrip() {
-        assert_eq!(
-            parse_query("SCAN t | DISTINCT").unwrap(),
-            NamedPlan::scan("t").distinct()
-        );
-    }
-
-    #[test]
     fn issue_wide_example_parses() {
         let plan = parse_query("JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)")
             .unwrap();
         assert_eq!(
             plan,
-            NamedPlan::Wide(
-                WideNamed::join("orders", "lineitem", "o_key", "o_key")
-                    .stage(WideStage::Filter(WidePredicate {
-                        column: "price".into(),
-                        cmp: WideCmp::AtLeast,
-                        constant: Value::U64(100),
-                    }))
-                    .stage(WideStage::Aggregate {
-                        aggregate: Aggregate::Sum,
-                        column: Some("qty".into()),
-                        by: None,
-                    })
-            )
+            Plan::scan("orders")
+                .join(Plan::scan("lineitem"), "o_key", "o_key")
+                .filter(WidePredicate::at_least("price", Value::U64(100)))
+                .group_aggregate(Aggregate::Sum, Some("qty".into()), None)
         );
     }
 
@@ -720,28 +1012,55 @@ mod tests {
         .unwrap();
         assert_eq!(
             plan,
-            NamedPlan::Wide(
-                WideNamed::join("a", "b", "x", "y")
-                    .stage(WideStage::Filter(WidePredicate {
-                        column: "tax".into(),
-                        cmp: WideCmp::Below,
-                        constant: Value::I64(-2),
-                    }))
-                    .stage(WideStage::Filter(WidePredicate {
-                        column: "urgent".into(),
-                        cmp: WideCmp::Equals,
-                        constant: Value::Bool(true),
-                    }))
-                    .stage(WideStage::Aggregate {
-                        aggregate: Aggregate::Count,
-                        column: None,
-                        by: Some("region".into()),
-                    })
-            )
+            Plan::scan("a")
+                .join(Plan::scan("b"), "x", "y")
+                .filter(WidePredicate::below("tax", Value::I64(-2)))
+                .filter(WidePredicate::equals("urgent", Value::Bool(true)))
+                .group_aggregate(Aggregate::Count, None, Some("region".into()))
         );
         // A wide SCAN pipeline is triggered by its stages.
         let scan = parse_query("SCAN t | FILTER price>=5 | AGG max(price) BY region").unwrap();
-        assert!(matches!(scan, NamedPlan::Wide(_)));
+        assert!(matches!(scan, Plan::GroupAggregate { .. }));
+    }
+
+    #[test]
+    fn project_distinct_union_and_set_joins_parse_in_column_syntax() {
+        let plan = parse_query(
+            "JOIN orders lineitem ON o_key | PROJECT o_key, price ,qty | DISTINCT | UNION extra",
+        )
+        .unwrap();
+        assert_eq!(
+            plan,
+            Plan::scan("orders")
+                .join(Plan::scan("lineitem"), "o_key", "o_key")
+                .project(["o_key", "price", "qty"])
+                .distinct()
+                .union_all(Plan::scan("extra"))
+        );
+        let plan = parse_query("SEMIJOIN orders lineitem ON o_key=l_key | PROJECT o_key").unwrap();
+        assert_eq!(
+            plan,
+            Plan::scan("orders")
+                .semi_join(Plan::scan("lineitem"), "o_key", "l_key")
+                .project(["o_key"])
+        );
+        let plan = parse_query("SCAN t | ANTIJOIN u ON k | JOIN w ON k=j").unwrap();
+        assert_eq!(
+            plan,
+            Plan::scan("t")
+                .anti_join(Plan::scan("u"), "k", "k")
+                .join(Plan::scan("w"), "k", "j")
+        );
+        // A column-syntax range filter.
+        let plan = parse_query("SCAN t | FILTER price in 10..99").unwrap();
+        assert_eq!(
+            plan,
+            Plan::scan("t").filter(WidePredicate::in_range(
+                "price",
+                Value::U64(10),
+                Value::U64(99)
+            ))
+        );
     }
 
     #[test]
@@ -749,28 +1068,18 @@ mod tests {
         // v/k predicates and bare aggregates never trigger the wide dialect.
         assert_eq!(
             parse_query("SCAN t | FILTER v>=10 | AGG sum").unwrap(),
-            NamedPlan::scan("t")
-                .filter(Predicate::ValueAtLeast(10))
-                .group_aggregate(Aggregate::Sum)
+            Plan::scan("t")
+                .filter(WidePredicate::at_least("value", Value::U64(10)))
+                .group_aggregate(Aggregate::Sum, Some("value".into()), Some("key".into()))
         );
-        // But one wide marker pulls the whole pipeline into the wide
-        // dialect, where `v` is an ordinary column name.
+        // But one wide marker pulls the whole pipeline into column syntax,
+        // where `v` is an ordinary column name.
         let wide = parse_query("SCAN t | FILTER v>=10 | AGG sum(qty) BY v").unwrap();
         assert_eq!(
             wide,
-            NamedPlan::Wide(
-                WideNamed::scan("t")
-                    .stage(WideStage::Filter(WidePredicate {
-                        column: "v".into(),
-                        cmp: WideCmp::AtLeast,
-                        constant: Value::U64(10),
-                    }))
-                    .stage(WideStage::Aggregate {
-                        aggregate: Aggregate::Sum,
-                        column: Some("qty".into()),
-                        by: Some("v".into()),
-                    })
-            )
+            Plan::scan("t")
+                .filter(WidePredicate::at_least("v", Value::U64(10)))
+                .group_aggregate(Aggregate::Sum, Some("qty".into()), Some("v".into()))
         );
     }
 
@@ -780,11 +1089,10 @@ mod tests {
         let plan = parse_query("SCAN t | FILTER region=\"east\"").unwrap();
         assert_eq!(
             plan,
-            NamedPlan::Wide(WideNamed::scan("t").stage(WideStage::Filter(WidePredicate {
-                column: "region".into(),
-                cmp: WideCmp::Equals,
-                constant: Value::Bytes(b"east".to_vec()),
-            })))
+            Plan::scan("t").filter(WidePredicate::equals(
+                "region",
+                Value::Bytes(b"east".to_vec())
+            ))
         );
         // Range comparisons use the bytes' lexicographic order, spaces are
         // allowed around the operator and inside the quotes, and operator
@@ -792,31 +1100,20 @@ mod tests {
         let plan = parse_query("JOIN a b ON k | FILTER part >= \"pt a=1\"").unwrap();
         assert_eq!(
             plan,
-            NamedPlan::Wide(WideNamed::join("a", "b", "k", "k").stage(WideStage::Filter(
-                WidePredicate {
-                    column: "part".into(),
-                    cmp: WideCmp::AtLeast,
-                    constant: Value::Bytes(b"pt a=1".to_vec()),
-                }
-            )))
+            Plan::scan("a")
+                .join(Plan::scan("b"), "k", "k")
+                .filter(WidePredicate::at_least(
+                    "part",
+                    Value::Bytes(b"pt a=1".to_vec())
+                ))
         );
         // Even the clause separator is literal inside the quotes.
         let plan = parse_query("SCAN t | FILTER tag=\"a|b\" | AGG count BY tag").unwrap();
         assert_eq!(
             plan,
-            NamedPlan::Wide(
-                WideNamed::scan("t")
-                    .stage(WideStage::Filter(WidePredicate {
-                        column: "tag".into(),
-                        cmp: WideCmp::Equals,
-                        constant: Value::Bytes(b"a|b".to_vec()),
-                    }))
-                    .stage(WideStage::Aggregate {
-                        aggregate: Aggregate::Count,
-                        column: None,
-                        by: Some("tag".into()),
-                    })
-            )
+            Plan::scan("t")
+                .filter(WidePredicate::equals("tag", Value::Bytes(b"a|b".to_vec())))
+                .group_aggregate(Aggregate::Count, None, Some("tag".into()))
         );
     }
 
@@ -844,8 +1141,6 @@ mod tests {
         let cases = [
             ("JOIN a b ON ", "names its key columns"),
             ("JOIN a b ON =x", "malformed ON clause"),
-            ("SEMIJOIN a b ON k", "not supported with column stages"),
-            ("JOIN a b ON k | DISTINCT", "not supported in wide"),
             ("JOIN a b ON k | AGG median(x)", "unknown aggregate"),
             ("JOIN a b ON k | AGG sum()", "needs a column between"),
             ("JOIN a b ON k | AGG sum(x", "missing `)`"),
@@ -865,6 +1160,16 @@ mod tests {
                 "is not one column name",
             ),
             ("JOIN a b ON k | FILTER price", "unknown predicate"),
+            ("JOIN a b ON k | SWAP", "reorder with PROJECT"),
+            ("JOIN a b ON k | JOIN c", "names its key columns"),
+            ("SEMIJOIN a b ON k | FROB", "not supported in column-syntax"),
+            (
+                "SCAN t | FILTER price in 10",
+                "must look like `col in LO..HI`",
+            ),
+            // Interior whitespace in a range bound must not silently fuse.
+            ("SCAN t | FILTER price in 1 0..99", "not one constant"),
+            ("SCAN t | FILTER price in 10..9 9", "not one constant"),
         ];
         for (query, needle) in cases {
             match parse_query(query) {

@@ -49,7 +49,8 @@
 //! | module | contents |
 //! |--------|----------|
 //! | [`catalog`] | [`Catalog`], [`TableMeta`] — named tables, public sizes |
-//! | [`query`] | [`NamedPlan`], [`QueryRequest`], [`QueryResponse`], [`QuerySummary`] |
+//! | [`query`] | [`Plan`], [`QueryRequest`], [`QueryResponse`], [`Rows`], [`QuerySummary`] |
+//! | [`planner`] | [`ResolvedPlan`] — type-checking, carry selection, pair lowering |
 //! | [`frontend`] | [`parse_query`] — the pipeline text language |
 //! | [`executor`] | [`Engine`], [`EngineConfig`], [`CacheStats`] — worker-pool batch execution and the result cache |
 //! | [`session`] | [`Session`], [`SessionStats`] — per-tenant queues and accounting |
@@ -61,6 +62,7 @@ pub mod catalog;
 pub mod error;
 pub mod executor;
 pub mod frontend;
+pub mod planner;
 pub(crate) mod pool;
 pub mod query;
 pub mod session;
@@ -69,7 +71,6 @@ pub use catalog::{Catalog, TableMeta};
 pub use error::EngineError;
 pub use executor::{CacheStats, Engine, EngineConfig};
 pub use frontend::parse_query;
-pub use query::{
-    NamedPlan, QueryRequest, QueryResponse, QuerySummary, ResolvedPlan, WideNamed, WideNamedSource,
-};
+pub use planner::ResolvedPlan;
+pub use query::{Plan, QueryRequest, QueryResponse, QuerySummary, Rows};
 pub use session::{Session, SessionStats};

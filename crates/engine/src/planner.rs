@@ -1,0 +1,796 @@
+//! The planner: type-checking and lowering of the unified [`Plan`] IR.
+//!
+//! Resolution walks the plan tree once, against one catalog snapshot, and
+//! produces a self-contained [`ResolvedPlan`] (table contents are `Arc`
+//! clones).  Three things happen on the way:
+//!
+//! 1. **Type-checking** — every column reference, constant, key pair and
+//!    aggregate is validated against the (public) schemas, via the same
+//!    validation entry points the wide operators enforce at execution
+//!    time.  A resolved plan therefore cannot fail mid-execution.
+//! 2. **Carry selection** — each join carries exactly the payload columns
+//!    the plan above it references (everything, for a bare join; the
+//!    listed columns, under a `Project`).  The carry sets — and the
+//!    resulting kernel carry width — are a pure function of
+//!    `(plan, catalog schemas)`, both public.
+//! 3. **Pair lowering** — a plan whose every node is *degenerate* (all
+//!    schemas are two `u64` columns and every operator has a legacy
+//!    pair-kernel form) lowers to an [`obliv_operators::QueryPlan`] and
+//!    executes on the pair kernel, producing bit-identical rows and trace
+//!    digests to the legacy API.  Everything else runs on the wide
+//!    operators.
+
+use std::sync::Arc;
+
+use obliv_join::schema::{ColumnType, Schema, Value, WideTable};
+use obliv_join::Table;
+use obliv_operators::{
+    self as ops, wide_anti_join, wide_distinct, wide_filter, wide_group_aggregate, wide_join,
+    wide_join_aggregate, wide_project, wide_semi_join, wide_union_all, Aggregate, JoinAggregate,
+    JoinColumns, Predicate, QueryPlan, WideCmp, WideError, WidePredicate,
+};
+use obliv_trace::{TraceSink, Tracer};
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::query::{Plan, Rows};
+
+/// An executable, fully validated plan: the output schema, the kernel
+/// carry width, and one of the two backends.
+#[derive(Debug, Clone)]
+pub struct ResolvedPlan {
+    schema: Arc<Schema>,
+    carry_words: usize,
+    backend: Backend,
+}
+
+#[derive(Debug, Clone)]
+enum Backend {
+    /// Fully degenerate plan, lowered onto the pair-shaped kernel.
+    Pair(QueryPlan),
+    /// Schema-aware execution tree over the wide operators.
+    Wide(WideExec),
+}
+
+impl ResolvedPlan {
+    /// The plan's output schema.
+    pub fn schema(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Widest per-side join payload carry the plan executes with, in
+    /// kernel words (`0` when the plan has no join).
+    pub fn carry_words(&self) -> usize {
+        self.carry_words
+    }
+
+    /// `true` iff the plan lowered onto the pair-shaped kernel (and will
+    /// therefore trace exactly as the legacy pair API did).
+    pub fn is_pair_lowered(&self) -> bool {
+        matches!(self.backend, Backend::Pair(_))
+    }
+
+    /// Execute the resolved plan obliviously, tracing every public-memory
+    /// access through `tracer`.
+    pub fn execute<S: TraceSink>(&self, tracer: &Tracer<S>) -> Rows {
+        match &self.backend {
+            Backend::Pair(plan) => {
+                let table = plan.execute(tracer);
+                Rows::from_pair_with_schema(Arc::clone(&self.schema), &table)
+            }
+            Backend::Wide(exec) => Rows::from_wide(
+                exec.execute(tracer)
+                    .expect("resolution validated the plan; wide execution cannot fail"),
+            ),
+        }
+    }
+}
+
+/// The wide-operator execution tree (resolution already validated it).
+#[derive(Debug, Clone)]
+enum WideExec {
+    /// A wide catalog table.
+    ScanWide(WideTable),
+    /// A pair catalog table, read through the degenerate `{key, value}`
+    /// schema at execution time (the conversion is client-side and
+    /// untraced, like building any input table).
+    ScanPair(Table),
+    Filter {
+        input: Box<WideExec>,
+        predicate: WidePredicate,
+    },
+    Project {
+        input: Box<WideExec>,
+        columns: Vec<String>,
+    },
+    Distinct {
+        input: Box<WideExec>,
+    },
+    UnionAll {
+        left: Box<WideExec>,
+        right: Box<WideExec>,
+    },
+    Join {
+        left: Box<WideExec>,
+        right: Box<WideExec>,
+        left_key: String,
+        right_key: String,
+        carry_left: Vec<String>,
+        carry_right: Vec<String>,
+    },
+    SemiJoin {
+        left: Box<WideExec>,
+        right: Box<WideExec>,
+        left_key: String,
+        right_key: String,
+        keep_matching: bool,
+    },
+    GroupAggregate {
+        input: Box<WideExec>,
+        aggregate: Aggregate,
+        column: Option<String>,
+        by: String,
+    },
+    JoinAggregate {
+        left: Box<WideExec>,
+        right: Box<WideExec>,
+        left_key: String,
+        right_key: String,
+        left_value: Option<String>,
+        right_value: Option<String>,
+        aggregate: JoinAggregate,
+    },
+}
+
+impl WideExec {
+    fn execute<S: TraceSink>(&self, tracer: &Tracer<S>) -> Result<WideTable, WideError> {
+        Ok(match self {
+            WideExec::ScanWide(table) => table.clone(),
+            WideExec::ScanPair(table) => WideTable::from_pair(table),
+            WideExec::Filter { input, predicate } => {
+                wide_filter(tracer, &input.execute(tracer)?, predicate)?
+            }
+            WideExec::Project { input, columns } => {
+                wide_project(tracer, &input.execute(tracer)?, columns)?
+            }
+            WideExec::Distinct { input } => wide_distinct(tracer, &input.execute(tracer)?)?,
+            WideExec::UnionAll { left, right } => {
+                wide_union_all(tracer, &left.execute(tracer)?, &right.execute(tracer)?)?
+            }
+            WideExec::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+                carry_left,
+                carry_right,
+            } => wide_join(
+                tracer,
+                &left.execute(tracer)?,
+                &right.execute(tracer)?,
+                left_key,
+                right_key,
+                carry_left,
+                carry_right,
+            )?,
+            WideExec::SemiJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                keep_matching,
+            } => {
+                let (l, r) = (left.execute(tracer)?, right.execute(tracer)?);
+                if *keep_matching {
+                    wide_semi_join(tracer, &l, &r, left_key, right_key)?
+                } else {
+                    wide_anti_join(tracer, &l, &r, left_key, right_key)?
+                }
+            }
+            WideExec::GroupAggregate {
+                input,
+                aggregate,
+                column,
+                by,
+            } => wide_group_aggregate(
+                tracer,
+                &input.execute(tracer)?,
+                by,
+                *aggregate,
+                column.as_deref(),
+            )?,
+            WideExec::JoinAggregate {
+                left,
+                right,
+                left_key,
+                right_key,
+                left_value,
+                right_value,
+                aggregate,
+            } => wide_join_aggregate(
+                tracer,
+                &left.execute(tracer)?,
+                &right.execute(tracer)?,
+                left_key,
+                right_key,
+                left_value.as_deref(),
+                right_value.as_deref(),
+                *aggregate,
+            )?,
+        })
+    }
+}
+
+/// What the plan above a node needs from its output: everything, or a
+/// specific column set (the driver of join carry selection).
+#[derive(Debug, Clone)]
+enum Wanted {
+    All,
+    Cols(Vec<String>),
+}
+
+impl Wanted {
+    fn cols<I: IntoIterator<Item = String>>(names: I) -> Wanted {
+        let mut cols: Vec<String> = Vec::new();
+        for name in names {
+            if !cols.contains(&name) {
+                cols.push(name);
+            }
+        }
+        Wanted::Cols(cols)
+    }
+
+    fn plus(&self, extra: Option<&str>) -> Wanted {
+        match self {
+            Wanted::All => Wanted::All,
+            Wanted::Cols(cols) => {
+                let mut cols = cols.clone();
+                if let Some(name) = extra {
+                    if !cols.iter().any(|c| c == name) {
+                        cols.push(name.to_string());
+                    }
+                }
+                Wanted::Cols(cols)
+            }
+        }
+    }
+}
+
+/// One checked subtree: its output schema, natural group key, wide
+/// execution tree, optional pair lowering, and the widest join carry.
+struct Checked {
+    schema: Schema,
+    natural_key: Option<String>,
+    exec: WideExec,
+    pair: Option<QueryPlan>,
+    /// Set when this node is a three-column join of two pair-lowerable
+    /// inputs (both value columns carried): a `Project` directly above it
+    /// can still lower onto the pair kernel with the matching
+    /// [`JoinColumns`] projection (the legacy `left-right`/`right-left`
+    /// forms), keeping their old trace digests.
+    pair_join: Option<PairJoin>,
+    carry_words: usize,
+}
+
+/// The pair-lowerable halves of a both-sides-carried join.
+struct PairJoin {
+    left: QueryPlan,
+    right: QueryPlan,
+}
+
+impl Checked {
+    /// Invariant check: pair lowering only exists for degenerate schemas.
+    fn degenerate(&self) -> bool {
+        let cols = self.schema.columns();
+        cols.len() == 2 && cols.iter().all(|c| c.ty() == ColumnType::U64)
+    }
+}
+
+/// Resolve a plan against the catalog (the body of [`Plan::resolve`]).
+pub(crate) fn resolve(plan: &Plan, catalog: &Catalog) -> Result<ResolvedPlan, EngineError> {
+    let checked = check(plan, catalog, &Wanted::All)?;
+    debug_assert!(checked.pair.is_none() || checked.degenerate());
+    Ok(ResolvedPlan {
+        schema: Arc::new(checked.schema),
+        carry_words: checked.carry_words,
+        backend: match checked.pair {
+            Some(plan) => Backend::Pair(plan),
+            None => Backend::Wide(checked.exec),
+        },
+    })
+}
+
+/// Map a unified predicate onto the legacy pair-kernel [`Predicate`], when
+/// one exists for this (degenerate) schema.
+fn legacy_predicate(schema: &Schema, predicate: &WidePredicate) -> Option<Predicate> {
+    let key = schema.columns()[0].name();
+    let value = schema.columns()[1].name();
+    match predicate {
+        WidePredicate::True => Some(Predicate::True),
+        WidePredicate::Compare {
+            column,
+            cmp,
+            constant: Value::U64(n),
+        } => match cmp {
+            WideCmp::AtLeast if column == value => Some(Predicate::ValueAtLeast(*n)),
+            WideCmp::Below if column == value => Some(Predicate::ValueBelow(*n)),
+            WideCmp::Equals if column == key => Some(Predicate::KeyEquals(*n)),
+            _ => None,
+        },
+        WidePredicate::InRange {
+            column,
+            lo: Value::U64(lo),
+            hi: Value::U64(hi),
+        } if column == key => Some(Predicate::KeyInRange(*lo, *hi)),
+        _ => None,
+    }
+}
+
+/// Assign each wanted column to the join side that owns it.
+///
+/// Resolution order per name: the output key column (always present,
+/// never carried), then a bare match on exactly one side, then a
+/// `left_` / `right_` prefix match on a name both sides share (the join's
+/// own clash naming).  A bare match on both sides is a typed
+/// [`EngineError::AmbiguousColumn`]; no match is a typed unknown-column
+/// error listing the join's actual output namespace.
+fn select_carries(
+    wanted: &Wanted,
+    left: &Schema,
+    right: &Schema,
+    left_key: &str,
+    right_key: &str,
+) -> Result<(Vec<String>, Vec<String>), EngineError> {
+    let mut carry_left: Vec<String> = Vec::new();
+    let mut carry_right: Vec<String> = Vec::new();
+    let push = |side: &mut Vec<String>, name: &str| {
+        if !side.iter().any(|c| c == name) {
+            side.push(name.to_string());
+        }
+    };
+    match wanted {
+        Wanted::All => {
+            for col in left.columns() {
+                if col.name() != left_key {
+                    push(&mut carry_left, col.name());
+                }
+            }
+            for col in right.columns() {
+                if col.name() != right_key {
+                    push(&mut carry_right, col.name());
+                }
+            }
+        }
+        Wanted::Cols(names) => {
+            for name in names {
+                if name == left_key {
+                    continue; // the key column is always in the output
+                }
+                let in_left = left.column(name).is_ok();
+                let in_right = right.column(name).is_ok();
+                match (in_left, in_right) {
+                    (true, true) => {
+                        return Err(EngineError::AmbiguousColumn {
+                            name: name.clone(),
+                            left: left.column_names().iter().map(|s| s.to_string()).collect(),
+                            right: right.column_names().iter().map(|s| s.to_string()).collect(),
+                        })
+                    }
+                    (true, false) => push(&mut carry_left, name),
+                    (false, true) => push(&mut carry_right, name),
+                    (false, false) => {
+                        // `left_x` / `right_x` address a clashing column by
+                        // the join's own output naming.
+                        let shared =
+                            |bare: &str| left.column(bare).is_ok() && right.column(bare).is_ok();
+                        if let Some(bare) = name.strip_prefix("left_").filter(|b| shared(b)) {
+                            push(&mut carry_left, bare);
+                        } else if let Some(bare) = name.strip_prefix("right_").filter(|b| shared(b))
+                        {
+                            push(&mut carry_right, bare);
+                        } else {
+                            return Err(join_unknown_column(
+                                name, left, right, left_key, right_key,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((carry_left, carry_right))
+}
+
+/// A typed unknown-column error listing the join's output namespace.
+fn join_unknown_column(
+    name: &str,
+    left: &Schema,
+    right: &Schema,
+    left_key: &str,
+    right_key: &str,
+) -> EngineError {
+    let mut available = vec![left_key.to_string()];
+    for col in left.columns() {
+        if col.name() != left_key {
+            available.push(ops::join_output_name("left_", col.name(), left, right));
+        }
+    }
+    for col in right.columns() {
+        if col.name() != right_key {
+            available.push(ops::join_output_name("right_", col.name(), left, right));
+        }
+    }
+    available.dedup();
+    EngineError::Wide(WideError::Schema(
+        obliv_join::schema::SchemaError::UnknownColumn {
+            name: name.to_string(),
+            available,
+        },
+    ))
+}
+
+/// The recursive type-check / lowering pass.
+fn check(plan: &Plan, catalog: &Catalog, wanted: &Wanted) -> Result<Checked, EngineError> {
+    match plan {
+        Plan::Scan(name) => {
+            if let Some(pair) = catalog.get(name) {
+                Ok(Checked {
+                    schema: Schema::pair(),
+                    natural_key: None,
+                    exec: WideExec::ScanPair(pair.clone()),
+                    pair: Some(QueryPlan::Scan(pair.clone())),
+                    pair_join: None,
+                    carry_words: 0,
+                })
+            } else if let Some(wide) = catalog.get_wide(name) {
+                ops::validate_row_width(wide.schema())?;
+                Ok(Checked {
+                    schema: wide.schema().clone(),
+                    natural_key: None,
+                    exec: WideExec::ScanWide(wide.clone()),
+                    pair: None,
+                    pair_join: None,
+                    carry_words: 0,
+                })
+            } else {
+                Err(EngineError::UnknownTable { name: name.clone() })
+            }
+        }
+
+        Plan::Filter { input, predicate } => {
+            let child = check(input, catalog, &wanted.plus(predicate.column()))?;
+            predicate.validate(&child.schema)?;
+            let pair = child.pair.as_ref().and_then(|qp| {
+                legacy_predicate(&child.schema, predicate).map(|p| qp.clone().filter(p))
+            });
+            Ok(Checked {
+                exec: WideExec::Filter {
+                    input: Box::new(child.exec),
+                    predicate: predicate.clone(),
+                },
+                schema: child.schema,
+                natural_key: child.natural_key,
+                pair,
+                pair_join: None,
+                carry_words: child.carry_words,
+            })
+        }
+
+        Plan::Project { input, columns } => {
+            let child = check(input, catalog, &Wanted::cols(columns.iter().cloned()))?;
+            let schema = ops::project_output_schema(&child.schema, columns)?;
+            if schema == child.schema {
+                // Identity projection: nothing to execute, nothing to
+                // re-lower.
+                return Ok(Checked { schema, ..child });
+            }
+            let natural_key = child
+                .natural_key
+                .filter(|key| columns.iter().any(|c| c == key));
+            let child_cols = child.schema.column_names();
+            // A two-column swap over a pair-lowered child keeps the pair
+            // kernel; so does any two-column pick over a both-sides-carried
+            // pair join (the legacy `JoinColumns` projections).
+            let pair = child
+                .pair
+                .filter(|_| {
+                    columns.len() == 2 && columns[0] == child_cols[1] && columns[1] == child_cols[0]
+                })
+                .map(|qp| qp.swap_columns())
+                .or_else(|| {
+                    let pj = child.pair_join.as_ref()?;
+                    if child_cols.len() != 3 || columns.len() != 2 {
+                        return None;
+                    }
+                    let pick = |a: usize, b: usize| {
+                        columns[0] == child_cols[a] && columns[1] == child_cols[b]
+                    };
+                    let projection = if pick(1, 2) {
+                        JoinColumns::LeftAndRight
+                    } else if pick(2, 1) {
+                        JoinColumns::RightAndLeft
+                    } else if pick(0, 2) {
+                        JoinColumns::KeyAndRight
+                    } else if pick(0, 1) {
+                        JoinColumns::KeyAndLeft
+                    } else {
+                        return None;
+                    };
+                    Some(pj.left.clone().join(pj.right.clone(), projection))
+                });
+            Ok(Checked {
+                schema,
+                natural_key,
+                exec: WideExec::Project {
+                    input: Box::new(child.exec),
+                    columns: columns.clone(),
+                },
+                pair,
+                pair_join: None,
+                carry_words: child.carry_words,
+            })
+        }
+
+        Plan::Distinct { input } => {
+            // Distinct deduplicates whole rows, so it is a pruning
+            // barrier: everything below must keep its full width.
+            let child = check(input, catalog, &Wanted::All)?;
+            Ok(Checked {
+                exec: WideExec::Distinct {
+                    input: Box::new(child.exec),
+                },
+                schema: child.schema,
+                natural_key: child.natural_key,
+                pair: child.pair.map(|qp| qp.distinct()),
+                pair_join: None,
+                carry_words: child.carry_words,
+            })
+        }
+
+        Plan::UnionAll { left, right } => {
+            // Union is positional: the two sides may use different column
+            // names, so a wanted set (spelled in the *output* = left-side
+            // namespace) cannot be forwarded into the right child.  Both
+            // sides keep their full width; a Project above the union
+            // prunes the result instead.
+            let l = check(left, catalog, &Wanted::All)?;
+            let r = check(right, catalog, &Wanted::All)?;
+            let schema = ops::union_output_schema(&l.schema, &r.schema)?;
+            let natural_key = match (&l.natural_key, &r.natural_key) {
+                (Some(a), Some(b)) if a == b => Some(a.clone()),
+                _ => None,
+            };
+            Ok(Checked {
+                schema,
+                natural_key,
+                exec: WideExec::UnionAll {
+                    left: Box::new(l.exec),
+                    right: Box::new(r.exec),
+                },
+                pair: match (l.pair, r.pair) {
+                    (Some(a), Some(b)) => Some(a.union_all(b)),
+                    _ => None,
+                },
+                pair_join: None,
+                carry_words: l.carry_words.max(r.carry_words),
+            })
+        }
+
+        Plan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let l = check(left, catalog, &Wanted::All)?;
+            let r = check(right, catalog, &Wanted::All)?;
+            let (carry_left, carry_right) =
+                select_carries(wanted, &l.schema, &r.schema, left_key, right_key)?;
+            let schema = ops::join_output_schema(
+                &l.schema,
+                &r.schema,
+                left_key,
+                right_key,
+                &carry_left,
+                &carry_right,
+            )?;
+            let join_words = carry_left.len().max(carry_right.len()).max(1);
+            // Pair lowering: both children degenerate, joined on their key
+            // columns, carrying exactly one value column from one side —
+            // or both value columns, in which case a Project directly
+            // above can still pick a legacy `JoinColumns` projection.
+            let mut pair = None;
+            let mut pair_join = None;
+            if let (Some(lp), Some(rp)) = (&l.pair, &r.pair) {
+                if left_key == l.schema.columns()[0].name()
+                    && right_key == r.schema.columns()[0].name()
+                {
+                    let l_value = l.schema.columns()[1].name();
+                    let r_value = r.schema.columns()[1].name();
+                    if carry_left.is_empty() && carry_right == [r_value.to_string()] {
+                        pair = Some(lp.clone().join(rp.clone(), JoinColumns::KeyAndRight));
+                    } else if carry_right.is_empty() && carry_left == [l_value.to_string()] {
+                        pair = Some(lp.clone().join(rp.clone(), JoinColumns::KeyAndLeft));
+                    } else if carry_left == [l_value.to_string()]
+                        && carry_right == [r_value.to_string()]
+                    {
+                        pair_join = Some(PairJoin {
+                            left: lp.clone(),
+                            right: rp.clone(),
+                        });
+                    }
+                }
+            }
+            Ok(Checked {
+                schema,
+                natural_key: Some(left_key.clone()),
+                exec: WideExec::Join {
+                    left: Box::new(l.exec),
+                    right: Box::new(r.exec),
+                    left_key: left_key.clone(),
+                    right_key: right_key.clone(),
+                    carry_left,
+                    carry_right,
+                },
+                pair,
+                pair_join,
+                carry_words: l.carry_words.max(r.carry_words).max(join_words),
+            })
+        }
+
+        Plan::SemiJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        }
+        | Plan::AntiJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
+            let keep_matching = matches!(plan, Plan::SemiJoin { .. });
+            let l = check(left, catalog, &wanted.plus(Some(left_key)))?;
+            let r = check(right, catalog, &Wanted::cols([right_key.clone()]))?;
+            ops::validate_membership_keys(&l.schema, &r.schema, left_key, right_key)?;
+            let pair = match (&l.pair, &r.pair) {
+                (Some(lp), Some(rp))
+                    if left_key == l.schema.columns()[0].name()
+                        && right_key == r.schema.columns()[0].name() =>
+                {
+                    Some(if keep_matching {
+                        lp.clone().semi_join(rp.clone())
+                    } else {
+                        lp.clone().anti_join(rp.clone())
+                    })
+                }
+                _ => None,
+            };
+            Ok(Checked {
+                exec: WideExec::SemiJoin {
+                    left: Box::new(l.exec),
+                    right: Box::new(r.exec),
+                    left_key: left_key.clone(),
+                    right_key: right_key.clone(),
+                    keep_matching,
+                },
+                schema: l.schema,
+                natural_key: l.natural_key,
+                pair,
+                pair_join: None,
+                carry_words: l.carry_words.max(r.carry_words),
+            })
+        }
+
+        Plan::GroupAggregate {
+            input,
+            aggregate,
+            column,
+            by,
+        } => {
+            let child = check(
+                input,
+                catalog,
+                &Wanted::cols(column.iter().chain(by.iter()).cloned()),
+            )?;
+            let key = by
+                .clone()
+                .or_else(|| child.natural_key.clone())
+                .ok_or(EngineError::Wide(WideError::MissingGroupColumn))?;
+            let schema = ops::group_aggregate_output_schema(
+                &child.schema,
+                &key,
+                *aggregate,
+                column.as_deref(),
+            )?;
+            let pair = child.pair.filter(|_| {
+                let key_col = child.schema.columns()[0].name();
+                let value_col = child.schema.columns()[1].name();
+                let column_ok = match aggregate {
+                    Aggregate::Count => column.is_none() || column.as_deref() == Some(value_col),
+                    _ => column.as_deref() == Some(value_col),
+                };
+                key == key_col && column_ok
+            });
+            let natural_key = Some(schema.columns()[0].name().to_string());
+            Ok(Checked {
+                schema,
+                natural_key,
+                exec: WideExec::GroupAggregate {
+                    input: Box::new(child.exec),
+                    aggregate: *aggregate,
+                    column: column.clone(),
+                    by: key,
+                },
+                pair: pair.map(|qp| qp.group_aggregate(*aggregate)),
+                pair_join: None,
+                carry_words: child.carry_words,
+            })
+        }
+
+        Plan::JoinAggregate {
+            left,
+            right,
+            left_key,
+            right_key,
+            left_value,
+            right_value,
+            aggregate,
+        } => {
+            let l = check(
+                left,
+                catalog,
+                &Wanted::cols(std::iter::once(left_key.clone()).chain(left_value.clone())),
+            )?;
+            let r = check(
+                right,
+                catalog,
+                &Wanted::cols(std::iter::once(right_key.clone()).chain(right_value.clone())),
+            )?;
+            let schema = ops::join_aggregate_output_schema(
+                &l.schema,
+                &r.schema,
+                left_key,
+                right_key,
+                left_value.as_deref(),
+                right_value.as_deref(),
+                *aggregate,
+            )?;
+            let pair = match (&l.pair, &r.pair) {
+                (Some(lp), Some(rp)) => {
+                    let keys_ok = left_key == l.schema.columns()[0].name()
+                        && right_key == r.schema.columns()[0].name();
+                    let value_ok = |value: &Option<String>, schema: &Schema| {
+                        value.is_none() || value.as_deref() == Some(schema.columns()[1].name())
+                    };
+                    if keys_ok
+                        && value_ok(left_value, &l.schema)
+                        && value_ok(right_value, &r.schema)
+                    {
+                        Some(lp.clone().join_aggregate(rp.clone(), *aggregate))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            Ok(Checked {
+                schema,
+                natural_key: Some(left_key.clone()),
+                exec: WideExec::JoinAggregate {
+                    left: Box::new(l.exec),
+                    right: Box::new(r.exec),
+                    left_key: left_key.clone(),
+                    right_key: right_key.clone(),
+                    left_value: left_value.clone(),
+                    right_value: right_value.clone(),
+                    aggregate: *aggregate,
+                },
+                pair,
+                pair_join: None,
+                carry_words: l.carry_words.max(r.carry_words).max(1),
+            })
+        }
+    }
+}

@@ -1,381 +1,256 @@
-//! Query requests, named plans, responses and per-query leakage summaries.
+//! The unified query API: one typed logical-plan IR ([`Plan`]), requests,
+//! responses with a single row representation ([`Rows`]), and per-query
+//! leakage summaries.
 //!
-//! A [`NamedPlan`] is the same operator tree as
-//! [`obliv_operators::QueryPlan`], except its leaves are catalog *names*
-//! rather than inline tables.  Resolution against a [`Catalog`] substitutes
-//! the registered tables and yields an ordinary `QueryPlan`, so execution —
-//! and therefore the leakage profile — is exactly that of the operator
-//! library.
+//! A [`Plan`] is a schema-aware operator tree whose scan leaves are catalog
+//! *names*.  Every operator — scan, filter, project, distinct, union-all,
+//! join (with multi-column payload carries), semi/anti join, group- and
+//! join-aggregate — works over typed wide schemas; the legacy pair shape is
+//! just the degenerate two-column schema `{key: u64, value: u64}`.  The
+//! planner ([`Plan::resolve`]) type-checks the tree against the catalog and
+//! lowers fully degenerate plans onto the pair-shaped kernel
+//! ([`obliv_operators::QueryPlan`]), so those execute — and trace —
+//! exactly as the legacy API did; everything else runs on the wide
+//! operators.
 
-use obliv_join::schema::{SchemaError, WideTable};
-use obliv_operators::{
-    Aggregate, JoinAggregate, JoinColumns, Predicate, QueryPlan, WidePipeline, WideSource,
-    WideStage,
-};
+use std::sync::Arc;
+
+use obliv_join::schema::{Schema, SchemaError, Value, WideTable};
+use obliv_join::Table;
+use obliv_operators::{Aggregate, JoinAggregate, WidePredicate};
 use obliv_trace::OpCounters;
 
 use crate::catalog::Catalog;
 use crate::error::EngineError;
+use crate::planner::{self, ResolvedPlan};
 
-/// A query-plan tree whose scan leaves are catalog table names.
+/// A typed logical query plan over named catalog tables.
+///
+/// Build one with the combinators ([`scan`](Plan::scan),
+/// [`filter`](Plan::filter), [`join`](Plan::join), …) or parse the text
+/// form ([`parse_query`](crate::parse_query)).  Resolution against a
+/// [`Catalog`] type-checks every column reference and constant against the
+/// (public) schemas and yields an executable [`ResolvedPlan`].
 #[derive(Debug, Clone, PartialEq)]
-pub enum NamedPlan {
-    /// Scan the catalog table of this name.
+pub enum Plan {
+    /// Scan the catalog table of this name (pair tables read through the
+    /// degenerate `{key, value}` schema).
     Scan(String),
-    /// Oblivious selection.
+    /// Oblivious selection on a named column.
     Filter {
         /// Input plan.
-        input: Box<NamedPlan>,
-        /// Row predicate.
-        predicate: Predicate,
+        input: Box<Plan>,
+        /// Typed column predicate.
+        predicate: WidePredicate,
     },
-    /// Swap the key and value columns.
-    SwapColumns {
+    /// Keep (and reorder) the named columns.
+    Project {
         /// Input plan.
-        input: Box<NamedPlan>,
+        input: Box<Plan>,
+        /// The columns to keep, in output order.
+        columns: Vec<String>,
     },
-    /// Oblivious duplicate elimination.
+    /// Oblivious duplicate elimination over whole rows.
     Distinct {
         /// Input plan.
-        input: Box<NamedPlan>,
+        input: Box<Plan>,
     },
-    /// Oblivious bag union.
+    /// Oblivious bag union (positional, like SQL `UNION ALL`; the output
+    /// wears the left schema).
     UnionAll {
         /// Left input.
-        left: Box<NamedPlan>,
+        left: Box<Plan>,
         /// Right input.
-        right: Box<NamedPlan>,
+        right: Box<Plan>,
     },
-    /// The paper's oblivious equi-join, projected back to two columns.
+    /// The paper's oblivious equi-join on named key columns.
+    ///
+    /// The carried payload columns are chosen by the planner from what the
+    /// plan above the join references (everything, for a bare join);
+    /// wrap the join in a [`Project`](Plan::Project) to pick them
+    /// explicitly.  Column names shared by both inputs come back with
+    /// `left_` / `right_` prefixes.
     Join {
         /// Left input.
-        left: Box<NamedPlan>,
+        left: Box<Plan>,
         /// Right input.
-        right: Box<NamedPlan>,
-        /// Output projection.
-        columns: JoinColumns,
-    },
-    /// Semi-join: rows of `left` whose key appears in `right`.
-    SemiJoin {
-        /// Probed input.
-        left: Box<NamedPlan>,
-        /// Witness input.
-        right: Box<NamedPlan>,
-    },
-    /// Anti-join: rows of `left` whose key does not appear in `right`.
-    AntiJoin {
-        /// Probed input.
-        left: Box<NamedPlan>,
-        /// Witness input.
-        right: Box<NamedPlan>,
-    },
-    /// Group-by aggregation.
-    GroupAggregate {
-        /// Input plan.
-        input: Box<NamedPlan>,
-        /// Aggregate function.
-        aggregate: Aggregate,
-    },
-    /// Grouping aggregation over a join, without materialising the join.
-    JoinAggregate {
-        /// Left input.
-        left: Box<NamedPlan>,
-        /// Right input.
-        right: Box<NamedPlan>,
-        /// Aggregate over the joined pairs of each group.
-        aggregate: JoinAggregate,
-    },
-    /// A schema-aware pipeline over wide (multi-column) tables; produces a
-    /// [`WideTable`] result instead of a pair table.
-    Wide(WideNamed),
-}
-
-/// The source of a wide named pipeline.
-#[derive(Debug, Clone, PartialEq)]
-pub enum WideNamedSource {
-    /// Scan one catalog table (wide, or pair through its degenerate
-    /// schema).
-    Scan(String),
-    /// Equi-join two catalog tables on named key columns.  The payload
-    /// columns carried through the join are *inferred* at resolution time
-    /// from what the downstream stages reference.
-    Join {
-        /// Left table name.
-        left: String,
-        /// Right table name.
-        right: String,
+        right: Box<Plan>,
         /// Left key column.
         left_key: String,
         /// Right key column.
         right_key: String,
     },
+    /// Semi-join: rows of `left` whose key appears in `right`.
+    SemiJoin {
+        /// Probed input.
+        left: Box<Plan>,
+        /// Witness input.
+        right: Box<Plan>,
+        /// Probed key column.
+        left_key: String,
+        /// Witness key column.
+        right_key: String,
+    },
+    /// Anti-join: rows of `left` whose key does not appear in `right`.
+    AntiJoin {
+        /// Probed input.
+        left: Box<Plan>,
+        /// Witness input.
+        right: Box<Plan>,
+        /// Probed key column.
+        left_key: String,
+        /// Witness key column.
+        right_key: String,
+    },
+    /// Oblivious grouped aggregation.
+    GroupAggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// The aggregate function.
+        aggregate: Aggregate,
+        /// The aggregated column (`None` for `count`).
+        column: Option<String>,
+        /// Explicit group column; defaults to the plan's natural key (the
+        /// join key, downstream of a join).
+        by: Option<String>,
+    },
+    /// Grouping aggregation over a join, computed without materialising
+    /// the join (the paper's §7 operator).
+    JoinAggregate {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Left key column.
+        left_key: String,
+        /// Right key column.
+        right_key: String,
+        /// Left `u64` value column (required by `SumLeft`/`SumProducts`).
+        left_value: Option<String>,
+        /// Right `u64` value column (required by `SumRight`/`SumProducts`).
+        right_value: Option<String>,
+        /// Aggregate over the joined pairs of each group.
+        aggregate: JoinAggregate,
+    },
 }
 
-/// A wide pipeline whose tables are catalog names: the named counterpart of
-/// [`WidePipeline`], produced by the text frontend's column syntax
-/// (`JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)`).
-#[derive(Debug, Clone, PartialEq)]
-pub struct WideNamed {
-    /// The data source.
-    pub source: WideNamedSource,
-    /// Filter/aggregate stages, applied in order.
-    pub stages: Vec<WideStage>,
-}
-
-impl WideNamed {
-    /// Scan one catalog table.
-    pub fn scan(table: impl Into<String>) -> WideNamed {
-        WideNamed {
-            source: WideNamedSource::Scan(table.into()),
-            stages: Vec::new(),
-        }
-    }
-
-    /// Join two catalog tables on named key columns.
-    pub fn join(
-        left: impl Into<String>,
-        right: impl Into<String>,
-        left_key: impl Into<String>,
-        right_key: impl Into<String>,
-    ) -> WideNamed {
-        WideNamed {
-            source: WideNamedSource::Join {
-                left: left.into(),
-                right: right.into(),
-                left_key: left_key.into(),
-                right_key: right_key.into(),
-            },
-            stages: Vec::new(),
-        }
-    }
-
-    /// Append a stage.
-    pub fn stage(mut self, stage: WideStage) -> WideNamed {
-        self.stages.push(stage);
-        self
-    }
-
-    /// The columns the pipeline needs from the *join inputs*: every column
-    /// referenced before (and by) the first aggregation.  After the first
-    /// aggregation the schema is rebuilt from aggregate outputs, so later
-    /// references resolve against those instead.
-    fn input_column_refs(&self) -> Vec<&str> {
-        let mut refs: Vec<&str> = Vec::new();
-        for stage in &self.stages {
-            match stage {
-                WideStage::Filter(pred) => {
-                    if !refs.contains(&pred.column.as_str()) {
-                        refs.push(&pred.column);
-                    }
-                }
-                WideStage::Aggregate { column, by, .. } => {
-                    for name in [column.as_deref(), by.as_deref()].into_iter().flatten() {
-                        if !refs.contains(&name) {
-                            refs.push(name);
-                        }
-                    }
-                    break; // later stages see the aggregate's output schema
-                }
-            }
-        }
-        refs
-    }
-
-    /// Resolve against the catalog: substitute tables, infer the join's
-    /// carried payload columns from downstream column references, and
-    /// statically validate the whole pipeline.
-    pub fn resolve(&self, catalog: &Catalog) -> Result<WidePipeline, EngineError> {
-        let source = match &self.source {
-            WideNamedSource::Scan(name) => WideSource::Scan(catalog.resolve_wide(name)?),
-            WideNamedSource::Join {
-                left,
-                right,
-                left_key,
-                right_key,
-            } => {
-                let left_table = catalog.resolve_wide(left)?;
-                let right_table = catalog.resolve_wide(right)?;
-                let (carry_left, carry_right) = infer_carries(
-                    self.input_column_refs(),
-                    (left, &left_table, left_key),
-                    (right, &right_table, right_key),
-                )?;
-                WideSource::Join {
-                    left: left_table,
-                    right: right_table,
-                    left_key: left_key.clone(),
-                    right_key: right_key.clone(),
-                    carry_left,
-                    carry_right,
-                }
-            }
-        };
-        let pipeline = WidePipeline {
-            source,
-            stages: self.stages.clone(),
-        };
-        pipeline.output_schema()?; // full static validation, typed errors
-        Ok(pipeline)
-    }
-}
-
-/// Assign each referenced column to the join side that owns it, enforcing
-/// the one-carried-payload-per-side kernel limit.
-fn infer_carries(
-    refs: Vec<&str>,
-    (left_name, left, left_key): (&str, &WideTable, &str),
-    (right_name, right, _right_key): (&str, &WideTable, &str),
-) -> Result<(Option<String>, Option<String>), EngineError> {
-    let mut carry_left: Vec<String> = Vec::new();
-    let mut carry_right: Vec<String> = Vec::new();
-    for name in refs {
-        // The join key is always present in the output (named after the
-        // left key column); it never needs carrying.
-        if name == left_key {
-            continue;
-        }
-        let in_left = left.schema().column(name).is_ok();
-        let in_right = right.schema().column(name).is_ok();
-        match (in_left, in_right) {
-            (true, true) => {
-                return Err(EngineError::AmbiguousColumn {
-                    name: name.to_string(),
-                    left: left_name.to_string(),
-                    right: right_name.to_string(),
-                })
-            }
-            (true, false) => {
-                if !carry_left.iter().any(|c| c == name) {
-                    carry_left.push(name.to_string());
-                }
-            }
-            (false, true) => {
-                // This includes a differently-named right key column: it
-                // equals the join key in every output row, but under its
-                // own name it rides along like any payload so downstream
-                // references resolve.
-                if !carry_right.iter().any(|c| c == name) {
-                    carry_right.push(name.to_string());
-                }
-            }
-            (false, false) => {
-                let mut available: Vec<String> = left
-                    .schema()
-                    .column_names()
-                    .into_iter()
-                    .map(String::from)
-                    .collect();
-                available.extend(right.schema().column_names().into_iter().map(String::from));
-                return Err(SchemaError::UnknownColumn {
-                    name: name.to_string(),
-                    available,
-                }
-                .into());
-            }
-        }
-    }
-    for (table, carries) in [(left_name, &carry_left), (right_name, &carry_right)] {
-        if carries.len() > 1 {
-            return Err(EngineError::TooManyCarriedColumns {
-                table: table.to_string(),
-                columns: carries.clone(),
-            });
-        }
-    }
-    Ok((carry_left.pop(), carry_right.pop()))
-}
-
-/// A resolved plan, ready to execute: the pair-shaped operator tree or a
-/// validated wide pipeline.
-#[derive(Debug, Clone)]
-pub enum ResolvedPlan {
-    /// A pair-shaped operator tree.
-    Pair(QueryPlan),
-    /// A validated wide pipeline.
-    Wide(WidePipeline),
-}
-
-impl NamedPlan {
+impl Plan {
     /// Scan a named catalog table.
-    pub fn scan(name: impl Into<String>) -> NamedPlan {
-        NamedPlan::Scan(name.into())
+    pub fn scan(name: impl Into<String>) -> Plan {
+        Plan::Scan(name.into())
     }
 
     /// Append an oblivious filter.
-    pub fn filter(self, predicate: Predicate) -> NamedPlan {
-        NamedPlan::Filter {
+    pub fn filter(self, predicate: WidePredicate) -> Plan {
+        Plan::Filter {
             input: Box::new(self),
             predicate,
         }
     }
 
-    /// Append a key/value column swap.
-    pub fn swap_columns(self) -> NamedPlan {
-        NamedPlan::SwapColumns {
+    /// Keep (and reorder) the named columns.
+    pub fn project<N: Into<String>>(self, columns: impl IntoIterator<Item = N>) -> Plan {
+        Plan::Project {
             input: Box::new(self),
+            columns: columns.into_iter().map(Into::into).collect(),
         }
     }
 
     /// Append a duplicate-elimination step.
-    pub fn distinct(self) -> NamedPlan {
-        NamedPlan::Distinct {
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
             input: Box::new(self),
         }
     }
 
     /// Bag-union with another plan.
-    pub fn union_all(self, other: NamedPlan) -> NamedPlan {
-        NamedPlan::UnionAll {
+    pub fn union_all(self, other: Plan) -> Plan {
+        Plan::UnionAll {
             left: Box::new(self),
             right: Box::new(other),
         }
     }
 
-    /// Equi-join with another plan.
-    pub fn join(self, other: NamedPlan, columns: JoinColumns) -> NamedPlan {
-        NamedPlan::Join {
+    /// Equi-join with another plan on named key columns.
+    pub fn join(
+        self,
+        other: Plan,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> Plan {
+        Plan::Join {
             left: Box::new(self),
             right: Box::new(other),
-            columns,
+            left_key: left_key.into(),
+            right_key: right_key.into(),
         }
     }
 
-    /// Semi-join against another plan.
-    pub fn semi_join(self, other: NamedPlan) -> NamedPlan {
-        NamedPlan::SemiJoin {
+    /// Semi-join against another plan on named key columns.
+    pub fn semi_join(
+        self,
+        other: Plan,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> Plan {
+        Plan::SemiJoin {
             left: Box::new(self),
             right: Box::new(other),
+            left_key: left_key.into(),
+            right_key: right_key.into(),
         }
     }
 
-    /// Anti-join against another plan.
-    pub fn anti_join(self, other: NamedPlan) -> NamedPlan {
-        NamedPlan::AntiJoin {
+    /// Anti-join against another plan on named key columns.
+    pub fn anti_join(
+        self,
+        other: Plan,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> Plan {
+        Plan::AntiJoin {
             left: Box::new(self),
             right: Box::new(other),
+            left_key: left_key.into(),
+            right_key: right_key.into(),
         }
     }
 
-    /// Group-by aggregation.
-    pub fn group_aggregate(self, aggregate: Aggregate) -> NamedPlan {
-        NamedPlan::GroupAggregate {
+    /// Grouped aggregation (`by: None` groups by the plan's natural key).
+    pub fn group_aggregate(
+        self,
+        aggregate: Aggregate,
+        column: Option<String>,
+        by: Option<String>,
+    ) -> Plan {
+        Plan::GroupAggregate {
             input: Box::new(self),
             aggregate,
+            column,
+            by,
         }
     }
 
     /// Grouping aggregation over a join with another plan.
-    pub fn join_aggregate(self, other: NamedPlan, aggregate: JoinAggregate) -> NamedPlan {
-        NamedPlan::JoinAggregate {
+    #[allow(clippy::too_many_arguments)]
+    pub fn join_aggregate(
+        self,
+        other: Plan,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+        left_value: Option<String>,
+        right_value: Option<String>,
+        aggregate: JoinAggregate,
+    ) -> Plan {
+        Plan::JoinAggregate {
             left: Box::new(self),
             right: Box::new(other),
+            left_key: left_key.into(),
+            right_key: right_key.into(),
+            left_value,
+            right_value,
             aggregate,
         }
-    }
-
-    /// Wrap a wide (schema-aware) pipeline as a plan.
-    pub fn wide(pipeline: WideNamed) -> NamedPlan {
-        NamedPlan::Wide(pipeline)
     }
 
     /// A canonical textual key for this plan, used (together with the
@@ -383,12 +258,14 @@ impl NamedPlan {
     /// intra-batch deduplication.
     ///
     /// Two plans have equal canonical forms iff they are structurally
-    /// identical — same operator tree, same parameters, same table names.
-    /// The rendering is the plan's `Debug` form, which spells out every
-    /// field and quotes table names, so structurally different plans
-    /// cannot collide.  The key contains only public information (the
-    /// plan itself), so caching on it leaks nothing beyond what
-    /// submitting the plan already reveals.
+    /// identical — same operator tree, same parameters, same table and
+    /// column names.  The rendering is the plan's `Debug` form, which
+    /// spells out every field and quotes names, so structurally different
+    /// plans cannot collide.  The key contains only public information
+    /// (the plan itself), so caching on it leaks nothing beyond what
+    /// submitting the plan already reveals; the carried-column sets a join
+    /// executes with are a pure function of `(plan, catalog schemas)`, and
+    /// the epoch half of the cache key covers the schemas.
     pub fn canonical(&self) -> String {
         format!("{self:?}")
     }
@@ -402,110 +279,39 @@ impl NamedPlan {
 
     fn collect_tables<'a>(&'a self, names: &mut Vec<&'a str>) {
         match self {
-            NamedPlan::Scan(name) => {
+            Plan::Scan(name) => {
                 if !names.contains(&name.as_str()) {
                     names.push(name);
                 }
             }
-            NamedPlan::Filter { input, .. }
-            | NamedPlan::SwapColumns { input }
-            | NamedPlan::Distinct { input }
-            | NamedPlan::GroupAggregate { input, .. } => input.collect_tables(names),
-            NamedPlan::UnionAll { left, right }
-            | NamedPlan::Join { left, right, .. }
-            | NamedPlan::SemiJoin { left, right }
-            | NamedPlan::AntiJoin { left, right }
-            | NamedPlan::JoinAggregate { left, right, .. } => {
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::GroupAggregate { input, .. } => input.collect_tables(names),
+            Plan::UnionAll { left, right }
+            | Plan::Join { left, right, .. }
+            | Plan::SemiJoin { left, right, .. }
+            | Plan::AntiJoin { left, right, .. }
+            | Plan::JoinAggregate { left, right, .. } => {
                 left.collect_tables(names);
                 right.collect_tables(names);
             }
-            NamedPlan::Wide(wide) => match &wide.source {
-                WideNamedSource::Scan(name) => {
-                    if !names.contains(&name.as_str()) {
-                        names.push(name);
-                    }
-                }
-                WideNamedSource::Join { left, right, .. } => {
-                    for name in [left, right] {
-                        if !names.contains(&name.as_str()) {
-                            names.push(name);
-                        }
-                    }
-                }
-            },
         }
     }
 
-    /// Resolve a plan of either shape against the catalog.  This is what
-    /// the engine's execution paths use; pair plans resolve exactly as
-    /// [`resolve`](NamedPlan::resolve), wide plans additionally get their
-    /// carried columns inferred and their schemas validated.
-    pub fn resolve_any(&self, catalog: &Catalog) -> Result<ResolvedPlan, EngineError> {
-        match self {
-            NamedPlan::Wide(wide) => Ok(ResolvedPlan::Wide(wide.resolve(catalog)?)),
-            other => Ok(ResolvedPlan::Pair(other.resolve(catalog)?)),
-        }
+    /// Type-check the plan against the catalog and lower it to an
+    /// executable [`ResolvedPlan`]: the pair-shaped kernel when every
+    /// node is degenerate (two `u64` columns, legacy-expressible
+    /// operators), the wide operators otherwise.  Table contents are
+    /// `Arc`-cloned at resolution time, so the result is self-contained.
+    pub fn resolve(&self, catalog: &Catalog) -> Result<ResolvedPlan, EngineError> {
+        planner::resolve(self, catalog)
     }
 
-    /// Substitute every scan leaf with its registered table, yielding an
-    /// executable [`QueryPlan`].  Table contents are cloned at resolution
-    /// time, so the resulting plan is self-contained: executing it needs no
-    /// catalog access (and in particular no cross-worker synchronisation).
-    ///
-    /// This is the pair-shaped path: a [`NamedPlan::Wide`] plan produces a
-    /// wide result and therefore fails here with
-    /// [`EngineError::NotAPairPlan`]; use
-    /// [`resolve_any`](NamedPlan::resolve_any) instead.
-    pub fn resolve(&self, catalog: &Catalog) -> Result<QueryPlan, EngineError> {
-        Ok(match self {
-            NamedPlan::Wide(_) => return Err(EngineError::NotAPairPlan),
-            NamedPlan::Scan(name) => QueryPlan::Scan(catalog.resolve(name)?.clone()),
-            NamedPlan::Filter { input, predicate } => QueryPlan::Filter {
-                input: Box::new(input.resolve(catalog)?),
-                predicate: *predicate,
-            },
-            NamedPlan::SwapColumns { input } => QueryPlan::Project {
-                input: Box::new(input.resolve(catalog)?),
-                swap_columns: true,
-            },
-            NamedPlan::Distinct { input } => QueryPlan::Distinct {
-                input: Box::new(input.resolve(catalog)?),
-            },
-            NamedPlan::UnionAll { left, right } => QueryPlan::UnionAll {
-                left: Box::new(left.resolve(catalog)?),
-                right: Box::new(right.resolve(catalog)?),
-            },
-            NamedPlan::Join {
-                left,
-                right,
-                columns,
-            } => QueryPlan::Join {
-                left: Box::new(left.resolve(catalog)?),
-                right: Box::new(right.resolve(catalog)?),
-                columns: *columns,
-            },
-            NamedPlan::SemiJoin { left, right } => QueryPlan::SemiJoin {
-                left: Box::new(left.resolve(catalog)?),
-                right: Box::new(right.resolve(catalog)?),
-            },
-            NamedPlan::AntiJoin { left, right } => QueryPlan::AntiJoin {
-                left: Box::new(left.resolve(catalog)?),
-                right: Box::new(right.resolve(catalog)?),
-            },
-            NamedPlan::GroupAggregate { input, aggregate } => QueryPlan::GroupAggregate {
-                input: Box::new(input.resolve(catalog)?),
-                aggregate: *aggregate,
-            },
-            NamedPlan::JoinAggregate {
-                left,
-                right,
-                aggregate,
-            } => QueryPlan::JoinAggregate {
-                left: Box::new(left.resolve(catalog)?),
-                right: Box::new(right.resolve(catalog)?),
-                aggregate: *aggregate,
-            },
-        })
+    /// The plan's output schema against the current catalog (a resolution
+    /// without keeping the executable form).
+    pub fn output_schema(&self, catalog: &Catalog) -> Result<Arc<Schema>, EngineError> {
+        Ok(self.resolve(catalog)?.schema())
     }
 }
 
@@ -519,8 +325,8 @@ pub struct QueryRequest {
     /// [`canonical`](QueryRequest::canonical) is memoised — a stale memo
     /// would key the result cache under the wrong plan.  Read it with
     /// [`plan`](QueryRequest::plan); to change it, build a new request.
-    plan: NamedPlan,
-    /// Memoised [`NamedPlan::canonical`] rendering, computed on first use.
+    plan: Plan,
+    /// Memoised [`Plan::canonical`] rendering, computed on first use.
     /// The executor reads the canonical form once per request per batch
     /// (cache key + intra-batch dedup); memoising it here means a
     /// re-submitted request — the warm-cache serving path, and the server's
@@ -530,7 +336,7 @@ pub struct QueryRequest {
 
 impl QueryRequest {
     /// A request with the given label and plan.
-    pub fn new(label: impl Into<String>, plan: NamedPlan) -> Self {
+    pub fn new(label: impl Into<String>, plan: Plan) -> Self {
         QueryRequest {
             label: label.into(),
             plan,
@@ -539,16 +345,16 @@ impl QueryRequest {
     }
 
     /// The plan this request executes.
-    pub fn plan(&self) -> &NamedPlan {
+    pub fn plan(&self) -> &Plan {
         &self.plan
     }
 
     /// Consume the request, yielding its plan.
-    pub fn into_plan(self) -> NamedPlan {
+    pub fn into_plan(self) -> Plan {
         self.plan
     }
 
-    /// The plan's canonical textual key (see [`NamedPlan::canonical`]),
+    /// The plan's canonical textual key (see [`Plan::canonical`]),
     /// rendered on first call and memoised for every later one.  The memo
     /// cannot go stale: the plan is immutable for the request's lifetime.
     pub fn canonical(&self) -> &str {
@@ -564,9 +370,102 @@ impl PartialEq for QueryRequest {
     }
 }
 
-impl From<NamedPlan> for QueryRequest {
-    fn from(plan: NamedPlan) -> Self {
+impl From<Plan> for QueryRequest {
+    fn from(plan: Plan) -> Self {
         QueryRequest::new(String::new(), plan)
+    }
+}
+
+/// The single row representation every query answers with: a typed
+/// [`WideTable`] carrying the plan's output schema.
+///
+/// Degenerate (pair-lowered) plans produce two-`u64`-column tables whose
+/// rows can be read back as pairs with [`pairs`](Rows::pairs); everything
+/// else is read through the schema accessors.  Cloning is an `Arc` bump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rows {
+    table: WideTable,
+}
+
+impl Rows {
+    /// Wrap a wide result table.
+    pub fn from_wide(table: WideTable) -> Rows {
+        Rows { table }
+    }
+
+    /// Encode a pair-shaped kernel result under its type-checked two-column
+    /// schema.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schema` is not exactly two 8-byte columns — the planner
+    /// only pair-lowers plans whose output schema is the degenerate shape.
+    pub(crate) fn from_pair_with_schema(schema: Arc<Schema>, table: &Table) -> Rows {
+        assert_eq!(schema.row_width(), 16, "pair rows are two 8-byte columns");
+        let mut data = Vec::with_capacity(table.len() * 16);
+        for e in table.iter() {
+            data.extend_from_slice(&e.key.to_le_bytes());
+            data.extend_from_slice(&e.value.to_le_bytes());
+        }
+        Rows {
+            table: WideTable::from_encoded(schema, data),
+        }
+    }
+
+    /// The output schema.
+    pub fn schema(&self) -> &Schema {
+        self.table.schema()
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` if the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The underlying typed table.
+    pub fn table(&self) -> &WideTable {
+        &self.table
+    }
+
+    /// Consume the result, yielding the typed table.
+    pub fn into_table(self) -> WideTable {
+        self.table
+    }
+
+    /// The value of the named column in row `i`.
+    pub fn value(&self, i: usize, column: &str) -> Result<Value, SchemaError> {
+        self.table.value(i, column)
+    }
+
+    /// Decode row `i` into values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.table.row_values(i)
+    }
+
+    /// Read the rows back as `(u64, u64)` pairs, when the output schema is
+    /// two `u64` columns (every pair-lowered plan); `None` otherwise.
+    pub fn pairs(&self) -> Option<Vec<(u64, u64)>> {
+        use obliv_join::schema::ColumnType;
+        let cols = self.table.schema().columns();
+        if cols.len() != 2 || cols.iter().any(|c| c.ty() != ColumnType::U64) {
+            return None;
+        }
+        Some(
+            (0..self.table.len())
+                .map(|i| {
+                    let row = self.table.row_bytes(i);
+                    (
+                        u64::from_le_bytes(row[..8].try_into().unwrap()),
+                        u64::from_le_bytes(row[8..].try_into().unwrap()),
+                    )
+                })
+                .collect(),
+        )
     }
 }
 
@@ -589,6 +488,11 @@ pub struct QuerySummary {
     /// Rows in the result table (revealed by construction, like the
     /// paper's output size `m`).
     pub output_rows: usize,
+    /// Bytes per result row (the output schema's width — public shape).
+    pub output_row_width: usize,
+    /// Widest per-side join payload carry the plan executed with, in
+    /// kernel words (`0` for plans without a join) — public shape.
+    pub carry_words: usize,
     /// Wall-clock execution time of this query on its worker.
     pub wall: std::time::Duration,
 }
@@ -598,17 +502,14 @@ pub struct QuerySummary {
 pub struct QueryResponse {
     /// The request's label, echoed back.
     pub label: String,
-    /// The result table of a pair-shaped plan (empty for wide plans, whose
-    /// result is in [`wide`](QueryResponse::wide)).
-    pub result: obliv_join::Table,
-    /// The result of a wide (schema-aware) plan, with its output schema;
-    /// `None` for pair-shaped plans.
-    pub wide: Option<WideTable>,
+    /// The result rows under the plan's output schema — the one row
+    /// representation every plan shape shares.
+    pub rows: Rows,
     /// Leakage and cost accounting for this query.
     pub summary: QuerySummary,
     /// `true` if this response was served from the engine's result cache
     /// (or deduplicated against an identical plan in the same batch)
-    /// rather than freshly executed.  `result` and `summary` are
+    /// rather than freshly executed.  `rows` and `summary` are
     /// bit-identical to the original miss's — including the digest and
     /// the recorded wall time of the run that produced them.
     pub cached: bool,
@@ -617,234 +518,57 @@ pub struct QueryResponse {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use obliv_join::Table;
-    use obliv_trace::{NullSink, Tracer};
-
-    fn catalog() -> Catalog {
-        let mut c = Catalog::new();
-        c.register(
-            "orders",
-            Table::from_pairs(vec![(1, 100), (1, 250), (2, 50)]),
-        )
-        .unwrap();
-        c.register("customers", Table::from_pairs(vec![(1, 7), (2, 9)]))
-            .unwrap();
-        c
-    }
+    use obliv_join::schema::ColumnType;
 
     #[test]
-    fn resolve_substitutes_catalog_tables() {
-        let plan = NamedPlan::scan("orders")
-            .filter(Predicate::ValueAtLeast(100))
-            .join(NamedPlan::scan("customers"), JoinColumns::KeyAndRight);
-        let resolved = plan.resolve(&catalog()).unwrap();
-        let out = resolved.execute(&Tracer::new(NullSink));
-        // Orders ≥ 100 are (1,100) and (1,250); both join customer 1 → region 7.
-        assert_eq!(out.rows(), &[(1, 7).into(), (1, 7).into()]);
-    }
-
-    #[test]
-    fn resolve_fails_on_unknown_table() {
-        let plan = NamedPlan::scan("orders").union_all(NamedPlan::scan("ghost"));
-        assert_eq!(
-            plan.resolve(&catalog()).unwrap_err(),
-            EngineError::UnknownTable {
-                name: "ghost".into()
+    fn builders_compose_the_expected_tree() {
+        let plan = Plan::scan("orders")
+            .filter(WidePredicate::at_least("price", Value::U64(100)))
+            .join(Plan::scan("lineitem"), "o_key", "l_key")
+            .group_aggregate(Aggregate::Sum, Some("qty".into()), None);
+        match &plan {
+            Plan::GroupAggregate {
+                input,
+                aggregate: Aggregate::Sum,
+                column,
+                by: None,
+            } => {
+                assert_eq!(column.as_deref(), Some("qty"));
+                assert!(matches!(**input, Plan::Join { .. }));
             }
-        );
-    }
-
-    #[test]
-    fn referenced_tables_deduplicates_in_first_use_order() {
-        let plan = NamedPlan::scan("b")
-            .join(NamedPlan::scan("a"), JoinColumns::KeyAndLeft)
-            .union_all(NamedPlan::scan("b"));
-        assert_eq!(plan.referenced_tables(), vec!["b", "a"]);
+            other => panic!("unexpected tree {other:?}"),
+        }
     }
 
     #[test]
     fn canonical_distinguishes_structurally_different_plans() {
-        let a = NamedPlan::scan("orders").filter(Predicate::ValueAtLeast(100));
-        let b = NamedPlan::scan("orders").filter(Predicate::ValueAtLeast(101));
-        let c = NamedPlan::scan("orders2").filter(Predicate::ValueAtLeast(100));
+        let a = Plan::scan("orders").filter(WidePredicate::at_least("v", Value::U64(100)));
+        let b = Plan::scan("orders").filter(WidePredicate::at_least("v", Value::U64(101)));
+        let c = Plan::scan("orders2").filter(WidePredicate::at_least("v", Value::U64(100)));
         assert_eq!(a.canonical(), a.clone().canonical());
         assert_ne!(a.canonical(), b.canonical());
         assert_ne!(a.canonical(), c.canonical());
         // Operator order matters.
-        let d = NamedPlan::scan("x").union_all(NamedPlan::scan("y"));
-        let e = NamedPlan::scan("y").union_all(NamedPlan::scan("x"));
+        let d = Plan::scan("x").union_all(Plan::scan("y"));
+        let e = Plan::scan("y").union_all(Plan::scan("x"));
         assert_ne!(d.canonical(), e.canonical());
-    }
-
-    fn wide_catalog() -> Catalog {
-        use obliv_join::schema::{ColumnType, Schema};
-        let mut c = catalog();
-        let orders = Schema::new([
-            ("o_key", ColumnType::U64),
-            ("price", ColumnType::U64),
-            ("region", ColumnType::Bytes(4)),
-        ])
-        .unwrap();
-        let lineitem = Schema::new([
-            ("l_key", ColumnType::U64),
-            ("qty", ColumnType::U64),
-            ("tax", ColumnType::I64),
-        ])
-        .unwrap();
-        use obliv_join::schema::Value as V;
-        c.register_wide(
-            "worders",
-            WideTable::from_rows(
-                orders,
-                [
-                    vec![V::U64(1), V::U64(120), V::Bytes(b"east".to_vec())],
-                    vec![V::U64(2), V::U64(80), V::Bytes(b"west".to_vec())],
-                ],
-            )
-            .unwrap(),
-        )
-        .unwrap();
-        c.register_wide(
-            "wlineitem",
-            WideTable::from_rows(
-                lineitem,
-                [
-                    vec![V::U64(1), V::U64(5), V::I64(-1)],
-                    vec![V::U64(1), V::U64(7), V::I64(2)],
-                    vec![V::U64(2), V::U64(3), V::I64(0)],
-                ],
-            )
-            .unwrap(),
-        )
-        .unwrap();
-        c
+        // Projection column order matters.
+        let f = Plan::scan("t").project(["a", "b"]);
+        let g = Plan::scan("t").project(["b", "a"]);
+        assert_ne!(f.canonical(), g.canonical());
     }
 
     #[test]
-    fn wide_resolution_infers_carries_from_stages() {
-        use obliv_operators::{WidePredicate, WideSource, WideStage};
-        let plan = WideNamed::join("worders", "wlineitem", "o_key", "l_key")
-            .stage(WideStage::Filter(WidePredicate::at_least(
-                "price",
-                obliv_join::schema::Value::U64(100),
-            )))
-            .stage(WideStage::Aggregate {
-                aggregate: Aggregate::Sum,
-                column: Some("qty".into()),
-                by: None,
-            });
-        let pipeline = plan.resolve(&wide_catalog()).unwrap();
-        match &pipeline.source {
-            WideSource::Join {
-                carry_left,
-                carry_right,
-                ..
-            } => {
-                assert_eq!(carry_left.as_deref(), Some("price"));
-                assert_eq!(carry_right.as_deref(), Some("qty"));
-            }
-            other => panic!("expected join source, got {other:?}"),
-        }
-        assert_eq!(
-            pipeline.output_schema().unwrap().column_names(),
-            vec!["o_key", "sum_qty"]
-        );
-    }
-
-    #[test]
-    fn wide_resolution_reports_typed_planning_errors() {
-        use obliv_join::schema::Value as V;
-        use obliv_operators::{WideError, WidePredicate, WideStage};
-        let catalog = wide_catalog();
-
-        // Unknown column across both sides.
-        let err = WideNamed::join("worders", "wlineitem", "o_key", "l_key")
-            .stage(WideStage::Filter(WidePredicate::at_least(
-                "ghost",
-                V::U64(0),
-            )))
-            .resolve(&catalog)
-            .unwrap_err();
-        match err {
-            EngineError::Wide(WideError::Schema(SchemaError::UnknownColumn {
-                name,
-                available,
-            })) => {
-                assert_eq!(name, "ghost");
-                assert!(available.contains(&"price".to_string()));
-                assert!(available.contains(&"qty".to_string()));
-            }
-            other => panic!("expected unknown column, got {other:?}"),
-        }
-
-        // Two payload columns from one side exceed the carry capacity.
-        let err = WideNamed::join("worders", "wlineitem", "o_key", "l_key")
-            .stage(WideStage::Filter(WidePredicate::at_least("qty", V::U64(1))))
-            .stage(WideStage::Aggregate {
-                aggregate: Aggregate::Min,
-                column: Some("tax".into()),
-                by: None,
-            })
-            .resolve(&catalog)
-            .unwrap_err();
-        assert_eq!(
-            err,
-            EngineError::TooManyCarriedColumns {
-                table: "wlineitem".into(),
-                columns: vec!["qty".into(), "tax".into()]
-            }
-        );
-
-        // Wide tables cannot feed pair-shaped plans.
-        assert_eq!(
-            NamedPlan::scan("worders").resolve(&catalog).unwrap_err(),
-            EngineError::WideTableInScalarPlan {
-                name: "worders".into()
-            }
-        );
-
-        // And wide plans refuse the pair-shaped resolve.
-        assert_eq!(
-            NamedPlan::Wide(WideNamed::scan("worders"))
-                .resolve(&catalog)
-                .unwrap_err(),
-            EngineError::NotAPairPlan
-        );
-    }
-
-    #[test]
-    fn wide_plans_read_pair_tables_through_degenerate_schema() {
-        use obliv_operators::{WidePredicate, WideStage};
-        let plan = NamedPlan::Wide(WideNamed::scan("orders").stage(WideStage::Filter(
-            WidePredicate::at_least("value", obliv_join::schema::Value::U64(100)),
-        )));
-        let resolved = plan.resolve_any(&wide_catalog()).unwrap();
-        match resolved {
-            ResolvedPlan::Wide(pipeline) => {
-                let out = pipeline
-                    .execute(&obliv_trace::Tracer::new(obliv_trace::NullSink))
-                    .unwrap();
-                assert_eq!(out.len(), 2); // orders 100 and 250
-            }
-            other => panic!("expected wide resolution, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn wide_plans_canonicalise_and_list_tables() {
-        let a = NamedPlan::Wide(WideNamed::join("worders", "wlineitem", "o_key", "l_key"));
-        let b = NamedPlan::Wide(WideNamed::join("worders", "wlineitem", "o_key", "qty"));
-        assert_ne!(a.canonical(), b.canonical());
-        assert_eq!(a.referenced_tables(), vec!["worders", "wlineitem"]);
-        assert_eq!(
-            NamedPlan::Wide(WideNamed::scan("t")).referenced_tables(),
-            vec!["t"]
-        );
+    fn referenced_tables_deduplicates_in_first_use_order() {
+        let plan = Plan::scan("b")
+            .join(Plan::scan("a"), "key", "key")
+            .union_all(Plan::scan("b").project(["key", "value"]));
+        assert_eq!(plan.referenced_tables(), vec!["b", "a"]);
     }
 
     #[test]
     fn request_canonical_is_memoised_and_stable() {
-        let req = QueryRequest::new("a", NamedPlan::scan("orders"));
+        let req = QueryRequest::new("a", Plan::scan("orders"));
         assert_eq!(req.canonical(), req.plan().canonical());
         let first = req.canonical().as_ptr();
         assert_eq!(
@@ -853,23 +577,29 @@ mod tests {
             "later calls reuse the memo"
         );
         // Clones and equality are memo-independent.
-        let fresh = QueryRequest::new("a", NamedPlan::scan("orders"));
+        let fresh = QueryRequest::new("a", Plan::scan("orders"));
         assert_eq!(fresh, req);
         assert_eq!(req.clone(), fresh);
     }
 
     #[test]
-    fn builder_mirrors_query_plan_shape() {
-        let named = NamedPlan::scan("orders")
-            .distinct()
-            .swap_columns()
-            .semi_join(NamedPlan::scan("customers"))
-            .anti_join(NamedPlan::scan("customers"))
-            .group_aggregate(Aggregate::Count)
-            .join_aggregate(NamedPlan::scan("customers"), JoinAggregate::CountPairs);
-        // Resolution succeeds and the tree has one node per builder call
-        // plus the four scans.
-        let resolved = named.resolve(&catalog()).unwrap();
-        assert_eq!(resolved.node_count(), 10);
+    fn rows_wrap_pair_results_under_their_schema() {
+        let schema = Arc::new(Schema::pair());
+        let rows = Rows::from_pair_with_schema(schema, &Table::from_pairs(vec![(1, 10), (2, 20)]));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.schema().column_names(), vec!["key", "value"]);
+        assert_eq!(rows.value(1, "value").unwrap(), Value::U64(20));
+        assert_eq!(rows.pairs().unwrap(), vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn rows_pairs_refuses_non_degenerate_schemas() {
+        let schema = Schema::new([("k", ColumnType::U64), ("p", ColumnType::I64)]).unwrap();
+        let t =
+            obliv_join::schema::WideTable::from_rows(schema, [vec![Value::U64(1), Value::I64(-1)]])
+                .unwrap();
+        let rows = Rows::from_wide(t);
+        assert!(rows.pairs().is_none());
+        assert_eq!(rows.row(0), vec![Value::U64(1), Value::I64(-1)]);
     }
 }

@@ -10,7 +10,7 @@
 use crate::error::EngineError;
 use crate::executor::Engine;
 use crate::frontend::parse_query;
-use crate::query::{NamedPlan, QueryRequest, QueryResponse};
+use crate::query::{Plan, QueryRequest, QueryResponse};
 
 /// Cumulative accounting for one session.
 ///
@@ -35,6 +35,13 @@ pub struct SessionStats {
     /// How many of the queries were answered from the engine's result
     /// cache (or deduplicated within a batch) instead of freshly executed.
     pub cache_hits: u64,
+    /// Total result bytes returned (`Σ rows × row width`), so wide and
+    /// pair results are accounted at their real shape instead of row
+    /// counts alone.
+    pub output_bytes: u64,
+    /// Widest join payload carry any of the session's queries executed
+    /// with, in kernel words (`0` until a join runs).
+    pub max_carry_words: u64,
 }
 
 /// A labelled queue of queries bound to an [`Engine`].
@@ -87,7 +94,7 @@ impl<'engine> Session<'engine> {
     /// — the network server batches requests from many sessions into one
     /// engine batch — use `issue` + [`record`](Session::record) in place of
     /// [`queue`](Session::queue) + [`run`](Session::run).
-    pub fn issue(&mut self, plan: NamedPlan) -> QueryRequest {
+    pub fn issue(&mut self, plan: Plan) -> QueryRequest {
         let label = format!("{}/q{}", self.tenant, self.issued);
         self.issued += 1;
         QueryRequest::new(label, plan)
@@ -103,11 +110,17 @@ impl<'engine> Session<'engine> {
         self.stats.output_rows += response.summary.output_rows as u64;
         self.stats.comparisons += response.summary.counters.comparisons;
         self.stats.cache_hits += u64::from(response.cached);
+        self.stats.output_bytes +=
+            (response.summary.output_rows * response.summary.output_row_width) as u64;
+        self.stats.max_carry_words = self
+            .stats
+            .max_carry_words
+            .max(response.summary.carry_words as u64);
     }
 
     /// Queue a built plan.  The response label is `tenant/qN`, where `N`
     /// counts every request this session has ever issued.
-    pub fn queue(&mut self, plan: NamedPlan) -> &mut Self {
+    pub fn queue(&mut self, plan: Plan) -> &mut Self {
         let request = self.issue(plan);
         self.pending.push(request);
         self
@@ -198,8 +211,16 @@ mod tests {
         assert!(stats.trace_events > 0);
         assert_eq!(
             stats.output_rows,
-            responses.iter().map(|r| r.result.len() as u64).sum::<u64>()
+            responses.iter().map(|r| r.rows.len() as u64).sum::<u64>()
         );
+        assert_eq!(
+            stats.output_bytes,
+            responses
+                .iter()
+                .map(|r| (r.rows.len() * r.rows.schema().row_width()) as u64)
+                .sum::<u64>()
+        );
+        assert_eq!(stats.max_carry_words, 1, "the join carries one word");
 
         // Labels continue from where the last batch stopped.
         session.queue_text("SCAN customers").unwrap();
@@ -293,8 +314,8 @@ mod tests {
         let mut b = engine.session("b");
         a.queue_text("SCAN orders").unwrap();
         b.queue_text("SCAN customers").unwrap();
-        assert_eq!(a.run().unwrap()[0].result.len(), 3);
-        assert_eq!(b.run().unwrap()[0].result.len(), 2);
+        assert_eq!(a.run().unwrap()[0].rows.len(), 3);
+        assert_eq!(b.run().unwrap()[0].rows.len(), 2);
         assert_eq!(a.stats().queries, 1);
         assert_eq!(b.stats().queries, 1);
     }

@@ -23,10 +23,12 @@
 //! | [`oblivious_semi_join`] / [`oblivious_anti_join`] | `O(n log² n)` | output size |
 //! | [`oblivious_join_aggregate`] | `O(n log² n)` — no `m`-sized expansion | number of groups |
 //!
-//! The [`wide`] module lifts filter, join and group-aggregate to typed
-//! multi-column tables ([`obliv_join::schema`]): operators select key and
-//! payload columns by name, and the trace additionally reflects the (public)
-//! schema row width.
+//! The [`wide`] module lifts the full operator set — filter, project,
+//! distinct, union-all, join (with multi-column payload carries through the
+//! generic `[u64; W]` kernel record), semi/anti join, group-aggregate and
+//! join-aggregate — to typed multi-column tables ([`obliv_join::schema`]):
+//! operators select key and payload columns by name, and the trace
+//! additionally reflects the (public) schema row width.
 //!
 //! ```
 //! use obliv_join::Table;
@@ -58,6 +60,9 @@ pub use set_ops::{
     oblivious_anti_join, oblivious_distinct, oblivious_semi_join, oblivious_union_all,
 };
 pub use wide::{
-    wide_filter, wide_group_aggregate, wide_join, WideCmp, WideError, WidePipeline, WidePredicate,
-    WideSource, WideStage, MAX_ROW_WORDS,
+    group_aggregate_output_schema, join_aggregate_output_schema, join_output_name,
+    join_output_schema, project_output_schema, union_output_schema, validate_membership_keys,
+    validate_row_width, wide_anti_join, wide_distinct, wide_filter, wide_group_aggregate,
+    wide_join, wide_join_aggregate, wide_project, wide_semi_join, wide_union_all, WideCmp,
+    WideError, WidePredicate, MAX_CARRY_WORDS, MAX_ROW_WORDS,
 };

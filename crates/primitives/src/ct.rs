@@ -155,6 +155,17 @@ impl<A: CtSelect, B: CtSelect> CtSelect for (A, B) {
     }
 }
 
+impl<T: CtSelect, const N: usize> CtSelect for [T; N] {
+    #[inline(always)]
+    fn ct_select(c: Choice, a: Self, b: Self) -> Self {
+        let mut out = a;
+        for ((o, x), y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+            *o = T::ct_select(c, *x, *y);
+        }
+        out
+    }
+}
+
 /// Branch-free conditional swap: exchanges `a` and `b` iff `c` is true.
 #[inline(always)]
 pub fn ct_swap<T: CtSelect>(c: Choice, a: &mut T, b: &mut T) {

@@ -9,7 +9,7 @@
 use std::io::{self};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use obliv_engine::{NamedPlan, SessionStats};
+use obliv_engine::{Plan, SessionStats};
 
 use crate::proto::{
     read_frame, write_frame, DecodeError, FrameError, QueryReply, Request, Response, WireError,
@@ -113,7 +113,7 @@ impl Client {
 
     /// Run an already-built plan (shipped in the protocol's binary plan
     /// encoding; no text round-trip).
-    pub fn query_plan(&mut self, plan: &NamedPlan) -> Result<QueryReply, ClientError> {
+    pub fn query_plan(&mut self, plan: &Plan) -> Result<QueryReply, ClientError> {
         let request = Request::QueryPlan {
             token: self.token.clone(),
             plan: plan.clone(),

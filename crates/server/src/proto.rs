@@ -30,48 +30,54 @@
 //! 0x03 STATS       token:str16
 //! ```
 //!
-//! `str16` is `len:u16be` UTF-8 bytes.  `plan` is the recursive
-//! [`NamedPlan`] encoding (one tag byte per node; see the `plan` codec in
-//! this module), depth-limited on decode so a hostile frame cannot recurse
-//! the decoder to death.  The `token` names the tenant; the first token on
-//! a connection binds its engine session.
+//! `str16` is `len:u16be` UTF-8 bytes.  `plan` is the recursive encoding
+//! of the unified [`Plan`] IR (one tag byte per node; see the plan codec
+//! in this module), depth-limited on decode so a hostile frame cannot
+//! recurse the decoder to death.  The `token` names the tenant; the first
+//! token on a connection binds its engine session.
 //!
 //! ## Responses (`version:u8 status:u8 …`)
 //!
 //! ```text
-//! 0x00 OK_PAIR   label:str16 cached:u8 summary rows:u32be (key:u64be value:u64be)*
-//! 0x01 OK_WIDE   label:str16 cached:u8 summary schema rows:u32be rowbytes*
+//! 0x00 OK_REPLY  label:str16 cached:u8 summary schema rows:u32be rowbytes*
 //! 0x02 OK_STATS  queries:u64be trace_events:u64be output_rows:u64be
-//!                comparisons:u64be cache_hits:u64be
+//!                comparisons:u64be cache_hits:u64be output_bytes:u64be
+//!                max_carry_words:u64be
 //! 0x03 ERROR     kind:u8 message:str16
 //! ```
 //!
-//! `summary` is the full [`QuerySummary`]: digest (`str16`, 64 hex chars),
-//! trace events, the four operation counters, output rows and wall-clock
-//! nanoseconds.  `schema` is `ncols:u16be (name:str16 type)*` with `type`
-//! one of `0` (`u64`), `1` (`i64`), `2` (`bool`), `3 width:u16be`
-//! (`bytes[width]`); wide rows are the table's fixed-width encoded bytes,
-//! `rows × row_width` of them.  Error messages are truncated to
-//! [`MAX_ERROR_MESSAGE`] bytes so an error frame's size is bounded by
-//! construction.
+//! Every reply carries the **single row representation** of the unified
+//! API: the plan's output schema followed by its fixed-width encoded rows
+//! (pair-shaped results are simply the degenerate two-`u64`-column
+//! schema).  `summary` is the full [`QuerySummary`]: digest (`str16`, 64
+//! hex chars), trace events, the four operation counters, output rows,
+//! output row width, join carry width and wall-clock nanoseconds.
+//! `schema` is `ncols:u16be (name:str16 type)*` with `type` one of `0`
+//! (`u64`), `1` (`i64`), `2` (`bool`), `3 width:u16be` (`bytes[width]`).
+//! Error messages are truncated to [`MAX_ERROR_MESSAGE`] bytes so an
+//! error frame's size is bounded by construction.
+//!
+//! ## Versioning
+//!
+//! Protocol **2** (this build) replaced version 1 when the plan IR was
+//! unified: the plan codec changed shape, replies collapsed onto the one
+//! schema-carrying row form, and the summary/stats grew the width fields.
+//! A request with any other version byte is answered with a typed
+//! [`ErrorKind::UnsupportedVersion`] frame naming both versions.
 
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
-use obliv_engine::{
-    NamedPlan, QueryResponse, QuerySummary, SessionStats, WideNamed, WideNamedSource,
-};
+use obliv_engine::{Plan, QueryResponse, QuerySummary, Rows, SessionStats};
 use obliv_join::schema::{ColumnType, Schema, Value, WideTable};
-use obliv_operators::{
-    Aggregate, JoinAggregate, JoinColumns, Predicate, WideCmp, WidePredicate, WideStage,
-};
+use obliv_operators::{Aggregate, JoinAggregate, WideCmp, WidePredicate};
 use obliv_trace::OpCounters;
 
 /// The one protocol version this build speaks.  A request frame with any
 /// other version byte is answered with
 /// [`ErrorKind::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u8 = 1;
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a request frame's body, in bytes.  Requests are plans
 /// and tokens — kilobytes at most — so the bound is tight to cap what an
@@ -103,12 +109,12 @@ pub enum Request {
         /// The pipeline query text.
         query: String,
     },
-    /// Run an already-built [`NamedPlan`].
+    /// Run an already-built [`Plan`].
     QueryPlan {
         /// Tenant/auth token.
         token: String,
         /// The plan to execute.
-        plan: NamedPlan,
+        plan: Plan,
     },
     /// Fetch the connection session's cumulative [`SessionStats`].
     Stats {
@@ -128,18 +134,9 @@ impl Request {
     }
 }
 
-/// The result rows of one answered query.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ReplyRows {
-    /// A pair-shaped result.
-    Pair(Vec<(u64, u64)>),
-    /// A wide result with its output schema.
-    Wide(WideTable),
-}
-
 /// One answered query: the wire rendering of a
-/// [`QueryResponse`] (identical fields; the result
-/// table travels as raw fixed-width rows).
+/// [`QueryResponse`] (identical fields; the result rows travel as the
+/// output schema plus raw fixed-width row bytes).
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryReply {
     /// The server-assigned label (`tenant/qN`).
@@ -148,8 +145,8 @@ pub struct QueryReply {
     pub cached: bool,
     /// The query's leakage and cost accounting, digest included.
     pub summary: QuerySummary,
-    /// The result rows.
-    pub rows: ReplyRows,
+    /// The result rows under the plan's output schema.
+    pub rows: Rows,
 }
 
 impl QueryReply {
@@ -159,17 +156,7 @@ impl QueryReply {
             label: response.label.clone(),
             cached: response.cached,
             summary: response.summary.clone(),
-            rows: match &response.wide {
-                Some(wide) => ReplyRows::Wide(wide.clone()),
-                None => ReplyRows::Pair(
-                    response
-                        .result
-                        .rows()
-                        .iter()
-                        .map(|e| (e.key, e.value))
-                        .collect(),
-                ),
-            },
+            rows: response.rows.clone(),
         }
     }
 }
@@ -510,59 +497,6 @@ pub fn is_version_error(e: &DecodeError) -> bool {
 // Plan codec
 // ---------------------------------------------------------------------------
 
-fn put_predicate(w: &mut Writer, p: &Predicate) {
-    match p {
-        Predicate::True => w.u8(0),
-        Predicate::ValueAtLeast(n) => {
-            w.u8(1);
-            w.u64(*n);
-        }
-        Predicate::ValueBelow(n) => {
-            w.u8(2);
-            w.u64(*n);
-        }
-        Predicate::KeyEquals(n) => {
-            w.u8(3);
-            w.u64(*n);
-        }
-        Predicate::KeyInRange(lo, hi) => {
-            w.u8(4);
-            w.u64(*lo);
-            w.u64(*hi);
-        }
-    }
-}
-
-fn get_predicate(r: &mut Reader<'_>) -> Result<Predicate, DecodeError> {
-    Ok(match r.u8()? {
-        0 => Predicate::True,
-        1 => Predicate::ValueAtLeast(r.u64()?),
-        2 => Predicate::ValueBelow(r.u64()?),
-        3 => Predicate::KeyEquals(r.u64()?),
-        4 => Predicate::KeyInRange(r.u64()?, r.u64()?),
-        other => return Err(DecodeError::new(format!("unknown predicate tag {other}"))),
-    })
-}
-
-fn put_join_columns(w: &mut Writer, c: JoinColumns) {
-    w.u8(match c {
-        JoinColumns::KeyAndLeft => 0,
-        JoinColumns::KeyAndRight => 1,
-        JoinColumns::LeftAndRight => 2,
-        JoinColumns::RightAndLeft => 3,
-    });
-}
-
-fn get_join_columns(r: &mut Reader<'_>) -> Result<JoinColumns, DecodeError> {
-    Ok(match r.u8()? {
-        0 => JoinColumns::KeyAndLeft,
-        1 => JoinColumns::KeyAndRight,
-        2 => JoinColumns::LeftAndRight,
-        3 => JoinColumns::RightAndLeft,
-        other => return Err(DecodeError::new(format!("unknown projection tag {other}"))),
-    })
-}
-
 fn put_aggregate(w: &mut Writer, a: Aggregate) {
     w.u8(match a {
         Aggregate::Count => 0,
@@ -648,41 +582,54 @@ fn get_value(r: &mut Reader<'_>) -> Result<Value, DecodeError> {
     })
 }
 
-fn put_wide_stage(w: &mut Writer, s: &WideStage) {
+fn put_opt_str(w: &mut Writer, s: &Option<String>) {
     match s {
-        WideStage::Filter(p) => {
-            w.u8(0);
-            w.str16(&p.column);
-            w.u8(match p.cmp {
+        Some(name) => {
+            w.u8(1);
+            w.str16(name);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn get_opt_str(r: &mut Reader<'_>) -> Result<Option<String>, DecodeError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(r.str16()?),
+        other => return Err(DecodeError::new(format!("bad option byte {other}"))),
+    })
+}
+
+fn put_predicate(w: &mut Writer, p: &WidePredicate) {
+    match p {
+        WidePredicate::True => w.u8(0),
+        WidePredicate::Compare {
+            column,
+            cmp,
+            constant,
+        } => {
+            w.u8(1);
+            w.str16(column);
+            w.u8(match cmp {
                 WideCmp::AtLeast => 0,
                 WideCmp::Below => 1,
                 WideCmp::Equals => 2,
             });
-            put_value(w, &p.constant);
+            put_value(w, constant);
         }
-        WideStage::Aggregate {
-            aggregate,
-            column,
-            by,
-        } => {
-            w.u8(1);
-            put_aggregate(w, *aggregate);
-            for opt in [column, by] {
-                match opt {
-                    Some(name) => {
-                        w.u8(1);
-                        w.str16(name);
-                    }
-                    None => w.u8(0),
-                }
-            }
+        WidePredicate::InRange { column, lo, hi } => {
+            w.u8(2);
+            w.str16(column);
+            put_value(w, lo);
+            put_value(w, hi);
         }
     }
 }
 
-fn get_wide_stage(r: &mut Reader<'_>) -> Result<WideStage, DecodeError> {
+fn get_predicate(r: &mut Reader<'_>) -> Result<WidePredicate, DecodeError> {
     Ok(match r.u8()? {
-        0 => {
+        0 => WidePredicate::True,
+        1 => {
             let column = r.str16()?;
             let cmp = match r.u8()? {
                 0 => WideCmp::AtLeast,
@@ -691,145 +638,123 @@ fn get_wide_stage(r: &mut Reader<'_>) -> Result<WideStage, DecodeError> {
                 other => return Err(DecodeError::new(format!("unknown comparison tag {other}"))),
             };
             let constant = get_value(r)?;
-            WideStage::Filter(WidePredicate {
+            WidePredicate::Compare {
                 column,
                 cmp,
                 constant,
-            })
-        }
-        1 => {
-            let aggregate = get_aggregate(r)?;
-            let mut opts = [None, None];
-            for opt in &mut opts {
-                *opt = match r.u8()? {
-                    0 => None,
-                    1 => Some(r.str16()?),
-                    other => return Err(DecodeError::new(format!("bad option byte {other}"))),
-                };
-            }
-            let [column, by] = opts;
-            WideStage::Aggregate {
-                aggregate,
-                column,
-                by,
             }
         }
-        other => return Err(DecodeError::new(format!("unknown wide-stage tag {other}"))),
+        2 => WidePredicate::InRange {
+            column: r.str16()?,
+            lo: get_value(r)?,
+            hi: get_value(r)?,
+        },
+        other => return Err(DecodeError::new(format!("unknown predicate tag {other}"))),
     })
 }
 
-fn put_wide(w: &mut Writer, wide: &WideNamed) {
-    match &wide.source {
-        WideNamedSource::Scan(name) => {
+fn put_plan(w: &mut Writer, plan: &Plan) {
+    match plan {
+        Plan::Scan(name) => {
             w.u8(0);
             w.str16(name);
         }
-        WideNamedSource::Join {
+        Plan::Filter { input, predicate } => {
+            w.u8(1);
+            put_predicate(w, predicate);
+            put_plan(w, input);
+        }
+        Plan::Project { input, columns } => {
+            w.u8(2);
+            if columns.len() > u16::MAX as usize {
+                w.overflowed("projection column count", columns.len(), u16::MAX as usize);
+                return;
+            }
+            w.u16(columns.len() as u16);
+            for column in columns {
+                w.str16(column);
+            }
+            put_plan(w, input);
+        }
+        Plan::Distinct { input } => {
+            w.u8(3);
+            put_plan(w, input);
+        }
+        Plan::UnionAll { left, right } => {
+            w.u8(4);
+            put_plan(w, left);
+            put_plan(w, right);
+        }
+        Plan::Join {
             left,
             right,
             left_key,
             right_key,
         } => {
-            w.u8(1);
-            for s in [left, right, left_key, right_key] {
-                w.str16(s);
-            }
-        }
-    }
-    if wide.stages.len() > u16::MAX as usize {
-        w.overflowed("stage count", wide.stages.len(), u16::MAX as usize);
-        return;
-    }
-    w.u16(wide.stages.len() as u16);
-    for stage in &wide.stages {
-        put_wide_stage(w, stage);
-    }
-}
-
-fn get_wide(r: &mut Reader<'_>) -> Result<WideNamed, DecodeError> {
-    let source = match r.u8()? {
-        0 => WideNamedSource::Scan(r.str16()?),
-        1 => WideNamedSource::Join {
-            left: r.str16()?,
-            right: r.str16()?,
-            left_key: r.str16()?,
-            right_key: r.str16()?,
-        },
-        other => return Err(DecodeError::new(format!("unknown wide-source tag {other}"))),
-    };
-    let stages = (0..r.u16()?)
-        .map(|_| get_wide_stage(r))
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(WideNamed { source, stages })
-}
-
-fn put_plan(w: &mut Writer, plan: &NamedPlan) {
-    match plan {
-        NamedPlan::Scan(name) => {
-            w.u8(0);
-            w.str16(name);
-        }
-        NamedPlan::Filter { input, predicate } => {
-            w.u8(1);
-            put_predicate(w, predicate);
-            put_plan(w, input);
-        }
-        NamedPlan::SwapColumns { input } => {
-            w.u8(2);
-            put_plan(w, input);
-        }
-        NamedPlan::Distinct { input } => {
-            w.u8(3);
-            put_plan(w, input);
-        }
-        NamedPlan::UnionAll { left, right } => {
-            w.u8(4);
+            w.u8(5);
+            w.str16(left_key);
+            w.str16(right_key);
             put_plan(w, left);
             put_plan(w, right);
         }
-        NamedPlan::Join {
+        Plan::SemiJoin {
             left,
             right,
-            columns,
+            left_key,
+            right_key,
         } => {
-            w.u8(5);
-            put_join_columns(w, *columns);
-            put_plan(w, left);
-            put_plan(w, right);
-        }
-        NamedPlan::SemiJoin { left, right } => {
             w.u8(6);
+            w.str16(left_key);
+            w.str16(right_key);
             put_plan(w, left);
             put_plan(w, right);
         }
-        NamedPlan::AntiJoin { left, right } => {
+        Plan::AntiJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
             w.u8(7);
+            w.str16(left_key);
+            w.str16(right_key);
             put_plan(w, left);
             put_plan(w, right);
         }
-        NamedPlan::GroupAggregate { input, aggregate } => {
+        Plan::GroupAggregate {
+            input,
+            aggregate,
+            column,
+            by,
+        } => {
             w.u8(8);
             put_aggregate(w, *aggregate);
+            put_opt_str(w, column);
+            put_opt_str(w, by);
             put_plan(w, input);
         }
-        NamedPlan::JoinAggregate {
+        Plan::JoinAggregate {
             left,
             right,
+            left_key,
+            right_key,
+            left_value,
+            right_value,
             aggregate,
         } => {
             w.u8(9);
             put_join_aggregate(w, *aggregate);
+            w.str16(left_key);
+            w.str16(right_key);
+            put_opt_str(w, left_value);
+            put_opt_str(w, right_value);
             put_plan(w, left);
             put_plan(w, right);
-        }
-        NamedPlan::Wide(wide) => {
-            w.u8(10);
-            put_wide(w, wide);
         }
     }
 }
 
-fn get_plan(r: &mut Reader<'_>, depth: usize) -> Result<NamedPlan, DecodeError> {
+fn get_plan(r: &mut Reader<'_>, depth: usize) -> Result<Plan, DecodeError> {
     if depth > MAX_PLAN_DEPTH {
         return Err(DecodeError::new(format!(
             "plan nests deeper than {MAX_PLAN_DEPTH} operators"
@@ -837,40 +762,61 @@ fn get_plan(r: &mut Reader<'_>, depth: usize) -> Result<NamedPlan, DecodeError> 
     }
     let input = |r: &mut Reader<'_>| get_plan(r, depth + 1).map(Box::new);
     Ok(match r.u8()? {
-        0 => NamedPlan::Scan(r.str16()?),
-        1 => NamedPlan::Filter {
+        0 => Plan::Scan(r.str16()?),
+        1 => Plan::Filter {
             predicate: get_predicate(r)?,
             input: input(r)?,
         },
-        2 => NamedPlan::SwapColumns { input: input(r)? },
-        3 => NamedPlan::Distinct { input: input(r)? },
-        4 => NamedPlan::UnionAll {
+        2 => {
+            let columns = (0..r.u16()?)
+                .map(|_| r.str16())
+                .collect::<Result<Vec<_>, _>>()?;
+            Plan::Project {
+                columns,
+                input: input(r)?,
+            }
+        }
+        3 => Plan::Distinct { input: input(r)? },
+        4 => Plan::UnionAll {
             left: input(r)?,
             right: input(r)?,
         },
-        5 => NamedPlan::Join {
-            columns: get_join_columns(r)?,
+        5 => Plan::Join {
+            left_key: r.str16()?,
+            right_key: r.str16()?,
             left: input(r)?,
             right: input(r)?,
         },
-        6 => NamedPlan::SemiJoin {
+        6 => Plan::SemiJoin {
+            left_key: r.str16()?,
+            right_key: r.str16()?,
             left: input(r)?,
             right: input(r)?,
         },
-        7 => NamedPlan::AntiJoin {
+        7 => Plan::AntiJoin {
+            left_key: r.str16()?,
+            right_key: r.str16()?,
             left: input(r)?,
             right: input(r)?,
         },
-        8 => NamedPlan::GroupAggregate {
+        8 => Plan::GroupAggregate {
             aggregate: get_aggregate(r)?,
+            column: get_opt_str(r)?,
+            by: get_opt_str(r)?,
             input: input(r)?,
         },
-        9 => NamedPlan::JoinAggregate {
-            aggregate: get_join_aggregate(r)?,
-            left: input(r)?,
-            right: input(r)?,
-        },
-        10 => NamedPlan::Wide(get_wide(r)?),
+        9 => {
+            let aggregate = get_join_aggregate(r)?;
+            Plan::JoinAggregate {
+                left_key: r.str16()?,
+                right_key: r.str16()?,
+                left_value: get_opt_str(r)?,
+                right_value: get_opt_str(r)?,
+                left: input(r)?,
+                right: input(r)?,
+                aggregate,
+            }
+        }
         other => return Err(DecodeError::new(format!("unknown plan tag {other}"))),
     })
 }
@@ -887,6 +833,8 @@ fn put_summary(w: &mut Writer, s: &QuerySummary) {
     w.u64(s.counters.routing_hops);
     w.u64(s.counters.linear_steps);
     w.u64(s.output_rows as u64);
+    w.u64(s.output_row_width as u64);
+    w.u64(s.carry_words as u64);
     w.u64(s.wall.as_nanos().min(u64::MAX as u128) as u64);
 }
 
@@ -901,6 +849,8 @@ fn get_summary(r: &mut Reader<'_>) -> Result<QuerySummary, DecodeError> {
             linear_steps: r.u64()?,
         },
         output_rows: r.u64()? as usize,
+        output_row_width: r.u64()? as usize,
+        carry_words: r.u64()? as usize,
         wall: Duration::from_nanos(r.u64()?),
     })
 }
@@ -954,6 +904,8 @@ fn put_stats(w: &mut Writer, s: &SessionStats) {
     w.u64(s.output_rows);
     w.u64(s.comparisons);
     w.u64(s.cache_hits);
+    w.u64(s.output_bytes);
+    w.u64(s.max_carry_words);
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<SessionStats, DecodeError> {
@@ -963,6 +915,8 @@ fn get_stats(r: &mut Reader<'_>) -> Result<SessionStats, DecodeError> {
         output_rows: r.u64()?,
         comparisons: r.u64()?,
         cache_hits: r.u64()?,
+        output_bytes: r.u64()?,
+        max_carry_words: r.u64()?,
     })
 }
 
@@ -1025,28 +979,15 @@ impl Response {
         let mut w = Writer::new();
         match self {
             Response::Reply(reply) => {
-                match &reply.rows {
-                    ReplyRows::Pair(_) => w.u8(0),
-                    ReplyRows::Wide(_) => w.u8(1),
-                }
+                w.u8(0);
                 w.str16(&reply.label);
                 w.u8(reply.cached as u8);
                 put_summary(&mut w, &reply.summary);
-                match &reply.rows {
-                    ReplyRows::Pair(rows) => {
-                        w.u32(rows.len() as u32);
-                        for (key, value) in rows {
-                            w.u64(*key);
-                            w.u64(*value);
-                        }
-                    }
-                    ReplyRows::Wide(table) => {
-                        put_schema(&mut w, table.schema());
-                        w.u32(table.len() as u32);
-                        for row in table.rows() {
-                            w.bytes(row);
-                        }
-                    }
+                let table = reply.rows.table();
+                put_schema(&mut w, table.schema());
+                w.u32(table.len() as u32);
+                for row in table.rows() {
+                    w.bytes(row);
                 }
             }
             Response::Stats(stats) => {
@@ -1068,7 +1009,7 @@ impl Response {
         check_version(&mut r)?;
         let status = r.u8()?;
         let response = match status {
-            0 | 1 => {
+            0 => {
                 let label = r.str16()?;
                 let cached = match r.u8()? {
                     0 => false,
@@ -1076,24 +1017,14 @@ impl Response {
                     other => return Err(DecodeError::new(format!("bad cached byte {other}"))),
                 };
                 let summary = get_summary(&mut r)?;
-                let rows = if status == 0 {
-                    let n = r.u32()? as usize;
-                    let mut rows = Vec::with_capacity(n.min(1 << 20));
-                    for _ in 0..n {
-                        rows.push((r.u64()?, r.u64()?));
-                    }
-                    ReplyRows::Pair(rows)
-                } else {
-                    let schema = get_schema(&mut r)?;
-                    let n = r.u32()? as usize;
-                    let data = r.take(n * schema.row_width())?.to_vec();
-                    ReplyRows::Wide(WideTable::from_encoded(Arc::new(schema), data))
-                };
+                let schema = get_schema(&mut r)?;
+                let n = r.u32()? as usize;
+                let data = r.take(n * schema.row_width())?.to_vec();
                 Response::Reply(QueryReply {
                     label,
                     cached,
                     summary,
-                    rows,
+                    rows: Rows::from_wide(WideTable::from_encoded(Arc::new(schema), data)),
                 })
             }
             2 => Response::Stats(get_stats(&mut r)?),
@@ -1123,6 +1054,23 @@ mod tests {
         assert_eq!(Response::decode(&body).unwrap(), response);
     }
 
+    fn summary() -> QuerySummary {
+        QuerySummary {
+            trace_digest: "ab".repeat(32),
+            trace_events: 12345,
+            counters: OpCounters {
+                comparisons: 1,
+                compare_exchanges: 2,
+                routing_hops: 3,
+                linear_steps: 4,
+            },
+            output_rows: 2,
+            output_row_width: 16,
+            carry_words: 1,
+            wall: Duration::from_micros(817),
+        }
+    }
+
     #[test]
     fn requests_roundtrip() {
         roundtrip_request(Request::Stats {
@@ -1133,7 +1081,7 @@ mod tests {
             query: "JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)".into(),
         });
         // Every plan node and parameter type crosses the wire intact,
-        // including the wide pipeline with a bytes constant.
+        // including projections, range filters and bytes constants.
         for text in [
             "SCAN t | FILTER k in 3..9 | DISTINCT | SWAP | JOIN u key-left | SEMIJOIN v \
              | ANTIJOIN w | UNION x | JOINAGG y sumleft | AGG max",
@@ -1142,6 +1090,8 @@ mod tests {
             "JOIN orders lineitem ON o_key=l_key | FILTER region=\"east\" | FILTER tax<-2 \
              | AGG sum(qty) BY o_key",
             "SCAN t | FILTER urgent=true | AGG count",
+            "JOIN orders lineitem ON o_key | PROJECT o_key,price,qty | DISTINCT | UNION extra",
+            "SEMIJOIN a b ON k=j | FILTER price in 10..99",
         ] {
             roundtrip_request(Request::QueryPlan {
                 token: "t0".into(),
@@ -1152,23 +1102,22 @@ mod tests {
 
     #[test]
     fn responses_roundtrip() {
-        let summary = QuerySummary {
-            trace_digest: "ab".repeat(32),
-            trace_events: 12345,
-            counters: OpCounters {
-                comparisons: 1,
-                compare_exchanges: 2,
-                routing_hops: 3,
-                linear_steps: 4,
-            },
-            output_rows: 2,
-            wall: Duration::from_micros(817),
-        };
+        // The degenerate pair shape travels as the two-u64-column schema.
+        let pair = Rows::from_wide(
+            WideTable::from_rows(
+                Schema::pair(),
+                [
+                    vec![Value::U64(1), Value::U64(10)],
+                    vec![Value::U64(2), Value::U64(20)],
+                ],
+            )
+            .unwrap(),
+        );
         roundtrip_response(Response::Reply(QueryReply {
             label: "acme/q0".into(),
             cached: true,
-            summary: summary.clone(),
-            rows: ReplyRows::Pair(vec![(1, 10), (2, 20)]),
+            summary: summary(),
+            rows: pair,
         }));
         let schema = Schema::new([
             ("k", ColumnType::U64),
@@ -1198,8 +1147,8 @@ mod tests {
         roundtrip_response(Response::Reply(QueryReply {
             label: "acme/q1".into(),
             cached: false,
-            summary,
-            rows: ReplyRows::Wide(table),
+            summary: summary(),
+            rows: Rows::from_wide(table),
         }));
         roundtrip_response(Response::Stats(SessionStats {
             queries: 4,
@@ -1207,6 +1156,8 @@ mod tests {
             output_rows: 6,
             comparisons: 3,
             cache_hits: 1,
+            output_bytes: 96,
+            max_carry_words: 3,
         }));
         roundtrip_response(Response::Error(WireError::new(
             ErrorKind::Query,
@@ -1233,9 +1184,12 @@ mod tests {
         ok.push(0);
         let err = Request::decode(&ok).unwrap_err();
         assert!(err.message().contains("trailing"));
-        // A version mismatch is distinguishable from garbage.
-        let versioned = Request::decode(&[9, 1]).unwrap_err();
+        // A version mismatch is distinguishable from garbage — in
+        // particular the previous protocol version is answered with a
+        // typed version error, not a parse error.
+        let versioned = Request::decode(&[1, 1]).unwrap_err();
         assert!(is_version_error(&versioned));
+        assert!(versioned.message().contains("this build speaks 2"));
         assert!(!is_version_error(&err));
     }
 
@@ -1243,7 +1197,7 @@ mod tests {
     fn plan_depth_is_bounded_on_decode() {
         // 1000 nested DISTINCT nodes around a scan: encodes fine, decode
         // refuses at the depth bound.
-        let mut plan = NamedPlan::scan("t");
+        let mut plan = Plan::scan("t");
         for _ in 0..1000 {
             plan = plan.distinct();
         }
@@ -1270,9 +1224,10 @@ mod tests {
 
         let err = Request::QueryPlan {
             token: "t".into(),
-            plan: NamedPlan::Wide(WideNamed::scan("t").stage(WideStage::Filter(
-                WidePredicate::equals("tag", Value::Bytes(vec![0x41; 70_000])),
-            ))),
+            plan: Plan::scan("t").filter(WidePredicate::equals(
+                "tag",
+                Value::Bytes(vec![0x41; 70_000]),
+            )),
         }
         .encode()
         .unwrap_err();

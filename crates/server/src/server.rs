@@ -50,9 +50,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 
-use obliv_engine::{
-    parse_query, Engine, EngineError, NamedPlan, QueryRequest, QueryResponse, Session,
-};
+use obliv_engine::{parse_query, Engine, EngineError, Plan, QueryRequest, QueryResponse, Session};
 
 use crate::proto::{
     is_version_error, read_frame, write_frame, ErrorKind, FrameError, QueryReply, Request,
@@ -573,7 +571,7 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
 /// batcher, wait for the engine's answer, account it.
 fn run_query(
     session: &mut Session<'_>,
-    plan: NamedPlan,
+    plan: Plan,
     batch_tx: &mpsc::Sender<BatchItem>,
 ) -> Response {
     let shutting_down = || {
@@ -614,10 +612,7 @@ fn run_query(
 /// body is materialised in memory.
 fn payload_size_floor(response: &Response) -> usize {
     match response {
-        Response::Reply(reply) => match &reply.rows {
-            crate::proto::ReplyRows::Pair(rows) => rows.len() * 16,
-            crate::proto::ReplyRows::Wide(table) => table.len() * table.schema().row_width(),
-        },
+        Response::Reply(reply) => reply.rows.len() * reply.rows.schema().row_width(),
         Response::Stats(_) | Response::Error(_) => 0,
     }
 }

@@ -18,9 +18,7 @@ use std::time::Duration;
 
 use obliv_engine::{parse_query, Engine, EngineConfig, QueryRequest};
 use obliv_server::proto::{read_frame, write_frame, Request, Response};
-use obliv_server::{
-    Client, ClientError, ErrorKind, ReplyRows, Server, ServerConfig, MAX_RESPONSE_FRAME,
-};
+use obliv_server::{Client, ClientError, ErrorKind, Server, ServerConfig, MAX_RESPONSE_FRAME};
 use obliv_workloads::wide_orders_lineitem;
 
 /// The wide acceptance query from the issue.
@@ -53,7 +51,7 @@ fn tcp_acceptance_query_is_bit_identical_to_in_process_execution() {
         .unwrap()
         .pop()
         .unwrap();
-    let expected_wide = expected.wide.clone().expect("wide plan yields wide rows");
+    let expected_rows = expected.rows.clone();
 
     let engine = wide_engine(2);
     let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default()).unwrap();
@@ -76,10 +74,7 @@ fn tcp_acceptance_query_is_bit_identical_to_in_process_execution() {
         assert_eq!(reply.summary.trace_events, expected.summary.trace_events);
         assert_eq!(reply.summary.counters, expected.summary.counters);
         assert_eq!(reply.summary.output_rows, expected.summary.output_rows);
-        match &reply.rows {
-            ReplyRows::Wide(table) => assert_eq!(table, &expected_wide),
-            other => panic!("expected wide rows, got {other:?}"),
-        }
+        assert_eq!(reply.rows, expected_rows);
     }
     assert_eq!(replies[0].label, "tenant-a/q0");
     assert_eq!(replies[1].label, "tenant-b/q0");
@@ -89,10 +84,7 @@ fn tcp_acceptance_query_is_bit_identical_to_in_process_execution() {
     let warm = client.query(ACCEPTANCE_QUERY).unwrap();
     assert!(warm.cached, "second round must hit the result cache");
     assert_eq!(warm.summary.trace_digest, expected.summary.trace_digest);
-    match &warm.rows {
-        ReplyRows::Wide(table) => assert_eq!(table, &expected_wide),
-        other => panic!("expected wide rows, got {other:?}"),
-    }
+    assert_eq!(warm.rows, expected_rows);
 
     drop(client);
     server.shutdown();
@@ -168,6 +160,21 @@ fn sessions_account_independently_across_interleaved_connections() {
     assert_eq!(
         alice_stats.comparisons,
         a0.summary.counters.comparisons + a1.summary.counters.comparisons
+    );
+    // The session reports result shape, not just row counts: bytes roll up
+    // per-query `rows × row width`, and the widest join carry is recorded
+    // (alice never joined; bob's pair join carries one kernel word).
+    assert_eq!(
+        alice_stats.output_bytes,
+        ((a0.summary.output_rows * a0.summary.output_row_width)
+            + (a1.summary.output_rows * a1.summary.output_row_width)) as u64
+    );
+    assert_eq!(alice_stats.max_carry_words, 0);
+    assert_eq!(bob_stats.max_carry_words, 1);
+    assert_eq!(
+        bob_stats.output_bytes,
+        ((b0.summary.output_rows * b0.summary.output_row_width)
+            + (b1.summary.output_rows * b1.summary.output_row_width)) as u64
     );
     assert_eq!(bob_stats.queries, 2);
     assert_eq!(

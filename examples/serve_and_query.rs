@@ -58,10 +58,7 @@ fn main() {
                 let mut lines = Vec::new();
                 for query in queries {
                     let reply = client.query(*query).expect("query");
-                    let rows = match &reply.rows {
-                        ReplyRows::Pair(rows) => rows.len(),
-                        ReplyRows::Wide(table) => table.len(),
-                    };
+                    let rows = reply.rows.len();
                     lines.push(format!(
                         "  [{}] {:<62} rows={:<3} cached={:<5} digest={}…",
                         reply.label,

@@ -42,8 +42,8 @@ pub mod prelude {
     pub use obliv_baselines::{hash_join, nested_loop_join, opaque_pkfk_join, sort_merge_join};
     pub use obliv_enclave_sim::{EnclaveSimulator, EpcConfig};
     pub use obliv_engine::{
-        parse_query, CacheStats, Catalog, Engine, EngineConfig, EngineError, NamedPlan,
-        QueryRequest, QueryResponse, QuerySummary, Session, SessionStats, TableMeta, WideNamed,
+        parse_query, CacheStats, Catalog, Engine, EngineConfig, EngineError, Plan, QueryRequest,
+        QueryResponse, QuerySummary, ResolvedPlan, Rows, Session, SessionStats, TableMeta,
     };
     pub use obliv_join::{
         oblivious_join, oblivious_join_with_tracer, ColumnType, JoinResult, JoinRow, Phase, Schema,
@@ -52,13 +52,14 @@ pub mod prelude {
     pub use obliv_operators::{
         oblivious_anti_join, oblivious_distinct, oblivious_filter, oblivious_group_aggregate,
         oblivious_join_aggregate, oblivious_project, oblivious_semi_join, oblivious_union_all,
-        wide_filter, wide_group_aggregate, wide_join, Aggregate, JoinAggregate, JoinColumns,
-        Predicate, QueryPlan, WideError, WidePipeline, WidePredicate, WideStage,
+        wide_anti_join, wide_distinct, wide_filter, wide_group_aggregate, wide_join,
+        wide_join_aggregate, wide_project, wide_semi_join, wide_union_all, Aggregate,
+        JoinAggregate, JoinColumns, Predicate, QueryPlan, WideError, WidePredicate,
     };
     pub use obliv_primitives::{
         oblivious_compact, oblivious_distribute, oblivious_expand, Keyed, Routable,
     };
-    pub use obliv_server::{Client, ClientError, QueryReply, ReplyRows, Server, ServerConfig};
+    pub use obliv_server::{Client, ClientError, QueryReply, Server, ServerConfig};
     pub use obliv_trace::{
         CollectingSink, CountingSink, HashingSink, NullSink, Tracer, TrackedBuffer,
     };

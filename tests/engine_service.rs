@@ -1,6 +1,9 @@
 //! Integration tests for the `obliv-engine` query service: concurrent
-//! batches must be bit-identical to serial `QueryPlan::execute`, and a
-//! query's trace digest must not depend on what else the pool is running.
+//! batches must be bit-identical to direct [`ResolvedPlan`] execution, a
+//! query's trace digest must not depend on what else the pool is running,
+//! and every degenerate (pair-shaped) unified plan must lower onto the
+//! legacy pair kernel — bit-identical rows *and* trace digests to a
+//! hand-built [`QueryPlan`].
 
 use obliv_join_suite::prelude::*;
 
@@ -33,8 +36,21 @@ fn loaded_engine_with(config: EngineConfig) -> Engine {
     engine
 }
 
-/// The mixed batch the ISSUE asks for: joins, filter+aggregate, semi/anti
-/// joins and a join-aggregate, expressed through the text frontend.
+/// The reference catalog the engines above are loaded from.
+fn reference_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    let ol = orders_lineitem(24, 42);
+    catalog.register("orders", ol.left).unwrap();
+    catalog.register("lineitem", ol.right).unwrap();
+    let pl = power_law(60, 60, 1.5, 7);
+    catalog.register("events", pl.left).unwrap();
+    catalog.register("users", pl.right).unwrap();
+    catalog
+}
+
+/// A mixed batch across both surface forms: legacy pair queries (joins,
+/// filter+aggregate, semi/anti joins, join-aggregates) and column-syntax
+/// queries with projections.
 const MIXED_QUERIES: [&str; 9] = [
     "JOIN orders lineitem",
     "SCAN orders | FILTER v>=1000 | AGG sum",
@@ -47,11 +63,11 @@ const MIXED_QUERIES: [&str; 9] = [
     "JOINAGG events users sumright",
 ];
 
-/// Every concurrently executed query returns exactly the table its plan
-/// produces under a direct serial `QueryPlan::execute`, and the engine's
-/// serial path agrees too.
+/// Every concurrently executed query returns exactly the rows its resolved
+/// plan produces under a direct serial execution, and the engine's serial
+/// path agrees too.
 #[test]
-fn concurrent_batch_matches_serial_query_plan_execute() {
+fn concurrent_batch_matches_direct_resolved_execution() {
     // Cache off: the batch and the serial run must both genuinely
     // execute for the bit-for-bit comparison to mean anything.
     let engine = loaded_engine_uncached(4);
@@ -65,38 +81,177 @@ fn concurrent_batch_matches_serial_query_plan_execute() {
     assert_eq!(concurrent.len(), MIXED_QUERIES.len());
 
     // Reference: resolve each plan by hand against an identical catalog and
-    // run QueryPlan::execute directly, outside the engine.
-    let mut catalog = Catalog::new();
-    let ol = orders_lineitem(24, 42);
-    catalog.register("orders", ol.left).unwrap();
-    catalog.register("lineitem", ol.right).unwrap();
-    let pl = power_law(60, 60, 1.5, 7);
-    catalog.register("events", pl.left).unwrap();
-    catalog.register("users", pl.right).unwrap();
-
+    // execute the resolved plan directly, outside the engine.
+    let catalog = reference_catalog();
     for ((request, conc), ser) in requests.iter().zip(&concurrent).zip(&serial) {
-        let reference = request
-            .plan()
-            .resolve(&catalog)
-            .unwrap()
-            .execute(&Tracer::new(NullSink));
+        let resolved = request.plan().resolve(&catalog).unwrap();
+        let tracer = Tracer::new(HashingSink::new());
+        let reference = resolved.execute(&tracer);
+        let reference_digest = tracer.with_sink(|s| s.digest_hex());
         assert_eq!(
-            conc.result, reference,
+            conc.rows, reference,
             "concurrent result for `{}`",
             request.label
         );
+        assert_eq!(ser.rows, reference, "serial result for `{}`", request.label);
         assert_eq!(
-            ser.result, reference,
-            "serial result for `{}`",
+            conc.summary.trace_digest, reference_digest,
+            "engine digest vs direct execution for `{}`",
             request.label
         );
-        assert_eq!(
-            conc.summary.trace_digest, ser.summary.trace_digest,
-            "trace digest for `{}`",
-            request.label
-        );
+        assert_eq!(conc.summary.trace_digest, ser.summary.trace_digest);
         assert_eq!(conc.summary.counters, ser.summary.counters);
         assert_eq!(conc.summary.output_rows, reference.len());
+        assert_eq!(
+            conc.summary.output_row_width,
+            reference.schema().row_width()
+        );
+    }
+}
+
+/// The pair/unified equivalence contract: every legacy pair query lowers
+/// onto the pair kernel and produces bit-identical rows and trace digests
+/// to a hand-built legacy [`QueryPlan`] over the same tables.
+#[test]
+fn degenerate_plans_match_legacy_query_plans_bit_for_bit() {
+    let catalog = reference_catalog();
+    let orders = catalog.get("orders").unwrap().clone();
+    let lineitem = catalog.get("lineitem").unwrap().clone();
+    let events = catalog.get("events").unwrap().clone();
+    let users = catalog.get("users").unwrap().clone();
+
+    // (unified text form, equivalent legacy pair-kernel plan)
+    let cases: Vec<(&str, QueryPlan)> = vec![
+        (
+            "JOIN orders lineitem",
+            QueryPlan::scan(orders.clone())
+                .join(QueryPlan::scan(lineitem.clone()), JoinColumns::KeyAndRight),
+        ),
+        (
+            "SCAN orders | FILTER v>=1000 | AGG sum",
+            QueryPlan::scan(orders.clone())
+                .filter(Predicate::ValueAtLeast(1000))
+                .group_aggregate(Aggregate::Sum),
+        ),
+        (
+            "SEMIJOIN orders lineitem",
+            QueryPlan::scan(orders.clone()).semi_join(QueryPlan::scan(lineitem.clone())),
+        ),
+        (
+            "ANTIJOIN users events",
+            QueryPlan::scan(users.clone()).anti_join(QueryPlan::scan(events.clone())),
+        ),
+        (
+            "JOINAGG orders lineitem count",
+            QueryPlan::scan(orders.clone())
+                .join_aggregate(QueryPlan::scan(lineitem.clone()), JoinAggregate::CountPairs),
+        ),
+        (
+            "SCAN events | FILTER k in 1..20 | AGG count",
+            QueryPlan::scan(events.clone())
+                .filter(Predicate::KeyInRange(1, 20))
+                .group_aggregate(Aggregate::Count),
+        ),
+        (
+            "SCAN lineitem | SWAP | DISTINCT",
+            QueryPlan::scan(lineitem.clone()).swap_columns().distinct(),
+        ),
+        (
+            "JOINAGG events users sumright",
+            QueryPlan::scan(events.clone())
+                .join_aggregate(QueryPlan::scan(users.clone()), JoinAggregate::SumRight),
+        ),
+        (
+            "JOIN events users key-left | UNION orders",
+            QueryPlan::scan(events.clone())
+                .join(QueryPlan::scan(users.clone()), JoinColumns::KeyAndLeft)
+                .union_all(QueryPlan::scan(orders.clone())),
+        ),
+        (
+            "JOIN events users left-right | DISTINCT",
+            QueryPlan::scan(events.clone())
+                .join(QueryPlan::scan(users.clone()), JoinColumns::LeftAndRight)
+                .distinct(),
+        ),
+        (
+            "JOIN orders lineitem right-left | AGG max",
+            QueryPlan::scan(orders.clone())
+                .join(QueryPlan::scan(lineitem.clone()), JoinColumns::RightAndLeft)
+                .group_aggregate(Aggregate::Max),
+        ),
+    ];
+
+    for (text, legacy) in cases {
+        let resolved = parse_query(text).unwrap().resolve(&catalog).unwrap();
+        assert!(
+            resolved.is_pair_lowered(),
+            "`{text}` must lower onto the pair kernel"
+        );
+
+        let tracer = Tracer::new(HashingSink::new());
+        let unified = resolved.execute(&tracer);
+        let unified_digest = tracer.with_sink(|s| s.digest_hex());
+
+        let tracer = Tracer::new(HashingSink::new());
+        let reference = legacy.execute(&tracer);
+        let legacy_digest = tracer.with_sink(|s| s.digest_hex());
+
+        assert_eq!(
+            unified.pairs().unwrap(),
+            reference
+                .rows()
+                .iter()
+                .map(|e| (e.key, e.value))
+                .collect::<Vec<_>>(),
+            "rows for `{text}`"
+        );
+        assert_eq!(
+            unified_digest, legacy_digest,
+            "trace digest for `{text}` must be bit-identical to the legacy kernel"
+        );
+    }
+}
+
+/// Column-syntax forms of degenerate queries resolve to the *wide* backend
+/// only when they genuinely leave the pair shape.
+#[test]
+fn pair_lowering_is_exactly_the_degenerate_fragment() {
+    let catalog = reference_catalog();
+    let lowered = [
+        "JOIN orders lineitem",
+        "SCAN orders | FILTER v>=10",
+        "SCAN orders | DISTINCT | AGG count",
+    ];
+    for text in lowered {
+        assert!(
+            parse_query(text)
+                .unwrap()
+                .resolve(&catalog)
+                .unwrap()
+                .is_pair_lowered(),
+            "`{text}`"
+        );
+    }
+    let wide = [
+        // A one-column projection has no pair shape.
+        "SCAN orders | PROJECT value",
+        // A filter between the join and its projection breaks the
+        // both-sides-carried lowering pattern (legacy never emits this).
+        "JOIN orders lineitem ON key | FILTER left_value>=1 | PROJECT left_value,right_value",
+        // Carrying both sides' values is a three-column join.
+        "JOIN orders lineitem ON key | PROJECT key,left_value,right_value",
+        // key >= N has no legacy predicate form.
+        "SCAN orders | FILTER key>=3",
+    ];
+    for text in wide {
+        assert!(
+            !parse_query(text)
+                .unwrap()
+                .resolve(&catalog)
+                .unwrap()
+                .is_pair_lowered(),
+            "`{text}`"
+        );
     }
 }
 
@@ -111,7 +266,7 @@ fn results_are_independent_of_worker_count() {
         let engine = loaded_engine(workers);
         let responses = engine.execute_text_batch(&MIXED_QUERIES).unwrap();
         for (b, r) in baseline.iter().zip(&responses) {
-            assert_eq!(b.result, r.result, "workers={workers}, query `{}`", b.label);
+            assert_eq!(b.rows, r.rows, "workers={workers}, query `{}`", b.label);
             assert_eq!(b.summary.trace_digest, r.summary.trace_digest);
         }
     }
@@ -141,7 +296,7 @@ fn trace_digest_is_independent_of_coscheduled_queries() {
         crowded[0].summary.trace_events,
         alone[0].summary.trace_events
     );
-    assert_eq!(crowded[0].result, alone[0].result);
+    assert_eq!(crowded[0].rows, alone[0].rows);
 }
 
 /// Trace-class check at the engine level: two tables with the same public
@@ -175,7 +330,7 @@ fn engine_digests_depend_only_on_public_parameters() {
         responses[0].summary.trace_digest, responses[1].summary.trace_digest,
         "digest should be a function of (n1, n2, m) only"
     );
-    assert_ne!(responses[0].result, responses[1].result);
+    assert_ne!(responses[0].rows, responses[1].rows);
 }
 
 /// A result-cache hit returns a bit-identical `QueryResponse` to the
@@ -192,7 +347,7 @@ fn cache_hit_is_bit_identical_to_original_miss_end_to_end() {
     assert!(hit.cached);
 
     assert_eq!(hit.label, miss.label);
-    assert_eq!(hit.result, miss.result);
+    assert_eq!(hit.rows, miss.rows);
     assert_eq!(hit.summary, miss.summary, "digest, counters, events, wall");
     assert_eq!(engine.cache_stats(), CacheStats { hits: 1, misses: 1 });
 
@@ -207,7 +362,7 @@ fn cache_hit_is_bit_identical_to_original_miss_end_to_end() {
         "any catalog mutation bumps the epoch and invalidates"
     );
     assert_eq!(
-        after_epoch_bump.result, miss.result,
+        after_epoch_bump.rows, miss.rows,
         "the tables the plan reads did not change, so the result did not"
     );
     assert_eq!(
@@ -228,7 +383,7 @@ fn intra_batch_duplicates_are_deduplicated_concurrently() {
     assert!(!responses[0].cached);
     for dup in &responses[1..5] {
         assert!(dup.cached);
-        assert_eq!(dup.result, responses[0].result);
+        assert_eq!(dup.rows, responses[0].rows);
         assert_eq!(dup.summary, responses[0].summary);
     }
     assert!(!responses[5].cached);
@@ -236,7 +391,8 @@ fn intra_batch_duplicates_are_deduplicated_concurrently() {
 }
 
 /// Sessions accumulate accounting across concurrent batches without
-/// affecting results.
+/// affecting results, and the new shape accounting (output bytes, carry
+/// width) reflects what actually ran.
 #[test]
 fn sessions_run_concurrent_batches() {
     let engine = loaded_engine(4);
@@ -246,11 +402,24 @@ fn sessions_run_concurrent_batches() {
     }
     let responses = session.run().unwrap();
     assert_eq!(responses.len(), MIXED_QUERIES.len());
-    assert_eq!(session.stats().queries, MIXED_QUERIES.len() as u64);
+    let stats = session.stats();
+    assert_eq!(stats.queries, MIXED_QUERIES.len() as u64);
+    assert_eq!(
+        stats.output_bytes,
+        responses
+            .iter()
+            .map(|r| (r.rows.len() * r.rows.schema().row_width()) as u64)
+            .sum::<u64>(),
+        "per-query row widths roll up into the session's byte accounting"
+    );
+    assert_eq!(
+        stats.max_carry_words, 1,
+        "the pair-lowered joins carry one kernel word"
+    );
 
     let direct = engine.execute_text_batch(&MIXED_QUERIES).unwrap();
     for (s, d) in responses.iter().zip(&direct) {
-        assert_eq!(s.result, d.result);
+        assert_eq!(s.rows, d.rows);
         assert_eq!(s.summary.trace_digest, d.summary.trace_digest);
     }
 }

@@ -102,13 +102,8 @@ fn wide_query_runs_end_to_end_through_the_text_frontend() {
     assert_eq!(responses.len(), 1);
     let response = &responses[0];
 
-    // Pair-shaped result slot is empty; the wide result carries the typed
-    // output schema.
-    assert!(response.result.is_empty());
-    let wide = response
-        .wide
-        .as_ref()
-        .expect("wide plans yield wide results");
+    // The one row representation carries the typed output schema.
+    let wide = &response.rows;
     assert_eq!(wide.schema().column_names(), vec!["o_key", "sum_qty"]);
 
     // Plaintext reference: orders with price >= 100 are keys 1 (price 120)
@@ -134,7 +129,7 @@ fn bytes_literal_filters_run_end_to_end() {
     let responses = engine
         .execute_text_batch(&["SCAN orders | FILTER region=\"east\" | AGG count BY o_key"])
         .unwrap();
-    let wide = responses[0].wide.as_ref().unwrap();
+    let wide = &responses[0].rows;
     assert_eq!(wide.len(), 2);
     assert_eq!(wide.value(0, "o_key").unwrap(), Value::U64(1));
     assert_eq!(wide.value(1, "o_key").unwrap(), Value::U64(3));
@@ -144,7 +139,7 @@ fn bytes_literal_filters_run_end_to_end() {
     let responses = engine
         .execute_text_batch(&["SCAN lineitem | FILTER part>=\"pt002-00\" | AGG sum(qty) BY l_key"])
         .unwrap();
-    let wide = responses[0].wide.as_ref().unwrap();
+    let wide = &responses[0].rows;
     assert_eq!(wide.len(), 2);
     assert_eq!(wide.value(0, "sum_qty").unwrap(), Value::U64(3));
     assert_eq!(wide.value(1, "sum_qty").unwrap(), Value::U64(8));
@@ -330,15 +325,99 @@ fn frontend_negative_cases_are_typed_errors_not_panics() {
         EngineError::Wide(WideError::NotAggregatable { .. })
     ));
 
-    // Planner limit: two payload columns from one side.
-    assert!(matches!(
-        engine
-            .execute_text_batch(&[
-                "JOIN orders lineitem ON o_key=l_key | FILTER qty>=1 | AGG min(tax)"
-            ])
-            .unwrap_err(),
-        EngineError::TooManyCarriedColumns { .. }
-    ));
+    // Ambiguity: a column both join sides own must be disambiguated.
+    match engine
+        .execute_text_batch(&["JOIN orders orders ON o_key | PROJECT o_key,price | AGG sum(price)"])
+        .unwrap_err()
+    {
+        EngineError::AmbiguousColumn { name, .. } => assert_eq!(name, "price"),
+        other => panic!("expected a typed ambiguity error, got {other:?}"),
+    }
+}
+
+#[test]
+fn projecting_above_a_union_of_joins_resolves() {
+    // Regression: a wanted-column set is spelled in the union's output
+    // (left-side) namespace and must not leak into the right branch,
+    // whose join uses different column names.
+    let (orders, lineitem) = acceptance_tables();
+    let engine = engine_with(orders, lineitem);
+    engine
+        .register_table("pairs_a", Table::from_pairs(vec![(1, 10), (2, 20)]))
+        .unwrap();
+    engine
+        .register_table("pairs_b", Table::from_pairs(vec![(1, 7), (3, 9)]))
+        .unwrap();
+    // Left branch: wide join (o_key, price, qty). Right branch: pair join
+    // projected to matching positional types under different names.
+    let left = Plan::scan("orders")
+        .join(Plan::scan("lineitem"), "o_key", "l_key")
+        .project(["o_key", "price", "qty"]);
+    let right = Plan::scan("pairs_a")
+        .join(Plan::scan("pairs_b"), "key", "key")
+        .project(["key", "left_value", "right_value"]);
+    let plan = left.union_all(right).project(["o_key", "price"]);
+    let responses = engine
+        .execute_batch(&[QueryRequest::new("u", plan)])
+        .unwrap();
+    assert_eq!(
+        responses[0].rows.schema().column_names(),
+        vec!["o_key", "price"]
+    );
+    // 4 wide join rows + 1 pair join row survive the union.
+    assert_eq!(responses[0].rows.len(), 5);
+}
+
+#[test]
+fn multi_column_carries_flow_through_one_join() {
+    // Two payload columns from the same side — the query PR 3 had to
+    // reject — now runs through the generalised kernel record.
+    let (orders, lineitem) = acceptance_tables();
+    let engine = engine_with(orders, lineitem);
+    let responses = engine
+        .execute_text_batch(&["JOIN orders lineitem ON o_key=l_key | FILTER qty>=1 | AGG min(tax)"])
+        .unwrap();
+    let rows = &responses[0].rows;
+    assert_eq!(rows.schema().column_names(), vec!["o_key", "min_tax"]);
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows.value(0, "min_tax").unwrap(), Value::I64(-1));
+    assert_eq!(responses[0].summary.carry_words, 2, "qty and tax both ride");
+
+    // An explicit PROJECT keeps a five-column join output in one piece.
+    let responses = engine
+        .execute_text_batch(&[
+            "JOIN orders lineitem ON o_key=l_key | PROJECT o_key,price,region,qty,tax \
+             | FILTER price>=100",
+        ])
+        .unwrap();
+    let rows = &responses[0].rows;
+    assert_eq!(
+        rows.schema().column_names(),
+        vec!["o_key", "price", "region", "qty", "tax"]
+    );
+    assert_eq!(rows.len(), 3, "orders 1 (two items) and 3 (one) pass");
+    assert_eq!(
+        rows.value(0, "region").unwrap(),
+        Value::Bytes(b"east".to_vec())
+    );
+
+    // The carry limit is still enforced, with a typed error.
+    let many: Vec<(String, ColumnType)> = std::iter::once(("k".to_string(), ColumnType::U64))
+        .chain((0..9).map(|i| (format!("c{i}"), ColumnType::U64)))
+        .collect();
+    engine
+        .register_wide_table("manycols", WideTable::new(Schema::new(many).unwrap()))
+        .unwrap();
+    match engine
+        .execute_text_batch(&["JOIN manycols lineitem ON k=l_key"])
+        .unwrap_err()
+    {
+        EngineError::Wide(WideError::CarryTooWide { side, columns }) => {
+            assert_eq!(side, "left");
+            assert_eq!(columns.len(), 9);
+        }
+        other => panic!("expected a typed carry-overflow error, got {other:?}"),
+    }
 }
 
 #[test]
@@ -353,11 +432,11 @@ fn typed_columns_filter_in_natural_order_through_the_frontend() {
             "SCAN orders | FILTER urgent=true | AGG count BY o_key",
         ])
         .unwrap();
-    let negatives = responses[0].wide.as_ref().unwrap();
+    let negatives = &responses[0].rows;
     assert_eq!(negatives.len(), 2);
     assert_eq!(negatives.value(0, "o_key").unwrap(), Value::U64(1));
     assert_eq!(negatives.value(1, "o_key").unwrap(), Value::U64(4));
-    let urgent = responses[1].wide.as_ref().unwrap();
+    let urgent = &responses[1].rows;
     assert_eq!(urgent.len(), 2);
 }
 
@@ -380,12 +459,16 @@ fn pair_and_wide_tables_coexist_in_one_catalog() {
             "SCAN orders | FILTER price>=100 | AGG count BY region",
         ])
         .unwrap();
-    assert_eq!(responses[0].result.rows(), &[(2, 200).into()]);
-    assert!(responses[0].wide.is_none());
-    let wide_over_pairs = responses[1].wide.as_ref().unwrap();
+    assert_eq!(responses[0].rows.pairs().unwrap(), vec![(2, 200)]);
+    assert_eq!(
+        responses[0].rows.schema().column_names(),
+        vec!["key", "value"],
+        "the legacy shape is the degenerate two-column schema"
+    );
+    let wide_over_pairs = &responses[1].rows;
     assert_eq!(wide_over_pairs.len(), 1);
     assert_eq!(wide_over_pairs.value(0, "key").unwrap(), Value::U64(2));
-    let by_region = responses[2].wide.as_ref().unwrap();
+    let by_region = &responses[2].rows;
     // Orders ≥ 100: keys 1 and 3, both in region "east".
     assert_eq!(by_region.len(), 1);
     assert_eq!(
@@ -414,7 +497,7 @@ fn wide_responses_are_cacheable_and_dedupable() {
     assert!(!miss[0].cached);
     let hit = engine.execute_text_batch(&[ACCEPTANCE_QUERY]).unwrap();
     assert!(hit[0].cached);
-    assert_eq!(hit[0].wide, miss[0].wide);
+    assert_eq!(hit[0].rows, miss[0].rows);
     assert_eq!(hit[0].summary, miss[0].summary);
 
     // Deregistering a *wide* table returns None (the pair-typed slot) but
@@ -429,5 +512,5 @@ fn wide_responses_are_cacheable_and_dedupable() {
         !fresh[0].cached,
         "wide deregistration must invalidate the cache"
     );
-    assert_eq!(fresh[0].wide, miss[0].wide);
+    assert_eq!(fresh[0].rows, miss[0].rows);
 }

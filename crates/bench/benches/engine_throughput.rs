@@ -58,6 +58,7 @@ fn engine_for(workload: &WorkloadSpec, workers: usize, result_cache: bool) -> En
     let engine = Engine::new(EngineConfig {
         workers,
         result_cache,
+        ..Default::default()
     });
     engine
         .register_table("left", workload.left.clone())
@@ -102,6 +103,7 @@ fn wide_engine_for(workers: usize, result_cache: bool) -> Engine {
     let engine = Engine::new(EngineConfig {
         workers,
         result_cache,
+        ..Default::default()
     });
     engine
         .register_wide_table("orders", workload.orders.clone())

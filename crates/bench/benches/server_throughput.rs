@@ -44,6 +44,7 @@ fn engine(result_cache: bool) -> Arc<Engine> {
     let engine = Arc::new(Engine::new(EngineConfig {
         workers: 2,
         result_cache,
+        ..Default::default()
     }));
     engine
         .register_wide_table("orders", workload.orders)

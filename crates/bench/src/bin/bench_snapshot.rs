@@ -1,0 +1,185 @@
+//! Machine-readable perf snapshot: the numbers CI tracks across PRs.
+//!
+//! Measures four headline figures with plain `std::time` (no Criterion,
+//! so the output is a single JSON document instead of a report):
+//!
+//! * engine cold throughput — the 16-query wide batch with the result
+//!   cache off (parse once, then resolve + oblivious execution),
+//! * engine warm throughput — the same batch served from the primed
+//!   result cache,
+//! * bitonic sort latency — the production scheduled driver over 4096
+//!   scrambled `u64`s (the join's dominant primitive),
+//! * server warm throughput — an 8-query batch over the loopback
+//!   transport with the cache primed (the protocol overhead floor).
+//!
+//! Prints the JSON to stdout; pass `--out <path>` to also write it to a
+//! file (CI redirects it into the `BENCH_6.json` artifact).  Numbers are
+//! medians over fixed repetition counts, so the snapshot is cheap enough
+//! to run on every push yet stable enough to eyeball across PRs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use obliv_engine::{parse_query, Engine, EngineConfig, QueryRequest};
+use obliv_primitives::sort::bitonic;
+use obliv_server::{Client, Server, ServerConfig};
+use obliv_trace::{NullSink, Tracer};
+use obliv_workloads::wide_orders_lineitem;
+
+/// The engine batch: the same mixed wide query classes as the
+/// `engine_throughput` Criterion bench, so the snapshot's q/s is directly
+/// comparable to its `wide/*` rows.
+const ENGINE_BATCH: [&str; 16] = [
+    "JOIN orders lineitem ON o_key",
+    "SCAN orders | FILTER price>=500 | AGG sum(price) BY region",
+    "JOIN orders lineitem ON o_key | FILTER price>=500 | AGG sum(qty)",
+    "SCAN lineitem | FILTER qty>=25 | AGG max(qty) BY o_key",
+    "JOIN orders lineitem ON o_key | AGG count",
+    "SCAN orders | FILTER priority<0 | AGG count BY region",
+    "JOIN orders lineitem ON o_key | FILTER urgent=true | AGG max(tax)",
+    "SCAN orders | FILTER urgent=true | AGG min(priority) BY region",
+    "JOIN orders lineitem ON o_key | FILTER qty>=10 | AGG sum(qty)",
+    "SCAN lineitem | FILTER tax<0 | AGG count BY o_key",
+    "JOIN orders lineitem ON o_key | AGG min(tax)",
+    "SCAN orders | AGG max(price) BY region",
+    "JOIN orders lineitem ON o_key | FILTER price>=250 | AGG count",
+    "SCAN lineitem | AGG sum(qty) BY o_key",
+    "JOIN orders lineitem ON o_key | FILTER priority>=2 | AGG sum(qty)",
+    "SCAN orders | FILTER price<250 | AGG count BY urgent",
+];
+
+/// The server batch: the `server_throughput` bench's warm-path load.
+const SERVER_BATCH: [&str; 8] = [
+    "JOIN orders lineitem ON o_key | FILTER price>=500 | AGG sum(qty)",
+    "SCAN orders | FILTER price>=500 | AGG sum(price) BY region",
+    "JOIN orders lineitem ON o_key | AGG count",
+    "SCAN lineitem | FILTER qty>=25 | AGG max(qty) BY o_key",
+    "SCAN orders | FILTER urgent=true | AGG count BY region",
+    "JOIN orders lineitem ON o_key | FILTER qty>=10 | AGG sum(qty)",
+    "SCAN orders | FILTER region=\"east\" | AGG count BY o_key",
+    "SCAN lineitem | AGG sum(qty) BY o_key",
+];
+
+const SORT_N: usize = 1 << 12;
+
+fn engine(result_cache: bool) -> Arc<Engine> {
+    let workload = wide_orders_lineitem(64, 8);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        result_cache,
+        ..Default::default()
+    }));
+    engine
+        .register_wide_table("orders", workload.orders)
+        .unwrap();
+    engine
+        .register_wide_table("lineitem", workload.lineitem)
+        .unwrap();
+    engine
+}
+
+fn requests() -> Vec<QueryRequest> {
+    ENGINE_BATCH
+        .iter()
+        .map(|q| QueryRequest::new(*q, parse_query(q).unwrap()))
+        .collect()
+}
+
+/// Median of per-iteration wall times (seconds) over `iters` runs.
+fn median_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn engine_cold_qps() -> f64 {
+    let engine = engine(false);
+    let batch = requests();
+    engine.execute_batch(&batch).unwrap(); // warm up allocators/threads
+    let secs = median_secs(7, || {
+        engine.execute_batch(&batch).unwrap();
+    });
+    ENGINE_BATCH.len() as f64 / secs
+}
+
+fn engine_warm_qps() -> f64 {
+    let engine = engine(true);
+    let batch = requests();
+    engine.execute_batch(&batch).unwrap(); // prime the cache
+    let secs = median_secs(31, || {
+        engine.execute_batch(&batch).unwrap();
+    });
+    ENGINE_BATCH.len() as f64 / secs
+}
+
+fn bitonic_sort_micros() -> f64 {
+    let data: Vec<u64> = (0..SORT_N as u64)
+        .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17))
+        .collect();
+    let secs = median_secs(21, || {
+        let mut buf = Tracer::new(NullSink).alloc_from(data.clone());
+        bitonic::sort_by_key(&mut buf, |x| *x);
+    });
+    secs * 1e6
+}
+
+fn server_warm_qps() -> f64 {
+    let server = Server::without_listener(engine(true), ServerConfig::default());
+    let mut client = Client::over(server.connect_loopback().unwrap(), "bench");
+    let run_batch = |client: &mut Client| {
+        for query in SERVER_BATCH {
+            client.query(query).unwrap();
+        }
+    };
+    run_batch(&mut client); // prime the cache
+    let secs = median_secs(21, || run_batch(&mut client));
+    drop(client);
+    server.shutdown();
+    SERVER_BATCH.len() as f64 / secs
+}
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(arg) = args.next() {
+            if arg == "--out" {
+                path = args.next();
+            }
+        }
+        path
+    };
+
+    let cold = engine_cold_qps();
+    let warm = engine_warm_qps();
+    let sort_us = bitonic_sort_micros();
+    let server = server_warm_qps();
+
+    let json = format!(
+        "{{\n  \"schema\": \"obliv-bench/snapshot/v1\",\n  \
+         \"engine\": {{\n    \"batch_queries\": {},\n    \
+         \"cold_queries_per_sec\": {:.1},\n    \
+         \"warm_cache_queries_per_sec\": {:.1}\n  }},\n  \
+         \"sort\": {{\n    \"bitonic_n\": {},\n    \"bitonic_us\": {:.1}\n  }},\n  \
+         \"server\": {{\n    \"batch_queries\": {},\n    \
+         \"loopback_warm_queries_per_sec\": {:.1}\n  }}\n}}\n",
+        ENGINE_BATCH.len(),
+        cold,
+        warm,
+        SORT_N,
+        sort_us,
+        SERVER_BATCH.len(),
+        server,
+    );
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

@@ -36,22 +36,26 @@
 //! what submitting the plan already reveals; hits are visible in
 //! [`QueryResponse::cached`] and the engine-wide [`CacheStats`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use obliv_join::schema::WideTable;
 use obliv_join::Table;
-use obliv_trace::{HashingSink, Tracer};
+use obliv_telemetry::{
+    AuditRecord, Counter, Gauge, Histogram, LeakageAudit, MetricClass, MetricsRegistry,
+    PhaseBreakdown,
+};
+use obliv_trace::{HashingSink, OpCounters, Tracer};
 
 use crate::catalog::{Catalog, TableMeta};
 use crate::error::EngineError;
 use crate::frontend::parse_query;
 use crate::planner::ResolvedPlan;
-use crate::pool::WorkerPool;
+use crate::pool::{PoolMetrics, PoolTask, WorkerPool};
 use crate::query::{QueryRequest, QueryResponse, QuerySummary, Rows};
 use crate::session::Session;
 
@@ -67,6 +71,15 @@ pub struct EngineConfig {
     /// deduplication of identical plans is always on — it changes
     /// neither results nor leakage, only repeated work.
     pub result_cache: bool,
+    /// Upper bound on retained result-cache entries; inserting past it
+    /// evicts the oldest entry (insertion order) so one epoch cannot grow
+    /// the cache without bound.  Evictions are visible in
+    /// [`CacheStats::evictions`].
+    pub result_cache_cap: usize,
+    /// How many per-query leakage [`AuditRecord`]s the engine retains
+    /// (newest first to age out; see [`Engine::audit`]).  Zero disables
+    /// retention but keeps counting.
+    pub audit_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +90,8 @@ impl Default for EngineConfig {
         EngineConfig {
             workers,
             result_cache: true,
+            result_cache_cap: RESULT_CACHE_CAP,
+            audit_capacity: AUDIT_CAPACITY,
         }
     }
 }
@@ -92,6 +107,14 @@ pub struct CacheStats {
     pub hits: u64,
     /// Requests that executed their plan.
     pub misses: u64,
+    /// Entries aged out at the capacity bound (epoch invalidations clear
+    /// the cache but are counted separately, in the metrics registry).
+    pub evictions: u64,
+    /// Entries currently retained.
+    pub entries: u64,
+    /// Bytes of result rows currently retained (`Σ rows × row width` —
+    /// public shape only).
+    pub bytes: u64,
 }
 
 /// The label-independent payload of one executed query, shared between the
@@ -101,13 +124,147 @@ pub(crate) struct CachedQuery {
     summary: QuerySummary,
 }
 
-/// Upper bound on retained cache entries; inserts beyond the cap are
-/// skipped (existing entries keep serving hits) so one epoch cannot grow
-/// the cache without bound.
+/// Default upper bound on retained cache entries
+/// ([`EngineConfig::result_cache_cap`]).
 const RESULT_CACHE_CAP: usize = 1024;
 
-/// Canonical plan → (epoch stamped at insertion, executed payload).
-type ResultCacheMap = HashMap<String, (u64, Arc<CachedQuery>)>;
+/// Default leakage-audit ring capacity ([`EngineConfig::audit_capacity`]).
+const AUDIT_CAPACITY: usize = 256;
+
+/// The result cache: canonical plan → (epoch stamped at insertion,
+/// executed payload), plus insertion-order bookkeeping for FIFO eviction
+/// and a running byte total (result bytes only — public shape).
+#[derive(Default)]
+struct ResultCache {
+    map: HashMap<String, (u64, Arc<CachedQuery>)>,
+    /// Keys in insertion order; exactly the keys of `map`.
+    order: VecDeque<String>,
+    bytes: u64,
+}
+
+impl ResultCache {
+    fn entry_bytes(entry: &CachedQuery) -> u64 {
+        (entry.rows.len() * entry.rows.schema().row_width()) as u64
+    }
+
+    /// Insert an entry, evicting the oldest entries as needed to stay
+    /// within `cap`; returns how many were evicted.
+    fn insert(&mut self, cap: usize, key: &str, epoch: u64, entry: Arc<CachedQuery>) -> u64 {
+        if cap == 0 {
+            return 0;
+        }
+        let mut evicted = 0;
+        while self.map.len() >= cap && !self.map.contains_key(key) {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if let Some((_, old)) = self.map.remove(&oldest) {
+                self.bytes -= Self::entry_bytes(&old);
+                evicted += 1;
+            }
+        }
+        let size = Self::entry_bytes(&entry);
+        match self.map.insert(key.to_string(), (epoch, entry)) {
+            // Re-publish under an existing key (e.g. a stale-epoch entry
+            // being replaced): swap the accounted bytes, keep its
+            // insertion-order position.
+            Some((_, old)) => self.bytes -= Self::entry_bytes(&old),
+            None => self.order.push_back(key.to_string()),
+        }
+        self.bytes += size;
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.bytes = 0;
+    }
+}
+
+/// What a worker hands back for one freshly executed plan; the submitting
+/// thread folds it into a [`QuerySummary`] once the publish span closes.
+struct Executed {
+    rows: Rows,
+    trace_digest: String,
+    trace_events: u64,
+    counters: OpCounters,
+    carry_words: usize,
+    execute: Duration,
+    queue_wait: Duration,
+    /// When execution (and digest extraction) finished on the worker; the
+    /// collector derives the publish span from it.
+    finished: Instant,
+}
+
+/// Pre-registered registry handles for everything the engine reports.
+struct EngineMetrics {
+    batches: Counter,
+    batch_requests: Histogram,
+    queries_executed: Counter,
+    queries_cached: Counter,
+    rows_returned: Counter,
+    trace_events: Counter,
+    op_counters: [Counter; 4],
+    /// Cumulative nanoseconds per phase, indexed like
+    /// [`PhaseBreakdown::NAMES`].
+    phase_ns: [Counter; 5],
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    cache_invalidations: Counter,
+    cache_entries: Gauge,
+    cache_bytes: Gauge,
+    audit_records: Counter,
+    workers: Gauge,
+}
+
+/// Operation-counter label values, aligned with [`OpCounters`] fields.
+const OP_NAMES: [&str; 4] = [
+    "comparisons",
+    "compare_exchanges",
+    "routing_hops",
+    "linear_steps",
+];
+
+impl EngineMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        use MetricClass::{Content, Timing};
+        EngineMetrics {
+            batches: registry.counter("engine_batches_total", Content, &[]),
+            batch_requests: registry.histogram("engine_batch_requests", Content, &[]),
+            queries_executed: registry.counter(
+                "engine_queries_total",
+                Content,
+                &[("result", "executed")],
+            ),
+            queries_cached: registry.counter(
+                "engine_queries_total",
+                Content,
+                &[("result", "cached")],
+            ),
+            rows_returned: registry.counter("engine_rows_returned_total", Content, &[]),
+            trace_events: registry.counter("engine_trace_events_total", Content, &[]),
+            op_counters: OP_NAMES
+                .map(|op| registry.counter("engine_ops_total", Content, &[("op", op)])),
+            phase_ns: PhaseBreakdown::NAMES.map(|phase| {
+                registry.counter("engine_phase_ns_total", Timing, &[("phase", phase)])
+            }),
+            cache_hits: registry.counter("engine_result_cache_hits_total", Content, &[]),
+            cache_misses: registry.counter("engine_result_cache_misses_total", Content, &[]),
+            cache_evictions: registry.counter("engine_result_cache_evictions_total", Content, &[]),
+            cache_invalidations: registry.counter(
+                "engine_result_cache_invalidations_total",
+                Content,
+                &[],
+            ),
+            cache_entries: registry.gauge("engine_result_cache_entries", Content, &[]),
+            cache_bytes: registry.gauge("engine_result_cache_bytes", Content, &[]),
+            audit_records: registry.counter("engine_audit_records_total", Content, &[]),
+            workers: registry.gauge("engine_workers", Content, &[]),
+        }
+    }
+}
 
 /// A concurrent oblivious query service over a [`Catalog`] of named tables.
 ///
@@ -131,13 +288,21 @@ pub struct Engine {
     workers: usize,
     /// The resident worker pool (empty — no threads — for a 1-worker
     /// engine, whose batches run inline on the calling thread).
-    pool: WorkerPool<Arc<CachedQuery>>,
+    pool: WorkerPool<Executed>,
     /// `(canonical plan) → (epoch, payload)`; entries are valid only while
     /// their stored epoch matches the live catalog's, and the whole map is
     /// cleared on every catalog mutation.  `None` when caching is disabled.
-    result_cache: Option<Mutex<ResultCacheMap>>,
+    result_cache: Option<Mutex<ResultCache>>,
+    result_cache_cap: usize,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    /// Process-wide metrics registry; the network server registers its own
+    /// series into the same registry so one snapshot covers every layer.
+    registry: Arc<MetricsRegistry>,
+    metrics: EngineMetrics,
+    /// Capped ring of per-query leakage audit records.
+    audit: LeakageAudit,
 }
 
 impl Engine {
@@ -150,14 +315,34 @@ impl Engine {
     /// worker pool is spawned here and lives until the engine is dropped.
     pub fn with_catalog(catalog: Catalog, config: EngineConfig) -> Self {
         let workers = config.workers.max(1);
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = EngineMetrics::new(&registry);
+        metrics.workers.set(workers as i64);
+        let pool_metrics = PoolMetrics {
+            queue_depth: registry.gauge("engine_pool_queue_depth", MetricClass::Content, &[]),
+            jobs: registry.counter("engine_pool_jobs_total", MetricClass::Content, &[]),
+            busy_ns: registry.counter("engine_pool_busy_ns_total", MetricClass::Timing, &[]),
+            queue_wait_us: registry.histogram(
+                "engine_pool_queue_wait_us",
+                MetricClass::Timing,
+                &[],
+            ),
+        };
         Engine {
             catalog: RwLock::new(catalog),
             workers,
             // A 1-worker engine executes inline; don't park an idle thread.
-            pool: WorkerPool::new(if workers > 1 { workers } else { 0 }),
-            result_cache: config.result_cache.then(|| Mutex::new(HashMap::new())),
+            pool: WorkerPool::new(if workers > 1 { workers } else { 0 }, Some(pool_metrics)),
+            result_cache: config
+                .result_cache
+                .then(|| Mutex::new(ResultCache::default())),
+            result_cache_cap: config.result_cache_cap,
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            audit: LeakageAudit::new(config.audit_capacity),
+            registry,
+            metrics,
         }
     }
 
@@ -166,18 +351,45 @@ impl Engine {
         self.workers
     }
 
-    /// Cumulative result-cache hit/miss totals since construction.
+    /// The engine's metrics registry.  Shared (`Arc`) so other layers —
+    /// the network server registers its connection and batcher series here
+    /// — contribute to one process-wide snapshot.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The per-query leakage audit ring (revealed sizes, op counters,
+    /// carry widths, digests — public parameters only).
+    pub fn audit(&self) -> &LeakageAudit {
+        &self.audit
+    }
+
+    /// Cumulative result-cache accounting since construction.
     pub fn cache_stats(&self) -> CacheStats {
+        let (entries, bytes) = match &self.result_cache {
+            Some(cache) => {
+                let cache = cache.lock().expect("result cache lock poisoned");
+                (cache.map.len() as u64, cache.bytes)
+            }
+            None => (0, 0),
+        };
         CacheStats {
             hits: self.cache_hits.load(Ordering::Relaxed),
             misses: self.cache_misses.load(Ordering::Relaxed),
+            evictions: self.cache_evictions.load(Ordering::Relaxed),
+            entries,
+            bytes,
         }
     }
 
-    /// Drop every cached result (hit/miss totals are untouched).
+    /// Drop every cached result (hit/miss/eviction totals are untouched;
+    /// the clear is counted as an invalidation in the registry).
     pub fn clear_result_cache(&self) {
         if let Some(cache) = &self.result_cache {
             cache.lock().expect("result cache lock poisoned").clear();
+            self.metrics.cache_invalidations.inc();
+            self.metrics.cache_entries.set(0);
+            self.metrics.cache_bytes.set(0);
         }
     }
 
@@ -252,29 +464,28 @@ impl Engine {
     }
 
     /// Execute one resolved plan with its own tracer, producing the result
-    /// table and the query's leakage summary.  This is the single code path
-    /// used by serial and concurrent execution alike.
-    fn run_plan(plan: &ResolvedPlan) -> CachedQuery {
+    /// table and the query's leakage accounting.  This is the single code
+    /// path used by serial and concurrent execution alike; the caller
+    /// closes the publish span and assembles the [`QuerySummary`].
+    fn run_plan(plan: &ResolvedPlan, queue_wait: Duration) -> Executed {
         let start = Instant::now();
         let tracer = Tracer::new(HashingSink::new());
         // Resolution already validated the whole plan, so execution cannot
         // fail — pair-lowered plans run the legacy kernel, everything else
         // the wide operators.
         let rows = plan.execute(&tracer);
-        let wall = start.elapsed();
+        let execute = start.elapsed();
         let counters = tracer.counters();
         let (trace_digest, trace_events) = tracer.with_sink(|s| (s.digest_hex(), s.events()));
-        CachedQuery {
-            summary: QuerySummary {
-                trace_digest,
-                trace_events,
-                counters,
-                output_rows: rows.len(),
-                output_row_width: rows.schema().row_width(),
-                carry_words: plan.carry_words(),
-                wall,
-            },
+        Executed {
             rows,
+            trace_digest,
+            trace_events,
+            counters,
+            carry_words: plan.carry_words(),
+            execute,
+            queue_wait,
+            finished: Instant::now(),
         }
     }
 
@@ -319,6 +530,9 @@ impl Engine {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        let batch_start = Instant::now();
+        self.metrics.batches.inc();
+        self.metrics.batch_requests.observe(requests.len() as u64);
 
         // Deduplicate by canonical plan: `slot_of_request[i]` is the
         // distinct-plan slot of request `i`, `representative[slot]` the
@@ -340,8 +554,16 @@ impl Engine {
         // Probe the cache and resolve the remaining plans against one
         // consistent catalog snapshot.  Resolution clones are Arc bumps,
         // so the read lock is held only briefly even for large tables.
+        // Alongside each resolved plan we keep its resolve span and the
+        // revealed input sizes (for the leakage audit record).
+        struct FreshAux {
+            resolve: Duration,
+            inputs: Vec<(String, u64)>,
+        }
         let mut payload: Vec<Option<Arc<CachedQuery>>> = Vec::new();
         payload.resize_with(representative.len(), || None);
+        let mut aux: Vec<Option<FreshAux>> = Vec::new();
+        aux.resize_with(representative.len(), || None);
         let mut jobs: Vec<(usize, ResolvedPlan)> = Vec::new();
         let epoch = {
             let catalog = self.catalog.read().expect("catalog lock poisoned");
@@ -349,7 +571,7 @@ impl Engine {
             if let Some(cache) = &self.result_cache {
                 let cache = cache.lock().expect("result cache lock poisoned");
                 for (slot, &req) in representative.iter().enumerate() {
-                    if let Some((cached_epoch, entry)) = cache.get(canon[req]) {
+                    if let Some((cached_epoch, entry)) = cache.map.get(canon[req]) {
                         if *cached_epoch == epoch {
                             payload[slot] = Some(Arc::clone(entry));
                         }
@@ -358,21 +580,38 @@ impl Engine {
             }
             for (slot, &req) in representative.iter().enumerate() {
                 if payload[slot].is_none() {
-                    jobs.push((slot, requests[req].plan().resolve(&catalog)?));
+                    let sw = Instant::now();
+                    let plan = requests[req].plan().resolve(&catalog)?;
+                    let resolve = sw.elapsed();
+                    let inputs = requests[req]
+                        .plan()
+                        .referenced_tables()
+                        .into_iter()
+                        .map(|name| {
+                            let rows = catalog.meta(name).map(|m| m.rows as u64).unwrap_or(0);
+                            (name.to_string(), rows)
+                        })
+                        .collect();
+                    aux[slot] = Some(FreshAux { resolve, inputs });
+                    jobs.push((slot, plan));
                 }
             }
             epoch
         };
 
         // Execute the distinct uncached plans — on the resident pool when
-        // asked and worthwhile, inline otherwise.
+        // asked and worthwhile, inline otherwise.  Each completed job is
+        // stamped on collection so the publish span (worker hand-off and
+        // finalisation) is measurable.
         let fresh_slots: Vec<usize> = jobs.iter().map(|(slot, _)| *slot).collect();
+        let mut executed: Vec<Option<(Executed, Instant)>> = Vec::new();
+        executed.resize_with(representative.len(), || None);
         if parallel && self.pool.workers() > 0 && jobs.len() > 1 {
             let (reply_tx, reply_rx) = mpsc::channel();
             self.pool.submit(
                 jobs.into_iter().map(|(slot, plan)| {
-                    let task: Box<dyn FnOnce() -> Arc<CachedQuery> + Send> =
-                        Box::new(move || Arc::new(Engine::run_plan(&plan)));
+                    let task: PoolTask<Executed> =
+                        Box::new(move |wait| Engine::run_plan(&plan, wait));
                     (slot, task)
                 }),
                 &reply_tx,
@@ -386,14 +625,74 @@ impl Engine {
             drop(reply_tx);
             for (slot, entry) in reply_rx.iter().take(fresh_slots.len()) {
                 match entry {
-                    Ok(entry) => payload[slot] = Some(entry),
+                    Ok(entry) => executed[slot] = Some((entry, Instant::now())),
                     Err(cause) => std::panic::resume_unwind(cause),
                 }
             }
         } else {
             for (slot, plan) in jobs {
-                payload[slot] = Some(Arc::new(Engine::run_plan(&plan)));
+                let entry = Engine::run_plan(&plan, Duration::ZERO);
+                executed[slot] = Some((entry, Instant::now()));
             }
+        }
+
+        // Finalise each fresh execution: close its publish span, assemble
+        // the summary with the full phase breakdown, deposit the leakage
+        // audit record and the content metrics.
+        for &slot in &fresh_slots {
+            let (run, collected) = executed[slot].take().expect("fresh slot was executed");
+            let FreshAux { resolve, inputs } = aux[slot].take().expect("fresh slot was resolved");
+            let rep = representative[slot];
+            let phases = PhaseBreakdown {
+                parse: requests[rep].parse_cost(),
+                resolve,
+                queue_wait: run.queue_wait,
+                execute: run.execute,
+                publish: collected.saturating_duration_since(run.finished),
+            };
+            // Admission precedes submission precedes completion precedes
+            // collection, so `queue_wait + execute <= wall` by
+            // construction (asserted by the engine's unit tests).
+            let wall = collected.saturating_duration_since(batch_start);
+            self.metrics.trace_events.add(run.trace_events);
+            let ops = [
+                run.counters.comparisons,
+                run.counters.compare_exchanges,
+                run.counters.routing_hops,
+                run.counters.linear_steps,
+            ];
+            for (counter, n) in self.metrics.op_counters.iter().zip(ops) {
+                counter.add(n);
+            }
+            for (counter, span) in self.metrics.phase_ns.iter().zip(phases.in_order()) {
+                counter.add(span.as_nanos() as u64);
+            }
+            self.audit.push(AuditRecord {
+                label: requests[rep].label.clone(),
+                plan: canon[rep].to_string(),
+                inputs,
+                output_rows: run.rows.len() as u64,
+                output_row_width: run.rows.schema().row_width() as u64,
+                carry_words: run.carry_words as u64,
+                trace_events: run.trace_events,
+                counters: run.counters,
+                digest: run.trace_digest.clone(),
+            });
+            self.metrics.audit_records.inc();
+            let summary = QuerySummary {
+                trace_digest: run.trace_digest,
+                trace_events: run.trace_events,
+                counters: run.counters,
+                output_rows: run.rows.len(),
+                output_row_width: run.rows.schema().row_width(),
+                carry_words: run.carry_words,
+                phases,
+                wall,
+            };
+            payload[slot] = Some(Arc::new(CachedQuery {
+                rows: run.rows,
+                summary,
+            }));
         }
 
         // Publish fresh results for future batches of the same epoch.  The
@@ -410,15 +709,20 @@ impl Engine {
                 if catalog.epoch() == epoch {
                     let mut cache = cache.lock().expect("result cache lock poisoned");
                     for &slot in &fresh_slots {
-                        if cache.len() >= RESULT_CACHE_CAP {
-                            break;
-                        }
                         let entry = payload[slot].as_ref().expect("fresh slot was executed");
-                        cache.insert(
-                            canon[representative[slot]].to_string(),
-                            (epoch, Arc::clone(entry)),
+                        let evicted = cache.insert(
+                            self.result_cache_cap,
+                            canon[representative[slot]],
+                            epoch,
+                            Arc::clone(entry),
                         );
+                        if evicted > 0 {
+                            self.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+                            self.metrics.cache_evictions.add(evicted);
+                        }
                     }
+                    self.metrics.cache_entries.set(cache.map.len() as i64);
+                    self.metrics.cache_bytes.set(cache.bytes as i64);
                 }
             }
         }
@@ -442,9 +746,14 @@ impl Engine {
                 let cached = !(fresh[slot] && representative[slot] == i);
                 if cached {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.cache_hits.inc();
+                    self.metrics.queries_cached.inc();
                 } else {
                     self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.cache_misses.inc();
+                    self.metrics.queries_executed.inc();
                 }
+                self.metrics.rows_returned.add(entry.rows.len() as u64);
                 QueryResponse {
                     label: request.label.clone(),
                     rows: entry.rows.clone(),
@@ -469,11 +778,16 @@ impl Engine {
     }
 
     /// Parse and execute a batch of text queries concurrently; the query
-    /// text itself is used as each response's label.
+    /// text itself is used as each response's label.  Parsing is timed per
+    /// query and surfaces as the `parse` phase of fresh summaries.
     pub fn execute_text_batch(&self, queries: &[&str]) -> Result<Vec<QueryResponse>, EngineError> {
         let requests = queries
             .iter()
-            .map(|q| Ok(QueryRequest::new(*q, parse_query(q)?)))
+            .map(|q| {
+                let sw = Instant::now();
+                let plan = parse_query(q)?;
+                Ok(QueryRequest::new(*q, plan).with_parse_cost(sw.elapsed()))
+            })
             .collect::<Result<Vec<_>, EngineError>>()?;
         self.execute_batch(&requests)
     }
@@ -556,6 +870,7 @@ mod tests {
         let engine = engine_with(EngineConfig {
             workers: 4,
             result_cache: false,
+            ..Default::default()
         });
         let serial = engine.execute_serial(&requests()).unwrap();
         let concurrent = engine.execute_batch(&requests()).unwrap();
@@ -672,7 +987,14 @@ mod tests {
         assert_eq!(hit.label, miss.label);
         assert_eq!(hit.rows, miss.rows);
         assert_eq!(hit.summary, miss.summary);
-        assert_eq!(engine.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+        assert_eq!(
+            stats.bytes,
+            (miss.rows.len() * miss.rows.schema().row_width()) as u64
+        );
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]
@@ -704,7 +1026,8 @@ mod tests {
         );
         assert_eq!(responses[0].rows, responses[1].rows);
         assert_eq!(responses[0].summary, responses[2].summary);
-        assert_eq!(engine.cache_stats(), CacheStats { hits: 2, misses: 1 });
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
     }
 
     #[test]
@@ -731,6 +1054,7 @@ mod tests {
         let engine = engine_with(EngineConfig {
             workers: 2,
             result_cache: false,
+            ..Default::default()
         });
         let plan = Plan::scan("orders").group_aggregate(
             Aggregate::Sum,
@@ -747,7 +1071,14 @@ mod tests {
         // But nothing persists across batches.
         let again = engine.execute_batch(&batch).unwrap();
         assert!(!again[0].cached);
-        assert_eq!(engine.cache_stats(), CacheStats { hits: 2, misses: 2 });
+        assert_eq!(
+            engine.cache_stats(),
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]
@@ -774,5 +1105,133 @@ mod tests {
         engine.clear_result_cache();
         let responses = engine.execute_batch(request).unwrap();
         assert!(!responses[0].cached);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 1, "the re-execution repopulates the cache");
+        assert_eq!(
+            stats.evictions, 0,
+            "a clear is an invalidation, not an eviction"
+        );
+    }
+
+    #[test]
+    fn phase_breakdown_partitions_wall_time() {
+        let engine = engine(4);
+        let responses = engine.execute_batch(&requests()).unwrap();
+        for r in &responses {
+            let p = r.summary.phases;
+            assert!(
+                p.queue_wait + p.execute <= r.summary.wall,
+                "queue_wait {:?} + execute {:?} must fit in wall {:?} ({})",
+                p.queue_wait,
+                p.execute,
+                r.summary.wall,
+                r.label
+            );
+            assert!(p.execute > std::time::Duration::ZERO);
+            assert_eq!(
+                p.parse,
+                std::time::Duration::ZERO,
+                "plan-built requests skip parse"
+            );
+        }
+        // Same invariant on the serial path (queue_wait is zero there).
+        let engine = engine_with(EngineConfig {
+            workers: 1,
+            result_cache: false,
+            ..Default::default()
+        });
+        for r in &engine.execute_serial(&requests()).unwrap() {
+            let p = r.summary.phases;
+            assert_eq!(p.queue_wait, std::time::Duration::ZERO);
+            assert!(p.queue_wait + p.execute <= r.summary.wall);
+        }
+    }
+
+    #[test]
+    fn text_queries_record_a_parse_phase() {
+        let engine = engine(2);
+        let responses = engine
+            .execute_text_batch(&["SCAN orders | FILTER v>=100"])
+            .unwrap();
+        assert!(responses[0].summary.phases.parse > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn capped_cache_evicts_oldest_first() {
+        let engine = engine_with(EngineConfig {
+            workers: 2,
+            result_cache: true,
+            result_cache_cap: 2,
+            ..Default::default()
+        });
+        let plans = ["SCAN orders", "SCAN customers", "JOIN orders customers"];
+        for q in plans {
+            engine.execute_text_batch(&[q]).unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes > 0);
+        // The oldest plan was evicted; the newer two still hit.
+        assert!(!engine.execute_text_batch(&[plans[0]]).unwrap()[0].cached);
+        assert!(engine.execute_text_batch(&[plans[2]]).unwrap()[0].cached);
+    }
+
+    #[test]
+    fn audit_ring_records_public_parameters() {
+        let engine = engine(2);
+        let responses = engine.execute_batch(&requests()).unwrap();
+        let records = engine.audit().records();
+        assert_eq!(records.len(), responses.len());
+        // Records are in finalisation order, not submission order; index
+        // them by label.
+        for r in &responses {
+            let record = records
+                .iter()
+                .find(|rec| rec.label == r.label)
+                .expect("every fresh query leaves an audit record");
+            assert_eq!(record.digest, r.summary.trace_digest);
+            assert_eq!(record.counters, r.summary.counters);
+            assert_eq!(record.output_rows, r.rows.len() as u64);
+            assert!(!record.inputs.is_empty());
+            for (table, rows) in &record.inputs {
+                assert_eq!(
+                    engine.table_meta(table).unwrap().rows as u64,
+                    *rows,
+                    "audit reveals exactly the public table sizes"
+                );
+            }
+        }
+        // Cache hits do not re-audit.
+        engine.execute_batch(&requests()).unwrap();
+        assert_eq!(engine.audit().total_recorded(), responses.len() as u64);
+        // The export renders one JSON object per record.
+        assert_eq!(
+            engine.audit().export_json().lines().count(),
+            responses.len()
+        );
+    }
+
+    #[test]
+    fn registry_reflects_engine_activity() {
+        let engine = engine(4);
+        engine.execute_batch(&requests()).unwrap();
+        engine.execute_batch(&requests()).unwrap();
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.counter("engine_batches_total", &[]), 2);
+        assert_eq!(
+            snap.counter("engine_queries_total", &[("result", "executed")]),
+            4
+        );
+        assert_eq!(
+            snap.counter("engine_queries_total", &[("result", "cached")]),
+            4
+        );
+        assert_eq!(snap.counter("engine_pool_jobs_total", &[]), 4);
+        assert_eq!(snap.gauge("engine_pool_queue_depth", &[]), 0);
+        assert_eq!(snap.gauge("engine_workers", &[]), 4);
+        assert_eq!(snap.gauge("engine_result_cache_entries", &[]), 4);
+        assert!(snap.counter("engine_ops_total", &[("op", "comparisons")]) > 0);
+        assert_eq!(snap.counter("engine_audit_records_total", &[]), 4);
     }
 }

@@ -74,3 +74,9 @@ pub use frontend::parse_query;
 pub use planner::ResolvedPlan;
 pub use query::{Plan, QueryRequest, QueryResponse, QuerySummary, Rows};
 pub use session::{Session, SessionStats};
+// Telemetry types that appear in the engine's public API (summaries carry
+// a `PhaseBreakdown`; `Engine::metrics`/`audit` expose the registry and
+// audit ring), re-exported so callers need not depend on obliv-telemetry.
+pub use obliv_telemetry::{
+    AuditRecord, LeakageAudit, MetricClass, MetricsRegistry, MetricsSnapshot, PhaseBreakdown,
+};

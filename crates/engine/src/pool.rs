@@ -15,15 +15,42 @@
 //! results.  Per-query obliviousness is untouched — a job builds its own
 //! [`Tracer`](obliv_trace::Tracer) exactly as the scoped workers did, so
 //! which thread runs a query (and when) can never change its trace.
+//!
+//! The pool is instrumented through [`PoolMetrics`]: queue depth (jobs
+//! submitted but not yet picked up), jobs executed, cumulative worker busy
+//! time and a queue-wait histogram.  Each job is stamped at submission and
+//! its task receives the measured queue wait, which the executor folds into
+//! the query's phase breakdown.
 
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
+
+use obliv_telemetry::{Counter, Gauge, Histogram};
+
+/// Registry handles the pool reports into; all cheap cloneable atomics.
+#[derive(Debug, Clone)]
+pub(crate) struct PoolMetrics {
+    /// Jobs submitted but not yet picked up by a worker (content class:
+    /// settles to zero whenever the pool is idle).
+    pub queue_depth: Gauge,
+    /// Jobs a worker has started executing.
+    pub jobs: Counter,
+    /// Cumulative nanoseconds workers spent running tasks (timing class).
+    pub busy_ns: Counter,
+    /// Queue-wait distribution in microseconds (timing class).
+    pub queue_wait_us: Histogram,
+}
 
 /// What one job produced: its output, or the panic payload its task
 /// unwound with (the submitter re-raises it via `resume_unwind`, so the
 /// original panic message survives the thread hop).
 pub(crate) type JobOutput<T> = std::thread::Result<T>;
+
+/// A pool task: receives the job's measured queue wait (submission → a
+/// worker picks it up) so per-query timing can attribute it.
+pub(crate) type PoolTask<T> = Box<dyn FnOnce(Duration) -> T + Send + 'static>;
 
 /// A unit of pool work: run `task`, send its output to `reply` tagged with
 /// `slot`.  The reply receiver may already be gone (a caller that panicked
@@ -33,8 +60,11 @@ pub(crate) struct Job<T: Send + 'static> {
     /// Caller-chosen tag returned with the output (the executor uses the
     /// distinct-plan slot index).
     pub slot: usize,
+    /// When the job entered the injector queue; the worker derives the
+    /// queue wait from it.
+    pub submitted: Instant,
     /// The work itself, executed on a worker thread.
-    pub task: Box<dyn FnOnce() -> T + Send + 'static>,
+    pub task: PoolTask<T>,
     /// Where the tagged output goes.
     pub reply: mpsc::Sender<(usize, JobOutput<T>)>,
 }
@@ -52,31 +82,51 @@ pub(crate) struct WorkerPool<T: Send + 'static> {
     injector: Mutex<Option<mpsc::Sender<Job<T>>>>,
     /// Worker handles, joined on drop.
     workers: Vec<thread::JoinHandle<()>>,
+    /// Submission-side handles (queue depth is incremented on submit,
+    /// decremented by the worker that picks the job up).
+    metrics: Option<PoolMetrics>,
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
     /// Spawn a pool of `workers` resident threads (zero is allowed and
     /// spawns nothing — useful for a serial engine that never submits).
-    pub(crate) fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize, metrics: Option<PoolMetrics>) -> Self {
         let (tx, rx) = mpsc::channel::<Job<T>>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let metrics = metrics.clone();
                 thread::Builder::new()
                     .name(format!("obliv-engine-worker-{i}"))
                     .spawn(move || loop {
                         // Hold the queue lock only while pulling a job.
                         let job = rx.lock().expect("pool queue lock poisoned").recv();
                         match job {
-                            Ok(Job { slot, task, reply }) => {
+                            Ok(Job {
+                                slot,
+                                submitted,
+                                task,
+                                reply,
+                            }) => {
+                                let wait = submitted.elapsed();
+                                if let Some(m) = &metrics {
+                                    m.queue_depth.dec();
+                                    m.jobs.inc();
+                                    m.queue_wait_us.observe_duration_us(wait);
+                                }
                                 // A panicking task must not kill a resident
                                 // worker (the pool would silently shrink for
                                 // the engine's lifetime).  Contain it and
                                 // ship the payload back: the submitter
                                 // re-raises it with the original message.
-                                let output =
-                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                                let busy = Instant::now();
+                                let output = std::panic::catch_unwind(
+                                    std::panic::AssertUnwindSafe(move || task(wait)),
+                                );
+                                if let Some(m) = &metrics {
+                                    m.busy_ns.add(busy.elapsed().as_nanos() as u64);
+                                }
                                 let _ = reply.send((slot, output));
                             }
                             // Channel closed: the pool is shutting down.
@@ -89,6 +139,7 @@ impl<T: Send + 'static> WorkerPool<T> {
         WorkerPool {
             injector: Mutex::new(Some(tx)),
             workers,
+            metrics,
         }
     }
 
@@ -109,14 +160,18 @@ impl<T: Send + 'static> WorkerPool<T> {
     /// always submit).
     pub(crate) fn submit(
         &self,
-        jobs: impl IntoIterator<Item = (usize, Box<dyn FnOnce() -> T + Send + 'static>)>,
+        jobs: impl IntoIterator<Item = (usize, PoolTask<T>)>,
         reply: &mpsc::Sender<(usize, JobOutput<T>)>,
     ) {
         let injector = self.injector.lock().expect("pool injector lock poisoned");
         let tx = injector.as_ref().expect("worker pool is shut down");
         for (slot, task) in jobs {
+            if let Some(m) = &self.metrics {
+                m.queue_depth.inc();
+            }
             tx.send(Job {
                 slot,
+                submitted: Instant::now(),
                 task,
                 reply: reply.clone(),
             })
@@ -143,15 +198,16 @@ impl<T: Send + 'static> Drop for WorkerPool<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use obliv_telemetry::{MetricClass, MetricsRegistry};
 
     #[test]
     fn pool_runs_jobs_and_tags_slots() {
-        let pool: WorkerPool<u64> = WorkerPool::new(3);
+        let pool: WorkerPool<u64> = WorkerPool::new(3, None);
         assert_eq!(pool.workers(), 3);
         let (tx, rx) = mpsc::channel();
         pool.submit(
             (0..8usize).map(|i| {
-                let task: Box<dyn FnOnce() -> u64 + Send> = Box::new(move || (i as u64) * 10);
+                let task: PoolTask<u64> = Box::new(move |_wait| (i as u64) * 10);
                 (i, task)
             }),
             &tx,
@@ -169,12 +225,12 @@ mod tests {
 
     #[test]
     fn pool_serves_many_batches_without_respawning() {
-        let pool: WorkerPool<usize> = WorkerPool::new(2);
+        let pool: WorkerPool<usize> = WorkerPool::new(2, None);
         for round in 0..50 {
             let (tx, rx) = mpsc::channel();
             pool.submit(
                 (0..4usize).map(|i| {
-                    let task: Box<dyn FnOnce() -> usize + Send> = Box::new(move || i + round);
+                    let task: PoolTask<usize> = Box::new(move |_wait| i + round);
                     (i, task)
                 }),
                 &tx,
@@ -186,22 +242,76 @@ mod tests {
 
     #[test]
     fn zero_worker_pool_constructs_and_drops() {
-        let pool: WorkerPool<()> = WorkerPool::new(0);
+        let pool: WorkerPool<()> = WorkerPool::new(0, None);
         assert_eq!(pool.workers(), 0);
         drop(pool);
     }
 
     #[test]
+    fn pool_reports_jobs_depth_and_busy_time() {
+        let registry = MetricsRegistry::new();
+        let metrics = PoolMetrics {
+            queue_depth: registry.gauge("engine_pool_queue_depth", MetricClass::Content, &[]),
+            jobs: registry.counter("engine_pool_jobs_total", MetricClass::Content, &[]),
+            busy_ns: registry.counter("engine_pool_busy_ns_total", MetricClass::Timing, &[]),
+            queue_wait_us: registry.histogram(
+                "engine_pool_queue_wait_us",
+                MetricClass::Timing,
+                &[],
+            ),
+        };
+        let pool: WorkerPool<u8> = WorkerPool::new(2, Some(metrics));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(
+            (0..6usize).map(|i| {
+                let task: PoolTask<u8> = Box::new(move |_wait| {
+                    thread::sleep(Duration::from_millis(1));
+                    i as u8
+                });
+                (i, task)
+            }),
+            &tx,
+        );
+        drop(tx);
+        assert_eq!(rx.iter().count(), 6);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("engine_pool_jobs_total", &[]), 6);
+        assert_eq!(snap.gauge("engine_pool_queue_depth", &[]), 0);
+        assert!(snap.counter("engine_pool_busy_ns_total", &[]) >= 6_000_000);
+    }
+
+    #[test]
+    fn tasks_receive_their_queue_wait() {
+        let pool: WorkerPool<Duration> = WorkerPool::new(1, None);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(
+            (0..2usize).map(|i| {
+                let task: PoolTask<Duration> = Box::new(move |wait| {
+                    thread::sleep(Duration::from_millis(2));
+                    wait
+                });
+                (i, task)
+            }),
+            &tx,
+        );
+        drop(tx);
+        let waits: Vec<Duration> = rx.iter().map(|(_, r)| r.unwrap()).collect();
+        // With one worker the second job waits at least as long as the
+        // first job's sleep.
+        assert!(waits.iter().any(|w| *w >= Duration::from_millis(2)));
+    }
+
+    #[test]
     fn panicking_job_does_not_kill_its_worker() {
-        let pool: WorkerPool<u8> = WorkerPool::new(1);
+        let pool: WorkerPool<u8> = WorkerPool::new(1, None);
         let (tx, rx) = mpsc::channel();
         pool.submit(
             [
                 (
                     0usize,
-                    Box::new(|| -> u8 { panic!("job bug") }) as Box<dyn FnOnce() -> u8 + Send>,
+                    Box::new(|_wait: Duration| -> u8 { panic!("job bug") }) as PoolTask<u8>,
                 ),
-                (1usize, Box::new(|| 5u8) as Box<dyn FnOnce() -> u8 + Send>),
+                (1usize, Box::new(|_wait: Duration| 5u8) as PoolTask<u8>),
             ],
             &tx,
         );
@@ -217,7 +327,7 @@ mod tests {
         // And the pool serves later batches.
         let (tx2, rx2) = mpsc::channel();
         pool.submit(
-            std::iter::once((2usize, Box::new(|| 9u8) as Box<dyn FnOnce() -> u8 + Send>)),
+            std::iter::once((2usize, Box::new(|_wait: Duration| 9u8) as PoolTask<u8>)),
             &tx2,
         );
         drop(tx2);
@@ -227,18 +337,18 @@ mod tests {
 
     #[test]
     fn dropped_reply_receiver_does_not_kill_workers() {
-        let pool: WorkerPool<u8> = WorkerPool::new(1);
+        let pool: WorkerPool<u8> = WorkerPool::new(1, None);
         let (tx, rx) = mpsc::channel();
         drop(rx); // Caller gave up before the job ran.
         pool.submit(
-            std::iter::once((0usize, Box::new(|| 7u8) as Box<dyn FnOnce() -> u8 + Send>)),
+            std::iter::once((0usize, Box::new(|_wait: Duration| 7u8) as PoolTask<u8>)),
             &tx,
         );
         drop(tx);
         // The worker must survive the failed send and serve the next batch.
         let (tx2, rx2) = mpsc::channel();
         pool.submit(
-            std::iter::once((1usize, Box::new(|| 9u8) as Box<dyn FnOnce() -> u8 + Send>)),
+            std::iter::once((1usize, Box::new(|_wait: Duration| 9u8) as PoolTask<u8>)),
             &tx2,
         );
         drop(tx2);

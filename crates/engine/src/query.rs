@@ -18,6 +18,7 @@ use std::sync::Arc;
 use obliv_join::schema::{Schema, SchemaError, Value, WideTable};
 use obliv_join::Table;
 use obliv_operators::{Aggregate, JoinAggregate, WidePredicate};
+use obliv_telemetry::PhaseBreakdown;
 use obliv_trace::OpCounters;
 
 use crate::catalog::Catalog;
@@ -332,6 +333,11 @@ pub struct QueryRequest {
     /// re-submitted request — the warm-cache serving path, and the server's
     /// batcher — renders its plan exactly once, ever.
     canonical: std::sync::OnceLock<String>,
+    /// Time a text front end spent producing this plan, attributed to the
+    /// `parse` phase of the summary when the request executes fresh.  Zero
+    /// for requests built directly from plans.  Not part of request
+    /// equality.
+    parse_cost: std::time::Duration,
 }
 
 impl QueryRequest {
@@ -341,7 +347,21 @@ impl QueryRequest {
             label: label.into(),
             plan,
             canonical: std::sync::OnceLock::new(),
+            parse_cost: std::time::Duration::ZERO,
         }
+    }
+
+    /// Attach the wall-clock cost of parsing the text this request came
+    /// from; it surfaces as the `parse` phase of the summary when this
+    /// request executes fresh.
+    pub fn with_parse_cost(mut self, cost: std::time::Duration) -> Self {
+        self.parse_cost = cost;
+        self
+    }
+
+    /// The attached parse cost (zero unless set).
+    pub fn parse_cost(&self) -> std::time::Duration {
+        self.parse_cost
     }
 
     /// The plan this request executes.
@@ -493,7 +513,15 @@ pub struct QuerySummary {
     /// Widest per-side join payload carry the plan executed with, in
     /// kernel words (`0` for plans without a join) — public shape.
     pub carry_words: usize,
-    /// Wall-clock execution time of this query on its worker.
+    /// Per-phase wall-clock breakdown of the run that produced this
+    /// payload (parse → resolve → queue-wait → execute → publish).  Timing
+    /// leakage, like [`wall`](QuerySummary::wall); never part of a
+    /// content-independence comparison.
+    pub phases: PhaseBreakdown,
+    /// In-engine latency of the run that produced this payload: batch
+    /// admission to result finalisation.  Strictly contains the pipeline
+    /// phases, so `phases.queue_wait + phases.execute <= wall` always holds
+    /// (the engine's unit tests assert it).
     pub wall: std::time::Duration,
 }
 

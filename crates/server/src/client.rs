@@ -9,11 +9,11 @@
 use std::io::{self};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use obliv_engine::{Plan, SessionStats};
+use obliv_engine::{MetricsSnapshot, Plan};
 
 use crate::proto::{
-    read_frame, write_frame, DecodeError, FrameError, QueryReply, Request, Response, WireError,
-    MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+    read_frame, write_frame, DecodeError, FrameError, QueryReply, Request, Response, StatsReply,
+    WireError, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
 };
 use crate::transport::Connection;
 
@@ -124,15 +124,37 @@ impl Client {
         }
     }
 
-    /// Fetch the cumulative [`SessionStats`] of this connection's
-    /// server-side session.
-    pub fn stats(&mut self) -> Result<SessionStats, ClientError> {
+    /// Fetch the cumulative [`SessionStats`](obliv_engine::SessionStats)
+    /// of this connection's server-side session, together with the
+    /// engine-wide result-cache [`CacheStats`](obliv_engine::CacheStats).
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
         match self.roundtrip(&Request::Stats {
             token: self.token.clone(),
         })? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// Fetch a point-in-time [`MetricsSnapshot`] of the server's (and its
+    /// engine's) metrics registry.  Every series is a function of public
+    /// parameters or of wall-clock timing — never of table contents — so
+    /// polling this probe leaks nothing the protocol does not already.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.roundtrip(&Request::Metrics {
+            token: self.token.clone(),
+        })? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetch the registry snapshot and render it as Prometheus-style text
+    /// exposition (`# TYPE`/`# CLASS` headers, one `name{labels} value`
+    /// line per series, cumulative `_bucket{le=…}` lines for histograms)
+    /// — ready to serve to a scraper or dump to a terminal.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        Ok(self.metrics()?.to_prometheus_text())
     }
 
     fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {

@@ -78,8 +78,8 @@ pub mod transport;
 
 pub use client::{Client, ClientError};
 pub use proto::{
-    ErrorKind, QueryReply, Request, Response, WireError, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
-    PROTOCOL_VERSION,
+    ErrorKind, QueryReply, Request, Response, StatsReply, WireError, MAX_REQUEST_FRAME,
+    MAX_RESPONSE_FRAME, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServerConfig};
 pub use transport::{loopback, Connection, PipeStream};

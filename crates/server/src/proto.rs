@@ -28,6 +28,7 @@
 //! 0x01 QUERY_TEXT  token:str16 query:str16
 //! 0x02 QUERY_PLAN  token:str16 plan
 //! 0x03 STATS       token:str16
+//! 0x04 METRICS     token:str16
 //! ```
 //!
 //! `str16` is `len:u16be` UTF-8 bytes.  `plan` is the recursive encoding
@@ -39,11 +40,10 @@
 //! ## Responses (`version:u8 status:u8 …`)
 //!
 //! ```text
-//! 0x00 OK_REPLY  label:str16 cached:u8 summary schema rows:u32be rowbytes*
-//! 0x02 OK_STATS  queries:u64be trace_events:u64be output_rows:u64be
-//!                comparisons:u64be cache_hits:u64be output_bytes:u64be
-//!                max_carry_words:u64be
-//! 0x03 ERROR     kind:u8 message:str16
+//! 0x00 OK_REPLY    label:str16 cached:u8 summary schema rows:u32be rowbytes*
+//! 0x02 OK_STATS    session:u64be×7 cache:u64be×5
+//! 0x03 ERROR       kind:u8 message:str16
+//! 0x04 OK_METRICS  nseries:u32be series*
 //! ```
 //!
 //! Every reply carries the **single row representation** of the unified
@@ -51,33 +51,46 @@
 //! (pair-shaped results are simply the degenerate two-`u64`-column
 //! schema).  `summary` is the full [`QuerySummary`]: digest (`str16`, 64
 //! hex chars), trace events, the four operation counters, output rows,
-//! output row width, join carry width and wall-clock nanoseconds.
-//! `schema` is `ncols:u16be (name:str16 type)*` with `type` one of `0`
-//! (`u64`), `1` (`i64`), `2` (`bool`), `3 width:u16be` (`bytes[width]`).
-//! Error messages are truncated to [`MAX_ERROR_MESSAGE`] bytes so an
-//! error frame's size is bounded by construction.
+//! output row width, join carry width, the five
+//! [`PhaseBreakdown`] durations
+//! (parse/resolve/queue-wait/execute/publish) and wall clock, all
+//! durations as nanosecond `u64`s.  `schema` is
+//! `ncols:u16be (name:str16 type)*` with `type` one of `0` (`u64`), `1`
+//! (`i64`), `2` (`bool`), `3 width:u16be` (`bytes[width]`).  `OK_STATS`
+//! carries the connection session's [`SessionStats`] followed by the
+//! engine-wide result-cache [`CacheStats`].  Each `OK_METRICS` `series`
+//! is `name:str16 class:u8 nlabels:u16be (key:str16 value:str16)* value`
+//! with `value` one of `0 v:u64be` (counter), `1 v:u64be` (gauge,
+//! two's-complement `i64`), `2 count:u64be sum:u64be nbuckets:u16be
+//! (index:u8 count:u64be)*` (sparse log₂ histogram).  Error messages are
+//! truncated to [`MAX_ERROR_MESSAGE`] bytes so an error frame's size is
+//! bounded by construction.
 //!
 //! ## Versioning
 //!
-//! Protocol **2** (this build) replaced version 1 when the plan IR was
-//! unified: the plan codec changed shape, replies collapsed onto the one
-//! schema-carrying row form, and the summary/stats grew the width fields.
-//! A request with any other version byte is answered with a typed
+//! Protocol **3** (this build) is the observability revision: it added
+//! the `METRICS` probe, the per-phase durations in `summary`, and the
+//! cache block in `OK_STATS`.  Version 2 had introduced the unified plan
+//! codec and the schema-carrying reply form.  A request with any other
+//! version byte is answered with a typed
 //! [`ErrorKind::UnsupportedVersion`] frame naming both versions.
 
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
-use obliv_engine::{Plan, QueryResponse, QuerySummary, Rows, SessionStats};
+use obliv_engine::{CacheStats, Plan, QueryResponse, QuerySummary, Rows, SessionStats};
 use obliv_join::schema::{ColumnType, Schema, Value, WideTable};
 use obliv_operators::{Aggregate, JoinAggregate, WideCmp, WidePredicate};
+use obliv_telemetry::{
+    HistogramSnapshot, MetricClass, MetricSample, MetricValue, MetricsSnapshot, PhaseBreakdown,
+};
 use obliv_trace::OpCounters;
 
 /// The one protocol version this build speaks.  A request frame with any
 /// other version byte is answered with
 /// [`ErrorKind::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u8 = 2;
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on a request frame's body, in bytes.  Requests are plans
 /// and tokens — kilobytes at most — so the bound is tight to cap what an
@@ -116,8 +129,15 @@ pub enum Request {
         /// The plan to execute.
         plan: Plan,
     },
-    /// Fetch the connection session's cumulative [`SessionStats`].
+    /// Fetch the connection session's cumulative [`SessionStats`] plus
+    /// the engine-wide result-cache [`CacheStats`].
     Stats {
+        /// Tenant/auth token.
+        token: String,
+    },
+    /// Fetch a point-in-time [`MetricsSnapshot`] of the engine's (and
+    /// server's) metrics registry.
+    Metrics {
         /// Tenant/auth token.
         token: String,
     },
@@ -129,7 +149,8 @@ impl Request {
         match self {
             Request::QueryText { token, .. }
             | Request::QueryPlan { token, .. }
-            | Request::Stats { token } => token,
+            | Request::Stats { token }
+            | Request::Metrics { token } => token,
         }
     }
 }
@@ -243,13 +264,27 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// The answer to a [`Request::Stats`] probe: the connection session's
+/// accounting plus the engine-wide result-cache accounting, so one probe
+/// shows both "what did *I* cost" and "what is the shared cache doing".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsReply {
+    /// The connection session's cumulative per-tenant stats.
+    pub session: SessionStats,
+    /// The engine-wide result-cache stats (shared across tenants; its
+    /// fields are functions of public parameters only).
+    pub cache: CacheStats,
+}
+
 /// One server→client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// An answered query.
     Reply(QueryReply),
-    /// The connection session's cumulative stats.
-    Stats(SessionStats),
+    /// The connection session's cumulative stats plus cache stats.
+    Stats(StatsReply),
+    /// A registry snapshot.
+    Metrics(MetricsSnapshot),
     /// A typed error.
     Error(WireError),
 }
@@ -825,6 +860,10 @@ fn get_plan(r: &mut Reader<'_>, depth: usize) -> Result<Plan, DecodeError> {
 // Summary / schema / stats codec
 // ---------------------------------------------------------------------------
 
+fn nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
 fn put_summary(w: &mut Writer, s: &QuerySummary) {
     w.str16(&s.trace_digest);
     w.u64(s.trace_events);
@@ -835,7 +874,10 @@ fn put_summary(w: &mut Writer, s: &QuerySummary) {
     w.u64(s.output_rows as u64);
     w.u64(s.output_row_width as u64);
     w.u64(s.carry_words as u64);
-    w.u64(s.wall.as_nanos().min(u64::MAX as u128) as u64);
+    for phase in s.phases.in_order() {
+        w.u64(nanos(phase));
+    }
+    w.u64(nanos(s.wall));
 }
 
 fn get_summary(r: &mut Reader<'_>) -> Result<QuerySummary, DecodeError> {
@@ -851,6 +893,13 @@ fn get_summary(r: &mut Reader<'_>) -> Result<QuerySummary, DecodeError> {
         output_rows: r.u64()? as usize,
         output_row_width: r.u64()? as usize,
         carry_words: r.u64()? as usize,
+        phases: PhaseBreakdown {
+            parse: Duration::from_nanos(r.u64()?),
+            resolve: Duration::from_nanos(r.u64()?),
+            queue_wait: Duration::from_nanos(r.u64()?),
+            execute: Duration::from_nanos(r.u64()?),
+            publish: Duration::from_nanos(r.u64()?),
+        },
         wall: Duration::from_nanos(r.u64()?),
     })
 }
@@ -898,26 +947,129 @@ fn get_schema(r: &mut Reader<'_>) -> Result<Schema, DecodeError> {
     Schema::new(columns).map_err(|e| DecodeError::new(format!("invalid schema on the wire: {e}")))
 }
 
-fn put_stats(w: &mut Writer, s: &SessionStats) {
-    w.u64(s.queries);
-    w.u64(s.trace_events);
-    w.u64(s.output_rows);
-    w.u64(s.comparisons);
-    w.u64(s.cache_hits);
-    w.u64(s.output_bytes);
-    w.u64(s.max_carry_words);
+fn put_stats(w: &mut Writer, s: &StatsReply) {
+    w.u64(s.session.queries);
+    w.u64(s.session.trace_events);
+    w.u64(s.session.output_rows);
+    w.u64(s.session.comparisons);
+    w.u64(s.session.cache_hits);
+    w.u64(s.session.output_bytes);
+    w.u64(s.session.max_carry_words);
+    w.u64(s.cache.hits);
+    w.u64(s.cache.misses);
+    w.u64(s.cache.evictions);
+    w.u64(s.cache.entries);
+    w.u64(s.cache.bytes);
 }
 
-fn get_stats(r: &mut Reader<'_>) -> Result<SessionStats, DecodeError> {
-    Ok(SessionStats {
-        queries: r.u64()?,
-        trace_events: r.u64()?,
-        output_rows: r.u64()?,
-        comparisons: r.u64()?,
-        cache_hits: r.u64()?,
-        output_bytes: r.u64()?,
-        max_carry_words: r.u64()?,
+fn get_stats(r: &mut Reader<'_>) -> Result<StatsReply, DecodeError> {
+    Ok(StatsReply {
+        session: SessionStats {
+            queries: r.u64()?,
+            trace_events: r.u64()?,
+            output_rows: r.u64()?,
+            comparisons: r.u64()?,
+            cache_hits: r.u64()?,
+            output_bytes: r.u64()?,
+            max_carry_words: r.u64()?,
+        },
+        cache: CacheStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            evictions: r.u64()?,
+            entries: r.u64()?,
+            bytes: r.u64()?,
+        },
     })
+}
+
+fn put_metrics(w: &mut Writer, snapshot: &MetricsSnapshot) {
+    if snapshot.samples.len() > u32::MAX as usize {
+        w.overflowed("series count", snapshot.samples.len(), u32::MAX as usize);
+        return;
+    }
+    w.u32(snapshot.samples.len() as u32);
+    for sample in &snapshot.samples {
+        w.str16(&sample.name);
+        w.u8(match sample.class {
+            MetricClass::Content => 0,
+            MetricClass::Timing => 1,
+        });
+        if sample.labels.len() > u16::MAX as usize {
+            w.overflowed("label count", sample.labels.len(), u16::MAX as usize);
+            return;
+        }
+        w.u16(sample.labels.len() as u16);
+        for (key, value) in &sample.labels {
+            w.str16(key);
+            w.str16(value);
+        }
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                w.u8(0);
+                w.u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                w.u8(1);
+                w.u64(*v as u64);
+            }
+            MetricValue::Histogram(h) => {
+                w.u8(2);
+                w.u64(h.count);
+                w.u64(h.sum);
+                // At most one cell per power of two: always fits u16.
+                w.u16(h.buckets.len() as u16);
+                for (index, count) in &h.buckets {
+                    w.u8(*index);
+                    w.u64(*count);
+                }
+            }
+        }
+    }
+}
+
+fn get_metrics(r: &mut Reader<'_>) -> Result<MetricsSnapshot, DecodeError> {
+    let nseries = r.u32()?;
+    let mut samples = Vec::with_capacity(nseries.min(4096) as usize);
+    for _ in 0..nseries {
+        let name = r.str16()?;
+        let class = match r.u8()? {
+            0 => MetricClass::Content,
+            1 => MetricClass::Timing,
+            other => return Err(DecodeError::new(format!("unknown metric class {other}"))),
+        };
+        let labels = (0..r.u16()?)
+            .map(|_| Ok((r.str16()?, r.str16()?)))
+            .collect::<Result<Vec<_>, DecodeError>>()?;
+        let value = match r.u8()? {
+            0 => MetricValue::Counter(r.u64()?),
+            1 => MetricValue::Gauge(r.u64()? as i64),
+            2 => {
+                let count = r.u64()?;
+                let sum = r.u64()?;
+                let buckets = (0..r.u16()?)
+                    .map(|_| Ok((r.u8()?, r.u64()?)))
+                    .collect::<Result<Vec<_>, DecodeError>>()?;
+                MetricValue::Histogram(HistogramSnapshot {
+                    count,
+                    sum,
+                    buckets,
+                })
+            }
+            other => {
+                return Err(DecodeError::new(format!(
+                    "unknown metric value tag {other}"
+                )))
+            }
+        };
+        samples.push(MetricSample {
+            name,
+            labels,
+            class,
+            value,
+        });
+    }
+    Ok(MetricsSnapshot { samples })
 }
 
 // ---------------------------------------------------------------------------
@@ -945,6 +1097,10 @@ impl Request {
                 w.u8(3);
                 w.str16(token);
             }
+            Request::Metrics { token } => {
+                w.u8(4);
+                w.str16(token);
+            }
         }
         w.finish()
     }
@@ -963,6 +1119,7 @@ impl Request {
                 plan: get_plan(&mut r, 0)?,
             },
             3 => Request::Stats { token: r.str16()? },
+            4 => Request::Metrics { token: r.str16()? },
             other => return Err(DecodeError::new(format!("unknown request opcode {other}"))),
         };
         r.finish()?;
@@ -999,6 +1156,10 @@ impl Response {
                 w.u8(error.kind.to_wire());
                 w.str16(&error.message);
             }
+            Response::Metrics(snapshot) => {
+                w.u8(4);
+                put_metrics(&mut w, snapshot);
+            }
         }
         w.finish()
     }
@@ -1032,6 +1193,7 @@ impl Response {
                 kind: ErrorKind::from_wire(r.u8()?)?,
                 message: r.str16()?,
             }),
+            4 => Response::Metrics(get_metrics(&mut r)?),
             other => return Err(DecodeError::new(format!("unknown response status {other}"))),
         };
         r.finish()?;
@@ -1067,6 +1229,13 @@ mod tests {
             output_rows: 2,
             output_row_width: 16,
             carry_words: 1,
+            phases: PhaseBreakdown {
+                parse: Duration::from_nanos(11),
+                resolve: Duration::from_nanos(22),
+                queue_wait: Duration::from_micros(33),
+                execute: Duration::from_micros(440),
+                publish: Duration::from_nanos(55),
+            },
             wall: Duration::from_micros(817),
         }
     }
@@ -1150,19 +1319,65 @@ mod tests {
             summary: summary(),
             rows: Rows::from_wide(table),
         }));
-        roundtrip_response(Response::Stats(SessionStats {
-            queries: 4,
-            trace_events: 10,
-            output_rows: 6,
-            comparisons: 3,
-            cache_hits: 1,
-            output_bytes: 96,
-            max_carry_words: 3,
+        roundtrip_response(Response::Stats(StatsReply {
+            session: SessionStats {
+                queries: 4,
+                trace_events: 10,
+                output_rows: 6,
+                comparisons: 3,
+                cache_hits: 1,
+                output_bytes: 96,
+                max_carry_words: 3,
+            },
+            cache: CacheStats {
+                hits: 2,
+                misses: 5,
+                evictions: 1,
+                entries: 4,
+                bytes: 4096,
+            },
         }));
         roundtrip_response(Response::Error(WireError::new(
             ErrorKind::Query,
             "unknown table `ghost`",
         )));
+    }
+
+    #[test]
+    fn metrics_snapshots_roundtrip() {
+        roundtrip_request(Request::Metrics {
+            token: "acme".into(),
+        });
+        // Empty snapshot and every value kind, including a sparse
+        // histogram, labelled series and a negative gauge.
+        roundtrip_response(Response::Metrics(MetricsSnapshot::default()));
+        let snapshot = MetricsSnapshot {
+            samples: vec![
+                MetricSample {
+                    name: "engine_queries_total".into(),
+                    labels: vec![("result".into(), "executed".into())],
+                    class: MetricClass::Content,
+                    value: MetricValue::Counter(42),
+                },
+                MetricSample {
+                    name: "server_batch_occupancy".into(),
+                    labels: vec![],
+                    class: MetricClass::Timing,
+                    value: MetricValue::Histogram(HistogramSnapshot {
+                        count: 9,
+                        sum: 31,
+                        buckets: vec![(0, 1), (2, 3), (64, 5)],
+                    }),
+                },
+                MetricSample {
+                    name: "engine_pool_queue_depth".into(),
+                    labels: vec![],
+                    class: MetricClass::Content,
+                    value: MetricValue::Gauge(-7),
+                },
+            ],
+        };
+        roundtrip_response(Response::Metrics(snapshot));
     }
 
     #[test]
@@ -1185,11 +1400,13 @@ mod tests {
         let err = Request::decode(&ok).unwrap_err();
         assert!(err.message().contains("trailing"));
         // A version mismatch is distinguishable from garbage — in
-        // particular the previous protocol version is answered with a
+        // particular the previous protocol versions are answered with a
         // typed version error, not a parse error.
-        let versioned = Request::decode(&[1, 1]).unwrap_err();
-        assert!(is_version_error(&versioned));
-        assert!(versioned.message().contains("this build speaks 2"));
+        for old in [1u8, 2] {
+            let versioned = Request::decode(&[old, 1]).unwrap_err();
+            assert!(is_version_error(&versioned));
+            assert!(versioned.message().contains("this build speaks 3"));
+        }
         assert!(!is_version_error(&err));
     }
 

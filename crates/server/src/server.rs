@@ -51,10 +51,11 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 
 use obliv_engine::{parse_query, Engine, EngineError, Plan, QueryRequest, QueryResponse, Session};
+use obliv_telemetry::{Counter, Gauge, Histogram, MetricClass, MetricsRegistry};
 
 use crate::proto::{
     is_version_error, read_frame, write_frame, ErrorKind, FrameError, QueryReply, Request,
-    Response, WireError, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+    Response, StatsReply, WireError, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
 };
 use crate::transport::{loopback, Connection, PipeStream};
 
@@ -84,6 +85,91 @@ impl Default for ServerConfig {
     }
 }
 
+/// One error category's counter plus a one-shot logging latch.  Failures
+/// that used to be dropped silently (`let _ =` sends, swallowed accept
+/// errors) are counted in the registry, and the *first* occurrence per
+/// category is logged so an operator sees the onset without the log being
+/// flooded by a persistent condition.
+struct ErrorMeter {
+    category: &'static str,
+    count: Counter,
+    logged: AtomicBool,
+}
+
+impl ErrorMeter {
+    fn new(registry: &MetricsRegistry, category: &'static str) -> ErrorMeter {
+        ErrorMeter {
+            category,
+            count: registry.counter(
+                "server_errors_total",
+                MetricClass::Content,
+                &[("category", category)],
+            ),
+            logged: AtomicBool::new(false),
+        }
+    }
+
+    fn note(&self, detail: impl std::fmt::Display) {
+        self.count.inc();
+        if !self.logged.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "obliv-server: {} error (counted in server_errors_total{{category=\"{}\"}}; \
+                 further occurrences are counted but not logged): {detail}",
+                self.category, self.category
+            );
+        }
+    }
+}
+
+/// The server's own series, registered into the fronted engine's registry
+/// so one [`MetricsRegistry::snapshot`] spans both layers.  Every series
+/// is a function of the request stream and of public result shapes (row
+/// counts × widths), never of table contents; batch occupancy is classed
+/// `Timing` because batch formation depends on request *arrival* timing,
+/// not on any request's content.
+struct ServerMetrics {
+    /// Connections ever admitted (TCP accepts and loopback attaches).
+    connections_opened: Counter,
+    /// Connections currently holding a slot.
+    connections_active: Gauge,
+    /// Request frames read across all connections.
+    frames_read: Counter,
+    /// Request bytes read (frame headers included).
+    bytes_read: Counter,
+    /// Response frames written across all connections.
+    frames_written: Counter,
+    /// Response bytes written (frame headers included).
+    bytes_written: Counter,
+    /// Queries currently between batcher hand-off and reply.
+    requests_in_flight: Gauge,
+    /// Requests folded into each engine batch.
+    batch_occupancy: Histogram,
+    /// Mixed-tenant batches that failed up front and were split: validated
+    /// per request, then re-run so innocent peers still get answers.
+    batch_reruns: Counter,
+    accept_errors: ErrorMeter,
+    reply_errors: ErrorMeter,
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricsRegistry) -> ServerMetrics {
+        use MetricClass::{Content, Timing};
+        ServerMetrics {
+            connections_opened: registry.counter("server_connections_opened_total", Content, &[]),
+            connections_active: registry.gauge("server_connections_active", Content, &[]),
+            frames_read: registry.counter("server_frames_read_total", Content, &[]),
+            bytes_read: registry.counter("server_bytes_read_total", Content, &[]),
+            frames_written: registry.counter("server_frames_written_total", Content, &[]),
+            bytes_written: registry.counter("server_bytes_written_total", Content, &[]),
+            requests_in_flight: registry.gauge("server_requests_in_flight", Content, &[]),
+            batch_occupancy: registry.histogram("server_batch_occupancy", Timing, &[]),
+            batch_reruns: registry.counter("server_batch_reruns_total", Content, &[]),
+            accept_errors: ErrorMeter::new(registry, "accept"),
+            reply_errors: ErrorMeter::new(registry, "reply_drop"),
+        }
+    }
+}
+
 /// Why the batcher could not answer one request.
 enum BatchError {
     /// The engine rejected it (typed submission error).
@@ -103,6 +189,7 @@ struct BatchItem {
 struct Inner {
     engine: Arc<Engine>,
     config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
     /// Currently served connections (the backpressure gate).
     active: Mutex<usize>,
     slot_freed: Condvar,
@@ -124,11 +211,13 @@ impl Inner {
                 .expect("connection gauge poisoned");
         }
         *active += 1;
+        self.metrics.connections_active.inc();
         true
     }
 
     fn release_slot(&self) {
         *self.active.lock().expect("connection gauge poisoned") -= 1;
+        self.metrics.connections_active.dec();
         self.slot_freed.notify_all();
     }
 }
@@ -198,6 +287,7 @@ impl Server {
     /// [`connect_loopback`](Server::connect_loopback).  Useful in tests
     /// and embedded setups where no port should be opened.
     pub fn without_listener(engine: Arc<Engine>, config: ServerConfig) -> Server {
+        let metrics = Arc::new(ServerMetrics::new(engine.metrics()));
         let (batch_tx, batch_rx) = mpsc::channel::<BatchItem>();
         let batch_rx = Arc::new(Mutex::new(batch_rx));
         let max_batch = config.max_batch.max(1);
@@ -205,9 +295,10 @@ impl Server {
             .map(|i| {
                 let engine = Arc::clone(&engine);
                 let batch_rx = Arc::clone(&batch_rx);
+                let metrics = Arc::clone(&metrics);
                 thread::Builder::new()
                     .name(format!("obliv-server-batcher-{i}"))
-                    .spawn(move || run_batcher(engine, batch_rx, max_batch))
+                    .spawn(move || run_batcher(engine, batch_rx, max_batch, metrics))
                     .expect("spawning a batcher thread failed")
             })
             .collect();
@@ -215,6 +306,7 @@ impl Server {
             inner: Arc::new(Inner {
                 engine,
                 config,
+                metrics,
                 active: Mutex::new(0),
                 slot_freed: Condvar::new(),
                 shutdown: AtomicBool::new(false),
@@ -254,6 +346,7 @@ impl Server {
             ));
         }
         let (client_end, server_end) = loopback();
+        self.inner.metrics.connections_opened.inc();
         let closer = server_end.closer();
         let inner = Arc::clone(&self.inner);
         let handle = thread::Builder::new()
@@ -345,10 +438,11 @@ fn accept_loop(
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
-            Err(_) => {
+            Err(e) => {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                inner.metrics.accept_errors.note(&e);
                 // Transient accept errors (fd exhaustion, aborted
                 // handshakes) would otherwise busy-spin this thread at
                 // 100% CPU exactly when the machine is under pressure.
@@ -359,6 +453,7 @@ fn accept_loop(
         if inner.shutdown.load(Ordering::SeqCst) {
             return; // `stream` is the shutdown wake-up (or a late client).
         }
+        inner.metrics.connections_opened.inc();
         // Request/response latency beats throughput for µs-scale cached
         // queries; disable Nagle coalescing.
         let _ = stream.set_nodelay(true);
@@ -385,7 +480,22 @@ fn accept_loop(
 /// one engine batch, fan the responses back to the waiting handlers.
 /// Several runners share the queue, so a new batch can form and execute
 /// while a long one is still running on another runner.
-fn run_batcher(engine: Arc<Engine>, rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>, max_batch: usize) {
+fn run_batcher(
+    engine: Arc<Engine>,
+    rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>,
+    max_batch: usize,
+    metrics: Arc<ServerMetrics>,
+) {
+    // A handler that hung up (its connection died mid-query) cannot
+    // receive its reply; count the drop instead of ignoring it.
+    let deliver = |reply: &mpsc::Sender<Result<QueryResponse, BatchError>>,
+                   result: Result<QueryResponse, BatchError>| {
+        if reply.send(result).is_err() {
+            metrics
+                .reply_errors
+                .note("a handler hung up before its reply could be delivered");
+        }
+    };
     loop {
         // Hold the queue lock only while assembling a batch, never while
         // executing one.
@@ -405,6 +515,7 @@ fn run_batcher(engine: Arc<Engine>, rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>, m
                 Err(_) => return, // channel closed: shutdown
             }
         };
+        metrics.batch_occupancy.observe(items.len() as u64);
         let (requests, replies): (Vec<_>, Vec<_>) = items
             .into_iter()
             .map(|item| (item.request, item.reply))
@@ -418,10 +529,11 @@ fn run_batcher(engine: Arc<Engine>, rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>, m
         match batch {
             Ok(Ok(responses)) => {
                 for (reply, response) in replies.iter().zip(responses) {
-                    let _ = reply.send(Ok(response));
+                    deliver(reply, Ok(response));
                 }
             }
             Ok(Err(_)) | Err(_) => {
+                metrics.batch_reruns.inc();
                 // The engine fails a whole batch up front on one bad
                 // request, and a panicking execution fails it too; the
                 // batch mixes tenants, so isolate the failure.  Validation
@@ -435,7 +547,7 @@ fn run_batcher(engine: Arc<Engine>, rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>, m
                     match engine.validate(&request) {
                         Ok(()) => valid.push(BatchItem { request, reply }),
                         Err(e) => {
-                            let _ = reply.send(Err(BatchError::Engine(e)));
+                            deliver(&reply, Err(BatchError::Engine(e)));
                         }
                     }
                 }
@@ -452,7 +564,7 @@ fn run_batcher(engine: Arc<Engine>, rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>, m
                 match retry {
                     Ok(Ok(responses)) => {
                         for (reply, response) in replies.iter().zip(responses) {
-                            let _ = reply.send(Ok(response));
+                            deliver(reply, Ok(response));
                         }
                     }
                     // Rare: a catalog mutation raced between validation
@@ -466,10 +578,13 @@ fn run_batcher(engine: Arc<Engine>, rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>, m
                                         .execute_batch(std::slice::from_ref(&request))
                                         .map(|mut rs| rs.pop().expect("one response per request"))
                                 }));
-                            let _ = reply.send(match result {
-                                Ok(result) => result.map_err(BatchError::Engine),
-                                Err(_) => Err(BatchError::Execution),
-                            });
+                            deliver(
+                                &reply,
+                                match result {
+                                    Ok(result) => result.map_err(BatchError::Engine),
+                                    Err(_) => Err(BatchError::Execution),
+                                },
+                            );
                         }
                     }
                 }
@@ -488,10 +603,15 @@ fn token_is_valid(token: &str) -> bool {
 /// framing is lost.
 fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::Sender<BatchItem>) {
     let engine: &Engine = &inner.engine;
+    let metrics: &ServerMetrics = &inner.metrics;
     let mut session: Option<Session<'_>> = None;
     loop {
         let body = match read_frame(&mut conn, MAX_REQUEST_FRAME) {
-            Ok(Some(body)) => body,
+            Ok(Some(body)) => {
+                metrics.frames_read.inc();
+                metrics.bytes_read.add(body.len() as u64 + 4);
+                body
+            }
             Ok(None) => return, // clean close
             Err(FrameError::TooLarge { declared, max }) => {
                 // The declared length cannot be trusted, so the stream can
@@ -500,7 +620,7 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
                     ErrorKind::FrameTooLarge,
                     format!("request frame of {declared} bytes exceeds the {max}-byte bound"),
                 );
-                let _ = send(&mut conn, &Response::Error(error));
+                let _ = send(&mut conn, &Response::Error(error), metrics);
                 return;
             }
             Err(FrameError::Io(_)) => return,
@@ -518,6 +638,7 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
                 if send(
                     &mut conn,
                     &Response::Error(WireError::new(kind, e.message())),
+                    metrics,
                 )
                 .is_err()
                 {
@@ -532,7 +653,7 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
         let token = request.token();
         if !token_is_valid(token) {
             let error = WireError::new(ErrorKind::Protocol, "invalid auth token");
-            if send(&mut conn, &Response::Error(error)).is_err() {
+            if send(&mut conn, &Response::Error(error), metrics).is_err() {
                 return;
             }
             continue;
@@ -543,7 +664,7 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
                     ErrorKind::AuthMismatch,
                     "connection is bound to a different token",
                 );
-                if send(&mut conn, &Response::Error(error)).is_err() {
+                if send(&mut conn, &Response::Error(error), metrics).is_err() {
                     return;
                 }
                 continue;
@@ -554,14 +675,18 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
         let session = session.as_mut().expect("session bound above");
 
         let response = match request {
-            Request::Stats { .. } => Response::Stats(session.stats()),
+            Request::Stats { .. } => Response::Stats(StatsReply {
+                session: session.stats(),
+                cache: engine.cache_stats(),
+            }),
+            Request::Metrics { .. } => Response::Metrics(engine.metrics().snapshot()),
             Request::QueryText { query, .. } => match parse_query(&query) {
-                Ok(plan) => run_query(session, plan, &batch_tx),
+                Ok(plan) => run_query(session, plan, &batch_tx, metrics),
                 Err(e) => Response::Error(WireError::new(ErrorKind::Query, e.to_string())),
             },
-            Request::QueryPlan { plan, .. } => run_query(session, plan, &batch_tx),
+            Request::QueryPlan { plan, .. } => run_query(session, plan, &batch_tx, metrics),
         };
-        if send(&mut conn, &response).is_err() {
+        if send(&mut conn, &response, metrics).is_err() {
             return;
         }
     }
@@ -573,6 +698,7 @@ fn run_query(
     session: &mut Session<'_>,
     plan: Plan,
     batch_tx: &mpsc::Sender<BatchItem>,
+    metrics: &ServerMetrics,
 ) -> Response {
     let shutting_down = || {
         Response::Error(WireError::new(
@@ -591,7 +717,10 @@ fn run_query(
     {
         return shutting_down();
     }
-    match reply_rx.recv() {
+    metrics.requests_in_flight.inc();
+    let outcome = reply_rx.recv();
+    metrics.requests_in_flight.dec();
+    match outcome {
         Ok(Ok(response)) => {
             session.record(&response);
             Response::Reply(QueryReply::from_response(&response))
@@ -613,14 +742,18 @@ fn run_query(
 fn payload_size_floor(response: &Response) -> usize {
     match response {
         Response::Reply(reply) => reply.rows.len() * reply.rows.schema().row_width(),
-        Response::Stats(_) | Response::Error(_) => 0,
+        Response::Stats(_) | Response::Metrics(_) | Response::Error(_) => 0,
     }
 }
 
 /// Encode and frame one response, downgrading an over-bound payload (too
 /// big for one frame, or a field over its wire width) to a small, typed
 /// error frame.
-fn send<C: Connection>(conn: &mut C, response: &Response) -> io::Result<()> {
+fn send<C: Connection>(
+    conn: &mut C,
+    response: &Response,
+    metrics: &ServerMetrics,
+) -> io::Result<()> {
     let too_large = |bytes: usize| {
         Response::Error(WireError::new(
             ErrorKind::FrameTooLarge,
@@ -644,5 +777,7 @@ fn send<C: Connection>(conn: &mut C, response: &Response) -> io::Result<()> {
                 .expect("error frames are bounded"),
         }
     };
+    metrics.frames_written.inc();
+    metrics.bytes_written.add(body.len() as u64 + 4);
     write_frame(conn, &body, MAX_RESPONSE_FRAME)
 }

@@ -16,7 +16,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use obliv_engine::{parse_query, Engine, EngineConfig, QueryRequest};
+use obliv_engine::{parse_query, Engine, EngineConfig, MetricsSnapshot, QueryRequest};
+use obliv_join::Table;
 use obliv_server::proto::{read_frame, write_frame, Request, Response};
 use obliv_server::{Client, ClientError, ErrorKind, Server, ServerConfig, MAX_RESPONSE_FRAME};
 use obliv_workloads::wide_orders_lineitem;
@@ -30,6 +31,7 @@ fn wide_engine(workers: usize) -> Arc<Engine> {
     let engine = Arc::new(Engine::new(EngineConfig {
         workers,
         result_cache: true,
+        ..Default::default()
     }));
     engine
         .register_wide_table("orders", workload.orders.clone())
@@ -117,6 +119,7 @@ fn sessions_account_independently_across_interleaved_connections() {
     let engine = Arc::new(Engine::new(EngineConfig {
         workers: 2,
         result_cache: true,
+        ..Default::default()
     }));
     engine
         .register_table("left", workload.left.clone())
@@ -145,8 +148,8 @@ fn sessions_account_independently_across_interleaved_connections() {
     assert!(a1.cached, "identical repeat is served from the cache");
     assert_eq!(a0.summary.trace_digest, a1.summary.trace_digest);
 
-    let alice_stats = alice.stats().unwrap();
-    let bob_stats = bob.stats().unwrap();
+    let alice_stats = alice.stats().unwrap().session;
+    let bob_stats = bob.stats().unwrap().session;
     assert_eq!(alice_stats.queries, 2);
     assert_eq!(alice_stats.cache_hits, 1);
     assert_eq!(
@@ -215,7 +218,7 @@ fn sessions_stay_correct_under_concurrent_clients() {
                     events += reply.summary.trace_events;
                     rows += reply.summary.output_rows as u64;
                 }
-                let stats = client.stats().unwrap();
+                let stats = client.stats().unwrap().session;
                 (stats, events, rows)
             })
         })
@@ -232,6 +235,104 @@ fn sessions_stay_correct_under_concurrent_clients() {
         );
     }
     server.shutdown();
+}
+
+/// The wire metrics probe round-trips a registry snapshot spanning both
+/// the engine's and the server's series, the client renders it as
+/// Prometheus-style text, and the stats probe carries the engine-wide
+/// cache block next to the session block.
+#[test]
+fn metrics_probe_roundtrips_with_prometheus_text() {
+    let engine = wide_engine(2);
+    let server = Server::without_listener(engine, ServerConfig::default());
+    let mut client = Client::over(server.connect_loopback().unwrap(), "t");
+
+    let cold = client.query(ACCEPTANCE_QUERY).unwrap();
+    assert!(!cold.cached);
+    let warm = client.query(ACCEPTANCE_QUERY).unwrap();
+    assert!(warm.cached);
+    // The summary's phase breakdown crossed the wire: the run really
+    // executed, and the partition invariant survives the codec.
+    assert!(cold.summary.phases.execute.as_nanos() > 0);
+    assert!(cold.summary.phases.queue_wait + cold.summary.phases.execute <= cold.summary.wall);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.session.queries, 2);
+    assert_eq!((stats.cache.hits, stats.cache.misses), (1, 1));
+    assert_eq!(stats.cache.entries, 1);
+    assert!(stats.cache.bytes > 0);
+
+    let snapshot = client.metrics().unwrap();
+    // Engine-side series…
+    assert_eq!(
+        snapshot.counter("engine_queries_total", &[("result", "executed")]),
+        1
+    );
+    assert_eq!(
+        snapshot.counter("engine_queries_total", &[("result", "cached")]),
+        1
+    );
+    // …and server-side series in the same snapshot.  At snapshot time the
+    // connection had read two query frames, one stats frame and the
+    // metrics frame itself, and written three responses.
+    assert_eq!(snapshot.counter("server_frames_read_total", &[]), 4);
+    assert_eq!(snapshot.counter("server_frames_written_total", &[]), 3);
+    assert_eq!(snapshot.gauge("server_connections_active", &[]), 1);
+    assert_eq!(snapshot.gauge("server_requests_in_flight", &[]), 0);
+    assert_eq!(snapshot.counter("server_batch_reruns_total", &[]), 0);
+
+    let text = client.metrics_text().unwrap();
+    assert!(text.contains("# TYPE engine_queries_total counter"));
+    assert!(text.contains("# CLASS engine_phase_ns_total timing"));
+    assert!(text.contains("engine_queries_total{result=\"cached\"} 1"));
+    assert!(text.contains("server_connections_active 1"));
+    assert!(
+        text.contains("_bucket{le="),
+        "histograms render as cumulative buckets"
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
+/// The observability contract end to end: two servers fronting engines
+/// loaded with same-shaped tables of *different contents*, driven through
+/// the identical serial request sequence over the wire, must report
+/// identical non-timing metric snapshots.
+#[test]
+fn server_metric_snapshots_depend_only_on_public_parameters() {
+    let run = |twist: u64| -> MetricsSnapshot {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            ..Default::default()
+        }));
+        engine
+            .register_table(
+                "a",
+                Table::from_pairs((0..64u64).map(|k| (k, k.wrapping_mul(twist) ^ twist))),
+            )
+            .unwrap();
+        engine
+            .register_table("b", Table::from_pairs((0..48u64).map(|k| (k, k + twist))))
+            .unwrap();
+        let server = Server::without_listener(engine, ServerConfig::default());
+        let mut client = Client::over(server.connect_loopback().unwrap(), "tenant");
+        for query in ["JOIN a b", "JOINAGG a b count", "JOIN a b"] {
+            client.query(query).unwrap();
+        }
+        client.stats().unwrap();
+        let snapshot = client.metrics().unwrap().without_timing();
+        drop(client);
+        server.shutdown();
+        snapshot
+    };
+    let a = run(3);
+    let b = run(0x5a5a);
+    assert!(!a.samples.is_empty());
+    assert_eq!(
+        a, b,
+        "a content-classed series differs between runs that differ only in data"
+    );
 }
 
 #[test]
@@ -392,7 +493,7 @@ fn token_binding_is_per_connection() {
             token: "alice".into(),
         },
     ) {
-        Response::Stats(stats) => assert_eq!(stats.queries, 0),
+        Response::Stats(stats) => assert_eq!(stats.session.queries, 0),
         other => panic!("expected stats, got {other:?}"),
     }
 

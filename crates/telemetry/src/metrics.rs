@@ -1,0 +1,627 @@
+//! Atomic metrics registry: counters, gauges, log₂-bucket histograms.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) takes a short-lived
+//! mutex to insert into the name table and hands back a cheap cloneable
+//! handle; all subsequent updates are relaxed atomic operations on shared
+//! cells — no locks, no allocation.  Registering the same
+//! `(name, labels)` pair twice returns a handle to the *same* cell, so
+//! independent components can contribute to one series.
+//!
+//! Every metric carries a [`MetricClass`]:
+//!
+//! * [`MetricClass::Content`] — a function of public parameters only
+//!   (sizes, counts, plan shapes).  Two runs over different data with the
+//!   same public parameters must agree on every content metric.
+//! * [`MetricClass::Timing`] — wall-clock derived.  Reported for operators
+//!   but excluded from content-independence comparisons via
+//!   [`MetricsSnapshot::without_timing`].
+//!
+//! Histograms use log₂ buckets: bucket `0` holds the value `0` and bucket
+//! `i ≥ 1` holds values in `[2^(i-1), 2^i)`, so the inclusive Prometheus
+//! upper bound of bucket `i` is `2^i − 1`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Leakage classification of a metric; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricClass {
+    /// Function of public parameters only; content-independent by contract.
+    Content,
+    /// Wall-clock derived; excluded from content-independence comparisons.
+    Timing,
+}
+
+/// Monotonically increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous-value gauge handle (signed so transient dips below an
+/// initial value cannot wrap).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: one for zero plus one per bit position.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct HistogramCells {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramCells {
+    fn new() -> Self {
+        HistogramCells {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Log₂-bucket histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let cells = &*self.0;
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(v, Ordering::Relaxed);
+        cells.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration in whole microseconds.
+    #[inline]
+    pub fn observe_duration_us(&self, d: std::time::Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+}
+
+/// Bucket index for a value: `0` for zero, else `floor(log₂ v) + 1`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i − 1`; `0` for bucket `0`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    class: MetricClass,
+    cell: Cell,
+}
+
+/// Registry of named metric series.  Cheap to share via `Arc`; one registry
+/// typically spans the whole process (engine + server) so a single snapshot
+/// covers every layer.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<SeriesKey, Entry>>,
+}
+
+type SeriesKey = (String, Vec<(String, String)>);
+
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    assert!(valid_name(name), "invalid metric name: {name:?}");
+    for (k, _) in labels {
+        assert!(valid_name(k), "invalid label name: {k:?}");
+    }
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+/// `[a-z_][a-z0-9_]*` — lower-case snake case, Prometheus-compatible.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or re-attach to) a counter series.
+    ///
+    /// # Panics
+    /// If the name is not snake case, or the series already exists with a
+    /// different kind or class.
+    pub fn counter(&self, name: &str, class: MetricClass, labels: &[(&str, &str)]) -> Counter {
+        let key = series_key(name, labels);
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics.entry(key).or_insert_with(|| Entry {
+            class,
+            cell: Cell::Counter(Arc::new(AtomicU64::new(0))),
+        });
+        assert_eq!(entry.class, class, "metric {name}: class mismatch");
+        match &entry.cell {
+            Cell::Counter(c) => Counter(Arc::clone(c)),
+            _ => panic!("metric {name}: kind mismatch (existing series is not a counter)"),
+        }
+    }
+
+    /// Register (or re-attach to) a gauge series.  Panics as [`Self::counter`].
+    pub fn gauge(&self, name: &str, class: MetricClass, labels: &[(&str, &str)]) -> Gauge {
+        let key = series_key(name, labels);
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics.entry(key).or_insert_with(|| Entry {
+            class,
+            cell: Cell::Gauge(Arc::new(AtomicI64::new(0))),
+        });
+        assert_eq!(entry.class, class, "metric {name}: class mismatch");
+        match &entry.cell {
+            Cell::Gauge(c) => Gauge(Arc::clone(c)),
+            _ => panic!("metric {name}: kind mismatch (existing series is not a gauge)"),
+        }
+    }
+
+    /// Register (or re-attach to) a histogram series.  Panics as [`Self::counter`].
+    pub fn histogram(&self, name: &str, class: MetricClass, labels: &[(&str, &str)]) -> Histogram {
+        let key = series_key(name, labels);
+        let mut metrics = self.metrics.lock().unwrap();
+        let entry = metrics.entry(key).or_insert_with(|| Entry {
+            class,
+            cell: Cell::Histogram(Arc::new(HistogramCells::new())),
+        });
+        assert_eq!(entry.class, class, "metric {name}: class mismatch");
+        match &entry.cell {
+            Cell::Histogram(c) => Histogram(Arc::clone(c)),
+            _ => panic!("metric {name}: kind mismatch (existing series is not a histogram)"),
+        }
+    }
+
+    /// Consistent point-in-time view of every registered series, sorted by
+    /// `(name, labels)`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().unwrap();
+        let samples = metrics
+            .iter()
+            .map(|((name, labels), entry)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                class: entry.class,
+                value: match &entry.cell {
+                    Cell::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(c) => MetricValue::Gauge(c.load(Ordering::Relaxed)),
+                    Cell::Histogram(c) => {
+                        let buckets = c
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, b)| {
+                                let n = b.load(Ordering::Relaxed);
+                                (n != 0).then_some((i as u8, n))
+                            })
+                            .collect();
+                        MetricValue::Histogram(HistogramSnapshot {
+                            count: c.count.load(Ordering::Relaxed),
+                            sum: c.sum.load(Ordering::Relaxed),
+                            buckets,
+                        })
+                    }
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}
+
+/// One series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Metric name (snake case).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Leakage class.
+    pub class: MetricClass,
+    /// Observed value.
+    pub value: MetricValue,
+}
+
+/// Snapshot value of one series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// Snapshot of a log₂ histogram; `buckets` is sparse `(index, count)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `(bucket index, count)`, ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// Point-in-time view of a registry; comparable and renderable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// All series, sorted by `(name, labels)`.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot restricted to [`MetricClass::Content`] series — the view
+    /// that must be identical across runs differing only in data.
+    pub fn without_timing(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            samples: self
+                .samples
+                .iter()
+                .filter(|s| s.class == MetricClass::Content)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Look up one series by name and labels (labels in any order).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        let (name, labels) = series_key(name, labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == labels)
+            .map(|s| &s.value)
+    }
+
+    /// Counter value of a series, or 0 when absent or not a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value of a series, or 0 when absent or not a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> i64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Prometheus-style text exposition.
+    ///
+    /// Counters and gauges render as single samples; histograms render as
+    /// cumulative `_bucket{le=…}` samples (bounds `2^i − 1`) plus `_sum` and
+    /// `_count`.  `# TYPE` lines are emitted once per metric name, and the
+    /// leakage class is surfaced as a comment so scrapers can tell timing
+    /// series from content series.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for sample in &self.samples {
+            if last_name != Some(sample.name.as_str()) {
+                let kind = match &sample.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let class = match sample.class {
+                    MetricClass::Content => "content",
+                    MetricClass::Timing => "timing",
+                };
+                let _ = writeln!(out, "# TYPE {} {kind}", sample.name);
+                let _ = writeln!(out, "# CLASS {} {class}", sample.name);
+                last_name = Some(sample.name.as_str());
+            }
+            match &sample.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {v}", sample.name, label_set(&sample.labels, &[]));
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {v}", sample.name, label_set(&sample.labels, &[]));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, n) in &h.buckets {
+                        cumulative += n;
+                        let le = bucket_upper_bound(*i as usize).to_string();
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {cumulative}",
+                            sample.name,
+                            label_set(&sample.labels, &[("le", &le)])
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        sample.name,
+                        label_set(&sample.labels, &[("le", "+Inf")]),
+                        h.count
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        sample.name,
+                        label_set(&sample.labels, &[]),
+                        h.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        sample.name,
+                        label_set(&sample.labels, &[]),
+                        h.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render `{k="v",…}` (empty string when there are no labels).
+fn label_set(labels: &[(String, String)], extra: &[(&str, &str)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.chars()
+        .flat_map(|c| match c {
+            '\\' => vec!['\\', '\\'],
+            '"' => vec!['\\', '"'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("requests_total", MetricClass::Content, &[]);
+        let g = reg.gauge("queue_depth", MetricClass::Content, &[]);
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.dec();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("requests_total", &[]), 5);
+        assert_eq!(snap.gauge("queue_depth", &[]), 6);
+    }
+
+    #[test]
+    fn re_registration_shares_the_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x_total", MetricClass::Content, &[("op", "scan")]);
+        let b = reg.counter("x_total", MetricClass::Content, &[("op", "scan")]);
+        a.inc();
+        b.inc();
+        assert_eq!(reg.snapshot().counter("x_total", &[("op", "scan")]), 2);
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("y_total", MetricClass::Content, &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("y_total", MetricClass::Content, &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(
+            reg.snapshot().counter("y_total", &[("b", "2"), ("a", "1")]),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_total", MetricClass::Content, &[]);
+        reg.gauge("z_total", MetricClass::Content, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        MetricsRegistry::new().counter("Bad-Name", MetricClass::Content, &[]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_snapshot_is_sparse_and_summed() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("rows", MetricClass::Content, &[]);
+        h.observe(0);
+        h.observe(1);
+        h.observe(3);
+        h.observe(3);
+        let snap = reg.snapshot();
+        match snap.get("rows", &[]).unwrap() {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 4);
+                assert_eq!(h.sum, 7);
+                assert_eq!(h.buckets, vec![(0, 1), (1, 1), (2, 2)]);
+            }
+            other => panic!("unexpected value {other:?}"),
+        }
+    }
+
+    #[test]
+    fn without_timing_filters_timing_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("work_total", MetricClass::Content, &[]).inc();
+        reg.counter("busy_ns_total", MetricClass::Timing, &[])
+            .add(123);
+        let snap = reg.snapshot();
+        assert_eq!(snap.samples.len(), 2);
+        let content = snap.without_timing();
+        assert_eq!(content.samples.len(), 1);
+        assert_eq!(content.samples[0].name, "work_total");
+    }
+
+    #[test]
+    fn snapshot_order_is_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b_total", MetricClass::Content, &[]);
+        reg.counter("a_total", MetricClass::Content, &[("t", "2")]);
+        reg.counter("a_total", MetricClass::Content, &[("t", "1")]);
+        let names: Vec<_> = reg
+            .snapshot()
+            .samples
+            .iter()
+            .map(|s| (s.name.clone(), s.labels.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a_total".into(), vec![("t".to_string(), "1".to_string())]),
+                ("a_total".into(), vec![("t".to_string(), "2".to_string())]),
+                ("b_total".into(), vec![]),
+            ]
+        );
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("req_total", MetricClass::Content, &[("tenant", "a")])
+            .add(3);
+        reg.gauge("depth", MetricClass::Content, &[]).set(-2);
+        let h = reg.histogram("lat_us", MetricClass::Timing, &[]);
+        h.observe(1);
+        h.observe(5);
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total{tenant=\"a\"} 3"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth -2"));
+        assert!(text.contains("# CLASS lat_us timing"));
+        assert!(text.contains("lat_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_us_bucket{le=\"7\"} 2"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_us_sum 6"));
+        assert!(text.contains("lat_us_count 2"));
+    }
+}

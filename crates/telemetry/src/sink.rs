@@ -1,0 +1,77 @@
+//! Optional trace-sink instrumentation.
+//!
+//! [`MeteredSink`] wraps any [`TraceSink`] and counts the logical events
+//! flowing through it into a registry [`Counter`], without altering what
+//! the inner sink observes (runs are delegated, not expanded).  This gives
+//! the primitives layer an opt-in event-rate metric with one relaxed
+//! atomic add per record.
+
+use obliv_trace::{AccessKind, ArrayId, TraceEvent, TraceSink};
+
+use crate::metrics::Counter;
+
+/// A [`TraceSink`] adapter that counts logical events into `events`.
+///
+/// A coalesced run of `count` accesses counts as `count` events, matching
+/// the per-element semantics of the expanded stream.
+#[derive(Debug, Clone)]
+pub struct MeteredSink<S> {
+    inner: S,
+    events: Counter,
+}
+
+impl<S: TraceSink> MeteredSink<S> {
+    /// Wrap `inner`, counting events into `events`.
+    pub fn new(inner: S, events: Counter) -> Self {
+        MeteredSink { inner, events }
+    }
+
+    /// The wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Borrow the wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: TraceSink> TraceSink for MeteredSink<S> {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.events.inc();
+        self.inner.record(event);
+    }
+
+    #[inline]
+    fn record_run(&mut self, kind: AccessKind, array: ArrayId, start: u64, count: u64) {
+        self.events.add(count);
+        self.inner.record_run(kind, array, start, count);
+    }
+}
+
+// Re-exported so downstream users of the adapter can build events without
+// also depending on obliv-trace directly.
+pub use obliv_trace::TraceEvent as Event;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricClass, MetricsRegistry};
+    use obliv_trace::{Access, CountingSink};
+
+    #[test]
+    fn counts_records_and_runs() {
+        let reg = MetricsRegistry::new();
+        let counter = reg.counter("trace_events_total", MetricClass::Content, &[]);
+        let mut sink = MeteredSink::new(CountingSink::default(), counter);
+        sink.record(TraceEvent::Access(Access {
+            kind: AccessKind::Read,
+            array: ArrayId(1),
+            index: 0,
+        }));
+        sink.record_run(AccessKind::Write, ArrayId(1), 0, 9);
+        assert_eq!(reg.snapshot().counter("trace_events_total", &[]), 10);
+    }
+}

@@ -70,8 +70,13 @@ fn main() {
                 }
                 let stats = client.stats().expect("stats");
                 lines.push(format!(
-                    "  [{tenant}] session: {} queries, {} trace events, {} cache hits",
-                    stats.queries, stats.trace_events, stats.cache_hits
+                    "  [{tenant}] session: {} queries, {} trace events, {} cache hits \
+                     (engine cache: {} entries, {} bytes)",
+                    stats.session.queries,
+                    stats.session.trace_events,
+                    stats.session.cache_hits,
+                    stats.cache.entries,
+                    stats.cache.bytes,
                 ));
                 lines
             })

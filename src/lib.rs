@@ -33,6 +33,7 @@ pub use obliv_join as join;
 pub use obliv_operators as operators;
 pub use obliv_primitives as primitives;
 pub use obliv_server as server;
+pub use obliv_telemetry as telemetry;
 pub use obliv_trace as trace;
 pub use obliv_verify as verify;
 pub use obliv_workloads as workloads;

@@ -22,6 +22,7 @@ fn loaded_engine_uncached(workers: usize) -> Engine {
     loaded_engine_with(EngineConfig {
         workers,
         result_cache: false,
+        ..Default::default()
     })
 }
 
@@ -333,6 +334,60 @@ fn engine_digests_depend_only_on_public_parameters() {
     assert_ne!(responses[0].rows, responses[1].rows);
 }
 
+/// The observability contract at the engine level: every content-classed
+/// metric and every leakage-audit record is a function of public
+/// parameters only.  Two engines loaded with tables of identical shape
+/// (sizes, key sets, join output sizes) but different *contents* must
+/// produce identical non-timing metric snapshots and identical audit
+/// exports for the same workload.
+#[test]
+fn metric_snapshots_depend_only_on_public_parameters() {
+    // Keys 0..64 and 0..48 in both runs (so the revealed join size m = 48
+    // matches); values completely different.
+    let run = |twist: u64| {
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        engine
+            .register_table(
+                "a",
+                Table::from_pairs((0..64u64).map(|k| (k, k.wrapping_mul(twist) ^ twist))),
+            )
+            .unwrap();
+        engine
+            .register_table("b", Table::from_pairs((0..48u64).map(|k| (k, k + twist))))
+            .unwrap();
+        let queries = ["JOIN a b", "JOINAGG a b count", "JOIN a b"];
+        engine.execute_text_batch(&queries).unwrap();
+        engine.execute_text_batch(&queries).unwrap(); // warm repeat: cache hits
+        (
+            engine.metrics().snapshot().without_timing(),
+            engine.audit().export_json(),
+        )
+    };
+    let (snapshot_a, audit_a) = run(3);
+    let (snapshot_b, audit_b) = run(0x5a5a);
+    assert!(
+        !snapshot_a.samples.is_empty(),
+        "the content view must not be empty"
+    );
+    assert_eq!(
+        snapshot_a, snapshot_b,
+        "content-classed metrics leaked data dependence"
+    );
+    assert_eq!(
+        audit_a, audit_b,
+        "leakage audit records must carry public parameters only"
+    );
+    // Sanity: the snapshots actually cover the run.
+    assert_eq!(
+        snapshot_a.counter("engine_queries_total", &[("result", "executed")]),
+        2
+    );
+    assert_eq!(snapshot_a.counter("engine_batches_total", &[]), 2);
+}
+
 /// A result-cache hit returns a bit-identical `QueryResponse` to the
 /// original miss, through the full service path (text frontend, batch
 /// executor, fan-out).
@@ -349,7 +404,14 @@ fn cache_hit_is_bit_identical_to_original_miss_end_to_end() {
     assert_eq!(hit.label, miss.label);
     assert_eq!(hit.rows, miss.rows);
     assert_eq!(hit.summary, miss.summary, "digest, counters, events, wall");
-    assert_eq!(engine.cache_stats(), CacheStats { hits: 1, misses: 1 });
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 0));
+    assert_eq!(stats.entries, 1);
+    assert_eq!(
+        stats.bytes,
+        (miss.rows.len() * miss.rows.schema().row_width()) as u64,
+        "retained bytes are the cached result's public shape"
+    );
 
     // Mutating the catalog invalidates: the same text re-executes and (with
     // unchanged tables elsewhere irrelevant) reports a fresh miss.
@@ -387,7 +449,11 @@ fn intra_batch_duplicates_are_deduplicated_concurrently() {
         assert_eq!(dup.summary, responses[0].summary);
     }
     assert!(!responses[5].cached);
-    assert_eq!(engine.cache_stats(), CacheStats { hits: 4, misses: 2 });
+    let stats = engine.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses, stats.evictions, stats.entries),
+        (4, 2, 0, 2)
+    );
 }
 
 /// Sessions accumulate accounting across concurrent batches without

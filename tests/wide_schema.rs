@@ -59,6 +59,7 @@ fn engine_with(orders: WideTable, lineitem: WideTable) -> Engine {
     let engine = Engine::new(EngineConfig {
         workers: 2,
         result_cache: false,
+        ..Default::default()
     });
     engine.register_wide_table("orders", orders).unwrap();
     engine.register_wide_table("lineitem", lineitem).unwrap();
@@ -233,6 +234,7 @@ fn wide_digest_reflects_schema_width_not_contents() {
         let engine = Engine::new(EngineConfig {
             workers: 1,
             result_cache: false,
+            ..Default::default()
         });
         engine.register_wide_table("t", table).unwrap();
         engine.execute_text_batch(&[query]).unwrap()[0]
@@ -489,6 +491,7 @@ fn wide_responses_are_cacheable_and_dedupable() {
     let engine = Engine::new(EngineConfig {
         workers: 2,
         result_cache: true,
+        ..Default::default()
     });
     engine.register_wide_table("orders", orders).unwrap();
     engine.register_wide_table("lineitem", lineitem).unwrap();

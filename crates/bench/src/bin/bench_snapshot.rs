@@ -13,7 +13,7 @@
 //!   transport with the cache primed (the protocol overhead floor).
 //!
 //! Prints the JSON to stdout; pass `--out <path>` to also write it to a
-//! file (CI redirects it into the `BENCH_6.json` artifact).  Numbers are
+//! file (CI redirects it into the `BENCH_7.json` artifact).  Numbers are
 //! medians over fixed repetition counts, so the snapshot is cheap enough
 //! to run on every push yet stable enough to eyeball across PRs.
 

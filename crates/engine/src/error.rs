@@ -8,10 +8,14 @@ use obliv_operators::WideError;
 /// Everything that can go wrong between receiving a query and executing it.
 ///
 /// Execution itself cannot fail — a resolved plan runs to completion on any
-/// input — so every variant here is a submission-time error: a bad query
-/// string, a reference the catalog cannot satisfy, or a plan that fails
-/// schema validation.  All checks run against *public* metadata (names,
-/// schemas, sizes), so erroring early leaks nothing.
+/// input — so almost every variant here is a submission-time error: a bad
+/// query string, a reference the catalog cannot satisfy, or a plan that
+/// fails schema validation.  The one exception is
+/// [`DeadlineExceeded`](EngineError::DeadlineExceeded), raised when a
+/// request's caller-chosen time budget runs out before (or while) its
+/// batch executes.  All checks run against *public* inputs — names,
+/// schemas, sizes, and the client's own deadline — so erroring early
+/// leaks nothing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// A plan referenced a table name the catalog does not contain.
@@ -41,6 +45,16 @@ pub enum EngineError {
     /// A plan failed schema validation (unknown column, type mismatch,
     /// non-aggregatable column, carry overflow, …).
     Wide(WideError),
+    /// The request's deadline expired before its result was produced.
+    /// Raised at batch admission (the queue wait alone exhausted the
+    /// budget) or at worker start; an expired request aborts its batch
+    /// before any result is finalised, so no partial accounting escapes.
+    /// The deadline is the client's own public parameter — timing out
+    /// reveals scheduling, never table contents.
+    DeadlineExceeded {
+        /// The expired request's label.
+        label: String,
+    },
     /// A column reference matched a column in both join inputs, so the
     /// planner cannot tell which side to read it from.  Disambiguate with
     /// a `left_` / `right_` prefix (the join's own output naming).
@@ -84,6 +98,9 @@ impl fmt::Display for EngineError {
                  (e.g. `JOIN a b ON key`, `FILTER col>=N`, `AGG sum(col)`)"
             ),
             EngineError::Wide(e) => write!(f, "{e}"),
+            EngineError::DeadlineExceeded { label } => {
+                write!(f, "query `{label}` exceeded its deadline before completing")
+            }
             EngineError::AmbiguousColumn { name, left, right } => write!(
                 f,
                 "column `{name}` exists on both sides of the join (left: {}; right: {}); \

@@ -43,6 +43,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use obliv_chaos::{points, Fault, Faults};
 use obliv_join::schema::WideTable;
 use obliv_join::Table;
 use obliv_telemetry::{
@@ -80,6 +81,11 @@ pub struct EngineConfig {
     /// (newest first to age out; see [`Engine::audit`]).  Zero disables
     /// retention but keeps counting.
     pub audit_capacity: usize,
+    /// Fault-injection handle consulted at the `engine/worker` point just
+    /// before each job executes (tests panic the worker or slow the job
+    /// here).  Defaults to disabled; in builds without the `inject`
+    /// feature of `obliv-chaos` this is a zero-sized no-op.
+    pub faults: Faults,
 }
 
 impl Default for EngineConfig {
@@ -92,6 +98,7 @@ impl Default for EngineConfig {
             result_cache: true,
             result_cache_cap: RESULT_CACHE_CAP,
             audit_capacity: AUDIT_CAPACITY,
+            faults: Faults::default(),
         }
     }
 }
@@ -217,6 +224,7 @@ struct EngineMetrics {
     cache_bytes: Gauge,
     audit_records: Counter,
     workers: Gauge,
+    deadline_exceeded: Counter,
 }
 
 /// Operation-counter label values, aligned with [`OpCounters`] fields.
@@ -230,9 +238,17 @@ const OP_NAMES: [&str; 4] = [
 impl EngineMetrics {
     fn new(registry: &MetricsRegistry) -> Self {
         use MetricClass::{Content, Timing};
+        // Class assignment is part of the resilience contract: a series is
+        // Content only if faults, retries, and scheduling cannot perturb it
+        // — an aborted batch re-run executes each plan exactly once (the
+        // abort unwinds before any finalisation), so execution-side
+        // accounting (executed queries, ops, trace events, audit records,
+        // misses) is fault-invariant.  Anything counting *attempts* —
+        // batches, cached answers served to a retrying client, rows fanned
+        // out again — is Timing.
         EngineMetrics {
-            batches: registry.counter("engine_batches_total", Content, &[]),
-            batch_requests: registry.histogram("engine_batch_requests", Content, &[]),
+            batches: registry.counter("engine_batches_total", Timing, &[]),
+            batch_requests: registry.histogram("engine_batch_requests", Timing, &[]),
             queries_executed: registry.counter(
                 "engine_queries_total",
                 Content,
@@ -240,17 +256,17 @@ impl EngineMetrics {
             ),
             queries_cached: registry.counter(
                 "engine_queries_total",
-                Content,
+                Timing,
                 &[("result", "cached")],
             ),
-            rows_returned: registry.counter("engine_rows_returned_total", Content, &[]),
+            rows_returned: registry.counter("engine_rows_returned_total", Timing, &[]),
             trace_events: registry.counter("engine_trace_events_total", Content, &[]),
             op_counters: OP_NAMES
                 .map(|op| registry.counter("engine_ops_total", Content, &[("op", op)])),
             phase_ns: PhaseBreakdown::NAMES.map(|phase| {
                 registry.counter("engine_phase_ns_total", Timing, &[("phase", phase)])
             }),
-            cache_hits: registry.counter("engine_result_cache_hits_total", Content, &[]),
+            cache_hits: registry.counter("engine_result_cache_hits_total", Timing, &[]),
             cache_misses: registry.counter("engine_result_cache_misses_total", Content, &[]),
             cache_evictions: registry.counter("engine_result_cache_evictions_total", Content, &[]),
             cache_invalidations: registry.counter(
@@ -262,6 +278,7 @@ impl EngineMetrics {
             cache_bytes: registry.gauge("engine_result_cache_bytes", Content, &[]),
             audit_records: registry.counter("engine_audit_records_total", Content, &[]),
             workers: registry.gauge("engine_workers", Content, &[]),
+            deadline_exceeded: registry.counter("engine_deadline_exceeded_total", Timing, &[]),
         }
     }
 }
@@ -287,8 +304,13 @@ pub struct Engine {
     catalog: RwLock<Catalog>,
     workers: usize,
     /// The resident worker pool (empty — no threads — for a 1-worker
-    /// engine, whose batches run inline on the calling thread).
-    pool: WorkerPool<Executed>,
+    /// engine, whose batches run inline on the calling thread).  Jobs
+    /// yield `Err(label)` when the request's deadline expired before the
+    /// worker could start it.
+    pool: WorkerPool<Result<Executed, String>>,
+    /// Fault-injection handle ([`EngineConfig::faults`]); disabled in
+    /// production, a no-op unit type without the chaos `inject` feature.
+    faults: Faults,
     /// `(canonical plan) → (epoch, payload)`; entries are valid only while
     /// their stored epoch matches the live catalog's, and the whole map is
     /// cleared on every catalog mutation.  `None` when caching is disabled.
@@ -319,8 +341,8 @@ impl Engine {
         let metrics = EngineMetrics::new(&registry);
         metrics.workers.set(workers as i64);
         let pool_metrics = PoolMetrics {
-            queue_depth: registry.gauge("engine_pool_queue_depth", MetricClass::Content, &[]),
-            jobs: registry.counter("engine_pool_jobs_total", MetricClass::Content, &[]),
+            queue_depth: registry.gauge("engine_pool_queue_depth", MetricClass::Timing, &[]),
+            jobs: registry.counter("engine_pool_jobs_total", MetricClass::Timing, &[]),
             busy_ns: registry.counter("engine_pool_busy_ns_total", MetricClass::Timing, &[]),
             queue_wait_us: registry.histogram(
                 "engine_pool_queue_wait_us",
@@ -343,6 +365,7 @@ impl Engine {
             audit: LeakageAudit::new(config.audit_capacity),
             registry,
             metrics,
+            faults: config.faults,
         }
     }
 
@@ -530,6 +553,20 @@ impl Engine {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        // Deadline admission: a request whose caller-chosen time budget is
+        // already spent (e.g. the queue wait alone consumed it) fails the
+        // batch before any work is admitted.  Checked per request — not
+        // per deduplicated plan — so every expired label is eligible to
+        // surface; a second pre-execution check runs at worker start.
+        let admitted = Instant::now();
+        for request in requests {
+            if request.deadline().is_some_and(|d| admitted >= d) {
+                self.metrics.deadline_exceeded.inc();
+                return Err(EngineError::DeadlineExceeded {
+                    label: request.label.clone(),
+                });
+            }
+        }
         let batch_start = Instant::now();
         self.metrics.batches.inc();
         self.metrics.batch_requests.observe(requests.len() as u64);
@@ -610,8 +647,20 @@ impl Engine {
             let (reply_tx, reply_rx) = mpsc::channel();
             self.pool.submit(
                 jobs.into_iter().map(|(slot, plan)| {
-                    let task: PoolTask<Executed> =
-                        Box::new(move |wait| Engine::run_plan(&plan, wait));
+                    // The worker-start deadline check uses the slot's
+                    // representative request; admission already covered
+                    // every duplicate individually.
+                    let rep = &requests[representative[slot]];
+                    let label = rep.label.clone();
+                    let deadline = rep.deadline();
+                    let faults = self.faults.clone();
+                    let task: PoolTask<Result<Executed, String>> = Box::new(move |wait| {
+                        consult_worker_faults(&faults);
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            return Err(label);
+                        }
+                        Ok(Engine::run_plan(&plan, wait))
+                    });
                     (slot, task)
                 }),
                 &reply_tx,
@@ -621,16 +670,36 @@ impl Engine {
             // exactly once — a panicking job ships its payload, which is
             // re-raised here so the submitting thread fails with the
             // original message (as the old scoped pool did) while the
-            // worker itself survives.
+            // worker itself survives.  An expired deadline is drained to
+            // the end (letting sibling jobs finish cleanly) and then fails
+            // the batch before anything is finalised.
             drop(reply_tx);
+            let mut expired: Option<String> = None;
             for (slot, entry) in reply_rx.iter().take(fresh_slots.len()) {
                 match entry {
-                    Ok(entry) => executed[slot] = Some((entry, Instant::now())),
+                    Ok(Ok(entry)) => executed[slot] = Some((entry, Instant::now())),
+                    Ok(Err(label)) => {
+                        if expired.is_none() {
+                            expired = Some(label);
+                        }
+                    }
                     Err(cause) => std::panic::resume_unwind(cause),
                 }
             }
+            if let Some(label) = expired {
+                self.metrics.deadline_exceeded.inc();
+                return Err(EngineError::DeadlineExceeded { label });
+            }
         } else {
             for (slot, plan) in jobs {
+                consult_worker_faults(&self.faults);
+                let rep = &requests[representative[slot]];
+                if rep.deadline().is_some_and(|d| Instant::now() >= d) {
+                    self.metrics.deadline_exceeded.inc();
+                    return Err(EngineError::DeadlineExceeded {
+                        label: rep.label.clone(),
+                    });
+                }
                 let entry = Engine::run_plan(&plan, Duration::ZERO);
                 executed[slot] = Some((entry, Instant::now()));
             }
@@ -790,6 +859,21 @@ impl Engine {
             })
             .collect::<Result<Vec<_>, EngineError>>()?;
         self.execute_batch(&requests)
+    }
+}
+
+/// Consult the `engine/worker` injection point just before a job runs: a
+/// test-configured fault plan can panic the worker (contained by the
+/// pool's `catch_unwind` and re-raised on the submitting thread) or delay
+/// the job (typically to force a deadline expiry).  Runs on the worker
+/// thread for pooled jobs and on the calling thread for inline execution,
+/// so single-job batches are injectable too.  Compiles to nothing when the
+/// chaos `inject` feature is off.
+fn consult_worker_faults(faults: &Faults) {
+    match faults.hit(points::ENGINE_WORKER) {
+        Some(Fault::Panic) => panic!("injected: engine worker panic"),
+        Some(Fault::Delay(delay)) => thread::sleep(delay),
+        _ => {}
     }
 }
 
@@ -1210,6 +1294,91 @@ mod tests {
             engine.audit().export_json().lines().count(),
             responses.len()
         );
+    }
+
+    #[test]
+    fn expired_deadline_fails_at_admission() {
+        let engine = engine(2);
+        let late = QueryRequest::new("late", Plan::scan("orders")).with_deadline(Instant::now());
+        assert_eq!(
+            engine
+                .execute_batch(std::slice::from_ref(&late))
+                .unwrap_err(),
+            EngineError::DeadlineExceeded {
+                label: "late".into()
+            }
+        );
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.counter("engine_deadline_exceeded_total", &[]), 1);
+        // The failed admission finalised nothing.
+        assert_eq!(
+            snap.counter("engine_queries_total", &[("result", "executed")]),
+            0
+        );
+        assert_eq!(snap.counter("engine_audit_records_total", &[]), 0);
+        // A clean follow-up (generous deadline) executes normally.
+        let ok = QueryRequest::new("ok", Plan::scan("orders"))
+            .with_deadline(Instant::now() + Duration::from_secs(60));
+        assert!(engine.execute_batch(&[ok]).is_ok());
+    }
+
+    #[test]
+    fn slow_job_with_deadline_times_out_at_worker_start() {
+        let faults = obliv_chaos::FaultPlan::new()
+            .seed(7)
+            .once(
+                points::ENGINE_WORKER,
+                Fault::Delay(Duration::from_millis(50)),
+            )
+            .build();
+        let engine = engine_with(EngineConfig {
+            workers: 2,
+            result_cache: false,
+            faults,
+            ..Default::default()
+        });
+        // Two distinct plans so the batch takes the pool path; the
+        // injected delay outlives the 10 ms budget, so whichever job it
+        // lands on expires at worker start.
+        let deadline = Instant::now() + Duration::from_millis(10);
+        let batch = vec![
+            QueryRequest::new("a", Plan::scan("orders")).with_deadline(deadline),
+            QueryRequest::new("b", Plan::scan("customers")).with_deadline(deadline),
+        ];
+        let err = engine.execute_batch(&batch).unwrap_err();
+        assert!(matches!(err, EngineError::DeadlineExceeded { .. }), "{err}");
+        assert!(
+            engine
+                .metrics()
+                .snapshot()
+                .counter("engine_deadline_exceeded_total", &[])
+                >= 1
+        );
+        // The engine is fully usable afterwards (the fault fired once).
+        assert_eq!(engine.execute_batch(&requests()).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn injected_worker_panic_propagates_and_engine_survives() {
+        let faults = obliv_chaos::FaultPlan::new()
+            .seed(1)
+            .once(points::ENGINE_WORKER, Fault::Panic)
+            .build();
+        let engine = engine_with(EngineConfig {
+            workers: 2,
+            result_cache: false,
+            faults,
+            ..Default::default()
+        });
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.execute_batch(&requests())
+        }));
+        assert!(attempt.is_err(), "the injected panic reaches the submitter");
+        // The worker survives (catch_unwind in the pool); nothing was
+        // finalised by the aborted batch, and a clean batch runs fine.
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.counter("engine_audit_records_total", &[]), 0);
+        assert_eq!(engine.execute_batch(&requests()).unwrap().len(), 4);
     }
 
     #[test]

@@ -23,19 +23,35 @@
 //! the query's phase breakdown.
 
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use obliv_telemetry::{Counter, Gauge, Histogram};
 
+/// Acquire `mutex`, recovering from poisoning.
+///
+/// Every mutex in this module guards state that a panicking holder cannot
+/// leave logically torn: the injector mutex wraps an `Option<Sender>` (the
+/// send either happened or it didn't), and the worker-side mutex wraps a
+/// channel receiver held only across one `recv` call.  Poison here would
+/// mean some *other* job panicked — which the pool already contains via
+/// `catch_unwind` — so aborting the whole process (the `unwrap` default)
+/// would turn one contained query panic into a wedged engine.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Registry handles the pool reports into; all cheap cloneable atomics.
 #[derive(Debug, Clone)]
 pub(crate) struct PoolMetrics {
-    /// Jobs submitted but not yet picked up by a worker (content class:
-    /// settles to zero whenever the pool is idle).
+    /// Jobs submitted but not yet picked up by a worker (timing class:
+    /// scheduling-dependent, and fault-injected batches re-submit work).
     pub queue_depth: Gauge,
-    /// Jobs a worker has started executing.
+    /// Jobs a worker has started executing (timing class: an aborted batch
+    /// still ran jobs, and its re-run runs them again).
     pub jobs: Counter,
     /// Cumulative nanoseconds workers spent running tasks (timing class).
     pub busy_ns: Counter,
@@ -101,7 +117,7 @@ impl<T: Send + 'static> WorkerPool<T> {
                     .name(format!("obliv-engine-worker-{i}"))
                     .spawn(move || loop {
                         // Hold the queue lock only while pulling a job.
-                        let job = rx.lock().expect("pool queue lock poisoned").recv();
+                        let job = lock_recover(&rx).recv();
                         match job {
                             Ok(Job {
                                 slot,
@@ -163,7 +179,7 @@ impl<T: Send + 'static> WorkerPool<T> {
         jobs: impl IntoIterator<Item = (usize, PoolTask<T>)>,
         reply: &mpsc::Sender<(usize, JobOutput<T>)>,
     ) {
-        let injector = self.injector.lock().expect("pool injector lock poisoned");
+        let injector = lock_recover(&self.injector);
         let tx = injector.as_ref().expect("worker pool is shut down");
         for (slot, task) in jobs {
             if let Some(m) = &self.metrics {
@@ -185,10 +201,7 @@ impl<T: Send + 'static> Drop for WorkerPool<T> {
     /// queued, then see the closed channel and exit), then join every
     /// worker so no thread outlives the engine.
     fn drop(&mut self) {
-        self.injector
-            .lock()
-            .expect("pool injector lock poisoned")
-            .take();
+        lock_recover(&self.injector).take();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -251,8 +264,8 @@ mod tests {
     fn pool_reports_jobs_depth_and_busy_time() {
         let registry = MetricsRegistry::new();
         let metrics = PoolMetrics {
-            queue_depth: registry.gauge("engine_pool_queue_depth", MetricClass::Content, &[]),
-            jobs: registry.counter("engine_pool_jobs_total", MetricClass::Content, &[]),
+            queue_depth: registry.gauge("engine_pool_queue_depth", MetricClass::Timing, &[]),
+            jobs: registry.counter("engine_pool_jobs_total", MetricClass::Timing, &[]),
             busy_ns: registry.counter("engine_pool_busy_ns_total", MetricClass::Timing, &[]),
             queue_wait_us: registry.histogram(
                 "engine_pool_queue_wait_us",

@@ -338,6 +338,12 @@ pub struct QueryRequest {
     /// for requests built directly from plans.  Not part of request
     /// equality.
     parse_cost: std::time::Duration,
+    /// Absolute completion deadline.  The executor checks it at batch
+    /// admission and again at worker start; an expired request fails its
+    /// batch with [`EngineError::DeadlineExceeded`] before any result is
+    /// finalised.  `None` (the default) never expires.  Not part of
+    /// request equality.
+    deadline: Option<std::time::Instant>,
 }
 
 impl QueryRequest {
@@ -348,6 +354,7 @@ impl QueryRequest {
             plan,
             canonical: std::sync::OnceLock::new(),
             parse_cost: std::time::Duration::ZERO,
+            deadline: None,
         }
     }
 
@@ -362,6 +369,20 @@ impl QueryRequest {
     /// The attached parse cost (zero unless set).
     pub fn parse_cost(&self) -> std::time::Duration {
         self.parse_cost
+    }
+
+    /// Attach an absolute completion deadline: if it passes before this
+    /// request's result is produced, the batch fails with a typed
+    /// [`EngineError::DeadlineExceeded`].  The deadline is the caller's
+    /// own public parameter, so enforcing it is content-independent.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
     }
 
     /// The plan this request executes.

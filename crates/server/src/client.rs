@@ -5,15 +5,24 @@
 //! blocks for the answering frame.  Concurrency comes from opening more
 //! clients — the server batches concurrent requests across connections
 //! into shared engine batches.
+//!
+//! For resilience against transient failures (connection resets, server
+//! restarts, shed load), wrap connection establishment in a
+//! [`RetryingClient`]: it classifies errors, retries only the transient
+//! categories with seeded exponential backoff + jitter, and reconnects
+//! when the stream can no longer be trusted to be in sync.
 
 use std::io::{self};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
 
 use obliv_engine::{MetricsSnapshot, Plan};
+use obliv_telemetry::{Counter, MetricClass, MetricsRegistry};
 
 use crate::proto::{
-    read_frame, write_frame, DecodeError, FrameError, QueryReply, Request, Response, StatsReply,
-    WireError, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+    read_frame, write_frame, DecodeError, ErrorKind, FrameError, QueryReply, Request, Response,
+    StatsReply, WireError, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
 };
 use crate::transport::Connection;
 
@@ -22,6 +31,12 @@ use crate::transport::Connection;
 pub enum ClientError {
     /// The transport failed (or the server closed the connection).
     Io(io::Error),
+    /// A configured socket timeout elapsed before the operation finished
+    /// (see [`Client::set_read_timeout`]).  Split from [`Io`](Self::Io)
+    /// because the caller's reaction differs: a timeout means the request
+    /// may still be executing server-side, so a retry must go through a
+    /// fresh connection to keep framing in sync.
+    Timeout,
     /// The server's bytes did not parse as a protocol response.
     Protocol(String),
     /// The server answered with a typed error frame.
@@ -30,7 +45,12 @@ pub enum ClientError {
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        // TCP reports an expired SO_RCVTIMEO/SO_SNDTIMEO as either kind,
+        // platform-dependently.
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ClientError::Timeout,
+            _ => ClientError::Io(e),
+        }
     }
 }
 
@@ -43,7 +63,7 @@ impl From<DecodeError> for ClientError {
 impl From<FrameError> for ClientError {
     fn from(e: FrameError) -> Self {
         match e {
-            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Io(e) => ClientError::from(e),
             FrameError::TooLarge { .. } => ClientError::Protocol(e.to_string()),
         }
     }
@@ -53,6 +73,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Timeout => write!(f, "operation timed out"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(e) => write!(f, "server error: {e}"),
         }
@@ -99,11 +120,45 @@ impl Client {
         &self.token
     }
 
+    /// Bound how long a call may block waiting for the server's response
+    /// before failing with [`ClientError::Timeout`]; `None` restores
+    /// indefinite blocking.  After a timeout the connection's framing can
+    /// no longer be trusted (the response may arrive later) — drop the
+    /// client or reconnect; [`RetryingClient`] does this automatically.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.conn.set_read_timeout(timeout)
+    }
+
+    /// Bound how long a call may block writing its request (same contract
+    /// as [`set_read_timeout`](Client::set_read_timeout)).
+    pub fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.conn.set_write_timeout(timeout)
+    }
+
     /// Run a text query (parsed server-side by the engine's frontend).
     pub fn query(&mut self, query: impl Into<String>) -> Result<QueryReply, ClientError> {
+        self.query_text(query.into(), 0)
+    }
+
+    /// Run a text query with a server-enforced time budget: if `deadline`
+    /// elapses between the server admitting the request and a worker
+    /// starting it, the server answers a typed
+    /// [`DeadlineExceeded`](ErrorKind::DeadlineExceeded) frame instead of
+    /// executing.  (Sub-millisecond deadlines round up to 1 ms — zero
+    /// encodes "no deadline" on the wire.)
+    pub fn query_with_deadline(
+        &mut self,
+        query: impl Into<String>,
+        deadline: Duration,
+    ) -> Result<QueryReply, ClientError> {
+        self.query_text(query.into(), deadline_to_ms(deadline))
+    }
+
+    fn query_text(&mut self, query: String, deadline_ms: u32) -> Result<QueryReply, ClientError> {
         let request = Request::QueryText {
             token: self.token.clone(),
-            query: query.into(),
+            deadline_ms,
+            query,
         };
         match self.roundtrip(&request)? {
             Response::Reply(reply) => Ok(reply),
@@ -114,8 +169,27 @@ impl Client {
     /// Run an already-built plan (shipped in the protocol's binary plan
     /// encoding; no text round-trip).
     pub fn query_plan(&mut self, plan: &Plan) -> Result<QueryReply, ClientError> {
+        self.query_plan_inner(plan, 0)
+    }
+
+    /// Run an already-built plan under a time budget (the plan-shipping
+    /// counterpart of [`query_with_deadline`](Client::query_with_deadline)).
+    pub fn query_plan_with_deadline(
+        &mut self,
+        plan: &Plan,
+        deadline: Duration,
+    ) -> Result<QueryReply, ClientError> {
+        self.query_plan_inner(plan, deadline_to_ms(deadline))
+    }
+
+    fn query_plan_inner(
+        &mut self,
+        plan: &Plan,
+        deadline_ms: u32,
+    ) -> Result<QueryReply, ClientError> {
         let request = Request::QueryPlan {
             token: self.token.clone(),
+            deadline_ms,
             plan: plan.clone(),
         };
         match self.roundtrip(&request)? {
@@ -196,4 +270,248 @@ fn unexpected(response: Response) -> ClientError {
     ClientError::Protocol(format!(
         "unexpected response variant for this request: {response:?}"
     ))
+}
+
+/// `deadline_ms` wire encoding of a [`Duration`]: 0 means "no deadline",
+/// so sub-millisecond budgets round up to 1 ms; over-wide budgets clamp to
+/// `u32::MAX` ms (~49 days — effectively unbounded).
+fn deadline_to_ms(deadline: Duration) -> u32 {
+    u32::try_from(deadline.as_millis())
+        .unwrap_or(u32::MAX)
+        .max(1)
+}
+
+/// When (and how fast) a [`RetryingClient`] retries.
+///
+/// Delays follow decorrelated exponential backoff: retry `n` sleeps a
+/// deterministic-jittered duration in `[cap/2, cap)` where
+/// `cap = base_delay × 2ⁿ⁻¹` (bounded by `max_delay`), never less than the
+/// server's own `retry_after_ms` hint when one was given.  Jitter is
+/// derived from `seed` and the attempt number, so a failing schedule
+/// replays exactly under the same seed — the same property the chaos
+/// harness gives the server side.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries including the first (so `1` disables retrying).
+    pub max_attempts: u32,
+    /// Backoff cap for the first retry; doubles per retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry `attempt` (1-based), honouring the server's
+    /// `retry_after` hint as a floor.
+    pub fn backoff(&self, attempt: u32, retry_after: Duration) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let cap = self
+            .base_delay
+            .saturating_mul(1 << doublings)
+            .min(self.max_delay)
+            .max(Duration::from_micros(1));
+        let cap_ns = cap.as_nanos() as u64;
+        let jitter_ns = mix64(self.seed ^ u64::from(attempt)) % cap_ns.div_ceil(2);
+        Duration::from_nanos(cap_ns / 2 + jitter_ns).max(retry_after)
+    }
+}
+
+/// Splitmix64 — deterministic jitter without a rand dependency.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The transient-error categories a [`RetryingClient`] retries, as metric
+/// label values.  Everything else — protocol violations, typed query
+/// errors, auth mismatches — is the caller's bug or decision and fails
+/// fast.
+const RETRY_CATEGORIES: [&str; 4] = ["io", "timeout", "overloaded", "shutdown"];
+
+/// The retryable category of `error`, or `None` if it must not be retried.
+fn transient_category(error: &ClientError) -> Option<&'static str> {
+    match error {
+        ClientError::Io(_) => Some("io"),
+        ClientError::Timeout => Some("timeout"),
+        ClientError::Server(e) => match e.kind {
+            ErrorKind::Overloaded => Some("overloaded"),
+            ErrorKind::Shutdown => Some("shutdown"),
+            _ => None,
+        },
+        ClientError::Protocol(_) => None,
+    }
+}
+
+/// A [`Client`] wrapper that survives transient failures: connection
+/// resets, torn responses, shed load (`Overloaded`), server restarts
+/// (`Shutdown`), and configured socket timeouts.
+///
+/// Reconnection is delegated to the `connect` closure so the wrapper works
+/// over TCP and loopback alike; the connection is re-established whenever
+/// the previous error left the stream untrustworthy (any transport error
+/// or timeout, and `Shutdown` — the server is going away).  `Overloaded`
+/// retries reuse the healthy connection after backing off by at least the
+/// server's `retry_after_ms` hint.
+///
+/// ```no_run
+/// use obliv_server::{Client, RetryPolicy, RetryingClient};
+///
+/// let mut client = RetryingClient::new(
+///     || Client::connect("127.0.0.1:7787", "tenant-a").map_err(Into::into),
+///     RetryPolicy::default(),
+/// );
+/// let reply = client.query("SCAN orders | AGG count").unwrap();
+/// # let _ = reply;
+/// ```
+pub struct RetryingClient<'a> {
+    client: Option<Client>,
+    connect: Box<dyn FnMut() -> Result<Client, ClientError> + Send + 'a>,
+    policy: RetryPolicy,
+    /// `client_retries_total{category=…}`, when a registry was attached.
+    retries: Option<Vec<(&'static str, Counter)>>,
+}
+
+impl<'a> RetryingClient<'a> {
+    /// Wrap `connect` (called for the first connection and after every
+    /// reconnect-worthy failure) with `policy`.  The lifetime follows the
+    /// closure's borrows: a TCP connector is typically `'static`, while a
+    /// test connector may borrow an in-process loopback server.
+    pub fn new(
+        connect: impl FnMut() -> Result<Client, ClientError> + Send + 'a,
+        policy: RetryPolicy,
+    ) -> RetryingClient<'a> {
+        RetryingClient {
+            client: None,
+            connect: Box::new(connect),
+            policy,
+            retries: None,
+        }
+    }
+
+    /// Record retries into `registry` as `client_retries_total{category=…}`
+    /// (`Timing` class: retry counts reflect faults and scheduling, never
+    /// table contents).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> RetryingClient<'a> {
+        self.retries = Some(
+            RETRY_CATEGORIES
+                .map(|category| {
+                    (
+                        category,
+                        registry.counter(
+                            "client_retries_total",
+                            MetricClass::Timing,
+                            &[("category", category)],
+                        ),
+                    )
+                })
+                .to_vec(),
+        );
+        self
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// [`Client::query`] with retries.
+    pub fn query(&mut self, query: impl Into<String>) -> Result<QueryReply, ClientError> {
+        let query = query.into();
+        self.run(|client| client.query(query.clone()))
+    }
+
+    /// [`Client::query_with_deadline`] with retries.
+    pub fn query_with_deadline(
+        &mut self,
+        query: impl Into<String>,
+        deadline: Duration,
+    ) -> Result<QueryReply, ClientError> {
+        let query = query.into();
+        self.run(|client| client.query_with_deadline(query.clone(), deadline))
+    }
+
+    /// [`Client::query_plan`] with retries.
+    pub fn query_plan(&mut self, plan: &Plan) -> Result<QueryReply, ClientError> {
+        self.run(|client| client.query_plan(plan))
+    }
+
+    /// [`Client::stats`] with retries.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        self.run(Client::stats)
+    }
+
+    /// [`Client::metrics`] with retries.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        self.run(Client::metrics)
+    }
+
+    fn run<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = match self.client.as_mut() {
+                Some(client) => op(client),
+                None => match (self.connect)() {
+                    Ok(client) => op(self.client.insert(client)),
+                    // A failed connect is itself retryable (server
+                    // restarting); it is classified below like any error.
+                    Err(e) => Err(e),
+                },
+            };
+            let error = match result {
+                Ok(value) => return Ok(value),
+                Err(error) => error,
+            };
+            attempt += 1;
+            let category = match transient_category(&error) {
+                Some(category) if attempt < self.policy.max_attempts => category,
+                _ => return Err(error),
+            };
+            // After a transport failure or timeout the stream may be out
+            // of sync (a late response would answer the wrong request),
+            // and after `Shutdown` the server side is going away: retry
+            // those on a fresh connection.  `Overloaded` keeps the
+            // healthy connection and just backs off.
+            let retry_after = match &error {
+                ClientError::Server(e) => Duration::from_millis(e.retry_after_ms.into()),
+                _ => Duration::ZERO,
+            };
+            if !matches!(&error, ClientError::Server(e) if e.kind == ErrorKind::Overloaded) {
+                self.client = None;
+            }
+            if let Some(retries) = &self.retries {
+                if let Some((_, counter)) = retries.iter().find(|(c, _)| *c == category) {
+                    counter.inc();
+                }
+            }
+            thread::sleep(self.policy.backoff(attempt, retry_after));
+        }
+    }
+}
+
+impl std::fmt::Debug for RetryingClient<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryingClient")
+            .field("connected", &self.client.is_some())
+            .field("policy", &self.policy)
+            .finish()
+    }
 }

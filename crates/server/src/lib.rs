@@ -66,7 +66,18 @@
 //! | [`proto`] | frame format, request/response codecs, typed error frames |
 //! | [`transport`] | the [`transport::Connection`] trait, TCP, in-memory [`transport::loopback`] |
 //! | [`server`] | [`Server`], [`ServerConfig`] — accept loop, sessions, the cross-connection batcher |
-//! | [`client`] | [`Client`], [`ClientError`] — the blocking client library |
+//! | [`client`] | [`Client`], [`ClientError`], [`RetryingClient`] — the blocking client library |
+//!
+//! ## Resilience
+//!
+//! Requests may carry a `deadline_ms` budget (enforced server-side with
+//! typed [`ErrorKind::DeadlineExceeded`] frames), the server sheds load
+//! past [`ServerConfig::max_in_flight`] with typed [`ErrorKind::Overloaded`]
+//! frames carrying a `retry_after_ms` hint, and [`RetryingClient`] retries
+//! exactly the transient error categories with seeded exponential backoff.
+//! The whole stack is exercised by a deterministic fault-injection harness
+//! (the `obliv-chaos` crate; see `tests/chaos.rs`) which also asserts that
+//! faults never perturb `Content`-class metrics or audit exports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,7 +87,7 @@ pub mod proto;
 pub mod server;
 pub mod transport;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy, RetryingClient};
 pub use proto::{
     ErrorKind, QueryReply, Request, Response, StatsReply, WireError, MAX_REQUEST_FRAME,
     MAX_RESPONSE_FRAME, PROTOCOL_VERSION,

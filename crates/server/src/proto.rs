@@ -25,8 +25,8 @@
 //! ## Requests (`version:u8 opcode:u8 …`)
 //!
 //! ```text
-//! 0x01 QUERY_TEXT  token:str16 query:str16
-//! 0x02 QUERY_PLAN  token:str16 plan
+//! 0x01 QUERY_TEXT  token:str16 deadline_ms:u32be query:str16
+//! 0x02 QUERY_PLAN  token:str16 deadline_ms:u32be plan
 //! 0x03 STATS       token:str16
 //! 0x04 METRICS     token:str16
 //! ```
@@ -35,14 +35,20 @@
 //! of the unified [`Plan`] IR (one tag byte per node; see the plan codec
 //! in this module), depth-limited on decode so a hostile frame cannot
 //! recurse the decoder to death.  The `token` names the tenant; the first
-//! token on a connection binds its engine session.
+//! token on a connection binds its engine session.  `deadline_ms` is the
+//! request's time budget in milliseconds from server arrival (`0` = no
+//! deadline); the server enforces it at queue admission and between
+//! execution phases, answering with a typed
+//! [`ErrorKind::DeadlineExceeded`] frame when the budget is exhausted.
+//! The deadline is a client-chosen public parameter, so enforcing it
+//! reveals nothing about table contents.
 //!
 //! ## Responses (`version:u8 status:u8 …`)
 //!
 //! ```text
 //! 0x00 OK_REPLY    label:str16 cached:u8 summary schema rows:u32be rowbytes*
 //! 0x02 OK_STATS    session:u64be×7 cache:u64be×5
-//! 0x03 ERROR       kind:u8 message:str16
+//! 0x03 ERROR       kind:u8 retry_after_ms:u32be message:str16
 //! 0x04 OK_METRICS  nseries:u32be series*
 //! ```
 //!
@@ -54,7 +60,10 @@
 //! output row width, join carry width, the five
 //! [`PhaseBreakdown`] durations
 //! (parse/resolve/queue-wait/execute/publish) and wall clock, all
-//! durations as nanosecond `u64`s.  `schema` is
+//! durations as nanosecond `u64`s.  `retry_after_ms` is the server's
+//! back-off hint (`0` = none): meaningful on
+//! [`ErrorKind::Overloaded`] frames, where it is a configured public
+//! constant, never a function of load or data.  `schema` is
 //! `ncols:u16be (name:str16 type)*` with `type` one of `0` (`u64`), `1`
 //! (`i64`), `2` (`bool`), `3 width:u16be` (`bytes[width]`).  `OK_STATS`
 //! carries the connection session's [`SessionStats`] followed by the
@@ -68,11 +77,14 @@
 //!
 //! ## Versioning
 //!
-//! Protocol **3** (this build) is the observability revision: it added
-//! the `METRICS` probe, the per-phase durations in `summary`, and the
-//! cache block in `OK_STATS`.  Version 2 had introduced the unified plan
-//! codec and the schema-carrying reply form.  A request with any other
-//! version byte is answered with a typed
+//! Protocol **4** (this build) is the resilience revision: it added the
+//! per-request `deadline_ms` budget, the `retry_after_ms` hint on error
+//! frames, and the [`ErrorKind::DeadlineExceeded`] /
+//! [`ErrorKind::Overloaded`] categories.  Version 3 was the
+//! observability revision (`METRICS` probe, per-phase durations in
+//! `summary`, the cache block in `OK_STATS`); version 2 had introduced
+//! the unified plan codec and the schema-carrying reply form.  A request
+//! with any other version byte is answered with a typed
 //! [`ErrorKind::UnsupportedVersion`] frame naming both versions.
 
 use std::io::{self, Read, Write};
@@ -90,7 +102,7 @@ use obliv_trace::OpCounters;
 /// The one protocol version this build speaks.  A request frame with any
 /// other version byte is answered with
 /// [`ErrorKind::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u8 = 3;
+pub const PROTOCOL_VERSION: u8 = 4;
 
 /// Upper bound on a request frame's body, in bytes.  Requests are plans
 /// and tokens — kilobytes at most — so the bound is tight to cap what an
@@ -119,6 +131,8 @@ pub enum Request {
     QueryText {
         /// Tenant/auth token; binds the connection's session on first use.
         token: String,
+        /// Time budget in milliseconds from server arrival; `0` = none.
+        deadline_ms: u32,
         /// The pipeline query text.
         query: String,
     },
@@ -126,6 +140,8 @@ pub enum Request {
     QueryPlan {
         /// Tenant/auth token.
         token: String,
+        /// Time budget in milliseconds from server arrival; `0` = none.
+        deadline_ms: u32,
         /// The plan to execute.
         plan: Plan,
     },
@@ -203,6 +219,14 @@ pub enum ErrorKind {
     /// The server failed internally while executing the query (a bug, not
     /// a property of the request); the connection stays usable.
     Internal,
+    /// The request's `deadline_ms` budget was exhausted before the query
+    /// finished.  The work (if any) was discarded; the connection stays
+    /// usable.
+    DeadlineExceeded,
+    /// The server shed the request at admission because too many requests
+    /// were already in flight.  Transient by construction: the error
+    /// frame's `retry_after_ms` carries the configured back-off hint.
+    Overloaded,
 }
 
 impl ErrorKind {
@@ -215,6 +239,8 @@ impl ErrorKind {
             ErrorKind::Query => 4,
             ErrorKind::Shutdown => 5,
             ErrorKind::Internal => 6,
+            ErrorKind::DeadlineExceeded => 7,
+            ErrorKind::Overloaded => 8,
         }
     }
 
@@ -227,6 +253,8 @@ impl ErrorKind {
             4 => ErrorKind::Query,
             5 => ErrorKind::Shutdown,
             6 => ErrorKind::Internal,
+            7 => ErrorKind::DeadlineExceeded,
+            8 => ErrorKind::Overloaded,
             other => return Err(DecodeError::new(format!("unknown error kind {other}"))),
         })
     }
@@ -237,12 +265,17 @@ impl ErrorKind {
 pub struct WireError {
     /// The error category.
     pub kind: ErrorKind,
+    /// The server's back-off hint in milliseconds (`0` = none).  Set on
+    /// [`ErrorKind::Overloaded`] frames to the server's configured
+    /// constant; clients honour it in their retry delay.
+    pub retry_after_ms: u32,
     /// Human-readable detail, truncated to [`MAX_ERROR_MESSAGE`] bytes.
     pub message: String,
 }
 
 impl WireError {
-    /// An error frame with its message truncated to the protocol bound.
+    /// An error frame with its message truncated to the protocol bound
+    /// and no retry hint.
     pub fn new(kind: ErrorKind, message: impl Into<String>) -> WireError {
         let mut message = message.into();
         if message.len() > MAX_ERROR_MESSAGE {
@@ -252,7 +285,18 @@ impl WireError {
             }
             message.truncate(end);
         }
-        WireError { kind, message }
+        WireError {
+            kind,
+            retry_after_ms: 0,
+            message,
+        }
+    }
+
+    /// The same error with a back-off hint attached.
+    #[must_use]
+    pub fn with_retry_after_ms(mut self, retry_after_ms: u32) -> WireError {
+        self.retry_after_ms = retry_after_ms;
+        self
     }
 }
 
@@ -1083,14 +1127,24 @@ impl Request {
     pub fn encode(&self) -> Result<Vec<u8>, WireError> {
         let mut w = Writer::new();
         match self {
-            Request::QueryText { token, query } => {
+            Request::QueryText {
+                token,
+                deadline_ms,
+                query,
+            } => {
                 w.u8(1);
                 w.str16(token);
+                w.u32(*deadline_ms);
                 w.str16(query);
             }
-            Request::QueryPlan { token, plan } => {
+            Request::QueryPlan {
+                token,
+                deadline_ms,
+                plan,
+            } => {
                 w.u8(2);
                 w.str16(token);
+                w.u32(*deadline_ms);
                 put_plan(&mut w, plan);
             }
             Request::Stats { token } => {
@@ -1112,10 +1166,12 @@ impl Request {
         let request = match r.u8()? {
             1 => Request::QueryText {
                 token: r.str16()?,
+                deadline_ms: r.u32()?,
                 query: r.str16()?,
             },
             2 => Request::QueryPlan {
                 token: r.str16()?,
+                deadline_ms: r.u32()?,
                 plan: get_plan(&mut r, 0)?,
             },
             3 => Request::Stats { token: r.str16()? },
@@ -1154,6 +1210,7 @@ impl Response {
             Response::Error(error) => {
                 w.u8(3);
                 w.u8(error.kind.to_wire());
+                w.u32(error.retry_after_ms);
                 w.str16(&error.message);
             }
             Response::Metrics(snapshot) => {
@@ -1191,6 +1248,7 @@ impl Response {
             2 => Response::Stats(get_stats(&mut r)?),
             3 => Response::Error(WireError {
                 kind: ErrorKind::from_wire(r.u8()?)?,
+                retry_after_ms: r.u32()?,
                 message: r.str16()?,
             }),
             4 => Response::Metrics(get_metrics(&mut r)?),
@@ -1247,7 +1305,14 @@ mod tests {
         });
         roundtrip_request(Request::QueryText {
             token: "acme".into(),
+            deadline_ms: 0,
             query: "JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)".into(),
+        });
+        // A nonzero deadline budget crosses the wire intact.
+        roundtrip_request(Request::QueryText {
+            token: "acme".into(),
+            deadline_ms: 2_500,
+            query: "SCAN orders | AGG count".into(),
         });
         // Every plan node and parameter type crosses the wire intact,
         // including projections, range filters and bytes constants.
@@ -1264,6 +1329,7 @@ mod tests {
         ] {
             roundtrip_request(Request::QueryPlan {
                 token: "t0".into(),
+                deadline_ms: 750,
                 plan: parse_query(text).unwrap(),
             });
         }
@@ -1341,6 +1407,14 @@ mod tests {
             ErrorKind::Query,
             "unknown table `ghost`",
         )));
+        // The resilience error kinds and the back-off hint round-trip too.
+        roundtrip_response(Response::Error(
+            WireError::new(ErrorKind::Overloaded, "shedding load").with_retry_after_ms(50),
+        ));
+        roundtrip_response(Response::Error(WireError::new(
+            ErrorKind::DeadlineExceeded,
+            "deadline of 250ms exhausted in queue",
+        )));
     }
 
     #[test]
@@ -1402,10 +1476,10 @@ mod tests {
         // A version mismatch is distinguishable from garbage — in
         // particular the previous protocol versions are answered with a
         // typed version error, not a parse error.
-        for old in [1u8, 2] {
+        for old in [1u8, 2, 3] {
             let versioned = Request::decode(&[old, 1]).unwrap_err();
             assert!(is_version_error(&versioned));
-            assert!(versioned.message().contains("this build speaks 3"));
+            assert!(versioned.message().contains("this build speaks 4"));
         }
         assert!(!is_version_error(&err));
     }
@@ -1420,6 +1494,7 @@ mod tests {
         }
         let body = Request::QueryPlan {
             token: "t".into(),
+            deadline_ms: 0,
             plan,
         }
         .encode()
@@ -1432,6 +1507,7 @@ mod tests {
     fn oversized_fields_fail_encode_instead_of_panicking() {
         let err = Request::QueryText {
             token: "t".into(),
+            deadline_ms: 0,
             query: "x".repeat(70_000),
         }
         .encode()
@@ -1441,6 +1517,7 @@ mod tests {
 
         let err = Request::QueryPlan {
             token: "t".into(),
+            deadline_ms: 0,
             plan: Plan::scan("t").filter(WidePredicate::equals(
                 "tag",
                 Value::Bytes(vec![0x41; 70_000]),

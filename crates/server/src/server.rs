@@ -46,10 +46,12 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
+use std::time::{Duration, Instant};
 
+use obliv_chaos::{points, Fault, Faults};
 use obliv_engine::{parse_query, Engine, EngineError, Plan, QueryRequest, QueryResponse, Session};
 use obliv_telemetry::{Counter, Gauge, Histogram, MetricClass, MetricsRegistry};
 
@@ -73,6 +75,22 @@ pub struct ServerConfig {
     /// is still running (per-connection ordering is unaffected: each
     /// connection has at most one request in flight).
     pub batch_runners: usize,
+    /// Maximum queries simultaneously queued or executing across all
+    /// connections.  A query arriving past the bound is *shed*: answered
+    /// immediately with a typed [`ErrorKind::Overloaded`] frame carrying
+    /// [`shed_retry_after_ms`](ServerConfig::shed_retry_after_ms), instead
+    /// of queueing without bound (the pre-overload failure mode: every
+    /// handler blocked, memory growing, no client told why).
+    pub max_in_flight: usize,
+    /// The `retry_after_ms` backoff hint stamped on shed-load
+    /// [`ErrorKind::Overloaded`] frames.  A configured public constant —
+    /// it reveals nothing about current load beyond the shed itself.
+    pub shed_retry_after_ms: u32,
+    /// Fault-injection handle consulted at the server's injection points
+    /// (`server/accept`, `server/read`, `server/handle`, `server/write`,
+    /// `server/batcher`).  Defaults to disabled; a zero-sized no-op in
+    /// builds without the chaos `inject` feature.
+    pub faults: Faults,
 }
 
 impl Default for ServerConfig {
@@ -81,8 +99,25 @@ impl Default for ServerConfig {
             max_connections: 64,
             max_batch: 64,
             batch_runners: 2,
+            max_in_flight: 256,
+            shed_retry_after_ms: 25,
+            faults: Faults::default(),
         }
     }
+}
+
+/// Acquire `mutex`, recovering from poisoning.
+///
+/// Every mutex in this module guards state whose invariants hold at every
+/// await-free step (a connection count, a handler list, a channel
+/// receiver), so a panic while holding one cannot leave it logically torn.
+/// Poison therefore only means "some handler panicked" — already a
+/// contained event (the slot guard released its slot) — and propagating it
+/// would escalate one crashed connection into a wedged server.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// One error category's counter plus a one-shot logging latch.  Failures
@@ -102,7 +137,7 @@ impl ErrorMeter {
             category,
             count: registry.counter(
                 "server_errors_total",
-                MetricClass::Content,
+                MetricClass::Timing,
                 &[("category", category)],
             ),
             logged: AtomicBool::new(false),
@@ -124,9 +159,11 @@ impl ErrorMeter {
 /// The server's own series, registered into the fronted engine's registry
 /// so one [`MetricsRegistry::snapshot`] spans both layers.  Every series
 /// is a function of the request stream and of public result shapes (row
-/// counts × widths), never of table contents; batch occupancy is classed
-/// `Timing` because batch formation depends on request *arrival* timing,
-/// not on any request's content.
+/// counts × widths), never of table contents — and every one is classed
+/// `Timing`: connection counts, frame counts and batch formation all
+/// depend on arrival timing, faults and client retries, so none of them
+/// participates in the fault-invariant `Content` sub-snapshot (that
+/// invariant is carried by the engine's execution-side series).
 struct ServerMetrics {
     /// Connections ever admitted (TCP accepts and loopback attaches).
     connections_opened: Counter,
@@ -144,26 +181,39 @@ struct ServerMetrics {
     requests_in_flight: Gauge,
     /// Requests folded into each engine batch.
     batch_occupancy: Histogram,
-    /// Mixed-tenant batches that failed up front and were split: validated
-    /// per request, then re-run so innocent peers still get answers.
-    batch_reruns: Counter,
+    /// Batches that failed as a whole and were split for re-run (validated
+    /// per request, innocent peers re-batched), one counter per cause:
+    /// `resolution` (a typed submission error poisoned the mixed-tenant
+    /// batch), `panic` (an execution or injected panic was contained),
+    /// `deadline` (a request's budget expired and aborted the batch).
+    rerun_resolution: Counter,
+    rerun_panic: Counter,
+    rerun_deadline: Counter,
+    /// Queries answered with `Overloaded` at the admission bound.
+    shed: Counter,
     accept_errors: ErrorMeter,
     reply_errors: ErrorMeter,
 }
 
 impl ServerMetrics {
     fn new(registry: &MetricsRegistry) -> ServerMetrics {
-        use MetricClass::{Content, Timing};
+        use MetricClass::Timing;
+        let rerun = |cause: &'static str| {
+            registry.counter("server_batch_reruns_total", Timing, &[("cause", cause)])
+        };
         ServerMetrics {
-            connections_opened: registry.counter("server_connections_opened_total", Content, &[]),
-            connections_active: registry.gauge("server_connections_active", Content, &[]),
-            frames_read: registry.counter("server_frames_read_total", Content, &[]),
-            bytes_read: registry.counter("server_bytes_read_total", Content, &[]),
-            frames_written: registry.counter("server_frames_written_total", Content, &[]),
-            bytes_written: registry.counter("server_bytes_written_total", Content, &[]),
-            requests_in_flight: registry.gauge("server_requests_in_flight", Content, &[]),
+            connections_opened: registry.counter("server_connections_opened_total", Timing, &[]),
+            connections_active: registry.gauge("server_connections_active", Timing, &[]),
+            frames_read: registry.counter("server_frames_read_total", Timing, &[]),
+            bytes_read: registry.counter("server_bytes_read_total", Timing, &[]),
+            frames_written: registry.counter("server_frames_written_total", Timing, &[]),
+            bytes_written: registry.counter("server_bytes_written_total", Timing, &[]),
+            requests_in_flight: registry.gauge("server_requests_in_flight", Timing, &[]),
             batch_occupancy: registry.histogram("server_batch_occupancy", Timing, &[]),
-            batch_reruns: registry.counter("server_batch_reruns_total", Content, &[]),
+            rerun_resolution: rerun("resolution"),
+            rerun_panic: rerun("panic"),
+            rerun_deadline: rerun("deadline"),
+            shed: registry.counter("server_shed_total", Timing, &[]),
             accept_errors: ErrorMeter::new(registry, "accept"),
             reply_errors: ErrorMeter::new(registry, "reply_drop"),
         }
@@ -194,13 +244,17 @@ struct Inner {
     active: Mutex<usize>,
     slot_freed: Condvar,
     shutdown: AtomicBool,
+    /// Queries currently queued or executing (the load-shedding gate;
+    /// unlike the connection gate this one never blocks — it answers
+    /// `Overloaded` instead).
+    in_flight: AtomicUsize,
 }
 
 impl Inner {
     /// Block until a connection slot is free and claim it.  Returns
     /// `false` if the server shut down while waiting.
     fn claim_slot(&self) -> bool {
-        let mut active = self.active.lock().expect("connection gauge poisoned");
+        let mut active = lock_recover(&self.active);
         while *active >= self.config.max_connections {
             if self.shutdown.load(Ordering::SeqCst) {
                 return false;
@@ -208,7 +262,7 @@ impl Inner {
             active = self
                 .slot_freed
                 .wait(active)
-                .expect("connection gauge poisoned");
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
         *active += 1;
         self.metrics.connections_active.inc();
@@ -216,7 +270,7 @@ impl Inner {
     }
 
     fn release_slot(&self) {
-        *self.active.lock().expect("connection gauge poisoned") -= 1;
+        *lock_recover(&self.active) -= 1;
         self.metrics.connections_active.dec();
         self.slot_freed.notify_all();
     }
@@ -296,9 +350,10 @@ impl Server {
                 let engine = Arc::clone(&engine);
                 let batch_rx = Arc::clone(&batch_rx);
                 let metrics = Arc::clone(&metrics);
+                let faults = config.faults.clone();
                 thread::Builder::new()
                     .name(format!("obliv-server-batcher-{i}"))
-                    .spawn(move || run_batcher(engine, batch_rx, max_batch, metrics))
+                    .spawn(move || run_batcher(engine, batch_rx, max_batch, metrics, faults))
                     .expect("spawning a batcher thread failed")
             })
             .collect();
@@ -310,6 +365,7 @@ impl Server {
                 active: Mutex::new(0),
                 slot_freed: Condvar::new(),
                 shutdown: AtomicBool::new(false),
+                in_flight: AtomicUsize::new(0),
             }),
             addr: None,
             batch_tx: Some(batch_tx),
@@ -356,7 +412,7 @@ impl Server {
                 handle_connection(&guard.0, server_end, batch_tx);
             })
             .expect("spawning a connection handler failed");
-        let mut handlers = self.handlers.lock().expect("handler list poisoned");
+        let mut handlers = lock_recover(&self.handlers);
         handlers.retain(|(h, _)| !h.is_finished());
         handlers.push((handle, closer));
         Ok(client_end)
@@ -393,7 +449,7 @@ impl Server {
         // Close every served connection from our side, so handlers parked
         // in `read_frame` on idle peers wake up (end-of-stream) instead
         // of holding shutdown hostage, then join them.
-        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        let handlers = std::mem::take(&mut *lock_recover(&self.handlers));
         let (handles, closers): (Vec<_>, Vec<_>) = handlers.into_iter().unzip();
         for close in closers {
             close();
@@ -420,10 +476,7 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("addr", &self.addr)
-            .field(
-                "active_connections",
-                &*self.inner.active.lock().expect("connection gauge poisoned"),
-            )
+            .field("active_connections", &*lock_recover(&self.inner.active))
             .field("max_connections", &self.inner.config.max_connections)
             .finish()
     }
@@ -453,6 +506,21 @@ fn accept_loop(
         if inner.shutdown.load(Ordering::SeqCst) {
             return; // `stream` is the shutdown wake-up (or a late client).
         }
+        // Injected accept failures exercise the error path above without
+        // needing real fd exhaustion: the connection is dropped unserved
+        // and the accept loop keeps running.
+        match inner.config.faults.hit(points::SERVER_ACCEPT) {
+            Some(Fault::Error | Fault::Disconnect) => {
+                inner
+                    .metrics
+                    .accept_errors
+                    .note("injected accept failure (chaos)");
+                drop(stream);
+                continue;
+            }
+            Some(Fault::Delay(delay)) => thread::sleep(delay),
+            _ => {}
+        }
         inner.metrics.connections_opened.inc();
         // Request/response latency beats throughput for µs-scale cached
         // queries; disable Nagle coalescing.
@@ -470,7 +538,7 @@ fn accept_loop(
                 handle_connection(&guard.0, stream, tx);
             })
             .expect("spawning a connection handler failed");
-        let mut handlers = handlers.lock().expect("handler list poisoned");
+        let mut handlers = lock_recover(&handlers);
         handlers.retain(|(h, _)| !h.is_finished());
         handlers.push((handle, closer));
     }
@@ -485,6 +553,7 @@ fn run_batcher(
     rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>,
     max_batch: usize,
     metrics: Arc<ServerMetrics>,
+    faults: Faults,
 ) {
     // A handler that hung up (its connection died mid-query) cannot
     // receive its reply; count the drop instead of ignoring it.
@@ -500,7 +569,7 @@ fn run_batcher(
         // Hold the queue lock only while assembling a batch, never while
         // executing one.
         let items = {
-            let rx = rx.lock().expect("batch queue lock poisoned");
+            let rx = lock_recover(&rx);
             match rx.recv() {
                 Ok(first) => {
                     let mut items = vec![first];
@@ -522,8 +591,16 @@ fn run_batcher(
             .unzip();
         // The batcher must survive anything a batch does: a panic here
         // would zombify the whole server (connections alive, every query
-        // answered "shutting down").  `catch_unwind` contains it.
+        // answered "shutting down").  `catch_unwind` contains it.  The
+        // `server/batcher` injection point sits inside the barrier so an
+        // injected panic exercises exactly the containment a real
+        // execution panic would.
         let batch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match faults.hit(points::SERVER_BATCHER) {
+                Some(Fault::Panic) => panic!("injected: batcher panic"),
+                Some(Fault::Delay(delay)) => thread::sleep(delay),
+                _ => {}
+            }
             engine.execute_batch(&requests)
         }));
         match batch {
@@ -532,19 +609,36 @@ fn run_batcher(
                     deliver(reply, Ok(response));
                 }
             }
-            Ok(Err(_)) | Err(_) => {
-                metrics.batch_reruns.inc();
+            ref failed @ (Ok(Err(_)) | Err(_)) => {
+                // Record why the batch is being split before re-running it,
+                // per cause: a contained panic, an expired deadline, or a
+                // typed submission (resolution) error.
+                match failed {
+                    Err(_) => metrics.rerun_panic.inc(),
+                    Ok(Err(EngineError::DeadlineExceeded { .. })) => {
+                        metrics.rerun_deadline.inc();
+                    }
+                    _ => metrics.rerun_resolution.inc(),
+                }
                 // The engine fails a whole batch up front on one bad
                 // request, and a panicking execution fails it too; the
                 // batch mixes tenants, so isolate the failure.  Validation
                 // (resolution without execution, cheap) picks out the
-                // offending requests — they get their typed errors — and
-                // the valid remainder re-runs as *one* batch, keeping the
-                // engine pool's parallelism and the intra-batch dedup for
-                // the innocent peers.
+                // offending requests — they get their typed errors, and an
+                // already-expired deadline gets its typed error here too —
+                // and the valid remainder re-runs as *one* batch, keeping
+                // the engine pool's parallelism and the intra-batch dedup
+                // for the innocent peers.
                 let mut valid: Vec<BatchItem> = Vec::with_capacity(requests.len());
                 for (request, reply) in requests.into_iter().zip(replies) {
                     match engine.validate(&request) {
+                        Ok(()) if request.deadline().is_some_and(|d| Instant::now() >= d) => {
+                            let label = request.label.clone();
+                            deliver(
+                                &reply,
+                                Err(BatchError::Engine(EngineError::DeadlineExceeded { label })),
+                            );
+                        }
                         Ok(()) => valid.push(BatchItem { request, reply }),
                         Err(e) => {
                             deliver(&reply, Err(BatchError::Engine(e)));
@@ -599,14 +693,39 @@ fn token_is_valid(token: &str) -> bool {
     !token.is_empty() && token.len() <= 128 && !token.chars().any(char::is_control)
 }
 
+/// Shuts the wrapped stream down when the handler stops serving it — on
+/// every return path *and* on a handler panic.  Without this, a server-
+/// initiated close over TCP would not reach the peer until the shutdown
+/// `closer` clone (a duplicated fd) is swept on some later accept, leaving
+/// a client with no read timeout blocked forever.
+struct StreamGuard<C: Connection>(C);
+
+impl<C: Connection> Drop for StreamGuard<C> {
+    fn drop(&mut self) {
+        self.0.shutdown_stream();
+    }
+}
+
 /// Serve one connection until the peer closes, the transport fails, or
 /// framing is lost.
-fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::Sender<BatchItem>) {
+fn handle_connection<C: Connection>(inner: &Inner, conn: C, batch_tx: mpsc::Sender<BatchItem>) {
+    let mut guard = StreamGuard(conn);
+    let conn = &mut guard.0;
     let engine: &Engine = &inner.engine;
     let metrics: &ServerMetrics = &inner.metrics;
+    let faults = &inner.config.faults;
     let mut session: Option<Session<'_>> = None;
     loop {
-        let body = match read_frame(&mut conn, MAX_REQUEST_FRAME) {
+        // `server/read`: `Delay` stalls the handler before the read (the
+        // client sees a slow server); `Disconnect` closes the connection
+        // before the next frame is read (the client's request vanishes —
+        // a mid-exchange connection reset).
+        match faults.hit(points::SERVER_READ) {
+            Some(Fault::Delay(delay)) => thread::sleep(delay),
+            Some(Fault::Disconnect) => return,
+            _ => {}
+        }
+        let body = match read_frame(conn, MAX_REQUEST_FRAME) {
             Ok(Some(body)) => {
                 metrics.frames_read.inc();
                 metrics.bytes_read.add(body.len() as u64 + 4);
@@ -620,7 +739,7 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
                     ErrorKind::FrameTooLarge,
                     format!("request frame of {declared} bytes exceeds the {max}-byte bound"),
                 );
-                let _ = send(&mut conn, &Response::Error(error), metrics);
+                let _ = send(conn, &Response::Error(error), metrics);
                 return;
             }
             Err(FrameError::Io(_)) => return,
@@ -636,7 +755,7 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
                     ErrorKind::Protocol
                 };
                 if send(
-                    &mut conn,
+                    conn,
                     &Response::Error(WireError::new(kind, e.message())),
                     metrics,
                 )
@@ -653,7 +772,7 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
         let token = request.token();
         if !token_is_valid(token) {
             let error = WireError::new(ErrorKind::Protocol, "invalid auth token");
-            if send(&mut conn, &Response::Error(error), metrics).is_err() {
+            if send(conn, &Response::Error(error), metrics).is_err() {
                 return;
             }
             continue;
@@ -664,7 +783,7 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
                     ErrorKind::AuthMismatch,
                     "connection is bound to a different token",
                 );
-                if send(&mut conn, &Response::Error(error), metrics).is_err() {
+                if send(conn, &Response::Error(error), metrics).is_err() {
                     return;
                 }
                 continue;
@@ -674,56 +793,124 @@ fn handle_connection<C: Connection>(inner: &Inner, mut conn: C, batch_tx: mpsc::
         }
         let session = session.as_mut().expect("session bound above");
 
+        // `server/handle`: a slow (or crashing) handler between decode and
+        // dispatch.  A panic here is contained exactly like a real handler
+        // bug: the thread dies, `SlotGuard` frees the connection slot.
+        match faults.hit(points::SERVER_HANDLE) {
+            Some(Fault::Delay(delay)) => thread::sleep(delay),
+            Some(Fault::Panic) => panic!("injected: connection handler panic"),
+            _ => {}
+        }
         let response = match request {
             Request::Stats { .. } => Response::Stats(StatsReply {
                 session: session.stats(),
                 cache: engine.cache_stats(),
             }),
             Request::Metrics { .. } => Response::Metrics(engine.metrics().snapshot()),
-            Request::QueryText { query, .. } => match parse_query(&query) {
-                Ok(plan) => run_query(session, plan, &batch_tx, metrics),
+            Request::QueryText {
+                query, deadline_ms, ..
+            } => match parse_query(&query) {
+                Ok(plan) => run_query(inner, session, plan, deadline_ms, &batch_tx),
                 Err(e) => Response::Error(WireError::new(ErrorKind::Query, e.to_string())),
             },
-            Request::QueryPlan { plan, .. } => run_query(session, plan, &batch_tx, metrics),
+            Request::QueryPlan {
+                plan, deadline_ms, ..
+            } => run_query(inner, session, plan, deadline_ms, &batch_tx),
         };
-        if send(&mut conn, &response, metrics).is_err() {
+        // `server/write`: `Torn` ships a partial frame and drops the
+        // connection (the client sees a mid-frame EOF); `Disconnect`
+        // drops it before any response byte.
+        match faults.hit(points::SERVER_WRITE) {
+            Some(Fault::Torn) => {
+                torn_write(conn, &response);
+                return;
+            }
+            Some(Fault::Disconnect) => return,
+            Some(Fault::Delay(delay)) => thread::sleep(delay),
+            _ => {}
+        }
+        if send(conn, &response, metrics).is_err() {
             return;
         }
     }
 }
 
-/// Label the plan through the connection's session, hand it to the
-/// batcher, wait for the engine's answer, account it.
+/// Write the frame header and the first half of the response body, then
+/// abandon the connection — the `server/write` `Torn` fault, exercising
+/// the client's handling of a response cut off mid-frame.
+fn torn_write<C: Connection>(conn: &mut C, response: &Response) {
+    let Ok(body) = response.encode() else { return };
+    let mut partial = (body.len() as u32).to_be_bytes().to_vec();
+    partial.extend_from_slice(&body[..body.len() / 2]);
+    let _ = conn.write_all(&partial);
+    let _ = conn.flush();
+}
+
+/// Label the plan through the connection's session, attach its deadline,
+/// pass the load-shedding gate, hand it to the batcher, wait for the
+/// engine's answer, account it.
 fn run_query(
+    inner: &Inner,
     session: &mut Session<'_>,
     plan: Plan,
+    deadline_ms: u32,
     batch_tx: &mpsc::Sender<BatchItem>,
-    metrics: &ServerMetrics,
 ) -> Response {
+    let metrics = &inner.metrics;
     let shutting_down = || {
         Response::Error(WireError::new(
             ErrorKind::Shutdown,
             "server is shutting down",
         ))
     };
-    let request = session.issue(plan);
+    // Admission control: reserve an in-flight slot or shed.  The counter
+    // is reserved *before* the queue send so the bound covers queued and
+    // executing queries alike, and released on every exit path below.
+    let occupied = inner.in_flight.fetch_add(1, Ordering::SeqCst);
+    if occupied >= inner.config.max_in_flight {
+        inner.in_flight.fetch_sub(1, Ordering::SeqCst);
+        metrics.shed.inc();
+        return Response::Error(
+            WireError::new(
+                ErrorKind::Overloaded,
+                format!(
+                    "server is at its in-flight bound of {}; back off and retry",
+                    inner.config.max_in_flight
+                ),
+            )
+            .with_retry_after_ms(inner.config.shed_retry_after_ms),
+        );
+    }
+    metrics.requests_in_flight.inc();
+
+    let mut request = session.issue(plan);
+    if deadline_ms > 0 {
+        // Stamped at admission, so the budget covers queueing *and*
+        // execution — exactly what a client timing out on its read wants
+        // the server to agree with.
+        request = request.with_deadline(Instant::now() + Duration::from_millis(deadline_ms.into()));
+    }
     let (reply_tx, reply_rx) = mpsc::channel();
-    if batch_tx
+    let outcome = if batch_tx
         .send(BatchItem {
             request,
             reply: reply_tx,
         })
         .is_err()
     {
-        return shutting_down();
-    }
-    metrics.requests_in_flight.inc();
-    let outcome = reply_rx.recv();
+        Err(mpsc::RecvError)
+    } else {
+        reply_rx.recv()
+    };
+    inner.in_flight.fetch_sub(1, Ordering::SeqCst);
     metrics.requests_in_flight.dec();
     match outcome {
         Ok(Ok(response)) => {
             session.record(&response);
             Response::Reply(QueryReply::from_response(&response))
+        }
+        Ok(Err(BatchError::Engine(e @ EngineError::DeadlineExceeded { .. }))) => {
+            Response::Error(WireError::new(ErrorKind::DeadlineExceeded, e.to_string()))
         }
         Ok(Err(BatchError::Engine(e))) => {
             Response::Error(WireError::new(ErrorKind::Query, e.to_string()))

@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A blocking, ordered, reliable byte stream — everything the wire
 /// protocol requires of its carrier.
@@ -31,6 +32,36 @@ pub trait Connection: Read + Write + Send {
     fn closer(&self) -> Box<dyn FnOnce() + Send> {
         Box::new(|| {})
     }
+
+    /// Bound how long a blocking read may park before failing with
+    /// [`io::ErrorKind::TimedOut`] (or `WouldBlock` — TCP reports either);
+    /// `None` restores indefinite blocking.  The client maps both kinds to
+    /// its typed `Timeout` error.  The default accepts and ignores the
+    /// bound — a custom transport without timeout support simply keeps
+    /// blocking reads, it does not error.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let _ = timeout;
+        Ok(())
+    }
+
+    /// Bound how long a blocking write may park (same error contract as
+    /// [`set_read_timeout`](Connection::set_read_timeout)).  Ignored by
+    /// transports whose writes cannot block (the in-memory loopback).
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        let _ = timeout;
+        Ok(())
+    }
+
+    /// Terminate the stream *now*, so the peer observes end-of-stream even
+    /// if other handles to the same underlying transport are still alive.
+    /// Dropping is not always enough: a TCP [`closer`](Connection::closer)
+    /// is a duplicated file descriptor, so dropping the handler's stream
+    /// alone would not send FIN until that clone is also swept — leaving a
+    /// peer blocked in a read with no timeout waiting forever.  The server
+    /// calls this whenever a handler stops serving a connection.  The
+    /// default is a no-op, correct for transports whose drop already closes
+    /// the stream for the peer.
+    fn shutdown_stream(&mut self) {}
 }
 
 impl Connection for TcpStream {
@@ -41,6 +72,18 @@ impl Connection for TcpStream {
             }),
             Err(_) => Box::new(|| {}),
         }
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
+    }
+
+    fn shutdown_stream(&mut self) {
+        let _ = TcpStream::shutdown(self, std::net::Shutdown::Both);
     }
 }
 
@@ -73,13 +116,30 @@ impl PipeBuf {
         Ok(buf.len())
     }
 
-    fn read(&self, buf: &mut [u8]) -> io::Result<usize> {
+    fn read(&self, buf: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut state = self.state.lock().expect("pipe lock poisoned");
         while state.data.is_empty() {
             if state.closed {
                 return Ok(0); // end of stream
             }
-            state = self.readable.wait(state).expect("pipe lock poisoned");
+            match deadline {
+                None => state = self.readable.wait(state).expect("pipe lock poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "loopback read timed out",
+                        ));
+                    }
+                    state = self
+                        .readable
+                        .wait_timeout(state, deadline - now)
+                        .expect("pipe lock poisoned")
+                        .0;
+                }
+            }
         }
         let n = state.data.len().min(buf.len());
         for slot in buf.iter_mut().take(n) {
@@ -104,11 +164,14 @@ impl PipeBuf {
 pub struct PipeStream {
     incoming: Arc<PipeBuf>,
     outgoing: Arc<PipeBuf>,
+    /// Read timeout ([`Connection::set_read_timeout`]); writes to the
+    /// unbounded in-memory buffer never block, so no write counterpart.
+    read_timeout: Option<Duration>,
 }
 
 impl Read for PipeStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        self.incoming.read(buf)
+        self.incoming.read(buf, self.read_timeout)
     }
 }
 
@@ -136,6 +199,18 @@ impl Connection for PipeStream {
         let incoming = Arc::clone(&self.incoming);
         Box::new(move || incoming.close())
     }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    fn shutdown_stream(&mut self) {
+        // Same effect as dropping: both directions close immediately (the
+        // pipe has no fd-clone aliasing to defeat).
+        self.incoming.close();
+        self.outgoing.close();
+    }
 }
 
 /// A connected in-memory duplex pair: bytes written to one endpoint are
@@ -147,10 +222,12 @@ pub fn loopback() -> (PipeStream, PipeStream) {
         PipeStream {
             incoming: Arc::clone(&b_to_a),
             outgoing: Arc::clone(&a_to_b),
+            read_timeout: None,
         },
         PipeStream {
             incoming: a_to_b,
             outgoing: b_to_a,
+            read_timeout: None,
         },
     )
 }
@@ -183,6 +260,26 @@ mod tests {
         // The reader is (very likely) parked by now; writing wakes it.
         a.write_all(b"abc").unwrap();
         assert_eq!(reader.join().unwrap(), *b"abc");
+    }
+
+    #[test]
+    fn read_timeout_fires_and_clears() {
+        let (mut a, mut b) = loopback();
+        a.set_read_timeout(Some(Duration::from_millis(10))).unwrap();
+        let err = a.read(&mut [0u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // Data present: the timeout is irrelevant.
+        b.write_all(b"hi").unwrap();
+        assert_eq!(a.read(&mut [0u8; 4]).unwrap(), 2);
+        // Cleared: reads block again (delivered by a late writer).
+        a.set_read_timeout(None).unwrap();
+        let reader = thread::spawn(move || {
+            let mut buf = [0u8; 2];
+            a.read_exact(&mut buf).unwrap();
+            buf
+        });
+        b.write_all(b"ok").unwrap();
+        assert_eq!(reader.join().unwrap(), *b"ok");
     }
 
     #[test]

@@ -279,7 +279,13 @@ fn metrics_probe_roundtrips_with_prometheus_text() {
     assert_eq!(snapshot.counter("server_frames_written_total", &[]), 3);
     assert_eq!(snapshot.gauge("server_connections_active", &[]), 1);
     assert_eq!(snapshot.gauge("server_requests_in_flight", &[]), 0);
-    assert_eq!(snapshot.counter("server_batch_reruns_total", &[]), 0);
+    for cause in ["resolution", "panic", "deadline"] {
+        assert_eq!(
+            snapshot.counter("server_batch_reruns_total", &[("cause", cause)]),
+            0
+        );
+    }
+    assert_eq!(snapshot.counter("server_shed_total", &[]), 0);
 
     let text = client.metrics_text().unwrap();
     assert!(text.contains("# TYPE engine_queries_total counter"));
@@ -377,6 +383,7 @@ fn malformed_frames_get_typed_errors_without_killing_the_server() {
         &mut conn,
         &Request::QueryText {
             token: "t".into(),
+            deadline_ms: 0,
             query: "SCAN orders | AGG count BY region".into(),
         }
         .encode()

@@ -110,6 +110,7 @@ fn arbitrary_plans_roundtrip_bit_identically() {
         let plan = arbitrary_plan(&mut rng, depth);
         let request = Request::QueryPlan {
             token: ident(&mut rng),
+            deadline_ms: rng.gen_range(0u64..5_000) as u32,
             plan,
         };
         let body = match request.encode() {
@@ -145,6 +146,7 @@ fn overdeep_plans_are_typed_errors_not_stack_overflows() {
     }
     let body = Request::QueryPlan {
         token: "t".into(),
+        deadline_ms: 0,
         plan,
     }
     .encode()
@@ -160,6 +162,7 @@ fn mutated_and_truncated_bodies_never_panic() {
         let plan = arbitrary_plan(&mut rng, 4);
         let body = Request::QueryPlan {
             token: "t".into(),
+            deadline_ms: 0,
             plan,
         }
         .encode()
@@ -186,6 +189,7 @@ fn oversized_fields_are_typed_encode_errors() {
     let cols: Vec<String> = (0..70_000).map(|i| format!("c{i}")).collect();
     let err = Request::QueryPlan {
         token: "t".into(),
+        deadline_ms: 0,
         plan: Plan::scan("t").project(cols),
     }
     .encode()
@@ -195,6 +199,7 @@ fn oversized_fields_are_typed_encode_errors() {
     // An oversized bytes constant inside a predicate.
     let err = Request::QueryPlan {
         token: "t".into(),
+        deadline_ms: 0,
         plan: Plan::scan("t").filter(WidePredicate::equals(
             "tag",
             Value::Bytes(vec![0x41; 70_000]),

@@ -380,12 +380,15 @@ fn metric_snapshots_depend_only_on_public_parameters() {
         audit_a, audit_b,
         "leakage audit records must carry public parameters only"
     );
-    // Sanity: the snapshots actually cover the run.
+    // Sanity: the snapshots actually cover the run.  (Batch and
+    // cache-hit counts are timing-classed — re-runs and retries perturb
+    // them — so the content view is checked through the
+    // fresh-execution and audit counters instead.)
     assert_eq!(
         snapshot_a.counter("engine_queries_total", &[("result", "executed")]),
         2
     );
-    assert_eq!(snapshot_a.counter("engine_batches_total", &[]), 2);
+    assert_eq!(snapshot_a.counter("engine_audit_records_total", &[]), 2);
 }
 
 /// A result-cache hit returns a bit-identical `QueryResponse` to the

@@ -1,0 +1,159 @@
+//! Figure 8 companion: single-query scaling with intra-query parallelism.
+//!
+//! The paper's Figure 8 sweeps input size for the sequential prototype;
+//! this report holds one query fixed — an oblivious join over balanced
+//! pair tables — and sweeps `intra_query_threads` instead, measuring how
+//! wall time changes when the engine partitions each sort wave's gate runs
+//! across its resident worker pool.  Because the partitioned passes fold
+//! their trace fragments back in schedule order, every point executes the
+//! *bit-identical* access sequence (the report asserts the digests agree),
+//! so the sweep isolates pure scheduling cost: any speedup is free of
+//! leakage change by construction.
+//!
+//! Alongside wall time each point records the engine's own telemetry —
+//! `engine_parallel_chunks_total` (partitions actually forked) and
+//! `engine_parallel_barrier_ns_total` (time spent joining waves) — so a
+//! flat curve is diagnosable from the snapshot alone: no chunks means the
+//! pass never engaged, high barrier time means the waves are too fine.
+//!
+//! Prints one JSON document (schema `obliv-bench/fig8-scaling/v1`) to
+//! stdout; pass `--out <path>` to also write it to a file (CI redirects it
+//! into the `BENCH_8.json` artifact).
+
+use std::time::Instant;
+
+use obliv_engine::{Engine, EngineConfig, Plan, QueryRequest};
+use obliv_join::Table;
+
+/// Rows per side: large enough that the bitonic schedules have wide waves
+/// worth partitioning, small enough for an every-push CI smoke run.
+const ROWS_PER_SIDE: usize = 2048;
+/// Thread counts swept (1 = the serial baseline driver).
+const INTRA_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const ITERS: usize = 5;
+
+fn pair_table(rows: usize, salt: u64) -> Table {
+    Table::from_pairs((0..rows as u64).map(|i| (i % 64, (i * 37 + salt) % 1009)))
+}
+
+fn engine(intra: usize) -> Engine {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        intra_query_threads: intra,
+        // Mid threshold: wide waves fork, narrow ones stay serial — the
+        // same trade the production default makes at larger n.
+        intra_query_min_gates: 512,
+        result_cache: false,
+        ..Default::default()
+    });
+    engine
+        .register_table("orders", pair_table(ROWS_PER_SIDE, 3))
+        .unwrap();
+    engine
+        .register_table("customers", pair_table(ROWS_PER_SIDE, 11))
+        .unwrap();
+    engine
+}
+
+fn request() -> QueryRequest {
+    QueryRequest::new(
+        "fig8-join",
+        Plan::scan("orders")
+            .join(Plan::scan("customers"), "key", "key")
+            .project(["key", "right_value"]),
+    )
+}
+
+struct Point {
+    intra: usize,
+    median_secs: f64,
+    parallel_chunks: u64,
+    barrier_ns: u64,
+    digest: String,
+}
+
+fn measure(intra: usize) -> Point {
+    let engine = engine(intra);
+    let batch = vec![request()];
+    let mut digest = String::new();
+    let mut samples: Vec<f64> = (0..ITERS + 1)
+        .map(|_| {
+            let start = Instant::now();
+            let responses = engine.execute_batch(&batch).unwrap();
+            let secs = start.elapsed().as_secs_f64();
+            digest = responses[0].summary.trace_digest.clone();
+            secs
+        })
+        .collect();
+    samples.remove(0); // warm-up iteration
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let snap = engine.metrics().snapshot();
+    Point {
+        intra,
+        median_secs: samples[samples.len() / 2],
+        parallel_chunks: snap.counter("engine_parallel_chunks_total", &[]),
+        barrier_ns: snap.counter("engine_parallel_barrier_ns_total", &[]),
+        digest,
+    }
+}
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(arg) = args.next() {
+            if arg == "--out" {
+                path = args.next();
+            }
+        }
+        path
+    };
+
+    let points: Vec<Point> = INTRA_SWEEP.iter().map(|&intra| measure(intra)).collect();
+
+    // The whole premise: every chunk count replays the identical trace.
+    for p in &points[1..] {
+        assert_eq!(
+            p.digest, points[0].digest,
+            "intra={} must be digest-identical to the serial baseline",
+            p.intra
+        );
+    }
+
+    let serial_secs = points[0].median_secs;
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\n      \"intra_query_threads\": {},\n      \
+                 \"median_secs\": {:.6},\n      \
+                 \"speedup_vs_serial\": {:.2},\n      \
+                 \"parallel_chunks\": {},\n      \
+                 \"barrier_ns\": {}\n    }}",
+                p.intra,
+                p.median_secs,
+                serial_secs / p.median_secs,
+                p.parallel_chunks,
+                p.barrier_ns,
+            )
+        })
+        .collect();
+    // Without spare cores every fork is pure scheduling overhead, so the
+    // sweep's shape is only meaningful relative to this.
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let json = format!(
+        "{{\n  \"schema\": \"obliv-bench/fig8-scaling/v1\",\n  \
+         \"query\": \"join orders customers ON key | project key,right_value\",\n  \
+         \"rows_per_side\": {},\n  \"workers\": 2,\n  \"host_cpus\": {},\n  \
+         \"trace_digest\": \"{}\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        ROWS_PER_SIDE,
+        host_cpus,
+        points[0].digest,
+        rows.join(",\n"),
+    );
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

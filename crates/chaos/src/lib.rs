@@ -365,6 +365,9 @@ pub mod points {
     /// Engine worker, at job start (`Panic` = worker panic, `Delay` =
     /// artificially slow job).
     pub const ENGINE_WORKER: &str = "engine/worker";
+    /// One partition task of an intra-query parallel pass, just before it
+    /// executes (`Panic` = failed partition, `Delay` = straggler).
+    pub const ENGINE_PARALLEL_WORKER: &str = "engine/parallel_worker";
 }
 
 #[cfg(all(test, feature = "inject"))]

@@ -50,7 +50,7 @@ pub fn align_table<S: TraceSink, P: Payload>(
     }
 
     // One oblivious sort by (j, ii) puts every copy where S₁ expects it.
-    bitonic::sort_by_key(s2, |r: &AugRecord<P>| (r.key, r.align_idx));
+    bitonic::par_sort_by_key(s2, |r: &AugRecord<P>| (r.key, r.align_idx));
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use obliv_join::record::{AugRecord, Entry, TableId};
 use obliv_join::Table;
-use obliv_primitives::{oblivious_compact, Choice, CtSelect, Routable};
+use obliv_primitives::{oblivious_compact, par_map_pass, Choice, CtSelect, Routable};
 use obliv_trace::{TraceSink, Tracer};
 
 /// A selection predicate over `(key, value)` rows.
@@ -55,15 +55,15 @@ pub fn oblivious_filter<S: TraceSink>(
         .collect();
     let mut buf = tracer.alloc_from(records);
 
-    // Mark non-matching rows as null; every slot is written back.
-    for i in 0..buf.len() {
-        let r = buf.read(i);
-        tracer.bump_linear_steps(1);
+    // Mark non-matching rows as null; every slot is written back.  The
+    // per-row decision is independent, so the pass splits across the
+    // installed parallelism context (if any).
+    par_map_pass(&mut buf, move |_, r: AugRecord| {
         let keep = predicate.matches(&r.entry());
         let mut dropped = r;
         dropped.set_null();
-        buf.write(i, AugRecord::ct_select(keep, r, dropped));
-    }
+        AugRecord::ct_select(keep, r, dropped)
+    });
 
     // Gather the survivors; only now is their count revealed.
     let compacted = oblivious_compact(buf);
@@ -80,21 +80,19 @@ pub fn oblivious_filter<S: TraceSink>(
 pub fn oblivious_project<S, F>(tracer: &Tracer<S>, table: &Table, map: F) -> Table
 where
     S: TraceSink,
-    F: Fn(Entry) -> Entry,
+    F: Fn(Entry) -> Entry + Send + Sync + 'static,
 {
     let records: Vec<AugRecord> = table
         .iter()
         .map(|&e| AugRecord::from_entry(e, TableId::Left))
         .collect();
     let mut buf = tracer.alloc_from(records);
-    for i in 0..buf.len() {
-        let mut r = buf.read(i);
-        tracer.bump_linear_steps(1);
+    par_map_pass(&mut buf, move |_, mut r: AugRecord| {
         let mapped = map(r.entry());
         r.key = mapped.key;
         r.value = mapped.value;
-        buf.write(i, r);
-    }
+        r
+    });
     buf.as_slice().iter().map(|r| (r.key, r.value)).collect()
 }
 

@@ -498,15 +498,15 @@ fn wide_filter_w<const W: usize, S: TraceSink>(
         .collect();
     let mut buf: TrackedBuffer<WideRec<W>, S> = tracer.alloc_from(recs);
 
-    // Mark non-matching rows null; every slot is written back.
-    for i in 0..n {
-        let r = buf.read(i);
-        tracer.bump_linear_steps(1);
+    // Mark non-matching rows null; every slot is written back.  Rows are
+    // independent, so the pass splits across the installed parallelism
+    // context (if any).
+    obliv_primitives::par_map_pass(&mut buf, move |_, r: WideRec<W>| {
         let keep = matcher.matches(r.cmp);
         let mut dropped = r;
         dropped.set_null();
-        buf.write(i, WideRec::ct_select(keep, r, dropped));
-    }
+        WideRec::ct_select(keep, r, dropped)
+    });
 
     // Gather the survivors; only their count is revealed.
     let compacted = oblivious_compact(buf);
@@ -909,7 +909,7 @@ fn wide_distinct_w<const W: usize, S: TraceSink>(
 
     // Sort whole encoded rows so duplicates become adjacent, then mark
     // every row equal to its predecessor null in one fixed scan.
-    bitonic::sort_by_key(&mut buf, |r: &WideRec<W>| r.words);
+    bitonic::par_sort_by_key(&mut buf, |r: &WideRec<W>| r.words);
     let mut prev = [0u64; W];
     let mut have_prev = Choice::FALSE;
     for i in 0..n {
@@ -1029,7 +1029,7 @@ fn wide_membership_w<const W: usize, S: TraceSink>(
 
     // Witnesses (tag 2) must precede the probed rows (tag 1) within each
     // key group, so sort by (key, tag descending).
-    bitonic::sort_by_key(&mut buf, |r: &WideRec<W>| (r.cmp, std::cmp::Reverse(r.tag)));
+    bitonic::par_sort_by_key(&mut buf, |r: &WideRec<W>| (r.cmp, std::cmp::Reverse(r.tag)));
 
     let keep_matching = Choice::from_bool(keep_matching);
     let mut witness_key = 0u64;

@@ -46,6 +46,7 @@ pub mod ct;
 pub mod distribute;
 pub mod encode;
 pub mod expand;
+pub mod par;
 pub mod prp;
 mod routable;
 pub mod sort;
@@ -58,6 +59,9 @@ pub use encode::{
     encode_bytes_be, encode_i64, encode_u64, MAX_BYTES_WORD,
 };
 pub use expand::{oblivious_expand, Expansion};
+pub use par::{
+    context, par_map_pass, with_parallelism, ParCtx, ParExecutor, ParStats, ParTask, SerialExecutor,
+};
 pub use prp::Prp;
 pub use routable::{Keyed, Routable};
 pub use sort::{is_sorted_by_key, Direction};

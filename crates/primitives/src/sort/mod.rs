@@ -17,6 +17,7 @@
 pub mod bitonic;
 pub mod network;
 pub mod odd_even;
+pub mod wave;
 
 use obliv_trace::{TraceSink, TrackedBuffer};
 

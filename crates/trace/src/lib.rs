@@ -49,6 +49,7 @@ mod access;
 mod counters;
 pub mod sha256;
 mod sink;
+mod subtrace;
 mod tracer;
 mod tracked;
 
@@ -57,6 +58,7 @@ pub use counters::OpCounters;
 pub use sink::{
     AccessTotals, CollectingSink, CountingSink, HashingSink, NullSink, TeeSink, TraceSink,
 };
+pub use subtrace::{SubEvent, SubTrace};
 pub use tracer::Tracer;
 pub use tracked::TrackedBuffer;
 

@@ -132,6 +132,40 @@ impl<T: Copy, S: TraceSink> TrackedBuffer<T, S> {
         (&mut head[lo..lo + count], &mut tail[..count])
     }
 
+    /// Batched emission for an elementwise read-modify-write sweep of
+    /// `[start, start+count)`: report one coalesced read run followed by
+    /// one coalesced write run in a single tracer transaction and return
+    /// the window mutably.
+    ///
+    /// The caller must read and overwrite every element of the window (the
+    /// events claim `count` reads and `count` writes); the mark-pass
+    /// drivers do.  As with the other batched emitters, only sweeps whose
+    /// extent is a function of public parameters may use this.
+    ///
+    /// # Panics
+    /// Panics if the window is out of bounds.
+    #[inline]
+    pub fn rw_run_mut(&mut self, start: usize, count: usize) -> &mut [T] {
+        self.tracer
+            .record_rw_runs(self.id, start as u64, count as u64);
+        &mut self.data[start..start + count]
+    }
+
+    /// Out-of-model mutable access to the whole array, for parallel
+    /// staging.
+    ///
+    /// Intra-query parallel drivers copy disjoint windows out to worker
+    /// scratch and copy the results back through this view; the traced
+    /// events for the pass are emitted separately via
+    /// [`Tracer::fold_subtraces`], exactly as the serial walk would have
+    /// emitted them.  Like [`as_slice`](TrackedBuffer::as_slice), this is
+    /// **not** part of the oblivious programming model and records nothing;
+    /// algorithm code must pair it with a fold that accounts for every
+    /// access.
+    pub fn staging_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// Out-of-model inspection of the whole array.
     ///
     /// This is **not** part of the oblivious programming model — it exists

@@ -1,0 +1,257 @@
+//! Access-pattern checker for sorting-network traces.
+//!
+//! The type system in [`check`](crate::check) certifies obliviousness
+//! *symbolically*, over the small verification language.  This module adds
+//! the complementary *concrete* check: given a recorded public-memory
+//! access stream (from a
+//! [`CollectingSink`](obliv_trace::CollectingSink)) and the
+//! [`RunSchedule`] the sort
+//! claims to have executed, confirm that the stream is exactly the serial
+//! reference walk of that schedule.
+//!
+//! This is what keeps the intra-query parallel sort honest: partitions
+//! buffer their accesses as
+//! [`SubTrace`](obliv_trace::SubTrace) fragments and fold them
+//! back in schedule order, and the folded stream must be indistinguishable
+//! from the serial walk.  A *correctly* folded parallel trace passes this
+//! checker; a fold applied out of order emits its runs at the wrong
+//! offsets and is rejected at the first diverging access — the regression
+//! tests below pin both directions.
+
+use obliv_primitives::sort::network::RunSchedule;
+use obliv_trace::{Access, ArrayId};
+
+/// Why a recorded access stream is not the serial reference walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessCheckError {
+    /// The stream has the wrong number of accesses — entire runs are
+    /// missing or duplicated (each gate run contributes `4 × count`
+    /// accesses: two read runs and two write runs over its windows).
+    LengthMismatch {
+        /// Accesses the schedule's serial walk performs.
+        expected: usize,
+        /// Accesses actually recorded.
+        actual: usize,
+    },
+    /// The stream diverges from the reference walk at one position.
+    Divergence {
+        /// Index of the first differing access.
+        at: usize,
+        /// What the serial walk does there.
+        expected: Access,
+        /// What the stream recorded there.
+        actual: Access,
+    },
+}
+
+impl std::fmt::Display for AccessCheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessCheckError::LengthMismatch { expected, actual } => write!(
+                f,
+                "access stream has {actual} accesses, the schedule's serial walk has {expected}"
+            ),
+            AccessCheckError::Divergence {
+                at,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "access stream diverges at position {at}: expected {expected:?}, got {actual:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccessCheckError {}
+
+/// The serial reference walk of `schedule` over `array`: for every gate
+/// run, a read run over each of its two windows followed by a write run
+/// over each — the exact emission order of the serial sort driver (and of
+/// a correctly folded parallel execution).
+pub fn expected_sort_accesses(array: ArrayId, schedule: &RunSchedule) -> Vec<Access> {
+    let mut expected = Vec::with_capacity(4 * schedule.gate_count() as usize);
+    for run in schedule.runs() {
+        let lo = run.lo as u64;
+        let hi = (run.lo + run.stride) as u64;
+        let count = run.count as u64;
+        for start in [lo, hi] {
+            expected.extend((start..start + count).map(|i| Access::read(array, i)));
+        }
+        for start in [lo, hi] {
+            expected.extend((start..start + count).map(|i| Access::write(array, i)));
+        }
+    }
+    expected
+}
+
+/// Check `actual` element-wise against a precomputed reference stream.
+pub fn check_against_reference(
+    expected: &[Access],
+    actual: &[Access],
+) -> Result<(), AccessCheckError> {
+    if expected.len() != actual.len() {
+        return Err(AccessCheckError::LengthMismatch {
+            expected: expected.len(),
+            actual: actual.len(),
+        });
+    }
+    for (at, (want, got)) in expected.iter().zip(actual).enumerate() {
+        if want != got {
+            return Err(AccessCheckError::Divergence {
+                at,
+                expected: *want,
+                actual: *got,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check that `actual` is exactly the serial walk of `schedule` over
+/// `array`.
+pub fn check_sort_accesses(
+    array: ArrayId,
+    schedule: &RunSchedule,
+    actual: &[Access],
+) -> Result<(), AccessCheckError> {
+    check_against_reference(&expected_sort_accesses(array, schedule), actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_primitives::sort::network::cached_bitonic_runs;
+    use obliv_primitives::sort::{bitonic, Direction};
+    use obliv_primitives::{with_parallelism, ParCtx, SerialExecutor};
+    use obliv_trace::{CollectingSink, SubTrace, Tracer};
+    use std::sync::Arc;
+
+    const N: usize = 32;
+
+    fn input() -> Vec<u64> {
+        (0..N as u64).map(|i| (i * 29) % 17).collect()
+    }
+
+    /// Accesses recorded while sorting only (the allocation is an event,
+    /// not an access, so the stream is purely the sort's).
+    fn sorted_accesses(par_chunks: Option<usize>) -> Vec<Access> {
+        let tracer = Tracer::new(CollectingSink::new());
+        let mut buf = tracer.alloc_from(input());
+        match par_chunks {
+            Some(chunks) => {
+                let ctx = ParCtx::new(Arc::new(SerialExecutor), chunks).with_min_gates_per_chunk(1);
+                with_parallelism(ctx, || bitonic::par_sort_by_key(&mut buf, |v: &u64| *v));
+            }
+            None => bitonic::sort_by_key(&mut buf, |v| *v),
+        }
+        tracer.with_sink(|s| s.accesses().to_vec())
+    }
+
+    #[test]
+    fn serial_sort_trace_is_the_reference_walk() {
+        let schedule = cached_bitonic_runs(N, Direction::Ascending);
+        let accesses = sorted_accesses(None);
+        let array = accesses[0].array;
+        check_sort_accesses(array, &schedule, &accesses).expect("serial walk is the reference");
+    }
+
+    #[test]
+    fn folded_parallel_sort_trace_passes() {
+        let schedule = cached_bitonic_runs(N, Direction::Ascending);
+        for chunks in [2usize, 4, 8] {
+            let accesses = sorted_accesses(Some(chunks));
+            let array = accesses[0].array;
+            check_sort_accesses(array, &schedule, &accesses)
+                .unwrap_or_else(|e| panic!("chunks={chunks}: {e}"));
+        }
+    }
+
+    #[test]
+    fn misordered_fold_is_rejected() {
+        // Replay the first run of the real schedule from two partition
+        // fragments folded in the WRONG order; the emitted runs land at
+        // the wrong offsets and the checker pins the first divergence.
+        let schedule = cached_bitonic_runs(N, Direction::Ascending);
+        let run = *schedule
+            .runs()
+            .iter()
+            .find(|r| r.count >= 2)
+            .expect("a 32-element network has multi-gate runs");
+        let parts = run.partition(2);
+
+        let fold = |reversed: bool| {
+            let tracer = Tracer::new(CollectingSink::new());
+            let buf = tracer.alloc_from(input());
+            let mut frags: Vec<SubTrace> = parts
+                .iter()
+                .map(|p| {
+                    let mut st = SubTrace::new();
+                    st.record_exchange(p.lo as u64, p.stride as u64, p.count as u64);
+                    st
+                })
+                .collect();
+            if reversed {
+                frags.reverse();
+            }
+            tracer.fold_subtraces(buf.id(), frags);
+            tracer.with_sink(|s| s.accesses().to_vec())
+        };
+
+        // Reference: the serial walk of just this run.
+        let expected: Vec<Access> = {
+            let array = ArrayId(0);
+            let (lo, hi, count) = (
+                run.lo as u64,
+                (run.lo + run.stride) as u64,
+                run.count as u64,
+            );
+            let mut v = Vec::new();
+            for start in [lo, hi] {
+                v.extend((start..start + count).map(|i| Access::read(array, i)));
+            }
+            for start in [lo, hi] {
+                v.extend((start..start + count).map(|i| Access::write(array, i)));
+            }
+            v
+        };
+
+        let good = fold(false);
+        check_against_reference(&expected, &good).expect("in-order fold matches the serial walk");
+
+        let bad = fold(true);
+        let err = check_against_reference(&expected, &bad)
+            .expect_err("a misordered fold must be rejected");
+        assert!(
+            matches!(err, AccessCheckError::Divergence { .. }),
+            "same length, wrong offsets: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_runs_are_a_length_mismatch() {
+        let schedule = cached_bitonic_runs(N, Direction::Ascending);
+        let accesses = sorted_accesses(None);
+        let array = accesses[0].array;
+        let truncated = &accesses[..accesses.len() - 4];
+        assert!(matches!(
+            check_sort_accesses(array, &schedule, truncated),
+            Err(AccessCheckError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_their_positions() {
+        let e = AccessCheckError::Divergence {
+            at: 7,
+            expected: Access::read(ArrayId(0), 1),
+            actual: Access::read(ArrayId(0), 2),
+        };
+        assert!(e.to_string().contains("position 7"));
+        let e = AccessCheckError::LengthMismatch {
+            expected: 8,
+            actual: 4,
+        };
+        assert!(e.to_string().contains('8') && e.to_string().contains('4'));
+    }
+}

@@ -29,11 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod ast;
 pub mod check;
 pub mod programs;
 pub mod trace;
 
+pub use access::{
+    check_against_reference, check_sort_accesses, expected_sort_accesses, AccessCheckError,
+};
 pub use ast::{Expr, Label, Stmt};
 pub use check::{check_program, Env, TypeError, VarType};
 pub use programs::Kernel;

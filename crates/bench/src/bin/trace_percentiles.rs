@@ -1,0 +1,174 @@
+//! Latency/trace percentile snapshot: the `BENCH_9.json` artifact.
+//!
+//! Runs the mixed wide batch as single-query fresh executions (result
+//! cache off, so every run is a real oblivious execution), feeding two
+//! log₂ histograms of its own — per-query wall latency and per-operator
+//! self time (from each response's span tree) — alongside the engine's
+//! built-in `engine_pool_queue_wait_us` series.  The p50/p95/p99 rows are
+//! derived by the interpolating [`HistogramSnapshot::percentiles`], the
+//! same derivation the metrics text endpoint renders as `*_p50`/`_p95`/
+//! `_p99` gauges, so the JSON numbers and the Prometheus exposition agree
+//! by construction.
+//!
+//! Prints the JSON to stdout; pass `--out <path>` to also write it to a
+//! file (CI redirects it into the `BENCH_9.json` artifact).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use obliv_engine::{
+    parse_query, Engine, EngineConfig, HistogramSnapshot, MetricClass, MetricValue, QueryRequest,
+    SpanNode,
+};
+use obliv_workloads::wide_orders_lineitem;
+
+/// A mixed slice of the throughput benches' wide batch: joins, grouped
+/// scans and a join-aggregate, so every hot operator appears in the
+/// per-operator rows.
+const QUERIES: [&str; 8] = [
+    "JOIN orders lineitem ON o_key",
+    "SCAN orders | FILTER price>=500 | AGG sum(price) BY region",
+    "JOIN orders lineitem ON o_key | FILTER price>=500 | AGG sum(qty)",
+    "SCAN lineitem | FILTER qty>=25 | AGG max(qty) BY o_key",
+    "JOIN orders lineitem ON o_key | AGG count",
+    "SCAN orders | FILTER urgent=true | AGG min(priority) BY region",
+    "JOIN orders lineitem ON o_key | FILTER qty>=10 | AGG sum(qty)",
+    "SCAN lineitem | AGG sum(qty) BY o_key",
+];
+
+/// Fresh executions per query; 8 × 16 = 128 observations per histogram.
+const ITERS: usize = 16;
+
+/// Walk a span tree, observing every operator span's self time into the
+/// per-operator histogram family (synthetic spans — `query`,
+/// `queue_wait` — are scheduling, not operators, and are skipped).
+fn observe_operators(engine: &Engine, node: &SpanNode, ops: &mut BTreeSet<String>) {
+    if node.name != "query" && node.name != "queue_wait" {
+        ops.insert(node.name.clone());
+        engine
+            .metrics()
+            .histogram(
+                "bench_operator_self_us",
+                MetricClass::Timing,
+                &[("op", &node.name)],
+            )
+            .observe(node.self_ns / 1_000);
+    }
+    for child in &node.children {
+        observe_operators(engine, child, ops);
+    }
+}
+
+/// One `"p50": …, "p95": …, "p99": …` JSON fragment (two-space indented
+/// under `indent`), or count-only when the histogram is empty.
+fn percentile_rows(h: &HistogramSnapshot, indent: &str) -> String {
+    match h.percentiles() {
+        Some([p50, p95, p99]) => format!(
+            "{indent}\"count\": {},\n{indent}\"p50\": {:.1},\n\
+             {indent}\"p95\": {:.1},\n{indent}\"p99\": {:.1}",
+            h.count, p50, p95, p99
+        ),
+        None => format!("{indent}\"count\": 0"),
+    }
+}
+
+fn snapshot_histogram(engine: &Engine, name: &str, labels: &[(&str, &str)]) -> HistogramSnapshot {
+    match engine.metrics().snapshot().get(name, labels) {
+        Some(MetricValue::Histogram(h)) => h.clone(),
+        other => panic!("{name}{labels:?} is not a histogram: {other:?}"),
+    }
+}
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(arg) = args.next() {
+            if arg == "--out" {
+                path = args.next();
+            }
+        }
+        path
+    };
+
+    let workload = wide_orders_lineitem(64, 8);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 2,
+        result_cache: false,
+        ..Default::default()
+    }));
+    engine
+        .register_wide_table("orders", workload.orders)
+        .unwrap();
+    engine
+        .register_wide_table("lineitem", workload.lineitem)
+        .unwrap();
+
+    let requests: Vec<QueryRequest> = QUERIES
+        .iter()
+        .map(|q| QueryRequest::new(*q, parse_query(q).unwrap()))
+        .collect();
+    let latency = engine
+        .metrics()
+        .histogram("bench_query_latency_us", MetricClass::Timing, &[]);
+
+    let mut ops = BTreeSet::new();
+    for _ in 0..ITERS {
+        for request in &requests {
+            let start = Instant::now();
+            let responses = engine.execute_batch(std::slice::from_ref(request)).unwrap();
+            latency.observe_duration_us(start.elapsed());
+            observe_operators(&engine, &responses[0].trace, &mut ops);
+        }
+    }
+    // Single-query batches run inline on the calling thread; the
+    // queue-wait histogram only fills when a multi-query batch spreads
+    // over the resident pool, so run the full batch a few times too.
+    for _ in 0..ITERS {
+        engine.execute_batch(&requests).unwrap();
+    }
+
+    let mut json = String::from("{\n  \"schema\": \"obliv-bench/trace-percentiles/v1\",\n");
+    json.push_str(&format!(
+        "  \"iterations\": {},\n  \"batch_queries\": {},\n",
+        ITERS,
+        QUERIES.len()
+    ));
+    json.push_str(&format!(
+        "  \"query_latency_us\": {{\n{}\n  }},\n",
+        percentile_rows(
+            &snapshot_histogram(&engine, "bench_query_latency_us", &[]),
+            "    "
+        )
+    ));
+    json.push_str(&format!(
+        "  \"queue_wait_us\": {{\n{}\n  }},\n",
+        percentile_rows(
+            &snapshot_histogram(&engine, "engine_pool_queue_wait_us", &[]),
+            "    "
+        )
+    ));
+    json.push_str("  \"operator_self_us\": {\n");
+    let mut first = true;
+    for op in &ops {
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    \"{op}\": {{\n{}\n    }}",
+            percentile_rows(
+                &snapshot_histogram(&engine, "bench_operator_self_us", &[("op", op)]),
+                "      "
+            )
+        ));
+    }
+    json.push_str("\n  }\n}\n");
+
+    print!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

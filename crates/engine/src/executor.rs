@@ -48,8 +48,8 @@ use obliv_join::schema::WideTable;
 use obliv_join::Table;
 use obliv_primitives::{with_parallelism, ParCtx, ParExecutor, ParTask};
 use obliv_telemetry::{
-    AuditRecord, Counter, Gauge, Histogram, LeakageAudit, MetricClass, MetricsRegistry,
-    PhaseBreakdown,
+    synthetic_span, AuditRecord, Counter, Gauge, Histogram, LeakageAudit, MetricClass,
+    MetricsRegistry, PhaseBreakdown, SlowQueryLog, SlowQueryRecord, SpanNode, SpanRecorder,
 };
 use obliv_trace::{HashingSink, OpCounters, Tracer};
 
@@ -94,6 +94,16 @@ pub struct EngineConfig {
     /// (newest first to age out; see [`Engine::audit`]).  Zero disables
     /// retention but keeps counting.
     pub audit_capacity: usize,
+    /// Wall-time threshold for the slow-query ring: a fresh execution whose
+    /// wall time (admission to collection) meets it deposits a
+    /// [`SlowQueryRecord`] — canonical plan, public sizes and the span tree,
+    /// never contents — into [`Engine::slow_queries`].  `None` (the
+    /// default) disables the ring.  Cache hits never re-record: the ring
+    /// logs executions, not servings.
+    pub slow_query_threshold: Option<Duration>,
+    /// How many [`SlowQueryRecord`]s the ring retains (oldest aged out).
+    /// Zero disables retention but keeps counting.
+    pub slow_query_capacity: usize,
     /// Fault-injection handle consulted at the `engine/worker` point just
     /// before each job executes (tests panic the worker or slow the job
     /// here).  Defaults to disabled; in builds without the `inject`
@@ -113,6 +123,8 @@ impl Default for EngineConfig {
             result_cache: true,
             result_cache_cap: RESULT_CACHE_CAP,
             audit_capacity: AUDIT_CAPACITY,
+            slow_query_threshold: None,
+            slow_query_capacity: SLOW_QUERY_CAPACITY,
             faults: Faults::default(),
         }
     }
@@ -144,6 +156,10 @@ pub struct CacheStats {
 pub(crate) struct CachedQuery {
     rows: Rows,
     summary: QuerySummary,
+    /// The span tree recorded when the payload was freshly executed; cache
+    /// hits replay it verbatim (Timing fields included), exactly like the
+    /// summary's wall time.
+    trace: Arc<SpanNode>,
 }
 
 /// Default upper bound on retained cache entries
@@ -152,6 +168,9 @@ const RESULT_CACHE_CAP: usize = 1024;
 
 /// Default leakage-audit ring capacity ([`EngineConfig::audit_capacity`]).
 const AUDIT_CAPACITY: usize = 256;
+
+/// Default slow-query ring capacity ([`EngineConfig::slow_query_capacity`]).
+const SLOW_QUERY_CAPACITY: usize = 64;
 
 /// The result cache: canonical plan → (epoch stamped at insertion,
 /// executed payload), plus insertion-order bookkeeping for FIFO eviction
@@ -208,6 +227,9 @@ impl ResultCache {
 /// thread folds it into a [`QuerySummary`] once the publish span closes.
 struct Executed {
     rows: Rows,
+    /// Per-operator span tree (root `query` span, synthetic `queue_wait`
+    /// first child, one span per plan node beneath).
+    trace: SpanNode,
     trace_digest: String,
     trace_events: u64,
     counters: OpCounters,
@@ -387,6 +409,10 @@ pub struct Engine {
     metrics: EngineMetrics,
     /// Capped ring of per-query leakage audit records.
     audit: LeakageAudit,
+    /// Wall-time threshold gating the slow-query ring; `None` disables it.
+    slow_query_threshold: Option<Duration>,
+    /// Capped ring of slow-query records (plan + public sizes + span tree).
+    slow_log: SlowQueryLog,
 }
 
 impl Engine {
@@ -440,6 +466,8 @@ impl Engine {
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             audit: LeakageAudit::new(config.audit_capacity),
+            slow_query_threshold: config.slow_query_threshold,
+            slow_log: SlowQueryLog::new(config.slow_query_capacity),
             registry,
             metrics,
             faults: config.faults,
@@ -462,6 +490,14 @@ impl Engine {
     /// carry widths, digests — public parameters only).
     pub fn audit(&self) -> &LeakageAudit {
         &self.audit
+    }
+
+    /// The slow-query ring (empty unless
+    /// [`EngineConfig::slow_query_threshold`] is set).  Records are pushed
+    /// only by batch finalisation, so an aborted batch — worker panic,
+    /// deadline expiry — can never leak a partial span tree into it.
+    pub fn slow_queries(&self) -> &SlowQueryLog {
+        &self.slow_log
     }
 
     /// Cumulative result-cache accounting since construction.
@@ -570,24 +606,38 @@ impl Engine {
     fn run_plan(plan: &ResolvedPlan, queue_wait: Duration, par: Option<ParCtx>) -> Executed {
         let start = Instant::now();
         let tracer = Tracer::new(HashingSink::new());
+        let mut recorder = SpanRecorder::new("query", tracer.counters());
         // Resolution already validated the whole plan, so execution cannot
         // fail — pair-lowered plans run the legacy kernel, everything else
         // the wide operators.  With a parallelism context installed the
         // plan's partitionable passes fan out over the pool; the folded
         // trace (and therefore the digest) is bit-identical either way.
+        // Span recording observes operator boundaries without touching the
+        // tracer, so digests are unchanged by it too.
         let (rows, parallel_chunks, barrier_ns) = match par {
             Some(ctx) => {
                 let stats = ctx.stats();
-                let rows = with_parallelism(ctx, || plan.execute(&tracer));
+                let rows = with_parallelism(ctx, || plan.execute_traced(&tracer, &mut recorder));
                 (rows, stats.chunks(), stats.barrier_ns())
             }
-            None => (plan.execute(&tracer), 0, 0),
+            None => (plan.execute_traced(&tracer, &mut recorder), 0, 0),
         };
         let execute = start.elapsed();
         let counters = tracer.counters();
         let (trace_digest, trace_events) = tracer.with_sink(|s| (s.digest_hex(), s.events()));
+        // The wait on the pool's injector queue happened before this span
+        // opened; surface it as a synthetic first child so the tree tells
+        // the whole story (its duration is Timing-classed like any other).
+        recorder.attach_first(synthetic_span("queue_wait", queue_wait.as_nanos() as u64));
+        let trace = recorder.finish(
+            Vec::new(),
+            rows.len() as u64,
+            rows.schema().row_width() as u64,
+            counters,
+        );
         Executed {
             rows,
+            trace,
             trace_digest,
             trace_events,
             counters,
@@ -838,6 +888,18 @@ impl Engine {
             }
             self.metrics.parallel_chunks.add(run.parallel_chunks);
             self.metrics.parallel_barrier_ns.add(run.barrier_ns);
+            let trace = Arc::new(run.trace);
+            if self.slow_query_threshold.is_some_and(|t| wall >= t) {
+                self.slow_log.push(SlowQueryRecord {
+                    label: requests[rep].label.clone(),
+                    plan: canon[rep].to_string(),
+                    inputs: inputs.clone(),
+                    output_rows: run.rows.len() as u64,
+                    output_row_width: run.rows.schema().row_width() as u64,
+                    wall_ns: wall.as_nanos() as u64,
+                    trace: Arc::clone(&trace),
+                });
+            }
             self.audit.push(AuditRecord {
                 label: requests[rep].label.clone(),
                 plan: canon[rep].to_string(),
@@ -863,6 +925,7 @@ impl Engine {
             payload[slot] = Some(Arc::new(CachedQuery {
                 rows: run.rows,
                 summary,
+                trace,
             }));
         }
 
@@ -930,6 +993,7 @@ impl Engine {
                     rows: entry.rows.clone(),
                     summary: entry.summary.clone(),
                     cached,
+                    trace: Arc::clone(&entry.trace),
                 }
             })
             .collect();
@@ -946,6 +1010,24 @@ impl Engine {
     pub fn validate(&self, request: &QueryRequest) -> Result<(), EngineError> {
         let catalog = self.catalog.read().expect("catalog lock poisoned");
         request.plan().resolve(&catalog).map(|_| ())
+    }
+
+    /// Execute `query` (with or without a leading `EXPLAIN ANALYZE` verb)
+    /// and render its annotated per-operator plan tree: one line per span
+    /// with revealed input/output sizes, row width, op counters and
+    /// self/total time.  The tree's Content fields depend only on public
+    /// parameters, so two runs over different table contents with the same
+    /// plan differ only in the timing annotations (asserted by tests via
+    /// [`SpanNode::without_timing`]).
+    pub fn explain_analyze(&self, query: &str) -> Result<String, EngineError> {
+        let inner = crate::frontend::strip_explain_analyze(query).unwrap_or(query);
+        let response = self
+            .execute_text_batch(&[inner])?
+            .pop()
+            .expect("one query yields one response");
+        let mut out = format!("-- {}\n-- cached: {}\n", inner.trim(), response.cached);
+        out.push_str(&response.trace.render_text(true));
+        Ok(out)
     }
 
     /// Parse and execute a batch of text queries concurrently; the query

@@ -63,6 +63,49 @@ use obliv_operators::{Aggregate, JoinAggregate, JoinColumns, Predicate, WidePred
 use crate::error::EngineError;
 use crate::query::Plan;
 
+/// A parsed top-level statement: either a plain pipeline query, or an
+/// `EXPLAIN ANALYZE` wrapper asking for the executed plan's annotated
+/// per-operator span tree instead of (alongside) its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A plain query: execute and return rows.
+    Query(Plan),
+    /// `EXPLAIN ANALYZE <query>`: execute the inner query and report its
+    /// span tree (operators, revealed sizes, op counters, self/total time).
+    ExplainAnalyze(Plan),
+}
+
+/// Parse one statement: `EXPLAIN ANALYZE <query>` (keywords
+/// case-insensitive) or a bare pipeline query.
+pub fn parse_statement(text: &str) -> Result<Statement, EngineError> {
+    match strip_explain_analyze(text) {
+        Some(inner) => Ok(Statement::ExplainAnalyze(parse_query(inner)?)),
+        None => Ok(Statement::Query(parse_query(text)?)),
+    }
+}
+
+/// If `text` starts with the (case-insensitive) `EXPLAIN ANALYZE` verb,
+/// return the inner query text after it.
+pub fn strip_explain_analyze(text: &str) -> Option<&str> {
+    let rest = strip_keyword(text, "EXPLAIN")?;
+    strip_keyword(rest, "ANALYZE")
+}
+
+/// Strip one leading case-insensitive keyword (plus surrounding
+/// whitespace), requiring a word boundary after it.
+fn strip_keyword<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+    let trimmed = text.trim_start();
+    if trimmed.len() < keyword.len() || !trimmed[..keyword.len()].eq_ignore_ascii_case(keyword) {
+        return None;
+    }
+    let rest = &trimmed[keyword.len()..];
+    if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+        Some(rest)
+    } else {
+        None
+    }
+}
+
 /// Parse one pipeline query into a [`Plan`].
 pub fn parse_query(text: &str) -> Result<Plan, EngineError> {
     let err = |message: String| EngineError::Parse {
@@ -844,6 +887,40 @@ fn parse_predicate(text: &str) -> Result<Predicate, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn explain_analyze_wraps_any_query() {
+        let inner = parse_query("SCAN t | FILTER v>=10").unwrap();
+        for text in [
+            "EXPLAIN ANALYZE SCAN t | FILTER v>=10",
+            "explain analyze SCAN t | FILTER v>=10",
+            "  Explain   Analyze   SCAN t | FILTER v>=10",
+        ] {
+            assert_eq!(
+                parse_statement(text).unwrap(),
+                Statement::ExplainAnalyze(inner.clone()),
+                "{text}"
+            );
+        }
+        assert_eq!(
+            parse_statement("SCAN t | FILTER v>=10").unwrap(),
+            Statement::Query(inner)
+        );
+        // The verb needs a word boundary: `EXPLAINANALYZE` and a table
+        // named `explain` stay ordinary (failing/succeeding) queries.
+        assert!(parse_statement("EXPLAINANALYZE SCAN t").is_err());
+        assert!(matches!(
+            parse_statement("SCAN explain").unwrap(),
+            Statement::Query(_)
+        ));
+        // EXPLAIN ANALYZE with nothing after it reports the empty query.
+        match parse_statement("EXPLAIN ANALYZE") {
+            Err(EngineError::Parse { message, .. }) => {
+                assert!(message.contains("empty query"), "{message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
 
     #[test]
     fn issue_example_parses_to_degenerate_plan() {

@@ -51,7 +51,7 @@
 //! | [`catalog`] | [`Catalog`], [`TableMeta`] — named tables, public sizes |
 //! | [`query`] | [`Plan`], [`QueryRequest`], [`QueryResponse`], [`Rows`], [`QuerySummary`] |
 //! | [`planner`] | [`ResolvedPlan`] — type-checking, carry selection, pair lowering |
-//! | [`frontend`] | [`parse_query`] — the pipeline text language |
+//! | [`frontend`] | [`parse_query`], [`parse_statement`] — the pipeline text language and the `EXPLAIN ANALYZE` verb |
 //! | [`executor`] | [`Engine`], [`EngineConfig`], [`CacheStats`] — worker-pool batch execution and the result cache |
 //! | [`session`] | [`Session`], [`SessionStats`] — per-tenant queues and accounting |
 
@@ -70,7 +70,7 @@ pub mod session;
 pub use catalog::{Catalog, TableMeta};
 pub use error::EngineError;
 pub use executor::{CacheStats, Engine, EngineConfig};
-pub use frontend::parse_query;
+pub use frontend::{parse_query, parse_statement, Statement};
 pub use planner::ResolvedPlan;
 pub use query::{Plan, QueryRequest, QueryResponse, QuerySummary, Rows};
 pub use session::{Session, SessionStats};
@@ -78,5 +78,7 @@ pub use session::{Session, SessionStats};
 // a `PhaseBreakdown`; `Engine::metrics`/`audit` expose the registry and
 // audit ring), re-exported so callers need not depend on obliv-telemetry.
 pub use obliv_telemetry::{
-    AuditRecord, LeakageAudit, MetricClass, MetricsRegistry, MetricsSnapshot, PhaseBreakdown,
+    chrome_trace_json, AuditRecord, Histogram, HistogramSnapshot, LeakageAudit, MetricClass,
+    MetricValue, MetricsRegistry, MetricsSnapshot, PhaseBreakdown, SlowQueryLog, SlowQueryRecord,
+    SpanNode,
 };

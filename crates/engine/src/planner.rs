@@ -27,8 +27,9 @@ use obliv_join::Table;
 use obliv_operators::{
     self as ops, wide_anti_join, wide_distinct, wide_filter, wide_group_aggregate, wide_join,
     wide_join_aggregate, wide_project, wide_semi_join, wide_union_all, Aggregate, JoinAggregate,
-    JoinColumns, Predicate, QueryPlan, WideCmp, WideError, WidePredicate,
+    JoinColumns, PlanObserver, Predicate, QueryPlan, WideCmp, WideError, WidePredicate,
 };
+use obliv_telemetry::SpanRecorder;
 use obliv_trace::{TraceSink, Tracer};
 
 use crate::catalog::Catalog;
@@ -73,28 +74,73 @@ impl ResolvedPlan {
     /// Execute the resolved plan obliviously, tracing every public-memory
     /// access through `tracer`.
     pub fn execute<S: TraceSink>(&self, tracer: &Tracer<S>) -> Rows {
+        let mut scratch = SpanRecorder::new("query", tracer.counters());
+        self.execute_traced(tracer, &mut scratch)
+    }
+
+    /// [`execute`](ResolvedPlan::execute), recording one span per plan
+    /// operator into `recorder` (nested under the recorder's currently
+    /// open span; the caller owns the root and closes it).  Span recording
+    /// never touches the tracer, so the access trace and its digest are
+    /// bit-identical to an untraced run — and every recorded field is a
+    /// public parameter (operator names, plan shape, revealed sizes, op
+    /// counters), so the span tree obeys the same content-independence
+    /// contract as the Content metrics.
+    pub fn execute_traced<S: TraceSink>(
+        &self,
+        tracer: &Tracer<S>,
+        recorder: &mut SpanRecorder,
+    ) -> Rows {
         match &self.backend {
             Backend::Pair(plan) => {
-                let table = plan.execute(tracer);
+                let mut observer = PairSpans { tracer, recorder };
+                let table = plan.execute_observed(tracer, &mut observer);
                 Rows::from_pair_with_schema(Arc::clone(&self.schema), &table)
             }
             Backend::Wide(exec) => Rows::from_wide(
-                exec.execute(tracer)
+                exec.execute(tracer, recorder)
                     .expect("resolution validated the plan; wide execution cannot fail"),
             ),
         }
     }
 }
 
+/// Adapts the pair kernel's [`PlanObserver`] callbacks onto the engine's
+/// [`SpanRecorder`], snapshotting the tracer's op counters at each
+/// enter/exit so every pair span carries its own counter delta.
+struct PairSpans<'a, S: TraceSink> {
+    tracer: &'a Tracer<S>,
+    recorder: &'a mut SpanRecorder,
+}
+
+impl<S: TraceSink> PlanObserver for PairSpans<'_, S> {
+    fn enter(&mut self, name: &str) {
+        self.recorder.enter(name, "", self.tracer.counters());
+    }
+
+    fn exit(&mut self, input_rows: &[u64], output_rows: u64) {
+        // Every pair-kernel intermediate is the degenerate two-u64 shape:
+        // 16 bytes per row, matching `Schema::row_width` units.
+        self.recorder
+            .exit(input_rows.to_vec(), output_rows, 16, self.tracer.counters());
+    }
+}
+
 /// The wide-operator execution tree (resolution already validated it).
 #[derive(Debug, Clone)]
 enum WideExec {
-    /// A wide catalog table.
-    ScanWide(WideTable),
+    /// A wide catalog table (the name is kept for span labelling only).
+    ScanWide {
+        name: String,
+        table: WideTable,
+    },
     /// A pair catalog table, read through the degenerate `{key, value}`
     /// schema at execution time (the conversion is client-side and
     /// untraced, like building any input table).
-    ScanPair(Table),
+    ScanPair {
+        name: String,
+        table: Table,
+    },
     Filter {
         input: Box<WideExec>,
         predicate: WidePredicate,
@@ -143,19 +189,109 @@ enum WideExec {
 }
 
 impl WideExec {
-    fn execute<S: TraceSink>(&self, tracer: &Tracer<S>) -> Result<WideTable, WideError> {
+    /// The span name and public detail string of this node (operator
+    /// names and plan shape are public parameters).
+    fn span_label(&self) -> (&'static str, String) {
+        match self {
+            WideExec::ScanWide { name, .. } | WideExec::ScanPair { name, .. } => {
+                ("scan", name.clone())
+            }
+            WideExec::Filter { predicate, .. } => ("filter", format!("{predicate:?}")),
+            WideExec::Project { columns, .. } => ("project", columns.join(",")),
+            WideExec::Distinct { .. } => ("distinct", String::new()),
+            WideExec::UnionAll { .. } => ("union_all", String::new()),
+            WideExec::Join {
+                left_key,
+                right_key,
+                ..
+            } => ("join", format!("{left_key}={right_key}")),
+            WideExec::SemiJoin {
+                left_key,
+                right_key,
+                keep_matching,
+                ..
+            } => (
+                if *keep_matching {
+                    "semi_join"
+                } else {
+                    "anti_join"
+                },
+                format!("{left_key}={right_key}"),
+            ),
+            WideExec::GroupAggregate { aggregate, by, .. } => {
+                ("group_aggregate", format!("{aggregate:?} by {by}"))
+            }
+            WideExec::JoinAggregate {
+                aggregate,
+                left_key,
+                right_key,
+                ..
+            } => (
+                "join_aggregate",
+                format!("{aggregate:?} on {left_key}={right_key}"),
+            ),
+        }
+    }
+
+    fn execute<S: TraceSink>(
+        &self,
+        tracer: &Tracer<S>,
+        recorder: &mut SpanRecorder,
+    ) -> Result<WideTable, WideError> {
+        let (name, detail) = self.span_label();
+        recorder.enter(name, detail, tracer.counters());
+        let mut input_rows: Vec<u64> = Vec::new();
+        // Execute the children (each recording its own nested span), then
+        // the operator itself; the child sub-walks' counter deltas land in
+        // the children, leaving this span's `self` share.
+        let result = self.run(tracer, recorder, &mut input_rows);
+        match &result {
+            Ok(out) => recorder.exit(
+                input_rows,
+                out.len() as u64,
+                out.schema().row_width() as u64,
+                tracer.counters(),
+            ),
+            // Unreachable after resolution; close the span consistently
+            // anyway so the recorder stays balanced.
+            Err(_) => recorder.exit(input_rows, 0, 0, tracer.counters()),
+        }
+        result
+    }
+
+    /// The operator body of [`execute`](WideExec::execute): runs the
+    /// children through the recorder, pushes their revealed sizes into
+    /// `input_rows`, and returns this node's output.
+    fn run<S: TraceSink>(
+        &self,
+        tracer: &Tracer<S>,
+        recorder: &mut SpanRecorder,
+        input_rows: &mut Vec<u64>,
+    ) -> Result<WideTable, WideError> {
+        let child = |exec: &WideExec,
+                     recorder: &mut SpanRecorder,
+                     input_rows: &mut Vec<u64>|
+         -> Result<WideTable, WideError> {
+            let out = exec.execute(tracer, recorder)?;
+            input_rows.push(out.len() as u64);
+            Ok(out)
+        };
         Ok(match self {
-            WideExec::ScanWide(table) => table.clone(),
-            WideExec::ScanPair(table) => WideTable::from_pair(table),
+            WideExec::ScanWide { table, .. } => table.clone(),
+            WideExec::ScanPair { table, .. } => WideTable::from_pair(table),
             WideExec::Filter { input, predicate } => {
-                wide_filter(tracer, &input.execute(tracer)?, predicate)?
+                wide_filter(tracer, &child(input, recorder, input_rows)?, predicate)?
             }
             WideExec::Project { input, columns } => {
-                wide_project(tracer, &input.execute(tracer)?, columns)?
+                wide_project(tracer, &child(input, recorder, input_rows)?, columns)?
             }
-            WideExec::Distinct { input } => wide_distinct(tracer, &input.execute(tracer)?)?,
+            WideExec::Distinct { input } => {
+                wide_distinct(tracer, &child(input, recorder, input_rows)?)?
+            }
             WideExec::UnionAll { left, right } => {
-                wide_union_all(tracer, &left.execute(tracer)?, &right.execute(tracer)?)?
+                let l = child(left, recorder, input_rows)?;
+                let r = child(right, recorder, input_rows)?;
+                wide_union_all(tracer, &l, &r)?
             }
             WideExec::Join {
                 left,
@@ -164,15 +300,11 @@ impl WideExec {
                 right_key,
                 carry_left,
                 carry_right,
-            } => wide_join(
-                tracer,
-                &left.execute(tracer)?,
-                &right.execute(tracer)?,
-                left_key,
-                right_key,
-                carry_left,
-                carry_right,
-            )?,
+            } => {
+                let l = child(left, recorder, input_rows)?;
+                let r = child(right, recorder, input_rows)?;
+                wide_join(tracer, &l, &r, left_key, right_key, carry_left, carry_right)?
+            }
             WideExec::SemiJoin {
                 left,
                 right,
@@ -180,7 +312,8 @@ impl WideExec {
                 right_key,
                 keep_matching,
             } => {
-                let (l, r) = (left.execute(tracer)?, right.execute(tracer)?);
+                let l = child(left, recorder, input_rows)?;
+                let r = child(right, recorder, input_rows)?;
                 if *keep_matching {
                     wide_semi_join(tracer, &l, &r, left_key, right_key)?
                 } else {
@@ -194,7 +327,7 @@ impl WideExec {
                 by,
             } => wide_group_aggregate(
                 tracer,
-                &input.execute(tracer)?,
+                &child(input, recorder, input_rows)?,
                 by,
                 *aggregate,
                 column.as_deref(),
@@ -207,16 +340,20 @@ impl WideExec {
                 left_value,
                 right_value,
                 aggregate,
-            } => wide_join_aggregate(
-                tracer,
-                &left.execute(tracer)?,
-                &right.execute(tracer)?,
-                left_key,
-                right_key,
-                left_value.as_deref(),
-                right_value.as_deref(),
-                *aggregate,
-            )?,
+            } => {
+                let l = child(left, recorder, input_rows)?;
+                let r = child(right, recorder, input_rows)?;
+                wide_join_aggregate(
+                    tracer,
+                    &l,
+                    &r,
+                    left_key,
+                    right_key,
+                    left_value.as_deref(),
+                    right_value.as_deref(),
+                    *aggregate,
+                )?
+            }
         })
     }
 }
@@ -437,7 +574,10 @@ fn check(plan: &Plan, catalog: &Catalog, wanted: &Wanted) -> Result<Checked, Eng
                 Ok(Checked {
                     schema: Schema::pair(),
                     natural_key: None,
-                    exec: WideExec::ScanPair(pair.clone()),
+                    exec: WideExec::ScanPair {
+                        name: name.clone(),
+                        table: pair.clone(),
+                    },
                     pair: Some(QueryPlan::Scan(pair.clone())),
                     pair_join: None,
                     carry_words: 0,
@@ -447,7 +587,10 @@ fn check(plan: &Plan, catalog: &Catalog, wanted: &Wanted) -> Result<Checked, Eng
                 Ok(Checked {
                     schema: wide.schema().clone(),
                     natural_key: None,
-                    exec: WideExec::ScanWide(wide.clone()),
+                    exec: WideExec::ScanWide {
+                        name: name.clone(),
+                        table: wide.clone(),
+                    },
                     pair: None,
                     pair_join: None,
                     carry_words: 0,

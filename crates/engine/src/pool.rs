@@ -162,13 +162,21 @@ impl<T: Send + 'static> PoolShared<T> {
                 // re-raises it with the original message.
                 let output =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || task(wait)));
+                // Busy time is recorded *before* the reply ships: once the
+                // submitter has drained every reply, the counters it
+                // snapshots already include every job it waited for.
+                if let Some(m) = &self.metrics {
+                    m.busy_ns.add(busy.elapsed().as_nanos() as u64);
+                }
                 let _ = reply.send((slot, output));
             }
             // Scoped tasks carry their own catch_unwind + latch wrapper.
-            Work::Scoped(task) => task(),
-        }
-        if let Some(m) = &self.metrics {
-            m.busy_ns.add(busy.elapsed().as_nanos() as u64);
+            Work::Scoped(task) => {
+                task();
+                if let Some(m) = &self.metrics {
+                    m.busy_ns.add(busy.elapsed().as_nanos() as u64);
+                }
+            }
         }
     }
 

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use obliv_join::schema::{Schema, SchemaError, Value, WideTable};
 use obliv_join::Table;
 use obliv_operators::{Aggregate, JoinAggregate, WidePredicate};
-use obliv_telemetry::PhaseBreakdown;
+use obliv_telemetry::{PhaseBreakdown, SpanNode};
 use obliv_trace::OpCounters;
 
 use crate::catalog::Catalog;
@@ -562,6 +562,14 @@ pub struct QueryResponse {
     /// bit-identical to the original miss's — including the digest and
     /// the recorded wall time of the run that produced them.
     pub cached: bool,
+    /// The operator-level span tree of the run that produced this payload:
+    /// one span per plan node (nested like the plan) under a `query` root,
+    /// with a synthetic `queue_wait` child for time spent waiting for a
+    /// worker.  Cache hits replay the original miss's tree unchanged (its
+    /// Content fields describe the payload; its Timing fields describe the
+    /// run that produced it).  The tree's structure and Content fields are
+    /// content-independent — see [`SpanNode::without_timing`].
+    pub trace: Arc<SpanNode>,
 }
 
 #[cfg(test)]

@@ -55,7 +55,7 @@ pub mod wide;
 pub use aggregate::{oblivious_group_aggregate, Aggregate};
 pub use filter::{oblivious_filter, oblivious_project, Predicate};
 pub use join_aggregate::{oblivious_join_aggregate, JoinAggregate};
-pub use plan::{JoinColumns, QueryPlan};
+pub use plan::{JoinColumns, NoObserver, PlanObserver, QueryPlan};
 pub use set_ops::{
     oblivious_anti_join, oblivious_distinct, oblivious_semi_join, oblivious_union_all,
 };

@@ -127,6 +127,33 @@ pub enum QueryPlan {
     },
 }
 
+/// Observer of plan-node execution: [`QueryPlan::execute_observed`] calls
+/// [`enter`](PlanObserver::enter) when it starts an operator node (before
+/// recursing into its inputs) and [`exit`](PlanObserver::exit) when the
+/// node's output is materialised, with the revealed input/output row
+/// counts.  Calls nest exactly like the plan tree, so an observer can
+/// reconstruct the operator hierarchy — the engine uses this to build its
+/// per-query span trees.  Everything passed to an observer is a public
+/// parameter (operator names, plan shape, revealed sizes); observation
+/// never touches the tracer, so the access trace and its digest are
+/// bit-identical with and without an observer.
+pub trait PlanObserver {
+    /// An operator node starts executing (its inputs follow, nested).
+    fn enter(&mut self, name: &str);
+    /// The matching node finished: revealed input row counts (in operator
+    /// argument order) and the revealed output row count.
+    fn exit(&mut self, input_rows: &[u64], output_rows: u64);
+}
+
+/// The do-nothing observer behind [`QueryPlan::execute`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoObserver;
+
+impl PlanObserver for NoObserver {
+    fn enter(&mut self, _name: &str) {}
+    fn exit(&mut self, _input_rows: &[u64], _output_rows: u64) {}
+}
+
 impl QueryPlan {
     /// A base-table scan.
     pub fn scan(table: Table) -> QueryPlan {
@@ -227,37 +254,72 @@ impl QueryPlan {
     /// Execute the plan obliviously, tracing every public-memory access
     /// through `tracer`.
     pub fn execute<S: TraceSink>(&self, tracer: &Tracer<S>) -> Table {
+        self.execute_observed(tracer, &mut NoObserver)
+    }
+
+    /// [`execute`](QueryPlan::execute) with per-operator observation: the
+    /// observer's `enter`/`exit` calls bracket every plan node with its
+    /// revealed input/output sizes (see [`PlanObserver`]).  The access
+    /// trace is identical to an unobserved run.
+    pub fn execute_observed<S: TraceSink, O: PlanObserver>(
+        &self,
+        tracer: &Tracer<S>,
+        observer: &mut O,
+    ) -> Table {
         match self {
-            QueryPlan::Scan(table) => table.clone(),
+            QueryPlan::Scan(table) => {
+                observer.enter("scan");
+                let out = table.clone();
+                observer.exit(&[], out.len() as u64);
+                out
+            }
             QueryPlan::Filter { input, predicate } => {
-                oblivious_filter(tracer, &input.execute(tracer), *predicate)
+                observer.enter("filter");
+                let child = input.execute_observed(tracer, observer);
+                let out = oblivious_filter(tracer, &child, *predicate);
+                observer.exit(&[child.len() as u64], out.len() as u64);
+                out
             }
             QueryPlan::Project {
                 input,
                 swap_columns,
             } => {
-                let table = input.execute(tracer);
-                if *swap_columns {
+                observer.enter("project");
+                let table = input.execute_observed(tracer, observer);
+                let n = table.len() as u64;
+                let out = if *swap_columns {
                     oblivious_project(tracer, &table, |e| obliv_join::Entry::new(e.value, e.key))
                 } else {
                     table
-                }
+                };
+                observer.exit(&[n], out.len() as u64);
+                out
             }
-            QueryPlan::Distinct { input } => oblivious_distinct(tracer, &input.execute(tracer)),
+            QueryPlan::Distinct { input } => {
+                observer.enter("distinct");
+                let child = input.execute_observed(tracer, observer);
+                let out = oblivious_distinct(tracer, &child);
+                observer.exit(&[child.len() as u64], out.len() as u64);
+                out
+            }
             QueryPlan::UnionAll { left, right } => {
-                oblivious_union_all(tracer, &left.execute(tracer), &right.execute(tracer))
+                observer.enter("union_all");
+                let l = left.execute_observed(tracer, observer);
+                let r = right.execute_observed(tracer, observer);
+                let out = oblivious_union_all(tracer, &l, &r);
+                observer.exit(&[l.len() as u64, r.len() as u64], out.len() as u64);
+                out
             }
             QueryPlan::Join {
                 left,
                 right,
                 columns,
             } => {
-                let result = oblivious_join_with_tracer(
-                    tracer,
-                    &left.execute(tracer),
-                    &right.execute(tracer),
-                );
-                result
+                observer.enter("join");
+                let l = left.execute_observed(tracer, observer);
+                let r = right.execute_observed(tracer, observer);
+                let result = oblivious_join_with_tracer(tracer, &l, &r);
+                let out: Table = result
                     .keys
                     .iter()
                     .zip(result.rows.iter())
@@ -267,27 +329,45 @@ impl QueryPlan {
                         JoinColumns::LeftAndRight => (row.left, row.right),
                         JoinColumns::RightAndLeft => (row.right, row.left),
                     })
-                    .collect()
+                    .collect();
+                observer.exit(&[l.len() as u64, r.len() as u64], out.len() as u64);
+                out
             }
             QueryPlan::SemiJoin { left, right } => {
-                oblivious_semi_join(tracer, &left.execute(tracer), &right.execute(tracer))
+                observer.enter("semi_join");
+                let l = left.execute_observed(tracer, observer);
+                let r = right.execute_observed(tracer, observer);
+                let out = oblivious_semi_join(tracer, &l, &r);
+                observer.exit(&[l.len() as u64, r.len() as u64], out.len() as u64);
+                out
             }
             QueryPlan::AntiJoin { left, right } => {
-                oblivious_anti_join(tracer, &left.execute(tracer), &right.execute(tracer))
+                observer.enter("anti_join");
+                let l = left.execute_observed(tracer, observer);
+                let r = right.execute_observed(tracer, observer);
+                let out = oblivious_anti_join(tracer, &l, &r);
+                observer.exit(&[l.len() as u64, r.len() as u64], out.len() as u64);
+                out
             }
             QueryPlan::GroupAggregate { input, aggregate } => {
-                oblivious_group_aggregate(tracer, &input.execute(tracer), *aggregate)
+                observer.enter("group_aggregate");
+                let child = input.execute_observed(tracer, observer);
+                let out = oblivious_group_aggregate(tracer, &child, *aggregate);
+                observer.exit(&[child.len() as u64], out.len() as u64);
+                out
             }
             QueryPlan::JoinAggregate {
                 left,
                 right,
                 aggregate,
-            } => oblivious_join_aggregate(
-                tracer,
-                &left.execute(tracer),
-                &right.execute(tracer),
-                *aggregate,
-            ),
+            } => {
+                observer.enter("join_aggregate");
+                let l = left.execute_observed(tracer, observer);
+                let r = right.execute_observed(tracer, observer);
+                let out = oblivious_join_aggregate(tracer, &l, &r, *aggregate);
+                observer.exit(&[l.len() as u64, r.len() as u64], out.len() as u64);
+                out
+            }
         }
     }
 }

@@ -137,7 +137,35 @@ impl Client {
 
     /// Run a text query (parsed server-side by the engine's frontend).
     pub fn query(&mut self, query: impl Into<String>) -> Result<QueryReply, ClientError> {
-        self.query_text(query.into(), 0)
+        self.query_text(query.into(), 0, 0, false)
+    }
+
+    /// Run a text query and ask the server to attach the query's
+    /// per-operator span tree to the reply ([`QueryReply::trace`]).
+    /// `trace_id` is an opaque correlation id echoed back on the reply.
+    /// Collecting a trace changes nothing about execution — the engine
+    /// records spans either way; the flag only controls serialization.
+    pub fn query_traced(
+        &mut self,
+        query: impl Into<String>,
+        trace_id: u64,
+    ) -> Result<QueryReply, ClientError> {
+        self.query_text(query.into(), 0, trace_id, true)
+    }
+
+    /// Run `EXPLAIN ANALYZE <query>` and render the annotated operator
+    /// tree (revealed sizes, op counters and timings per span) as
+    /// indented text.  The inner query is executed normally server-side;
+    /// only the presentation differs from [`query_traced`](Client::query_traced).
+    pub fn explain_analyze(&mut self, query: impl AsRef<str>) -> Result<String, ClientError> {
+        let query = query.as_ref();
+        let reply = self.query_text(format!("EXPLAIN ANALYZE {query}"), 0, 0, true)?;
+        let trace = reply.trace.as_ref().ok_or_else(|| {
+            ClientError::Protocol("EXPLAIN ANALYZE reply carried no span tree".into())
+        })?;
+        let mut out = format!("-- {}\n-- cached: {}\n", query.trim(), reply.cached);
+        out.push_str(&trace.render_text(true));
+        Ok(out)
     }
 
     /// Run a text query with a server-enforced time budget: if `deadline`
@@ -151,17 +179,25 @@ impl Client {
         query: impl Into<String>,
         deadline: Duration,
     ) -> Result<QueryReply, ClientError> {
-        self.query_text(query.into(), deadline_to_ms(deadline))
+        self.query_text(query.into(), deadline_to_ms(deadline), 0, false)
     }
 
-    fn query_text(&mut self, query: String, deadline_ms: u32) -> Result<QueryReply, ClientError> {
+    fn query_text(
+        &mut self,
+        query: String,
+        deadline_ms: u32,
+        trace_id: u64,
+        collect_trace: bool,
+    ) -> Result<QueryReply, ClientError> {
         let request = Request::QueryText {
             token: self.token.clone(),
             deadline_ms,
+            trace_id,
+            collect_trace,
             query,
         };
         match self.roundtrip(&request)? {
-            Response::Reply(reply) => Ok(reply),
+            Response::Reply(reply) => Ok(*reply),
             other => Err(unexpected(other)),
         }
     }
@@ -169,7 +205,17 @@ impl Client {
     /// Run an already-built plan (shipped in the protocol's binary plan
     /// encoding; no text round-trip).
     pub fn query_plan(&mut self, plan: &Plan) -> Result<QueryReply, ClientError> {
-        self.query_plan_inner(plan, 0)
+        self.query_plan_inner(plan, 0, 0, false)
+    }
+
+    /// Run an already-built plan with the span tree attached to the reply
+    /// (the plan-shipping counterpart of [`query_traced`](Client::query_traced)).
+    pub fn query_plan_traced(
+        &mut self,
+        plan: &Plan,
+        trace_id: u64,
+    ) -> Result<QueryReply, ClientError> {
+        self.query_plan_inner(plan, 0, trace_id, true)
     }
 
     /// Run an already-built plan under a time budget (the plan-shipping
@@ -179,21 +225,25 @@ impl Client {
         plan: &Plan,
         deadline: Duration,
     ) -> Result<QueryReply, ClientError> {
-        self.query_plan_inner(plan, deadline_to_ms(deadline))
+        self.query_plan_inner(plan, deadline_to_ms(deadline), 0, false)
     }
 
     fn query_plan_inner(
         &mut self,
         plan: &Plan,
         deadline_ms: u32,
+        trace_id: u64,
+        collect_trace: bool,
     ) -> Result<QueryReply, ClientError> {
         let request = Request::QueryPlan {
             token: self.token.clone(),
             deadline_ms,
+            trace_id,
+            collect_trace,
             plan: plan.clone(),
         };
         match self.roundtrip(&request)? {
-            Response::Reply(reply) => Ok(reply),
+            Response::Reply(reply) => Ok(*reply),
             other => Err(unexpected(other)),
         }
     }
@@ -444,6 +494,22 @@ impl<'a> RetryingClient<'a> {
     ) -> Result<QueryReply, ClientError> {
         let query = query.into();
         self.run(|client| client.query_with_deadline(query.clone(), deadline))
+    }
+
+    /// [`Client::query_traced`] with retries.
+    pub fn query_traced(
+        &mut self,
+        query: impl Into<String>,
+        trace_id: u64,
+    ) -> Result<QueryReply, ClientError> {
+        let query = query.into();
+        self.run(|client| client.query_traced(query.clone(), trace_id))
+    }
+
+    /// [`Client::explain_analyze`] with retries.
+    pub fn explain_analyze(&mut self, query: impl AsRef<str>) -> Result<String, ClientError> {
+        let query = query.as_ref();
+        self.run(|client| client.explain_analyze(query))
     }
 
     /// [`Client::query_plan`] with retries.

@@ -25,8 +25,8 @@
 //! ## Requests (`version:u8 opcode:u8 …`)
 //!
 //! ```text
-//! 0x01 QUERY_TEXT  token:str16 deadline_ms:u32be query:str16
-//! 0x02 QUERY_PLAN  token:str16 deadline_ms:u32be plan
+//! 0x01 QUERY_TEXT  token:str16 deadline_ms:u32be trace_id:u64be collect_trace:u8 query:str16
+//! 0x02 QUERY_PLAN  token:str16 deadline_ms:u32be trace_id:u64be collect_trace:u8 plan
 //! 0x03 STATS       token:str16
 //! 0x04 METRICS     token:str16
 //! ```
@@ -41,13 +41,19 @@
 //! execution phases, answering with a typed
 //! [`ErrorKind::DeadlineExceeded`] frame when the budget is exhausted.
 //! The deadline is a client-chosen public parameter, so enforcing it
-//! reveals nothing about table contents.
+//! reveals nothing about table contents.  `trace_id` is an opaque
+//! client-chosen correlation id echoed back on the matching reply, and
+//! `collect_trace` (`0`/`1`) asks the server to attach the query's
+//! per-operator span tree to the reply — the engine records the tree
+//! either way, the flag only controls serialization, so requesting a
+//! trace changes nothing about execution.
 //!
 //! ## Responses (`version:u8 status:u8 …`)
 //!
 //! ```text
-//! 0x00 OK_REPLY    label:str16 cached:u8 summary schema rows:u32be rowbytes*
-//! 0x02 OK_STATS    session:u64be×7 cache:u64be×5
+//! 0x00 OK_REPLY    label:str16 cached:u8 trace_id:u64be summary schema
+//!                  rows:u32be rowbytes* has_trace:u8 [span]
+//! 0x02 OK_STATS    session:u64be×7 cache:u64be×5 build:str16 uptime_secs:u64be
 //! 0x03 ERROR       kind:u8 retry_after_ms:u32be message:str16
 //! 0x04 OK_METRICS  nseries:u32be series*
 //! ```
@@ -67,7 +73,14 @@
 //! `ncols:u16be (name:str16 type)*` with `type` one of `0` (`u64`), `1`
 //! (`i64`), `2` (`bool`), `3 width:u16be` (`bytes[width]`).  `OK_STATS`
 //! carries the connection session's [`SessionStats`] followed by the
-//! engine-wide result-cache [`CacheStats`].  Each `OK_METRICS` `series`
+//! engine-wide result-cache [`CacheStats`], the server's build version
+//! string and its uptime in whole seconds.  The reply's `trace_id`
+//! echoes the request's; `has_trace` is `0` or `1`, and when `1` a
+//! recursive `span` follows: `name:str16 detail:str16 ninputs:u16be
+//! (rows:u64be)* output_rows:u64be output_row_width:u64be
+//! counters:u64be×4 total_ns:u64be self_ns:u64be nchildren:u16be
+//! span*`, depth-limited on decode like the plan codec.  Each
+//! `OK_METRICS` `series`
 //! is `name:str16 class:u8 nlabels:u16be (key:str16 value:str16)* value`
 //! with `value` one of `0 v:u64be` (counter), `1 v:u64be` (gauge,
 //! two's-complement `i64`), `2 count:u64be sum:u64be nbuckets:u16be
@@ -77,10 +90,13 @@
 //!
 //! ## Versioning
 //!
-//! Protocol **4** (this build) is the resilience revision: it added the
-//! per-request `deadline_ms` budget, the `retry_after_ms` hint on error
-//! frames, and the [`ErrorKind::DeadlineExceeded`] /
-//! [`ErrorKind::Overloaded`] categories.  Version 3 was the
+//! Protocol **5** (this build) is the tracing revision: it added the
+//! per-request `trace_id` correlation id and `collect_trace` flag, the
+//! optional per-operator span tree on `OK_REPLY`, and the build/uptime
+//! block on `OK_STATS`.  Version 4 was the resilience revision
+//! (per-request `deadline_ms` budget, `retry_after_ms` hint on error
+//! frames, the [`ErrorKind::DeadlineExceeded`] /
+//! [`ErrorKind::Overloaded`] categories); version 3 was the
 //! observability revision (`METRICS` probe, per-phase durations in
 //! `summary`, the cache block in `OK_STATS`); version 2 had introduced
 //! the unified plan codec and the schema-carrying reply form.  A request
@@ -91,7 +107,7 @@ use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
-use obliv_engine::{CacheStats, Plan, QueryResponse, QuerySummary, Rows, SessionStats};
+use obliv_engine::{CacheStats, Plan, QueryResponse, QuerySummary, Rows, SessionStats, SpanNode};
 use obliv_join::schema::{ColumnType, Schema, Value, WideTable};
 use obliv_operators::{Aggregate, JoinAggregate, WideCmp, WidePredicate};
 use obliv_telemetry::{
@@ -102,7 +118,7 @@ use obliv_trace::OpCounters;
 /// The one protocol version this build speaks.  A request frame with any
 /// other version byte is answered with
 /// [`ErrorKind::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u8 = 4;
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Upper bound on a request frame's body, in bytes.  Requests are plans
 /// and tokens — kilobytes at most — so the bound is tight to cap what an
@@ -120,6 +136,11 @@ pub const MAX_ERROR_MESSAGE: usize = 300;
 /// Maximum plan-tree depth the decoder will follow.
 const MAX_PLAN_DEPTH: usize = 64;
 
+/// Maximum span-tree depth the decoder will follow.  A span tree is the
+/// executed plan plus the root `query` span, so it is allowed two levels
+/// more than the plan codec.
+const MAX_TRACE_DEPTH: usize = MAX_PLAN_DEPTH + 2;
+
 // ---------------------------------------------------------------------------
 // Messages
 // ---------------------------------------------------------------------------
@@ -133,6 +154,11 @@ pub enum Request {
         token: String,
         /// Time budget in milliseconds from server arrival; `0` = none.
         deadline_ms: u32,
+        /// Opaque client-chosen correlation id, echoed on the reply.
+        trace_id: u64,
+        /// Attach the query's span tree to the reply.  Serialization
+        /// only — the engine records the tree either way.
+        collect_trace: bool,
         /// The pipeline query text.
         query: String,
     },
@@ -142,6 +168,11 @@ pub enum Request {
         token: String,
         /// Time budget in milliseconds from server arrival; `0` = none.
         deadline_ms: u32,
+        /// Opaque client-chosen correlation id, echoed on the reply.
+        trace_id: u64,
+        /// Attach the query's span tree to the reply.  Serialization
+        /// only — the engine records the tree either way.
+        collect_trace: bool,
         /// The plan to execute.
         plan: Plan,
     },
@@ -180,20 +211,32 @@ pub struct QueryReply {
     pub label: String,
     /// Served from the engine's result cache (or deduplicated in-batch).
     pub cached: bool,
+    /// The request's correlation id, echoed back verbatim.
+    pub trace_id: u64,
     /// The query's leakage and cost accounting, digest included.
     pub summary: QuerySummary,
     /// The result rows under the plan's output schema.
     pub rows: Rows,
+    /// The query's per-operator span tree, present when the request set
+    /// `collect_trace` (cache hits replay the original execution's tree).
+    pub trace: Option<SpanNode>,
 }
 
 impl QueryReply {
-    /// Build the wire reply for an engine response.
-    pub fn from_response(response: &QueryResponse) -> QueryReply {
+    /// Build the wire reply for an engine response, attaching the span
+    /// tree when the request asked for it.
+    pub fn from_response(
+        response: &QueryResponse,
+        trace_id: u64,
+        collect_trace: bool,
+    ) -> QueryReply {
         QueryReply {
             label: response.label.clone(),
             cached: response.cached,
+            trace_id,
             summary: response.summary.clone(),
             rows: response.rows.clone(),
+            trace: collect_trace.then(|| response.trace.as_ref().clone()),
         }
     }
 }
@@ -311,20 +354,27 @@ impl std::error::Error for WireError {}
 /// The answer to a [`Request::Stats`] probe: the connection session's
 /// accounting plus the engine-wide result-cache accounting, so one probe
 /// shows both "what did *I* cost" and "what is the shared cache doing".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsReply {
     /// The connection session's cumulative per-tenant stats.
     pub session: SessionStats,
     /// The engine-wide result-cache stats (shared across tenants; its
     /// fields are functions of public parameters only).
     pub cache: CacheStats,
+    /// The server's build version (its crate version string) — a public
+    /// constant of the binary.
+    pub build: String,
+    /// Whole seconds since the server was constructed.  Timing-adjacent
+    /// but a function of wall clock only, never of data.
+    pub uptime_secs: u64,
 }
 
 /// One server→client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// An answered query.
-    Reply(QueryReply),
+    /// An answered query.  Boxed: the reply (summary, schema, rows,
+    /// optional span tree) dwarfs the other variants.
+    Reply(Box<QueryReply>),
     /// The connection session's cumulative stats plus cache stats.
     Stats(StatsReply),
     /// A registry snapshot.
@@ -549,6 +599,15 @@ impl<'a> Reader<'a> {
             )));
         }
         Ok(())
+    }
+}
+
+/// Decode one `0`/`1` flag byte, naming the field in the error.
+fn get_bool(r: &mut Reader<'_>, what: &str) -> Result<bool, DecodeError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(DecodeError::new(format!("bad {what} byte {other}"))),
     }
 }
 
@@ -991,6 +1050,72 @@ fn get_schema(r: &mut Reader<'_>) -> Result<Schema, DecodeError> {
     Schema::new(columns).map_err(|e| DecodeError::new(format!("invalid schema on the wire: {e}")))
 }
 
+fn put_span(w: &mut Writer, node: &SpanNode) {
+    w.str16(&node.name);
+    w.str16(&node.detail);
+    if node.input_rows.len() > u16::MAX as usize {
+        w.overflowed("span input count", node.input_rows.len(), u16::MAX as usize);
+        return;
+    }
+    w.u16(node.input_rows.len() as u16);
+    for rows in &node.input_rows {
+        w.u64(*rows);
+    }
+    w.u64(node.output_rows);
+    w.u64(node.output_row_width);
+    w.u64(node.counters.comparisons);
+    w.u64(node.counters.compare_exchanges);
+    w.u64(node.counters.routing_hops);
+    w.u64(node.counters.linear_steps);
+    w.u64(node.total_ns);
+    w.u64(node.self_ns);
+    if node.children.len() > u16::MAX as usize {
+        w.overflowed("span child count", node.children.len(), u16::MAX as usize);
+        return;
+    }
+    w.u16(node.children.len() as u16);
+    for child in &node.children {
+        put_span(w, child);
+    }
+}
+
+fn get_span(r: &mut Reader<'_>, depth: usize) -> Result<SpanNode, DecodeError> {
+    if depth > MAX_TRACE_DEPTH {
+        return Err(DecodeError::new(format!(
+            "span tree nests deeper than {MAX_TRACE_DEPTH} spans"
+        )));
+    }
+    let name = r.str16()?;
+    let detail = r.str16()?;
+    let input_rows = (0..r.u16()?)
+        .map(|_| r.u64())
+        .collect::<Result<Vec<_>, _>>()?;
+    let output_rows = r.u64()?;
+    let output_row_width = r.u64()?;
+    let counters = OpCounters {
+        comparisons: r.u64()?,
+        compare_exchanges: r.u64()?,
+        routing_hops: r.u64()?,
+        linear_steps: r.u64()?,
+    };
+    let total_ns = r.u64()?;
+    let self_ns = r.u64()?;
+    let children = (0..r.u16()?)
+        .map(|_| get_span(r, depth + 1))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SpanNode {
+        name,
+        detail,
+        input_rows,
+        output_rows,
+        output_row_width,
+        counters,
+        total_ns,
+        self_ns,
+        children,
+    })
+}
+
 fn put_stats(w: &mut Writer, s: &StatsReply) {
     w.u64(s.session.queries);
     w.u64(s.session.trace_events);
@@ -1004,6 +1129,8 @@ fn put_stats(w: &mut Writer, s: &StatsReply) {
     w.u64(s.cache.evictions);
     w.u64(s.cache.entries);
     w.u64(s.cache.bytes);
+    w.str16(&s.build);
+    w.u64(s.uptime_secs);
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<StatsReply, DecodeError> {
@@ -1024,6 +1151,8 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsReply, DecodeError> {
             entries: r.u64()?,
             bytes: r.u64()?,
         },
+        build: r.str16()?,
+        uptime_secs: r.u64()?,
     })
 }
 
@@ -1130,21 +1259,29 @@ impl Request {
             Request::QueryText {
                 token,
                 deadline_ms,
+                trace_id,
+                collect_trace,
                 query,
             } => {
                 w.u8(1);
                 w.str16(token);
                 w.u32(*deadline_ms);
+                w.u64(*trace_id);
+                w.u8(*collect_trace as u8);
                 w.str16(query);
             }
             Request::QueryPlan {
                 token,
                 deadline_ms,
+                trace_id,
+                collect_trace,
                 plan,
             } => {
                 w.u8(2);
                 w.str16(token);
                 w.u32(*deadline_ms);
+                w.u64(*trace_id);
+                w.u8(*collect_trace as u8);
                 put_plan(&mut w, plan);
             }
             Request::Stats { token } => {
@@ -1167,11 +1304,15 @@ impl Request {
             1 => Request::QueryText {
                 token: r.str16()?,
                 deadline_ms: r.u32()?,
+                trace_id: r.u64()?,
+                collect_trace: get_bool(&mut r, "collect_trace")?,
                 query: r.str16()?,
             },
             2 => Request::QueryPlan {
                 token: r.str16()?,
                 deadline_ms: r.u32()?,
+                trace_id: r.u64()?,
+                collect_trace: get_bool(&mut r, "collect_trace")?,
                 plan: get_plan(&mut r, 0)?,
             },
             3 => Request::Stats { token: r.str16()? },
@@ -1195,12 +1336,20 @@ impl Response {
                 w.u8(0);
                 w.str16(&reply.label);
                 w.u8(reply.cached as u8);
+                w.u64(reply.trace_id);
                 put_summary(&mut w, &reply.summary);
                 let table = reply.rows.table();
                 put_schema(&mut w, table.schema());
                 w.u32(table.len() as u32);
                 for row in table.rows() {
                     w.bytes(row);
+                }
+                match &reply.trace {
+                    Some(trace) => {
+                        w.u8(1);
+                        put_span(&mut w, trace);
+                    }
+                    None => w.u8(0),
                 }
             }
             Response::Stats(stats) => {
@@ -1229,21 +1378,24 @@ impl Response {
         let response = match status {
             0 => {
                 let label = r.str16()?;
-                let cached = match r.u8()? {
-                    0 => false,
-                    1 => true,
-                    other => return Err(DecodeError::new(format!("bad cached byte {other}"))),
-                };
+                let cached = get_bool(&mut r, "cached")?;
+                let trace_id = r.u64()?;
                 let summary = get_summary(&mut r)?;
                 let schema = get_schema(&mut r)?;
                 let n = r.u32()? as usize;
                 let data = r.take(n * schema.row_width())?.to_vec();
-                Response::Reply(QueryReply {
+                let trace = match get_bool(&mut r, "has_trace")? {
+                    true => Some(get_span(&mut r, 0)?),
+                    false => None,
+                };
+                Response::Reply(Box::new(QueryReply {
                     label,
                     cached,
+                    trace_id,
                     summary,
                     rows: Rows::from_wide(WideTable::from_encoded(Arc::new(schema), data)),
-                })
+                    trace,
+                }))
             }
             2 => Response::Stats(get_stats(&mut r)?),
             3 => Response::Error(WireError {
@@ -1298,6 +1450,52 @@ mod tests {
         }
     }
 
+    fn span_tree() -> SpanNode {
+        let scan = SpanNode {
+            name: "scan".into(),
+            detail: "orders".into(),
+            input_rows: vec![],
+            output_rows: 32,
+            output_row_width: 16,
+            counters: OpCounters::default(),
+            total_ns: 1_000,
+            self_ns: 1_000,
+            children: vec![],
+        };
+        let join = SpanNode {
+            name: "join".into(),
+            detail: "o_key=o_key".into(),
+            input_rows: vec![32, 16],
+            output_rows: 48,
+            output_row_width: 24,
+            counters: OpCounters {
+                comparisons: 100,
+                compare_exchanges: 50,
+                routing_hops: 25,
+                linear_steps: 200,
+            },
+            total_ns: 9_000,
+            self_ns: 7_000,
+            children: vec![scan.clone(), scan],
+        };
+        SpanNode {
+            name: "query".into(),
+            detail: String::new(),
+            input_rows: vec![],
+            output_rows: 48,
+            output_row_width: 24,
+            counters: OpCounters {
+                comparisons: 100,
+                compare_exchanges: 50,
+                routing_hops: 25,
+                linear_steps: 200,
+            },
+            total_ns: 10_000,
+            self_ns: 1_000,
+            children: vec![join],
+        }
+    }
+
     #[test]
     fn requests_roundtrip() {
         roundtrip_request(Request::Stats {
@@ -1306,12 +1504,17 @@ mod tests {
         roundtrip_request(Request::QueryText {
             token: "acme".into(),
             deadline_ms: 0,
+            trace_id: 0,
+            collect_trace: false,
             query: "JOIN orders lineitem ON o_key | FILTER price>=100 | AGG sum(qty)".into(),
         });
-        // A nonzero deadline budget crosses the wire intact.
+        // A nonzero deadline budget, correlation id and trace flag cross
+        // the wire intact.
         roundtrip_request(Request::QueryText {
             token: "acme".into(),
             deadline_ms: 2_500,
+            trace_id: 0xdead_beef_cafe_f00d,
+            collect_trace: true,
             query: "SCAN orders | AGG count".into(),
         });
         // Every plan node and parameter type crosses the wire intact,
@@ -1330,6 +1533,8 @@ mod tests {
             roundtrip_request(Request::QueryPlan {
                 token: "t0".into(),
                 deadline_ms: 750,
+                trace_id: 7,
+                collect_trace: true,
                 plan: parse_query(text).unwrap(),
             });
         }
@@ -1348,12 +1553,14 @@ mod tests {
             )
             .unwrap(),
         );
-        roundtrip_response(Response::Reply(QueryReply {
+        roundtrip_response(Response::Reply(Box::new(QueryReply {
             label: "acme/q0".into(),
             cached: true,
+            trace_id: 99,
             summary: summary(),
             rows: pair,
-        }));
+            trace: None,
+        })));
         let schema = Schema::new([
             ("k", ColumnType::U64),
             ("p", ColumnType::I64),
@@ -1379,12 +1586,16 @@ mod tests {
             ],
         )
         .unwrap();
-        roundtrip_response(Response::Reply(QueryReply {
+        // A reply carrying a full span tree (nested children, counters,
+        // multi-input spans) round-trips field-for-field.
+        roundtrip_response(Response::Reply(Box::new(QueryReply {
             label: "acme/q1".into(),
             cached: false,
+            trace_id: u64::MAX,
             summary: summary(),
             rows: Rows::from_wide(table),
-        }));
+            trace: Some(span_tree()),
+        })));
         roundtrip_response(Response::Stats(StatsReply {
             session: SessionStats {
                 queries: 4,
@@ -1402,6 +1613,8 @@ mod tests {
                 entries: 4,
                 bytes: 4096,
             },
+            build: "0.1.0".into(),
+            uptime_secs: 86_401,
         }));
         roundtrip_response(Response::Error(WireError::new(
             ErrorKind::Query,
@@ -1476,10 +1689,10 @@ mod tests {
         // A version mismatch is distinguishable from garbage — in
         // particular the previous protocol versions are answered with a
         // typed version error, not a parse error.
-        for old in [1u8, 2, 3] {
+        for old in [1u8, 2, 3, 4] {
             let versioned = Request::decode(&[old, 1]).unwrap_err();
             assert!(is_version_error(&versioned));
-            assert!(versioned.message().contains("this build speaks 4"));
+            assert!(versioned.message().contains("this build speaks 5"));
         }
         assert!(!is_version_error(&err));
     }
@@ -1495,6 +1708,8 @@ mod tests {
         let body = Request::QueryPlan {
             token: "t".into(),
             deadline_ms: 0,
+            trace_id: 0,
+            collect_trace: false,
             plan,
         }
         .encode()
@@ -1504,10 +1719,39 @@ mod tests {
     }
 
     #[test]
+    fn span_depth_is_bounded_on_decode() {
+        // A 1000-deep chain of spans encodes fine; decode refuses at the
+        // trace depth bound.
+        let mut trace = span_tree();
+        for _ in 0..1000 {
+            let mut parent = span_tree();
+            parent.children = vec![trace];
+            trace = parent;
+        }
+        let body = Response::Reply(Box::new(QueryReply {
+            label: "acme/q0".into(),
+            cached: false,
+            trace_id: 0,
+            summary: summary(),
+            rows: Rows::from_wide(
+                WideTable::from_rows(Schema::pair(), [vec![Value::U64(1), Value::U64(10)]])
+                    .unwrap(),
+            ),
+            trace: Some(trace),
+        }))
+        .encode()
+        .unwrap();
+        let err = Response::decode(&body).unwrap_err();
+        assert!(err.message().contains("deeper"));
+    }
+
+    #[test]
     fn oversized_fields_fail_encode_instead_of_panicking() {
         let err = Request::QueryText {
             token: "t".into(),
             deadline_ms: 0,
+            trace_id: 0,
+            collect_trace: false,
             query: "x".repeat(70_000),
         }
         .encode()
@@ -1518,6 +1762,8 @@ mod tests {
         let err = Request::QueryPlan {
             token: "t".into(),
             deadline_ms: 0,
+            trace_id: 0,
+            collect_trace: false,
             plan: Plan::scan("t").filter(WidePredicate::equals(
                 "tag",
                 Value::Bytes(vec![0x41; 70_000]),

@@ -52,7 +52,9 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use obliv_chaos::{points, Fault, Faults};
-use obliv_engine::{parse_query, Engine, EngineError, Plan, QueryRequest, QueryResponse, Session};
+use obliv_engine::{
+    parse_statement, Engine, EngineError, Plan, QueryRequest, QueryResponse, Session, Statement,
+};
 use obliv_telemetry::{Counter, Gauge, Histogram, MetricClass, MetricsRegistry};
 
 use crate::proto::{
@@ -248,6 +250,9 @@ struct Inner {
     /// unlike the connection gate this one never blocks — it answers
     /// `Overloaded` instead).
     in_flight: AtomicUsize,
+    /// When the server was constructed; `OK_STATS` reports whole seconds
+    /// since then.
+    started: Instant,
 }
 
 impl Inner {
@@ -366,6 +371,7 @@ impl Server {
                 slot_freed: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 in_flight: AtomicUsize::new(0),
+                started: Instant::now(),
             }),
             addr: None,
             batch_tx: Some(batch_tx),
@@ -805,17 +811,49 @@ fn handle_connection<C: Connection>(inner: &Inner, conn: C, batch_tx: mpsc::Send
             Request::Stats { .. } => Response::Stats(StatsReply {
                 session: session.stats(),
                 cache: engine.cache_stats(),
+                build: env!("CARGO_PKG_VERSION").to_string(),
+                uptime_secs: inner.started.elapsed().as_secs(),
             }),
             Request::Metrics { .. } => Response::Metrics(engine.metrics().snapshot()),
             Request::QueryText {
-                query, deadline_ms, ..
-            } => match parse_query(&query) {
-                Ok(plan) => run_query(inner, session, plan, deadline_ms, &batch_tx),
+                query,
+                deadline_ms,
+                trace_id,
+                collect_trace,
+                ..
+            } => match parse_statement(&query) {
+                // `EXPLAIN ANALYZE <query>` executes the inner query
+                // normally and forces the span tree onto the reply,
+                // whatever the request's `collect_trace` flag said.
+                Ok(Statement::ExplainAnalyze(plan)) => {
+                    run_query(inner, session, plan, deadline_ms, trace_id, true, &batch_tx)
+                }
+                Ok(Statement::Query(plan)) => run_query(
+                    inner,
+                    session,
+                    plan,
+                    deadline_ms,
+                    trace_id,
+                    collect_trace,
+                    &batch_tx,
+                ),
                 Err(e) => Response::Error(WireError::new(ErrorKind::Query, e.to_string())),
             },
             Request::QueryPlan {
-                plan, deadline_ms, ..
-            } => run_query(inner, session, plan, deadline_ms, &batch_tx),
+                plan,
+                deadline_ms,
+                trace_id,
+                collect_trace,
+                ..
+            } => run_query(
+                inner,
+                session,
+                plan,
+                deadline_ms,
+                trace_id,
+                collect_trace,
+                &batch_tx,
+            ),
         };
         // `server/write`: `Torn` ships a partial frame and drops the
         // connection (the client sees a mid-frame EOF); `Disconnect`
@@ -854,6 +892,8 @@ fn run_query(
     session: &mut Session<'_>,
     plan: Plan,
     deadline_ms: u32,
+    trace_id: u64,
+    collect_trace: bool,
     batch_tx: &mpsc::Sender<BatchItem>,
 ) -> Response {
     let metrics = &inner.metrics;
@@ -907,7 +947,11 @@ fn run_query(
     match outcome {
         Ok(Ok(response)) => {
             session.record(&response);
-            Response::Reply(QueryReply::from_response(&response))
+            Response::Reply(Box::new(QueryReply::from_response(
+                &response,
+                trace_id,
+                collect_trace,
+            )))
         }
         Ok(Err(BatchError::Engine(e @ EngineError::DeadlineExceeded { .. }))) => {
             Response::Error(WireError::new(ErrorKind::DeadlineExceeded, e.to_string()))

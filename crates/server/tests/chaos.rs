@@ -398,6 +398,93 @@ fn unknown_table_is_isolated_as_a_resolution_rerun() {
     server.shutdown();
 }
 
+/// Scenario 12 (tracing): an aborted execution — a contained worker
+/// panic or an expired deadline — never deposits a partial span tree
+/// anywhere an observer could read one.  The slow-query ring only ever
+/// holds complete trees (it is fed at batch finalisation, which aborted
+/// batches never reach), and a traced reply after a panic-rerun carries
+/// the complete tree of the re-execution, not debris from the aborted
+/// attempt.
+#[test]
+fn aborted_executions_never_leak_partial_span_trees() {
+    // Part 1: a worker panic aborts the first execution; the batcher
+    // re-runs and answers.  The reply's tree and the single slow-query
+    // record must both be the complete re-execution tree.
+    let engine_faults = FaultPlan::new()
+        .seed(12)
+        .once(points::ENGINE_WORKER, Fault::Panic)
+        .build();
+    let workload = obliv_workloads::orders_lineitem(32, 8);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 1,
+        result_cache: true,
+        faults: engine_faults,
+        slow_query_threshold: Some(Duration::ZERO),
+        ..Default::default()
+    }));
+    engine
+        .register_table("left", workload.left.clone())
+        .unwrap();
+    engine
+        .register_table("right", workload.right.clone())
+        .unwrap();
+    let server = Server::without_listener(Arc::clone(&engine), ServerConfig::default());
+
+    let mut c = client(&server, "t");
+    let reply = c.query_traced(JOIN_QUERY, 12).unwrap();
+    let tree = reply.trace.expect("traced reply");
+    assert_eq!(tree.name, "query");
+    assert!(tree.timing_is_consistent());
+    let records = engine.slow_queries().records();
+    assert_eq!(
+        records.len(),
+        1,
+        "only the completed re-execution may be recorded"
+    );
+    assert_eq!(*records[0].trace, tree, "the ring holds the complete tree");
+    server.shutdown();
+
+    // Part 2: a stalled worker blows through the request's deadline; the
+    // aborted execution must leave the slow-query ring empty even with a
+    // zero threshold — there is no partial record to leak.
+    let engine_faults = FaultPlan::new()
+        .seed(12)
+        .once(
+            points::ENGINE_WORKER,
+            Fault::Delay(Duration::from_millis(80)),
+        )
+        .build();
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 1,
+        result_cache: true,
+        faults: engine_faults,
+        slow_query_threshold: Some(Duration::ZERO),
+        ..Default::default()
+    }));
+    engine.register_table("left", workload.left).unwrap();
+    engine.register_table("right", workload.right).unwrap();
+    let server = Server::without_listener(Arc::clone(&engine), ServerConfig::default());
+
+    let mut c = client(&server, "t");
+    match c.query_with_deadline(JOIN_QUERY, Duration::from_millis(20)) {
+        Err(ClientError::Server(e)) => assert_eq!(e.kind, ErrorKind::DeadlineExceeded),
+        other => panic!("expected a typed deadline frame, got {other:?}"),
+    }
+    assert_eq!(
+        engine.slow_queries().total_recorded(),
+        0,
+        "an aborted execution must record nothing, partial or otherwise"
+    );
+
+    // A clean follow-up is recorded whole.
+    c.query(COUNT_QUERY).unwrap();
+    let records = engine.slow_queries().records();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].trace.name, "query");
+    assert!(records[0].trace.timing_is_consistent());
+    server.shutdown();
+}
+
 /// The leakage invariant: an identical workload produces bit-identical
 /// `Content`-class metrics and audit exports whether or not a fault
 /// schedule (torn frame → client retry, worker panic → batch rerun, read

@@ -9,14 +9,16 @@
 //!   clients over the loopback transport,
 //! * malformed, mis-versioned and oversized frames produce typed protocol
 //!   errors without killing the server,
-//! * the connection limit back-pressures accepts instead of failing them.
+//! * the connection limit back-pressures accepts instead of failing them,
+//! * traces are opt-in, cache hits replay them, `EXPLAIN ANALYZE` works
+//!   over the wire, and span-tree Content fields are content-independent.
 
 use std::io::Write;
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use obliv_engine::{parse_query, Engine, EngineConfig, MetricsSnapshot, QueryRequest};
+use obliv_engine::{parse_query, Engine, EngineConfig, MetricsSnapshot, QueryRequest, SpanNode};
 use obliv_join::Table;
 use obliv_server::proto::{read_frame, write_frame, Request, Response};
 use obliv_server::{Client, ClientError, ErrorKind, Server, ServerConfig, MAX_RESPONSE_FRAME};
@@ -341,6 +343,135 @@ fn server_metric_snapshots_depend_only_on_public_parameters() {
     );
 }
 
+/// The tracing surface end to end: traces are opt-in per request, the
+/// correlation id is echoed, cache hits replay the original execution's
+/// tree, and `EXPLAIN ANALYZE` forces a trace onto the reply and renders
+/// it client-side.
+#[test]
+fn traces_are_opt_in_and_replayed_from_cache() {
+    let engine = wide_engine(2);
+    let server = Server::without_listener(engine, ServerConfig::default());
+    let mut client = Client::over(server.connect_loopback().unwrap(), "t");
+
+    let plain = client.query(ACCEPTANCE_QUERY).unwrap();
+    assert!(plain.trace.is_none(), "traces must be opt-in");
+    assert_eq!(plain.trace_id, 0);
+
+    let traced = client.query_traced(ACCEPTANCE_QUERY, 0xabad_1dea).unwrap();
+    assert!(traced.cached, "second identical query hits the cache");
+    assert_eq!(traced.trace_id, 0xabad_1dea);
+    let tree = traced.trace.expect("requested trace must be attached");
+    assert_eq!(tree.name, "query");
+    assert!(tree.timing_is_consistent());
+    assert!(
+        tree.span_count() >= 5,
+        "join + filter + agg plan has at least root, queue_wait and 3 operators; got:\n{}",
+        tree.render_text(true)
+    );
+    assert_eq!(tree.output_rows, traced.summary.output_rows as u64);
+
+    // The cache hit replayed the *original* execution's tree: a second
+    // traced hit returns it bit-identically, timing fields included.
+    let again = client.query_traced(ACCEPTANCE_QUERY, 1).unwrap();
+    assert_eq!(again.trace.unwrap(), tree);
+
+    // The plan-shipping path carries the same trace surface.
+    let by_plan = client
+        .query_plan_traced(&parse_query(ACCEPTANCE_QUERY).unwrap(), 2)
+        .unwrap();
+    assert_eq!(by_plan.trace.unwrap(), tree);
+
+    // `EXPLAIN ANALYZE` forces the trace even when the request flag is
+    // off (a plain `query` call)...
+    let forced = client
+        .query(format!("EXPLAIN ANALYZE {ACCEPTANCE_QUERY}"))
+        .unwrap();
+    assert_eq!(forced.trace.unwrap(), tree);
+    // ...and the client convenience renders the annotated tree.
+    let text = client.explain_analyze(ACCEPTANCE_QUERY).unwrap();
+    assert!(text.contains("-- cached: true"), "got:\n{text}");
+    for needle in [
+        "query (",
+        "queue_wait (",
+        "join o_key=o_key",
+        "scan orders",
+        "total=",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    drop(client);
+    server.shutdown();
+}
+
+/// The tracing leakage contract end to end: two servers fronting engines
+/// loaded with same-shaped tables of *different contents* (identical
+/// sizes and key multiplicities), asked for `EXPLAIN ANALYZE` over the
+/// wire, must return span trees whose structure and Content fields are
+/// bit-identical — only the Timing (`*_ns`) fields may differ.
+#[test]
+fn wire_traces_depend_only_on_public_parameters() {
+    let run = |twist: u64| -> Vec<(SpanNode, String)> {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: 2,
+            ..Default::default()
+        }));
+        engine
+            .register_table(
+                "a",
+                Table::from_pairs((0..64u64).map(|k| (k % 16, k.wrapping_mul(twist) ^ twist))),
+            )
+            .unwrap();
+        engine
+            .register_table(
+                "b",
+                Table::from_pairs((0..48u64).map(|k| (k % 16, k + twist))),
+            )
+            .unwrap();
+        let server = Server::without_listener(engine, ServerConfig::default());
+        let mut client = Client::over(server.connect_loopback().unwrap(), "tenant");
+        let mut trees = Vec::new();
+        for query in [
+            "EXPLAIN ANALYZE JOIN a b",
+            "EXPLAIN ANALYZE JOINAGG a b count",
+            "EXPLAIN ANALYZE SCAN a | DISTINCT",
+        ] {
+            let reply = client.query(query).unwrap();
+            let tree = reply.trace.expect("EXPLAIN ANALYZE forces a trace");
+            trees.push((tree.without_timing(), tree.render_text(false)));
+        }
+        drop(client);
+        server.shutdown();
+        trees
+    };
+    let a = run(3);
+    let b = run(0x5a5a);
+    assert_eq!(
+        a, b,
+        "span-tree Content fields differ between runs that differ only in data"
+    );
+}
+
+/// `OK_STATS` carries the server's build version and uptime next to the
+/// session and cache blocks.
+#[test]
+fn stats_report_build_and_uptime() {
+    let engine = wide_engine(1);
+    let server = Server::without_listener(engine, ServerConfig::default());
+    let mut client = Client::over(server.connect_loopback().unwrap(), "t");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.build, env!("CARGO_PKG_VERSION"));
+    assert!(
+        stats.uptime_secs < 600,
+        "a freshly started server reports a small uptime, got {}",
+        stats.uptime_secs
+    );
+
+    drop(client);
+    server.shutdown();
+}
+
 #[test]
 fn malformed_frames_get_typed_errors_without_killing_the_server() {
     let engine = wide_engine(1);
@@ -384,6 +515,8 @@ fn malformed_frames_get_typed_errors_without_killing_the_server() {
         &Request::QueryText {
             token: "t".into(),
             deadline_ms: 0,
+            trace_id: 0,
+            collect_trace: false,
             query: "SCAN orders | AGG count BY region".into(),
         }
         .encode()

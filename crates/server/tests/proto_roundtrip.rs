@@ -111,6 +111,8 @@ fn arbitrary_plans_roundtrip_bit_identically() {
         let request = Request::QueryPlan {
             token: ident(&mut rng),
             deadline_ms: rng.gen_range(0u64..5_000) as u32,
+            trace_id: rng.gen(),
+            collect_trace: rng.gen_range(0u64..=1) == 1,
             plan,
         };
         let body = match request.encode() {
@@ -147,6 +149,8 @@ fn overdeep_plans_are_typed_errors_not_stack_overflows() {
     let body = Request::QueryPlan {
         token: "t".into(),
         deadline_ms: 0,
+        trace_id: 0,
+        collect_trace: false,
         plan,
     }
     .encode()
@@ -163,6 +167,8 @@ fn mutated_and_truncated_bodies_never_panic() {
         let body = Request::QueryPlan {
             token: "t".into(),
             deadline_ms: 0,
+            trace_id: 0,
+            collect_trace: true,
             plan,
         }
         .encode()
@@ -190,6 +196,8 @@ fn oversized_fields_are_typed_encode_errors() {
     let err = Request::QueryPlan {
         token: "t".into(),
         deadline_ms: 0,
+        trace_id: 0,
+        collect_trace: false,
         plan: Plan::scan("t").project(cols),
     }
     .encode()
@@ -200,6 +208,8 @@ fn oversized_fields_are_typed_encode_errors() {
     let err = Request::QueryPlan {
         token: "t".into(),
         deadline_ms: 0,
+        trace_id: 0,
+        collect_trace: false,
         plan: Plan::scan("t").filter(WidePredicate::equals(
             "tag",
             Value::Bytes(vec![0x41; 70_000]),

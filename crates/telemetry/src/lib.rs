@@ -16,7 +16,9 @@
 //! |---|---|
 //! | [`metrics`] | [`MetricsRegistry`]: lock-free counters / gauges / log₂ histograms, stable names + labels, snapshots, Prometheus-style text rendering |
 //! | [`span`] | [`Stopwatch`] lap timer and the per-query [`PhaseBreakdown`] (parse → resolve → queue-wait → execute → publish) |
+//! | [`spantree`] | [`SpanTree`](SpanNode): hierarchical per-operator span recording, `EXPLAIN ANALYZE` text rendering, Chrome-trace JSON export |
 //! | [`audit`] | [`LeakageAudit`]: capped ring of per-query [`AuditRecord`]s (revealed sizes, op counters, carry widths, digest) with JSON export |
+//! | [`slowlog`] | [`SlowQueryLog`]: capped ring of [`SlowQueryRecord`]s (canonical plan, public sizes, span tree — never contents) for queries over a wall-time threshold |
 //!
 //! Registration takes a short-lived internal lock; **updates never lock** —
 //! every handle ([`Counter`], [`Gauge`], [`Histogram`]) is an `Arc` of plain
@@ -30,7 +32,9 @@
 pub mod audit;
 pub mod metrics;
 pub mod sink;
+pub mod slowlog;
 pub mod span;
+pub mod spantree;
 
 pub use audit::{AuditRecord, LeakageAudit};
 pub use metrics::{
@@ -38,4 +42,6 @@ pub use metrics::{
     MetricsRegistry, MetricsSnapshot,
 };
 pub use sink::MeteredSink;
+pub use slowlog::{SlowQueryLog, SlowQueryRecord};
 pub use span::{PhaseBreakdown, Stopwatch};
+pub use spantree::{chrome_trace_json, synthetic_span, SpanNode, SpanRecorder};

@@ -327,6 +327,51 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u8, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded values,
+    /// with linear interpolation inside the matched log₂ bucket.
+    ///
+    /// The rank `⌈q·count⌉` (clamped to ≥ 1) selects a bucket; the
+    /// estimate then interpolates between the bucket's inclusive bounds
+    /// (`[0,0]` for bucket 0, `[2^(i-1), 2^i − 1]` for bucket `i`) by the
+    /// rank's position among the bucket's own observations.  Returns
+    /// `None` for an empty histogram or an out-of-range `q`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            if rank <= seen + n {
+                let lower = if i == 0 {
+                    0
+                } else {
+                    bucket_upper_bound(i as usize - 1) + 1
+                };
+                let upper = bucket_upper_bound(i as usize);
+                // Position of the rank within this bucket, in (0, 1].
+                let within = (rank - seen) as f64 / n as f64;
+                return Some(lower as f64 + (upper - lower) as f64 * within);
+            }
+            seen += n;
+        }
+        // Unreachable when count equals the bucket sum; be lenient if a
+        // racing writer bumped `count` before its bucket.
+        Some(bucket_upper_bound(self.buckets.last()?.0 as usize) as f64)
+    }
+
+    /// The conventional p50/p95/p99 triple, or `None` for an empty
+    /// histogram.
+    pub fn percentiles(&self) -> Option<[f64; 3]> {
+        Some([
+            self.quantile(0.50)?,
+            self.quantile(0.95)?,
+            self.quantile(0.99)?,
+        ])
+    }
+}
+
 /// Point-in-time view of a registry; comparable and renderable.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
@@ -438,6 +483,20 @@ impl MetricsSnapshot {
                         label_set(&sample.labels, &[]),
                         h.count
                     );
+                    // Derived percentiles (log₂-bucket interpolation):
+                    // summary-style `{quantile=…}` samples so dashboards
+                    // get p50/p95/p99 without re-deriving them.
+                    for (q, v) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")]
+                        .iter()
+                        .filter_map(|(q, l)| h.quantile(*q).map(|v| (*l, v)))
+                    {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {v:.1}",
+                            sample.name,
+                            label_set(&sample.labels, &[("quantile", q)])
+                        );
+                    }
                 }
             }
         }
@@ -601,6 +660,65 @@ mod tests {
                 ("b_total".into(), vec![]),
             ]
         );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // Empty histogram: no quantiles.
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.percentiles(), None);
+
+        // All observations in one bucket: quantiles stay inside its bounds.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q_one", MetricClass::Timing, &[]);
+        for _ in 0..100 {
+            h.observe(5); // bucket 3 = [4, 7]
+        }
+        let snap = reg.snapshot();
+        let MetricValue::Histogram(hs) = snap.get("q_one", &[]).unwrap() else {
+            panic!("histogram expected");
+        };
+        let [p50, p95, p99] = hs.percentiles().unwrap();
+        assert!((4.0..=7.0).contains(&p50));
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= 7.0);
+
+        // Bimodal: the median lands in the low bucket, the tail in the high.
+        let h2 = reg.histogram("q_two", MetricClass::Timing, &[]);
+        for _ in 0..90 {
+            h2.observe(1);
+        }
+        for _ in 0..10 {
+            h2.observe(1000); // bucket 10 = [512, 1023]
+        }
+        let snap = reg.snapshot();
+        let MetricValue::Histogram(hs) = snap.get("q_two", &[]).unwrap() else {
+            panic!("histogram expected");
+        };
+        assert_eq!(hs.quantile(0.5).unwrap(), 1.0);
+        assert!(hs.quantile(0.99).unwrap() >= 512.0);
+        // Bounds of q.
+        assert!(hs.quantile(-0.1).is_none());
+        assert!(hs.quantile(1.1).is_none());
+        assert_eq!(hs.quantile(1.0).unwrap(), 1023.0);
+    }
+
+    #[test]
+    fn prometheus_text_renders_percentiles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_q_us", MetricClass::Timing, &[]);
+        for _ in 0..10 {
+            h.observe(4);
+        }
+        let text = reg.snapshot().to_prometheus_text();
+        assert!(text.contains("lat_q_us{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_q_us{quantile=\"0.95\"}"));
+        assert!(text.contains("lat_q_us{quantile=\"0.99\"}"));
     }
 
     #[test]

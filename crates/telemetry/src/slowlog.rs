@@ -1,0 +1,149 @@
+//! Capped ring of slow-query records, span trees included.
+//!
+//! When the engine is configured with a slow-query threshold, every fresh
+//! execution whose wall time meets it deposits a [`SlowQueryRecord`]: the
+//! request label, the canonical plan text, the revealed input/output sizes
+//! and the full per-operator [`SpanNode`] tree.  Everything
+//! except the wall time and the spans' own duration fields is a function of
+//! public parameters — the ring never stores tuple contents, predicates
+//! evaluated against data, or anything else the trace digest would not
+//! already commit to.  *Which* queries land in the ring is of course
+//! timing-dependent (that is the point of a slow-query log), so exports of
+//! the ring as a whole are classified like any other Timing series; each
+//! retained record's Content fields are still content-independent.
+//!
+//! The ring itself mirrors [`LeakageAudit`](crate::LeakageAudit): the newest
+//! `capacity` records are retained, a drop counter records how many were
+//! aged out, and a capacity of zero disables retention but keeps counting.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+use crate::spantree::SpanNode;
+
+/// One query that crossed the engine's slow-query threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryRecord {
+    /// Request label (`tenant/qN`); the representative request for a
+    /// deduplicated batch slot.
+    pub label: String,
+    /// Canonical plan text (the plan shape is public).
+    pub plan: String,
+    /// Revealed input sizes: `(table, rows)` per referenced table.
+    pub inputs: Vec<(String, u64)>,
+    /// Rows in the (padded) output.
+    pub output_rows: u64,
+    /// Words per output row.
+    pub output_row_width: u64,
+    /// Wall-clock nanoseconds from batch admission to collection — the
+    /// value the threshold was compared against.  Timing-classed.
+    pub wall_ns: u64,
+    /// The query's full span tree, shared with the response that reported
+    /// it.  Content fields only depend on public parameters; the `*_ns`
+    /// fields are Timing.
+    pub trace: Arc<SpanNode>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    records: VecDeque<SlowQueryRecord>,
+    total: u64,
+    dropped: u64,
+}
+
+/// Capped ring buffer of [`SlowQueryRecord`]s.
+///
+/// Pushes take a short mutex — at most one per fresh execution, and only
+/// for queries that crossed the threshold.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl SlowQueryLog {
+    /// Ring retaining the newest `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            capacity,
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Configured retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append a record, aging out the oldest when full.
+    pub fn push(&self, record: SlowQueryRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        ring.total += 1;
+        if self.capacity == 0 {
+            ring.dropped += 1;
+            return;
+        }
+        if ring.records.len() == self.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(record);
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> Vec<SlowQueryRecord> {
+        self.ring.lock().unwrap().records.iter().cloned().collect()
+    }
+
+    /// Records ever pushed (including aged-out ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.lock().unwrap().total
+    }
+
+    /// Records aged out of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spantree::synthetic_span;
+
+    fn record(label: &str) -> SlowQueryRecord {
+        SlowQueryRecord {
+            label: label.to_string(),
+            plan: "Scan(\"orders\")".to_string(),
+            inputs: vec![("orders".to_string(), 8)],
+            output_rows: 8,
+            output_row_width: 2,
+            wall_ns: 1_000_000,
+            trace: Arc::new(synthetic_span("query", 1_000_000)),
+        }
+    }
+
+    #[test]
+    fn ring_caps_and_counts() {
+        let log = SlowQueryLog::new(2);
+        log.push(record("t/q0"));
+        log.push(record("t/q1"));
+        log.push(record("t/q2"));
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].label, "t/q1");
+        assert_eq!(records[1].label, "t/q2");
+        assert_eq!(log.total_recorded(), 3);
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_retaining() {
+        let log = SlowQueryLog::new(0);
+        log.push(record("t/q0"));
+        assert!(log.records().is_empty());
+        assert_eq!(log.total_recorded(), 1);
+        assert_eq!(log.dropped(), 1);
+    }
+}

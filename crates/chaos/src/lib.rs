@@ -368,6 +368,10 @@ pub mod points {
     /// One partition task of an intra-query parallel pass, just before it
     /// executes (`Panic` = failed partition, `Delay` = straggler).
     pub const ENGINE_PARALLEL_WORKER: &str = "engine/parallel_worker";
+    /// Sharded coordinator, at batch start before any subplan is
+    /// scattered (`Panic` = coordinator crash surfaced as a typed shard
+    /// failure, `Delay` = slow decomposition).
+    pub const SHARD_COORDINATOR: &str = "shard/coordinator";
 }
 
 #[cfg(all(test, feature = "inject"))]

@@ -55,6 +55,18 @@ pub enum EngineError {
         /// The expired request's label.
         label: String,
     },
+    /// A sharded coordinator lost one shard's execution (worker panic or
+    /// coordinator fault) while scattering a decomposed plan.  Sibling
+    /// shards' engines are unaffected and the coordinator remains usable;
+    /// the failed batch finalises nothing.  The shard index and message
+    /// describe scheduling, never table contents.
+    ShardFailed {
+        /// Index of the failed shard (`usize::MAX` when the coordinator
+        /// itself failed before scattering).
+        shard: usize,
+        /// The contained panic payload or fault description.
+        message: String,
+    },
     /// A column reference matched a column in both join inputs, so the
     /// planner cannot tell which side to read it from.  Disambiguate with
     /// a `left_` / `right_` prefix (the join's own output naming).
@@ -100,6 +112,13 @@ impl fmt::Display for EngineError {
             EngineError::Wide(e) => write!(f, "{e}"),
             EngineError::DeadlineExceeded { label } => {
                 write!(f, "query `{label}` exceeded its deadline before completing")
+            }
+            EngineError::ShardFailed { shard, message } => {
+                if *shard == usize::MAX {
+                    write!(f, "shard coordinator failed: {message}")
+                } else {
+                    write!(f, "shard {shard} failed: {message}")
+                }
             }
             EngineError::AmbiguousColumn { name, left, right } => write!(
                 f,

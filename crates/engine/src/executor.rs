@@ -151,6 +151,62 @@ pub struct CacheStats {
     pub bytes: u64,
 }
 
+/// The batch-execution surface a transport binds to.
+///
+/// The network server holds an `Arc<dyn QueryExecutor>` instead of a
+/// concrete [`Engine`], so the same wire protocol can serve a single
+/// process-local engine or a sharded coordinator (`obliv-shard`) that
+/// scatters each plan over several engines and merges the partials.  The
+/// contract mirrors the engine's: responses come back in submission order,
+/// a failed batch finalises nothing, and every summary's Content fields
+/// are functions of public parameters only.
+pub trait QueryExecutor: Send + Sync + std::fmt::Debug {
+    /// Execute a batch of requests; responses in submission order.
+    fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, EngineError>;
+
+    /// Check that `request` would resolve — name resolution plus schema
+    /// validation — without executing anything.
+    fn validate(&self, request: &QueryRequest) -> Result<(), EngineError>;
+
+    /// Cumulative result-cache accounting (aggregated over shards for a
+    /// sharded executor).
+    fn cache_stats(&self) -> CacheStats;
+
+    /// The executor's metrics registry, shared so transport layers can
+    /// register their own series into the same snapshot.
+    fn metrics(&self) -> &Arc<MetricsRegistry>;
+
+    /// How many shards answer queries (`1` for a plain engine).
+    fn shards(&self) -> usize {
+        1
+    }
+
+    /// Per-shard result-cache hit counts, indexed by shard.  A plain
+    /// engine reports its single cache; a coordinator reports one entry
+    /// per shard engine.
+    fn shard_cache_hits(&self) -> Vec<u64> {
+        vec![self.cache_stats().hits]
+    }
+}
+
+impl QueryExecutor for Engine {
+    fn execute_batch(&self, requests: &[QueryRequest]) -> Result<Vec<QueryResponse>, EngineError> {
+        Engine::execute_batch(self, requests)
+    }
+
+    fn validate(&self, request: &QueryRequest) -> Result<(), EngineError> {
+        Engine::validate(self, request)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        Engine::cache_stats(self)
+    }
+
+    fn metrics(&self) -> &Arc<MetricsRegistry> {
+        Engine::metrics(self)
+    }
+}
+
 /// The label-independent payload of one executed query, shared between the
 /// cache and every response fanned out from it.
 pub(crate) struct CachedQuery {
@@ -919,6 +975,7 @@ impl Engine {
                 output_rows: run.rows.len(),
                 output_row_width: run.rows.schema().row_width(),
                 carry_words: run.carry_words,
+                shard_partitions: Vec::new(),
                 phases,
                 wall,
             };

@@ -54,6 +54,7 @@
 //! | [`frontend`] | [`parse_query`], [`parse_statement`] — the pipeline text language and the `EXPLAIN ANALYZE` verb |
 //! | [`executor`] | [`Engine`], [`EngineConfig`], [`CacheStats`] — worker-pool batch execution and the result cache |
 //! | [`session`] | [`Session`], [`SessionStats`] — per-tenant queues and accounting |
+//! | [`shardable`] | [`Shardability`], [`MergeOp`] — can a plan decompose into per-shard subplans? |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,14 +67,16 @@ pub mod planner;
 pub(crate) mod pool;
 pub mod query;
 pub mod session;
+pub mod shardable;
 
 pub use catalog::{Catalog, TableMeta};
 pub use error::EngineError;
-pub use executor::{CacheStats, Engine, EngineConfig};
+pub use executor::{CacheStats, Engine, EngineConfig, QueryExecutor};
 pub use frontend::{parse_query, parse_statement, Statement};
 pub use planner::ResolvedPlan;
 pub use query::{Plan, QueryRequest, QueryResponse, QuerySummary, Rows};
 pub use session::{Session, SessionStats};
+pub use shardable::{MergeOp, Shardability};
 // Telemetry types that appear in the engine's public API (summaries carry
 // a `PhaseBreakdown`; `Engine::metrics`/`audit` expose the registry and
 // audit ring), re-exported so callers need not depend on obliv-telemetry.

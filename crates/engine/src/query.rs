@@ -534,6 +534,14 @@ pub struct QuerySummary {
     /// Widest per-side join payload carry the plan executed with, in
     /// kernel words (`0` for plans without a join) — public shape.
     pub carry_words: usize,
+    /// Per-shard partition sizes a sharded coordinator scattered this
+    /// query over, as `("table@shard{i}", rows)` entries — empty for a
+    /// single-engine run.  Partition sizes are the JODES-style leakage of
+    /// distributed oblivious execution; with balanced positional chunking
+    /// they are a pure function of the (public) table size and shard
+    /// count, so the field is Content-classed like
+    /// [`output_rows`](QuerySummary::output_rows).
+    pub shard_partitions: Vec<(String, u64)>,
     /// Per-phase wall-clock breakdown of the run that produced this
     /// payload (parse → resolve → queue-wait → execute → publish).  Timing
     /// leakage, like [`wall`](QuerySummary::wall); never part of a

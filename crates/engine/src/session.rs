@@ -8,7 +8,7 @@
 //! dropping one costs nothing.
 
 use crate::error::EngineError;
-use crate::executor::Engine;
+use crate::executor::{Engine, QueryExecutor};
 use crate::frontend::parse_query;
 use crate::query::{Plan, QueryRequest, QueryResponse};
 
@@ -42,6 +42,10 @@ pub struct SessionStats {
     /// Widest join payload carry any of the session's queries executed
     /// with, in kernel words (`0` until a join runs).
     pub max_carry_words: u64,
+    /// How many shards the bound executor answers queries with: `1` for a
+    /// plain [`Engine`], the shard count for a sharded coordinator.
+    /// Recorded when the session is opened (topology, not accounting).
+    pub shards: u64,
 }
 
 /// A labelled queue of queries bound to an [`Engine`].
@@ -62,7 +66,7 @@ pub struct SessionStats {
 /// ```
 #[derive(Debug)]
 pub struct Session<'engine> {
-    engine: &'engine Engine,
+    engine: &'engine dyn QueryExecutor,
     tenant: String,
     pending: Vec<QueryRequest>,
     stats: SessionStats,
@@ -74,11 +78,22 @@ pub struct Session<'engine> {
 
 impl<'engine> Session<'engine> {
     pub(crate) fn new(engine: &'engine Engine, tenant: impl Into<String>) -> Self {
+        Session::attach(engine, tenant)
+    }
+
+    /// Open a session against any [`QueryExecutor`] — a plain
+    /// [`Engine`] (equivalent to [`Engine::session`]) or a sharded
+    /// coordinator.  The executor's shard count is recorded in
+    /// [`SessionStats::shards`].
+    pub fn attach(executor: &'engine dyn QueryExecutor, tenant: impl Into<String>) -> Self {
         Session {
-            engine,
+            engine: executor,
             tenant: tenant.into(),
             pending: Vec::new(),
-            stats: SessionStats::default(),
+            stats: SessionStats {
+                shards: executor.shards() as u64,
+                ..SessionStats::default()
+            },
             issued: 0,
         }
     }
@@ -236,7 +251,13 @@ mod tests {
         session.queue_text("SCAN ghost").unwrap();
         assert!(session.run().is_err());
         assert_eq!(session.pending(), 1);
-        assert_eq!(session.stats(), SessionStats::default());
+        assert_eq!(
+            session.stats(),
+            SessionStats {
+                shards: 1,
+                ..SessionStats::default()
+            }
+        );
 
         // Registering the missing table makes the retry succeed.
         engine

@@ -1,0 +1,373 @@
+//! Shardability analysis: can a [`Plan`] be decomposed into per-shard
+//! subplans whose partial results merge back into the single-engine answer?
+//!
+//! The decomposition model is JODES-style *fact-partitioned /
+//! dimension-replicated*: a sharded catalog chunks each partitioned table
+//! positionally into `N` balanced contiguous slices (shard `i` holds rows
+//! `[i·n/N, (i+1)·n/N)`) and replicates every other table to all shards.
+//! The coordinator then scatters the **identical** plan to every shard —
+//! each shard's catalog resolves a partitioned name to its local chunk —
+//! and combines the partials with one oblivious merge step.
+//!
+//! A plan is decomposable exactly when it is *linear* in the partitioned
+//! inputs: `op(∪ᵢ Pᵢ) = ∪ᵢ op(Pᵢ)` as bags.  The analysis here classifies
+//! each operator:
+//!
+//! | operator | linearity rule |
+//! |----------|----------------|
+//! | `Scan(partitioned)` | linear by definition |
+//! | `Filter` / `Project` | linear in a linear input (elementwise) |
+//! | `Join(linear, replicated)` / `(replicated, linear)` | linear in the partitioned side for a fixed other side |
+//! | `SemiJoin` / `AntiJoin` (linear probe, replicated witness) | linear — membership needs the *whole* witness set, so a partitioned witness gathers |
+//! | `UnionAll(linear, linear)` | linear (`∪ᵢ(Aᵢ ∪ Bᵢ) = A ∪ B`); a replicated side would be duplicated `N` times, so mixed unions gather |
+//! | `Distinct` / `GroupAggregate` / `JoinAggregate` at the **root** | the merge point itself: dedup or re-aggregate the concatenated partials |
+//! | anything above a merge point | gather (the merge result is not a union of per-shard states) |
+//!
+//! The merge is chosen so the combined result is *provably equivalent* to
+//! the single-engine run — bit-identical for concat (oblivious compaction
+//! is order-preserving, so per-shard filter/project outputs are contiguous
+//! slices of the serial output), for distinct and for re-aggregation
+//! (both operators emit key-ordered output, a pure function of the input
+//! *bag*), and bag-identical with a canonical whole-row order for
+//! join/union partials ([`MergeOp::SortedConcat`]).
+
+use obliv_operators::Aggregate;
+
+use crate::query::Plan;
+
+/// How a coordinator combines per-shard partial results into one answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOp {
+    /// Plain concatenation in shard order.  Used when every operator on
+    /// the linear spine is order-preserving (scan, filter, project): the
+    /// per-shard outputs are contiguous slices of the single-engine
+    /// output, so the concat is bit-identical to it.
+    Concat,
+    /// Concatenate, then obliviously sort whole encoded rows
+    /// ([`obliv_operators::wide_sort`]).  Used when the spine contains an
+    /// order-creating operator (join, semi/anti join, union): per-shard
+    /// outputs are key-sorted runs, so the concat is bag-identical to the
+    /// single-engine output and the sort puts it in one canonical,
+    /// deterministic order.
+    SortedConcat,
+    /// Concatenate, then [`obliv_operators::wide_distinct`].  Distinct
+    /// output is a pure, key-ordered function of the input bag, so the
+    /// merged result is bit-identical to the single-engine run.
+    MergeDistinct,
+    /// Concatenate, then re-aggregate with
+    /// [`obliv_operators::wide_group_aggregate`], grouping by the
+    /// partials' key column and combining their aggregate column with
+    /// `combine`.  Per-group partials combine exactly (`count`/`sum` sum,
+    /// `min`/`max` take the extremum), and group-aggregate output is
+    /// key-ordered, so the merge is bit-identical to the single-engine
+    /// run.
+    Reaggregate {
+        /// The combining aggregate applied to the partials' value column.
+        combine: Aggregate,
+    },
+}
+
+/// Where a plan can run under a sharded catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shardability {
+    /// Scatter the identical plan to every shard and combine the partials
+    /// with the given merge.
+    Partitioned(MergeOp),
+    /// The plan references no partitioned table; every shard holds full
+    /// replicas of its inputs, so it runs — unchanged — on any single
+    /// shard.
+    Replicated,
+    /// Not decomposable under this partitioning (partitioned tables on
+    /// both join sides, a partitioned semi/anti-join witness, operators
+    /// above a merge point, …): run the whole plan on a full-copy engine.
+    Gather,
+}
+
+/// Linearity class of a subtree during the recursive walk.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// `op(∪ᵢPᵢ) = ∪ᵢop(Pᵢ)`; the flag records whether the concatenated
+    /// shard outputs may be ordered differently from the single-engine
+    /// output (an order-creating operator somewhere on the spine).
+    Linear { unstable: bool },
+    /// References no partitioned table: identical on every shard.
+    Replicated,
+    /// Not linear — only a gather can answer it.
+    No,
+}
+
+/// Classify `plan` against a predicate naming the partitioned tables.
+///
+/// The root operator is special-cased: `Distinct`, `GroupAggregate` and
+/// `JoinAggregate` over a linear input are merge points (the coordinator
+/// dedups or re-aggregates the concatenated partials), while the same
+/// operators *inside* a larger plan force a gather.
+pub fn analyze(plan: &Plan, is_partitioned: &dyn Fn(&str) -> bool) -> Shardability {
+    match plan {
+        Plan::Distinct { input } => match classify(input, is_partitioned) {
+            Class::Linear { .. } => Shardability::Partitioned(MergeOp::MergeDistinct),
+            Class::Replicated => Shardability::Replicated,
+            Class::No => Shardability::Gather,
+        },
+        Plan::GroupAggregate {
+            input, aggregate, ..
+        } => match classify(input, is_partitioned) {
+            Class::Linear { .. } => Shardability::Partitioned(MergeOp::Reaggregate {
+                combine: combine_of(*aggregate),
+            }),
+            Class::Replicated => Shardability::Replicated,
+            Class::No => Shardability::Gather,
+        },
+        Plan::JoinAggregate { left, right, .. } => {
+            let l = classify(left, is_partitioned);
+            let r = classify(right, is_partitioned);
+            match (l, r) {
+                // All four join-aggregates (`count`, `sum_left`,
+                // `sum_right`, `sum_products`) are per-group sums, linear
+                // in either side while the other is fixed: partials
+                // combine by summing per key.
+                (Class::Linear { .. }, Class::Replicated)
+                | (Class::Replicated, Class::Linear { .. }) => {
+                    Shardability::Partitioned(MergeOp::Reaggregate {
+                        combine: Aggregate::Sum,
+                    })
+                }
+                (Class::Replicated, Class::Replicated) => Shardability::Replicated,
+                _ => Shardability::Gather,
+            }
+        }
+        other => match classify(other, is_partitioned) {
+            Class::Linear { unstable } => Shardability::Partitioned(if unstable {
+                MergeOp::SortedConcat
+            } else {
+                MergeOp::Concat
+            }),
+            Class::Replicated => Shardability::Replicated,
+            Class::No => Shardability::Gather,
+        },
+    }
+}
+
+/// The aggregate that combines per-shard [`Aggregate`] partials: partial
+/// counts and sums sum; partial minima/maxima take the extremum again.
+fn combine_of(aggregate: Aggregate) -> Aggregate {
+    match aggregate {
+        Aggregate::Count | Aggregate::Sum => Aggregate::Sum,
+        Aggregate::Min => Aggregate::Min,
+        Aggregate::Max => Aggregate::Max,
+    }
+}
+
+fn classify(plan: &Plan, is_partitioned: &dyn Fn(&str) -> bool) -> Class {
+    match plan {
+        Plan::Scan(name) => {
+            if is_partitioned(name) {
+                Class::Linear { unstable: false }
+            } else {
+                Class::Replicated
+            }
+        }
+        // Elementwise operators preserve both linearity and relative
+        // order within the concatenation.
+        Plan::Filter { input, .. } | Plan::Project { input, .. } => classify(input, is_partitioned),
+        Plan::UnionAll { left, right } => {
+            match (
+                classify(left, is_partitioned),
+                classify(right, is_partitioned),
+            ) {
+                // ∪ᵢ(Aᵢ ∪ Bᵢ) = A ∪ B as bags, but the shard outputs
+                // interleave (A₁B₁A₂B₂…) where the serial run emits AB —
+                // always order-unstable.
+                (Class::Linear { .. }, Class::Linear { .. }) => Class::Linear { unstable: true },
+                (Class::Replicated, Class::Replicated) => Class::Replicated,
+                // A replicated side would appear once per shard in the
+                // concatenation — not a bag union.
+                _ => Class::No,
+            }
+        }
+        Plan::Join { left, right, .. } => {
+            match (
+                classify(left, is_partitioned),
+                classify(right, is_partitioned),
+            ) {
+                // The equi-join is linear in either side for a fixed
+                // other side; its output is key-sorted per shard, so the
+                // concat is a bag of sorted runs.
+                (Class::Linear { .. }, Class::Replicated)
+                | (Class::Replicated, Class::Linear { .. }) => Class::Linear { unstable: true },
+                (Class::Replicated, Class::Replicated) => Class::Replicated,
+                // Positional chunks do not align join keys across shards;
+                // co-partitioning both sides needs a key redistribution
+                // the coordinator does not perform.
+                _ => Class::No,
+            }
+        }
+        Plan::SemiJoin { left, right, .. } | Plan::AntiJoin { left, right, .. } => {
+            match (
+                classify(left, is_partitioned),
+                classify(right, is_partitioned),
+            ) {
+                // Membership filtering is linear in the probed side, but
+                // the witness set must be complete on every shard: a
+                // partitioned witness would turn "key absent from this
+                // chunk" into "key absent", which is wrong.
+                (Class::Linear { .. }, Class::Replicated) => Class::Linear { unstable: true },
+                (Class::Replicated, Class::Replicated) => Class::Replicated,
+                _ => Class::No,
+            }
+        }
+        // Merge points inside a larger plan: the merged result is not a
+        // union of per-shard states, so anything above one gathers.
+        Plan::Distinct { input } | Plan::GroupAggregate { input, .. } => {
+            match classify(input, is_partitioned) {
+                Class::Replicated => Class::Replicated,
+                _ => Class::No,
+            }
+        }
+        Plan::JoinAggregate { left, right, .. } => {
+            match (
+                classify(left, is_partitioned),
+                classify(right, is_partitioned),
+            ) {
+                (Class::Replicated, Class::Replicated) => Class::Replicated,
+                _ => Class::No,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obliv_join::schema::Value;
+    use obliv_operators::{JoinAggregate, WidePredicate};
+
+    fn part(name: &str) -> bool {
+        name == "facts" || name == "facts2"
+    }
+
+    fn check(plan: Plan, expect: Shardability) {
+        assert_eq!(analyze(&plan, &part), expect, "plan: {plan:?}");
+    }
+
+    #[test]
+    fn order_preserving_spines_concat() {
+        check(
+            Plan::scan("facts"),
+            Shardability::Partitioned(MergeOp::Concat),
+        );
+        check(
+            Plan::scan("facts")
+                .filter(WidePredicate::at_least("value", Value::U64(3)))
+                .project(["key"]),
+            Shardability::Partitioned(MergeOp::Concat),
+        );
+    }
+
+    #[test]
+    fn joins_with_a_replicated_side_sort_merge() {
+        for plan in [
+            Plan::scan("facts").join(Plan::scan("dims"), "key", "key"),
+            Plan::scan("dims").join(Plan::scan("facts"), "key", "key"),
+            Plan::scan("facts").semi_join(Plan::scan("dims"), "key", "key"),
+            Plan::scan("facts").anti_join(Plan::scan("dims"), "key", "key"),
+            Plan::scan("facts").union_all(Plan::scan("facts2")),
+        ] {
+            check(plan, Shardability::Partitioned(MergeOp::SortedConcat));
+        }
+    }
+
+    #[test]
+    fn merge_points_at_the_root_decompose() {
+        check(
+            Plan::scan("facts").distinct(),
+            Shardability::Partitioned(MergeOp::MergeDistinct),
+        );
+        check(
+            Plan::scan("facts").group_aggregate(Aggregate::Count, None, Some("key".into())),
+            Shardability::Partitioned(MergeOp::Reaggregate {
+                combine: Aggregate::Sum,
+            }),
+        );
+        check(
+            Plan::scan("facts").group_aggregate(
+                Aggregate::Min,
+                Some("value".into()),
+                Some("key".into()),
+            ),
+            Shardability::Partitioned(MergeOp::Reaggregate {
+                combine: Aggregate::Min,
+            }),
+        );
+        check(
+            Plan::scan("facts").join_aggregate(
+                Plan::scan("dims"),
+                "key",
+                "key",
+                None,
+                None,
+                JoinAggregate::CountPairs,
+            ),
+            Shardability::Partitioned(MergeOp::Reaggregate {
+                combine: Aggregate::Sum,
+            }),
+        );
+    }
+
+    #[test]
+    fn replicated_only_plans_run_on_one_shard() {
+        check(Plan::scan("dims"), Shardability::Replicated);
+        check(
+            Plan::scan("dims")
+                .join(Plan::scan("dims2"), "key", "key")
+                .distinct(),
+            Shardability::Replicated,
+        );
+    }
+
+    #[test]
+    fn non_linear_shapes_gather() {
+        // Both join sides partitioned.
+        check(
+            Plan::scan("facts").join(Plan::scan("facts2"), "key", "key"),
+            Shardability::Gather,
+        );
+        // Partitioned witness set.
+        check(
+            Plan::scan("dims").semi_join(Plan::scan("facts"), "key", "key"),
+            Shardability::Gather,
+        );
+        check(
+            Plan::scan("dims").anti_join(Plan::scan("facts"), "key", "key"),
+            Shardability::Gather,
+        );
+        // Mixed union duplicates the replicated side.
+        check(
+            Plan::scan("facts").union_all(Plan::scan("dims")),
+            Shardability::Gather,
+        );
+        // Operators above a merge point.
+        check(
+            Plan::scan("facts").distinct().project(["key"]),
+            Shardability::Gather,
+        );
+        check(
+            Plan::scan("facts")
+                .group_aggregate(Aggregate::Sum, Some("value".into()), Some("key".into()))
+                .filter(WidePredicate::at_least("sum_value", Value::U64(10))),
+            Shardability::Gather,
+        );
+        // Join aggregate with both sides partitioned.
+        check(
+            Plan::scan("facts").join_aggregate(
+                Plan::scan("facts2"),
+                "key",
+                "key",
+                None,
+                None,
+                JoinAggregate::CountPairs,
+            ),
+            Shardability::Gather,
+        );
+    }
+}

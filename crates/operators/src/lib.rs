@@ -63,6 +63,6 @@ pub use wide::{
     group_aggregate_output_schema, join_aggregate_output_schema, join_output_name,
     join_output_schema, project_output_schema, union_output_schema, validate_membership_keys,
     validate_row_width, wide_anti_join, wide_distinct, wide_filter, wide_group_aggregate,
-    wide_join, wide_join_aggregate, wide_project, wide_semi_join, wide_union_all, WideCmp,
-    WideError, WidePredicate, MAX_CARRY_WORDS, MAX_ROW_WORDS,
+    wide_join, wide_join_aggregate, wide_project, wide_semi_join, wide_sort, wide_union_all,
+    WideCmp, WideError, WidePredicate, MAX_CARRY_WORDS, MAX_ROW_WORDS,
 };

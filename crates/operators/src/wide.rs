@@ -936,6 +936,51 @@ fn wide_distinct_w<const W: usize, S: TraceSink>(
     stage_out(tracer, schema, W, &groups)
 }
 
+/// Monomorphic sort body for one row width `W`.
+fn wide_sort_w<const W: usize, S: TraceSink>(tracer: &Tracer<S>, table: &WideTable) -> WideTable {
+    let schema = table.schema_handle();
+    let n = table.len();
+    let staged = stage_in(tracer, table, W);
+    let staged_words = staged.as_slice();
+    let recs: Vec<[u64; W]> = (0..n)
+        .map(|i| {
+            staged_words[i * W..(i + 1) * W]
+                .try_into()
+                .expect("W words per row")
+        })
+        .collect();
+    let mut buf: TrackedBuffer<[u64; W], S> = tracer.alloc_from(recs);
+    bitonic::par_sort_by_key(&mut buf, |r: &[u64; W]| *r);
+    let groups: Vec<Vec<u64>> = buf.into_vec().iter().map(|r| r.to_vec()).collect();
+    stage_out(tracer, schema, W, &groups)
+}
+
+/// Oblivious whole-row sort: the table's rows in the ascending order of
+/// their packed encoded form (the same total order
+/// [`wide_distinct`] leaves its output in).
+///
+/// A single bitonic network over the (public) row count; reveals nothing
+/// beyond the input size and schema width.  This is the sorted-run merge
+/// step a sharded coordinator uses to combine per-shard join/union
+/// partials into one canonically ordered result: each partial is already a
+/// deterministic function of its shard's public inputs, and sorting the
+/// concatenation is one more data-independent network.
+pub fn wide_sort<S: TraceSink>(
+    tracer: &Tracer<S>,
+    table: &WideTable,
+) -> Result<WideTable, WideError> {
+    let words = row_words_checked(table.schema())?;
+    macro_rules! dispatch {
+        ($($w:literal),*) => {
+            match words {
+                $( $w => Ok(wide_sort_w::<$w, S>(tracer, table)), )*
+                other => unreachable!("row_words_checked admitted width {other}"),
+            }
+        };
+    }
+    dispatch!(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+}
+
 /// Oblivious wide duplicate elimination over whole rows.
 ///
 /// Sort–mark–compact, exactly like the pair-shaped

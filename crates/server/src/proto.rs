@@ -53,7 +53,8 @@
 //! ```text
 //! 0x00 OK_REPLY    label:str16 cached:u8 trace_id:u64be summary schema
 //!                  rows:u32be rowbytes* has_trace:u8 [span]
-//! 0x02 OK_STATS    session:u64be×7 cache:u64be×5 build:str16 uptime_secs:u64be
+//! 0x02 OK_STATS    session:u64be×8 cache:u64be×5 build:str16 uptime_secs:u64be
+//!                  nshards:u16be (hits:u64be)*
 //! 0x03 ERROR       kind:u8 retry_after_ms:u32be message:str16
 //! 0x04 OK_METRICS  nseries:u32be series*
 //! ```
@@ -63,7 +64,9 @@
 //! (pair-shaped results are simply the degenerate two-`u64`-column
 //! schema).  `summary` is the full [`QuerySummary`]: digest (`str16`, 64
 //! hex chars), trace events, the four operation counters, output rows,
-//! output row width, join carry width, the five
+//! output row width, join carry width, the per-shard partition sizes
+//! (`nparts:u16be (name:str16 rows:u64be)*` — empty for a single-engine
+//! run), the five
 //! [`PhaseBreakdown`] durations
 //! (parse/resolve/queue-wait/execute/publish) and wall clock, all
 //! durations as nanosecond `u64`s.  `retry_after_ms` is the server's
@@ -74,7 +77,9 @@
 //! (`i64`), `2` (`bool`), `3 width:u16be` (`bytes[width]`).  `OK_STATS`
 //! carries the connection session's [`SessionStats`] followed by the
 //! engine-wide result-cache [`CacheStats`], the server's build version
-//! string and its uptime in whole seconds.  The reply's `trace_id`
+//! string, its uptime in whole seconds, and the backend's per-shard
+//! result-cache hit counts (one entry for a plain engine, one per shard
+//! for a sharded coordinator).  The reply's `trace_id`
 //! echoes the request's; `has_trace` is `0` or `1`, and when `1` a
 //! recursive `span` follows: `name:str16 detail:str16 ninputs:u16be
 //! (rows:u64be)* output_rows:u64be output_row_width:u64be
@@ -90,7 +95,12 @@
 //!
 //! ## Versioning
 //!
-//! Protocol **5** (this build) is the tracing revision: it added the
+//! Protocol **6** (this build) is the sharding revision: `summary` grew
+//! the per-shard partition-size list, the `OK_STATS` session block grew
+//! the backend's shard count, and `OK_STATS` gained the per-shard
+//! result-cache hit list — so a client can see when its queries are
+//! answered by a sharded coordinator and what that run revealed.
+//! Version 5 was the tracing revision: it added the
 //! per-request `trace_id` correlation id and `collect_trace` flag, the
 //! optional per-operator span tree on `OK_REPLY`, and the build/uptime
 //! block on `OK_STATS`.  Version 4 was the resilience revision
@@ -118,7 +128,7 @@ use obliv_trace::OpCounters;
 /// The one protocol version this build speaks.  A request frame with any
 /// other version byte is answered with
 /// [`ErrorKind::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u8 = 5;
+pub const PROTOCOL_VERSION: u8 = 6;
 
 /// Upper bound on a request frame's body, in bytes.  Requests are plans
 /// and tokens — kilobytes at most — so the bound is tight to cap what an
@@ -367,6 +377,12 @@ pub struct StatsReply {
     /// Whole seconds since the server was constructed.  Timing-adjacent
     /// but a function of wall clock only, never of data.
     pub uptime_secs: u64,
+    /// Per-shard result-cache hit counts of the backend, indexed by
+    /// shard: one entry for a plain engine, one per shard engine for a
+    /// sharded coordinator (whose shard count also appears in
+    /// [`SessionStats::shards`]).  Functions of the request stream, like
+    /// the cache block.
+    pub shard_cache_hits: Vec<u64>,
 }
 
 /// One server→client message.
@@ -977,6 +993,19 @@ fn put_summary(w: &mut Writer, s: &QuerySummary) {
     w.u64(s.output_rows as u64);
     w.u64(s.output_row_width as u64);
     w.u64(s.carry_words as u64);
+    if s.shard_partitions.len() > u16::MAX as usize {
+        w.overflowed(
+            "shard partition count",
+            s.shard_partitions.len(),
+            u16::MAX as usize,
+        );
+        return;
+    }
+    w.u16(s.shard_partitions.len() as u16);
+    for (name, rows) in &s.shard_partitions {
+        w.str16(name);
+        w.u64(*rows);
+    }
     for phase in s.phases.in_order() {
         w.u64(nanos(phase));
     }
@@ -996,6 +1025,9 @@ fn get_summary(r: &mut Reader<'_>) -> Result<QuerySummary, DecodeError> {
         output_rows: r.u64()? as usize,
         output_row_width: r.u64()? as usize,
         carry_words: r.u64()? as usize,
+        shard_partitions: (0..r.u16()?)
+            .map(|_| Ok((r.str16()?, r.u64()?)))
+            .collect::<Result<Vec<_>, DecodeError>>()?,
         phases: PhaseBreakdown {
             parse: Duration::from_nanos(r.u64()?),
             resolve: Duration::from_nanos(r.u64()?),
@@ -1124,6 +1156,7 @@ fn put_stats(w: &mut Writer, s: &StatsReply) {
     w.u64(s.session.cache_hits);
     w.u64(s.session.output_bytes);
     w.u64(s.session.max_carry_words);
+    w.u64(s.session.shards);
     w.u64(s.cache.hits);
     w.u64(s.cache.misses);
     w.u64(s.cache.evictions);
@@ -1131,6 +1164,14 @@ fn put_stats(w: &mut Writer, s: &StatsReply) {
     w.u64(s.cache.bytes);
     w.str16(&s.build);
     w.u64(s.uptime_secs);
+    if s.shard_cache_hits.len() > u16::MAX as usize {
+        w.overflowed("shard count", s.shard_cache_hits.len(), u16::MAX as usize);
+        return;
+    }
+    w.u16(s.shard_cache_hits.len() as u16);
+    for hits in &s.shard_cache_hits {
+        w.u64(*hits);
+    }
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<StatsReply, DecodeError> {
@@ -1143,6 +1184,7 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsReply, DecodeError> {
             cache_hits: r.u64()?,
             output_bytes: r.u64()?,
             max_carry_words: r.u64()?,
+            shards: r.u64()?,
         },
         cache: CacheStats {
             hits: r.u64()?,
@@ -1153,6 +1195,9 @@ fn get_stats(r: &mut Reader<'_>) -> Result<StatsReply, DecodeError> {
         },
         build: r.str16()?,
         uptime_secs: r.u64()?,
+        shard_cache_hits: (0..r.u16()?)
+            .map(|_| r.u64())
+            .collect::<Result<Vec<_>, _>>()?,
     })
 }
 
@@ -1439,6 +1484,10 @@ mod tests {
             output_rows: 2,
             output_row_width: 16,
             carry_words: 1,
+            shard_partitions: vec![
+                ("orders@shard0".into(), 1024),
+                ("orders@shard1".into(), 1024),
+            ],
             phases: PhaseBreakdown {
                 parse: Duration::from_nanos(11),
                 resolve: Duration::from_nanos(22),
@@ -1605,6 +1654,7 @@ mod tests {
                 cache_hits: 1,
                 output_bytes: 96,
                 max_carry_words: 3,
+                shards: 4,
             },
             cache: CacheStats {
                 hits: 2,
@@ -1615,6 +1665,7 @@ mod tests {
             },
             build: "0.1.0".into(),
             uptime_secs: 86_401,
+            shard_cache_hits: vec![2, 0, 1, 3],
         }));
         roundtrip_response(Response::Error(WireError::new(
             ErrorKind::Query,
@@ -1689,10 +1740,10 @@ mod tests {
         // A version mismatch is distinguishable from garbage — in
         // particular the previous protocol versions are answered with a
         // typed version error, not a parse error.
-        for old in [1u8, 2, 3, 4] {
+        for old in [1u8, 2, 3, 4, 5] {
             let versioned = Request::decode(&[old, 1]).unwrap_err();
             assert!(is_version_error(&versioned));
-            assert!(versioned.message().contains("this build speaks 5"));
+            assert!(versioned.message().contains("this build speaks 6"));
         }
         assert!(!is_version_error(&err));
     }

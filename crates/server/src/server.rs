@@ -17,7 +17,8 @@
 //! they forward `(request, reply-channel)` pairs to a small pool of
 //! *batcher* threads ([`ServerConfig::batch_runners`]); whichever runner
 //! is idle drains everything currently queued — across all connections —
-//! and submits it as a single [`Engine::execute_batch`] call.  Concurrent
+//! and submits it as a single
+//! [`execute_batch`](obliv_engine::QueryExecutor::execute_batch) call.  Concurrent
 //! clients therefore share one engine batch and get the executor's
 //! intra-batch deduplication and result cache for free: two tenants
 //! asking the same question at the same time cost one oblivious
@@ -38,7 +39,7 @@
 //!
 //! ## Failure containment
 //!
-//! [`Engine::execute_batch`] fails a whole batch up front if *any* request
+//! The backend fails a whole batch up front if *any* request
 //! in it cannot be resolved.  That contract is right for one caller's
 //! batch, but the batcher's batches mix tenants, so on a batch error it
 //! falls back to executing each request alone: the offending request gets
@@ -53,7 +54,8 @@ use std::time::{Duration, Instant};
 
 use obliv_chaos::{points, Fault, Faults};
 use obliv_engine::{
-    parse_statement, Engine, EngineError, Plan, QueryRequest, QueryResponse, Session, Statement,
+    parse_statement, EngineError, Plan, QueryExecutor, QueryRequest, QueryResponse, Session,
+    Statement,
 };
 use obliv_telemetry::{Counter, Gauge, Histogram, MetricClass, MetricsRegistry};
 
@@ -239,7 +241,7 @@ struct BatchItem {
 
 /// State shared by the accept loop, handlers and the front object.
 struct Inner {
-    engine: Arc<Engine>,
+    engine: Arc<dyn QueryExecutor>,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
     /// Currently served connections (the backpressure gate).
@@ -296,7 +298,10 @@ impl Drop for SlotGuard {
 /// interrupt its blocked reads from another thread.
 type HandlerSlot = (thread::JoinHandle<()>, Box<dyn FnOnce() + Send>);
 
-/// A running network front door over one shared [`Engine`].
+/// A running network front door over one shared backend: a process-local
+/// [`Engine`](obliv_engine::Engine), or any other
+/// [`QueryExecutor`] — e.g. a sharded coordinator that scatters each
+/// plan over several engines and merges the partials.
 ///
 /// Construct with [`Server::bind`] (TCP) and/or attach in-memory clients
 /// with [`Server::connect_loopback`]; stop with [`Server::shutdown`].
@@ -317,9 +322,11 @@ pub struct Server {
 impl Server {
     /// Start a server listening on `addr` (pass port 0 for an ephemeral
     /// port; read it back with [`local_addr`](Server::local_addr)).
-    pub fn bind(
+    /// `engine` is any [`QueryExecutor`] — an
+    /// `Arc<Engine>` or a sharded coordinator alike.
+    pub fn bind<B: QueryExecutor + 'static>(
         addr: impl ToSocketAddrs,
-        engine: Arc<Engine>,
+        engine: Arc<B>,
         config: ServerConfig,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
@@ -345,7 +352,11 @@ impl Server {
     /// A server with no TCP listener; clients attach through
     /// [`connect_loopback`](Server::connect_loopback).  Useful in tests
     /// and embedded setups where no port should be opened.
-    pub fn without_listener(engine: Arc<Engine>, config: ServerConfig) -> Server {
+    pub fn without_listener<B: QueryExecutor + 'static>(
+        engine: Arc<B>,
+        config: ServerConfig,
+    ) -> Server {
+        let engine: Arc<dyn QueryExecutor> = engine;
         let metrics = Arc::new(ServerMetrics::new(engine.metrics()));
         let (batch_tx, batch_rx) = mpsc::channel::<BatchItem>();
         let batch_rx = Arc::new(Mutex::new(batch_rx));
@@ -386,8 +397,8 @@ impl Server {
         self.addr
     }
 
-    /// The engine this server fronts.
-    pub fn engine(&self) -> &Arc<Engine> {
+    /// The backend this server fronts.
+    pub fn engine(&self) -> &Arc<dyn QueryExecutor> {
         &self.inner.engine
     }
 
@@ -555,7 +566,7 @@ fn accept_loop(
 /// Several runners share the queue, so a new batch can form and execute
 /// while a long one is still running on another runner.
 fn run_batcher(
-    engine: Arc<Engine>,
+    engine: Arc<dyn QueryExecutor>,
     rx: Arc<Mutex<mpsc::Receiver<BatchItem>>>,
     max_batch: usize,
     metrics: Arc<ServerMetrics>,
@@ -717,7 +728,7 @@ impl<C: Connection> Drop for StreamGuard<C> {
 fn handle_connection<C: Connection>(inner: &Inner, conn: C, batch_tx: mpsc::Sender<BatchItem>) {
     let mut guard = StreamGuard(conn);
     let conn = &mut guard.0;
-    let engine: &Engine = &inner.engine;
+    let engine: &dyn QueryExecutor = inner.engine.as_ref();
     let metrics: &ServerMetrics = &inner.metrics;
     let faults = &inner.config.faults;
     let mut session: Option<Session<'_>> = None;
@@ -795,7 +806,7 @@ fn handle_connection<C: Connection>(inner: &Inner, conn: C, batch_tx: mpsc::Send
                 continue;
             }
             Some(_) => {}
-            None => session = Some(engine.session(token.to_string())),
+            None => session = Some(Session::attach(engine, token.to_string())),
         }
         let session = session.as_mut().expect("session bound above");
 
@@ -813,6 +824,7 @@ fn handle_connection<C: Connection>(inner: &Inner, conn: C, batch_tx: mpsc::Send
                 cache: engine.cache_stats(),
                 build: env!("CARGO_PKG_VERSION").to_string(),
                 uptime_secs: inner.started.elapsed().as_secs(),
+                shard_cache_hits: engine.shard_cache_hits(),
             }),
             Request::Metrics { .. } => Response::Metrics(engine.metrics().snapshot()),
             Request::QueryText {

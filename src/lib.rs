@@ -4,7 +4,8 @@
 //! Joins* reproduction.  Depend on this crate to get the join, its
 //! primitives, the traced-memory substrate, the baselines, the workload
 //! generators, the obliviousness type system, the enclave simulator, the
-//! concurrent query engine and its network front door (server + client)
+//! concurrent query engine, the sharded multi-engine coordinator and the
+//! network front door (server + client)
 //! under a single name; or depend on the individual crates (`obliv-join`,
 //! `obliv-primitives`, …) if you only need a part.
 //!
@@ -33,6 +34,7 @@ pub use obliv_join as join;
 pub use obliv_operators as operators;
 pub use obliv_primitives as primitives;
 pub use obliv_server as server;
+pub use obliv_shard as shard;
 pub use obliv_telemetry as telemetry;
 pub use obliv_trace as trace;
 pub use obliv_verify as verify;
@@ -61,6 +63,7 @@ pub mod prelude {
         oblivious_compact, oblivious_distribute, oblivious_expand, Keyed, Routable,
     };
     pub use obliv_server::{Client, ClientError, QueryReply, Server, ServerConfig};
+    pub use obliv_shard::{chunk_bounds, Coordinator, ShardConfig};
     pub use obliv_trace::{
         CollectingSink, CountingSink, HashingSink, NullSink, Tracer, TrackedBuffer,
     };
